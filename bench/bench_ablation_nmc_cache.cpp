@@ -1,0 +1,65 @@
+// Ablation following the paper's own suggestion (§3.4): "for atax-like
+// workloads, the introduction of a small cache or scratchpad memory in the
+// NMC compute units (larger than the 128B L1 in Table 3) can be
+// beneficial." Sweeps the per-PE L1 size and reports, per workload, the
+// simulated NMC EDP and the resulting EDP reduction over the host —
+// alongside NAPEL's prediction at each design point, demonstrating
+// model-driven cache sizing without further simulation.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+using namespace napel;
+
+int main() {
+  bench::print_system_header(
+      "Ablation: NMC L1 size (the paper's atax suggestion, Section 3.4)");
+
+  // Train once on all applications.
+  std::vector<core::TrainingRow> rows;
+  bench::collect_all_apps(rows);
+  core::NapelModel model;
+  model.train(rows, bench::bench_model_options(false));
+
+  const hostmodel::HostModel host(hostmodel::HostConfig::bench_scaled());
+  const unsigned cache_lines[] = {2, 4, 8, 16, 32, 64};
+
+  for (const char* app : {"atax", "gesummv", "bfs"}) {
+    const auto& w = workloads::workload(app);
+    const auto space = w.doe_space(workloads::Scale::kBench);
+    const auto input = workloads::WorkloadParams::test_input(space);
+    const auto profile = core::profile_workload(w, input, 404);
+    const auto host_res = host.evaluate(profile);
+
+    Table t({"L1 lines", "L1 bytes", "sim hit %", "sim EDP red.",
+             "NAPEL EDP red.", "NAPEL IPC 80% band"});
+    for (unsigned lines : cache_lines) {
+      sim::ArchConfig arch = sim::ArchConfig::paper_default();
+      arch.cache_lines = lines;
+      const auto sim_res = core::simulate_workload(w, input, arch, 404);
+      const auto pred = model.predict(profile, arch);
+      const auto band = model.ipc_forest().predict_interval(
+          core::model_features(profile, arch));
+      t.add_row({std::to_string(lines),
+                 std::to_string(lines * arch.cache_line_bytes),
+                 Table::fmt(100.0 * sim_res.l1_hit_rate(), 1),
+                 Table::fmt(host_res.edp / sim_res.edp, 2),
+                 Table::fmt(host_res.edp / pred.edp, 2),
+                 "[" + Table::fmt(band.lo, 2) + ", " + Table::fmt(band.hi, 2) +
+                     "]"});
+    }
+    std::printf("--- %s (test input %s) ---\n", app,
+                input.to_string().c_str());
+    t.print(std::cout);
+    std::printf("\n");
+  }
+
+  std::printf(
+      "expected shape: EDP reduction grows once the per-PE L1 is large "
+      "enough to hold a workload's hot working streams (gesummv's three "
+      "streams, bfs's frontier arrays), confirming the paper's suggestion "
+      "that NMC compute units benefit from a cache larger than the 128B "
+      "Table 3 baseline; NAPEL tracks the trend within its training hull\n");
+  return 0;
+}

@@ -1,0 +1,164 @@
+// Ablation (ours, motivated by §2.5): random-forest hyper-parameter
+// sensitivity — the effect of tree count, depth, mtry fraction, and
+// hyper-parameter tuning on LOAO accuracy for a fixed training set.
+#include <algorithm>
+#include <memory>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "ml/gbm.hpp"
+#include "ml/metrics.hpp"
+
+using namespace napel;
+
+namespace {
+
+/// LOAO perf-MRE for a fixed RF configuration over a 4-app subset.
+double loao_mre(const std::vector<core::TrainingRow>& rows,
+                const ml::RandomForestParams& params) {
+  std::vector<std::string> apps;
+  for (const auto& r : rows)
+    if (std::find(apps.begin(), apps.end(), r.app) == apps.end())
+      apps.push_back(r.app);
+  std::vector<double> mres;
+  for (const auto& app : apps) {
+    std::vector<core::TrainingRow> train, test;
+    for (const auto& r : rows) (r.app == app ? test : train).push_back(r);
+    ml::RandomForest rf(params);
+    rf.fit(core::assemble_dataset(train, core::Target::kIpc));
+    mres.push_back(
+        ml::evaluate(rf, core::assemble_dataset(test, core::Target::kIpc))
+            .mre);
+  }
+  return mean(mres);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_system_header("Ablation: random-forest hyper-parameters");
+
+  std::vector<core::TrainingRow> rows;
+  for (const char* app : {"atax", "gesummv", "mvt", "kmeans", "trmm", "lu"})
+    core::collect_training_data(workloads::workload(app),
+                                bench::bench_collect_options(), rows);
+  std::printf("training rows: %zu\n\n", rows.size());
+
+  ml::RandomForestParams base;
+  base.n_trees = 60;
+  base.max_depth = 24;
+  base.mtry_fraction = 1.0 / 3.0;
+  base.seed = 2019;
+
+  {
+    Table t({"n_trees", "LOAO IPC MRE %"});
+    for (unsigned n : {1u, 5u, 20u, 60u, 150u}) {
+      ml::RandomForestParams p = base;
+      p.n_trees = n;
+      t.add_row({std::to_string(n), Table::fmt(100.0 * loao_mre(rows, p), 1)});
+    }
+    std::printf("--- ensemble size ---\n");
+    t.print(std::cout);
+  }
+
+  {
+    Table t({"max_depth", "LOAO IPC MRE %"});
+    for (unsigned d : {1u, 2u, 4u, 8u, 16u, 24u}) {
+      ml::RandomForestParams p = base;
+      p.max_depth = d;
+      t.add_row({std::to_string(d), Table::fmt(100.0 * loao_mre(rows, p), 1)});
+    }
+    std::printf("\n--- tree depth ---\n");
+    t.print(std::cout);
+  }
+
+  {
+    Table t({"mtry_fraction", "LOAO IPC MRE %"});
+    for (double m : {0.05, 0.2, 1.0 / 3.0, 0.6, 1.0}) {
+      ml::RandomForestParams p = base;
+      p.mtry_fraction = m;
+      t.add_row({Table::fmt(m, 2), Table::fmt(100.0 * loao_mre(rows, p), 1)});
+    }
+    std::printf("\n--- feature subsampling (mtry) ---\n");
+    t.print(std::cout);
+  }
+
+  // Ensemble family: bagging (the paper's choice) vs gradient boosting vs a
+  // single deep CART, all at comparable budgets.
+  {
+    std::vector<std::string> apps;
+    for (const auto& r : rows)
+      if (std::find(apps.begin(), apps.end(), r.app) == apps.end())
+        apps.push_back(r.app);
+    auto loao_with = [&](auto make_model) {
+      std::vector<double> mres;
+      for (const auto& app : apps) {
+        std::vector<core::TrainingRow> tr, te;
+        for (const auto& r : rows) (r.app == app ? te : tr).push_back(r);
+        auto m = make_model();
+        m->fit(core::assemble_dataset(tr, core::Target::kIpc));
+        mres.push_back(
+            ml::evaluate(*m, core::assemble_dataset(te, core::Target::kIpc))
+                .mre);
+      }
+      return mean(mres);
+    };
+    Table t({"ensemble", "LOAO IPC MRE %"});
+    t.add_row({"random forest (bagging, 60 trees)",
+               Table::fmt(100.0 * loao_with([&] {
+                            auto p = base;
+                            return std::make_unique<ml::RandomForest>(p);
+                          }),
+                          1)});
+    t.add_row({"gradient boosting (200 rounds, depth 4)",
+               Table::fmt(100.0 * loao_with([&] {
+                            ml::GbmParams p;
+                            p.seed = base.seed;
+                            return std::make_unique<ml::GradientBoosting>(p);
+                          }),
+                          1)});
+    t.add_row({"single CART (depth 24)",
+               Table::fmt(100.0 * loao_with([&] {
+                            ml::TreeParams p;
+                            p.seed = base.seed;
+                            return std::make_unique<ml::DecisionTree>(p);
+                          }),
+                          1)});
+    std::printf("\n--- ensemble family (bagging vs boosting vs single tree) ---\n");
+    t.print(std::cout);
+  }
+
+  // Tuned vs untuned, the §2.5 claim that tuning "can provide better
+  // performance estimates for some applications".
+  {
+    core::LoaoOptions untuned;
+    untuned.tune_rf = false;
+    core::LoaoOptions tuned;
+    tuned.tune_rf = true;
+    tuned.grid.n_trees = {60};
+    tuned.grid.max_depth = {8, 16, 24};
+    tuned.grid.mtry_fraction = {0.2, 1.0 / 3.0};
+    tuned.grid.min_samples_leaf = {1, 2};
+    tuned.k_folds = 3;
+
+    const auto ru =
+        core::leave_one_app_out(rows, core::ModelKind::kNapelRf, untuned);
+    const auto rt =
+        core::leave_one_app_out(rows, core::ModelKind::kNapelRf, tuned);
+    Table t({"app", "untuned perf MRE %", "tuned perf MRE %"});
+    double su = 0, st = 0;
+    for (std::size_t i = 0; i < ru.size(); ++i) {
+      su += ru[i].perf_mre / static_cast<double>(ru.size());
+      st += rt[i].perf_mre / static_cast<double>(rt.size());
+      t.add_row({ru[i].app, Table::fmt(100 * ru[i].perf_mre, 1),
+                 Table::fmt(100 * rt[i].perf_mre, 1)});
+    }
+    t.add_row({"AVG", Table::fmt(100 * su, 1), Table::fmt(100 * st, 1)});
+    std::printf("\n--- hyper-parameter tuning (grid of %zu combos) ---\n",
+                tuned.grid.combinations());
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Component micro-benchmarks (google-benchmark): throughput of the
+// framework's building blocks — tracing, profiling, simulation, reuse
+// distance tracking, and model training/inference. These underpin the
+// Table-4 / Figure-4 timing results.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "ml/random_forest.hpp"
+#include "napel/napel_model.hpp"
+#include "napel/pipeline.hpp"
+#include "profiler/profile.hpp"
+#include "profiler/reuse_distance.hpp"
+#include "sim/l1_cache.hpp"
+#include "sim/simulator.hpp"
+#include "trace/tracer.hpp"
+#include "workloads/registry.hpp"
+
+using namespace napel;
+
+namespace {
+
+const workloads::Workload& bench_workload() {
+  return workloads::workload("gesummv");
+}
+
+workloads::WorkloadParams bench_input() {
+  return workloads::WorkloadParams::central(
+      bench_workload().doe_space(workloads::Scale::kBench));
+}
+
+void BM_TraceGeneration(benchmark::State& state) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    trace::Tracer t;
+    trace::CountingSink sink;
+    t.attach(sink);
+    bench_workload().run(t, bench_input(), 1);
+    events += sink.total();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
+
+void BM_Profiling(benchmark::State& state) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    trace::Tracer t;
+    profiler::ProfileBuilder builder;
+    t.attach(builder);
+    bench_workload().run(t, bench_input(), 1);
+    const auto p = builder.build();
+    events += p.total_instructions;
+    benchmark::DoNotOptimize(p.features.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_Profiling)->Unit(benchmark::kMillisecond);
+
+void BM_Simulation(benchmark::State& state) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const auto r = core::simulate_workload(
+        bench_workload(), bench_input(), sim::ArchConfig::paper_default(), 1);
+    events += r.instructions;
+    benchmark::DoNotOptimize(r.cycles);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_Simulation)->Unit(benchmark::kMillisecond);
+
+void BM_StackDistanceFenwick(benchmark::State& state) {
+  const std::size_t universe = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<std::uint64_t> stream(1 << 16);
+  for (auto& b : stream) b = rng.uniform_index(universe);
+  for (auto _ : state) {
+    profiler::StackDistanceTracker tracker;
+    std::uint64_t sum = 0;
+    for (auto b : stream) sum += tracker.access(b) != 0;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_StackDistanceFenwick)->Arg(64)->Arg(4096)->Arg(1 << 18);
+
+void BM_StackDistanceLru(benchmark::State& state) {
+  // Loop-like PC stream: short distances dominate.
+  std::vector<std::uint64_t> stream;
+  for (int rep = 0; rep < 4096; ++rep)
+    for (std::uint64_t pc = 0; pc < 16; ++pc) stream.push_back(pc);
+  for (auto _ : state) {
+    profiler::LruStackDistance tracker;
+    std::uint64_t sum = 0;
+    for (auto b : stream) sum += tracker.access(b) != 0;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_StackDistanceLru);
+
+const std::vector<core::TrainingRow>& cached_rows() {
+  static const std::vector<core::TrainingRow> rows = [] {
+    core::CollectOptions o;
+    o.scale = workloads::Scale::kTiny;
+    o.archs_per_config = 2;
+    o.arch_pool_size = 4;
+    std::vector<core::TrainingRow> r;
+    for (const char* app : {"atax", "gesummv", "mvt"})
+      core::collect_training_data(workloads::workload(app), o, r);
+    return r;
+  }();
+  return rows;
+}
+
+void BM_ForestTraining(benchmark::State& state) {
+  const auto data = core::assemble_dataset(cached_rows(), core::Target::kIpc);
+  ml::RandomForestParams params;
+  params.n_trees = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    ml::RandomForest rf(params);
+    rf.fit(data);
+    benchmark::DoNotOptimize(rf.tree_count());
+  }
+}
+BENCHMARK(BM_ForestTraining)->Arg(10)->Arg(50)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_ForestInference(benchmark::State& state) {
+  const auto data = core::assemble_dataset(cached_rows(), core::Target::kIpc);
+  ml::RandomForestParams params;
+  params.n_trees = 100;
+  ml::RandomForest rf(params);
+  rf.fit(data);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rf.predict(data.row(i % data.size())));
+    ++i;
+  }
+}
+BENCHMARK(BM_ForestInference);
+
+void BM_L1Cache(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<std::uint64_t> addrs(1 << 14);
+  for (auto& a : addrs) a = rng.uniform_index(1 << 12) * 64;
+  sim::L1Cache cache(32, 2, 64);
+  for (auto _ : state) {
+    std::uint64_t hits = 0;
+    for (auto a : addrs) hits += cache.access(a, false).hit;
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(addrs.size()));
+}
+BENCHMARK(BM_L1Cache);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Reproduces Figure 4: NAPEL's prediction speedup over the simulator for
+// 256 DoE configurations, per application, in increasing order.
+//
+// Methodology (as in §3.2): predicting a previously-unseen application on N
+// design points costs one instrumentation/profiling pass plus N model
+// inferences; the simulator costs N full runs. We measure all three
+// components and report the speedup for N = 256. The paper reports
+// min 33x / avg 220x / max 1039x against their (much slower) cycle-accurate
+// Ramulator; our lean substrate simulator deflates the achievable ratio, so
+// the shape to check is "one to three orders of magnitude, spread across
+// applications", not the absolute average.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+using namespace napel;
+
+namespace {
+constexpr std::size_t kConfigs = 256;
+constexpr std::size_t kSimSample = 3;  // measured sims per app, then scaled
+}  // namespace
+
+int main() {
+  bench::print_system_header(
+      "Figure 4: prediction speedup over simulation (256 DoE configurations)");
+
+  // Train one model on all applications (the trained model is amortized and
+  // not part of the per-prediction cost, as in the paper).
+  std::vector<core::TrainingRow> rows;
+  bench::collect_all_apps(rows);
+  core::NapelModel model;
+  model.train(rows, bench::bench_model_options(false));
+
+  Rng rng(42);
+  const auto archs = sim::sample_arch_configs(kSimSample, rng);
+
+  struct Entry {
+    std::string app;
+    double speedup;
+    double sim_s_per_config;
+    double profile_s;
+    double predict_s_per_config;
+  };
+  std::vector<Entry> entries;
+
+  for (const auto* w : workloads::all_workloads()) {
+    const auto space = w->doe_space(workloads::Scale::kBench);
+    const auto input = workloads::WorkloadParams::central(space);
+
+    // Simulator cost per configuration (mean over a sample of archs).
+    bench::Timer sim_timer;
+    for (std::size_t i = 0; i < kSimSample; ++i)
+      (void)core::simulate_workload(*w, input, archs[i % archs.size()], 11);
+    const double sim_per_config = sim_timer.seconds() / kSimSample;
+
+    // NAPEL cost: one profile + kConfigs model inferences.
+    bench::Timer profile_timer;
+    const auto profile = core::profile_workload(*w, input, 11);
+    const double profile_s = profile_timer.seconds();
+
+    bench::Timer predict_timer;
+    for (std::size_t i = 0; i < kConfigs; ++i)
+      (void)model.predict(profile, archs[i % archs.size()]);
+    const double predict_s = predict_timer.seconds();
+
+    const double napel_total = profile_s + predict_s;
+    const double sim_total = sim_per_config * kConfigs;
+    entries.push_back({std::string(w->name()), sim_total / napel_total,
+                       sim_per_config, profile_s, predict_s / kConfigs});
+  }
+
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.speedup < b.speedup; });
+
+  Table t({"app", "speedup (x)", "sim s/config", "profile (s)",
+           "predict ms/config"});
+  CsvWriter csv({"app", "speedup"});
+  std::vector<double> speedups;
+  for (const auto& e : entries) {
+    t.add_row({e.app, Table::fmt(e.speedup, 1), Table::fmt(e.sim_s_per_config, 4),
+               Table::fmt(e.profile_s, 4),
+               Table::fmt(e.predict_s_per_config * 1e3, 3)});
+    csv.add_row({e.app, Table::fmt(e.speedup, 2)});
+    speedups.push_back(e.speedup);
+  }
+  t.print(std::cout);
+  csv.write_file("fig4_speedup.csv");
+
+  std::printf(
+      "\nspeedup for %zu configurations: min %.0fx  avg %.0fx  max %.0fx\n",
+      kConfigs, min_of(speedups), mean(speedups), max_of(speedups));
+  std::printf(
+      "paper reference: min 33x  avg 220x  max 1039x (vs cycle-accurate "
+      "Ramulator, which is far slower per config than our substrate)\n");
+  return 0;
+}

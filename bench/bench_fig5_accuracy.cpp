@@ -1,0 +1,89 @@
+// Reproduces Figure 5: mean relative error of performance (a) and energy
+// (b) predictions for previously-unseen applications, via
+// leave-one-application-out cross-validation, comparing NAPEL's tuned
+// random forest against the ANN of Ipek et al. and the linear decision
+// tree of Guo et al.
+//
+// Shapes to check against the paper: NAPEL avg MRE ~8.5% (perf) / ~11.6%
+// (energy); NAPEL more accurate than the ANN (paper: 1.7x / 1.4x) and much
+// more accurate than the linear decision tree (paper: 3.2x / 3.5x); bfs,
+// bp, kmeans are the hardest applications.
+#include <iostream>
+#include <map>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+using namespace napel;
+
+int main() {
+  bench::print_system_header(
+      "Figure 5: LOAO prediction accuracy, NAPEL vs ANN vs linear decision tree");
+
+  std::vector<core::TrainingRow> rows;
+  bench::Timer collect_timer;
+  bench::collect_all_apps(rows);
+  std::printf("collected %zu training rows in %.1fs\n\n", rows.size(),
+              collect_timer.seconds());
+
+  core::LoaoOptions lo;
+  lo.tune_rf = true;
+  lo.grid.n_trees = {60};
+  lo.grid.max_depth = {16, 24};
+  lo.grid.mtry_fraction = {1.0 / 3.0};
+  lo.grid.min_samples_leaf = {1, 2};
+  lo.k_folds = 3;
+
+  const std::vector<std::pair<core::ModelKind, std::string>> kinds = {
+      {core::ModelKind::kNapelRf, "NAPEL"},
+      {core::ModelKind::kAnn, "ANN"},
+      {core::ModelKind::kLinearDecisionTree, "DecisionTree"},
+  };
+
+  std::map<std::string, std::vector<core::LoaoAppResult>> results;
+  for (const auto& [kind, label] : kinds) {
+    bench::Timer t;
+    results[label] = core::leave_one_app_out(rows, kind, lo);
+    std::printf("%s LOAO done in %.1fs\n", label.c_str(), t.seconds());
+  }
+  std::printf("\n");
+
+  for (const char* metric : {"performance", "energy"}) {
+    const bool perf = std::string(metric) == "performance";
+    std::printf("--- %s prediction MRE (%%) ---\n", metric);
+    Table t({"app", "NAPEL", "ANN", "DecisionTree"});
+    CsvWriter csv({"app", "napel", "ann", "dtree"});
+    std::map<std::string, double> avg;
+    const std::size_t n_apps = results["NAPEL"].size();
+    for (std::size_t i = 0; i < n_apps; ++i) {
+      std::vector<std::string> cells = {results["NAPEL"][i].app};
+      std::vector<std::string> csv_cells = {results["NAPEL"][i].app};
+      for (const auto& [kind, label] : kinds) {
+        const auto& r = results[label][i];
+        const double mre = perf ? r.perf_mre : r.energy_mre;
+        avg[label] += mre / static_cast<double>(n_apps);
+        cells.push_back(Table::fmt(100.0 * mre, 1));
+        csv_cells.push_back(Table::fmt(mre, 4));
+      }
+      t.add_row(cells);
+      csv.add_row(csv_cells);
+    }
+    t.add_row({"AVG", Table::fmt(100.0 * avg["NAPEL"], 1),
+               Table::fmt(100.0 * avg["ANN"], 1),
+               Table::fmt(100.0 * avg["DecisionTree"], 1)});
+    t.print(std::cout);
+    csv.write_file(perf ? "fig5_perf_mre.csv" : "fig5_energy_mre.csv");
+
+    std::printf(
+        "NAPEL vs ANN: %.1fx more accurate; NAPEL vs decision tree: %.1fx "
+        "more accurate\n",
+        avg["ANN"] / avg["NAPEL"], avg["DecisionTree"] / avg["NAPEL"]);
+    std::printf(
+        "paper reference: NAPEL avg %s; vs ANN %s; vs decision tree %s\n\n",
+        perf ? "8.5%" : "11.6%", perf ? "1.7x" : "1.4x",
+        perf ? "3.2x" : "3.5x");
+  }
+  return 0;
+}

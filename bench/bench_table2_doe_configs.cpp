@@ -1,0 +1,58 @@
+// Reproduces Table 2: the evaluated applications, their DoE parameters with
+// five levels (minimum, low, central, high, maximum) and the held-out test
+// input — at both the paper's input scale and the scaled-down bench scale —
+// plus the number of CCD configurations each space generates (the "#DoE
+// conf." column of Table 4).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "doe/doe.hpp"
+
+using namespace napel;
+
+namespace {
+
+void print_scale(workloads::Scale scale, const char* label) {
+  std::printf("--- DoE parameter levels (%s) ---\n", label);
+  Table t({"app", "DoE param", "min", "low", "central", "high", "max",
+           "test", "#CCD conf"});
+  for (const auto* w : workloads::all_workloads()) {
+    const auto space = w->doe_space(scale);
+    const std::size_t n_ccd = doe::central_composite(space).size();
+    bool first = true;
+    for (const auto& p : space.params) {
+      t.add_row({first ? std::string(w->name()) : "",
+                 p.name,
+                 std::to_string(p.minimum()),
+                 std::to_string(p.low()),
+                 std::to_string(p.central()),
+                 std::to_string(p.high()),
+                 std::to_string(p.maximum()),
+                 std::to_string(p.test),
+                 first ? std::to_string(n_ccd) : ""});
+      first = false;
+    }
+  }
+  t.print(std::cout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::print_system_header("Table 2: evaluated applications and DoE parameters");
+  print_scale(workloads::Scale::kPaper, "paper scale, as printed in Table 2");
+  print_scale(workloads::Scale::kBench,
+              "bench scale, used by the shipped reproduction benches");
+
+  // Total DoE configurations across the suite (the paper's Figure 4 uses
+  // 256 DoE configurations).
+  std::size_t total = 0;
+  for (const auto* w : workloads::all_workloads())
+    total +=
+        doe::central_composite(w->doe_space(workloads::Scale::kBench)).size();
+  std::printf("total CCD configurations across all 12 applications: %zu\n",
+              total);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Shared helpers for the reproduction benches: every binary prints the
+// modelled system configuration (paper Table 3) and uses the same
+// bench-scale data-collection defaults.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "napel/napel.hpp"
+
+namespace napel::bench {
+
+class Timer {
+ public:
+  Timer() : t0_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+inline void print_system_header(const char* bench_name) {
+  const auto arch = sim::ArchConfig::paper_default();
+  const auto host = hostmodel::HostConfig::bench_scaled();
+  std::printf("=== %s ===\n", bench_name);
+  std::printf(
+      "NMC system (paper Table 3): %u in-order PEs @ %.2f GHz, L1 %u x %uB "
+      "(%u-way), %u vaults x %u layers, %.0f GiB, closed-row\n",
+      arch.n_pes, arch.core_freq_ghz, arch.cache_lines,
+      arch.cache_line_bytes, arch.cache_ways, arch.n_vaults, arch.dram_layers,
+      static_cast<double>(arch.dram_bytes) / (1ULL << 30));
+  std::printf(
+      "Host model (POWER9 substitute, caches bench-scaled /32): %u cores x SMT%u @ %.1f GHz, "
+      "L1 %llu KiB / L2 %llu KiB / L3 %llu KiB, %.0f GB/s DRAM\n\n",
+      host.cores, host.smt, host.freq_ghz,
+      static_cast<unsigned long long>(host.l1_bytes / 1024),
+      static_cast<unsigned long long>(host.l2_bytes / 1024),
+      static_cast<unsigned long long>(host.l3_bytes / 1024),
+      host.dram_bw_gbs);
+}
+
+inline core::CollectOptions bench_collect_options() {
+  core::CollectOptions o;
+  o.scale = workloads::Scale::kBench;
+  o.archs_per_config = 3;
+  o.arch_pool_size = 8;
+  o.seed = 2019;
+  return o;
+}
+
+/// Small tuning grid used by the benches (the full grid is exercised in the
+/// RF ablation bench).
+inline core::NapelModel::Options bench_model_options(bool tune = true) {
+  core::NapelModel::Options m;
+  m.tune = tune;
+  m.grid.n_trees = {60};
+  m.grid.max_depth = {16, 24};
+  m.grid.mtry_fraction = {1.0 / 3.0};
+  m.grid.min_samples_leaf = {1, 2};
+  m.k_folds = 3;
+  m.untuned_params.n_trees = 60;
+  return m;
+}
+
+/// Collects training rows for every evaluated application at bench scale.
+/// Returns per-app collection statistics alongside.
+struct AppCollection {
+  std::string app;
+  core::CollectStats stats;
+};
+
+inline std::vector<AppCollection> collect_all_apps(
+    std::vector<core::TrainingRow>& rows,
+    const core::CollectOptions& opts = bench_collect_options()) {
+  std::vector<AppCollection> out;
+  for (const auto* w : workloads::all_workloads()) {
+    AppCollection c;
+    c.app = std::string(w->name());
+    c.stats = core::collect_training_data(*w, opts, rows);
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace napel::bench

@@ -1,0 +1,70 @@
+// Early-stage design-space exploration — the workflow NAPEL exists for:
+// train once, then sweep hundreds of NMC design points per second instead
+// of simulating each one for hours.
+//
+// Sweeps PE count x core frequency for one workload and prints the
+// predicted performance/energy landscape plus the EDP-optimal design point.
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "napel/napel.hpp"
+
+int main() {
+  using namespace napel;
+
+  core::CollectOptions copt;
+  copt.scale = workloads::Scale::kTiny;
+  copt.archs_per_config = 3;
+  copt.arch_pool_size = 8;
+  std::vector<core::TrainingRow> rows;
+  for (const char* app :
+       {"atax", "gesummv", "trmm", "kmeans", "cholesky", "lu", "syrk"})
+    core::collect_training_data(workloads::workload(app), copt, rows);
+
+  core::NapelModel model;
+  core::NapelModel::Options mopt;
+  mopt.tune = false;
+  mopt.untuned_params.n_trees = 60;
+  model.train(rows, mopt);
+  std::printf("model trained on %zu rows\n\n", rows.size());
+
+  // Profile the DSE subject once (an application the model never saw).
+  const auto& w = workloads::workload("mvt");
+  const auto space = w.doe_space(workloads::Scale::kTiny);
+  const auto input = workloads::WorkloadParams::test_input(space);
+  const auto profile = core::profile_workload(w, input, 7);
+  std::printf("DSE subject: %s (%s), %llu instructions\n\n",
+              std::string(w.name()).c_str(), input.to_string().c_str(),
+              static_cast<unsigned long long>(profile.total_instructions));
+
+  // Enumerate a PE-count x frequency x cache grid and predict every point.
+  core::DseGrid grid;
+  const auto candidates = core::enumerate_grid(grid);
+  const auto points = core::explore(model, profile, candidates);
+  std::printf("explored %zu design points via model inference\n\n",
+              points.size());
+
+  Table t({"design point", "pred IPC", "80% IPC band", "pred time (us)",
+           "pred energy (uJ)"});
+  for (std::size_t i : core::pareto_front(points)) {
+    const auto& p = points[i];
+    t.add_row({p.arch.to_string(), Table::fmt(p.pred.ipc, 2),
+               "[" + Table::fmt(p.ipc_interval.lo, 2) + ", " +
+                   Table::fmt(p.ipc_interval.hi, 2) + "]",
+               Table::fmt(p.pred.time_seconds * 1e6, 2),
+               Table::fmt(p.pred.energy_joules * 1e6, 2)});
+  }
+  std::printf("time/energy Pareto frontier:\n");
+  t.print(std::cout);
+
+  const auto& best = points[core::best_edp_point(points)];
+  std::printf("\nEDP-optimal predicted design point: %s\n",
+              best.arch.to_string().c_str());
+
+  // Spot-check the chosen design point against the simulator.
+  const auto actual = core::simulate_workload(w, input, best.arch, 7);
+  std::printf("simulator check at that point: IPC %.2f (predicted %.2f)\n",
+              actual.ipc, best.pred.ipc);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// NMC-suitability analysis (the paper's Section 3.4 use case): train NAPEL,
+// then decide — without further simulation of the candidate — whether
+// offloading a workload to the NMC system beats the host CPU on
+// energy-delay product.
+//
+// Usage: nmc_suitability [workload ...]
+//        (default: bfs gesummv bp trmm)
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "napel/napel.hpp"
+
+int main(int argc, char** argv) {
+  using namespace napel;
+
+  std::vector<std::string> targets = {"bfs", "gesummv", "bp", "trmm"};
+  if (argc > 1) {
+    targets.assign(argv + 1, argv + argc);
+    for (const auto& t : targets) {
+      if (!workloads::has_workload(t)) {
+        std::fprintf(stderr, "unknown workload: %s\n", t.c_str());
+        return 1;
+      }
+    }
+  }
+
+  // Train on every application except the analysis targets, so the verdict
+  // is a genuine previously-unseen-application prediction.
+  core::CollectOptions copt;
+  copt.scale = workloads::Scale::kTiny;
+  copt.archs_per_config = 2;
+  std::vector<core::TrainingRow> rows;
+  for (const auto* w : workloads::all_workloads()) {
+    const bool is_target =
+        std::find(targets.begin(), targets.end(), std::string(w->name())) !=
+        targets.end();
+    if (!is_target) core::collect_training_data(*w, copt, rows);
+  }
+  std::printf("trained on %zu rows from %zu non-target applications\n",
+              rows.size(), 12 - targets.size());
+
+  core::NapelModel model;
+  core::NapelModel::Options mopt;
+  mopt.tune = false;
+  mopt.untuned_params.n_trees = 60;
+  model.train(rows, mopt);
+
+  const hostmodel::HostModel host;
+  const auto arch = sim::ArchConfig::paper_default();
+  core::SuitabilityOptions sopt;
+  sopt.scale = workloads::Scale::kTiny;
+
+  Table t({"workload", "host EDP (nJ*s)", "NMC EDP pred (nJ*s)",
+           "EDP reduction", "verdict"});
+  for (const auto& name : targets) {
+    const auto row = core::analyze_suitability(workloads::workload(name),
+                                               model, host, arch, sopt);
+    t.add_row({row.app, Table::fmt(row.host_edp * 1e18, 1),
+               Table::fmt(row.pred_edp * 1e18, 1),
+               Table::fmt(row.edp_reduction_pred(), 2) + "x",
+               row.nmc_suitable_pred() ? "offload to NMC" : "keep on host"});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Profile inspector: run one workload through the instrumentation layer and
+// dump its microarchitecture-independent characterization (the phase-1
+// analysis of Figure 1) — instruction mix, ILP, reuse-distance summaries,
+// footprint, and the most informative model features.
+//
+// Usage: profile_inspector [workload] [tiny|bench] [param=value ...]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "napel/napel.hpp"
+
+int main(int argc, char** argv) {
+  using namespace napel;
+
+  const std::string name = argc > 1 ? argv[1] : "atax";
+  if (!workloads::has_workload(name)) {
+    std::fprintf(stderr, "unknown workload: %s\navailable:", name.c_str());
+    for (const auto* w : workloads::all_workloads())
+      std::fprintf(stderr, " %s", std::string(w->name()).c_str());
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+  const auto& w = workloads::workload(name);
+
+  const workloads::Scale scale =
+      (argc > 2 && std::strcmp(argv[2], "bench") == 0)
+          ? workloads::Scale::kBench
+          : workloads::Scale::kTiny;
+  auto params = workloads::WorkloadParams::central(w.doe_space(scale));
+  for (int i = 3; i < argc; ++i) {
+    const std::string kv = argv[i];
+    const auto eq = kv.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "expected param=value, got %s\n", kv.c_str());
+      return 1;
+    }
+    params.set(kv.substr(0, eq), std::stoll(kv.substr(eq + 1)));
+  }
+
+  std::printf("profiling %s (%s)\n\n", name.c_str(),
+              params.to_string().c_str());
+  const auto p = core::profile_workload(w, params, 1);
+
+  std::printf("instructions: %llu on %u threads\n",
+              static_cast<unsigned long long>(p.total_instructions),
+              p.n_threads);
+  std::printf("\ninstruction mix:\n");
+  for (std::size_t op = 0; op < trace::kNumOpTypes; ++op) {
+    const auto t = static_cast<trace::OpType>(op);
+    std::printf("  %-8s %6.2f%%\n", std::string(trace::op_name(t)).c_str(),
+                100.0 * static_cast<double>(p.op_counts[op]) /
+                    static_cast<double>(p.total_instructions));
+  }
+
+  std::printf("\nILP (ideal machine): w32 %.2f  w64 %.2f  w128 %.2f  "
+              "w256 %.2f  inf %.2f\n",
+              p.ilp[0], p.ilp[1], p.ilp[2], p.ilp[3], p.ilp[4]);
+
+  std::printf("\ndata reuse distance (64B lines): mean 2^%.1f  p50 2^%.1f  "
+              "p90 2^%.1f  cold %.2f%%\n",
+              p.feature("rd_all_log_mean"), p.feature("rd_all_log_p50"),
+              p.feature("rd_all_log_p90"),
+              100.0 * p.feature("rd_all_cold_frac"));
+  std::printf("DRAM access fraction at cache capacity: 1KiB %.1f%%  64KiB "
+              "%.1f%%  2MiB %.1f%%\n",
+              100.0 * p.feature("miss_frac_all_cap2e4"),
+              100.0 * p.feature("miss_frac_all_cap2e10"),
+              100.0 * p.feature("miss_frac_all_cap2e15"));
+
+  std::printf("\nfootprint: %.1f KiB total (%.1f read / %.1f write), "
+              "traffic %.1f KiB\n",
+              static_cast<double>(p.unique_lines) * 64.0 / 1024.0,
+              static_cast<double>(p.unique_read_lines) * 64.0 / 1024.0,
+              static_cast<double>(p.unique_write_lines) * 64.0 / 1024.0,
+              static_cast<double>(p.read_bytes + p.write_bytes) / 1024.0);
+  std::printf("spatial: %.1f%% of strides within a line; %.1f%% of accesses "
+              "stride-prefetchable\n",
+              100.0 * p.feature("stride_frac_le_line"),
+              100.0 * p.pc_stride_regular_fraction);
+  std::printf("control: %.1f%% branches, basic block length %.1f\n",
+              100.0 * p.feature("branch_fraction"),
+              p.feature("avg_basic_block_len"));
+  std::printf("\nfull model vector: %zu features (plus architecture "
+              "features at prediction time)\n",
+              p.features.size());
+  return 0;
+}

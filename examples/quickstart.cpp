@@ -1,0 +1,65 @@
+// Quickstart: train NAPEL on a few applications and predict the performance
+// and energy of a previously-unseen one, comparing against the cycle-level
+// simulator it never saw during training.
+//
+// Uses the tiny input scale so it finishes in seconds.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "napel/napel.hpp"
+
+int main() {
+  using namespace napel;
+
+  // 1. Collect training data for three known applications.
+  core::CollectOptions copt;
+  copt.scale = workloads::Scale::kTiny;
+  copt.archs_per_config = 2;
+
+  std::vector<core::TrainingRow> rows;
+  for (const char* app : {"atax", "gesummv", "trmm", "kmeans", "cholesky"}) {
+    const auto stats =
+        core::collect_training_data(workloads::workload(app), copt, rows);
+    std::printf("collected %-10s: %2zu input configs, %3zu rows\n", app,
+                stats.n_input_configs, stats.n_rows);
+  }
+
+  // 2. Train the tuned random-forest model.
+  core::NapelModel model;
+  core::NapelModel::Options mopt;
+  mopt.grid.n_trees = {50};
+  mopt.grid.max_depth = {12, 24};
+  mopt.grid.mtry_fraction = {1.0 / 3.0};
+  mopt.grid.min_samples_leaf = {1, 2};
+  model.train(rows, mopt);
+  std::printf("trained: best CV MRE ipc=%.3f energy=%.3f\n",
+              model.ipc_tuning().best_cv_mre,
+              model.energy_tuning().best_cv_mre);
+
+  // 3. Predict an application that is NOT in the training set (mvt) on the
+  //    paper's reference NMC configuration, and check against the simulator.
+  const auto& unseen = workloads::workload("mvt");
+  const auto space = unseen.doe_space(workloads::Scale::kTiny);
+  const auto input = workloads::WorkloadParams::test_input(space);
+  const auto arch = sim::ArchConfig::paper_default();
+
+  const auto profile = core::profile_workload(unseen, input, /*seed=*/1);
+  const auto pred = model.predict(profile, arch);
+  const auto actual = core::simulate_workload(unseen, input, arch, /*seed=*/1);
+
+  Table t({"metric", "NAPEL prediction", "simulator", "rel. error"});
+  auto rel = [](double p, double a) {
+    return Table::fmt(a == 0.0 ? 0.0 : 100.0 * std::abs(p - a) / a, 1) + "%";
+  };
+  t.add_row({"IPC", Table::fmt(pred.ipc, 3), Table::fmt(actual.ipc, 3),
+             rel(pred.ipc, actual.ipc)});
+  t.add_row({"time [us]", Table::fmt(pred.time_seconds * 1e6, 2),
+             Table::fmt(actual.time_seconds * 1e6, 2),
+             rel(pred.time_seconds, actual.time_seconds)});
+  t.add_row({"energy [uJ]", Table::fmt(pred.energy_joules * 1e6, 2),
+             Table::fmt(actual.energy_joules * 1e6, 2),
+             rel(pred.energy_joules, actual.energy_joules)});
+  std::printf("\npredicting previously-unseen application 'mvt' (%s):\n%s",
+              input.to_string().c_str(), t.to_string().c_str());
+  return 0;
+}

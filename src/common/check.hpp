@@ -1,0 +1,38 @@
+// Lightweight precondition / invariant checking.
+//
+// NAPEL_CHECK is always on (library-level contract enforcement); it throws
+// std::invalid_argument so callers can test failure paths. NAPEL_DCHECK is
+// compiled out in NDEBUG builds and is meant for hot inner loops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace napel {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace napel
+
+#define NAPEL_CHECK(expr)                                            \
+  do {                                                               \
+    if (!(expr)) ::napel::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define NAPEL_CHECK_MSG(expr, msg)                                      \
+  do {                                                                  \
+    if (!(expr)) ::napel::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define NAPEL_DCHECK(expr) ((void)0)
+#else
+#define NAPEL_DCHECK(expr) NAPEL_CHECK(expr)
+#endif

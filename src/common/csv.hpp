@@ -1,0 +1,27 @@
+// Minimal CSV writer for exporting benchmark series (figure data) to files
+// a plotting script can consume.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace napel {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// RFC-4180-style escaping (quotes fields containing comma/quote/newline).
+  static std::string escape(const std::string& field);
+
+  std::string to_string() const;
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace napel

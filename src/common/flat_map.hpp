@@ -1,0 +1,131 @@
+// Open-addressing hash map/set for uint64 keys — the profiler's hot paths
+// (last-access tracking, store-forwarding, footprint sets) are dominated by
+// hash-table traffic, and linear probing over a flat array is several times
+// faster than std::unordered_map there.
+//
+// Key restriction: the all-ones key (2^64−1) is reserved as the empty
+// sentinel. Callers in this library store line ids, pseudo-PCs, and byte
+// addresses, all far below the sentinel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace napel {
+
+template <typename V>
+class FlatMap {
+ public:
+  static constexpr std::uint64_t kEmpty = ~0ULL;
+
+  explicit FlatMap(std::size_t initial_capacity_log2 = 10)
+      : mask_((std::size_t{1} << initial_capacity_log2) - 1),
+        keys_(mask_ + 1, kEmpty),
+        values_(mask_ + 1) {}
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Returns a pointer to the value for `key`, or nullptr when absent.
+  V* find(std::uint64_t key) {
+    NAPEL_DCHECK(key != kEmpty);
+    std::size_t i = index_of(key);
+    while (keys_[i] != kEmpty) {
+      if (keys_[i] == key) return &values_[i];
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+  const V* find(std::uint64_t key) const {
+    return const_cast<FlatMap*>(this)->find(key);
+  }
+
+  /// Inserts or returns the existing slot; `inserted` reports which.
+  V& insert_or_get(std::uint64_t key, bool& inserted) {
+    NAPEL_DCHECK(key != kEmpty);
+    if ((size_ + 1) * 10 >= (mask_ + 1) * 7) grow();
+    std::size_t i = index_of(key);
+    while (keys_[i] != kEmpty) {
+      if (keys_[i] == key) {
+        inserted = false;
+        return values_[i];
+      }
+      i = (i + 1) & mask_;
+    }
+    keys_[i] = key;
+    values_[i] = V{};
+    ++size_;
+    inserted = true;
+    return values_[i];
+  }
+
+  V& operator[](std::uint64_t key) {
+    bool inserted;
+    return insert_or_get(key, inserted);
+  }
+
+  bool contains(std::uint64_t key) const { return find(key) != nullptr; }
+
+  void clear() {
+    std::fill(keys_.begin(), keys_.end(), kEmpty);
+    size_ = 0;
+  }
+
+  /// Visits every (key, value) pair.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i <= mask_; ++i)
+      if (keys_[i] != kEmpty) fn(keys_[i], values_[i]);
+  }
+
+ private:
+  std::size_t index_of(std::uint64_t key) const {
+    // Fibonacci hashing spreads sequential keys (line ids) well.
+    return static_cast<std::size_t>((key * 0x9e3779b97f4a7c15ULL) >> 32) &
+           mask_;
+  }
+
+  void grow() {
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    std::vector<V> old_values = std::move(values_);
+    mask_ = mask_ * 2 + 1;
+    keys_.assign(mask_ + 1, kEmpty);
+    values_.assign(mask_ + 1, V{});
+    size_ = 0;
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == kEmpty) continue;
+      bool inserted;
+      insert_or_get(old_keys[i], inserted) = std::move(old_values[i]);
+    }
+  }
+
+  std::size_t mask_;
+  std::vector<std::uint64_t> keys_;
+  std::vector<V> values_;
+  std::size_t size_ = 0;
+};
+
+/// Set of uint64 keys over the same open-addressing core.
+class FlatSet {
+ public:
+  explicit FlatSet(std::size_t initial_capacity_log2 = 10)
+      : map_(initial_capacity_log2) {}
+
+  /// Returns true when the key was newly inserted.
+  bool insert(std::uint64_t key) {
+    bool inserted;
+    map_.insert_or_get(key, inserted);
+    return inserted;
+  }
+  bool contains(std::uint64_t key) const { return map_.contains(key); }
+  std::size_t size() const { return map_.size(); }
+  void clear() { map_.clear(); }
+
+ private:
+  struct Unit {};
+  FlatMap<Unit> map_;
+};
+
+}  // namespace napel

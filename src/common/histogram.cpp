@@ -1,0 +1,98 @@
+#include "common/histogram.hpp"
+
+#include <bit>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace napel {
+
+Log2Histogram::Log2Histogram(std::size_t max_buckets)
+    : buckets_(max_buckets, 0) {
+  NAPEL_CHECK(max_buckets >= 1 && max_buckets <= 65);
+}
+
+std::size_t Log2Histogram::bucket_index(std::uint64_t value) const {
+  // value+1 in [2^b, 2^(b+1)) → b = floor(log2(value+1)). value==UINT64_MAX
+  // would overflow value+1; saturate it.
+  const std::uint64_t v =
+      value == std::numeric_limits<std::uint64_t>::max() ? value : value + 1;
+  const std::size_t b = static_cast<std::size_t>(std::bit_width(v)) - 1;
+  return b >= buckets_.size() ? buckets_.size() - 1 : b;
+}
+
+void Log2Histogram::add(std::uint64_t value, std::uint64_t count) {
+  buckets_[bucket_index(value)] += count;
+  total_ += count;
+}
+
+std::uint64_t Log2Histogram::bucket(std::size_t b) const {
+  NAPEL_CHECK(b < buckets_.size());
+  return buckets_[b];
+}
+
+std::uint64_t Log2Histogram::bucket_lower_bound(std::size_t b) {
+  NAPEL_CHECK(b < 64);
+  return (1ULL << b) - 1;
+}
+
+double Log2Histogram::cumulative_fraction(std::size_t b) const {
+  NAPEL_CHECK(b < buckets_.size());
+  if (total_ == 0) return 0.0;
+  std::uint64_t s = 0;
+  for (std::size_t i = 0; i <= b; ++i) s += buckets_[i];
+  return static_cast<double>(s) / static_cast<double>(total_);
+}
+
+double Log2Histogram::fraction_below(std::uint64_t threshold) const {
+  if (total_ == 0) return 0.0;
+  double s = 0.0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b] == 0) continue;
+    const std::uint64_t lo = bucket_lower_bound(b);
+    const std::uint64_t hi =
+        b + 1 < 64 ? bucket_lower_bound(b + 1)
+                   : std::numeric_limits<std::uint64_t>::max();
+    if (hi <= threshold) {
+      s += static_cast<double>(buckets_[b]);
+    } else if (lo < threshold) {
+      const double span = static_cast<double>(hi - lo);
+      const double covered = static_cast<double>(threshold - lo);
+      s += static_cast<double>(buckets_[b]) * covered / span;
+    }
+  }
+  return s / static_cast<double>(total_);
+}
+
+std::vector<double> Log2Histogram::fractions() const {
+  std::vector<double> out(buckets_.size(), 0.0);
+  if (total_ == 0) return out;
+  for (std::size_t b = 0; b < buckets_.size(); ++b)
+    out[b] = static_cast<double>(buckets_[b]) / static_cast<double>(total_);
+  return out;
+}
+
+double Log2Histogram::approximate_percentile(double p) const {
+  NAPEL_CHECK(p >= 0.0 && p <= 100.0);
+  if (total_ == 0) return 0.0;
+  const double target = p / 100.0 * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    cum += static_cast<double>(buckets_[b]);
+    if (cum >= target)
+      return static_cast<double>(bucket_lower_bound(std::min<std::size_t>(b, 63)));
+  }
+  return static_cast<double>(bucket_lower_bound(
+      std::min<std::size_t>(buckets_.size() - 1, 63)));
+}
+
+double Log2Histogram::approximate_mean() const {
+  if (total_ == 0) return 0.0;
+  double s = 0.0;
+  for (std::size_t b = 0; b < buckets_.size() && b < 64; ++b)
+    s += static_cast<double>(buckets_[b]) *
+         static_cast<double>(bucket_lower_bound(b));
+  return s / static_cast<double>(total_);
+}
+
+}  // namespace napel

@@ -1,0 +1,54 @@
+// Log2-bucketed histogram, the backbone of PISA-style reuse-distance and
+// ILP-window features: bucket b counts values v with 2^b <= v+1 < 2^(b+1)
+// (so value 0 lands in bucket 0, values 1..2 in bucket 1, ...).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace napel {
+
+class Log2Histogram {
+ public:
+  /// max_buckets caps the number of buckets; larger values saturate into the
+  /// final bucket. 64 covers the full uint64 range.
+  explicit Log2Histogram(std::size_t max_buckets = 64);
+
+  void add(std::uint64_t value, std::uint64_t count = 1);
+
+  std::size_t bucket_count() const { return buckets_.size(); }
+  std::uint64_t bucket(std::size_t b) const;
+  std::uint64_t total() const { return total_; }
+
+  /// Index of the bucket a value falls into.
+  std::size_t bucket_index(std::uint64_t value) const;
+
+  /// Lower bound of values mapped to bucket b (inclusive): 2^b − 1.
+  static std::uint64_t bucket_lower_bound(std::size_t b);
+
+  /// Fraction of mass in buckets [0, b] — i.e. P(value < bound of b+1).
+  double cumulative_fraction(std::size_t b) const;
+
+  /// Fraction of total mass whose value is strictly less than `threshold`.
+  /// Approximated bucket-wise: buckets entirely below count fully, the bucket
+  /// straddling the threshold contributes proportionally (uniform-in-bucket).
+  double fraction_below(std::uint64_t threshold) const;
+
+  /// Normalized per-bucket fractions (empty histogram → all zeros).
+  std::vector<double> fractions() const;
+
+  /// Mean of bucket lower-bound representatives, weighted by counts.
+  double approximate_mean() const;
+
+  /// Approximate p-th percentile (p in [0,100]): the lower bound of the
+  /// first bucket at which the cumulative fraction reaches p. Returns 0 for
+  /// an empty histogram.
+  double approximate_percentile(double p) const;
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace napel

@@ -1,0 +1,59 @@
+// Descriptive statistics and regression-error metrics used across the library
+// (profiler feature summaries, ML evaluation, benchmark reporting).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace napel {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  // population variance
+double stddev(std::span<const double> xs);
+double median(std::span<const double> xs);
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::span<const double> xs, double p);
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+/// Geometric mean; requires all xs > 0.
+double geomean(std::span<const double> xs);
+
+/// Mean relative error (Equation 1 of the paper): (1/N) Σ |y'_i − y_i| / y_i.
+/// Requires y_i != 0 for all i.
+double mean_relative_error(std::span<const double> predicted,
+                           std::span<const double> actual);
+
+/// Coefficient of determination R².
+double r_squared(std::span<const double> predicted,
+                 std::span<const double> actual);
+
+/// Root-mean-square error.
+double rmse(std::span<const double> predicted, std::span<const double> actual);
+
+/// Pearson correlation coefficient.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Numerically stable streaming mean/variance accumulator (Welford).
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace napel

@@ -1,0 +1,32 @@
+// ASCII table rendering for benchmark output: every bench binary prints the
+// same rows/columns as the paper's corresponding table or figure series.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace napel {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_int(long long v);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace napel

@@ -1,0 +1,131 @@
+#include "doe/doe.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace napel::doe {
+
+using workloads::DoeSpace;
+using workloads::WorkloadParams;
+
+std::size_t ccd_size(std::size_t k, int center_replicates) {
+  NAPEL_CHECK(k >= 1);
+  const std::size_t c = center_replicates < 0
+                            ? 2 * k - 1
+                            : static_cast<std::size_t>(center_replicates);
+  return (std::size_t{1} << k) + 2 * k + c;
+}
+
+std::vector<WorkloadParams> central_composite(const DoeSpace& space,
+                                              CcdOptions opts) {
+  const std::size_t k = space.dimension();
+  NAPEL_CHECK_MSG(k >= 1, "CCD requires at least one parameter");
+  NAPEL_CHECK_MSG(k <= 16, "CCD corner count would explode");
+
+  std::vector<WorkloadParams> points;
+  points.reserve(ccd_size(k, opts.center_replicates));
+
+  // Factorial corners: every (low, high) combination.
+  for (std::size_t mask = 0; mask < (std::size_t{1} << k); ++mask) {
+    WorkloadParams p;
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto& dp = space.params[i];
+      p.set(dp.name, (mask >> i) & 1 ? dp.high() : dp.low());
+    }
+    points.push_back(std::move(p));
+  }
+
+  // Axial points: one parameter at (minimum | maximum), others central.
+  for (std::size_t i = 0; i < k; ++i) {
+    for (const bool at_max : {false, true}) {
+      WorkloadParams p = WorkloadParams::central(space);
+      const auto& dp = space.params[i];
+      p.set(dp.name, at_max ? dp.maximum() : dp.minimum());
+      points.push_back(std::move(p));
+    }
+  }
+
+  // Central replicates.
+  const std::size_t c = opts.center_replicates < 0
+                            ? 2 * k - 1
+                            : static_cast<std::size_t>(opts.center_replicates);
+  for (std::size_t r = 0; r < c; ++r)
+    points.push_back(WorkloadParams::central(space));
+
+  return points;
+}
+
+std::vector<WorkloadParams> full_factorial(const DoeSpace& space) {
+  const std::size_t k = space.dimension();
+  NAPEL_CHECK(k >= 1);
+  std::size_t total = 1;
+  for (std::size_t i = 0; i < k; ++i) {
+    NAPEL_CHECK_MSG(total <= 1'000'000 / 5, "full factorial too large");
+    total *= 5;
+  }
+
+  std::vector<WorkloadParams> points;
+  points.reserve(total);
+  std::vector<std::size_t> idx(k, 0);
+  for (std::size_t n = 0; n < total; ++n) {
+    WorkloadParams p;
+    std::size_t rem = n;
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto& dp = space.params[i];
+      p.set(dp.name, dp.levels[rem % 5]);
+      rem /= 5;
+    }
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+std::vector<WorkloadParams> random_design(const DoeSpace& space,
+                                          std::size_t n, Rng& rng) {
+  NAPEL_CHECK(n >= 1);
+  std::vector<WorkloadParams> points;
+  points.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    WorkloadParams p;
+    for (const auto& dp : space.params)
+      p.set(dp.name, rng.uniform_int(dp.minimum(), dp.maximum()));
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+std::vector<WorkloadParams> latin_hypercube(const DoeSpace& space,
+                                            std::size_t n, Rng& rng) {
+  NAPEL_CHECK(n >= 1);
+  const std::size_t k = space.dimension();
+
+  // One stratum permutation per parameter.
+  std::vector<std::vector<std::size_t>> perms(k);
+  for (auto& perm : perms) {
+    perm.resize(n);
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    rng.shuffle(perm);
+  }
+
+  std::vector<WorkloadParams> points;
+  points.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    WorkloadParams p;
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto& dp = space.params[i];
+      const double span =
+          static_cast<double>(dp.maximum() - dp.minimum());
+      const double u =
+          (static_cast<double>(perms[i][s]) + rng.uniform()) /
+          static_cast<double>(n);
+      p.set(dp.name,
+            dp.minimum() + static_cast<std::int64_t>(u * span));
+    }
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+}  // namespace napel::doe

@@ -1,0 +1,50 @@
+// Design-of-experiments point selection (Section 2.4 of the paper).
+//
+// The paper uses Box–Wilson central composite design (CCD) to pick a small
+// set of application-input configurations that represents the whole input
+// space: the 2^k factorial corners at (low, high), 2k axial points pairing
+// one parameter's (minimum, maximum) with the central level of the others,
+// and replicated central points. With 2k−1 center replicates the totals
+// match Table 4 exactly: k=2 → 11, k=3 → 19, k=4 → 31.
+//
+// Full-factorial, uniform-random, and Latin-hypercube designs are provided
+// as baselines for the DoE ablation study.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workloads/params.hpp"
+
+namespace napel::doe {
+
+struct CcdOptions {
+  /// Number of central-configuration replicates; -1 selects the paper's
+  /// 2k−1 rule.
+  int center_replicates = -1;
+};
+
+/// Expected CCD design size for a k-parameter space.
+std::size_t ccd_size(std::size_t k, int center_replicates = -1);
+
+/// Box–Wilson central composite design over the space's five levels.
+std::vector<workloads::WorkloadParams> central_composite(
+    const workloads::DoeSpace& space, CcdOptions opts = {});
+
+/// Every combination of the five levels of every parameter (5^k points) —
+/// the brute-force baseline CCD avoids.
+std::vector<workloads::WorkloadParams> full_factorial(
+    const workloads::DoeSpace& space);
+
+/// n points drawn uniformly at random from [minimum, maximum] per parameter.
+std::vector<workloads::WorkloadParams> random_design(
+    const workloads::DoeSpace& space, std::size_t n, Rng& rng);
+
+/// n-point Latin hypercube: each parameter's [minimum, maximum] range is
+/// split into n strata, sampled once each, with strata permuted
+/// independently per parameter (McKay et al.; used by SemiBoost in Table 5).
+std::vector<workloads::WorkloadParams> latin_hypercube(
+    const workloads::DoeSpace& space, std::size_t n, Rng& rng);
+
+}  // namespace napel::doe

@@ -1,0 +1,62 @@
+#include "ml/dataset.hpp"
+
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace napel::ml {
+
+Dataset::Dataset(std::size_t n_features, std::vector<std::string> names)
+    : n_features_(n_features), names_(std::move(names)) {
+  NAPEL_CHECK(n_features >= 1);
+  NAPEL_CHECK_MSG(names_.empty() || names_.size() == n_features,
+                  "feature-name count must match feature count");
+}
+
+void Dataset::add_row(std::span<const double> x, double y) {
+  NAPEL_CHECK_MSG(x.size() == n_features_, "row arity mismatch");
+  x_.insert(x_.end(), x.begin(), x.end());
+  y_.push_back(y);
+}
+
+std::span<const double> Dataset::row(std::size_t i) const {
+  NAPEL_CHECK(i < size());
+  return {x_.data() + i * n_features_, n_features_};
+}
+
+double Dataset::target(std::size_t i) const {
+  NAPEL_CHECK(i < size());
+  return y_[i];
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out(n_features_, names_);
+  for (std::size_t i : indices) out.add_row(row(i), target(i));
+  return out;
+}
+
+std::vector<std::size_t> Dataset::kfold_assignment(std::size_t k,
+                                                   Rng& rng) const {
+  NAPEL_CHECK(k >= 2);
+  NAPEL_CHECK_MSG(size() >= k, "fewer rows than folds");
+  std::vector<std::size_t> order(size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+  std::vector<std::size_t> fold(size());
+  for (std::size_t pos = 0; pos < order.size(); ++pos)
+    fold[order[pos]] = pos % k;
+  return fold;
+}
+
+std::pair<Dataset, Dataset> Dataset::split_fold(
+    std::span<const std::size_t> fold_of_row, std::size_t test_fold) const {
+  NAPEL_CHECK(fold_of_row.size() == size());
+  Dataset train(n_features_, names_);
+  Dataset test(n_features_, names_);
+  for (std::size_t i = 0; i < size(); ++i) {
+    (fold_of_row[i] == test_fold ? test : train).add_row(row(i), target(i));
+  }
+  return {std::move(train), std::move(test)};
+}
+
+}  // namespace napel::ml

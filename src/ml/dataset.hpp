@@ -1,0 +1,49 @@
+// Tabular regression dataset: dense feature matrix plus targets, with the
+// subset/fold utilities the training and cross-validation pipelines need.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace napel::ml {
+
+class Dataset {
+ public:
+  explicit Dataset(std::size_t n_features,
+                   std::vector<std::string> feature_names = {});
+
+  void add_row(std::span<const double> x, double y);
+
+  std::size_t size() const { return y_.size(); }
+  std::size_t n_features() const { return n_features_; }
+  bool empty() const { return y_.empty(); }
+
+  std::span<const double> row(std::size_t i) const;
+  double target(std::size_t i) const;
+  std::span<const double> targets() const { return y_; }
+  const std::vector<std::string>& feature_names() const { return names_; }
+
+  /// New dataset holding the given rows (indices may repeat — used for
+  /// bootstrap resampling).
+  Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// Shuffled k-fold assignment: fold id per row.
+  std::vector<std::size_t> kfold_assignment(std::size_t k, Rng& rng) const;
+
+  /// Splits into (train, test) datasets where rows with fold==test_fold go
+  /// to test.
+  std::pair<Dataset, Dataset> split_fold(
+      std::span<const std::size_t> fold_of_row, std::size_t test_fold) const;
+
+ private:
+  std::size_t n_features_;
+  std::vector<std::string> names_;
+  std::vector<double> x_;  // row-major, size() * n_features_
+  std::vector<double> y_;
+};
+
+}  // namespace napel::ml

@@ -1,0 +1,231 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <numeric>
+#include <ostream>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace napel::ml {
+
+DecisionTree::DecisionTree(TreeParams params) : params_(params) {
+  NAPEL_CHECK(params_.max_depth >= 1);
+  NAPEL_CHECK(params_.min_samples_leaf >= 1);
+  NAPEL_CHECK(params_.min_samples_split >= 2 * params_.min_samples_leaf);
+  NAPEL_CHECK(params_.mtry_fraction > 0.0 && params_.mtry_fraction <= 1.0);
+}
+
+void DecisionTree::fit(const Dataset& data) {
+  NAPEL_CHECK_MSG(!data.empty(), "cannot fit on an empty dataset");
+  nodes_.clear();
+  n_features_ = data.n_features();
+  importance_.assign(n_features_, 0.0);
+  std::vector<std::size_t> idx(data.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  Rng rng(params_.seed);
+  build(data, idx, 0, idx.size(), 0, rng);
+}
+
+std::optional<DecisionTree::SplitChoice> DecisionTree::best_split(
+    const Dataset& data, std::span<std::size_t> idx, Rng& rng) const {
+  const std::size_t n = idx.size();
+  const std::size_t p = data.n_features();
+
+  // Candidate features for this node.
+  std::size_t mtry = static_cast<std::size_t>(
+      std::ceil(params_.mtry_fraction * static_cast<double>(p)));
+  mtry = std::clamp<std::size_t>(mtry, 1, p);
+  std::vector<std::size_t> feats(p);
+  std::iota(feats.begin(), feats.end(), std::size_t{0});
+  if (mtry < p) {
+    // Partial Fisher-Yates: first mtry entries become the random subset.
+    for (std::size_t i = 0; i < mtry; ++i) {
+      const std::size_t j = i + rng.uniform_index(p - i);
+      std::swap(feats[i], feats[j]);
+    }
+    feats.resize(mtry);
+  }
+
+  double total_sum = 0.0;
+  for (std::size_t i : idx) total_sum += data.target(i);
+  const double total_sq = [&] {
+    double s = 0.0;
+    for (std::size_t i : idx) {
+      const double y = data.target(i);
+      s += y * y;
+    }
+    return s;
+  }();
+  const double parent_sse =
+      total_sq - total_sum * total_sum / static_cast<double>(n);
+
+  std::optional<SplitChoice> best;
+  std::vector<std::pair<double, double>> vals;  // (feature value, target)
+  vals.reserve(n);
+
+  for (std::size_t f : feats) {
+    vals.clear();
+    for (std::size_t i : idx) vals.emplace_back(data.row(i)[f], data.target(i));
+    std::sort(vals.begin(), vals.end());
+    if (vals.front().first == vals.back().first) continue;  // constant feature
+
+    double left_sum = 0.0;
+    for (std::size_t cut = 1; cut < n; ++cut) {
+      left_sum += vals[cut - 1].second;
+      if (vals[cut].first == vals[cut - 1].first) continue;  // not a boundary
+      if (cut < params_.min_samples_leaf || n - cut < params_.min_samples_leaf)
+        continue;
+      const double right_sum = total_sum - left_sum;
+      const double nl = static_cast<double>(cut);
+      const double nr = static_cast<double>(n - cut);
+      // SSE(parent) - SSE(children) = Σ n_c·mean_c² - n·mean², up to the
+      // shared Σy² term; maximize the children's weighted mean-square sum.
+      const double children_score =
+          left_sum * left_sum / nl + right_sum * right_sum / nr;
+      const double reduction =
+          children_score - total_sum * total_sum / static_cast<double>(n);
+      if (!best || reduction > best->sse_reduction) {
+        // Split on the left boundary value itself: `x <= threshold` then
+        // routes exactly `cut` samples left regardless of floating-point
+        // midpoint rounding between adjacent values.
+        best = SplitChoice{
+            .feature = f,
+            .threshold = vals[cut - 1].first,
+            .sse_reduction = reduction,
+        };
+      }
+    }
+  }
+  // Numerical guard: only accept a genuinely improving split.
+  if (best && (best->sse_reduction <= 1e-12 * (parent_sse + 1.0)))
+    return std::nullopt;
+  return best;
+}
+
+std::uint32_t DecisionTree::build(const Dataset& data,
+                                  std::vector<std::size_t>& idx,
+                                  std::size_t begin, std::size_t end,
+                                  unsigned depth, Rng& rng) {
+  const std::size_t n = end - begin;
+  NAPEL_CHECK(n >= 1);
+  const auto node_id = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+
+  double mean = 0.0;
+  for (std::size_t k = begin; k < end; ++k) mean += data.target(idx[k]);
+  mean /= static_cast<double>(n);
+  nodes_[node_id].value = mean;
+
+  if (depth >= params_.max_depth || n < params_.min_samples_split)
+    return node_id;
+
+  const auto choice =
+      best_split(data, {idx.data() + begin, n}, rng);
+  if (!choice) return node_id;
+
+  const auto mid_it = std::partition(
+      idx.begin() + static_cast<std::ptrdiff_t>(begin),
+      idx.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t i) {
+        return data.row(i)[choice->feature] <= choice->threshold;
+      });
+  const auto mid = static_cast<std::size_t>(mid_it - idx.begin());
+  // The split came from actual value boundaries, so both sides are nonempty.
+  NAPEL_CHECK(mid > begin && mid < end);
+
+  importance_[choice->feature] += choice->sse_reduction;
+  const std::uint32_t left = build(data, idx, begin, mid, depth + 1, rng);
+  const std::uint32_t right = build(data, idx, mid, end, depth + 1, rng);
+  nodes_[node_id].feature = static_cast<std::int32_t>(choice->feature);
+  nodes_[node_id].threshold = choice->threshold;
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double DecisionTree::predict(std::span<const double> x) const {
+  return nodes_[leaf_id(x)].value;
+}
+
+std::uint32_t DecisionTree::leaf_id(std::span<const double> x) const {
+  NAPEL_CHECK_MSG(is_fitted(), "predict before fit");
+  NAPEL_CHECK(x.size() == n_features_);
+  std::uint32_t cur = 0;
+  for (;;) {
+    const Node& nd = nodes_[cur];
+    if (nd.feature < 0) return cur;
+    cur = x[static_cast<std::size_t>(nd.feature)] <= nd.threshold ? nd.left
+                                                                  : nd.right;
+  }
+}
+
+void DecisionTree::save(std::ostream& os) const {
+  NAPEL_CHECK_MSG(is_fitted(), "cannot save an unfitted tree");
+  const auto old_precision =
+      os.precision(std::numeric_limits<double>::max_digits10);
+  os << "tree " << n_features_ << ' ' << nodes_.size() << '\n';
+  for (const Node& nd : nodes_)
+    os << nd.feature << ' ' << nd.threshold << ' ' << nd.left << ' '
+       << nd.right << ' ' << nd.value << '\n';
+  for (std::size_t f = 0; f < importance_.size(); ++f)
+    os << importance_[f] << (f + 1 < importance_.size() ? ' ' : '\n');
+  os.precision(old_precision);
+}
+
+DecisionTree DecisionTree::load(std::istream& is) {
+  std::string tag;
+  std::size_t n_features = 0, n_nodes = 0;
+  is >> tag >> n_features >> n_nodes;
+  NAPEL_CHECK_MSG(is.good() && tag == "tree" && n_features >= 1 &&
+                      n_nodes >= 1,
+                  "malformed tree header");
+  DecisionTree tree;
+  tree.n_features_ = n_features;
+  tree.nodes_.resize(n_nodes);
+  for (Node& nd : tree.nodes_) {
+    is >> nd.feature >> nd.threshold >> nd.left >> nd.right >> nd.value;
+    NAPEL_CHECK_MSG(is.good(), "truncated tree nodes");
+    NAPEL_CHECK_MSG(nd.feature < static_cast<std::int32_t>(n_features),
+                    "node feature out of range");
+    NAPEL_CHECK_MSG(nd.feature < 0 ||
+                        (nd.left < n_nodes && nd.right < n_nodes),
+                    "node child out of range");
+  }
+  tree.importance_.resize(n_features);
+  for (double& v : tree.importance_) {
+    is >> v;
+    NAPEL_CHECK_MSG(is.good(), "truncated tree importance");
+  }
+  return tree;
+}
+
+std::size_t DecisionTree::leaf_count() const {
+  std::size_t c = 0;
+  for (const auto& nd : nodes_)
+    if (nd.feature < 0) ++c;
+  return c;
+}
+
+unsigned DecisionTree::depth() const {
+  if (nodes_.empty()) return 0;
+  // Iterative depth computation over the implicit tree structure.
+  std::vector<std::pair<std::uint32_t, unsigned>> stack{{0, 0}};
+  unsigned best = 0;
+  while (!stack.empty()) {
+    const auto [id, d] = stack.back();
+    stack.pop_back();
+    best = std::max(best, d);
+    const Node& nd = nodes_[id];
+    if (nd.feature >= 0) {
+      stack.push_back({nd.left, d + 1});
+      stack.push_back({nd.right, d + 1});
+    }
+  }
+  return best;
+}
+
+}  // namespace napel::ml

@@ -1,0 +1,81 @@
+// CART regression tree: greedy variance-reduction splits with optional
+// per-node feature subsampling (mtry), the building block of the random
+// forest (Breiman 2001, the paper's reference [8]).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "ml/regressor.hpp"
+
+namespace napel::ml {
+
+struct TreeParams {
+  unsigned max_depth = 24;
+  std::size_t min_samples_split = 4;
+  std::size_t min_samples_leaf = 2;
+  /// Fraction of features considered per split; 1.0 = plain CART,
+  /// < 1.0 = random-subspace node splits for forest decorrelation.
+  double mtry_fraction = 1.0;
+  std::uint64_t seed = 1;
+};
+
+class DecisionTree final : public Regressor {
+ public:
+  explicit DecisionTree(TreeParams params = {});
+
+  void fit(const Dataset& data) override;
+  double predict(std::span<const double> x) const override;
+  bool is_fitted() const override { return !nodes_.empty(); }
+
+  /// Index of the leaf node x routes to (stable for a fitted tree); lets
+  /// wrappers attach per-leaf models (see ModelTree).
+  std::uint32_t leaf_id(std::span<const double> x) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t leaf_count() const;
+  unsigned depth() const;
+
+  /// Total SSE reduction attributed to each feature across all splits
+  /// (unnormalized impurity importance).
+  const std::vector<double>& feature_importance() const {
+    return importance_;
+  }
+
+  const TreeParams& params() const { return params_; }
+
+  /// Text serialization of a fitted tree (structure + importance); the
+  /// loaded tree predicts bit-identically.
+  void save(std::ostream& os) const;
+  static DecisionTree load(std::istream& is);
+
+ private:
+  struct Node {
+    std::int32_t feature = -1;  // -1 = leaf
+    double threshold = 0.0;
+    std::uint32_t left = 0;
+    std::uint32_t right = 0;
+    double value = 0.0;  // mean of training targets in this subspace
+  };
+
+  std::uint32_t build(const Dataset& data, std::vector<std::size_t>& idx,
+                      std::size_t begin, std::size_t end, unsigned depth,
+                      Rng& rng);
+  struct SplitChoice {
+    std::size_t feature;
+    double threshold;
+    double sse_reduction;
+  };
+  std::optional<SplitChoice> best_split(const Dataset& data,
+                                        std::span<std::size_t> idx,
+                                        Rng& rng) const;
+
+  TreeParams params_;
+  std::vector<Node> nodes_;
+  std::vector<double> importance_;
+  std::size_t n_features_ = 0;
+};
+
+}  // namespace napel::ml

@@ -1,0 +1,73 @@
+#include "ml/gbm.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace napel::ml {
+
+GradientBoosting::GradientBoosting(GbmParams params) : params_(params) {
+  NAPEL_CHECK(params_.n_rounds >= 1);
+  NAPEL_CHECK(params_.learning_rate > 0.0 && params_.learning_rate <= 1.0);
+  NAPEL_CHECK(params_.subsample > 0.0 && params_.subsample <= 1.0);
+}
+
+void GradientBoosting::fit(const Dataset& data) {
+  NAPEL_CHECK_MSG(!data.empty(), "cannot fit on an empty dataset");
+  trees_.clear();
+  curve_.clear();
+  const std::size_t n = data.size();
+
+  base_ = 0.0;
+  for (std::size_t i = 0; i < n; ++i) base_ += data.target(i);
+  base_ /= static_cast<double>(n);
+
+  // Current additive-model prediction per training row.
+  std::vector<double> current(n, base_);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  const auto subset_size = std::max<std::size_t>(
+      1, static_cast<std::size_t>(params_.subsample * static_cast<double>(n)));
+
+  Rng rng(params_.seed);
+  trees_.reserve(params_.n_rounds);
+
+  for (unsigned round = 0; round < params_.n_rounds; ++round) {
+    // Squared loss: the negative gradient is the residual.
+    rng.shuffle(order);
+    Dataset residuals(data.n_features(), data.feature_names());
+    for (std::size_t k = 0; k < subset_size; ++k) {
+      const std::size_t i = order[k];
+      residuals.add_row(data.row(i), data.target(i) - current[i]);
+    }
+
+    TreeParams tp;
+    tp.max_depth = params_.max_depth;
+    tp.min_samples_leaf = params_.min_samples_leaf;
+    tp.min_samples_split = 2 * params_.min_samples_leaf;
+    tp.mtry_fraction = 1.0;
+    tp.seed = rng();
+    DecisionTree& tree = trees_.emplace_back(tp);
+    tree.fit(residuals);
+
+    double mse = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      current[i] += params_.learning_rate * tree.predict(data.row(i));
+      const double e = data.target(i) - current[i];
+      mse += e * e;
+    }
+    curve_.push_back(mse / static_cast<double>(n));
+  }
+  fitted_ = true;
+}
+
+double GradientBoosting::predict(std::span<const double> x) const {
+  NAPEL_CHECK_MSG(fitted_, "predict before fit");
+  double s = base_;
+  for (const auto& tree : trees_) s += params_.learning_rate * tree.predict(x);
+  return s;
+}
+
+}  // namespace napel::ml

@@ -1,0 +1,48 @@
+// Gradient-boosted regression trees — the other major ensemble family
+// (boosting vs the paper's bagging). Squared-loss gradient boosting with
+// shallow CART base learners, shrinkage, and row subsampling; used in the
+// ensemble ablation to show why NAPEL's random forest is a sensible choice
+// for small DoE training sets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+#include "ml/regressor.hpp"
+
+namespace napel::ml {
+
+struct GbmParams {
+  unsigned n_rounds = 200;
+  double learning_rate = 0.05;
+  unsigned max_depth = 4;
+  std::size_t min_samples_leaf = 4;
+  /// Fraction of rows sampled (without replacement) per round.
+  double subsample = 0.8;
+  std::uint64_t seed = 29;
+};
+
+class GradientBoosting final : public Regressor {
+ public:
+  explicit GradientBoosting(GbmParams params = {});
+
+  void fit(const Dataset& data) override;
+  double predict(std::span<const double> x) const override;
+  bool is_fitted() const override { return fitted_; }
+
+  std::size_t round_count() const { return trees_.size(); }
+  /// Training MSE after each boosting round (diagnostic).
+  const std::vector<double>& training_curve() const { return curve_; }
+
+  const GbmParams& params() const { return params_; }
+
+ private:
+  GbmParams params_;
+  double base_ = 0.0;
+  std::vector<DecisionTree> trees_;
+  std::vector<double> curve_;
+  bool fitted_ = false;
+};
+
+}  // namespace napel::ml

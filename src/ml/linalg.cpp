@@ -1,0 +1,43 @@
+#include "ml/linalg.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace napel::ml {
+
+bool cholesky_solve(std::vector<double>& a, std::size_t n,
+                    std::span<const double> b, std::span<double> x) {
+  NAPEL_CHECK(a.size() == n * n);
+  NAPEL_CHECK(b.size() == n && x.size() == n);
+
+  // In-place lower-triangular factorization A = L·Lᵀ.
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a[j * n + j];
+    for (std::size_t k = 0; k < j; ++k) d -= a[j * n + k] * a[j * n + k];
+    if (d <= 0.0 || !std::isfinite(d)) return false;
+    const double ljj = std::sqrt(d);
+    a[j * n + j] = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) s -= a[i * n + k] * a[j * n + k];
+      a[i * n + j] = s / ljj;
+    }
+  }
+
+  // Forward substitution L·z = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= a[i * n + k] * x[k];
+    x[i] = s / a[i * n + i];
+  }
+  // Back substitution Lᵀ·x = z.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = x[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= a[k * n + ii] * x[k];
+    x[ii] = s / a[ii * n + ii];
+  }
+  return true;
+}
+
+}  // namespace napel::ml

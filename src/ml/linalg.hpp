@@ -1,0 +1,16 @@
+// Small dense linear-algebra helpers for the linear models.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace napel::ml {
+
+/// Solves A·x = b for symmetric positive-definite A (row-major n×n) via
+/// Cholesky factorization. A is destroyed. Returns false when A is not
+/// (numerically) positive definite.
+bool cholesky_solve(std::vector<double>& a, std::size_t n,
+                    std::span<const double> b, std::span<double> x);
+
+}  // namespace napel::ml

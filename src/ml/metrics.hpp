@@ -1,0 +1,38 @@
+// Model-evaluation helpers shared by cross-validation, tuning, and benches.
+#pragma once
+
+#include "common/stats.hpp"
+#include "ml/regressor.hpp"
+
+namespace napel::ml {
+
+struct EvalResult {
+  double mre = 0.0;   ///< mean relative error (paper Equation 1)
+  double rmse = 0.0;
+  double r2 = 0.0;
+  std::size_t n = 0;
+};
+
+/// Evaluates a fitted model on a held-out dataset. Rows with a zero target
+/// are excluded from MRE (relative error undefined) but kept for RMSE/R².
+inline EvalResult evaluate(const Regressor& model, const Dataset& test) {
+  EvalResult r;
+  r.n = test.size();
+  if (test.empty()) return r;
+  const std::vector<double> pred = model.predict_all(test);
+  std::vector<double> actual(test.targets().begin(), test.targets().end());
+  r.rmse = rmse(pred, actual);
+  r.r2 = r_squared(pred, actual);
+
+  std::vector<double> p_nz, a_nz;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    if (actual[i] != 0.0) {
+      p_nz.push_back(pred[i]);
+      a_nz.push_back(actual[i]);
+    }
+  }
+  r.mre = a_nz.empty() ? 0.0 : mean_relative_error(p_nz, a_nz);
+  return r;
+}
+
+}  // namespace napel::ml

@@ -1,0 +1,107 @@
+#include "ml/mlp.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace napel::ml {
+
+namespace {
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+}  // namespace
+
+Mlp::Mlp(MlpParams params) : params_(params) {
+  NAPEL_CHECK(params_.hidden_units >= 1);
+  NAPEL_CHECK(params_.epochs >= 1);
+  NAPEL_CHECK(params_.learning_rate > 0.0);
+  NAPEL_CHECK(params_.momentum >= 0.0 && params_.momentum < 1.0);
+}
+
+double Mlp::forward(std::span<const double> x,
+                    std::vector<double>& hidden) const {
+  const unsigned h = params_.hidden_units;
+  hidden.resize(h);
+  for (unsigned j = 0; j < h; ++j) {
+    const double* wrow = &w1_[j * (n_in_ + 1)];
+    double z = wrow[n_in_];  // bias
+    for (std::size_t f = 0; f < n_in_; ++f) z += wrow[f] * x[f];
+    hidden[j] = sigmoid(z);
+  }
+  double out = w2_[h];  // bias
+  for (unsigned j = 0; j < h; ++j) out += w2_[j] * hidden[j];
+  return out;
+}
+
+void Mlp::fit(const Dataset& data) {
+  NAPEL_CHECK_MSG(!data.empty(), "cannot fit on an empty dataset");
+  scaler_.fit(data);
+  const Dataset z = scaler_.transform_features(data);
+  n_in_ = z.n_features();
+  const unsigned h = params_.hidden_units;
+
+  Rng rng(params_.seed);
+  const double init1 = 1.0 / std::sqrt(static_cast<double>(n_in_ + 1));
+  const double init2 = 1.0 / std::sqrt(static_cast<double>(h + 1));
+  w1_.resize(static_cast<std::size_t>(h) * (n_in_ + 1));
+  w2_.resize(h + 1);
+  for (auto& w : w1_) w = rng.uniform(-init1, init1);
+  for (auto& w : w2_) w = rng.uniform(-init2, init2);
+
+  std::vector<double> v1(w1_.size(), 0.0), v2(w2_.size(), 0.0);
+  std::vector<double> hidden;
+  std::vector<std::size_t> order(z.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  curve_.clear();
+  curve_.reserve(params_.epochs);
+  double lr = params_.learning_rate;
+
+  for (unsigned epoch = 0; epoch < params_.epochs; ++epoch) {
+    rng.shuffle(order);
+    double sse = 0.0;
+    for (std::size_t i : order) {
+      const auto x = z.row(i);
+      const double y = z.target(i);
+      const double out = forward(x, hidden);
+      const double err = out - y;
+      sse += err * err;
+
+      // Output layer.
+      for (unsigned j = 0; j < h; ++j) {
+        const double g = err * hidden[j] + params_.l2 * w2_[j];
+        v2[j] = params_.momentum * v2[j] - lr * g;
+        w2_[j] += v2[j];
+      }
+      v2[h] = params_.momentum * v2[h] - lr * err;
+      w2_[h] += v2[h];
+
+      // Hidden layer.
+      for (unsigned j = 0; j < h; ++j) {
+        const double delta =
+            err * w2_[j] * hidden[j] * (1.0 - hidden[j]);
+        double* wrow = &w1_[j * (n_in_ + 1)];
+        double* vrow = &v1[j * (n_in_ + 1)];
+        for (std::size_t f = 0; f < n_in_; ++f) {
+          const double g = delta * x[f] + params_.l2 * wrow[f];
+          vrow[f] = params_.momentum * vrow[f] - lr * g;
+          wrow[f] += vrow[f];
+        }
+        vrow[n_in_] = params_.momentum * vrow[n_in_] - lr * delta;
+        wrow[n_in_] += vrow[n_in_];
+      }
+    }
+    curve_.push_back(sse / static_cast<double>(z.size()));
+    lr *= params_.lr_decay;
+  }
+  fitted_ = true;
+}
+
+double Mlp::predict(std::span<const double> x) const {
+  NAPEL_CHECK_MSG(fitted_, "predict before fit");
+  const std::vector<double> z = scaler_.transform(x);
+  std::vector<double> hidden;
+  return scaler_.inverse_target(forward(z, hidden));
+}
+
+}  // namespace napel::ml

@@ -1,0 +1,51 @@
+// Multilayer perceptron regressor — the ANN baseline of Ipek et al. used in
+// the paper's Figure 5 comparison. One sigmoid hidden layer, linear output,
+// SGD with momentum and L2 weight decay over standardized inputs/targets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/regressor.hpp"
+#include "ml/scaler.hpp"
+
+namespace napel::ml {
+
+struct MlpParams {
+  unsigned hidden_units = 16;
+  unsigned epochs = 300;
+  double learning_rate = 0.01;
+  double momentum = 0.9;
+  double l2 = 1e-4;
+  /// Multiplicative learning-rate decay applied each epoch.
+  double lr_decay = 0.995;
+  std::uint64_t seed = 17;
+};
+
+class Mlp final : public Regressor {
+ public:
+  explicit Mlp(MlpParams params = {});
+
+  void fit(const Dataset& data) override;
+  double predict(std::span<const double> x) const override;
+  bool is_fitted() const override { return fitted_; }
+
+  /// Mean squared training error (standardized target space) per epoch.
+  const std::vector<double>& training_curve() const { return curve_; }
+
+  const MlpParams& params() const { return params_; }
+
+ private:
+  double forward(std::span<const double> x, std::vector<double>& hidden) const;
+
+  MlpParams params_;
+  StandardScaler scaler_;
+  std::size_t n_in_ = 0;
+  // w1: hidden × (n_in + 1) including bias column; w2: hidden + 1.
+  std::vector<double> w1_;
+  std::vector<double> w2_;
+  std::vector<double> curve_;
+  bool fitted_ = false;
+};
+
+}  // namespace napel::ml

@@ -1,0 +1,54 @@
+#include "ml/model_tree.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace napel::ml {
+
+namespace {
+
+TreeParams structure_params(const ModelTreeParams& p) {
+  TreeParams tp;
+  tp.max_depth = p.max_depth;
+  tp.min_samples_leaf = p.min_samples_leaf;
+  tp.min_samples_split = 2 * p.min_samples_leaf;
+  tp.mtry_fraction = 1.0;  // deterministic CART structure
+  tp.seed = p.seed;
+  return tp;
+}
+
+}  // namespace
+
+ModelTree::ModelTree(ModelTreeParams params)
+    : params_(params), structure_(structure_params(params)) {
+  NAPEL_CHECK(params_.min_samples_leaf >= 2);
+}
+
+void ModelTree::fit(const Dataset& data) {
+  NAPEL_CHECK_MSG(!data.empty(), "cannot fit on an empty dataset");
+  leaves_.clear();
+  structure_ = DecisionTree(structure_params(params_));
+  structure_.fit(data);
+
+  // Group training rows by leaf and fit one ridge model per leaf.
+  std::unordered_map<std::uint32_t, std::vector<std::size_t>> rows_by_leaf;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    rows_by_leaf[structure_.leaf_id(data.row(i))].push_back(i);
+
+  for (const auto& [leaf, rows] : rows_by_leaf) {
+    RidgeRegression model(RidgeParams{.lambda = params_.leaf_lambda});
+    model.fit(data.subset(rows));
+    leaves_.emplace(leaf, std::move(model));
+  }
+}
+
+double ModelTree::predict(std::span<const double> x) const {
+  NAPEL_CHECK_MSG(is_fitted(), "predict before fit");
+  const auto it = leaves_.find(structure_.leaf_id(x));
+  // Every leaf received at least one training row, so lookup must succeed.
+  NAPEL_CHECK(it != leaves_.end());
+  return it->second.predict(x);
+}
+
+}  // namespace napel::ml

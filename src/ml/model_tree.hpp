@@ -1,0 +1,40 @@
+// M5-style model tree: a shallow CART partition with a ridge-regression
+// model in each leaf. This is the "linear decision tree" baseline of
+// Guo et al. the paper compares against in Figure 5 — piecewise-linear
+// models cannot capture the nonlinearity of NMC responses, which is what
+// the comparison demonstrates.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "ml/decision_tree.hpp"
+#include "ml/regressor.hpp"
+#include "ml/ridge.hpp"
+
+namespace napel::ml {
+
+struct ModelTreeParams {
+  unsigned max_depth = 3;
+  std::size_t min_samples_leaf = 8;
+  double leaf_lambda = 1.0;  ///< ridge penalty of the leaf models
+  std::uint64_t seed = 7;
+};
+
+class ModelTree final : public Regressor {
+ public:
+  explicit ModelTree(ModelTreeParams params = {});
+
+  void fit(const Dataset& data) override;
+  double predict(std::span<const double> x) const override;
+  bool is_fitted() const override { return structure_.is_fitted(); }
+
+  std::size_t leaf_count() const { return leaves_.size(); }
+
+ private:
+  ModelTreeParams params_;
+  DecisionTree structure_;
+  std::unordered_map<std::uint32_t, RidgeRegression> leaves_;
+};
+
+}  // namespace napel::ml

@@ -1,0 +1,154 @@
+#include "ml/random_forest.hpp"
+
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace napel::ml {
+
+RandomForest::RandomForest(RandomForestParams params) : params_(params) {
+  NAPEL_CHECK(params_.n_trees >= 1);
+}
+
+void RandomForest::fit(const Dataset& data) {
+  NAPEL_CHECK_MSG(!data.empty(), "cannot fit on an empty dataset");
+  trees_.clear();
+  trees_.reserve(params_.n_trees);
+  n_features_ = data.n_features();
+  importance_raw_.assign(n_features_, 0.0);
+
+  Rng rng(params_.seed);
+  const std::size_t n = data.size();
+
+  // Out-of-bag accumulation: per row, sum of predictions from trees whose
+  // bootstrap sample excluded it.
+  std::vector<double> oob_sum(n, 0.0);
+  std::vector<std::size_t> oob_cnt(n, 0);
+  std::vector<std::size_t> sample(n);
+  std::vector<char> in_bag(n);
+
+  for (unsigned t = 0; t < params_.n_trees; ++t) {
+    Rng tree_rng = rng.split();
+    std::fill(in_bag.begin(), in_bag.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      sample[i] = tree_rng.uniform_index(n);
+      in_bag[sample[i]] = 1;
+    }
+    const Dataset boot = data.subset(sample);
+
+    TreeParams tp;
+    tp.max_depth = params_.max_depth;
+    tp.min_samples_split = params_.min_samples_split;
+    tp.min_samples_leaf = params_.min_samples_leaf;
+    tp.mtry_fraction = params_.mtry_fraction;
+    tp.seed = tree_rng();
+    DecisionTree& tree = trees_.emplace_back(tp);
+    tree.fit(boot);
+
+    const auto& imp = tree.feature_importance();
+    for (std::size_t f = 0; f < n_features_; ++f)
+      importance_raw_[f] += imp[f];
+
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!in_bag[i]) {
+        oob_sum[i] += tree.predict(data.row(i));
+        ++oob_cnt[i];
+      }
+    }
+  }
+
+  double mre = 0.0;
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (oob_cnt[i] == 0 || data.target(i) == 0.0) continue;
+    const double pred = oob_sum[i] / static_cast<double>(oob_cnt[i]);
+    mre += std::abs(pred - data.target(i)) / std::abs(data.target(i));
+    ++covered;
+  }
+  oob_mre_ = covered ? mre / static_cast<double>(covered) : 0.0;
+}
+
+double RandomForest::predict(std::span<const double> x) const {
+  NAPEL_CHECK_MSG(is_fitted(), "predict before fit");
+  double s = 0.0;
+  for (const auto& tree : trees_) s += tree.predict(x);
+  return s / static_cast<double>(trees_.size());
+}
+
+RandomForest::Interval RandomForest::predict_interval(
+    std::span<const double> x, double lo_pct, double hi_pct) const {
+  NAPEL_CHECK_MSG(is_fitted(), "predict before fit");
+  NAPEL_CHECK(lo_pct <= hi_pct);
+  std::vector<double> preds;
+  preds.reserve(trees_.size());
+  double sum = 0.0;
+  for (const auto& tree : trees_) {
+    preds.push_back(tree.predict(x));
+    sum += preds.back();
+  }
+  Interval iv;
+  iv.mean = sum / static_cast<double>(preds.size());
+  iv.lo = percentile(preds, lo_pct);
+  iv.hi = percentile(preds, hi_pct);
+  return iv;
+}
+
+const DecisionTree& RandomForest::tree(std::size_t i) const {
+  NAPEL_CHECK(i < trees_.size());
+  return trees_[i];
+}
+
+void RandomForest::save(std::ostream& os) const {
+  NAPEL_CHECK_MSG(is_fitted(), "cannot save an unfitted forest");
+  const auto old_precision =
+      os.precision(std::numeric_limits<double>::max_digits10);
+  os << "napel-forest-v1 " << trees_.size() << ' ' << n_features_ << ' '
+     << oob_mre_ << '\n';
+  os << params_.n_trees << ' ' << params_.max_depth << ' '
+     << params_.min_samples_split << ' ' << params_.min_samples_leaf << ' '
+     << params_.mtry_fraction << ' ' << params_.seed << '\n';
+  for (std::size_t f = 0; f < importance_raw_.size(); ++f)
+    os << importance_raw_[f] << (f + 1 < importance_raw_.size() ? ' ' : '\n');
+  for (const DecisionTree& tree : trees_) tree.save(os);
+  os.precision(old_precision);
+}
+
+RandomForest RandomForest::load(std::istream& is) {
+  std::string tag;
+  std::size_t n_trees = 0;
+  RandomForest forest;
+  is >> tag >> n_trees >> forest.n_features_ >> forest.oob_mre_;
+  NAPEL_CHECK_MSG(is.good() && tag == "napel-forest-v1" && n_trees >= 1,
+                  "malformed forest header");
+  is >> forest.params_.n_trees >> forest.params_.max_depth >>
+      forest.params_.min_samples_split >> forest.params_.min_samples_leaf >>
+      forest.params_.mtry_fraction >> forest.params_.seed;
+  NAPEL_CHECK_MSG(is.good(), "malformed forest parameters");
+  forest.importance_raw_.resize(forest.n_features_);
+  for (double& v : forest.importance_raw_) {
+    is >> v;
+    NAPEL_CHECK_MSG(is.good(), "truncated forest importance");
+  }
+  forest.trees_.reserve(n_trees);
+  for (std::size_t t = 0; t < n_trees; ++t)
+    forest.trees_.push_back(DecisionTree::load(is));
+  return forest;
+}
+
+std::vector<double> RandomForest::feature_importance() const {
+  NAPEL_CHECK_MSG(is_fitted(), "importance before fit");
+  double total = 0.0;
+  for (double v : importance_raw_) total += v;
+  std::vector<double> out(importance_raw_.size(), 0.0);
+  if (total <= 0.0) return out;
+  for (std::size_t f = 0; f < out.size(); ++f)
+    out[f] = importance_raw_[f] / total;
+  return out;
+}
+
+}  // namespace napel::ml

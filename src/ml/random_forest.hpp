@@ -1,0 +1,75 @@
+// Random forest regression (Breiman 2001): bagged CART trees with
+// random-subspace splits. This is NAPEL's ensemble learner (Section 2.5):
+// it screens the ~400 profile/architecture features automatically and
+// captures the nonlinear interactions CCD is designed to expose.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+#include "ml/regressor.hpp"
+
+namespace napel::ml {
+
+struct RandomForestParams {
+  unsigned n_trees = 100;
+  unsigned max_depth = 24;
+  std::size_t min_samples_split = 4;
+  std::size_t min_samples_leaf = 2;
+  /// Features considered per split as a fraction of all features
+  /// (regression default ≈ 1/3).
+  double mtry_fraction = 1.0 / 3.0;
+  std::uint64_t seed = 42;
+};
+
+class RandomForest final : public Regressor {
+ public:
+  explicit RandomForest(RandomForestParams params = {});
+
+  void fit(const Dataset& data) override;
+  double predict(std::span<const double> x) const override;
+  bool is_fitted() const override { return !trees_.empty(); }
+
+  /// Prediction with an empirical uncertainty band from the ensemble
+  /// spread: lo/hi are the requested percentiles of the per-tree
+  /// predictions (default: an 80% band). Wide bands flag design points the
+  /// training data covers poorly — useful to decide where to spend
+  /// additional simulations during design-space exploration.
+  struct Interval {
+    double mean = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+    double width() const { return hi - lo; }
+  };
+  Interval predict_interval(std::span<const double> x, double lo_pct = 10.0,
+                            double hi_pct = 90.0) const;
+
+  std::size_t tree_count() const { return trees_.size(); }
+  const DecisionTree& tree(std::size_t i) const;
+
+  /// Mean out-of-bag absolute relative error — an internal generalization
+  /// estimate available without a held-out set.
+  double oob_mre() const { return oob_mre_; }
+
+  /// Impurity feature importance, normalized to sum to 1 (all-zero when no
+  /// split was ever made).
+  std::vector<double> feature_importance() const;
+
+  const RandomForestParams& params() const { return params_; }
+
+  /// Text serialization of a fitted forest; the loaded forest predicts
+  /// bit-identically (see ml/serialize.hpp for the free-function API).
+  void save(std::ostream& os) const;
+  static RandomForest load(std::istream& is);
+
+ private:
+  RandomForestParams params_;
+  std::vector<DecisionTree> trees_;
+  std::vector<double> importance_raw_;
+  double oob_mre_ = 0.0;
+  std::size_t n_features_ = 0;
+};
+
+}  // namespace napel::ml

@@ -1,0 +1,31 @@
+// Common interface for all regression models (random forest, ANN, model
+// tree, ridge), so pipelines and benchmarks treat them uniformly.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace napel::ml {
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  virtual void fit(const Dataset& data) = 0;
+  virtual double predict(std::span<const double> x) const = 0;
+  virtual bool is_fitted() const = 0;
+
+  /// Predicts every row of a dataset.
+  std::vector<double> predict_all(const Dataset& data) const {
+    std::vector<double> out;
+    out.reserve(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i)
+      out.push_back(predict(data.row(i)));
+    return out;
+  }
+};
+
+}  // namespace napel::ml

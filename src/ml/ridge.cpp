@@ -1,0 +1,71 @@
+#include "ml/ridge.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "ml/linalg.hpp"
+
+namespace napel::ml {
+
+RidgeRegression::RidgeRegression(RidgeParams params) : params_(params) {
+  NAPEL_CHECK(params_.lambda >= 0.0);
+}
+
+void RidgeRegression::fit(const Dataset& data) {
+  NAPEL_CHECK_MSG(!data.empty(), "cannot fit on an empty dataset");
+  const std::size_t p = data.n_features();
+  const std::size_t d = p + 1;  // + intercept column
+  const std::size_t n = data.size();
+
+  // Normal equations G·β = r with G = XᵀX (+ λ on non-intercept diagonal).
+  std::vector<double> g(d * d, 0.0);
+  std::vector<double> r(d, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto x = data.row(i);
+    const double y = data.target(i);
+    for (std::size_t a = 0; a < p; ++a) {
+      const double xa = x[a];
+      for (std::size_t b = a; b < p; ++b) g[a * d + b] += xa * x[b];
+      g[a * d + p] += xa;  // intercept column
+      r[a] += xa * y;
+    }
+    g[p * d + p] += 1.0;
+    r[p] += y;
+  }
+  for (std::size_t a = 0; a < d; ++a)
+    for (std::size_t b = 0; b < a; ++b) g[a * d + b] = g[b * d + a];
+  for (std::size_t a = 0; a < p; ++a) g[a * d + a] += params_.lambda;
+
+  std::vector<double> beta(d, 0.0);
+  // Escalate regularization until the system factors (handles degenerate
+  // leaves with p >> n and duplicated columns).
+  double extra = 0.0;
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    std::vector<double> gcopy = g;
+    if (extra > 0.0)
+      for (std::size_t a = 0; a < d; ++a) gcopy[a * d + a] += extra;
+    if (cholesky_solve(gcopy, d, r, beta)) {
+      w_.assign(beta.begin(), beta.begin() + static_cast<std::ptrdiff_t>(p));
+      bias_ = beta[p];
+      fitted_ = true;
+      return;
+    }
+    extra = extra == 0.0 ? 1e-6 : extra * 100.0;
+  }
+  // Fully degenerate: fall back to the mean predictor.
+  double mean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean += data.target(i);
+  w_.assign(p, 0.0);
+  bias_ = mean / static_cast<double>(n);
+  fitted_ = true;
+}
+
+double RidgeRegression::predict(std::span<const double> x) const {
+  NAPEL_CHECK_MSG(fitted_, "predict before fit");
+  NAPEL_CHECK(x.size() == w_.size());
+  double s = bias_;
+  for (std::size_t a = 0; a < w_.size(); ++a) s += w_[a] * x[a];
+  return s;
+}
+
+}  // namespace napel::ml

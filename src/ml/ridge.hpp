@@ -1,0 +1,35 @@
+// Ridge (L2-regularized) linear regression with an unpenalized intercept —
+// used standalone (the "linear regression" related-work baseline) and as
+// the leaf model of the M5-style model tree.
+#pragma once
+
+#include <vector>
+
+#include "ml/regressor.hpp"
+
+namespace napel::ml {
+
+struct RidgeParams {
+  double lambda = 1.0;
+};
+
+class RidgeRegression final : public Regressor {
+ public:
+  explicit RidgeRegression(RidgeParams params = {});
+
+  void fit(const Dataset& data) override;
+  double predict(std::span<const double> x) const override;
+  bool is_fitted() const override { return fitted_; }
+
+  /// Weights (per feature) and intercept after fitting.
+  const std::vector<double>& weights() const { return w_; }
+  double intercept() const { return bias_; }
+
+ private:
+  RidgeParams params_;
+  std::vector<double> w_;
+  double bias_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace napel::ml

@@ -1,0 +1,61 @@
+#include "ml/scaler.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace napel::ml {
+
+void StandardScaler::fit(const Dataset& data) {
+  NAPEL_CHECK_MSG(!data.empty(), "cannot fit scaler on empty dataset");
+  const std::size_t p = data.n_features();
+  const double n = static_cast<double>(data.size());
+  mean_.assign(p, 0.0);
+  std_.assign(p, 0.0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto x = data.row(i);
+    for (std::size_t f = 0; f < p; ++f) mean_[f] += x[f];
+  }
+  for (double& m : mean_) m /= n;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto x = data.row(i);
+    for (std::size_t f = 0; f < p; ++f) {
+      const double d = x[f] - mean_[f];
+      std_[f] += d * d;
+    }
+  }
+  for (double& s : std_) {
+    s = std::sqrt(s / n);
+    if (s < 1e-12) s = 1.0;  // constant feature -> transforms to 0
+  }
+
+  y_mean_ = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) y_mean_ += data.target(i);
+  y_mean_ /= n;
+  double v = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double d = data.target(i) - y_mean_;
+    v += d * d;
+  }
+  y_std_ = std::sqrt(v / n);
+  if (y_std_ < 1e-12) y_std_ = 1.0;
+}
+
+std::vector<double> StandardScaler::transform(
+    std::span<const double> x) const {
+  NAPEL_CHECK_MSG(is_fitted(), "transform before fit");
+  NAPEL_CHECK(x.size() == mean_.size());
+  std::vector<double> out(x.size());
+  for (std::size_t f = 0; f < x.size(); ++f)
+    out[f] = (x[f] - mean_[f]) / std_[f];
+  return out;
+}
+
+Dataset StandardScaler::transform_features(const Dataset& data) const {
+  Dataset out(data.n_features(), data.feature_names());
+  for (std::size_t i = 0; i < data.size(); ++i)
+    out.add_row(transform(data.row(i)), transform_target(data.target(i)));
+  return out;
+}
+
+}  // namespace napel::ml

@@ -1,0 +1,30 @@
+// Feature/target standardization (zero mean, unit variance) for the neural
+// network, which is scale-sensitive; constant features map to zero.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace napel::ml {
+
+class StandardScaler {
+ public:
+  void fit(const Dataset& data);
+  bool is_fitted() const { return !mean_.empty(); }
+
+  std::vector<double> transform(std::span<const double> x) const;
+  Dataset transform_features(const Dataset& data) const;
+
+  double transform_target(double y) const { return (y - y_mean_) / y_std_; }
+  double inverse_target(double z) const { return z * y_std_ + y_mean_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> std_;
+  double y_mean_ = 0.0;
+  double y_std_ = 1.0;
+};
+
+}  // namespace napel::ml

@@ -1,0 +1,11 @@
+#include "ml/serialize.hpp"
+
+namespace napel::ml {
+
+void save_forest(const RandomForest& forest, std::ostream& os) {
+  forest.save(os);
+}
+
+RandomForest load_forest(std::istream& is) { return RandomForest::load(is); }
+
+}  // namespace napel::ml

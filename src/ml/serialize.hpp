@@ -1,0 +1,21 @@
+// Model persistence: save a trained random forest (or a full NAPEL model,
+// see napel/model_io.hpp) to a portable text stream and load it back. The
+// format is line-oriented, versioned, and locale-independent; numbers are
+// round-tripped with max_digits10 so predictions are bit-identical after a
+// save/load cycle.
+#pragma once
+
+#include <iosfwd>
+
+#include "ml/random_forest.hpp"
+
+namespace napel::ml {
+
+/// Writes a fitted forest. Throws std::invalid_argument when not fitted.
+void save_forest(const RandomForest& forest, std::ostream& os);
+
+/// Reads a forest written by save_forest. Throws std::invalid_argument on
+/// malformed input or version mismatch.
+RandomForest load_forest(std::istream& is);
+
+}  // namespace napel::ml

@@ -1,0 +1,63 @@
+#include "ml/tuning.hpp"
+
+#include <limits>
+
+#include "common/check.hpp"
+#include "ml/metrics.hpp"
+
+namespace napel::ml {
+
+RfTuningResult tune_random_forest(const Dataset& data,
+                                  const RfTuningGrid& grid,
+                                  std::size_t k_folds, std::uint64_t seed) {
+  NAPEL_CHECK(grid.combinations() >= 1);
+  NAPEL_CHECK_MSG(data.size() >= k_folds,
+                  "need at least k_folds training rows");
+
+  Rng rng(seed);
+  const std::vector<std::size_t> fold = data.kfold_assignment(k_folds, rng);
+
+  RfTuningResult result;
+  result.all_scores.reserve(grid.combinations());
+  double best = std::numeric_limits<double>::infinity();
+
+  for (unsigned nt : grid.n_trees) {
+    for (unsigned md : grid.max_depth) {
+      for (double mtry : grid.mtry_fraction) {
+        for (std::size_t leaf : grid.min_samples_leaf) {
+          RandomForestParams p;
+          p.n_trees = nt;
+          p.max_depth = md;
+          p.mtry_fraction = mtry;
+          p.min_samples_leaf = leaf;
+          p.min_samples_split = 2 * leaf >= 2 ? 2 * leaf : 2;
+          p.seed = seed;
+
+          double mre_sum = 0.0;
+          std::size_t folds_used = 0;
+          for (std::size_t f = 0; f < k_folds; ++f) {
+            auto [train, test] = data.split_fold(fold, f);
+            if (train.empty() || test.empty()) continue;
+            RandomForest model(p);
+            model.fit(train);
+            mre_sum += evaluate(model, test).mre;
+            ++folds_used;
+          }
+          const double score =
+              folds_used ? mre_sum / static_cast<double>(folds_used)
+                         : std::numeric_limits<double>::infinity();
+          result.all_scores.push_back(score);
+          ++result.combinations_evaluated;
+          if (score < best) {
+            best = score;
+            result.best_params = p;
+            result.best_cv_mre = score;
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace napel::ml

@@ -1,0 +1,40 @@
+// Hyper-parameter tuning (Section 2.5): grid search over random-forest
+// hyper-parameters, scoring each combination by k-fold cross-validated MRE
+// ("as many iterations of the cross-validation process as hyper-parameter
+// combinations") and returning the best model configuration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/random_forest.hpp"
+
+namespace napel::ml {
+
+struct RfTuningGrid {
+  std::vector<unsigned> n_trees = {50, 100};
+  std::vector<unsigned> max_depth = {8, 16, 24};
+  std::vector<double> mtry_fraction = {0.2, 1.0 / 3.0, 0.6};
+  std::vector<std::size_t> min_samples_leaf = {1, 2};
+
+  std::size_t combinations() const {
+    return n_trees.size() * max_depth.size() * mtry_fraction.size() *
+           min_samples_leaf.size();
+  }
+};
+
+struct RfTuningResult {
+  RandomForestParams best_params;
+  double best_cv_mre = 0.0;
+  std::size_t combinations_evaluated = 0;
+  /// CV MRE of every evaluated combination, in grid order.
+  std::vector<double> all_scores;
+};
+
+/// Exhaustive grid search with k-fold CV; deterministic given `seed`.
+RfTuningResult tune_random_forest(const Dataset& data,
+                                  const RfTuningGrid& grid,
+                                  std::size_t k_folds = 4,
+                                  std::uint64_t seed = 1234);
+
+}  // namespace napel::ml

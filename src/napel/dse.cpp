@@ -1,0 +1,88 @@
+#include "napel/dse.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace napel::core {
+
+std::vector<sim::ArchConfig> enumerate_grid(const DseGrid& grid) {
+  NAPEL_CHECK(grid.combinations() >= 1);
+  std::vector<sim::ArchConfig> out;
+  out.reserve(grid.combinations());
+  for (unsigned pes : grid.n_pes) {
+    for (double freq : grid.core_freq_ghz) {
+      for (unsigned lines : grid.cache_lines) {
+        for (unsigned line_bytes : grid.cache_line_bytes) {
+          for (unsigned layers : grid.dram_layers) {
+            sim::ArchConfig c = sim::ArchConfig::paper_default();
+            c.n_pes = pes;
+            c.core_freq_ghz = freq;
+            c.cache_lines = lines;
+            c.cache_line_bytes = line_bytes;
+            c.dram_layers = layers;
+            c.cache_ways = lines >= 2 ? 2 : 1;
+            try {
+              c.validate();
+            } catch (const std::invalid_argument&) {
+              continue;  // skip inconsistent combinations
+            }
+            out.push_back(c);
+          }
+        }
+      }
+    }
+  }
+  NAPEL_CHECK_MSG(!out.empty(), "DSE grid produced no valid configuration");
+  return out;
+}
+
+std::vector<DsePoint> explore(const NapelModel& model,
+                              const profiler::Profile& profile,
+                              const std::vector<sim::ArchConfig>& candidates) {
+  NAPEL_CHECK_MSG(model.is_trained(), "explore requires a trained model");
+  NAPEL_CHECK(!candidates.empty());
+  std::vector<DsePoint> out;
+  out.reserve(candidates.size());
+  for (const auto& arch : candidates) {
+    DsePoint p;
+    p.arch = arch;
+    p.pred = model.predict(profile, arch);
+    p.ipc_interval =
+        model.ipc_forest().predict_interval(model_features(profile, arch));
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::vector<std::size_t> pareto_front(const std::vector<DsePoint>& points) {
+  std::vector<std::size_t> order(points.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (points[a].pred.time_seconds != points[b].pred.time_seconds)
+      return points[a].pred.time_seconds < points[b].pred.time_seconds;
+    return points[a].pred.energy_joules < points[b].pred.energy_joules;
+  });
+  // Sweep by increasing time; keep points that strictly improve energy.
+  std::vector<std::size_t> front;
+  double best_energy = std::numeric_limits<double>::infinity();
+  for (std::size_t i : order) {
+    if (points[i].pred.energy_joules < best_energy) {
+      front.push_back(i);
+      best_energy = points[i].pred.energy_joules;
+    }
+  }
+  return front;
+}
+
+std::size_t best_edp_point(const std::vector<DsePoint>& points) {
+  NAPEL_CHECK_MSG(!points.empty(), "no DSE points");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < points.size(); ++i)
+    if (points[i].pred.edp < points[best].pred.edp) best = i;
+  return best;
+}
+
+}  // namespace napel::core

@@ -1,0 +1,52 @@
+// Design-space exploration on top of a trained NAPEL model: enumerate
+// candidate NMC design points, predict each in microseconds, and extract
+// the time/energy Pareto frontier plus the EDP-optimal point — the
+// "fast early-stage design space exploration" workflow the paper motivates.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/random_forest.hpp"
+#include "napel/napel_model.hpp"
+
+namespace napel::core {
+
+struct DsePoint {
+  sim::ArchConfig arch;
+  Prediction pred;
+  ml::RandomForest::Interval ipc_interval;  ///< model-uncertainty band
+};
+
+/// Axes of the enumeration grid; every combination that passes
+/// ArchConfig::validate() becomes a candidate.
+struct DseGrid {
+  std::vector<unsigned> n_pes = {8, 16, 32, 64};
+  std::vector<double> core_freq_ghz = {0.8, 1.0, 1.25, 1.6, 2.0};
+  std::vector<unsigned> cache_lines = {2, 8, 32};
+  std::vector<unsigned> cache_line_bytes = {64};
+  std::vector<unsigned> dram_layers = {8};
+
+  std::size_t combinations() const {
+    return n_pes.size() * core_freq_ghz.size() * cache_lines.size() *
+           cache_line_bytes.size() * dram_layers.size();
+  }
+};
+
+/// Materializes the grid into validated configurations (invalid
+/// combinations are skipped).
+std::vector<sim::ArchConfig> enumerate_grid(const DseGrid& grid);
+
+/// Predicts every candidate for the profiled kernel.
+std::vector<DsePoint> explore(const NapelModel& model,
+                              const profiler::Profile& profile,
+                              const std::vector<sim::ArchConfig>& candidates);
+
+/// Indices of the (time, energy)-minimizing Pareto frontier, sorted by
+/// predicted time.
+std::vector<std::size_t> pareto_front(const std::vector<DsePoint>& points);
+
+/// Index of the predicted-EDP-optimal point. Throws on empty input.
+std::size_t best_edp_point(const std::vector<DsePoint>& points);
+
+}  // namespace napel::core

@@ -1,0 +1,131 @@
+#include "napel/loao.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/check.hpp"
+#include "ml/metrics.hpp"
+#include "ml/mlp.hpp"
+#include "ml/model_tree.hpp"
+
+namespace napel::core {
+
+std::string_view model_kind_name(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kNapelRf: return "NAPEL (random forest)";
+    case ModelKind::kAnn: return "ANN (Ipek et al.)";
+    case ModelKind::kLinearDecisionTree: return "Linear decision tree (Guo et al.)";
+  }
+  return "invalid";
+}
+
+namespace {
+
+std::unique_ptr<ml::Regressor> make_baseline(ModelKind kind,
+                                             std::uint64_t seed) {
+  switch (kind) {
+    case ModelKind::kAnn: {
+      ml::MlpParams p;
+      p.seed = seed;
+      return std::make_unique<ml::Mlp>(p);
+    }
+    case ModelKind::kLinearDecisionTree: {
+      ml::ModelTreeParams p;
+      p.seed = seed;
+      return std::make_unique<ml::ModelTree>(p);
+    }
+    case ModelKind::kNapelRf:
+      break;
+  }
+  napel::check_failed("baseline kind", __FILE__, __LINE__, "");
+}
+
+std::size_t freq_feature_index() {
+  const auto& names = model_feature_names();
+  const auto it = std::find(names.begin(), names.end(), "arch_core_freq_ghz");
+  NAPEL_CHECK(it != names.end());
+  return static_cast<std::size_t>(it - names.begin());
+}
+
+/// Energy MRE via the reconstruction every model kind uses:
+/// e_pj = P / (IPC · f). Model outputs are clamped to physically possible
+/// ranges first (chip IPC cannot exceed the PE count or go non-positive;
+/// power cannot fall below the stack's static floor) — without the clamp an
+/// extrapolating baseline predicting IPC ≈ 0 would blow the reconstruction
+/// up arbitrarily. Rows with a zero energy label are skipped.
+double energy_mre(const ml::Regressor& ipc_model,
+                  const ml::Regressor& power_model,
+                  const std::vector<TrainingRow>& test) {
+  const std::size_t freq_idx = freq_feature_index();
+  double s = 0.0;
+  std::size_t n = 0;
+  for (const auto& r : test) {
+    if (r.energy_pj_per_instr == 0.0) continue;
+    const double max_ipc = static_cast<double>(r.arch.n_pes);
+    const double ipc =
+        std::clamp(ipc_model.predict(r.features), 0.01, max_ipc);
+    const double watts =
+        std::clamp(power_model.predict(r.features), 0.1, 10000.0);
+    const double freq_hz = r.features[freq_idx] * 1e9;
+    const double e_pj = watts / (ipc * freq_hz) * 1e12;
+    s += std::abs(e_pj - r.energy_pj_per_instr) / r.energy_pj_per_instr;
+    ++n;
+  }
+  return n ? s / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace
+
+std::vector<LoaoAppResult> leave_one_app_out(
+    const std::vector<TrainingRow>& rows, ModelKind kind,
+    const LoaoOptions& opts) {
+  NAPEL_CHECK_MSG(!rows.empty(), "no rows for LOAO");
+
+  std::vector<std::string> apps;
+  for (const auto& r : rows)
+    if (std::find(apps.begin(), apps.end(), r.app) == apps.end())
+      apps.push_back(r.app);
+  NAPEL_CHECK_MSG(apps.size() >= 2, "LOAO requires at least two applications");
+
+  std::vector<LoaoAppResult> results;
+  results.reserve(apps.size());
+
+  for (const auto& app : apps) {
+    std::vector<TrainingRow> train, test;
+    for (const auto& r : rows) (r.app == app ? test : train).push_back(r);
+
+    LoaoAppResult res;
+    res.app = app;
+    res.test_rows = test.size();
+
+    const ml::Dataset test_ipc = assemble_dataset(test, Target::kIpc);
+
+    if (kind == ModelKind::kNapelRf) {
+      NapelModel model;
+      NapelModel::Options mo;
+      mo.tune = opts.tune_rf;
+      mo.grid = opts.grid;
+      mo.k_folds = opts.k_folds;
+      mo.seed = opts.seed;
+      model.train(train, mo);
+      res.perf_mre = ml::evaluate(model.ipc_forest(), test_ipc).mre;
+      res.energy_mre =
+          energy_mre(model.ipc_forest(), model.energy_forest(), test);
+    } else {
+      const ml::Dataset train_ipc = assemble_dataset(train, Target::kIpc);
+      const ml::Dataset train_power =
+          assemble_dataset(train, Target::kPowerWatts);
+      auto ipc_model = make_baseline(kind, opts.seed);
+      ipc_model->fit(train_ipc);
+      res.perf_mre = ml::evaluate(*ipc_model, test_ipc).mre;
+      auto power_model = make_baseline(kind, opts.seed + 1);
+      power_model->fit(train_power);
+      res.energy_mre = energy_mre(*ipc_model, *power_model, test);
+    }
+    results.push_back(std::move(res));
+  }
+  return results;
+}
+
+}  // namespace napel::core

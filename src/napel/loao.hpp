@@ -1,0 +1,43 @@
+// Leave-one-application-out cross-validation (Section 3.3): when predicting
+// application X, no row of X — under any input or architecture — appears in
+// the training set, so the test set differs from the training set "as much
+// as applications differ from each other". Produces the per-application
+// performance and energy MREs of Figure 5, for NAPEL's tuned random forest
+// and for the two baselines (ANN of Ipek et al., linear decision tree of
+// Guo et al.).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "napel/napel_model.hpp"
+
+namespace napel::core {
+
+enum class ModelKind { kNapelRf, kAnn, kLinearDecisionTree };
+
+std::string_view model_kind_name(ModelKind kind);
+
+struct LoaoAppResult {
+  std::string app;
+  double perf_mre = 0.0;    ///< IPC prediction MRE on the held-out app
+  double energy_mre = 0.0;  ///< energy prediction MRE on the held-out app
+  std::size_t test_rows = 0;
+};
+
+struct LoaoOptions {
+  /// Hyper-parameter tuning for the RF (the paper tunes; baselines use
+  /// their fixed reference configurations).
+  bool tune_rf = true;
+  ml::RfTuningGrid grid;
+  std::size_t k_folds = 4;
+  std::uint64_t seed = 77;
+};
+
+/// Runs the LOAO protocol over all applications present in `rows`.
+/// Results are ordered by first appearance of the app in `rows`.
+std::vector<LoaoAppResult> leave_one_app_out(
+    const std::vector<TrainingRow>& rows, ModelKind kind,
+    const LoaoOptions& opts = {});
+
+}  // namespace napel::core

@@ -1,0 +1,43 @@
+#include "napel/model_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "ml/serialize.hpp"
+
+namespace napel::core {
+
+void save_model(const NapelModel& model, std::ostream& os) {
+  NAPEL_CHECK_MSG(model.is_trained(), "cannot save an untrained model");
+  os << "napel-model-v1 " << model_feature_names().size() << '\n';
+  ml::save_forest(model.ipc_forest(), os);
+  ml::save_forest(model.energy_forest(), os);
+}
+
+void save_model_file(const NapelModel& model, const std::string& path) {
+  std::ofstream f(path);
+  NAPEL_CHECK_MSG(f.good(), "cannot open model file for writing: " + path);
+  save_model(model, f);
+}
+
+NapelModel load_model(std::istream& is) {
+  std::string tag;
+  std::size_t n_features = 0;
+  is >> tag >> n_features;
+  NAPEL_CHECK_MSG(is.good() && tag == "napel-model-v1",
+                  "malformed model header");
+  NAPEL_CHECK_MSG(n_features == model_feature_names().size(),
+                  "model feature schema does not match this build");
+  ml::RandomForest ipc = ml::load_forest(is);
+  ml::RandomForest energy = ml::load_forest(is);
+  return NapelModel::from_forests(std::move(ipc), std::move(energy));
+}
+
+NapelModel load_model_file(const std::string& path) {
+  std::ifstream f(path);
+  NAPEL_CHECK_MSG(f.good(), "cannot open model file: " + path);
+  return load_model(f);
+}
+
+}  // namespace napel::core

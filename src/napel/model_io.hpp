@@ -1,0 +1,22 @@
+// NapelModel persistence: save a trained model (both forests plus the
+// feature-schema fingerprint) so design-space exploration sessions can
+// reuse a model without re-running the DoE simulations.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "napel/napel_model.hpp"
+
+namespace napel::core {
+
+/// Writes a trained model. Throws std::invalid_argument when untrained.
+void save_model(const NapelModel& model, std::ostream& os);
+void save_model_file(const NapelModel& model, const std::string& path);
+
+/// Reads a model written by save_model. Rejects models whose feature
+/// schema does not match this build's (the schema is part of the format).
+NapelModel load_model(std::istream& is);
+NapelModel load_model_file(const std::string& path);
+
+}  // namespace napel::core

@@ -1,0 +1,38 @@
+// Umbrella header: the NAPEL framework public API.
+//
+// Typical use:
+//
+//   #include "napel/napel.hpp"
+//
+//   // 1. Collect training data for a set of applications (DoE + simulate).
+//   std::vector<napel::core::TrainingRow> rows;
+//   for (const auto* w : napel::workloads::all_workloads())
+//     napel::core::collect_training_data(*w, {}, rows);
+//
+//   // 2. Train the tuned ensemble model.
+//   napel::core::NapelModel model;
+//   model.train(rows);
+//
+//   // 3. Predict a previously-unseen application on any NMC design point.
+//   auto profile = napel::core::profile_workload(w, input, seed);
+//   auto pred = model.predict(profile, napel::sim::ArchConfig::paper_default());
+#pragma once
+
+#include "doe/doe.hpp"                 // IWYU pragma: export
+#include "hostmodel/host_model.hpp"    // IWYU pragma: export
+#include "ml/gbm.hpp"                  // IWYU pragma: export
+#include "ml/metrics.hpp"              // IWYU pragma: export
+#include "ml/mlp.hpp"                  // IWYU pragma: export
+#include "ml/model_tree.hpp"           // IWYU pragma: export
+#include "ml/random_forest.hpp"        // IWYU pragma: export
+#include "ml/ridge.hpp"                // IWYU pragma: export
+#include "ml/tuning.hpp"               // IWYU pragma: export
+#include "napel/dse.hpp"               // IWYU pragma: export
+#include "napel/loao.hpp"              // IWYU pragma: export
+#include "napel/model_io.hpp"          // IWYU pragma: export
+#include "napel/napel_model.hpp"       // IWYU pragma: export
+#include "napel/pipeline.hpp"          // IWYU pragma: export
+#include "napel/suitability.hpp"       // IWYU pragma: export
+#include "profiler/profile.hpp"        // IWYU pragma: export
+#include "sim/simulator.hpp"           // IWYU pragma: export
+#include "workloads/registry.hpp"      // IWYU pragma: export

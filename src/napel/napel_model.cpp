@@ -1,0 +1,122 @@
+#include "napel/napel_model.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace napel::core {
+
+namespace {
+
+/// Index of the core-frequency architecture feature in the model schema.
+std::size_t freq_feature_index() {
+  static const std::size_t idx = [] {
+    const auto& names = model_feature_names();
+    const auto it =
+        std::find(names.begin(), names.end(), "arch_core_freq_ghz");
+    NAPEL_CHECK_MSG(it != names.end(), "schema lost arch_core_freq_ghz");
+    return static_cast<std::size_t>(it - names.begin());
+  }();
+  return idx;
+}
+
+}  // namespace
+
+ml::Dataset assemble_dataset(const std::vector<TrainingRow>& rows,
+                             Target target) {
+  NAPEL_CHECK_MSG(!rows.empty(), "no training rows");
+  ml::Dataset data(model_feature_names().size(), model_feature_names());
+  for (const auto& row : rows) {
+    double y = 0.0;
+    switch (target) {
+      case Target::kIpc: y = row.ipc; break;
+      case Target::kEnergyPerInstr: y = row.energy_pj_per_instr; break;
+      case Target::kPowerWatts: y = row.power_watts; break;
+    }
+    data.add_row(row.features, y);
+  }
+  return data;
+}
+
+void NapelModel::train(const std::vector<TrainingRow>& rows,
+                       const Options& opts) {
+  const ml::Dataset ipc_data = assemble_dataset(rows, Target::kIpc);
+  const ml::Dataset power_data = assemble_dataset(rows, Target::kPowerWatts);
+
+  auto fit_one = [&](const ml::Dataset& data, ml::RfTuningResult& tuning) {
+    ml::RandomForestParams params = opts.untuned_params;
+    params.seed = opts.seed;
+    if (opts.tune && data.size() >= opts.k_folds) {
+      tuning =
+          ml::tune_random_forest(data, opts.grid, opts.k_folds, opts.seed);
+      params = tuning.best_params;
+    }
+    auto rf = std::make_unique<ml::RandomForest>(params);
+    rf->fit(data);
+    return rf;
+  };
+
+  ipc_rf_ = fit_one(ipc_data, ipc_tuning_);
+  energy_rf_ = fit_one(power_data, energy_tuning_);
+  trained_ = true;
+}
+
+double NapelModel::predict_ipc(std::span<const double> features) const {
+  NAPEL_CHECK_MSG(trained_, "predict before train");
+  return ipc_rf_->predict(features);
+}
+
+double NapelModel::predict_power_watts(
+    std::span<const double> features) const {
+  NAPEL_CHECK_MSG(trained_, "predict before train");
+  return energy_rf_->predict(features);
+}
+
+double NapelModel::predict_energy_pj(std::span<const double> features) const {
+  NAPEL_CHECK_MSG(trained_, "predict before train");
+  const double ipc = std::max(1e-6, ipc_rf_->predict(features));
+  const double freq_hz = features[freq_feature_index()] * 1e9;
+  const double watts = std::max(0.0, energy_rf_->predict(features));
+  // Per-instruction time is 1/(IPC·f); energy = P · time.
+  return watts / (ipc * freq_hz) * 1e12;
+}
+
+Prediction NapelModel::predict(const profiler::Profile& profile,
+                               const sim::ArchConfig& arch) const {
+  NAPEL_CHECK_MSG(trained_, "predict before train");
+  const std::vector<double> f = model_features(profile, arch);
+  Prediction p;
+  p.ipc = std::max(1e-6, ipc_rf_->predict(f));
+  p.power_watts = std::max(0.0, energy_rf_->predict(f));
+  const double instr = static_cast<double>(profile.total_instructions);
+  // T = I_offload / (IPC · f_core)   (Section 2.5)
+  p.time_seconds = instr / (p.ipc * arch.core_freq_ghz * 1e9);
+  p.energy_joules = p.power_watts * p.time_seconds;
+  p.energy_pj_per_instr =
+      instr == 0.0 ? 0.0 : p.energy_joules * 1e12 / instr;
+  p.edp = p.energy_joules * p.time_seconds;
+  return p;
+}
+
+const ml::RandomForest& NapelModel::ipc_forest() const {
+  NAPEL_CHECK_MSG(trained_, "model not trained");
+  return *ipc_rf_;
+}
+
+const ml::RandomForest& NapelModel::energy_forest() const {
+  NAPEL_CHECK_MSG(trained_, "model not trained");
+  return *energy_rf_;
+}
+
+NapelModel NapelModel::from_forests(ml::RandomForest ipc_rf,
+                                    ml::RandomForest energy_rf) {
+  NAPEL_CHECK_MSG(ipc_rf.is_fitted() && energy_rf.is_fitted(),
+                  "from_forests requires fitted forests");
+  NapelModel model;
+  model.ipc_rf_ = std::make_unique<ml::RandomForest>(std::move(ipc_rf));
+  model.energy_rf_ = std::make_unique<ml::RandomForest>(std::move(energy_rf));
+  model.trained_ = true;
+  return model;
+}
+
+}  // namespace napel::core

@@ -1,0 +1,81 @@
+// NapelModel: the trained predictor (Figure 1, phases 3-5).
+//
+// Two tuned random forests — one for chip-level IPC, one for average power
+// — map (profile, architecture) feature vectors to responses. Execution
+// time follows the paper's formula T = I_offload / (IPC · f_core); energy
+// is reconstructed exactly as E = P · T, and EDP is E · T. (The paper
+// labels its second model with raw energy; average power is a
+// better-conditioned, bijective re-parameterization of the same response —
+// its dynamic range across applications is a few watts rather than four
+// orders of magnitude of joules.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/random_forest.hpp"
+#include "ml/tuning.hpp"
+#include "napel/pipeline.hpp"
+
+namespace napel::core {
+
+struct Prediction {
+  double ipc = 0.0;
+  double power_watts = 0.0;
+  double energy_pj_per_instr = 0.0;  ///< derived: P / (IPC · f)
+  double time_seconds = 0.0;
+  double energy_joules = 0.0;
+  double edp = 0.0;
+};
+
+class NapelModel {
+ public:
+  struct Options {
+    bool tune = true;             ///< hyper-parameter grid search (§2.5)
+    ml::RfTuningGrid grid;
+    std::size_t k_folds = 4;
+    ml::RandomForestParams untuned_params;  ///< used when tune == false
+    std::uint64_t seed = 77;
+  };
+
+  /// Trains the IPC and energy forests on collected rows.
+  void train(const std::vector<TrainingRow>& rows, const Options& opts);
+  void train(const std::vector<TrainingRow>& rows) { train(rows, Options{}); }
+  bool is_trained() const { return trained_; }
+
+  /// Full prediction for a profiled kernel on an architecture (phase 4-5:
+  /// one profile, then model inference per design point).
+  Prediction predict(const profiler::Profile& profile,
+                     const sim::ArchConfig& arch) const;
+
+  /// Raw model outputs for a pre-assembled feature vector.
+  double predict_ipc(std::span<const double> features) const;
+  double predict_power_watts(std::span<const double> features) const;
+  /// Derived energy per instruction (pJ): P / (IPC · f), with both model
+  /// outputs and the core frequency read from the feature vector.
+  double predict_energy_pj(std::span<const double> features) const;
+
+  const ml::RandomForest& ipc_forest() const;
+  const ml::RandomForest& energy_forest() const;  ///< the power model
+
+  /// Reconstructs a trained model from two fitted forests (used by the
+  /// persistence layer in napel/model_io.hpp).
+  static NapelModel from_forests(ml::RandomForest ipc_rf,
+                                 ml::RandomForest energy_rf);
+  const ml::RfTuningResult& ipc_tuning() const { return ipc_tuning_; }
+  const ml::RfTuningResult& energy_tuning() const { return energy_tuning_; }
+
+ private:
+  std::unique_ptr<ml::RandomForest> ipc_rf_;
+  std::unique_ptr<ml::RandomForest> energy_rf_;
+  ml::RfTuningResult ipc_tuning_;
+  ml::RfTuningResult energy_tuning_;
+  bool trained_ = false;
+};
+
+/// Builds the ml::Dataset for one target from training rows.
+enum class Target { kIpc, kEnergyPerInstr, kPowerWatts };
+ml::Dataset assemble_dataset(const std::vector<TrainingRow>& rows,
+                             Target target);
+
+}  // namespace napel::core

@@ -1,0 +1,188 @@
+#include "napel/pipeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.hpp"
+#include "trace/tracer.hpp"
+
+namespace napel::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// L1 capacity expressed in the profiler's 64B reuse-distance blocks.
+std::uint64_t l1_capacity_blocks(const sim::ArchConfig& arch) {
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(arch.cache_lines) * arch.cache_line_bytes;
+  return std::max<std::uint64_t>(1, bytes / 64);
+}
+
+}  // namespace
+
+std::vector<double> model_features(const profiler::Profile& profile,
+                                   const sim::ArchConfig& arch) {
+  std::vector<double> f = profile.features;
+  const std::vector<double> af = arch.features();
+  f.insert(f.end(), af.begin(), af.end());
+  const double dram_frac =
+      profile.data_all_rd.miss_fraction(l1_capacity_blocks(arch));
+  f.push_back(1.0 - dram_frac);  // cache access fraction
+  f.push_back(dram_frac);        // DRAM access fraction
+
+  // Analytic profile x architecture interaction features: a first-order
+  // in-order-core model whose residual the forest learns. This extends the
+  // paper's Table 1 interaction features (cache/DRAM access fraction) with
+  // latency- and parallelism-weighted versions.
+  const double instr = std::max<double>(1.0, static_cast<double>(
+                                                 profile.total_instructions));
+  const double mem_frac =
+      static_cast<double>(profile.memory_ops()) / instr;
+  const double t_miss =
+      static_cast<double>(arch.timing.t_rcd + arch.timing.t_cl +
+                          arch.timing.burst_cycles(arch.cache_line_bytes));
+  const double active_pes =
+      std::min<double>(profile.n_threads, arch.n_pes);
+  const double cpi_pe = 1.0 + mem_frac * dram_frac * t_miss;
+  const double chip_ipc = active_pes / cpi_pe;
+  f.push_back(t_miss);                                  // arch_t_miss_cycles
+  f.push_back(active_pes);                              // analytic_active_pes
+  f.push_back(cpi_pe);                                  // analytic_cpi_pe
+  f.push_back(chip_ipc);                                // analytic_chip_ipc
+  f.push_back(mem_frac * dram_frac * t_miss / cpi_pe);  // mem-stall share
+  NAPEL_CHECK(f.size() == model_feature_names().size());
+  return f;
+}
+
+const std::vector<std::string>& model_feature_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> n = profiler::Profile::feature_names();
+    const auto& an = sim::ArchConfig::feature_names();
+    n.insert(n.end(), an.begin(), an.end());
+    n.push_back("arch_cache_access_fraction");
+    n.push_back("arch_dram_access_fraction");
+    n.push_back("arch_t_miss_cycles");
+    n.push_back("analytic_active_pes");
+    n.push_back("analytic_cpi_pe");
+    n.push_back("analytic_chip_ipc");
+    n.push_back("analytic_mem_stall_frac");
+    return n;
+  }();
+  return names;
+}
+
+profiler::Profile profile_workload(const workloads::Workload& w,
+                                   const workloads::WorkloadParams& params,
+                                   std::uint64_t seed) {
+  trace::Tracer tracer;
+  profiler::ProfileBuilder builder;
+  tracer.attach(builder);
+  w.run(tracer, params, seed);
+  return builder.build();
+}
+
+sim::SimResult simulate_workload(const workloads::Workload& w,
+                                 const workloads::WorkloadParams& params,
+                                 const sim::ArchConfig& arch,
+                                 std::uint64_t seed) {
+  trace::Tracer tracer;
+  sim::NmcSimulator simulator(arch);
+  tracer.attach(simulator);
+  w.run(tracer, params, seed);
+  return simulator.result();
+}
+
+CollectStats collect_training_data(const workloads::Workload& w,
+                                   const CollectOptions& opts,
+                                   std::vector<TrainingRow>& out) {
+  NAPEL_CHECK(opts.archs_per_config >= 1);
+  NAPEL_CHECK(opts.arch_pool_size >= opts.archs_per_config);
+
+  const workloads::DoeSpace space = w.doe_space(opts.scale);
+  Rng rng(opts.seed);
+
+  std::vector<workloads::WorkloadParams> configs;
+  switch (opts.design) {
+    case DesignKind::kCcd:
+      configs = doe::central_composite(space);
+      break;
+    case DesignKind::kRandom:
+      configs = doe::random_design(space, opts.design_points, rng);
+      break;
+    case DesignKind::kLatinHypercube:
+      configs = doe::latin_hypercube(space, opts.design_points, rng);
+      break;
+    case DesignKind::kFullFactorial:
+      configs = doe::full_factorial(space);
+      break;
+  }
+
+  // Architecture pool is derived from the same seed for every workload, so
+  // leave-one-application-out folds see a consistent design space.
+  Rng arch_rng(opts.seed ^ 0xa5c3f00dULL);
+  const std::vector<sim::ArchConfig> pool =
+      sim::sample_arch_configs(opts.arch_pool_size, arch_rng);
+
+  CollectStats stats;
+  stats.n_input_configs = configs.size();
+
+  for (std::size_t ci = 0; ci < configs.size(); ++ci) {
+    const auto& params = configs[ci];
+    const std::uint64_t data_seed = opts.seed + ci;
+
+    // One kernel execution feeds the profiler and all simulators.
+    trace::Tracer tracer;
+    profiler::ProfileBuilder builder;
+    tracer.attach(builder);
+    std::vector<std::unique_ptr<sim::NmcSimulator>> sims;
+    for (std::size_t a = 0; a < opts.archs_per_config; ++a) {
+      // Slot 0 is always the reference design point (pool[0], the paper's
+      // Table 3 system): the model's primary prediction target. Remaining
+      // slots rotate through the rest of the pool for architectural spread.
+      const sim::ArchConfig& arch =
+          a == 0 ? pool[0]
+                 : pool[1 + (ci * (opts.archs_per_config - 1) + a - 1) %
+                                (pool.size() - 1)];
+      sims.push_back(std::make_unique<sim::NmcSimulator>(arch));
+      tracer.attach(*sims.back());
+    }
+
+    const auto t0 = Clock::now();
+    w.run(tracer, params, data_seed);
+    const profiler::Profile profile = builder.build();
+    stats.kernel_and_profile_seconds += seconds_since(t0);
+
+    const auto t1 = Clock::now();
+    for (auto& simp : sims) {
+      const sim::SimResult& res = simp->result();
+      TrainingRow row;
+      row.app = std::string(w.name());
+      row.params = params;
+      row.arch = simp->config();
+      row.features = model_features(profile, simp->config());
+      row.ipc = res.ipc;
+      row.instructions = res.instructions;
+      row.energy_pj_per_instr =
+          res.instructions == 0
+              ? 0.0
+              : res.energy_joules * 1e12 /
+                    static_cast<double>(res.instructions);
+      row.power_watts = res.time_seconds == 0.0
+                            ? 0.0
+                            : res.energy_joules / res.time_seconds;
+      row.sim_time_seconds = res.time_seconds;
+      row.sim_energy_joules = res.energy_joules;
+      out.push_back(std::move(row));
+      ++stats.n_rows;
+    }
+    stats.simulation_seconds += seconds_since(t1);
+  }
+  return stats;
+}
+
+}  // namespace napel::core

@@ -1,0 +1,88 @@
+// NAPEL training-data pipeline (Figure 1 of the paper, phases 1-2):
+// DoE-selected input configurations are executed once through the
+// instrumentation layer, producing (a) the hardware-independent profile and
+// (b) simulator responses for one or more architecture configurations —
+// both from the same kernel execution, since profiler and simulators are
+// all TraceSinks on the same Tracer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "doe/doe.hpp"
+#include "profiler/profile.hpp"
+#include "sim/arch.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/workload.hpp"
+
+namespace napel::core {
+
+/// Model input assembly: profile features ++ architecture features ++ the
+/// two profile×architecture interaction features of Table 1 (cache access
+/// fraction / DRAM access fraction, estimated from the reuse-distance
+/// histogram at the configuration's L1 capacity).
+std::vector<double> model_features(const profiler::Profile& profile,
+                                   const sim::ArchConfig& arch);
+const std::vector<std::string>& model_feature_names();
+
+/// One training example: an (application input, architecture) pair with its
+/// simulator responses.
+struct TrainingRow {
+  std::string app;
+  workloads::WorkloadParams params;
+  sim::ArchConfig arch;
+  std::vector<double> features;
+
+  // Labels (simulator responses).
+  double ipc = 0.0;                ///< chip-level IPC
+  double energy_pj_per_instr = 0.0;
+  double power_watts = 0.0;        ///< average power over the kernel
+  // Raw responses kept for analysis/benches.
+  std::uint64_t instructions = 0;
+  double sim_time_seconds = 0.0;   ///< simulated kernel time
+  double sim_energy_joules = 0.0;
+};
+
+enum class DesignKind { kCcd, kRandom, kLatinHypercube, kFullFactorial };
+
+struct CollectOptions {
+  workloads::Scale scale = workloads::Scale::kBench;
+  DesignKind design = DesignKind::kCcd;
+  /// Number of design points for the random/LHS designs (ignored for CCD
+  /// and full factorial, whose sizes are structural).
+  std::size_t design_points = 16;
+  /// Simulated architecture configurations paired with each input
+  /// configuration (round-robin from a deterministic pool).
+  std::size_t archs_per_config = 3;
+  std::size_t arch_pool_size = 8;
+  std::uint64_t seed = 2019;
+};
+
+struct CollectStats {
+  std::size_t n_input_configs = 0;
+  std::size_t n_rows = 0;
+  double kernel_and_profile_seconds = 0.0;  ///< trace generation + analysis
+  double simulation_seconds = 0.0;          ///< timing-model replay
+};
+
+/// Runs the phase-1/phase-2 pipeline for one workload and appends the
+/// resulting rows. Returns wall-clock accounting for Table 4.
+CollectStats collect_training_data(const workloads::Workload& w,
+                                   const CollectOptions& opts,
+                                   std::vector<TrainingRow>& out);
+
+/// Profiles a single (workload, input) pair — phase 1 only (also the first
+/// phase of prediction).
+profiler::Profile profile_workload(const workloads::Workload& w,
+                                   const workloads::WorkloadParams& params,
+                                   std::uint64_t seed);
+
+/// Simulates a single (workload, input, architecture) triple — the
+/// reference the paper calls "Actual".
+sim::SimResult simulate_workload(const workloads::Workload& w,
+                                 const workloads::WorkloadParams& params,
+                                 const sim::ArchConfig& arch,
+                                 std::uint64_t seed);
+
+}  // namespace napel::core

@@ -1,0 +1,55 @@
+#include "napel/suitability.hpp"
+
+#include "common/check.hpp"
+#include "trace/tracer.hpp"
+
+namespace napel::core {
+
+SuitabilityRow analyze_suitability(const workloads::Workload& w,
+                                   const NapelModel& model,
+                                   const hostmodel::HostModel& host,
+                                   const sim::ArchConfig& arch,
+                                   const SuitabilityOptions& opts) {
+  NAPEL_CHECK_MSG(model.is_trained(), "suitability needs a trained model");
+  const workloads::WorkloadParams test_input =
+      workloads::WorkloadParams::test_input(w.doe_space(opts.scale));
+
+  // Single kernel execution feeding both the profiler and the simulator.
+  trace::Tracer tracer;
+  profiler::ProfileBuilder builder;
+  sim::NmcSimulator simulator(arch);
+  tracer.attach(builder);
+  tracer.attach(simulator);
+  w.run(tracer, test_input, opts.seed);
+
+  const profiler::Profile profile = builder.build();
+  const sim::SimResult& sim_res = simulator.result();
+  const hostmodel::HostResult host_res = host.evaluate(profile);
+  const Prediction pred = model.predict(profile, arch);
+
+  SuitabilityRow row;
+  row.app = std::string(w.name());
+  row.host_time_s = host_res.time_seconds;
+  row.host_energy_j = host_res.energy_joules;
+  row.host_edp = host_res.edp;
+  row.pred_time_s = pred.time_seconds;
+  row.pred_energy_j = pred.energy_joules;
+  row.sim_time_s = sim_res.time_seconds;
+  row.sim_energy_j = sim_res.energy_joules;
+
+  if (opts.include_offload_cost) {
+    // Worst case: the host's dirty copy of the kernel's write footprint
+    // crosses the link before launch.
+    const std::uint64_t bytes = profile.unique_write_lines * 64;
+    const sim::OffloadCost cost = sim::offload_cost(opts.link, bytes);
+    row.pred_time_s += cost.seconds;
+    row.pred_energy_j += cost.energy_joules;
+    row.sim_time_s += cost.seconds;
+    row.sim_energy_j += cost.energy_joules;
+  }
+  row.pred_edp = row.pred_energy_j * row.pred_time_s;
+  row.sim_edp = row.sim_energy_j * row.sim_time_s;
+  return row;
+}
+
+}  // namespace napel::core

@@ -1,0 +1,64 @@
+// NMC-suitability analysis (Section 3.4 / Figure 7): compares the
+// energy-delay product of running a workload's held-out *test* input on the
+// host CPU against (a) NAPEL's predicted NMC EDP and (b) the simulator's
+// "Actual" NMC EDP. EDP reduction > 1 marks the workload NMC-suitable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hostmodel/host_model.hpp"
+#include "napel/napel_model.hpp"
+#include "sim/link.hpp"
+
+namespace napel::core {
+
+struct SuitabilityRow {
+  std::string app;
+
+  double host_time_s = 0.0;
+  double host_energy_j = 0.0;
+  double host_edp = 0.0;
+
+  double pred_time_s = 0.0;
+  double pred_energy_j = 0.0;
+  double pred_edp = 0.0;
+
+  double sim_time_s = 0.0;
+  double sim_energy_j = 0.0;
+  double sim_edp = 0.0;
+
+  double edp_reduction_pred() const {
+    return pred_edp == 0.0 ? 0.0 : host_edp / pred_edp;
+  }
+  double edp_reduction_actual() const {
+    return sim_edp == 0.0 ? 0.0 : host_edp / sim_edp;
+  }
+  /// Relative error of NAPEL's EDP-reduction estimate vs the simulator's.
+  double edp_relative_error() const {
+    const double a = edp_reduction_actual();
+    return a == 0.0 ? 0.0 : std::abs(edp_reduction_pred() - a) / a;
+  }
+  bool nmc_suitable_pred() const { return edp_reduction_pred() > 1.0; }
+  bool nmc_suitable_actual() const { return edp_reduction_actual() > 1.0; }
+};
+
+struct SuitabilityOptions {
+  workloads::Scale scale = workloads::Scale::kBench;
+  std::uint64_t seed = 404;
+  /// When true, both the predicted and the simulated NMC sides are charged
+  /// for shipping the kernel's write-back footprint across the off-chip
+  /// link plus the launch round trip (the paper charges neither side).
+  bool include_offload_cost = false;
+  sim::LinkConfig link;
+};
+
+/// Analyzes one workload's test input with a trained model. Runs the kernel
+/// once: profile (host model + NAPEL input) and simulator share the trace.
+SuitabilityRow analyze_suitability(const workloads::Workload& w,
+                                   const NapelModel& model,
+                                   const hostmodel::HostModel& host,
+                                   const sim::ArchConfig& arch,
+                                   const SuitabilityOptions& opts = {});
+
+}  // namespace napel::core

@@ -1,0 +1,61 @@
+// Ideal-machine instruction-level-parallelism analysis (Table 1: "ILP on an
+// ideal machine"). Instructions are dataflow-scheduled with unit latencies
+// and unlimited functional units; the only constraints are true dependences
+// (register RAW through the SSA stream, memory RAW through store→load
+// forwarding at exact addresses) and, for finite windows, an in-order issue
+// window of W instructions. ILP_W = N / schedule-length.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/flat_map.hpp"
+#include "trace/isa.hpp"
+
+namespace napel::profiler {
+
+class IlpAnalyzer {
+ public:
+  /// Window sizes analyzed (a 5th, infinite window is always included).
+  static constexpr std::array<std::uint32_t, 4> kWindows = {32, 64, 128, 256};
+  static constexpr std::size_t kNumSchedules = kWindows.size() + 1;
+
+  IlpAnalyzer();
+
+  void on_instr(const trace::InstrEvent& ev);
+
+  /// ILP for finite window index i (into kWindows).
+  double ilp_window(std::size_t i) const;
+  double ilp_infinite() const;
+  std::uint64_t instructions() const { return n_; }
+
+ private:
+  using Times = std::array<std::uint64_t, kNumSchedules>;
+
+  // Register ready times, in a collision-checked ring (SSA registers are
+  // consumed shortly after definition; evicted entries read as ready-at-0,
+  // which only shortens apparent dependence chains negligibly).
+  static constexpr std::size_t kRegRingBits = 16;
+  struct RegSlot {
+    trace::Reg reg = trace::kNoReg;
+    Times ready{};
+  };
+
+  Times reg_ready(trace::Reg r) const;
+  void set_reg_ready(trace::Reg r, const Times& t);
+
+  std::vector<RegSlot> reg_ring_;
+  // Memory RAW: last store completion per exact address (all schedules in
+  // one map entry). Cleared when oversized to bound memory.
+  FlatMap<Times> store_ready_;
+  static constexpr std::size_t kMaxStoreMapEntries = 1u << 22;
+
+  // Sliding-window issue constraint: issue time of the instruction W back.
+  std::array<std::vector<std::uint64_t>, kWindows.size()> window_ring_;
+
+  Times horizon_{};  // schedule length so far (max completion time)
+  std::uint64_t n_ = 0;
+};
+
+}  // namespace napel::profiler

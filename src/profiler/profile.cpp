@@ -1,0 +1,375 @@
+#include "profiler/profile.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/flat_map.hpp"
+#include "common/stats.hpp"
+
+namespace napel::profiler {
+
+namespace {
+
+double log2p1(double x) { return std::log2(1.0 + x); }
+
+double safe_div(double a, double b) { return b == 0.0 ? 0.0 : a / b; }
+
+// Cache capacities (in 64B lines) probed for the "memory traffic" features:
+// 2^4 .. 2^19 lines = 1 KiB .. 32 MiB.
+constexpr std::size_t kFirstCapacityLog = 4;
+constexpr std::size_t kNumCapacities = 16;
+
+void append_rd_features(std::vector<double>& out,
+                        const ReuseDistanceHistogram& rd) {
+  const auto fracs = rd.histogram().fractions();
+  NAPEL_CHECK(fracs.size() == kHistFeatureBuckets);
+  // Bucket fractions are normalized over non-cold samples.
+  out.insert(out.end(), fracs.begin(), fracs.end());
+  const double n = static_cast<double>(rd.samples());
+  out.push_back(safe_div(static_cast<double>(rd.cold_misses()), n));
+  out.push_back(log2p1(rd.histogram().approximate_mean()));
+  out.push_back(log2p1(rd.histogram().approximate_percentile(50)));
+  out.push_back(log2p1(rd.histogram().approximate_percentile(90)));
+  out.push_back(log2p1(rd.histogram().approximate_percentile(99)));
+}
+
+void append_rd_names(std::vector<std::string>& out, const std::string& base) {
+  for (std::size_t b = 0; b < kHistFeatureBuckets; ++b)
+    out.push_back(base + "_bucket" + std::to_string(b));
+  out.push_back(base + "_cold_frac");
+  out.push_back(base + "_log_mean");
+  out.push_back(base + "_log_p50");
+  out.push_back(base + "_log_p90");
+  out.push_back(base + "_log_p99");
+}
+
+}  // namespace
+
+const std::vector<std::string>& Profile::feature_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> n;
+    n.reserve(kFeatureCount);
+    // A: totals & instruction mix
+    n.push_back("log_total_instr");
+    for (std::size_t op = 0; op < trace::kNumOpTypes; ++op)
+      n.push_back("mix_" +
+                  std::string(op_name(static_cast<trace::OpType>(op))));
+    n.push_back("mem_fraction");
+    n.push_back("arith_fraction");
+    n.push_back("fp_fraction_of_arith");
+    n.push_back("load_fraction_of_mem");
+    // B: ILP
+    for (auto w : IlpAnalyzer::kWindows)
+      n.push_back("ilp_w" + std::to_string(w));
+    n.push_back("ilp_inf");
+    n.push_back("ilp_ratio_64_32");
+    n.push_back("ilp_ratio_128_64");
+    n.push_back("ilp_ratio_256_128");
+    n.push_back("ilp_ratio_inf_256");
+    // C-F: reuse distances
+    append_rd_names(n, "rd_read");
+    append_rd_names(n, "rd_write");
+    append_rd_names(n, "rd_all");
+    append_rd_names(n, "rd_instr");
+    // G: memory traffic (DRAM-access fraction) at capacities
+    for (const char* cls : {"read", "write", "all"})
+      for (std::size_t k = 0; k < kNumCapacities; ++k)
+        n.push_back(std::string("miss_frac_") + cls + "_cap2e" +
+                    std::to_string(kFirstCapacityLog + k));
+    // H: strides
+    for (std::size_t b = 0; b < kHistFeatureBuckets; ++b)
+      n.push_back("stride_bucket" + std::to_string(b));
+    n.push_back("stride_frac_le_line");
+    n.push_back("stride_frac_le_page");
+    n.push_back("stride_log_mean");
+    // I: register traffic
+    n.push_back("avg_srcs_per_instr");
+    n.push_back("frac_instr_with_dst");
+    n.push_back("frac_instr_with_src");
+    n.push_back("uses_per_def");
+    n.push_back("log_unique_regs");
+    n.push_back("log_unique_pcs");
+    // J: footprint & traffic volume
+    n.push_back("log_footprint_bytes");
+    n.push_back("log_read_footprint_bytes");
+    n.push_back("log_write_footprint_bytes");
+    n.push_back("log_traffic_bytes");
+    n.push_back("log_read_traffic_bytes");
+    n.push_back("log_write_traffic_bytes");
+    n.push_back("log_unique_lines");
+    n.push_back("rw_footprint_overlap");
+    // K: threads
+    n.push_back("n_threads");
+    n.push_back("log_instr_per_thread");
+    n.push_back("thread_imbalance_cv");
+    n.push_back("log_max_thread_instr");
+    // L: control
+    n.push_back("branch_fraction");
+    n.push_back("branches_per_mem_op");
+    n.push_back("avg_basic_block_len");
+    NAPEL_CHECK_MSG(n.size() == kFeatureCount,
+                    "feature schema drifted from kFeatureCount");
+    return n;
+  }();
+  return names;
+}
+
+double Profile::feature(std::string_view name) const {
+  const auto& names = feature_names();
+  for (std::size_t i = 0; i < names.size(); ++i)
+    if (names[i] == name) return features[i];
+  napel::check_failed("feature exists", __FILE__, __LINE__,
+                      "unknown feature: " + std::string(name));
+}
+
+struct ProfileBuilder::State {
+  std::string kernel;
+  unsigned n_threads = 1;
+  bool in_kernel = false;
+  bool ended = false;
+
+  std::array<std::uint64_t, trace::kNumOpTypes> op_counts{};
+  std::uint64_t total = 0;
+
+  StackDistanceTracker data_sd;
+  LruStackDistance instr_sd;
+  ReuseDistanceHistogram rd_read{kHistFeatureBuckets};
+  ReuseDistanceHistogram rd_write{kHistFeatureBuckets};
+  ReuseDistanceHistogram rd_all{kHistFeatureBuckets};
+  ReuseDistanceHistogram rd_instr{kHistFeatureBuckets};
+  Log2Histogram stride{kHistFeatureBuckets};
+  IlpAnalyzer ilp;
+
+  FlatSet read_lines;
+  FlatSet write_lines;
+  std::uint64_t read_bytes = 0;
+  std::uint64_t write_bytes = 0;
+  std::uint64_t src_reads = 0;
+  std::uint64_t defs = 0;
+  std::uint64_t instr_with_src = 0;
+  std::uint64_t prev_addr = 0;
+  bool have_prev_addr = false;
+  std::vector<std::uint64_t> per_thread;
+
+  // Per-PC stride predictability: last address and last stride per memory
+  // pseudo-PC; an access is prefetchable when it repeats the PC's previous
+  // stride and stays within a page.
+  struct PcStride {
+    std::uint64_t last_addr = 0;
+    std::int64_t last_stride = 0;
+    std::uint8_t seen = 0;  // 0: no addr, 1: addr only, 2: addr + stride
+  };
+  FlatMap<PcStride> pc_strides;
+  std::uint64_t prefetchable_accesses = 0;
+};
+
+ProfileBuilder::ProfileBuilder() : st_(std::make_unique<State>()) {}
+ProfileBuilder::~ProfileBuilder() = default;
+
+void ProfileBuilder::begin_kernel(std::string_view name, unsigned n_threads) {
+  st_ = std::make_unique<State>();
+  st_->kernel = std::string(name);
+  st_->n_threads = n_threads;
+  st_->in_kernel = true;
+  st_->per_thread.assign(n_threads, 0);
+}
+
+void ProfileBuilder::end_kernel() {
+  NAPEL_CHECK(st_->in_kernel);
+  st_->in_kernel = false;
+  st_->ended = true;
+}
+
+void ProfileBuilder::on_instr(const trace::InstrEvent& ev) {
+  State& s = *st_;
+  ++s.total;
+  ++s.op_counts[static_cast<std::size_t>(ev.op)];
+  if (ev.thread < s.per_thread.size()) ++s.per_thread[ev.thread];
+
+  const unsigned n_src =
+      (ev.src1 != trace::kNoReg ? 1u : 0u) + (ev.src2 != trace::kNoReg ? 1u : 0u);
+  s.src_reads += n_src;
+  if (n_src > 0) ++s.instr_with_src;
+  if (ev.dst != trace::kNoReg) ++s.defs;
+
+  // Instruction reuse distance over pseudo-PCs.
+  s.rd_instr.record(s.instr_sd.access(ev.pc));
+
+  if (trace::is_memory(ev.op)) {
+    const std::uint64_t line = ev.addr >> 6;
+    const std::uint64_t d = s.data_sd.access(line);
+    s.rd_all.record(d);
+    if (ev.op == trace::OpType::kLoad) {
+      s.rd_read.record(d);
+      s.read_lines.insert(line);
+      s.read_bytes += ev.size;
+    } else {
+      s.rd_write.record(d);
+      s.write_lines.insert(line);
+      s.write_bytes += ev.size;
+    }
+    if (s.have_prev_addr) {
+      const std::uint64_t delta = ev.addr > s.prev_addr
+                                      ? ev.addr - s.prev_addr
+                                      : s.prev_addr - ev.addr;
+      s.stride.add(delta);
+    }
+    s.prev_addr = ev.addr;
+    s.have_prev_addr = true;
+
+    // Per-PC stride predictability.
+    State::PcStride& ps = s.pc_strides[ev.pc];
+    if (ps.seen >= 1) {
+      const std::int64_t stride =
+          static_cast<std::int64_t>(ev.addr) -
+          static_cast<std::int64_t>(ps.last_addr);
+      if (ps.seen == 2 && stride == ps.last_stride && stride >= -4096 &&
+          stride <= 4096) {
+        ++s.prefetchable_accesses;
+      }
+      ps.last_stride = stride;
+      ps.seen = 2;
+    } else {
+      ps.seen = 1;
+    }
+    ps.last_addr = ev.addr;
+  }
+
+  s.ilp.on_instr(ev);
+}
+
+Profile ProfileBuilder::build() const {
+  const State& s = *st_;
+  NAPEL_CHECK_MSG(s.ended, "build() requires a completed kernel run");
+
+  Profile p;
+  p.kernel = s.kernel;
+  p.n_threads = s.n_threads;
+  p.total_instructions = s.total;
+  p.op_counts = s.op_counts;
+  p.data_read_rd = s.rd_read;
+  p.data_write_rd = s.rd_write;
+  p.data_all_rd = s.rd_all;
+  p.instr_rd = s.rd_instr;
+  p.stride_hist = s.stride;
+  for (std::size_t i = 0; i < IlpAnalyzer::kWindows.size(); ++i)
+    p.ilp[i] = s.ilp.ilp_window(i);
+  p.ilp[IlpAnalyzer::kNumSchedules - 1] = s.ilp.ilp_infinite();
+  p.unique_lines = s.data_sd.unique_blocks();
+  p.unique_read_lines = s.read_lines.size();
+  p.unique_write_lines = s.write_lines.size();
+  p.read_bytes = s.read_bytes;
+  p.write_bytes = s.write_bytes;
+  p.unique_pcs = s.instr_sd.unique_keys();
+  p.src_operand_reads = s.src_reads;
+  p.reg_defs = s.defs;
+  p.instr_with_src = s.instr_with_src;
+  p.per_thread_instr = s.per_thread;
+  {
+    const double mem_total = static_cast<double>(p.memory_ops());
+    p.pc_stride_regular_fraction =
+        safe_div(static_cast<double>(s.prefetchable_accesses), mem_total);
+  }
+
+  const double total = static_cast<double>(s.total);
+  auto count = [&](trace::OpType op) {
+    return static_cast<double>(
+        s.op_counts[static_cast<std::size_t>(op)]);
+  };
+  const double loads = count(trace::OpType::kLoad);
+  const double stores = count(trace::OpType::kStore);
+  const double branches = count(trace::OpType::kBranch);
+  const double mem = loads + stores;
+  const double int_arith = count(trace::OpType::kIntAlu) +
+                           count(trace::OpType::kIntMul) +
+                           count(trace::OpType::kIntDiv);
+  const double fp_arith = count(trace::OpType::kFpAdd) +
+                          count(trace::OpType::kFpMul) +
+                          count(trace::OpType::kFpDiv);
+  const double arith = int_arith + fp_arith;
+
+  std::vector<double>& f = p.features;
+  f.reserve(kFeatureCount);
+
+  // A: totals & mix
+  f.push_back(log2p1(total));
+  for (std::size_t op = 0; op < trace::kNumOpTypes; ++op)
+    f.push_back(safe_div(static_cast<double>(s.op_counts[op]), total));
+  f.push_back(safe_div(mem, total));
+  f.push_back(safe_div(arith, total));
+  f.push_back(safe_div(fp_arith, arith));
+  f.push_back(safe_div(loads, mem));
+
+  // B: ILP
+  for (double v : p.ilp) f.push_back(v);
+  f.push_back(safe_div(p.ilp[1], p.ilp[0]));
+  f.push_back(safe_div(p.ilp[2], p.ilp[1]));
+  f.push_back(safe_div(p.ilp[3], p.ilp[2]));
+  f.push_back(safe_div(p.ilp[4], p.ilp[3]));
+
+  // C-F: reuse distances
+  append_rd_features(f, s.rd_read);
+  append_rd_features(f, s.rd_write);
+  append_rd_features(f, s.rd_all);
+  append_rd_features(f, s.rd_instr);
+
+  // G: memory traffic at capacities
+  for (const auto* rd : {&s.rd_read, &s.rd_write, &s.rd_all})
+    for (std::size_t k = 0; k < kNumCapacities; ++k)
+      f.push_back(rd->miss_fraction(1ULL << (kFirstCapacityLog + k)));
+
+  // H: strides
+  {
+    const auto fracs = s.stride.fractions();
+    f.insert(f.end(), fracs.begin(), fracs.end());
+    f.push_back(s.stride.fraction_below(65));
+    f.push_back(s.stride.fraction_below(4097));
+    f.push_back(log2p1(s.stride.approximate_mean()));
+  }
+
+  // I: register traffic
+  f.push_back(safe_div(static_cast<double>(s.src_reads), total));
+  f.push_back(safe_div(static_cast<double>(s.defs), total));
+  f.push_back(safe_div(static_cast<double>(s.instr_with_src), total));
+  f.push_back(safe_div(static_cast<double>(s.src_reads),
+                       static_cast<double>(s.defs)));
+  f.push_back(log2p1(static_cast<double>(s.defs)));
+  f.push_back(log2p1(static_cast<double>(p.unique_pcs)));
+
+  // J: footprint & traffic volume
+  f.push_back(log2p1(static_cast<double>(p.unique_lines) * 64.0));
+  f.push_back(log2p1(static_cast<double>(p.unique_read_lines) * 64.0));
+  f.push_back(log2p1(static_cast<double>(p.unique_write_lines) * 64.0));
+  f.push_back(log2p1(static_cast<double>(s.read_bytes + s.write_bytes)));
+  f.push_back(log2p1(static_cast<double>(s.read_bytes)));
+  f.push_back(log2p1(static_cast<double>(s.write_bytes)));
+  f.push_back(log2p1(static_cast<double>(p.unique_lines)));
+  {
+    const double overlap =
+        static_cast<double>(p.unique_read_lines + p.unique_write_lines) -
+        static_cast<double>(p.unique_lines);
+    f.push_back(safe_div(overlap, static_cast<double>(p.unique_lines)));
+  }
+
+  // K: threads
+  f.push_back(static_cast<double>(s.n_threads));
+  f.push_back(log2p1(total / static_cast<double>(s.n_threads)));
+  {
+    std::vector<double> pt(s.per_thread.begin(), s.per_thread.end());
+    const double m = pt.empty() ? 0.0 : mean(pt);
+    const double sd = pt.empty() ? 0.0 : stddev(pt);
+    f.push_back(safe_div(sd, m));
+    f.push_back(log2p1(pt.empty() ? 0.0 : max_of(pt)));
+  }
+
+  // L: control
+  f.push_back(safe_div(branches, total));
+  f.push_back(safe_div(branches, mem));
+  f.push_back(safe_div(total, branches + 1.0));
+
+  NAPEL_CHECK_MSG(f.size() == kFeatureCount,
+                  "assembled feature vector has wrong arity");
+  return p;
+}
+
+}  // namespace napel::profiler

@@ -1,0 +1,101 @@
+// Application profile p(k, d): the microarchitecture-independent feature
+// vector NAPEL feeds its ensemble model (Section 2.3 / Table 1 of the
+// paper). The profile is computed in a single streaming pass over the
+// kernel's instruction trace and assembles 395 named features covering
+// instruction mix, ideal-machine ILP, data/instruction reuse distance,
+// memory traffic at a range of cache capacities, spatial strides, register
+// traffic, memory footprint, thread balance, and control behaviour.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "profiler/ilp.hpp"
+#include "profiler/reuse_distance.hpp"
+#include "trace/sink.hpp"
+
+namespace napel::profiler {
+
+/// Number of log2 buckets kept per reuse/stride histogram in the feature
+/// vector. Chosen so the full schema is exactly kFeatureCount features.
+inline constexpr std::size_t kHistFeatureBuckets = 56;
+inline constexpr std::size_t kFeatureCount = 395;
+
+struct Profile {
+  std::string kernel;
+  unsigned n_threads = 1;
+  std::uint64_t total_instructions = 0;
+  std::array<std::uint64_t, trace::kNumOpTypes> op_counts{};
+
+  // Reuse-distance histograms at 64B-line granularity. Samples are
+  // classified by the type of the *current* access.
+  ReuseDistanceHistogram data_read_rd{kHistFeatureBuckets};
+  ReuseDistanceHistogram data_write_rd{kHistFeatureBuckets};
+  ReuseDistanceHistogram data_all_rd{kHistFeatureBuckets};
+  ReuseDistanceHistogram instr_rd{kHistFeatureBuckets};
+  Log2Histogram stride_hist{kHistFeatureBuckets};
+
+  // ILP at windows 32/64/128/256 and infinite.
+  std::array<double, IlpAnalyzer::kNumSchedules> ilp{};
+
+  std::uint64_t unique_lines = 0;        // 64B-line footprint (all accesses)
+  std::uint64_t unique_read_lines = 0;
+  std::uint64_t unique_write_lines = 0;
+  std::uint64_t read_bytes = 0;          // total traffic
+  std::uint64_t write_bytes = 0;
+  std::uint64_t unique_pcs = 0;
+
+  std::uint64_t src_operand_reads = 0;   // register traffic
+  std::uint64_t reg_defs = 0;
+  std::uint64_t instr_with_src = 0;
+
+  std::uint64_t branches_taken_slots = 0;  // dynamic basic blocks seen
+  std::vector<std::uint64_t> per_thread_instr;
+
+  /// Fraction of memory accesses whose stride relative to the previous
+  /// access *from the same pseudo-PC* repeats the PC's previous stride and
+  /// stays within a page — i.e. accesses a hardware stride prefetcher can
+  /// predict. Dense kernels score near 1, pointer-chasing/indirect ones
+  /// low. Kept out of the 395-feature model vector (it is consumed by the
+  /// host model, which represents prefetching hardware the NMC PEs lack).
+  double pc_stride_regular_fraction = 0.0;
+
+  /// The assembled model-input vector; always kFeatureCount entries, in the
+  /// order of feature_names().
+  std::vector<double> features;
+
+  /// Stable schema of all feature names.
+  static const std::vector<std::string>& feature_names();
+  /// Value of a named feature; throws for unknown names.
+  double feature(std::string_view name) const;
+
+  std::uint64_t memory_ops() const {
+    return op_counts[static_cast<std::size_t>(trace::OpType::kLoad)] +
+           op_counts[static_cast<std::size_t>(trace::OpType::kStore)];
+  }
+};
+
+/// Streaming profile computation: attach to a Tracer, run the kernel, then
+/// call build() once.
+class ProfileBuilder final : public trace::TraceSink {
+ public:
+  ProfileBuilder();
+  ~ProfileBuilder() override;
+
+  void begin_kernel(std::string_view name, unsigned n_threads) override;
+  void on_instr(const trace::InstrEvent& ev) override;
+  void end_kernel() override;
+
+  /// Assembles the profile. Requires a completed kernel bracket.
+  Profile build() const;
+
+ private:
+  struct State;
+  std::unique_ptr<State> st_;
+};
+
+}  // namespace napel::profiler

@@ -1,0 +1,97 @@
+#include "sim/arch.hpp"
+
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace napel::sim {
+
+void ArchConfig::validate() const {
+  NAPEL_CHECK(n_pes >= 1 && n_pes <= 1024);
+  NAPEL_CHECK(core_freq_ghz > 0.0 && core_freq_ghz <= 10.0);
+  NAPEL_CHECK_MSG(std::has_single_bit(cache_line_bytes),
+                  "cache line size must be a power of two");
+  NAPEL_CHECK(cache_line_bytes >= 16 && cache_line_bytes <= 512);
+  NAPEL_CHECK(cache_lines >= 1);
+  NAPEL_CHECK(cache_ways >= 1 && cache_ways <= cache_lines);
+  NAPEL_CHECK_MSG(cache_lines % cache_ways == 0,
+                  "cache lines must divide evenly into ways");
+  NAPEL_CHECK_MSG(std::has_single_bit(cache_lines / cache_ways),
+                  "cache set count must be a power of two");
+  NAPEL_CHECK(dram_layers >= 1 && dram_layers <= 16);
+  NAPEL_CHECK_MSG(std::has_single_bit(n_vaults), "vault count power of two");
+  NAPEL_CHECK(dram_bytes >= (1ULL << 20));
+  NAPEL_CHECK(row_buffer_bytes >= cache_line_bytes);
+  NAPEL_CHECK(timing.t_rcd >= 1 && timing.t_cl >= 1 && timing.t_rp >= 1);
+}
+
+ArchConfig ArchConfig::paper_default() { return ArchConfig{}; }
+
+std::vector<double> ArchConfig::features() const {
+  return {
+      static_cast<double>(n_pes),
+      core_freq_ghz,
+      static_cast<double>(cache_line_bytes),
+      static_cast<double>(cache_lines),
+      static_cast<double>(dram_layers),
+      std::log2(static_cast<double>(dram_bytes)),
+      static_cast<double>(n_vaults),
+      static_cast<double>(row_buffer_bytes),
+  };
+}
+
+const std::vector<std::string>& ArchConfig::feature_names() {
+  static const std::vector<std::string> names = {
+      "arch_n_pes",        "arch_core_freq_ghz", "arch_cache_line_bytes",
+      "arch_cache_lines",  "arch_dram_layers",   "arch_log_dram_bytes",
+      "arch_n_vaults",     "arch_row_buffer_bytes",
+  };
+  return names;
+}
+
+std::string ArchConfig::to_string() const {
+  std::ostringstream os;
+  os << "pes=" << n_pes << ",freq=" << core_freq_ghz
+     << ",line=" << cache_line_bytes << ",lines=" << cache_lines
+     << ",layers=" << dram_layers << ",vaults=" << n_vaults;
+  return os.str();
+}
+
+bool ArchConfig::operator==(const ArchConfig& o) const {
+  return n_pes == o.n_pes && core_freq_ghz == o.core_freq_ghz &&
+         cache_line_bytes == o.cache_line_bytes &&
+         cache_lines == o.cache_lines && cache_ways == o.cache_ways &&
+         dram_layers == o.dram_layers && n_vaults == o.n_vaults &&
+         dram_bytes == o.dram_bytes && row_buffer_bytes == o.row_buffer_bytes;
+}
+
+std::vector<ArchConfig> sample_arch_configs(std::size_t n, Rng& rng) {
+  NAPEL_CHECK(n >= 1);
+  static constexpr unsigned kPes[] = {8, 16, 32, 64};
+  static constexpr double kFreq[] = {0.8, 1.0, 1.25, 1.6, 2.0};
+  static constexpr unsigned kLine[] = {32, 64, 128};
+  static constexpr unsigned kLines[] = {2, 4, 8, 16, 32};
+  static constexpr unsigned kLayers[] = {4, 8, 16};
+  static constexpr unsigned kVaults[] = {16, 32};
+
+  std::vector<ArchConfig> out;
+  out.reserve(n);
+  out.push_back(ArchConfig::paper_default());
+  while (out.size() < n) {
+    ArchConfig c;
+    c.n_pes = kPes[rng.uniform_index(std::size(kPes))];
+    c.core_freq_ghz = kFreq[rng.uniform_index(std::size(kFreq))];
+    c.cache_line_bytes = kLine[rng.uniform_index(std::size(kLine))];
+    c.cache_lines = kLines[rng.uniform_index(std::size(kLines))];
+    c.cache_ways = c.cache_lines >= 2 ? 2 : 1;
+    c.dram_layers = kLayers[rng.uniform_index(std::size(kLayers))];
+    c.n_vaults = kVaults[rng.uniform_index(std::size(kVaults))];
+    c.validate();
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace napel::sim

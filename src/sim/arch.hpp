@@ -1,0 +1,92 @@
+// NMC architecture configuration (Table 1 architectural features, Table 3
+// system parameters) plus the DRAM timing and energy constants of the
+// simulated 3D-stacked memory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace napel::sim {
+
+/// Row-buffer management policy. The paper's system uses the closed-row
+/// policy (every access pays ACT + column + PRE); the open-row policy keeps
+/// the last row latched, trading row hits against row-conflict penalties —
+/// provided as a design-space/ablation axis.
+enum class RowPolicy : std::uint8_t { kClosed, kOpen };
+
+/// DRAM timing, in core-clock cycles (the memory and PE domains are
+/// modelled at the same 1.25 GHz clock for simplicity).
+struct DramTiming {
+  unsigned t_rcd = 10;        ///< ACT -> column command
+  unsigned t_cl = 10;         ///< column command -> first data
+  unsigned t_rp = 10;         ///< precharge
+  unsigned burst_per_32b = 1; ///< data-bus cycles per 32 bytes transferred
+
+  unsigned burst_cycles(unsigned line_bytes) const {
+    return ((line_bytes + 31) / 32) * burst_per_32b;
+  }
+  /// Bank busy time for one closed-row access.
+  unsigned t_rc(unsigned line_bytes) const {
+    return t_rcd + t_cl + burst_cycles(line_bytes) + t_rp;
+  }
+};
+
+/// Per-event energy constants (picojoules) and static power (watts).
+/// Defaults are representative of an HMC-like stack with simple in-order
+/// PEs in the logic layer.
+struct EnergyModel {
+  double pj_int_op = 6.0;
+  double pj_fp_op = 18.0;
+  double pj_mem_op = 12.0;      ///< AGU + load/store unit, excl. cache/DRAM
+  double pj_branch = 4.0;
+  double pj_l1_access = 6.0;
+  double pj_dram_activate = 500.0;  ///< 256B row, ACT+PRE pair
+  double pj_dram_per_byte = 4.0;    ///< column access + TSV transfer
+  double watt_static_per_pe = 0.05;  ///< leakage + clocking per simple core
+  double watt_static_dram = 5.0;     ///< 3D-stack background (refresh, I/O)
+};
+
+/// One NMC design point. The paper's model learns sensitivity to these
+/// parameters (Table 1, "NMC Arch. Features").
+struct ArchConfig {
+  unsigned n_pes = 32;             ///< in-order single-issue cores
+  double core_freq_ghz = 1.25;
+  unsigned cache_line_bytes = 64;
+  unsigned cache_lines = 2;        ///< total L1 lines per PE
+  unsigned cache_ways = 2;
+  unsigned dram_layers = 8;        ///< stacked DRAM layers
+  unsigned n_vaults = 32;
+  std::uint64_t dram_bytes = 4ULL << 30;
+  unsigned row_buffer_bytes = 256;
+  RowPolicy row_policy = RowPolicy::kClosed;  ///< Table 3: closed-row
+  DramTiming timing;
+  EnergyModel energy;
+
+  /// Banks available per vault (two banks per stacked layer).
+  unsigned banks_per_vault() const { return 2 * dram_layers; }
+
+  /// Validates internal consistency; throws std::invalid_argument.
+  void validate() const;
+
+  /// The paper's Table 3 NMC system.
+  static ArchConfig paper_default();
+
+  /// Numeric encoding used as model-input features (together with the
+  /// profile-derived cache/DRAM access fractions).
+  std::vector<double> features() const;
+  static const std::vector<std::string>& feature_names();
+
+  std::string to_string() const;
+  bool operator==(const ArchConfig&) const;
+};
+
+/// Deterministically samples `n` diverse design points around the default
+/// (varying PE count, frequency, cache geometry, stack height, vaults);
+/// index 0 is always paper_default(). Used to give the training set
+/// architectural spread.
+std::vector<ArchConfig> sample_arch_configs(std::size_t n, Rng& rng);
+
+}  // namespace napel::sim

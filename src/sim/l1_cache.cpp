@@ -1,0 +1,80 @@
+#include "sim/l1_cache.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace napel::sim {
+
+L1Cache::L1Cache(unsigned total_lines, unsigned ways, unsigned line_bytes)
+    : ways_(ways), line_bytes_(line_bytes) {
+  NAPEL_CHECK(ways >= 1);
+  NAPEL_CHECK(total_lines >= ways && total_lines % ways == 0);
+  NAPEL_CHECK(std::has_single_bit(line_bytes));
+  n_sets_ = total_lines / ways;
+  NAPEL_CHECK(std::has_single_bit(n_sets_));
+  line_shift_ = static_cast<unsigned>(std::countr_zero(line_bytes));
+  lines_.assign(static_cast<std::size_t>(n_sets_) * ways_, Line{});
+}
+
+std::uint64_t L1Cache::line_id(std::uint64_t addr) const {
+  return addr >> line_shift_;
+}
+
+L1Cache::AccessResult L1Cache::access(std::uint64_t addr, bool is_write) {
+  const std::uint64_t id = line_id(addr);
+  const std::size_t set = static_cast<std::size_t>(id & (n_sets_ - 1));
+  Line* base = &lines_[set * ways_];
+  ++stamp_;
+
+  // Hit path.
+  for (unsigned w = 0; w < ways_; ++w) {
+    Line& ln = base[w];
+    if (ln.valid && ln.tag == id) {
+      ln.lru = stamp_;
+      ln.dirty = ln.dirty || is_write;
+      ++hits_;
+      return {.hit = true};
+    }
+  }
+
+  // Miss: pick invalid way or LRU victim.
+  ++misses_;
+  Line* victim = base;
+  for (unsigned w = 0; w < ways_; ++w) {
+    Line& ln = base[w];
+    if (!ln.valid) {
+      victim = &ln;
+      break;
+    }
+    if (ln.lru < victim->lru) victim = &ln;
+  }
+
+  AccessResult res;
+  if (victim->valid && victim->dirty) {
+    res.writeback = true;
+    res.writeback_addr = victim->tag << line_shift_;
+    ++writebacks_;
+  }
+  victim->valid = true;
+  victim->tag = id;
+  victim->lru = stamp_;
+  victim->dirty = is_write;
+  return res;
+}
+
+bool L1Cache::contains(std::uint64_t addr) const {
+  const std::uint64_t id = line_id(addr);
+  const std::size_t set = static_cast<std::size_t>(id & (n_sets_ - 1));
+  const Line* base = &lines_[set * ways_];
+  for (unsigned w = 0; w < ways_; ++w)
+    if (base[w].valid && base[w].tag == id) return true;
+  return false;
+}
+
+void L1Cache::reset() {
+  for (auto& ln : lines_) ln = Line{};
+  stamp_ = hits_ = misses_ = writebacks_ = 0;
+}
+
+}  // namespace napel::sim

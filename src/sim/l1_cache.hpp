@@ -1,0 +1,57 @@
+// Tiny per-PE L1 cache: set-associative, write-back, write-allocate, true
+// LRU within each set (Table 3: 2-way, 2 lines of 64 B per PE by default).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace napel::sim {
+
+class L1Cache {
+ public:
+  L1Cache(unsigned total_lines, unsigned ways, unsigned line_bytes);
+
+  struct AccessResult {
+    bool hit = false;
+    bool writeback = false;          ///< a dirty victim was evicted
+    std::uint64_t writeback_addr = 0; ///< line-aligned byte address
+  };
+
+  /// Performs the access (allocating on miss) and reports hit/miss plus any
+  /// dirty eviction caused by the fill.
+  AccessResult access(std::uint64_t addr, bool is_write);
+
+  /// Lookup without state change (for tests/introspection).
+  bool contains(std::uint64_t addr) const;
+
+  void reset();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t writebacks() const { return writebacks_; }
+  unsigned line_bytes() const { return line_bytes_; }
+  unsigned sets() const { return n_sets_; }
+  unsigned ways() const { return ways_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  // last-use stamp; larger = more recent
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  std::uint64_t line_id(std::uint64_t addr) const;
+
+  unsigned ways_;
+  unsigned line_bytes_;
+  unsigned line_shift_;
+  unsigned n_sets_;
+  std::vector<Line> lines_;  // n_sets_ * ways_, set-major
+  std::uint64_t stamp_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t writebacks_ = 0;
+};
+
+}  // namespace napel::sim

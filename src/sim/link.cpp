@@ -1,0 +1,20 @@
+#include "sim/link.hpp"
+
+#include "common/check.hpp"
+
+namespace napel::sim {
+
+OffloadCost offload_cost(const LinkConfig& link, std::uint64_t bytes) {
+  NAPEL_CHECK(link.lanes >= 1);
+  NAPEL_CHECK(link.gbps_per_lane > 0.0);
+  NAPEL_CHECK(link.protocol_efficiency > 0.0 &&
+              link.protocol_efficiency <= 1.0);
+  OffloadCost cost;
+  cost.seconds = link.launch_latency_us * 1e-6 +
+                 static_cast<double>(bytes) / link.bandwidth_bytes_per_s();
+  cost.energy_joules =
+      static_cast<double>(bytes) * 8.0 * link.pj_per_bit * 1e-12;
+  return cost;
+}
+
+}  // namespace napel::sim

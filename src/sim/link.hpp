@@ -1,0 +1,36 @@
+// Off-chip serializer/deserializer link (Table 3: 16-bit full duplex SerDes
+// @ 15 Gbps) and the host→NMC offload cost model built on it.
+//
+// The paper's evaluation charges the kernel only for its near-memory
+// execution (the data already lives in the stack); the offload cost model
+// is provided for studies that want to include the control transfer and
+// any host-side dirty data that must be flushed across the link first.
+#pragma once
+
+#include <cstdint>
+
+namespace napel::sim {
+
+struct LinkConfig {
+  unsigned lanes = 16;            ///< full-duplex lane pairs
+  double gbps_per_lane = 15.0;    ///< per-lane signalling rate
+  double protocol_efficiency = 0.8;  ///< flit/CRC overhead
+  double launch_latency_us = 5.0;    ///< kernel-offload round trip
+  double pj_per_bit = 2.0;           ///< SerDes energy
+
+  /// Effective payload bandwidth in bytes/second (one direction).
+  double bandwidth_bytes_per_s() const {
+    return static_cast<double>(lanes) * gbps_per_lane * 1e9 / 8.0 *
+           protocol_efficiency;
+  }
+};
+
+struct OffloadCost {
+  double seconds = 0.0;
+  double energy_joules = 0.0;
+};
+
+/// Cost of shipping `bytes` across the link plus the launch round trip.
+OffloadCost offload_cost(const LinkConfig& link, std::uint64_t bytes);
+
+}  // namespace napel::sim

@@ -1,0 +1,261 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <queue>
+#include <string>
+
+#include "common/check.hpp"
+#include "sim/l1_cache.hpp"
+#include "sim/vault.hpp"
+
+namespace napel::sim {
+
+namespace {
+
+/// Core occupancy (issue slots) per non-memory instruction: arithmetic is
+/// pipelined at one per cycle; divides occupy the (unpipelined) divider.
+unsigned issue_cycles(trace::OpType op) {
+  switch (op) {
+    case trace::OpType::kIntDiv: return 12;
+    case trace::OpType::kFpDiv: return 16;
+    default: return 1;
+  }
+}
+
+}  // namespace
+
+struct NmcSimulator::State {
+  struct PeOp {
+    std::uint64_t addr = 0;
+    std::uint32_t gap = 0;  ///< core cycles of non-memory work before this op
+    bool is_write = false;
+  };
+  struct PeStream {
+    std::vector<PeOp> ops;
+    std::uint64_t pending_gap = 0;  ///< accumulates until the next memory op
+    std::uint64_t tail_gap = 0;
+    std::uint64_t instructions = 0;
+  };
+
+  std::vector<PeStream> pes;
+  std::array<std::uint64_t, trace::kNumOpTypes> op_counts{};
+  std::uint64_t total_instructions = 0;
+  bool ended = false;
+};
+
+NmcSimulator::NmcSimulator(ArchConfig cfg)
+    : cfg_(cfg), st_(std::make_unique<State>()) {
+  cfg_.validate();
+}
+
+NmcSimulator::~NmcSimulator() = default;
+
+void NmcSimulator::begin_kernel(std::string_view, unsigned) {
+  st_ = std::make_unique<State>();
+  st_->pes.resize(cfg_.n_pes);
+  ran_ = false;
+  result_ = SimResult{};
+}
+
+void NmcSimulator::on_instr(const trace::InstrEvent& ev) {
+  State& s = *st_;
+  ++s.total_instructions;
+  ++s.op_counts[static_cast<std::size_t>(ev.op)];
+  State::PeStream& pe = s.pes[ev.thread % cfg_.n_pes];
+  ++pe.instructions;
+  if (trace::is_memory(ev.op)) {
+    pe.ops.push_back({.addr = ev.addr,
+                      .gap = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                          pe.pending_gap, UINT32_MAX)),
+                      .is_write = ev.op == trace::OpType::kStore});
+    pe.pending_gap = 0;
+  } else {
+    pe.pending_gap += issue_cycles(ev.op);
+  }
+}
+
+void NmcSimulator::end_kernel() {
+  for (auto& pe : st_->pes) {
+    pe.tail_gap = pe.pending_gap;
+    pe.pending_gap = 0;
+  }
+  st_->ended = true;
+}
+
+const SimResult& NmcSimulator::result() {
+  NAPEL_CHECK_MSG(st_->ended, "result() requires a completed kernel run");
+  if (!ran_) {
+    run();
+    ran_ = true;
+  }
+  return result_;
+}
+
+void NmcSimulator::run() {
+  State& s = *st_;
+  const unsigned line_bytes = cfg_.cache_line_bytes;
+  const unsigned line_shift =
+      static_cast<unsigned>(std::countr_zero(line_bytes));
+  const unsigned n_vaults = cfg_.n_vaults;
+
+  std::vector<L1Cache> caches;
+  caches.reserve(cfg_.n_pes);
+  for (unsigned p = 0; p < cfg_.n_pes; ++p)
+    caches.emplace_back(cfg_.cache_lines, cfg_.cache_ways, line_bytes);
+
+  std::vector<Vault> vaults;
+  vaults.reserve(n_vaults);
+  const unsigned lines_per_row =
+      std::max(1u, cfg_.row_buffer_bytes / line_bytes);
+  for (unsigned v = 0; v < n_vaults; ++v)
+    vaults.emplace_back(cfg_.banks_per_vault(), cfg_.timing, line_bytes,
+                        cfg_.row_policy, lines_per_row);
+
+  // Per-PE replay cursor. `pending` holds an L1 miss whose DRAM access must
+  // be issued at `wake` in global cycle order.
+  struct Cursor {
+    std::size_t pos = 0;
+    bool has_pending = false;
+    std::uint64_t pending_line = 0;
+    bool pending_is_write = false;
+    bool pending_wb = false;
+    std::uint64_t pending_wb_line = 0;
+  };
+  std::vector<Cursor> cur(cfg_.n_pes);
+
+  struct HeapEntry {
+    std::uint64_t cycle;
+    std::uint32_t pe;
+    bool operator>(const HeapEntry& o) const {
+      return cycle != o.cycle ? cycle > o.cycle : pe > o.pe;
+    }
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap;
+
+  for (unsigned p = 0; p < cfg_.n_pes; ++p)
+    if (s.pes[p].instructions > 0) heap.push({0, p});
+
+  std::uint64_t makespan = 0;
+  std::uint64_t miss_latency_sum = 0;
+  std::uint64_t miss_count = 0;
+
+  auto vault_of = [&](std::uint64_t line_id) {
+    return static_cast<std::size_t>(line_id % n_vaults);
+  };
+  auto bank_line = [&](std::uint64_t line_id) { return line_id / n_vaults; };
+
+  while (!heap.empty()) {
+    const auto [cycle, pe_id] = heap.top();
+    heap.pop();
+    Cursor& c = cur[pe_id];
+    State::PeStream& pe = s.pes[pe_id];
+    L1Cache& l1 = caches[pe_id];
+    std::uint64_t now = cycle;
+
+    if (c.has_pending) {
+      // Issue the deferred DRAM access in global order.
+      const std::uint64_t ready =
+          vaults[vault_of(c.pending_line)].enqueue(
+              bank_line(c.pending_line), c.pending_is_write, now);
+      // Write-allocate fills are reads; the dirty-victim writeback rides
+      // behind without blocking the core.
+      if (c.pending_wb)
+        vaults[vault_of(c.pending_wb_line)].enqueue(
+            bank_line(c.pending_wb_line), true, now);
+      miss_latency_sum += ready - now;
+      ++miss_count;
+      now = ready;
+      c.has_pending = false;
+      ++c.pos;
+    }
+
+    // Replay ops inline until the next L1 miss (PE-private work only).
+    while (c.pos < pe.ops.size()) {
+      const State::PeOp& op = pe.ops[c.pos];
+      now += op.gap;   // pipelined non-memory work
+      now += 1;        // L1 access
+      const auto res = l1.access(op.addr, op.is_write);
+      if (res.hit) {
+        ++c.pos;
+        continue;
+      }
+      // Miss: defer the DRAM enqueue so vaults observe requests in global
+      // cycle order. The line fetch itself is a read even for store misses.
+      c.has_pending = true;
+      c.pending_line = op.addr >> line_shift;
+      c.pending_is_write = false;
+      c.pending_wb = res.writeback;
+      c.pending_wb_line = res.writeback_addr >> line_shift;
+      heap.push({now, pe_id});
+      break;
+    }
+
+    if (!c.has_pending && c.pos >= pe.ops.size()) {
+      makespan = std::max(makespan, now + pe.tail_gap);
+    }
+  }
+
+  // --- assemble results ---
+  SimResult& r = result_;
+  r.instructions = s.total_instructions;
+  r.cycles = std::max<std::uint64_t>(makespan, 1);
+  r.ipc = static_cast<double>(r.instructions) / static_cast<double>(r.cycles);
+  r.time_seconds =
+      static_cast<double>(r.cycles) / (cfg_.core_freq_ghz * 1e9);
+
+  for (const auto& l1 : caches) {
+    r.l1_hits += l1.hits();
+    r.l1_misses += l1.misses();
+    r.l1_writebacks += l1.writebacks();
+  }
+  for (const auto& v : vaults) {
+    r.dram_reads += v.reads();
+    r.dram_writes += v.writes();
+    r.dram_activations += v.activations();
+    r.dram_row_hits += v.row_hits();
+  }
+  r.avg_mem_latency_cycles =
+      miss_count == 0 ? 0.0
+                      : static_cast<double>(miss_latency_sum) /
+                            static_cast<double>(miss_count);
+
+  const EnergyModel& e = cfg_.energy;
+  auto cnt = [&](trace::OpType op) {
+    return static_cast<double>(s.op_counts[static_cast<std::size_t>(op)]);
+  };
+  const double int_ops = cnt(trace::OpType::kIntAlu) +
+                         cnt(trace::OpType::kIntMul) +
+                         cnt(trace::OpType::kIntDiv);
+  const double fp_ops = cnt(trace::OpType::kFpAdd) +
+                        cnt(trace::OpType::kFpMul) +
+                        cnt(trace::OpType::kFpDiv);
+  const double mem_ops =
+      cnt(trace::OpType::kLoad) + cnt(trace::OpType::kStore);
+  const double branches = cnt(trace::OpType::kBranch);
+
+  r.core_energy_j = (int_ops * e.pj_int_op + fp_ops * e.pj_fp_op +
+                     mem_ops * e.pj_mem_op + branches * e.pj_branch) *
+                    1e-12;
+  // Fills re-access the array after the DRAM response.
+  r.cache_energy_j = (static_cast<double>(r.l1_hits + r.l1_misses) +
+                      static_cast<double>(r.l1_misses)) *
+                     e.pj_l1_access * 1e-12;
+  r.dram_energy_j =
+      (static_cast<double>(r.dram_activations) * e.pj_dram_activate +
+       static_cast<double>(r.dram_reads + r.dram_writes) *
+           static_cast<double>(line_bytes) * e.pj_dram_per_byte) *
+      1e-12;
+  r.static_energy_j = (static_cast<double>(cfg_.n_pes) *
+                           e.watt_static_per_pe +
+                       e.watt_static_dram) *
+                      r.time_seconds;
+  r.energy_joules = r.core_energy_j + r.cache_energy_j + r.dram_energy_j +
+                    r.static_energy_j;
+  r.edp = r.energy_joules * r.time_seconds;
+}
+
+}  // namespace napel::sim

@@ -1,0 +1,80 @@
+// NmcSimulator: trace-driven cycle-level simulation of the NMC system
+// (the reproduction's substitute for Ramulator-PIM).
+//
+// The simulator consumes a kernel's instruction stream as a TraceSink,
+// compiles it into per-PE command streams (logical SPMD thread t executes on
+// PE t mod n_pes; multiple threads per PE run back-to-back), and then plays
+// the streams through an event-driven timing model:
+//   * in-order single-issue PEs — arithmetic is pipelined at 1 op/cycle
+//     (divides occupy the unit longer), memory operations block the core,
+//   * a private write-back write-allocate L1 per PE,
+//   * vault-partitioned 3D-stacked DRAM with per-vault controllers,
+//     per-bank closed-row timing, and serialized vault data bursts.
+// Determinism: requests are globally ordered by cycle (ties by PE id) via a
+// priority queue, so results are bit-identical across runs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/arch.hpp"
+#include "trace/sink.hpp"
+
+namespace napel::sim {
+
+struct SimResult {
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;  ///< makespan across PEs
+  double ipc = 0.0;          ///< chip-level: instructions / cycles
+  double time_seconds = 0.0;
+  double energy_joules = 0.0;
+  double edp = 0.0;          ///< energy × delay
+
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l1_writebacks = 0;
+  std::uint64_t dram_reads = 0;
+  std::uint64_t dram_writes = 0;
+  std::uint64_t dram_activations = 0;
+  std::uint64_t dram_row_hits = 0;  ///< open-row policy only
+  double avg_mem_latency_cycles = 0.0;
+
+  double core_energy_j = 0.0;
+  double cache_energy_j = 0.0;
+  double dram_energy_j = 0.0;
+  double static_energy_j = 0.0;
+
+  double l1_hit_rate() const {
+    const auto n = l1_hits + l1_misses;
+    return n == 0 ? 0.0 : static_cast<double>(l1_hits) /
+                              static_cast<double>(n);
+  }
+};
+
+class NmcSimulator final : public trace::TraceSink {
+ public:
+  explicit NmcSimulator(ArchConfig cfg);
+  ~NmcSimulator() override;
+
+  void begin_kernel(std::string_view name, unsigned n_threads) override;
+  void on_instr(const trace::InstrEvent& ev) override;
+  void end_kernel() override;
+
+  /// Runs the timing simulation (first call) and returns the result.
+  /// Requires a completed kernel bracket.
+  const SimResult& result();
+
+  const ArchConfig& config() const { return cfg_; }
+
+ private:
+  void run();
+
+  ArchConfig cfg_;
+  struct State;
+  std::unique_ptr<State> st_;
+  SimResult result_;
+  bool ran_ = false;
+};
+
+}  // namespace napel::sim

@@ -1,0 +1,67 @@
+#include "sim/vault.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace napel::sim {
+
+Vault::Vault(unsigned n_banks, const DramTiming& timing, unsigned line_bytes,
+             RowPolicy policy, unsigned lines_per_row)
+    : banks_(n_banks),
+      policy_(policy),
+      lines_per_row_(lines_per_row),
+      burst_(timing.burst_cycles(line_bytes)),
+      t_rcd_(timing.t_rcd),
+      t_cl_(timing.t_cl),
+      t_rp_(timing.t_rp),
+      t_rc_(timing.t_rc(line_bytes)) {
+  NAPEL_CHECK(n_banks >= 1);
+  NAPEL_CHECK(lines_per_row >= 1);
+}
+
+std::uint64_t Vault::enqueue(std::uint64_t line_id, bool is_write,
+                             std::uint64_t now) {
+  // Row-major bank interleaving: consecutive lines share a row, consecutive
+  // rows rotate across banks — sequential streams get row hits under the
+  // open policy and bank-level parallelism under both.
+  const std::uint64_t row = line_id / lines_per_row_;
+  Bank& bank = banks_[static_cast<std::size_t>(row) % banks_.size()];
+
+  // The access starts when the request has arrived, the bank has finished
+  // its previous work, and the vault bus can accept a command.
+  const std::uint64_t start = std::max({now + 1, bank.free_at, bus_free_});
+
+  // The bus carries the command and, some cycles later, the data burst;
+  // model its occupancy as one contiguous slot of `burst_` cycles per
+  // request, which serializes bursts without blocking bank parallelism.
+  bus_free_ = start + burst_;
+  bus_busy_ += burst_;
+
+  unsigned access_latency;  // start -> data transferred
+  if (policy_ == RowPolicy::kClosed) {
+    access_latency = t_rcd_ + t_cl_ + burst_;
+    bank.free_at = start + t_rc_;
+    ++activations_;
+  } else if (bank.open_row == row) {
+    access_latency = t_cl_ + burst_;
+    bank.free_at = start + burst_;
+    ++row_hits_;
+  } else {
+    // Row conflict: precharge the old row (if any), activate the new one.
+    const unsigned pre = bank.open_row == kNoRow ? 0 : t_rp_;
+    access_latency = pre + t_rcd_ + t_cl_ + burst_;
+    bank.free_at = start + pre + t_rcd_ + burst_;
+    bank.open_row = row;
+    ++activations_;
+  }
+
+  if (is_write) {
+    ++writes_;
+    return start + access_latency - t_cl_;  // command retired before CL
+  }
+  ++reads_;
+  return start + access_latency;
+}
+
+}  // namespace napel::sim

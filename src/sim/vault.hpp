@@ -1,0 +1,61 @@
+// Vault timing model: one DRAM controller per vertical partition of the 3D
+// stack (Table 3: 32 vaults × 8 layers, 256 B row buffer). Service timing is
+// fully determined at enqueue time by two resources — the vault's shared
+// command/data bus and the target bank — plus, under the open-row policy,
+// the row latched in the bank's row buffer.
+//
+// Closed-row (the paper's policy): every access is ACT → RD/WR → PRE.
+// Open-row: a row-buffer hit pays only the column access; a conflict pays
+// precharge + activate on top.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/arch.hpp"
+
+namespace napel::sim {
+
+class Vault {
+ public:
+  Vault(unsigned n_banks, const DramTiming& timing, unsigned line_bytes,
+        RowPolicy policy = RowPolicy::kClosed, unsigned lines_per_row = 4);
+
+  /// Enqueues a line access arriving at cycle `now`; returns the cycle at
+  /// which the data transfer completes (reads: data available to the
+  /// requester; writes: command retired).
+  std::uint64_t enqueue(std::uint64_t line_id, bool is_write,
+                        std::uint64_t now);
+
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+  std::uint64_t activations() const { return activations_; }
+  std::uint64_t row_hits() const { return row_hits_; }
+  /// Total cycles the data bus was occupied (utilization numerator).
+  std::uint64_t bus_busy_cycles() const { return bus_busy_; }
+  std::uint64_t last_busy_cycle() const { return bus_free_; }
+
+ private:
+  struct Bank {
+    std::uint64_t free_at = 0;
+    std::uint64_t open_row = kNoRow;
+  };
+  static constexpr std::uint64_t kNoRow = ~0ULL;
+
+  std::vector<Bank> banks_;
+  std::uint64_t bus_free_ = 0;
+  RowPolicy policy_;
+  unsigned lines_per_row_;
+  unsigned burst_;
+  unsigned t_rcd_;
+  unsigned t_cl_;
+  unsigned t_rp_;
+  unsigned t_rc_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t activations_ = 0;
+  std::uint64_t row_hits_ = 0;
+  std::uint64_t bus_busy_ = 0;
+};
+
+}  // namespace napel::sim

@@ -1,0 +1,80 @@
+// Virtual ISA for hardware-independent workload instrumentation.
+//
+// This is the reproduction's substitute for the paper's LLVM-IR + PISA
+// instrumentation: workload kernels execute real computation and, alongside,
+// emit a dynamic stream of InstrEvent records in SSA form (every
+// value-producing instruction defines a fresh virtual register). Profiler and
+// simulator both consume this stream through the TraceSink interface.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace napel::trace {
+
+/// Virtual register id. 0 is the "no register" sentinel (immediates,
+/// stores, branches without a destination).
+using Reg = std::uint32_t;
+inline constexpr Reg kNoReg = 0;
+
+enum class OpType : std::uint8_t {
+  kIntAlu,   // integer add/sub/logic/compare
+  kIntMul,
+  kIntDiv,
+  kFpAdd,    // fp add/sub
+  kFpMul,
+  kFpDiv,    // fp div/sqrt
+  kLoad,
+  kStore,
+  kBranch,
+  kCount,    // number of op types (not a real op)
+};
+
+inline constexpr std::size_t kNumOpTypes =
+    static_cast<std::size_t>(OpType::kCount);
+
+constexpr std::string_view op_name(OpType op) {
+  switch (op) {
+    case OpType::kIntAlu: return "int_alu";
+    case OpType::kIntMul: return "int_mul";
+    case OpType::kIntDiv: return "int_div";
+    case OpType::kFpAdd: return "fp_add";
+    case OpType::kFpMul: return "fp_mul";
+    case OpType::kFpDiv: return "fp_div";
+    case OpType::kLoad: return "load";
+    case OpType::kStore: return "store";
+    case OpType::kBranch: return "branch";
+    case OpType::kCount: break;
+  }
+  return "invalid";
+}
+
+constexpr bool is_memory(OpType op) {
+  return op == OpType::kLoad || op == OpType::kStore;
+}
+
+constexpr bool is_fp(OpType op) {
+  return op == OpType::kFpAdd || op == OpType::kFpMul || op == OpType::kFpDiv;
+}
+
+constexpr bool is_int_arith(OpType op) {
+  return op == OpType::kIntAlu || op == OpType::kIntMul ||
+         op == OpType::kIntDiv;
+}
+
+/// One dynamic instruction. 32 bytes; the stream is never stored by the
+/// framework itself — sinks decide what to keep.
+struct InstrEvent {
+  std::uint64_t addr = 0;   ///< byte address (memory ops only)
+  std::uint32_t pc = 0;     ///< pseudo-PC: static instruction identity
+  Reg dst = kNoReg;         ///< defined register (SSA)
+  Reg src1 = kNoReg;        ///< first source register
+  Reg src2 = kNoReg;        ///< second source register
+  OpType op = OpType::kIntAlu;
+  std::uint8_t size = 0;    ///< access size in bytes (memory ops only)
+  std::uint16_t thread = 0; ///< logical (SPMD) thread id
+};
+
+static_assert(sizeof(InstrEvent) == 32);
+
+}  // namespace napel::trace

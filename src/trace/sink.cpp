@@ -1,0 +1,33 @@
+#include "trace/sink.hpp"
+
+#include "common/check.hpp"
+
+namespace napel::trace {
+
+void CountingSink::begin_kernel(std::string_view name, unsigned n_threads) {
+  kernel_name_ = std::string(name);
+  n_threads_ = n_threads;
+  by_thread_.assign(n_threads, 0);
+}
+
+void CountingSink::on_instr(const InstrEvent& ev) {
+  ++total_;
+  ++by_op_[static_cast<std::size_t>(ev.op)];
+  if (ev.thread < by_thread_.size()) ++by_thread_[ev.thread];
+}
+
+std::uint64_t CountingSink::count_for_thread(unsigned t) const {
+  NAPEL_CHECK(t < by_thread_.size());
+  return by_thread_[t];
+}
+
+void VectorSink::begin_kernel(std::string_view name, unsigned n_threads) {
+  kernel_name_ = std::string(name);
+  n_threads_ = n_threads;
+  events_.clear();
+  ended_ = false;
+}
+
+void VectorSink::on_instr(const InstrEvent& ev) { events_.push_back(ev); }
+
+}  // namespace napel::trace

@@ -1,0 +1,74 @@
+// TraceSink: consumer interface for the dynamic instruction stream, plus two
+// utility sinks (counting, buffering) used by tests and tools.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/isa.hpp"
+
+namespace napel::trace {
+
+/// Stream consumer. A kernel run produces exactly one
+/// begin_kernel ... instr* ... end_kernel bracket.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  virtual void begin_kernel(std::string_view name, unsigned n_threads) {
+    (void)name;
+    (void)n_threads;
+  }
+  virtual void on_instr(const InstrEvent& ev) = 0;
+  virtual void end_kernel() {}
+};
+
+/// Counts instructions by type and thread; O(1) memory.
+class CountingSink final : public TraceSink {
+ public:
+  void begin_kernel(std::string_view name, unsigned n_threads) override;
+  void on_instr(const InstrEvent& ev) override;
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t count(OpType op) const {
+    return by_op_[static_cast<std::size_t>(op)];
+  }
+  std::uint64_t memory_ops() const {
+    return count(OpType::kLoad) + count(OpType::kStore);
+  }
+  std::uint64_t count_for_thread(unsigned t) const;
+  unsigned n_threads() const { return n_threads_; }
+  const std::string& kernel_name() const { return kernel_name_; }
+
+ private:
+  std::array<std::uint64_t, kNumOpTypes> by_op_{};
+  std::vector<std::uint64_t> by_thread_;
+  std::uint64_t total_ = 0;
+  unsigned n_threads_ = 0;
+  std::string kernel_name_;
+};
+
+/// Buffers the full event stream in memory. Intended for tests and small
+/// inspection tools only — real pipelines stream.
+class VectorSink final : public TraceSink {
+ public:
+  void begin_kernel(std::string_view name, unsigned n_threads) override;
+  void on_instr(const InstrEvent& ev) override;
+  void end_kernel() override { ended_ = true; }
+
+  const std::vector<InstrEvent>& events() const { return events_; }
+  bool ended() const { return ended_; }
+  const std::string& kernel_name() const { return kernel_name_; }
+  unsigned n_threads() const { return n_threads_; }
+
+ private:
+  std::vector<InstrEvent> events_;
+  std::string kernel_name_;
+  unsigned n_threads_ = 0;
+  bool ended_ = false;
+};
+
+}  // namespace napel::trace

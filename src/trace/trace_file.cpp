@@ -1,0 +1,134 @@
+#include "trace/trace_file.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace napel::trace {
+
+namespace {
+
+constexpr char kMagic[8] = {'N', 'A', 'P', 'E', 'L', 'T', 'R', 'C'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+void read_pod(std::ifstream& is, T& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  NAPEL_CHECK_MSG(is.good(), "truncated trace file");
+}
+
+std::ifstream open_and_check(const std::string& path, TraceInfo& info,
+                             std::streampos& payload_start) {
+  std::ifstream is(path, std::ios::binary);
+  NAPEL_CHECK_MSG(is.good(), "cannot open trace file: " + path);
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  NAPEL_CHECK_MSG(is.good() && std::memcmp(magic, kMagic, 8) == 0,
+                  "not a NAPEL trace file: " + path);
+  std::uint32_t version = 0;
+  read_pod(is, version);
+  NAPEL_CHECK_MSG(version == kVersion, "unsupported trace version");
+  std::uint32_t name_len = 0;
+  read_pod(is, name_len);
+  NAPEL_CHECK_MSG(name_len <= 4096, "implausible kernel name length");
+  info.kernel_name.resize(name_len);
+  is.read(info.kernel_name.data(), name_len);
+  std::uint32_t n_threads = 0;
+  read_pod(is, n_threads);
+  NAPEL_CHECK_MSG(n_threads >= 1, "malformed trace header");
+  info.n_threads = n_threads;
+  read_pod(is, info.event_count);
+  NAPEL_CHECK_MSG(is.good(), "truncated trace header");
+  payload_start = is.tellg();
+  return is;
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path)
+    : out_(path, std::ios::binary), path_(path) {
+  NAPEL_CHECK_MSG(out_.good(), "cannot open trace file for writing: " + path);
+}
+
+TraceWriter::~TraceWriter() {
+  // Destruction with an open bracket leaves the placeholder count; the
+  // reader rejects the mismatch rather than silently truncating.
+}
+
+void TraceWriter::write_header() {
+  out_.seekp(0);
+  out_.write(kMagic, sizeof(kMagic));
+  write_pod(out_, kVersion);
+  const auto name_len = static_cast<std::uint32_t>(kernel_name_.size());
+  write_pod(out_, name_len);
+  out_.write(kernel_name_.data(), name_len);
+  write_pod(out_, static_cast<std::uint32_t>(n_threads_));
+  write_pod(out_, count_);
+}
+
+void TraceWriter::begin_kernel(std::string_view name, unsigned n_threads) {
+  NAPEL_CHECK_MSG(!open_bracket_ && !finished_,
+                  "TraceWriter records a single kernel");
+  kernel_name_ = std::string(name);
+  n_threads_ = n_threads;
+  count_ = 0;
+  open_bracket_ = true;
+  write_header();  // placeholder count, patched at end_kernel
+}
+
+void TraceWriter::on_instr(const InstrEvent& ev) {
+  NAPEL_CHECK_MSG(open_bracket_, "event outside kernel bracket");
+  out_.write(reinterpret_cast<const char*>(&ev), sizeof(InstrEvent));
+  ++count_;
+}
+
+void TraceWriter::end_kernel() {
+  NAPEL_CHECK(open_bracket_);
+  open_bracket_ = false;
+  finished_ = true;
+  const auto end = out_.tellp();
+  write_header();  // patch the real event count
+  out_.seekp(end);
+  out_.flush();
+  NAPEL_CHECK_MSG(out_.good(), "trace write failed: " + path_);
+}
+
+TraceInfo read_trace_info(const std::string& path) {
+  TraceInfo info;
+  std::streampos payload;
+  open_and_check(path, info, payload);
+  return info;
+}
+
+TraceInfo replay_trace(const std::string& path,
+                       const std::vector<TraceSink*>& sinks) {
+  TraceInfo info;
+  std::streampos payload;
+  std::ifstream is = open_and_check(path, info, payload);
+
+  for (TraceSink* s : sinks) s->begin_kernel(info.kernel_name, info.n_threads);
+  // Buffered replay keeps syscall overhead off the per-event path.
+  constexpr std::size_t kBatch = 4096;
+  std::vector<InstrEvent> buffer(kBatch);
+  std::uint64_t remaining = info.event_count;
+  while (remaining > 0) {
+    const std::size_t chunk =
+        static_cast<std::size_t>(std::min<std::uint64_t>(kBatch, remaining));
+    is.read(reinterpret_cast<char*>(buffer.data()),
+            static_cast<std::streamsize>(chunk * sizeof(InstrEvent)));
+    NAPEL_CHECK_MSG(is.good(), "trace payload shorter than header count");
+    for (std::size_t i = 0; i < chunk; ++i)
+      for (TraceSink* s : sinks) s->on_instr(buffer[i]);
+    remaining -= chunk;
+  }
+  for (TraceSink* s : sinks) s->end_kernel();
+  return info;
+}
+
+}  // namespace napel::trace

@@ -1,0 +1,63 @@
+// Trace capture and replay (§3.1 of the paper: dynamic execution traces are
+// collected once — the authors use a Pin tool — and fed to the simulator).
+//
+// TraceWriter is a TraceSink that streams the kernel's instruction events
+// into a compact binary file; replay_trace() feeds a recorded file back
+// into any set of sinks, so expensive kernels can be instrumented once and
+// simulated under many architecture configurations (or on another machine)
+// without re-executing them.
+//
+// Format (little-endian, fixed-width):
+//   magic "NAPELTRC"  u32 version  u32 name_len  name bytes
+//   u32 n_threads     u64 event_count
+//   event_count x InstrEvent (32 bytes each, as laid out in trace/isa.hpp)
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/sink.hpp"
+
+namespace napel::trace {
+
+class TraceWriter final : public TraceSink {
+ public:
+  /// Opens `path` for writing; throws std::invalid_argument on failure.
+  explicit TraceWriter(const std::string& path);
+  ~TraceWriter() override;
+
+  void begin_kernel(std::string_view name, unsigned n_threads) override;
+  void on_instr(const InstrEvent& ev) override;
+  void end_kernel() override;
+
+  std::uint64_t events_written() const { return count_; }
+
+ private:
+  void write_header();
+
+  std::ofstream out_;
+  std::string path_;
+  std::string kernel_name_;
+  unsigned n_threads_ = 1;
+  std::uint64_t count_ = 0;
+  bool open_bracket_ = false;
+  bool finished_ = false;
+};
+
+struct TraceInfo {
+  std::string kernel_name;
+  unsigned n_threads = 1;
+  std::uint64_t event_count = 0;
+};
+
+/// Reads only the header of a recorded trace.
+TraceInfo read_trace_info(const std::string& path);
+
+/// Replays a recorded trace through the given sinks (begin_kernel, every
+/// event, end_kernel). Returns the header info. Throws on malformed files.
+TraceInfo replay_trace(const std::string& path,
+                       const std::vector<TraceSink*>& sinks);
+
+}  // namespace napel::trace

@@ -1,0 +1,199 @@
+// Traced value and array wrappers.
+//
+// Kernels operate on Traced<T> values and TArray<T> arrays; every arithmetic
+// operator, load, store, and comparison both performs the real computation
+// and emits the corresponding virtual-ISA instruction through the Tracer.
+// Because the real values flow through, data-dependent control (bfs frontier
+// growth, k-means assignment) behaves exactly like a native execution.
+#pragma once
+
+#include <cmath>
+#include <concepts>
+#include <cstdint>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.hpp"
+#include "trace/tracer.hpp"
+
+namespace napel::trace {
+
+template <typename T>
+concept TraceableScalar = std::integral<T> || std::floating_point<T>;
+
+template <TraceableScalar T>
+struct Traced {
+  T value{};
+  Reg reg = kNoReg;
+  Tracer* tracer = nullptr;
+
+  Traced() = default;
+  Traced(T v, Reg r, Tracer* t) : value(v), reg(r), tracer(t) {}
+};
+
+/// An immediate/constant: participates in computation without an event
+/// (constants live in the instruction encoding, not the register file).
+template <TraceableScalar T>
+Traced<T> imm(Tracer& t, T v) {
+  return Traced<T>{v, kNoReg, &t};
+}
+
+namespace detail {
+
+template <TraceableScalar T>
+constexpr OpType add_op() {
+  return std::is_floating_point_v<T> ? OpType::kFpAdd : OpType::kIntAlu;
+}
+template <TraceableScalar T>
+constexpr OpType mul_op() {
+  return std::is_floating_point_v<T> ? OpType::kFpMul : OpType::kIntMul;
+}
+template <TraceableScalar T>
+constexpr OpType div_op() {
+  return std::is_floating_point_v<T> ? OpType::kFpDiv : OpType::kIntDiv;
+}
+
+template <TraceableScalar T>
+Tracer& tracer_of(const Traced<T>& a, const Traced<T>& b) {
+  Tracer* t = a.tracer ? a.tracer : b.tracer;
+  NAPEL_CHECK_MSG(t != nullptr, "traced operation without a tracer");
+  return *t;
+}
+
+}  // namespace detail
+
+template <TraceableScalar T>
+Traced<T> operator+(const Traced<T>& a, const Traced<T>& b) {
+  Tracer& t = detail::tracer_of(a, b);
+  return {static_cast<T>(a.value + b.value),
+          t.emit_op(detail::add_op<T>(), a.reg, b.reg), &t};
+}
+
+template <TraceableScalar T>
+Traced<T> operator-(const Traced<T>& a, const Traced<T>& b) {
+  Tracer& t = detail::tracer_of(a, b);
+  return {static_cast<T>(a.value - b.value),
+          t.emit_op(detail::add_op<T>(), a.reg, b.reg), &t};
+}
+
+template <TraceableScalar T>
+Traced<T> operator*(const Traced<T>& a, const Traced<T>& b) {
+  Tracer& t = detail::tracer_of(a, b);
+  return {static_cast<T>(a.value * b.value),
+          t.emit_op(detail::mul_op<T>(), a.reg, b.reg), &t};
+}
+
+template <TraceableScalar T>
+Traced<T> operator/(const Traced<T>& a, const Traced<T>& b) {
+  Tracer& t = detail::tracer_of(a, b);
+  NAPEL_CHECK_MSG(b.value != T{}, "traced division by zero");
+  return {static_cast<T>(a.value / b.value),
+          t.emit_op(detail::div_op<T>(), a.reg, b.reg), &t};
+}
+
+template <std::floating_point T>
+Traced<T> tsqrt(const Traced<T>& a) {
+  NAPEL_CHECK(a.tracer != nullptr);
+  NAPEL_CHECK_MSG(a.value >= T{}, "traced sqrt of negative value");
+  // sqrt shares the long-latency divider in the modelled cores.
+  return {std::sqrt(a.value), a.tracer->emit_op(OpType::kFpDiv, a.reg),
+          a.tracer};
+}
+
+template <TraceableScalar T>
+Traced<T> tabs(const Traced<T>& a) {
+  NAPEL_CHECK(a.tracer != nullptr);
+  return {static_cast<T>(a.value < T{} ? -a.value : a.value),
+          a.tracer->emit_op(detail::add_op<T>(), a.reg), a.tracer};
+}
+
+/// Comparison: emits the compare instruction; result carries the condition.
+template <TraceableScalar T>
+Traced<bool> operator<(const Traced<T>& a, const Traced<T>& b) {
+  Tracer& t = detail::tracer_of(a, b);
+  return {a.value < b.value, t.emit_op(OpType::kIntAlu, a.reg, b.reg), &t};
+}
+
+template <TraceableScalar T>
+Traced<bool> operator>(const Traced<T>& a, const Traced<T>& b) {
+  Tracer& t = detail::tracer_of(a, b);
+  return {a.value > b.value, t.emit_op(OpType::kIntAlu, a.reg, b.reg), &t};
+}
+
+template <TraceableScalar T>
+Traced<bool> operator!=(const Traced<T>& a, const Traced<T>& b) {
+  Tracer& t = detail::tracer_of(a, b);
+  return {a.value != b.value, t.emit_op(OpType::kIntAlu, a.reg, b.reg), &t};
+}
+
+/// Emits the conditional branch on `cond` and returns its truth value, so
+/// kernels write data-dependent control as: `if (take(x < y)) { ... }`.
+inline bool take(const Traced<bool>& cond) {
+  NAPEL_CHECK(cond.tracer != nullptr);
+  cond.tracer->emit_branch(cond.reg);
+  return cond.value;
+}
+
+/// Traced array: owns real storage plus a virtual address range, so loads
+/// and stores carry realistic addresses and genuine values.
+template <TraceableScalar T>
+class TArray {
+ public:
+  TArray(Tracer& t, std::size_t n)
+      : tracer_(&t), data_(n), base_(t.allocate(n * sizeof(T))) {
+    NAPEL_CHECK(n > 0);
+  }
+
+  std::size_t size() const { return data_.size(); }
+  std::uint64_t base_addr() const { return base_; }
+  std::uint64_t addr_of(std::size_t i) const { return base_ + i * sizeof(T); }
+
+  /// Untraced access for initialization / verification outside the kernel.
+  T& raw(std::size_t i) {
+    NAPEL_CHECK(i < data_.size());
+    return data_[i];
+  }
+  const T& raw(std::size_t i) const {
+    NAPEL_CHECK(i < data_.size());
+    return data_[i];
+  }
+
+  /// Traced load.
+  Traced<T> load(std::size_t i) const {
+    NAPEL_CHECK(i < data_.size());
+    const Reg r = tracer_->emit_load(addr_of(i), sizeof(T));
+    return {data_[i], r, tracer_};
+  }
+
+  /// Traced indirect load: the index itself was produced by a traced
+  /// computation (pointer-chasing / gather); the address generation depends
+  /// on the index register.
+  Traced<T> load_indexed(const Traced<std::int64_t>& idx) const {
+    const auto i = static_cast<std::size_t>(idx.value);
+    NAPEL_CHECK(i < data_.size());
+    const Reg r = tracer_->emit_load(addr_of(i), sizeof(T), idx.reg);
+    return {data_[i], r, tracer_};
+  }
+
+  /// Traced store.
+  void store(std::size_t i, const Traced<T>& v) {
+    NAPEL_CHECK(i < data_.size());
+    data_[i] = v.value;
+    tracer_->emit_store(addr_of(i), sizeof(T), v.reg);
+  }
+
+  void store_indexed(const Traced<std::int64_t>& idx, const Traced<T>& v) {
+    const auto i = static_cast<std::size_t>(idx.value);
+    NAPEL_CHECK(i < data_.size());
+    data_[i] = v.value;
+    tracer_->emit_store(addr_of(i), sizeof(T), v.reg, idx.reg);
+  }
+
+ private:
+  Tracer* tracer_;
+  std::vector<T> data_;
+  std::uint64_t base_;
+};
+
+}  // namespace napel::trace

@@ -1,0 +1,150 @@
+#include "trace/tracer.hpp"
+
+#include <algorithm>
+
+namespace napel::trace {
+
+namespace {
+// pc layout: [ scope id : 20 bits | intra-iteration index : 12 bits ].
+// Loop bodies longer than 4095 instructions saturate the intra field; such
+// instructions share the final pseudo-PC of the body, which only coarsens
+// the instruction-reuse statistics slightly.
+constexpr std::uint32_t kIntraBits = 12;
+constexpr std::uint32_t kIntraMax = (1u << kIntraBits) - 1;
+}  // namespace
+
+void Tracer::attach(TraceSink& sink) {
+  NAPEL_CHECK_MSG(!in_kernel_, "cannot attach sinks while a kernel runs");
+  sinks_.push_back(&sink);
+}
+
+void Tracer::begin_kernel(std::string_view name, unsigned n_threads) {
+  NAPEL_CHECK_MSG(!in_kernel_, "begin_kernel while a kernel is active");
+  NAPEL_CHECK(n_threads >= 1);
+  in_kernel_ = true;
+  n_threads_ = n_threads;
+  thread_ = 0;
+  scope_stack_.clear();
+  scope_stack_.push_back(Scope{.id = 0});
+  for (auto* s : sinks_) s->begin_kernel(name, n_threads);
+}
+
+void Tracer::end_kernel() {
+  NAPEL_CHECK_MSG(in_kernel_, "end_kernel without begin_kernel");
+  NAPEL_CHECK_MSG(scope_stack_.size() == 1,
+                  "end_kernel with open loop scopes");
+  in_kernel_ = false;
+  for (auto* s : sinks_) s->end_kernel();
+}
+
+void Tracer::set_thread(unsigned t) {
+  NAPEL_CHECK(t < n_threads_);
+  thread_ = t;
+}
+
+std::uint64_t Tracer::allocate(std::uint64_t bytes) {
+  NAPEL_CHECK(bytes > 0);
+  const std::uint64_t base = alloc_cursor_;
+  alloc_cursor_ += (bytes + 63) & ~63ULL;
+  return base;
+}
+
+std::uint32_t Tracer::next_pc() {
+  Scope& top = scope_stack_.back();
+  const std::uint32_t intra = std::min(top.intra, kIntraMax);
+  if (top.intra <= kIntraMax) ++top.intra;
+  return (top.id << kIntraBits) | intra;
+}
+
+void Tracer::dispatch(const InstrEvent& ev) {
+  ++instr_count_;
+  for (auto* s : sinks_) s->on_instr(ev);
+}
+
+Reg Tracer::emit_load(std::uint64_t addr, unsigned size, Reg addr_src) {
+  NAPEL_CHECK_MSG(in_kernel_, "emit outside kernel");
+  InstrEvent ev;
+  ev.op = OpType::kLoad;
+  ev.addr = addr;
+  ev.size = static_cast<std::uint8_t>(size);
+  ev.pc = next_pc();
+  ev.dst = next_reg();
+  ev.src1 = addr_src;
+  ev.thread = static_cast<std::uint16_t>(thread_);
+  dispatch(ev);
+  return ev.dst;
+}
+
+void Tracer::emit_store(std::uint64_t addr, unsigned size, Reg value,
+                        Reg addr_src) {
+  NAPEL_CHECK_MSG(in_kernel_, "emit outside kernel");
+  InstrEvent ev;
+  ev.op = OpType::kStore;
+  ev.addr = addr;
+  ev.size = static_cast<std::uint8_t>(size);
+  ev.pc = next_pc();
+  ev.src1 = value;
+  ev.src2 = addr_src;
+  ev.thread = static_cast<std::uint16_t>(thread_);
+  dispatch(ev);
+}
+
+Reg Tracer::emit_op(OpType op, Reg src1, Reg src2) {
+  NAPEL_CHECK_MSG(in_kernel_, "emit outside kernel");
+  NAPEL_CHECK_MSG(!is_memory(op) && op != OpType::kBranch,
+                  "emit_op is for arithmetic ops");
+  InstrEvent ev;
+  ev.op = op;
+  ev.pc = next_pc();
+  ev.dst = next_reg();
+  ev.src1 = src1;
+  ev.src2 = src2;
+  ev.thread = static_cast<std::uint16_t>(thread_);
+  dispatch(ev);
+  return ev.dst;
+}
+
+void Tracer::emit_branch(Reg cond) {
+  NAPEL_CHECK_MSG(in_kernel_, "emit outside kernel");
+  InstrEvent ev;
+  ev.op = OpType::kBranch;
+  ev.pc = next_pc();
+  ev.src1 = cond;
+  ev.thread = static_cast<std::uint16_t>(thread_);
+  dispatch(ev);
+}
+
+void Tracer::push_scope() {
+  NAPEL_CHECK_MSG(in_kernel_, "LoopScope outside kernel");
+  Scope& parent = scope_stack_.back();
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(parent.id) << 32) | parent.child_seq++;
+  auto [it, inserted] = scope_ids_.try_emplace(key, scope_id_counter_);
+  if (inserted) ++scope_id_counter_;
+  scope_stack_.push_back(Scope{.id = it->second});
+}
+
+void Tracer::pop_scope() {
+  NAPEL_CHECK(scope_stack_.size() > 1);
+  scope_stack_.pop_back();
+}
+
+void Tracer::scope_iteration() {
+  Scope& top = scope_stack_.back();
+  top.intra = 0;
+  top.child_seq = 0;
+  // Loop-control overhead: induction increment (depends on its previous
+  // value) and the conditional backward branch testing it.
+  top.induction = emit_op(OpType::kIntAlu, top.induction);
+  emit_branch(top.induction);
+  // The overhead itself consumed two intra slots; keep them reserved so the
+  // body's first instruction gets a stable index.
+}
+
+Tracer::LoopScope::LoopScope(Tracer& t) : tracer_(t) { t.push_scope(); }
+
+Tracer::LoopScope::~LoopScope() { tracer_.pop_scope(); }
+
+void Tracer::LoopScope::iteration() { tracer_.scope_iteration(); }
+
+}  // namespace napel::trace

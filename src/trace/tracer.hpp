@@ -1,0 +1,124 @@
+// Tracer: the instrumentation engine kernels emit through.
+//
+// Responsibilities:
+//  * fan-out of InstrEvents to any number of attached TraceSinks,
+//  * SSA virtual-register numbering (each value-producing op defines a fresh
+//    register),
+//  * a virtual address space: traced arrays allocate disjoint, 64-byte
+//    aligned address ranges, so the emitted addresses have realistic layout,
+//  * pseudo-PC assignment: static instruction identity is derived from the
+//    enclosing LoopScope and the instruction's intra-iteration position,
+//    which makes instruction-reuse-distance statistics meaningful (tight
+//    loops re-execute the same pseudo-PCs every iteration),
+//  * SPMD thread tagging for the `threads` DoE parameter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "trace/isa.hpp"
+#include "trace/sink.hpp"
+
+namespace napel::trace {
+
+class Tracer {
+ public:
+  Tracer() = default;
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Attach a stream consumer. Must be called before begin_kernel; the sink
+  /// must outlive the tracer's kernel run.
+  void attach(TraceSink& sink);
+
+  void begin_kernel(std::string_view name, unsigned n_threads);
+  void end_kernel();
+  bool in_kernel() const { return in_kernel_; }
+
+  /// Select the logical SPMD thread subsequent events belong to.
+  void set_thread(unsigned t);
+  unsigned current_thread() const { return thread_; }
+  unsigned n_threads() const { return n_threads_; }
+
+  /// Allocate `bytes` of virtual address space (64-byte aligned base).
+  /// Valid outside kernels too, so arrays can be created up front.
+  std::uint64_t allocate(std::uint64_t bytes);
+
+  // --- event emission (kernels normally use Traced<T> wrappers instead) ---
+
+  /// Load from addr; returns the defined register.
+  Reg emit_load(std::uint64_t addr, unsigned size, Reg addr_src = kNoReg);
+  void emit_store(std::uint64_t addr, unsigned size, Reg value,
+                  Reg addr_src = kNoReg);
+  /// Binary/unary arithmetic; returns the defined register.
+  Reg emit_op(OpType op, Reg src1 = kNoReg, Reg src2 = kNoReg);
+  void emit_branch(Reg cond = kNoReg);
+
+  std::uint64_t instr_count() const { return instr_count_; }
+
+  // --- loop scoping for pseudo-PC assignment ---
+
+  /// RAII marker for one lexical loop. Construct it where the loop construct
+  /// appears and call iteration() at the top of every trip:
+  ///
+  ///   LoopScope li(t);
+  ///   for (std::size_t i = 0; i < n; ++i) {
+  ///     li.iteration();                 // emits index-increment + branch
+  ///     ... body emits through t ...
+  ///   }
+  ///
+  /// The scope's static identity is derived from (parent scope, lexical
+  /// position within the parent iteration), so a nested loop reconstructed on
+  /// every outer-loop trip keeps a stable identity, and pseudo-PCs repeat
+  /// across iterations exactly as instruction addresses would.
+  class LoopScope {
+   public:
+    explicit LoopScope(Tracer& t);
+    ~LoopScope();
+    LoopScope(const LoopScope&) = delete;
+    LoopScope& operator=(const LoopScope&) = delete;
+
+    /// Marks the start of one trip: resets the intra-iteration instruction
+    /// index and emits the loop-control overhead (induction-variable
+    /// increment and conditional backward branch), as instrumented IR would.
+    void iteration();
+
+   private:
+    Tracer& tracer_;
+  };
+
+ private:
+  struct Scope {
+    std::uint32_t id = 0;          // static identity of this nesting position
+    std::uint32_t intra = 0;       // instruction index within the iteration
+    std::uint32_t child_seq = 0;   // lexical position of next child scope
+    Reg induction = kNoReg;        // loop counter register for overhead deps
+  };
+
+  std::uint32_t next_pc();
+  Reg next_reg() { return reg_counter_++; }
+  void dispatch(const InstrEvent& ev);
+
+  void push_scope();
+  void pop_scope();
+  void scope_iteration();
+
+  std::vector<TraceSink*> sinks_;
+  std::vector<Scope> scope_stack_;
+  // (parent scope id, lexical child index) -> stable scope id
+  std::unordered_map<std::uint64_t, std::uint32_t> scope_ids_;
+  std::uint32_t scope_id_counter_ = 1;
+  Reg reg_counter_ = 1;  // 0 is kNoReg
+  std::uint64_t instr_count_ = 0;
+  std::uint64_t alloc_cursor_ = 0x0001'0000'0000ULL;
+  unsigned thread_ = 0;
+  unsigned n_threads_ = 1;
+  bool in_kernel_ = false;
+};
+
+}  // namespace napel::trace

@@ -1,0 +1,89 @@
+// atax (PolyBench): matrix transpose and vector multiplication, y = Aᵀ(A·x).
+// The paper highlights atax as a mixed workload: the A·x pass has high data
+// locality while the Aᵀ pass is memory intensive.
+#include "workloads/kernels/kernel_utils.hpp"
+#include "workloads/kernels/kernels.hpp"
+
+namespace napel::workloads {
+
+namespace {
+
+class AtaxWorkload final : public Workload {
+ public:
+  std::string_view name() const override { return "atax"; }
+  std::string_view description() const override {
+    return "Matrix transpose and vector multiplication: y = A^T (A x)";
+  }
+
+  DoeSpace doe_space(Scale scale) const override {
+    switch (scale) {
+      case Scale::kPaper:
+        return {{DoeParam("dimension", {500, 1250, 1500, 2000, 2300}, 8000),
+                 DoeParam("threads", {4, 8, 16, 32, 64}, 32)}};
+      case Scale::kBench:
+        return {{DoeParam("dimension", {64, 96, 128, 160, 192}, 224),
+                 DoeParam("threads", {4, 8, 16, 32, 64}, 32)}};
+      case Scale::kTiny:
+        return {{DoeParam("dimension", {6, 8, 10, 12, 16}, 20),
+                 DoeParam("threads", {1, 2, 4, 8, 16}, 4)}};
+    }
+    napel::check_failed("valid scale", __FILE__, __LINE__, "");
+  }
+
+  void run(trace::Tracer& t, const WorkloadParams& p,
+           std::uint64_t seed) const override {
+    const auto n = static_cast<std::size_t>(p.get("dimension"));
+    const auto threads = static_cast<unsigned>(p.get("threads"));
+    Rng rng(seed);
+
+    trace::TArray<double> a(t, n * n);
+    trace::TArray<double> x(t, n);
+    trace::TArray<double> tmp(t, n);
+    trace::TArray<double> y(t, n);
+    detail::fill_uniform(a, rng, 0.0, 1.0);
+    detail::fill_uniform(x, rng, 0.0, 1.0);
+
+    t.begin_kernel(name(), threads);
+
+    // tmp = A·x  (row-major streaming; good locality)
+    detail::parallel_range(t, n, [&](std::size_t rb, std::size_t re) {
+      trace::Tracer::LoopScope li(t);
+      for (std::size_t i = rb; i < re; ++i) {
+        li.iteration();
+        auto acc = trace::imm(t, 0.0);
+        trace::Tracer::LoopScope lj(t);
+        for (std::size_t j = 0; j < n; ++j) {
+          lj.iteration();
+          acc = acc + a.load(i * n + j) * x.load(j);
+        }
+        tmp.store(i, acc);
+      }
+    });
+
+    // y = Aᵀ·tmp  (column-major walk over A; memory intensive)
+    detail::parallel_range(t, n, [&](std::size_t jb, std::size_t je) {
+      trace::Tracer::LoopScope lj(t);
+      for (std::size_t j = jb; j < je; ++j) {
+        lj.iteration();
+        auto acc = trace::imm(t, 0.0);
+        trace::Tracer::LoopScope li(t);
+        for (std::size_t i = 0; i < n; ++i) {
+          li.iteration();
+          acc = acc + a.load(i * n + j) * tmp.load(i);
+        }
+        y.store(j, acc);
+      }
+    });
+
+    t.end_kernel();
+  }
+};
+
+}  // namespace
+
+const Workload& atax_workload() {
+  static const AtaxWorkload w;
+  return w;
+}
+
+}  // namespace napel::workloads

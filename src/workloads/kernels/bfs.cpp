@@ -1,0 +1,171 @@
+// bfs (Rodinia): level-synchronous breadth-first search with per-node cost
+// updates over a random graph in CSR form. The mask/visited/updating array
+// structure follows the Rodinia kernel; edge expansion produces the
+// irregular, data-dependent access pattern that makes bfs NMC-friendly.
+//
+// DoE parameters: `nodes` (graph size), `weights` (maximum edge weight; the
+// relaxed cost is cost[u] + w(u,v)), `threads`, and `iterations` (number of
+// BFS traversals from rotating source nodes).
+#include <cstdint>
+#include <vector>
+
+#include "workloads/kernels/kernel_utils.hpp"
+#include "workloads/kernels/kernels.hpp"
+
+namespace napel::workloads {
+
+namespace {
+
+constexpr std::size_t kAvgDegree = 4;
+
+class BfsWorkload final : public Workload {
+ public:
+  std::string_view name() const override { return "bfs"; }
+  std::string_view description() const override {
+    return "Breadth-first search with cost relaxation (Rodinia)";
+  }
+
+  DoeSpace doe_space(Scale scale) const override {
+    switch (scale) {
+      case Scale::kPaper:
+        return {{DoeParam("nodes", {400000, 800000, 900000, 1200000, 1400000},
+                          1000000),
+                 DoeParam("weights", {1, 2, 4, 25, 49}, 4),
+                 DoeParam("threads", {1, 9, 16, 32, 64}, 32),
+                 DoeParam("iterations", {30, 40, 65, 70, 80}, 95)}};
+      case Scale::kBench:
+        return {{DoeParam("nodes", {1000, 2000, 2500, 3000, 4000}, 16000),
+                 DoeParam("weights", {1, 2, 4, 25, 49}, 4),
+                 DoeParam("threads", {1, 9, 16, 32, 64}, 32),
+                 DoeParam("iterations", {1, 2, 3, 4, 5}, 3)}};
+      case Scale::kTiny:
+        return {{DoeParam("nodes", {50, 80, 100, 150, 200}, 120),
+                 DoeParam("weights", {1, 2, 4, 6, 8}, 4),
+                 DoeParam("threads", {1, 2, 4, 8, 16}, 4),
+                 DoeParam("iterations", {1, 2, 3, 4, 5}, 2)}};
+    }
+    napel::check_failed("valid scale", __FILE__, __LINE__, "");
+  }
+
+  void run(trace::Tracer& t, const WorkloadParams& p,
+           std::uint64_t seed) const override {
+    const auto n = static_cast<std::size_t>(p.get("nodes"));
+    const auto max_weight = p.get("weights");
+    const auto threads = static_cast<unsigned>(p.get("threads"));
+    const auto iterations = static_cast<std::size_t>(p.get("iterations"));
+    Rng rng(seed);
+
+    // Random graph in CSR form: per-node degree uniform in [1, 2*kAvgDegree].
+    std::vector<std::size_t> degree(n);
+    std::size_t n_edges = 0;
+    for (auto& d : degree) {
+      d = 1 + rng.uniform_index(2 * kAvgDegree);
+      n_edges += d;
+    }
+
+    trace::TArray<std::int64_t> row_off(t, n + 1);
+    trace::TArray<std::int64_t> col_idx(t, n_edges);
+    trace::TArray<std::int64_t> edge_w(t, n_edges);
+    trace::TArray<std::int64_t> cost(t, n);
+    trace::TArray<std::int64_t> mask(t, n);
+    trace::TArray<std::int64_t> updating(t, n);
+    trace::TArray<std::int64_t> visited(t, n);
+    trace::TArray<std::int64_t> frontier_flag(t, 1);
+
+    std::size_t e = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      row_off.raw(v) = static_cast<std::int64_t>(e);
+      for (std::size_t d = 0; d < degree[v]; ++d, ++e) {
+        col_idx.raw(e) = static_cast<std::int64_t>(rng.uniform_index(n));
+        edge_w.raw(e) = rng.uniform_int(1, max_weight);
+      }
+    }
+    row_off.raw(n) = static_cast<std::int64_t>(e);
+
+    t.begin_kernel(name(), threads);
+    {
+      trace::Tracer::LoopScope liter(t);
+      for (std::size_t it = 0; it < iterations; ++it) {
+        liter.iteration();
+        const std::size_t source = (it * 7919) % n;
+
+        // Initialize traversal state (streaming writes over all nodes).
+        detail::parallel_range(t, n, [&](std::size_t b, std::size_t end) {
+          trace::Tracer::LoopScope li(t);
+          for (std::size_t i = b; i < end; ++i) {
+            li.iteration();
+            mask.store(i, trace::imm<std::int64_t>(t, 0));
+            updating.store(i, trace::imm<std::int64_t>(t, 0));
+            visited.store(i, trace::imm<std::int64_t>(t, 0));
+            cost.store(i, trace::imm<std::int64_t>(t, -1));
+          }
+        });
+        mask.store(source, trace::imm<std::int64_t>(t, 1));
+        visited.store(source, trace::imm<std::int64_t>(t, 1));
+        cost.store(source, trace::imm<std::int64_t>(t, 0));
+
+        bool frontier_nonempty = true;
+        trace::Tracer::LoopScope llevel(t);
+        while (frontier_nonempty) {
+          llevel.iteration();
+          frontier_flag.store(0, trace::imm<std::int64_t>(t, 0));
+
+          // Expansion: relax all edges of masked nodes.
+          detail::parallel_range(t, n, [&](std::size_t b, std::size_t end) {
+            trace::Tracer::LoopScope li(t);
+            for (std::size_t i = b; i < end; ++i) {
+              li.iteration();
+              auto m = mask.load(i);
+              if (take(m != trace::imm<std::int64_t>(t, 0))) {
+                mask.store(i, trace::imm<std::int64_t>(t, 0));
+                auto ci = cost.load(i);
+                auto eb = row_off.load(i);
+                auto ee = row_off.load(i + 1);
+                trace::Tracer::LoopScope le(t);
+                for (auto k = eb.value; k < ee.value; ++k) {
+                  le.iteration();
+                  const auto ke = static_cast<std::size_t>(k);
+                  auto j = col_idx.load(ke);
+                  auto vis = visited.load_indexed(j);
+                  if (take(vis != trace::imm<std::int64_t>(t, 1))) {
+                    auto w = edge_w.load(ke);
+                    cost.store_indexed(j, ci + w);
+                    updating.store_indexed(j,
+                                           trace::imm<std::int64_t>(t, 1));
+                  }
+                }
+              }
+            }
+          });
+
+          // Frontier update: promote `updating` nodes into the next frontier.
+          frontier_nonempty = false;
+          detail::parallel_range(t, n, [&](std::size_t b, std::size_t end) {
+            trace::Tracer::LoopScope li(t);
+            for (std::size_t i = b; i < end; ++i) {
+              li.iteration();
+              auto u = updating.load(i);
+              if (take(u != trace::imm<std::int64_t>(t, 0))) {
+                mask.store(i, trace::imm<std::int64_t>(t, 1));
+                visited.store(i, trace::imm<std::int64_t>(t, 1));
+                updating.store(i, trace::imm<std::int64_t>(t, 0));
+                frontier_flag.store(0, trace::imm<std::int64_t>(t, 1));
+                frontier_nonempty = true;
+              }
+            }
+          });
+        }
+      }
+    }
+    t.end_kernel();
+  }
+};
+
+}  // namespace
+
+const Workload& bfs_workload() {
+  static const BfsWorkload w;
+  return w;
+}
+
+}  // namespace napel::workloads

@@ -1,0 +1,146 @@
+// bp (Rodinia): back-propagation training of a two-layer perceptron
+// (input layer of `layer_size` units, small hidden layer, single output).
+// Each iteration performs a forward pass and a backward weight-update pass
+// over the input-to-hidden weight matrix — the memory-intensive part Rodinia
+// offloads.
+//
+// DoE parameters: `layer_size`, `seed` (weight/data initialization),
+// `threads`, `iterations` (training epochs).
+#include <cstdint>
+
+#include "workloads/kernels/kernel_utils.hpp"
+#include "workloads/kernels/kernels.hpp"
+
+namespace napel::workloads {
+
+namespace {
+
+constexpr std::size_t kHidden = 8;
+
+class BpWorkload final : public Workload {
+ public:
+  std::string_view name() const override { return "bp"; }
+  std::string_view description() const override {
+    return "Back-propagation training of a 2-layer perceptron (Rodinia)";
+  }
+
+  DoeSpace doe_space(Scale scale) const override {
+    switch (scale) {
+      case Scale::kPaper:
+        return {{DoeParam("layer_size",
+                          {800000, 1000000, 2000000, 3500000, 4000000},
+                          1100000),
+                 DoeParam("seed", {2, 4, 5, 10, 12}, 5),
+                 DoeParam("threads", {4, 8, 16, 32, 64}, 32),
+                 DoeParam("iterations", {1, 3, 9, 16, 25}, 9)}};
+      case Scale::kBench:
+        return {{DoeParam("layer_size", {800, 1000, 2000, 3500, 4000}, 8000),
+                 DoeParam("seed", {2, 4, 5, 10, 12}, 5),
+                 DoeParam("threads", {4, 8, 16, 32, 64}, 32),
+                 DoeParam("iterations", {1, 2, 3, 4, 6}, 3)}};
+      case Scale::kTiny:
+        return {{DoeParam("layer_size", {40, 60, 80, 120, 160}, 100),
+                 DoeParam("seed", {2, 4, 5, 10, 12}, 5),
+                 DoeParam("threads", {1, 2, 4, 8, 16}, 4),
+                 DoeParam("iterations", {1, 2, 3, 4, 5}, 2)}};
+    }
+    napel::check_failed("valid scale", __FILE__, __LINE__, "");
+  }
+
+  void run(trace::Tracer& t, const WorkloadParams& p,
+           std::uint64_t seed_base) const override {
+    const auto n = static_cast<std::size_t>(p.get("layer_size"));
+    const auto threads = static_cast<unsigned>(p.get("threads"));
+    const auto iterations = static_cast<std::size_t>(p.get("iterations"));
+    // The DoE `seed` parameter selects the data/weight initialization, on
+    // top of the pipeline-level seed.
+    Rng rng(seed_base * 1000003 + static_cast<std::uint64_t>(p.get("seed")));
+
+    trace::TArray<double> input(t, n);
+    trace::TArray<double> w1(t, n * kHidden);   // input -> hidden
+    trace::TArray<double> hidden(t, kHidden);
+    trace::TArray<double> w2(t, kHidden);       // hidden -> output
+    trace::TArray<double> hidden_delta(t, kHidden);
+    detail::fill_uniform(input, rng, 0.0, 1.0);
+    detail::fill_uniform(w1, rng, -0.5, 0.5);
+    detail::fill_uniform(w2, rng, -0.5, 0.5);
+    const double target = 0.75;
+    const double eta = 0.3;
+
+    t.begin_kernel(name(), threads);
+    {
+      trace::Tracer::LoopScope liter(t);
+      for (std::size_t it = 0; it < iterations; ++it) {
+        liter.iteration();
+
+        // Forward, input -> hidden: hidden[h] = sum_i input[i] * w1[i][h].
+        // Partition the (large) input dimension across threads; each thread
+        // accumulates into per-hidden partials it then stores.
+        detail::parallel_range(t, kHidden, [&](std::size_t hb, std::size_t he) {
+          trace::Tracer::LoopScope lh(t);
+          for (std::size_t h = hb; h < he; ++h) {
+            lh.iteration();
+            auto acc = trace::imm(t, 0.0);
+            trace::Tracer::LoopScope li(t);
+            for (std::size_t i = 0; i < n; ++i) {
+              li.iteration();
+              acc = acc + input.load(i) * w1.load(i * kHidden + h);
+            }
+            // Squash: approximate sigmoid with a rational function (keeps the
+            // op mix arithmetic, like Rodinia's squash()).
+            auto denom = trace::imm(t, 1.0) + tabs(acc);
+            hidden.store(h, acc / denom);
+          }
+        });
+
+        // Forward, hidden -> output (tiny).
+        auto out = trace::imm(t, 0.0);
+        {
+          trace::Tracer::LoopScope lh(t);
+          for (std::size_t h = 0; h < kHidden; ++h) {
+            lh.iteration();
+            out = out + hidden.load(h) * w2.load(h);
+          }
+        }
+
+        // Output error and hidden deltas.
+        auto err = trace::imm(t, target) - out;
+        {
+          trace::Tracer::LoopScope lh(t);
+          for (std::size_t h = 0; h < kHidden; ++h) {
+            lh.iteration();
+            auto d = err * w2.load(h);
+            hidden_delta.store(h, d);
+            w2.store(h, w2.load(h) + trace::imm(t, eta) * err * hidden.load(h));
+          }
+        }
+
+        // Backward, adjust input->hidden weights (the big sweep).
+        detail::parallel_range(t, n, [&](std::size_t ib, std::size_t ie) {
+          trace::Tracer::LoopScope li(t);
+          for (std::size_t i = ib; i < ie; ++i) {
+            li.iteration();
+            auto xi = input.load(i);
+            trace::Tracer::LoopScope lh(t);
+            for (std::size_t h = 0; h < kHidden; ++h) {
+              lh.iteration();
+              auto w = w1.load(i * kHidden + h);
+              w1.store(i * kHidden + h,
+                       w + trace::imm(t, eta) * hidden_delta.load(h) * xi);
+            }
+          }
+        });
+      }
+    }
+    t.end_kernel();
+  }
+};
+
+}  // namespace
+
+const Workload& bp_workload() {
+  static const BpWorkload w;
+  return w;
+}
+
+}  // namespace napel::workloads

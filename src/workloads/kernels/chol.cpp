@@ -1,0 +1,109 @@
+// cholesky (PolyBench): in-place Cholesky factorization A = L·Lᵀ of a
+// symmetric positive-definite matrix. Each DoE `iteration` re-copies the
+// pristine input and re-factorizes it, as the benchmarked region does when
+// run for multiple repetitions.
+#include "workloads/kernels/kernel_utils.hpp"
+#include "workloads/kernels/kernels.hpp"
+
+namespace napel::workloads {
+
+namespace {
+
+class CholWorkload final : public Workload {
+ public:
+  std::string_view name() const override { return "cholesky"; }
+  std::string_view description() const override {
+    return "Cholesky decomposition of an SPD matrix (PolyBench)";
+  }
+
+  DoeSpace doe_space(Scale scale) const override {
+    switch (scale) {
+      case Scale::kPaper:
+        // Table 2 prints (64, 384, 128, 320, 512); normalized ascending.
+        return {{DoeParam("dimension", {64, 128, 320, 384, 512}, 2000),
+                 DoeParam("threads", {4, 8, 16, 32, 64}, 32),
+                 DoeParam("iterations", {10, 20, 30, 50, 80}, 60)}};
+      case Scale::kBench:
+        return {{DoeParam("dimension", {16, 24, 32, 48, 64}, 64),
+                 DoeParam("threads", {4, 8, 16, 32, 64}, 32),
+                 DoeParam("iterations", {1, 2, 3, 4, 5}, 2)}};
+      case Scale::kTiny:
+        return {{DoeParam("dimension", {6, 8, 10, 12, 16}, 12),
+                 DoeParam("threads", {1, 2, 4, 8, 16}, 4),
+                 DoeParam("iterations", {1, 2, 3, 4, 5}, 2)}};
+    }
+    napel::check_failed("valid scale", __FILE__, __LINE__, "");
+  }
+
+  void run(trace::Tracer& t, const WorkloadParams& p,
+           std::uint64_t seed) const override {
+    const auto n = static_cast<std::size_t>(p.get("dimension"));
+    const auto threads = static_cast<unsigned>(p.get("threads"));
+    const auto iterations = static_cast<std::size_t>(p.get("iterations"));
+    Rng rng(seed);
+
+    trace::TArray<double> a(t, n * n);    // pristine input
+    trace::TArray<double> l(t, n * n);    // working copy, factored in place
+    detail::fill_spd(a, n, rng);
+
+    t.begin_kernel(name(), threads);
+    {
+      trace::Tracer::LoopScope liter(t);
+      for (std::size_t it = 0; it < iterations; ++it) {
+        liter.iteration();
+
+        // work := A (streaming copy).
+        detail::parallel_range(t, n * n, [&](std::size_t b, std::size_t e) {
+          trace::Tracer::LoopScope lc(t);
+          for (std::size_t i = b; i < e; ++i) {
+            lc.iteration();
+            l.store(i, a.load(i));
+          }
+        });
+
+        // Right-looking factorization; the column update is partitioned
+        // across threads.
+        trace::Tracer::LoopScope lk(t);
+        for (std::size_t k = 0; k < n; ++k) {
+          lk.iteration();
+          auto pivot = tsqrt(l.load(k * n + k));
+          l.store(k * n + k, pivot);
+          detail::parallel_range(t, n - k - 1, [&](std::size_t b,
+                                                   std::size_t e) {
+            trace::Tracer::LoopScope li(t);
+            for (std::size_t off = b; off < e; ++off) {
+              li.iteration();
+              const std::size_t i = k + 1 + off;
+              l.store(i * n + k, l.load(i * n + k) / pivot);
+            }
+          });
+          detail::parallel_range(t, n - k - 1, [&](std::size_t b,
+                                                   std::size_t e) {
+            trace::Tracer::LoopScope li(t);
+            for (std::size_t off = b; off < e; ++off) {
+              li.iteration();
+              const std::size_t i = k + 1 + off;
+              auto lik = l.load(i * n + k);
+              trace::Tracer::LoopScope lj(t);
+              for (std::size_t j = k + 1; j <= i; ++j) {
+                lj.iteration();
+                auto v = l.load(i * n + j) - lik * l.load(j * n + k);
+                l.store(i * n + j, v);
+              }
+            }
+          });
+        }
+      }
+    }
+    t.end_kernel();
+  }
+};
+
+}  // namespace
+
+const Workload& chol_workload() {
+  static const CholWorkload w;
+  return w;
+}
+
+}  // namespace napel::workloads

@@ -1,0 +1,230 @@
+// Extended workload suite (not part of the paper's Table 2): three
+// additional kernels with distinct behaviours — dense matrix multiply
+// (compute bound, tiled reuse), a 5-point Jacobi stencil (streaming with
+// neighbourhood reuse), and CSR sparse matrix-vector product (indirect
+// gather) — useful for enlarging NAPEL's training diversity beyond the
+// twelve evaluated applications.
+//
+// Their "paper" scale is defined as 16x the bench scale, since the paper
+// prescribes no levels for them.
+#include <cstdint>
+#include <vector>
+
+#include "workloads/kernels/kernel_utils.hpp"
+#include "workloads/kernels/kernels.hpp"
+
+namespace napel::workloads {
+
+namespace {
+
+DoeSpace scaled_space(std::vector<DoeParam> bench, std::int64_t factor,
+                      Scale scale) {
+  if (scale == Scale::kBench) return {std::move(bench)};
+  DoeSpace out;
+  for (auto& p : bench) {
+    std::array<std::int64_t, 5> levels = p.levels;
+    std::int64_t test = p.test;
+    if (p.name != "threads" && p.name != "iterations" &&
+        p.name != "nnz_per_row") {
+      const std::int64_t f = scale == Scale::kPaper ? factor : 1;
+      const std::int64_t d = scale == Scale::kTiny ? 4 : 1;
+      for (auto& l : levels) l = std::max<std::int64_t>(2, l * f / d);
+      test = std::max<std::int64_t>(2, test * f / d);
+    } else if (scale == Scale::kTiny && p.name == "threads") {
+      levels = {1, 2, 4, 8, 16};
+      test = 4;
+    }
+    out.params.emplace_back(p.name, levels, test);
+  }
+  return out;
+}
+
+// --- gemm: C = alpha*A*B + beta*C ------------------------------------------
+
+class GemmWorkload final : public Workload {
+ public:
+  std::string_view name() const override { return "gemm"; }
+  std::string_view description() const override {
+    return "Dense matrix-matrix multiplication (PolyBench gemm, extended suite)";
+  }
+
+  DoeSpace doe_space(Scale scale) const override {
+    return scaled_space({DoeParam("dimension_i", {8, 12, 16, 24, 32}, 40),
+                         DoeParam("dimension_j", {8, 12, 16, 24, 32}, 40),
+                         DoeParam("dimension_k", {8, 12, 16, 24, 32}, 40),
+                         DoeParam("threads", {4, 8, 16, 32, 64}, 32)},
+                        16, scale);
+  }
+
+  void run(trace::Tracer& t, const WorkloadParams& p,
+           std::uint64_t seed) const override {
+    const auto ni = static_cast<std::size_t>(p.get("dimension_i"));
+    const auto nj = static_cast<std::size_t>(p.get("dimension_j"));
+    const auto nk = static_cast<std::size_t>(p.get("dimension_k"));
+    const auto threads = static_cast<unsigned>(p.get("threads"));
+    Rng rng(seed);
+
+    trace::TArray<double> a(t, ni * nk), b(t, nk * nj), c(t, ni * nj);
+    detail::fill_uniform(a, rng, 0.0, 1.0);
+    detail::fill_uniform(b, rng, 0.0, 1.0);
+    detail::fill_uniform(c, rng, 0.0, 1.0);
+    const double alpha = 1.5, beta = 1.2;
+
+    t.begin_kernel(name(), threads);
+    detail::parallel_range(t, ni, [&](std::size_t ib, std::size_t ie) {
+      trace::Tracer::LoopScope li(t);
+      for (std::size_t i = ib; i < ie; ++i) {
+        li.iteration();
+        trace::Tracer::LoopScope lj(t);
+        for (std::size_t j = 0; j < nj; ++j) {
+          lj.iteration();
+          auto acc = trace::imm(t, beta) * c.load(i * nj + j);
+          trace::Tracer::LoopScope lk(t);
+          for (std::size_t k = 0; k < nk; ++k) {
+            lk.iteration();
+            acc = acc + trace::imm(t, alpha) * a.load(i * nk + k) *
+                            b.load(k * nj + j);
+          }
+          c.store(i * nj + j, acc);
+        }
+      }
+    });
+    t.end_kernel();
+  }
+};
+
+// --- jacobi2d: 5-point stencil sweeps ---------------------------------------
+
+class Jacobi2dWorkload final : public Workload {
+ public:
+  std::string_view name() const override { return "jacobi2d"; }
+  std::string_view description() const override {
+    return "5-point Jacobi stencil on a 2-D grid (PolyBench, extended suite)";
+  }
+
+  DoeSpace doe_space(Scale scale) const override {
+    return scaled_space({DoeParam("dimension", {24, 32, 48, 64, 96}, 128),
+                         DoeParam("threads", {4, 8, 16, 32, 64}, 32),
+                         DoeParam("iterations", {1, 2, 3, 4, 5}, 3)},
+                        16, scale);
+  }
+
+  void run(trace::Tracer& t, const WorkloadParams& p,
+           std::uint64_t seed) const override {
+    const auto n = static_cast<std::size_t>(p.get("dimension"));
+    const auto threads = static_cast<unsigned>(p.get("threads"));
+    const auto iterations = static_cast<std::size_t>(p.get("iterations"));
+    Rng rng(seed);
+
+    trace::TArray<double> grid(t, n * n), next(t, n * n);
+    detail::fill_uniform(grid, rng, 0.0, 1.0);
+
+    t.begin_kernel(name(), threads);
+    {
+      trace::Tracer::LoopScope liter(t);
+      for (std::size_t it = 0; it < iterations; ++it) {
+        liter.iteration();
+        trace::TArray<double>& src = it % 2 ? next : grid;
+        trace::TArray<double>& dst = it % 2 ? grid : next;
+        detail::parallel_range(t, n - 2, [&](std::size_t b, std::size_t e) {
+          trace::Tracer::LoopScope li(t);
+          for (std::size_t off = b; off < e; ++off) {
+            li.iteration();
+            const std::size_t i = 1 + off;
+            trace::Tracer::LoopScope lj(t);
+            for (std::size_t j = 1; j + 1 < n; ++j) {
+              lj.iteration();
+              auto v = src.load(i * n + j) + src.load(i * n + j - 1) +
+                       src.load(i * n + j + 1) + src.load((i - 1) * n + j) +
+                       src.load((i + 1) * n + j);
+              dst.store(i * n + j, trace::imm(t, 0.2) * v);
+            }
+          }
+        });
+      }
+    }
+    t.end_kernel();
+  }
+};
+
+// --- spmv: CSR sparse matrix-vector product ---------------------------------
+
+class SpmvWorkload final : public Workload {
+ public:
+  std::string_view name() const override { return "spmv"; }
+  std::string_view description() const override {
+    return "CSR sparse matrix-vector product (extended suite)";
+  }
+
+  DoeSpace doe_space(Scale scale) const override {
+    return scaled_space({DoeParam("rows", {500, 1000, 2000, 3000, 4000}, 5000),
+                         DoeParam("nnz_per_row", {2, 4, 8, 16, 32}, 8),
+                         DoeParam("threads", {4, 8, 16, 32, 64}, 32),
+                         DoeParam("iterations", {1, 2, 3, 4, 5}, 3)},
+                        16, scale);
+  }
+
+  void run(trace::Tracer& t, const WorkloadParams& p,
+           std::uint64_t seed) const override {
+    const auto rows = static_cast<std::size_t>(p.get("rows"));
+    const auto nnz = static_cast<std::size_t>(p.get("nnz_per_row"));
+    const auto threads = static_cast<unsigned>(p.get("threads"));
+    const auto iterations = static_cast<std::size_t>(p.get("iterations"));
+    Rng rng(seed);
+
+    trace::TArray<std::int64_t> row_off(t, rows + 1);
+    trace::TArray<std::int64_t> col_idx(t, rows * nnz);
+    trace::TArray<double> vals(t, rows * nnz);
+    trace::TArray<double> x(t, rows), y(t, rows);
+    for (std::size_t r = 0; r <= rows; ++r)
+      row_off.raw(r) = static_cast<std::int64_t>(r * nnz);
+    for (std::size_t e = 0; e < rows * nnz; ++e) {
+      col_idx.raw(e) = static_cast<std::int64_t>(rng.uniform_index(rows));
+      vals.raw(e) = rng.uniform();
+    }
+    detail::fill_uniform(x, rng, 0.0, 1.0);
+
+    t.begin_kernel(name(), threads);
+    {
+      trace::Tracer::LoopScope liter(t);
+      for (std::size_t it = 0; it < iterations; ++it) {
+        liter.iteration();
+        detail::parallel_range(t, rows, [&](std::size_t b, std::size_t e) {
+          trace::Tracer::LoopScope lr(t);
+          for (std::size_t r = b; r < e; ++r) {
+            lr.iteration();
+            auto acc = trace::imm(t, 0.0);
+            auto eb = row_off.load(r);
+            auto ee = row_off.load(r + 1);
+            trace::Tracer::LoopScope le(t);
+            for (auto k = eb.value; k < ee.value; ++k) {
+              le.iteration();
+              const auto ke = static_cast<std::size_t>(k);
+              auto col = col_idx.load(ke);
+              acc = acc + vals.load(ke) * x.load_indexed(col);
+            }
+            y.store(r, acc);
+          }
+        });
+      }
+    }
+    t.end_kernel();
+  }
+};
+
+}  // namespace
+
+const Workload& gemm_workload() {
+  static const GemmWorkload w;
+  return w;
+}
+const Workload& jacobi2d_workload() {
+  static const Jacobi2dWorkload w;
+  return w;
+}
+const Workload& spmv_workload() {
+  static const SpmvWorkload w;
+  return w;
+}
+
+}  // namespace napel::workloads

@@ -1,0 +1,114 @@
+// gemver (PolyBench; "gemv" in the paper's Table 2): vector multiplication
+// and matrix addition — A = A + u1·v1ᵀ + u2·v2ᵀ; x = β·Aᵀ·y + z; w = α·A·x.
+#include "workloads/kernels/kernel_utils.hpp"
+#include "workloads/kernels/kernels.hpp"
+
+namespace napel::workloads {
+
+namespace {
+
+class GemverWorkload final : public Workload {
+ public:
+  std::string_view name() const override { return "gemver"; }
+  std::string_view description() const override {
+    return "Vector multiply and matrix addition (PolyBench gemver)";
+  }
+
+  DoeSpace doe_space(Scale scale) const override {
+    switch (scale) {
+      case Scale::kPaper:
+        return {{DoeParam("dimension", {500, 750, 1250, 2000, 2250}, 8000),
+                 DoeParam("threads", {4, 8, 16, 32, 64}, 32),
+                 DoeParam("iterations", {50, 60, 80, 100, 150}, 60)}};
+      case Scale::kBench:
+        return {{DoeParam("dimension", {32, 48, 64, 96, 128}, 128),
+                 DoeParam("threads", {4, 8, 16, 32, 64}, 32),
+                 DoeParam("iterations", {1, 2, 3, 4, 5}, 2)}};
+      case Scale::kTiny:
+        return {{DoeParam("dimension", {6, 8, 10, 12, 16}, 12),
+                 DoeParam("threads", {1, 2, 4, 8, 16}, 4),
+                 DoeParam("iterations", {1, 2, 3, 4, 5}, 2)}};
+    }
+    napel::check_failed("valid scale", __FILE__, __LINE__, "");
+  }
+
+  void run(trace::Tracer& t, const WorkloadParams& p,
+           std::uint64_t seed) const override {
+    const auto n = static_cast<std::size_t>(p.get("dimension"));
+    const auto threads = static_cast<unsigned>(p.get("threads"));
+    const auto iterations = static_cast<std::size_t>(p.get("iterations"));
+    Rng rng(seed);
+
+    trace::TArray<double> a(t, n * n);
+    trace::TArray<double> u1(t, n), v1(t, n), u2(t, n), v2(t, n);
+    trace::TArray<double> x(t, n), y(t, n), z(t, n), w(t, n);
+    for (auto* arr : {&a}) detail::fill_uniform(*arr, rng, 0.0, 1.0);
+    for (auto* arr : {&u1, &v1, &u2, &v2, &y, &z})
+      detail::fill_uniform(*arr, rng, 0.0, 1.0);
+    const double alpha = 1.5, beta = 1.2;
+
+    t.begin_kernel(name(), threads);
+    {
+      trace::Tracer::LoopScope liter(t);
+      for (std::size_t it = 0; it < iterations; ++it) {
+        liter.iteration();
+
+        // A += u1·v1ᵀ + u2·v2ᵀ
+        detail::parallel_range(t, n, [&](std::size_t b, std::size_t e) {
+          trace::Tracer::LoopScope li(t);
+          for (std::size_t i = b; i < e; ++i) {
+            li.iteration();
+            auto u1i = u1.load(i);
+            auto u2i = u2.load(i);
+            trace::Tracer::LoopScope lj(t);
+            for (std::size_t j = 0; j < n; ++j) {
+              lj.iteration();
+              auto v = a.load(i * n + j) + u1i * v1.load(j) + u2i * v2.load(j);
+              a.store(i * n + j, v);
+            }
+          }
+        });
+
+        // x = β·Aᵀ·y + z  (column-major walk)
+        detail::parallel_range(t, n, [&](std::size_t b, std::size_t e) {
+          trace::Tracer::LoopScope lj(t);
+          for (std::size_t j = b; j < e; ++j) {
+            lj.iteration();
+            auto acc = trace::imm(t, 0.0);
+            trace::Tracer::LoopScope li(t);
+            for (std::size_t i = 0; i < n; ++i) {
+              li.iteration();
+              acc = acc + a.load(i * n + j) * y.load(i);
+            }
+            x.store(j, trace::imm(t, beta) * acc + z.load(j));
+          }
+        });
+
+        // w = α·A·x  (row-major walk)
+        detail::parallel_range(t, n, [&](std::size_t b, std::size_t e) {
+          trace::Tracer::LoopScope li(t);
+          for (std::size_t i = b; i < e; ++i) {
+            li.iteration();
+            auto acc = trace::imm(t, 0.0);
+            trace::Tracer::LoopScope lj(t);
+            for (std::size_t j = 0; j < n; ++j) {
+              lj.iteration();
+              acc = acc + a.load(i * n + j) * x.load(j);
+            }
+            w.store(i, trace::imm(t, alpha) * acc);
+          }
+        });
+      }
+    }
+    t.end_kernel();
+  }
+};
+
+}  // namespace
+
+const Workload& gemver_workload() {
+  static const GemverWorkload w;
+  return w;
+}
+
+}  // namespace napel::workloads

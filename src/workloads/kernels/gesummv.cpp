@@ -1,0 +1,83 @@
+// gesummv (PolyBench): scalar, vector and matrix multiplication —
+// y = α·A·x + β·B·x.
+#include "workloads/kernels/kernel_utils.hpp"
+#include "workloads/kernels/kernels.hpp"
+
+namespace napel::workloads {
+
+namespace {
+
+class GesummvWorkload final : public Workload {
+ public:
+  std::string_view name() const override { return "gesummv"; }
+  std::string_view description() const override {
+    return "Scalar, vector and matrix multiplication (PolyBench gesummv)";
+  }
+
+  DoeSpace doe_space(Scale scale) const override {
+    switch (scale) {
+      case Scale::kPaper:
+        return {{DoeParam("dimension", {500, 750, 1250, 2000, 2250}, 8000),
+                 DoeParam("threads", {4, 8, 16, 32, 64}, 32),
+                 DoeParam("iterations", {10, 20, 40, 50, 60}, 50)}};
+      case Scale::kBench:
+        return {{DoeParam("dimension", {32, 48, 64, 96, 128}, 128),
+                 DoeParam("threads", {4, 8, 16, 32, 64}, 32),
+                 DoeParam("iterations", {1, 2, 3, 4, 5}, 4)}};
+      case Scale::kTiny:
+        return {{DoeParam("dimension", {6, 8, 10, 12, 16}, 12),
+                 DoeParam("threads", {1, 2, 4, 8, 16}, 4),
+                 DoeParam("iterations", {1, 2, 3, 4, 5}, 2)}};
+    }
+    napel::check_failed("valid scale", __FILE__, __LINE__, "");
+  }
+
+  void run(trace::Tracer& t, const WorkloadParams& p,
+           std::uint64_t seed) const override {
+    const auto n = static_cast<std::size_t>(p.get("dimension"));
+    const auto threads = static_cast<unsigned>(p.get("threads"));
+    const auto iterations = static_cast<std::size_t>(p.get("iterations"));
+    Rng rng(seed);
+
+    trace::TArray<double> a(t, n * n), b(t, n * n);
+    trace::TArray<double> x(t, n), y(t, n);
+    detail::fill_uniform(a, rng, 0.0, 1.0);
+    detail::fill_uniform(b, rng, 0.0, 1.0);
+    detail::fill_uniform(x, rng, 0.0, 1.0);
+    const double alpha = 1.5, beta = 1.2;
+
+    t.begin_kernel(name(), threads);
+    {
+      trace::Tracer::LoopScope liter(t);
+      for (std::size_t it = 0; it < iterations; ++it) {
+        liter.iteration();
+        detail::parallel_range(t, n, [&](std::size_t rb, std::size_t re) {
+          trace::Tracer::LoopScope li(t);
+          for (std::size_t i = rb; i < re; ++i) {
+            li.iteration();
+            auto ta = trace::imm(t, 0.0);
+            auto tb = trace::imm(t, 0.0);
+            trace::Tracer::LoopScope lj(t);
+            for (std::size_t j = 0; j < n; ++j) {
+              lj.iteration();
+              auto xj = x.load(j);
+              ta = ta + a.load(i * n + j) * xj;
+              tb = tb + b.load(i * n + j) * xj;
+            }
+            y.store(i, trace::imm(t, alpha) * ta + trace::imm(t, beta) * tb);
+          }
+        });
+      }
+    }
+    t.end_kernel();
+  }
+};
+
+}  // namespace
+
+const Workload& gesummv_workload() {
+  static const GesummvWorkload w;
+  return w;
+}
+
+}  // namespace napel::workloads

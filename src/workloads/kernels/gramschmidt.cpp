@@ -1,0 +1,109 @@
+// gramschmidt (PolyBench): modified Gram-Schmidt QR factorization of an
+// n_i × n_j matrix. Column-wise walks over a row-major matrix give the
+// strided, cache-hostile pattern that makes this kernel NMC-friendly.
+#include "workloads/kernels/kernel_utils.hpp"
+#include "workloads/kernels/kernels.hpp"
+
+namespace napel::workloads {
+
+namespace {
+
+class GramSchmidtWorkload final : public Workload {
+ public:
+  std::string_view name() const override { return "gramschmidt"; }
+  std::string_view description() const override {
+    return "Modified Gram-Schmidt QR factorization (PolyBench)";
+  }
+
+  DoeSpace doe_space(Scale scale) const override {
+    switch (scale) {
+      case Scale::kPaper:
+        // Table 2 prints (64, 384, 128, 320, 512); normalized ascending.
+        return {{DoeParam("dimension_i", {64, 128, 320, 384, 512}, 2000),
+                 DoeParam("dimension_j", {64, 128, 320, 384, 512}, 2000),
+                 DoeParam("threads", {4, 8, 16, 32, 64}, 32)}};
+      case Scale::kBench:
+        return {{DoeParam("dimension_i", {16, 24, 32, 48, 64}, 64),
+                 DoeParam("dimension_j", {8, 12, 16, 24, 32}, 32),
+                 DoeParam("threads", {4, 8, 16, 32, 64}, 32)}};
+      case Scale::kTiny:
+        return {{DoeParam("dimension_i", {6, 8, 10, 12, 16}, 12),
+                 DoeParam("dimension_j", {4, 6, 8, 10, 12}, 8),
+                 DoeParam("threads", {1, 2, 4, 8, 16}, 4)}};
+    }
+    napel::check_failed("valid scale", __FILE__, __LINE__, "");
+  }
+
+  void run(trace::Tracer& t, const WorkloadParams& p,
+           std::uint64_t seed) const override {
+    const auto rows = static_cast<std::size_t>(p.get("dimension_i"));
+    const auto cols = static_cast<std::size_t>(p.get("dimension_j"));
+    const auto threads = static_cast<unsigned>(p.get("threads"));
+    Rng rng(seed);
+
+    trace::TArray<double> a(t, rows * cols);  // factored into Q in place
+    trace::TArray<double> r(t, cols * cols);
+    detail::fill_uniform(a, rng, 0.5, 1.5);   // away from 0 => full rank w.h.p.
+
+    t.begin_kernel(name(), threads);
+    {
+      trace::Tracer::LoopScope lk(t);
+      for (std::size_t k = 0; k < cols; ++k) {
+        lk.iteration();
+
+        // r[k][k] = ||A_k||; normalize column k.
+        auto nrm = trace::imm(t, 0.0);
+        {
+          trace::Tracer::LoopScope li(t);
+          for (std::size_t i = 0; i < rows; ++i) {
+            li.iteration();
+            auto v = a.load(i * cols + k);
+            nrm = nrm + v * v;
+          }
+        }
+        auto rkk = tsqrt(nrm);
+        r.store(k * cols + k, rkk);
+        {
+          trace::Tracer::LoopScope li(t);
+          for (std::size_t i = 0; i < rows; ++i) {
+            li.iteration();
+            a.store(i * cols + k, a.load(i * cols + k) / rkk);
+          }
+        }
+
+        // Orthogonalize the remaining columns against Q_k (parallel over j).
+        detail::parallel_range(t, cols - k - 1, [&](std::size_t b,
+                                                    std::size_t e) {
+          trace::Tracer::LoopScope lj(t);
+          for (std::size_t off = b; off < e; ++off) {
+            lj.iteration();
+            const std::size_t j = k + 1 + off;
+            auto dot = trace::imm(t, 0.0);
+            trace::Tracer::LoopScope li(t);
+            for (std::size_t i = 0; i < rows; ++i) {
+              li.iteration();
+              dot = dot + a.load(i * cols + k) * a.load(i * cols + j);
+            }
+            r.store(k * cols + j, dot);
+            trace::Tracer::LoopScope li2(t);
+            for (std::size_t i = 0; i < rows; ++i) {
+              li2.iteration();
+              auto v = a.load(i * cols + j) - dot * a.load(i * cols + k);
+              a.store(i * cols + j, v);
+            }
+          }
+        });
+      }
+    }
+    t.end_kernel();
+  }
+};
+
+}  // namespace
+
+const Workload& gramschmidt_workload() {
+  static const GramSchmidtWorkload w;
+  return w;
+}
+
+}  // namespace napel::workloads

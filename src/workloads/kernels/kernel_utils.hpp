@@ -1,0 +1,62 @@
+// Shared helpers for kernel implementations: SPMD thread partitioning and
+// untraced input-data initialization.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "trace/traced.hpp"
+#include "trace/tracer.hpp"
+
+namespace napel::workloads::detail {
+
+/// Splits [0, n) into `n_threads` near-equal contiguous chunks and invokes
+/// fn(begin, end) for each, with the tracer's current thread set to the
+/// chunk's owner. Chunks may be empty when n < n_threads. This models the
+/// static OpenMP-style partitioning of the original benchmark kernels.
+template <typename Fn>
+void parallel_range(trace::Tracer& t, std::size_t n, Fn&& fn) {
+  const unsigned nt = t.n_threads();
+  NAPEL_CHECK(nt >= 1);
+  const std::size_t chunk = n / nt;
+  const std::size_t rem = n % nt;
+  std::size_t begin = 0;
+  for (unsigned tid = 0; tid < nt; ++tid) {
+    const std::size_t len = chunk + (tid < rem ? 1 : 0);
+    t.set_thread(tid);
+    if (len > 0) fn(begin, begin + len);
+    begin += len;
+  }
+  t.set_thread(0);
+}
+
+/// Fills a traced array with uniform values in [lo, hi) without tracing
+/// (input setup is not part of the offloaded kernel).
+template <typename T>
+void fill_uniform(trace::TArray<T>& a, Rng& rng, double lo, double hi) {
+  for (std::size_t i = 0; i < a.size(); ++i)
+    a.raw(i) = static_cast<T>(rng.uniform(lo, hi));
+}
+
+/// Fills an n×n row-major matrix so it is symmetric positive definite:
+/// A = (1/n)·B·Bᵀ + n·I with B uniform in [0,1).
+template <typename T>
+void fill_spd(trace::TArray<T>& a, std::size_t n, Rng& rng) {
+  NAPEL_CHECK(a.size() == n * n);
+  std::vector<double> b(n * n);
+  for (auto& x : b) x = rng.uniform();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < n; ++k) s += b[i * n + k] * b[j * n + k];
+      const double v = s / static_cast<double>(n);
+      a.raw(i * n + j) = static_cast<T>(v);
+      a.raw(j * n + i) = static_cast<T>(v);
+    }
+    a.raw(i * n + i) += static_cast<T>(n);
+  }
+}
+
+}  // namespace napel::workloads::detail

@@ -1,0 +1,27 @@
+// Accessors for the 12 evaluated workload singletons (internal to the
+// workloads library; users go through the registry).
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace napel::workloads {
+
+const Workload& atax_workload();
+const Workload& bfs_workload();
+const Workload& bp_workload();
+const Workload& chol_workload();
+const Workload& gemver_workload();
+const Workload& gesummv_workload();
+const Workload& gramschmidt_workload();
+const Workload& kmeans_workload();
+const Workload& lu_workload();
+const Workload& mvt_workload();
+const Workload& syrk_workload();
+const Workload& trmm_workload();
+
+// Extended suite (not in the paper's Table 2).
+const Workload& gemm_workload();
+const Workload& jacobi2d_workload();
+const Workload& spmv_workload();
+
+}  // namespace napel::workloads

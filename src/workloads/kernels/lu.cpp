@@ -1,0 +1,98 @@
+// lu (PolyBench): in-place LU decomposition without pivoting. Each DoE
+// `iteration` re-copies the pristine (diagonally dominant) input and
+// re-factorizes it.
+#include "workloads/kernels/kernel_utils.hpp"
+#include "workloads/kernels/kernels.hpp"
+
+namespace napel::workloads {
+
+namespace {
+
+class LuWorkload final : public Workload {
+ public:
+  std::string_view name() const override { return "lu"; }
+  std::string_view description() const override {
+    return "LU decomposition without pivoting (PolyBench)";
+  }
+
+  DoeSpace doe_space(Scale scale) const override {
+    switch (scale) {
+      case Scale::kPaper:
+        return {{DoeParam("dimension", {196, 256, 320, 420, 512}, 2000),
+                 DoeParam("threads", {4, 8, 16, 32, 64}, 32),
+                 DoeParam("iterations", {98, 128, 256, 420, 512}, 2000)}};
+      case Scale::kBench:
+        return {{DoeParam("dimension", {16, 24, 32, 48, 64}, 64),
+                 DoeParam("threads", {4, 8, 16, 32, 64}, 32),
+                 DoeParam("iterations", {1, 2, 3, 4, 5}, 3)}};
+      case Scale::kTiny:
+        return {{DoeParam("dimension", {6, 8, 10, 12, 16}, 12),
+                 DoeParam("threads", {1, 2, 4, 8, 16}, 4),
+                 DoeParam("iterations", {1, 2, 3, 4, 5}, 2)}};
+    }
+    napel::check_failed("valid scale", __FILE__, __LINE__, "");
+  }
+
+  void run(trace::Tracer& t, const WorkloadParams& p,
+           std::uint64_t seed) const override {
+    const auto n = static_cast<std::size_t>(p.get("dimension"));
+    const auto threads = static_cast<unsigned>(p.get("threads"));
+    const auto iterations = static_cast<std::size_t>(p.get("iterations"));
+    Rng rng(seed);
+
+    trace::TArray<double> a(t, n * n);
+    trace::TArray<double> work(t, n * n);
+    detail::fill_uniform(a, rng, 0.0, 1.0);
+    // Diagonal dominance keeps the pivotless factorization well-conditioned.
+    for (std::size_t i = 0; i < n; ++i)
+      a.raw(i * n + i) += static_cast<double>(n);
+
+    t.begin_kernel(name(), threads);
+    {
+      trace::Tracer::LoopScope liter(t);
+      for (std::size_t it = 0; it < iterations; ++it) {
+        liter.iteration();
+
+        detail::parallel_range(t, n * n, [&](std::size_t b, std::size_t e) {
+          trace::Tracer::LoopScope lc(t);
+          for (std::size_t i = b; i < e; ++i) {
+            lc.iteration();
+            work.store(i, a.load(i));
+          }
+        });
+
+        trace::Tracer::LoopScope lk(t);
+        for (std::size_t k = 0; k < n; ++k) {
+          lk.iteration();
+          auto pivot = work.load(k * n + k);
+          detail::parallel_range(t, n - k - 1, [&](std::size_t b,
+                                                   std::size_t e) {
+            trace::Tracer::LoopScope li(t);
+            for (std::size_t off = b; off < e; ++off) {
+              li.iteration();
+              const std::size_t i = k + 1 + off;
+              auto lik = work.load(i * n + k) / pivot;
+              work.store(i * n + k, lik);
+              trace::Tracer::LoopScope lj(t);
+              for (std::size_t j = k + 1; j < n; ++j) {
+                lj.iteration();
+                auto v = work.load(i * n + j) - lik * work.load(k * n + j);
+                work.store(i * n + j, v);
+              }
+            }
+          });
+        }
+      }
+    }
+    t.end_kernel();
+  }
+};
+
+}  // namespace
+
+const Workload& lu_workload() {
+  static const LuWorkload w;
+  return w;
+}
+
+}  // namespace napel::workloads

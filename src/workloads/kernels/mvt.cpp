@@ -1,0 +1,98 @@
+// mvt (PolyBench): matrix-vector product and transpose —
+// x1 = x1 + A·y1; x2 = x2 + Aᵀ·y2.
+#include "workloads/kernels/kernel_utils.hpp"
+#include "workloads/kernels/kernels.hpp"
+
+namespace napel::workloads {
+
+namespace {
+
+class MvtWorkload final : public Workload {
+ public:
+  std::string_view name() const override { return "mvt"; }
+  std::string_view description() const override {
+    return "Matrix-vector product and transpose (PolyBench mvt)";
+  }
+
+  DoeSpace doe_space(Scale scale) const override {
+    switch (scale) {
+      case Scale::kPaper:
+        return {{DoeParam("dimension", {500, 750, 1250, 2000, 2250}, 2000),
+                 DoeParam("threads", {4, 8, 16, 32, 64}, 32),
+                 DoeParam("iterations", {10, 20, 30, 50, 60}, 40)}};
+      case Scale::kBench:
+        return {{DoeParam("dimension", {32, 48, 64, 96, 128}, 128),
+                 DoeParam("threads", {4, 8, 16, 32, 64}, 32),
+                 DoeParam("iterations", {1, 2, 3, 4, 5}, 4)}};
+      case Scale::kTiny:
+        return {{DoeParam("dimension", {6, 8, 10, 12, 16}, 12),
+                 DoeParam("threads", {1, 2, 4, 8, 16}, 4),
+                 DoeParam("iterations", {1, 2, 3, 4, 5}, 2)}};
+    }
+    napel::check_failed("valid scale", __FILE__, __LINE__, "");
+  }
+
+  void run(trace::Tracer& t, const WorkloadParams& p,
+           std::uint64_t seed) const override {
+    const auto n = static_cast<std::size_t>(p.get("dimension"));
+    const auto threads = static_cast<unsigned>(p.get("threads"));
+    const auto iterations = static_cast<std::size_t>(p.get("iterations"));
+    Rng rng(seed);
+
+    trace::TArray<double> a(t, n * n);
+    trace::TArray<double> x1(t, n), x2(t, n), y1(t, n), y2(t, n);
+    detail::fill_uniform(a, rng, 0.0, 1.0);
+    detail::fill_uniform(x1, rng, 0.0, 1.0);
+    detail::fill_uniform(x2, rng, 0.0, 1.0);
+    detail::fill_uniform(y1, rng, 0.0, 1.0);
+    detail::fill_uniform(y2, rng, 0.0, 1.0);
+
+    t.begin_kernel(name(), threads);
+    {
+      trace::Tracer::LoopScope liter(t);
+      for (std::size_t it = 0; it < iterations; ++it) {
+        liter.iteration();
+
+        // x1 += A·y1
+        detail::parallel_range(t, n, [&](std::size_t b, std::size_t e) {
+          trace::Tracer::LoopScope li(t);
+          for (std::size_t i = b; i < e; ++i) {
+            li.iteration();
+            auto acc = x1.load(i);
+            trace::Tracer::LoopScope lj(t);
+            for (std::size_t j = 0; j < n; ++j) {
+              lj.iteration();
+              acc = acc + a.load(i * n + j) * y1.load(j);
+            }
+            x1.store(i, acc);
+          }
+        });
+
+        // x2 += Aᵀ·y2 (column-major walk)
+        detail::parallel_range(t, n, [&](std::size_t b, std::size_t e) {
+          trace::Tracer::LoopScope li(t);
+          for (std::size_t i = b; i < e; ++i) {
+            li.iteration();
+            auto acc = x2.load(i);
+            trace::Tracer::LoopScope lj(t);
+            for (std::size_t j = 0; j < n; ++j) {
+              lj.iteration();
+              acc = acc + a.load(j * n + i) * y2.load(j);
+            }
+            x2.store(i, acc);
+          }
+        });
+      }
+    }
+    t.end_kernel();
+  }
+};
+
+}  // namespace
+
+const Workload& mvt_workload() {
+  static const MvtWorkload w;
+  return w;
+}
+
+}  // namespace napel::workloads

@@ -1,0 +1,80 @@
+// syrk (PolyBench): symmetric rank-k update — C = α·A·Aᵀ + β·C, where C is
+// n_i × n_i and A is n_i × n_j; only the lower triangle is computed.
+#include "workloads/kernels/kernel_utils.hpp"
+#include "workloads/kernels/kernels.hpp"
+
+namespace napel::workloads {
+
+namespace {
+
+class SyrkWorkload final : public Workload {
+ public:
+  std::string_view name() const override { return "syrk"; }
+  std::string_view description() const override {
+    return "Symmetric rank-k update (PolyBench syrk)";
+  }
+
+  DoeSpace doe_space(Scale scale) const override {
+    switch (scale) {
+      case Scale::kPaper:
+        return {{DoeParam("dimension_i", {64, 128, 320, 512, 640}, 2000),
+                 DoeParam("dimension_j", {64, 128, 320, 512, 640}, 2000),
+                 DoeParam("threads", {4, 8, 16, 32, 64}, 32)}};
+      case Scale::kBench:
+        return {{DoeParam("dimension_i", {16, 24, 32, 48, 64}, 64),
+                 DoeParam("dimension_j", {8, 12, 16, 24, 32}, 32),
+                 DoeParam("threads", {4, 8, 16, 32, 64}, 32)}};
+      case Scale::kTiny:
+        return {{DoeParam("dimension_i", {6, 8, 10, 12, 16}, 12),
+                 DoeParam("dimension_j", {4, 6, 8, 10, 12}, 8),
+                 DoeParam("threads", {1, 2, 4, 8, 16}, 4)}};
+    }
+    napel::check_failed("valid scale", __FILE__, __LINE__, "");
+  }
+
+  void run(trace::Tracer& t, const WorkloadParams& p,
+           std::uint64_t seed) const override {
+    const auto n = static_cast<std::size_t>(p.get("dimension_i"));
+    const auto m = static_cast<std::size_t>(p.get("dimension_j"));
+    const auto threads = static_cast<unsigned>(p.get("threads"));
+    Rng rng(seed);
+
+    trace::TArray<double> a(t, n * m);
+    trace::TArray<double> c(t, n * n);
+    detail::fill_uniform(a, rng, 0.0, 1.0);
+    detail::fill_uniform(c, rng, 0.0, 1.0);
+    const double alpha = 1.5, beta = 1.2;
+
+    t.begin_kernel(name(), threads);
+
+    detail::parallel_range(t, n, [&](std::size_t b, std::size_t e) {
+      trace::Tracer::LoopScope li(t);
+      for (std::size_t i = b; i < e; ++i) {
+        li.iteration();
+        trace::Tracer::LoopScope lj(t);
+        for (std::size_t j = 0; j <= i; ++j) {
+          lj.iteration();
+          auto acc = trace::imm(t, beta) * c.load(i * n + j);
+          trace::Tracer::LoopScope lk(t);
+          for (std::size_t k = 0; k < m; ++k) {
+            lk.iteration();
+            acc = acc + trace::imm(t, alpha) * a.load(i * m + k) *
+                            a.load(j * m + k);
+          }
+          c.store(i * n + j, acc);
+        }
+      }
+    });
+
+    t.end_kernel();
+  }
+};
+
+}  // namespace
+
+const Workload& syrk_workload() {
+  static const SyrkWorkload w;
+  return w;
+}
+
+}  // namespace napel::workloads

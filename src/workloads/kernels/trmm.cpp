@@ -1,0 +1,81 @@
+// trmm (PolyBench): triangular matrix multiplication — B = α·Aᵀ·B with A
+// an n_i × n_i unit lower triangular matrix and B an n_i × n_j matrix.
+#include "workloads/kernels/kernel_utils.hpp"
+#include "workloads/kernels/kernels.hpp"
+
+namespace napel::workloads {
+
+namespace {
+
+class TrmmWorkload final : public Workload {
+ public:
+  std::string_view name() const override { return "trmm"; }
+  std::string_view description() const override {
+    return "Triangular matrix multiplication (PolyBench trmm)";
+  }
+
+  DoeSpace doe_space(Scale scale) const override {
+    switch (scale) {
+      case Scale::kPaper:
+        return {{DoeParam("dimension_i", {196, 256, 320, 420, 512}, 2000),
+                 DoeParam("dimension_j", {196, 256, 320, 420, 512}, 2000),
+                 DoeParam("threads", {4, 8, 16, 32, 64}, 32)}};
+      case Scale::kBench:
+        return {{DoeParam("dimension_i", {16, 24, 32, 48, 64}, 64),
+                 DoeParam("dimension_j", {16, 24, 32, 48, 64}, 64),
+                 DoeParam("threads", {4, 8, 16, 32, 64}, 32)}};
+      case Scale::kTiny:
+        return {{DoeParam("dimension_i", {6, 8, 10, 12, 16}, 12),
+                 DoeParam("dimension_j", {4, 6, 8, 10, 12}, 8),
+                 DoeParam("threads", {1, 2, 4, 8, 16}, 4)}};
+    }
+    napel::check_failed("valid scale", __FILE__, __LINE__, "");
+  }
+
+  void run(trace::Tracer& t, const WorkloadParams& p,
+           std::uint64_t seed) const override {
+    const auto m = static_cast<std::size_t>(p.get("dimension_i"));
+    const auto n = static_cast<std::size_t>(p.get("dimension_j"));
+    const auto threads = static_cast<unsigned>(p.get("threads"));
+    Rng rng(seed);
+
+    trace::TArray<double> a(t, m * m);
+    trace::TArray<double> b(t, m * n);
+    detail::fill_uniform(a, rng, 0.0, 1.0);
+    detail::fill_uniform(b, rng, 0.0, 1.0);
+    const double alpha = 1.5;
+
+    t.begin_kernel(name(), threads);
+
+    // PolyBench 4.x trmm: B[i][j] += Σ_{k>i} A[k][i]·B[k][j]; B[i][j] *= α.
+    // Columns of B are partitioned across threads.
+    detail::parallel_range(t, n, [&](std::size_t jb, std::size_t je) {
+      trace::Tracer::LoopScope lj(t);
+      for (std::size_t j = jb; j < je; ++j) {
+        lj.iteration();
+        trace::Tracer::LoopScope li(t);
+        for (std::size_t i = 0; i < m; ++i) {
+          li.iteration();
+          auto acc = b.load(i * n + j);
+          trace::Tracer::LoopScope lk(t);
+          for (std::size_t k = i + 1; k < m; ++k) {
+            lk.iteration();
+            acc = acc + a.load(k * m + i) * b.load(k * n + j);
+          }
+          b.store(i * n + j, trace::imm(t, alpha) * acc);
+        }
+      }
+    });
+
+    t.end_kernel();
+  }
+};
+
+}  // namespace
+
+const Workload& trmm_workload() {
+  static const TrmmWorkload w;
+  return w;
+}
+
+}  // namespace napel::workloads

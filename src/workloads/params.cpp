@@ -1,0 +1,78 @@
+#include "workloads/params.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace napel::workloads {
+
+DoeParam::DoeParam(std::string name_, std::array<std::int64_t, 5> levels_,
+                   std::int64_t test_)
+    : name(std::move(name_)), levels(levels_), test(test_) {
+  NAPEL_CHECK(!name.empty());
+  std::sort(levels.begin(), levels.end());
+  NAPEL_CHECK_MSG(levels[0] >= 1, "DoE levels must be positive");
+  NAPEL_CHECK_MSG(std::adjacent_find(levels.begin(), levels.end()) ==
+                      levels.end(),
+                  "DoE levels must be distinct: " + name);
+}
+
+const DoeParam& DoeSpace::param(std::string_view name) const {
+  for (const auto& p : params)
+    if (p.name == name) return p;
+  napel::check_failed("param exists", __FILE__, __LINE__,
+                      "no DoE parameter named " + std::string(name));
+}
+
+bool DoeSpace::has_param(std::string_view name) const {
+  for (const auto& p : params)
+    if (p.name == name) return true;
+  return false;
+}
+
+std::int64_t WorkloadParams::get(std::string_view name) const {
+  const auto it = values_.find(std::string(name));
+  NAPEL_CHECK_MSG(it != values_.end(),
+                  "missing workload parameter: " + std::string(name));
+  return it->second;
+}
+
+std::int64_t WorkloadParams::get_or(std::string_view name,
+                                    std::int64_t fallback) const {
+  const auto it = values_.find(std::string(name));
+  return it == values_.end() ? fallback : it->second;
+}
+
+void WorkloadParams::set(std::string_view name, std::int64_t value) {
+  values_[std::string(name)] = value;
+}
+
+bool WorkloadParams::has(std::string_view name) const {
+  return values_.contains(std::string(name));
+}
+
+std::string WorkloadParams::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [k, v] : values_) {
+    if (!first) os << ',';
+    os << k << '=' << v;
+    first = false;
+  }
+  return os.str();
+}
+
+WorkloadParams WorkloadParams::test_input(const DoeSpace& space) {
+  WorkloadParams p;
+  for (const auto& dp : space.params) p.set(dp.name, dp.test);
+  return p;
+}
+
+WorkloadParams WorkloadParams::central(const DoeSpace& space) {
+  WorkloadParams p;
+  for (const auto& dp : space.params) p.set(dp.name, dp.central());
+  return p;
+}
+
+}  // namespace napel::workloads

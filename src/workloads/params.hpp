@@ -1,0 +1,82 @@
+// Workload input-parameter model: named integer parameters with the paper's
+// five DoE levels (minimum, low, central, high, maximum) plus the held-out
+// `test` input used for the suitability analysis (Table 2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace napel::workloads {
+
+/// Input scale for a workload's DoE level table.
+///  * kPaper — the exact levels printed in Table 2 of the paper (hours of
+///    simulation per configuration; retained for reference and for users
+///    with that much compute).
+///  * kBench — proportionally scaled-down levels used by the shipped
+///    benchmarks so the full pipeline runs on one machine in minutes.
+///  * kTiny  — very small levels for unit tests.
+enum class Scale { kPaper, kBench, kTiny };
+
+/// Five CCD levels of one input parameter, plus the test input.
+struct DoeParam {
+  std::string name;
+  // levels[0..4] = minimum, low, central, high, maximum. Levels are
+  // normalized (sorted ascending) on construction; the paper's Table 2
+  // contains non-monotonic rows (e.g. chol) that are evident typos.
+  std::array<std::int64_t, 5> levels{};
+  std::int64_t test = 0;
+
+  DoeParam() = default;
+  DoeParam(std::string name_, std::array<std::int64_t, 5> levels_,
+           std::int64_t test_);
+
+  std::int64_t minimum() const { return levels[0]; }
+  std::int64_t low() const { return levels[1]; }
+  std::int64_t central() const { return levels[2]; }
+  std::int64_t high() const { return levels[3]; }
+  std::int64_t maximum() const { return levels[4]; }
+};
+
+/// The DoE parameter space of one workload: an ordered list of parameters.
+struct DoeSpace {
+  std::vector<DoeParam> params;
+
+  std::size_t dimension() const { return params.size(); }
+  const DoeParam& param(std::string_view name) const;
+  bool has_param(std::string_view name) const;
+};
+
+/// A concrete input configuration: parameter name -> value.
+class WorkloadParams {
+ public:
+  WorkloadParams() = default;
+  explicit WorkloadParams(std::map<std::string, std::int64_t> values)
+      : values_(std::move(values)) {}
+
+  std::int64_t get(std::string_view name) const;
+  /// Returns fallback when the parameter is absent.
+  std::int64_t get_or(std::string_view name, std::int64_t fallback) const;
+  void set(std::string_view name, std::int64_t value);
+  bool has(std::string_view name) const;
+  std::size_t size() const { return values_.size(); }
+  const std::map<std::string, std::int64_t>& values() const { return values_; }
+
+  /// "dim=100,threads=4" — stable, sorted-by-name rendering.
+  std::string to_string() const;
+
+  /// The test input configuration of a space (Table 2 "Test" column).
+  static WorkloadParams test_input(const DoeSpace& space);
+  /// The central configuration of a space.
+  static WorkloadParams central(const DoeSpace& space);
+
+  bool operator==(const WorkloadParams&) const = default;
+
+ private:
+  std::map<std::string, std::int64_t> values_;
+};
+
+}  // namespace napel::workloads

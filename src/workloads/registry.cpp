@@ -1,0 +1,53 @@
+#include "workloads/registry.hpp"
+
+#include <array>
+
+#include "common/check.hpp"
+#include "workloads/kernels/kernels.hpp"
+
+namespace napel::workloads {
+
+namespace {
+
+const std::array<const Workload*, 12>& table() {
+  static const std::array<const Workload*, 12> t = {
+      &atax_workload(),    &bfs_workload(),     &bp_workload(),
+      &chol_workload(),    &gemver_workload(),  &gesummv_workload(),
+      &gramschmidt_workload(), &kmeans_workload(), &lu_workload(),
+      &mvt_workload(),     &syrk_workload(),    &trmm_workload(),
+  };
+  return t;
+}
+
+const std::array<const Workload*, 3>& extended_table() {
+  static const std::array<const Workload*, 3> t = {
+      &gemm_workload(), &jacobi2d_workload(), &spmv_workload()};
+  return t;
+}
+
+}  // namespace
+
+std::span<const Workload* const> all_workloads() { return table(); }
+
+std::span<const Workload* const> extended_workloads() {
+  return extended_table();
+}
+
+const Workload& workload(std::string_view name) {
+  for (const Workload* w : table())
+    if (w->name() == name) return *w;
+  for (const Workload* w : extended_table())
+    if (w->name() == name) return *w;
+  napel::check_failed("workload exists", __FILE__, __LINE__,
+                      "unknown workload: " + std::string(name));
+}
+
+bool has_workload(std::string_view name) {
+  for (const Workload* w : table())
+    if (w->name() == name) return true;
+  for (const Workload* w : extended_table())
+    if (w->name() == name) return true;
+  return false;
+}
+
+}  // namespace napel::workloads

@@ -1,0 +1,25 @@
+// Registry of all evaluated workloads, in the paper's Table 2 order.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "workloads/workload.hpp"
+
+namespace napel::workloads {
+
+/// All 12 workloads; pointers are to static singletons with program lifetime.
+std::span<const Workload* const> all_workloads();
+
+/// Extended suite beyond the paper's Table 2 (gemm, jacobi2d, spmv) — extra
+/// training diversity for users; excluded from the paper-reproduction
+/// benches. Also reachable by name through workload().
+std::span<const Workload* const> extended_workloads();
+
+/// Lookup by short name; throws std::invalid_argument for unknown names.
+const Workload& workload(std::string_view name);
+
+/// True when a workload with this name is registered.
+bool has_workload(std::string_view name);
+
+}  // namespace napel::workloads

@@ -1,0 +1,33 @@
+// Workload: one instrumented benchmark kernel (the paper's candidate region
+// for NMC offload). Each of the 12 evaluated applications (Table 2)
+// implements this interface; `run` executes the real algorithm while
+// streaming its dynamic instruction trace through the Tracer.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "trace/tracer.hpp"
+#include "workloads/params.hpp"
+
+namespace napel::workloads {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Short name as used in the paper ("atax", "bfs", ...).
+  virtual std::string_view name() const = 0;
+  virtual std::string_view description() const = 0;
+
+  /// The DoE parameter space (Table 2) at the requested input scale.
+  virtual DoeSpace doe_space(Scale scale) const = 0;
+
+  /// Execute the kernel with input `p`, emitting the instruction stream into
+  /// `t`'s attached sinks. `seed` drives input-data generation, so a given
+  /// (params, seed) pair is fully reproducible.
+  virtual void run(trace::Tracer& t, const WorkloadParams& p,
+                   std::uint64_t seed) const = 0;
+};
+
+}  // namespace napel::workloads

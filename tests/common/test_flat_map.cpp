@@ -1,0 +1,124 @@
+#include "common/flat_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+
+namespace napel {
+namespace {
+
+TEST(FlatMap, InsertAndFind) {
+  FlatMap<int> m;
+  bool inserted;
+  m.insert_or_get(42, inserted) = 7;
+  EXPECT_TRUE(inserted);
+  ASSERT_NE(m.find(42), nullptr);
+  EXPECT_EQ(*m.find(42), 7);
+  EXPECT_EQ(m.find(43), nullptr);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, InsertOrGetReturnsExisting) {
+  FlatMap<int> m;
+  m[5] = 10;
+  bool inserted;
+  int& v = m.insert_or_get(5, inserted);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(v, 10);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, OperatorBracketDefaultConstructs) {
+  FlatMap<int> m;
+  EXPECT_EQ(m[9], 0);
+  m[9] = 3;
+  EXPECT_EQ(m[9], 3);
+}
+
+TEST(FlatMap, GrowsBeyondInitialCapacity) {
+  FlatMap<std::uint64_t> m(/*initial_capacity_log2=*/3);  // 8 slots
+  for (std::uint64_t k = 1; k <= 1000; ++k) m[k] = k * 2;
+  EXPECT_EQ(m.size(), 1000u);
+  for (std::uint64_t k = 1; k <= 1000; ++k) {
+    ASSERT_NE(m.find(k), nullptr) << k;
+    EXPECT_EQ(*m.find(k), k * 2);
+  }
+}
+
+TEST(FlatMap, MatchesUnorderedMapOnRandomWorkload) {
+  FlatMap<std::uint64_t> m;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  Rng rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t k = rng.uniform_index(5000);
+    const std::uint64_t v = rng();
+    m[k] = v;
+    ref[k] = v;
+  }
+  EXPECT_EQ(m.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    ASSERT_NE(m.find(k), nullptr);
+    EXPECT_EQ(*m.find(k), v);
+  }
+}
+
+TEST(FlatMap, ClearEmptiesButKeepsCapacity) {
+  FlatMap<int> m;
+  for (std::uint64_t k = 0; k < 100; ++k) m[k] = 1;
+  m.clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(5), nullptr);
+  m[5] = 2;
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, ForEachVisitsEveryEntry) {
+  FlatMap<std::uint64_t> m;
+  for (std::uint64_t k = 10; k < 60; ++k) m[k] = k + 1;
+  std::unordered_set<std::uint64_t> seen;
+  m.for_each([&](std::uint64_t k, std::uint64_t v) {
+    EXPECT_EQ(v, k + 1);
+    seen.insert(k);
+  });
+  EXPECT_EQ(seen.size(), 50u);
+}
+
+TEST(FlatMap, HandlesAdversarialSequentialKeys) {
+  // Line ids are often sequential; Fibonacci hashing must spread them.
+  FlatMap<int> m(4);
+  for (std::uint64_t k = 0; k < 10000; ++k) m[k * 64] = 1;
+  EXPECT_EQ(m.size(), 10000u);
+}
+
+TEST(FlatMap, ZeroKeyIsValid) {
+  FlatMap<int> m;
+  m[0] = 99;
+  ASSERT_NE(m.find(0), nullptr);
+  EXPECT_EQ(*m.find(0), 99);
+}
+
+TEST(FlatSet, InsertReportsNovelty) {
+  FlatSet s;
+  EXPECT_TRUE(s.insert(1));
+  EXPECT_FALSE(s.insert(1));
+  EXPECT_TRUE(s.insert(2));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.contains(1));
+  EXPECT_FALSE(s.contains(3));
+}
+
+TEST(FlatSet, GrowsAndClears) {
+  FlatSet s(3);
+  for (std::uint64_t k = 0; k < 5000; ++k) s.insert(k * 7);
+  EXPECT_EQ(s.size(), 5000u);
+  s.clear();
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.contains(7));
+}
+
+}  // namespace
+}  // namespace napel

@@ -1,0 +1,113 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace napel {
+namespace {
+
+TEST(Log2Histogram, BucketIndexBoundaries) {
+  Log2Histogram h;
+  EXPECT_EQ(h.bucket_index(0), 0u);   // value 0 -> bucket 0
+  EXPECT_EQ(h.bucket_index(1), 1u);   // values 1..2 -> bucket 1
+  EXPECT_EQ(h.bucket_index(2), 1u);
+  EXPECT_EQ(h.bucket_index(3), 2u);   // values 3..6 -> bucket 2
+  EXPECT_EQ(h.bucket_index(6), 2u);
+  EXPECT_EQ(h.bucket_index(7), 3u);
+}
+
+TEST(Log2Histogram, BucketLowerBoundInvertsIndex) {
+  Log2Histogram h;
+  for (std::size_t b = 0; b < 40; ++b) {
+    const auto lo = Log2Histogram::bucket_lower_bound(b);
+    EXPECT_EQ(h.bucket_index(lo), b);
+    if (b > 0) EXPECT_EQ(h.bucket_index(lo - 1), b - 1);
+  }
+}
+
+TEST(Log2Histogram, SaturatesIntoLastBucket) {
+  Log2Histogram h(4);
+  h.add(1'000'000);
+  EXPECT_EQ(h.bucket(3), 1u);
+}
+
+TEST(Log2Histogram, TotalTracksMass) {
+  Log2Histogram h;
+  h.add(1);
+  h.add(5, 3);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Log2Histogram, FractionsSumToOne) {
+  Log2Histogram h(16);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) h.add(rng.uniform_index(5000));
+  const auto f = h.fractions();
+  double s = 0.0;
+  for (double x : f) s += x;
+  EXPECT_NEAR(s, 1.0, 1e-12);
+}
+
+TEST(Log2Histogram, EmptyHistogramIsAllZero) {
+  Log2Histogram h(8);
+  EXPECT_EQ(h.total(), 0u);
+  for (double f : h.fractions()) EXPECT_DOUBLE_EQ(f, 0.0);
+  EXPECT_DOUBLE_EQ(h.fraction_below(100), 0.0);
+  EXPECT_DOUBLE_EQ(h.approximate_mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.approximate_percentile(50), 0.0);
+}
+
+TEST(Log2Histogram, FractionBelowFullyCoveredBucketCountsFully) {
+  Log2Histogram h;
+  h.add(0, 10);  // bucket 0 holds values < 1
+  EXPECT_DOUBLE_EQ(h.fraction_below(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.fraction_below(100), 1.0);
+}
+
+TEST(Log2Histogram, FractionBelowInterpolatesWithinBucket) {
+  Log2Histogram h;
+  h.add(10, 100);  // bucket 3 spans values [7, 15)
+  EXPECT_DOUBLE_EQ(h.fraction_below(7), 0.0);
+  EXPECT_NEAR(h.fraction_below(11), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(h.fraction_below(15), 1.0);
+}
+
+TEST(Log2Histogram, CumulativeFractionIsMonotone) {
+  Log2Histogram h(20);
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) h.add(rng.uniform_index(100000));
+  double prev = 0.0;
+  for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+    const double c = h.cumulative_fraction(b);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-12);
+}
+
+TEST(Log2Histogram, ApproximateMeanUsesLowerBounds) {
+  Log2Histogram h;
+  h.add(1, 2);  // bucket 1, lower bound 1
+  h.add(7, 2);  // bucket 3, lower bound 7
+  EXPECT_NEAR(h.approximate_mean(), (1.0 * 2 + 7.0 * 2) / 4.0, 1e-12);
+}
+
+TEST(Log2Histogram, ApproximatePercentileOrdering) {
+  Log2Histogram h(30);
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) h.add(rng.uniform_index(1u << 20));
+  const double p10 = h.approximate_percentile(10);
+  const double p50 = h.approximate_percentile(50);
+  const double p90 = h.approximate_percentile(90);
+  EXPECT_LE(p10, p50);
+  EXPECT_LE(p50, p90);
+}
+
+TEST(Log2Histogram, RejectsInvalidBucketCount) {
+  EXPECT_THROW(Log2Histogram(0), std::invalid_argument);
+  EXPECT_THROW(Log2Histogram(100), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace napel

@@ -1,0 +1,180 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace napel {
+namespace {
+
+TEST(Stats, MeanOfKnownValues) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, MeanRejectsEmpty) {
+  EXPECT_THROW(mean({}), std::invalid_argument);
+}
+
+TEST(Stats, VarianceOfConstantIsZero) {
+  const std::vector<double> xs = {3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 0.0);
+}
+
+TEST(Stats, VarianceOfKnownValues) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Stats, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 20.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
+}
+
+TEST(Stats, PercentileRejectsOutOfRange) {
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW(percentile(xs, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile(xs, 101.0), std::invalid_argument);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs = {3.0, -1.0, 2.0};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 3.0);
+}
+
+TEST(Stats, GeomeanOfPowersOfTwo) {
+  const std::vector<double> xs = {2.0, 8.0};
+  EXPECT_NEAR(geomean(xs), 4.0, 1e-12);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive) {
+  const std::vector<double> xs = {1.0, 0.0};
+  EXPECT_THROW(geomean(xs), std::invalid_argument);
+}
+
+TEST(Stats, MreMatchesPaperEquation) {
+  // Equation 1: MRE = (1/N) Σ |y' − y| / y.
+  const std::vector<double> pred = {110.0, 90.0};
+  const std::vector<double> actual = {100.0, 100.0};
+  EXPECT_NEAR(mean_relative_error(pred, actual), 0.10, 1e-12);
+}
+
+TEST(Stats, MrePerfectPredictionIsZero) {
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean_relative_error(v, v), 0.0);
+}
+
+TEST(Stats, MreRejectsZeroActual) {
+  const std::vector<double> pred = {1.0};
+  const std::vector<double> actual = {0.0};
+  EXPECT_THROW(mean_relative_error(pred, actual), std::invalid_argument);
+}
+
+TEST(Stats, MreRejectsSizeMismatch) {
+  const std::vector<double> pred = {1.0, 2.0};
+  const std::vector<double> actual = {1.0};
+  EXPECT_THROW(mean_relative_error(pred, actual), std::invalid_argument);
+}
+
+TEST(Stats, RSquaredPerfectFit) {
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(r_squared(v, v), 1.0);
+}
+
+TEST(Stats, RSquaredMeanPredictorIsZero) {
+  const std::vector<double> actual = {1.0, 2.0, 3.0};
+  const std::vector<double> pred = {2.0, 2.0, 2.0};
+  EXPECT_NEAR(r_squared(pred, actual), 0.0, 1e-12);
+}
+
+TEST(Stats, RmseKnownValue) {
+  const std::vector<double> pred = {0.0, 0.0};
+  const std::vector<double> actual = {3.0, 4.0};
+  EXPECT_NEAR(rmse(pred, actual), std::sqrt(12.5), 1e-12);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::vector<double> ys = {2.0, 4.0, 6.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, PearsonPerfectAnticorrelation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::vector<double> ys = {6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantInputIsZero) {
+  const std::vector<double> xs = {1.0, 1.0, 1.0};
+  const std::vector<double> ys = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(OnlineStats, MatchesBatchStatistics) {
+  Rng rng(5);
+  std::vector<double> xs;
+  OnlineStats os;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    xs.push_back(x);
+    os.add(x);
+  }
+  EXPECT_EQ(os.count(), 1000u);
+  EXPECT_NEAR(os.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(os.variance(), variance(xs), 1e-9);
+  EXPECT_DOUBLE_EQ(os.min(), min_of(xs));
+  EXPECT_DOUBLE_EQ(os.max(), max_of(xs));
+}
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats os;
+  EXPECT_EQ(os.count(), 0u);
+  EXPECT_DOUBLE_EQ(os.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(os.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(os.sum(), 0.0);
+}
+
+class OnlineStatsMergeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OnlineStatsMergeTest, MergeEqualsSingleAccumulator) {
+  const std::size_t split_at = GetParam();
+  Rng rng(31 + split_at);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.normal(3.0, 7.0));
+
+  OnlineStats whole, a, b;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    whole.add(xs[i]);
+    (i < split_at ? a : b).add(xs[i]);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-7);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, OnlineStatsMergeTest,
+                         ::testing::Values(0, 1, 100, 250, 499, 500));
+
+}  // namespace
+}  // namespace napel

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+namespace napel {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, RejectsWrongRowWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, FormatsDoublesWithPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(3.14159, 4), "3.1416");
+  EXPECT_EQ(Table::fmt_int(-42), "-42");
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  Table t({"h"});
+  t.add_row({"wide-cell-content"});
+  const std::string s = t.to_string();
+  // Every rendered line should have the same length.
+  std::size_t first_len = s.find('\n');
+  std::size_t pos = first_len + 1;
+  while (pos < s.size()) {
+    const std::size_t next = s.find('\n', pos);
+    if (next == std::string::npos) break;
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(Csv, PlainFieldsPassThrough) {
+  EXPECT_EQ(CsvWriter::escape("hello"), "hello");
+}
+
+TEST(Csv, QuotesFieldsWithCommas) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+}
+
+TEST(Csv, DoublesEmbeddedQuotes) {
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, QuotesNewlines) {
+  EXPECT_EQ(CsvWriter::escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(Csv, RendersHeaderAndRows) {
+  CsvWriter w({"x", "y"});
+  w.add_row({"1", "2"});
+  EXPECT_EQ(w.to_string(), "x,y\n1,2\n");
+}
+
+TEST(Csv, RejectsWrongRowWidth) {
+  CsvWriter w({"x"});
+  EXPECT_THROW(w.add_row({"1", "2"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace napel

@@ -1,0 +1,203 @@
+#include "doe/doe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "workloads/registry.hpp"
+
+namespace napel::doe {
+namespace {
+
+using workloads::DoeParam;
+using workloads::DoeSpace;
+using workloads::WorkloadParams;
+
+DoeSpace make_space(std::size_t k) {
+  DoeSpace s;
+  for (std::size_t i = 0; i < k; ++i)
+    s.params.push_back(DoeParam("p" + std::to_string(i),
+                                {10, 20, 30, 40, 50}, 35));
+  return s;
+}
+
+TEST(Ccd, SizeFormulaMatchesTable4) {
+  // Table 4: k=2 -> 11 (atax), k=3 -> 19 (chol et al.), k=4 -> 31 (bfs, bp,
+  // kmeans).
+  EXPECT_EQ(ccd_size(2), 11u);
+  EXPECT_EQ(ccd_size(3), 19u);
+  EXPECT_EQ(ccd_size(4), 31u);
+}
+
+TEST(Ccd, SizeWithExplicitCenterReplicates) {
+  EXPECT_EQ(ccd_size(2, 1), 9u);
+  EXPECT_EQ(ccd_size(3, 0), 14u);
+}
+
+class CcdDimensionTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CcdDimensionTest, GeneratesExpectedPointCount) {
+  const std::size_t k = GetParam();
+  const auto points = central_composite(make_space(k));
+  EXPECT_EQ(points.size(), ccd_size(k));
+}
+
+TEST_P(CcdDimensionTest, CornersUseLowAndHighOnly) {
+  const std::size_t k = GetParam();
+  const auto space = make_space(k);
+  const auto points = central_composite(space);
+  for (std::size_t i = 0; i < (std::size_t{1} << k); ++i) {
+    for (const auto& dp : space.params) {
+      const auto v = points[i].get(dp.name);
+      EXPECT_TRUE(v == dp.low() || v == dp.high());
+    }
+  }
+}
+
+TEST_P(CcdDimensionTest, AxialPointsPairExtremeWithCentral) {
+  const std::size_t k = GetParam();
+  const auto space = make_space(k);
+  const auto points = central_composite(space);
+  const std::size_t axial_begin = std::size_t{1} << k;
+  for (std::size_t a = 0; a < 2 * k; ++a) {
+    const auto& pt = points[axial_begin + a];
+    std::size_t extreme = 0, central = 0;
+    for (const auto& dp : space.params) {
+      const auto v = pt.get(dp.name);
+      if (v == dp.minimum() || v == dp.maximum()) ++extreme;
+      if (v == dp.central()) ++central;
+    }
+    EXPECT_EQ(extreme, 1u);
+    EXPECT_EQ(central, k - 1);
+  }
+}
+
+TEST_P(CcdDimensionTest, TailIsCentralReplicates) {
+  const std::size_t k = GetParam();
+  const auto space = make_space(k);
+  const auto points = central_composite(space);
+  const auto central = WorkloadParams::central(space);
+  for (std::size_t i = (std::size_t{1} << k) + 2 * k; i < points.size(); ++i)
+    EXPECT_EQ(points[i], central);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, CcdDimensionTest, ::testing::Values(1, 2, 3, 4));
+
+TEST(Ccd, MatchesPaperAtaxExample) {
+  // Section 2.4 walks through atax: corners (1250,8),(1250,32),(2000,8),
+  // (2000,32); axial (500,16),(2300,16),(1500,4),(1500,64); center (1500,16).
+  DoeSpace space;
+  space.params.push_back(
+      DoeParam("dimension", {500, 1250, 1500, 2000, 2300}, 8000));
+  space.params.push_back(DoeParam("threads", {4, 8, 16, 32, 64}, 32));
+  const auto points = central_composite(space);
+  ASSERT_EQ(points.size(), 11u);
+
+  auto has_point = [&](std::int64_t dim, std::int64_t thr) {
+    return std::any_of(points.begin(), points.end(), [&](const auto& p) {
+      return p.get("dimension") == dim && p.get("threads") == thr;
+    });
+  };
+  EXPECT_TRUE(has_point(1250, 8));
+  EXPECT_TRUE(has_point(1250, 32));
+  EXPECT_TRUE(has_point(2000, 8));
+  EXPECT_TRUE(has_point(2000, 32));
+  EXPECT_TRUE(has_point(500, 16));
+  EXPECT_TRUE(has_point(2300, 16));
+  EXPECT_TRUE(has_point(1500, 4));
+  EXPECT_TRUE(has_point(1500, 64));
+  EXPECT_TRUE(has_point(1500, 16));
+}
+
+TEST(Ccd, CountsMatchTable4ForAllWorkloads) {
+  const std::map<std::string, std::size_t> expected = {
+      {"atax", 11},    {"bfs", 31},     {"bp", 31},          {"cholesky", 19},
+      {"gemver", 19},  {"gesummv", 19}, {"gramschmidt", 19}, {"kmeans", 31},
+      {"lu", 19},      {"mvt", 19},     {"syrk", 19},        {"trmm", 19}};
+  for (const auto* w : workloads::all_workloads()) {
+    const auto points =
+        central_composite(w->doe_space(workloads::Scale::kBench));
+    EXPECT_EQ(points.size(), expected.at(std::string(w->name())))
+        << w->name();
+  }
+}
+
+TEST(FullFactorial, EnumeratesAllLevelCombinations) {
+  const auto points = full_factorial(make_space(3));
+  EXPECT_EQ(points.size(), 125u);
+  std::set<std::string> unique;
+  for (const auto& p : points) unique.insert(p.to_string());
+  EXPECT_EQ(unique.size(), 125u);
+}
+
+TEST(FullFactorial, ValuesAreLevels) {
+  const auto space = make_space(2);
+  for (const auto& p : full_factorial(space)) {
+    for (const auto& dp : space.params) {
+      const auto v = p.get(dp.name);
+      EXPECT_TRUE(std::find(dp.levels.begin(), dp.levels.end(), v) !=
+                  dp.levels.end());
+    }
+  }
+}
+
+TEST(RandomDesign, StaysWithinBounds) {
+  Rng rng(3);
+  const auto space = make_space(3);
+  for (const auto& p : random_design(space, 200, rng)) {
+    for (const auto& dp : space.params) {
+      EXPECT_GE(p.get(dp.name), dp.minimum());
+      EXPECT_LE(p.get(dp.name), dp.maximum());
+    }
+  }
+}
+
+TEST(RandomDesign, IsSeedDeterministic) {
+  const auto space = make_space(2);
+  Rng r1(9), r2(9);
+  const auto a = random_design(space, 20, r1);
+  const auto b = random_design(space, 20, r2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(LatinHypercube, StaysWithinBounds) {
+  Rng rng(5);
+  const auto space = make_space(4);
+  for (const auto& p : latin_hypercube(space, 64, rng)) {
+    for (const auto& dp : space.params) {
+      EXPECT_GE(p.get(dp.name), dp.minimum());
+      EXPECT_LE(p.get(dp.name), dp.maximum());
+    }
+  }
+}
+
+TEST(LatinHypercube, StratifiesEachParameter) {
+  // With n samples, each parameter's range splits into n strata, sampled
+  // exactly once each.
+  Rng rng(7);
+  DoeSpace space;
+  space.params.push_back(DoeParam("x", {1, 250, 500, 750, 1000}, 1));
+  const std::size_t n = 10;
+  const auto points = latin_hypercube(space, n, rng);
+  std::set<std::size_t> strata;
+  for (const auto& p : points) {
+    const double u = static_cast<double>(p.get("x") - 1) / 999.0;
+    strata.insert(std::min<std::size_t>(
+        n - 1, static_cast<std::size_t>(u * static_cast<double>(n))));
+  }
+  EXPECT_EQ(strata.size(), n);
+}
+
+TEST(Designs, RejectInvalidArguments) {
+  Rng rng(1);
+  const auto space = make_space(2);
+  EXPECT_THROW(random_design(space, 0, rng), std::invalid_argument);
+  EXPECT_THROW(latin_hypercube(space, 0, rng), std::invalid_argument);
+  EXPECT_THROW(central_composite(DoeSpace{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace napel::doe

@@ -1,0 +1,163 @@
+#include "hostmodel/host_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "trace/tracer.hpp"
+
+namespace napel::hostmodel {
+namespace {
+
+using profiler::Profile;
+using profiler::ProfileBuilder;
+using trace::OpType;
+using trace::Tracer;
+
+/// Builds a synthetic profile: `n` loads over `working_set_lines` lines with
+/// one arithmetic op between accesses, on `threads` logical threads.
+Profile synthetic_profile(std::size_t n, std::uint64_t working_set_lines,
+                          unsigned threads = 1, bool random_order = false) {
+  Tracer t;
+  ProfileBuilder b;
+  t.attach(b);
+  Rng rng(1);
+  t.begin_kernel("synthetic", threads);
+  for (unsigned th = 0; th < threads; ++th) {
+    t.set_thread(th);
+    for (std::size_t i = 0; i < n / threads; ++i) {
+      const std::uint64_t line =
+          random_order ? rng.uniform_index(working_set_lines)
+                       : i % working_set_lines;
+      t.emit_load(line * 64, 8);
+      t.emit_op(OpType::kFpAdd);
+    }
+  }
+  t.end_kernel();
+  return b.build();
+}
+
+TEST(HostModel, EmptyProfileIsZero) {
+  HostModel m;
+  Profile p;
+  const auto r = m.evaluate(p);
+  EXPECT_DOUBLE_EQ(r.time_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(r.energy_joules, 0.0);
+}
+
+TEST(HostModel, CacheResidentBeatsDramBound) {
+  HostModel m;
+  // 100 lines = 6.4 KB, L1-resident; 1M lines = 64 MB, DRAM-bound.
+  const auto fast = m.evaluate(synthetic_profile(100000, 100));
+  const auto slow = m.evaluate(synthetic_profile(100000, 1u << 20, 1, true));
+  EXPECT_LT(fast.time_seconds, slow.time_seconds / 3.0);
+  EXPECT_LT(fast.miss_l3, 0.05);
+  EXPECT_GT(slow.miss_l3, 0.5);
+}
+
+TEST(HostModel, MissRatiosAreOrderedThroughHierarchy) {
+  HostModel m;
+  const auto r = m.evaluate(synthetic_profile(50000, 5000, 1, true));
+  EXPECT_GE(r.miss_l1, r.miss_l2);
+  EXPECT_GE(r.miss_l2, r.miss_l3);
+  EXPECT_GE(r.miss_l3, 0.0);
+}
+
+TEST(HostModel, MoreThreadsShortenTime) {
+  HostModel m;
+  const auto t1 = m.evaluate(synthetic_profile(64000, 100, 1));
+  const auto t8 = m.evaluate(synthetic_profile(64000, 100, 8));
+  EXPECT_GT(t1.time_seconds, 4.0 * t8.time_seconds);
+}
+
+TEST(HostModel, SmtThreadsHelpLessThanCores) {
+  HostModel m;
+  const auto t16 = m.evaluate(synthetic_profile(64000, 100, 16));
+  const auto t32 = m.evaluate(synthetic_profile(64000, 100, 32));
+  const auto t64 = m.evaluate(synthetic_profile(64000, 100, 64));
+  EXPECT_LT(t32.time_seconds, t16.time_seconds);
+  EXPECT_LT(t64.time_seconds, t32.time_seconds);
+  // SMT scaling (16->64) is weaker than core scaling would be.
+  const double smt_speedup = t16.time_seconds / t64.time_seconds;
+  EXPECT_LT(smt_speedup, 4.0);
+  EXPECT_GT(smt_speedup, 1.2);
+}
+
+TEST(HostModel, ParallelismIsCappedByHardwareThreads) {
+  HostModel m;
+  const auto r = m.evaluate(synthetic_profile(64000, 100, 64));
+  EXPECT_LE(r.effective_parallelism,
+            16.0 + 0.3 * 48.0 + 1e-9);  // cores + smt_gain * smt threads
+}
+
+TEST(HostModel, BandwidthCeilingBindsStreamingTraffic) {
+  HostConfig cfg;
+  cfg.dram_bw_gbs = 0.001;  // absurdly low to force the ceiling
+  HostModel m(cfg);
+  const auto r = m.evaluate(synthetic_profile(100000, 1u << 20, 1, true));
+  EXPECT_TRUE(r.bandwidth_bound);
+  EXPECT_NEAR(r.time_seconds, r.dram_traffic_bytes / (0.001 * 1e9), 1e-9);
+}
+
+TEST(HostModel, EnergyScalesWithTime) {
+  HostModel m;
+  const auto small = m.evaluate(synthetic_profile(10000, 100));
+  const auto large = m.evaluate(synthetic_profile(100000, 100));
+  // 10x the instructions: time and energy scale near-linearly (the small
+  // run's slightly higher cold-miss fraction costs it a little extra CPI).
+  EXPECT_GT(large.energy_joules, 4.0 * small.energy_joules);
+  EXPECT_DOUBLE_EQ(small.edp, small.energy_joules * small.time_seconds);
+}
+
+TEST(HostModel, RejectsInvalidConfig) {
+  HostConfig cfg;
+  cfg.l2_bytes = cfg.l1_bytes;  // hierarchy must grow
+  EXPECT_THROW(HostModel{cfg}, std::invalid_argument);
+  HostConfig cfg2;
+  cfg2.cores = 0;
+  EXPECT_THROW(HostModel{cfg2}, std::invalid_argument);
+}
+
+TEST(HostModel, PrefetcherHidesStridedMissLatency) {
+  // Two profiles with identical footprints and miss ratios; one streams
+  // sequentially (stride-predictable), the other walks randomly. The
+  // prefetcher model must make the strided one faster.
+  HostModel m;
+  const auto strided = m.evaluate(synthetic_profile(100000, 1u << 20, 1));
+  const auto random = m.evaluate(
+      synthetic_profile(100000, 1u << 20, 1, /*random_order=*/true));
+  EXPECT_GT(strided.prefetch_coverage, 0.5);
+  EXPECT_LT(random.prefetch_coverage, 0.2);
+  EXPECT_LT(strided.time_seconds, random.time_seconds);
+}
+
+TEST(HostModel, PrefetchEfficiencyZeroDisablesCoverage) {
+  HostConfig cfg;
+  cfg.prefetch_efficiency = 0.0;
+  HostModel m(cfg);
+  const auto r = m.evaluate(synthetic_profile(50000, 1u << 18, 1));
+  EXPECT_DOUBLE_EQ(r.prefetch_coverage, 0.0);
+}
+
+TEST(HostModel, BenchScaledShrinksOnlyCaches) {
+  const auto paper = HostConfig::paper_default();
+  const auto bench = HostConfig::bench_scaled();
+  EXPECT_EQ(bench.l1_bytes * 32, paper.l1_bytes);
+  EXPECT_EQ(bench.l2_bytes * 32, paper.l2_bytes);
+  EXPECT_EQ(bench.l3_bytes * 32, paper.l3_bytes);
+  EXPECT_DOUBLE_EQ(bench.freq_ghz, paper.freq_ghz);
+  EXPECT_DOUBLE_EQ(bench.dram_bw_gbs, paper.dram_bw_gbs);
+  EXPECT_EQ(bench.cores, paper.cores);
+}
+
+TEST(HostModel, PaperDefaultMatchesTable3) {
+  const HostConfig cfg = HostConfig::paper_default();
+  EXPECT_DOUBLE_EQ(cfg.freq_ghz, 2.3);
+  EXPECT_EQ(cfg.cores, 16u);
+  EXPECT_EQ(cfg.smt, 4u);
+  EXPECT_EQ(cfg.l1_bytes, 32u * 1024u);
+  EXPECT_EQ(cfg.l2_bytes, 256u * 1024u);
+  EXPECT_EQ(cfg.l3_bytes, 10u * 1024u * 1024u);
+}
+
+}  // namespace
+}  // namespace napel::hostmodel

@@ -1,0 +1,147 @@
+// End-to-end integration: the full NAPEL flow of Figure 1 at tiny scale —
+// instrument + profile, DoE-selected simulations, tuned ensemble training,
+// prediction of previously-unseen applications, and suitability analysis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "napel/napel.hpp"
+
+namespace napel {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    core::CollectOptions o;
+    o.scale = workloads::Scale::kTiny;
+    o.archs_per_config = 2;
+    o.arch_pool_size = 6;
+    rows_ = new std::vector<core::TrainingRow>();
+    for (const char* app :
+         {"atax", "gesummv", "trmm", "kmeans", "cholesky", "bfs"})
+      core::collect_training_data(workloads::workload(app), o, *rows_);
+
+    model_ = new core::NapelModel();
+    core::NapelModel::Options mo;
+    mo.tune = true;
+    mo.grid.n_trees = {40};
+    mo.grid.max_depth = {12, 24};
+    mo.grid.mtry_fraction = {1.0 / 3.0};
+    mo.grid.min_samples_leaf = {1};
+    model_->train(*rows_, mo);
+  }
+
+  static void TearDownTestSuite() {
+    delete rows_;
+    delete model_;
+    rows_ = nullptr;
+    model_ = nullptr;
+  }
+
+  static std::vector<core::TrainingRow>* rows_;
+  static core::NapelModel* model_;
+};
+
+std::vector<core::TrainingRow>* EndToEndTest::rows_ = nullptr;
+core::NapelModel* EndToEndTest::model_ = nullptr;
+
+TEST_F(EndToEndTest, TrainingSetSpansAppsAndArchitectures) {
+  std::set<std::string> apps;
+  std::set<std::string> archs;
+  for (const auto& r : *rows_) {
+    apps.insert(r.app);
+    archs.insert(r.arch.to_string());
+  }
+  EXPECT_EQ(apps.size(), 6u);
+  EXPECT_GE(archs.size(), 3u);
+}
+
+TEST_F(EndToEndTest, PredictsUnseenAppWithinLooseBound) {
+  // mvt was never collected; predict it and compare to the simulator.
+  const auto& w = workloads::workload("mvt");
+  const auto space = w.doe_space(workloads::Scale::kTiny);
+  const auto input = workloads::WorkloadParams::test_input(space);
+  const auto arch = sim::ArchConfig::paper_default();
+  const auto profile = core::profile_workload(w, input, 9);
+  const auto pred = model_->predict(profile, arch);
+  const auto actual = core::simulate_workload(w, input, arch, 9);
+
+  const double ipc_err = std::abs(pred.ipc - actual.ipc) / actual.ipc;
+  const double energy_err =
+      std::abs(pred.energy_joules - actual.energy_joules) /
+      actual.energy_joules;
+  // Tiny-scale bound is deliberately loose; bench-scale accuracy is the
+  // subject of bench_fig5_accuracy.
+  EXPECT_LT(ipc_err, 1.0);
+  EXPECT_LT(energy_err, 2.0);
+}
+
+TEST_F(EndToEndTest, PredictionIsFasterThanSimulationForManyConfigs) {
+  // The Figure-4 effect: one profile amortized over many architecture
+  // predictions vs one simulation per architecture. Uses a bench-scale
+  // input: at tiny scale fixed setup costs dominate both paths.
+  const auto& w = workloads::workload("lu");
+  const auto space = w.doe_space(workloads::Scale::kBench);
+  const auto input = workloads::WorkloadParams::central(space);
+  Rng rng(3);
+  const auto archs = sim::sample_arch_configs(16, rng);
+
+  namespace chr = std::chrono;
+  const auto t0 = chr::steady_clock::now();
+  const auto profile = core::profile_workload(w, input, 4);
+  for (const auto& arch : archs) (void)model_->predict(profile, arch);
+  const auto napel_time = chr::steady_clock::now() - t0;
+
+  const auto t1 = chr::steady_clock::now();
+  for (const auto& arch : archs)
+    (void)core::simulate_workload(w, input, arch, 4);
+  const auto sim_time = chr::steady_clock::now() - t1;
+
+  EXPECT_LT(napel_time, sim_time);
+}
+
+TEST_F(EndToEndTest, LoaoOverTrainingAppsYieldsBoundedErrors) {
+  core::LoaoOptions lo;
+  lo.tune_rf = false;
+  const auto results =
+      core::leave_one_app_out(*rows_, core::ModelKind::kNapelRf, lo);
+  ASSERT_EQ(results.size(), 6u);
+  for (const auto& r : results) {
+    EXPECT_LT(r.perf_mre, 2.0) << r.app;
+    EXPECT_LT(r.energy_mre, 3.0) << r.app;
+  }
+}
+
+TEST_F(EndToEndTest, SuitabilityAnalysisClassifiesConsistently) {
+  const auto row = core::analyze_suitability(
+      workloads::workload("mvt"), *model_, hostmodel::HostModel(),
+      sim::ArchConfig::paper_default());
+  // At tiny scale the model sees very few, very small training kernels, so
+  // only a coarse consistency bound is meaningful here; bench_fig7_edp
+  // evaluates the real accuracy at bench scale.
+  const double ratio = row.edp_reduction_pred() / row.edp_reduction_actual();
+  EXPECT_GT(ratio, 0.005);
+  EXPECT_LT(ratio, 200.0);
+}
+
+TEST_F(EndToEndTest, DseSweepOverPeCountIsUsable) {
+  // Fast DSE: IPC predictions across PE counts should all be positive and
+  // vary (the model is arch-sensitive).
+  const auto& w = workloads::workload("gramschmidt");
+  const auto space = w.doe_space(workloads::Scale::kTiny);
+  const auto profile = core::profile_workload(
+      w, workloads::WorkloadParams::central(space), 12);
+  std::set<double> ipcs;
+  for (unsigned pes : {8u, 16u, 32u, 64u}) {
+    sim::ArchConfig arch = sim::ArchConfig::paper_default();
+    arch.n_pes = pes;
+    const auto pred = model_->predict(profile, arch);
+    EXPECT_GT(pred.ipc, 0.0);
+    ipcs.insert(pred.ipc);
+  }
+  EXPECT_GE(ipcs.size(), 2u);
+}
+
+}  // namespace
+}  // namespace napel

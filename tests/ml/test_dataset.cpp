@@ -1,0 +1,91 @@
+#include "ml/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+namespace napel::ml {
+namespace {
+
+Dataset simple(std::size_t rows) {
+  Dataset d(2, {"a", "b"});
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double x = static_cast<double>(i);
+    d.add_row(std::vector<double>{x, 2.0 * x}, 3.0 * x);
+  }
+  return d;
+}
+
+TEST(Dataset, StoresRowsAndTargets) {
+  const Dataset d = simple(5);
+  EXPECT_EQ(d.size(), 5u);
+  EXPECT_EQ(d.n_features(), 2u);
+  EXPECT_DOUBLE_EQ(d.row(3)[0], 3.0);
+  EXPECT_DOUBLE_EQ(d.row(3)[1], 6.0);
+  EXPECT_DOUBLE_EQ(d.target(3), 9.0);
+  EXPECT_EQ(d.feature_names()[1], "b");
+}
+
+TEST(Dataset, RejectsArityMismatch) {
+  Dataset d(2);
+  EXPECT_THROW(d.add_row(std::vector<double>{1.0}, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Dataset, RejectsNameCountMismatch) {
+  EXPECT_THROW(Dataset(2, {"only-one"}), std::invalid_argument);
+}
+
+TEST(Dataset, OutOfRangeAccessThrows) {
+  const Dataset d = simple(2);
+  EXPECT_THROW(d.row(2), std::invalid_argument);
+  EXPECT_THROW(d.target(2), std::invalid_argument);
+}
+
+TEST(Dataset, SubsetSelectsAndRepeats) {
+  const Dataset d = simple(5);
+  const std::vector<std::size_t> idx = {4, 4, 0};
+  const Dataset s = d.subset(idx);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.target(0), 12.0);
+  EXPECT_DOUBLE_EQ(s.target(1), 12.0);
+  EXPECT_DOUBLE_EQ(s.target(2), 0.0);
+}
+
+TEST(Dataset, KfoldAssignsBalancedFolds) {
+  const Dataset d = simple(10);
+  Rng rng(3);
+  const auto fold = d.kfold_assignment(5, rng);
+  ASSERT_EQ(fold.size(), 10u);
+  std::vector<int> count(5, 0);
+  for (auto f : fold) {
+    ASSERT_LT(f, 5u);
+    ++count[f];
+  }
+  for (int c : count) EXPECT_EQ(c, 2);
+}
+
+TEST(Dataset, KfoldRejectsTooFewRows) {
+  const Dataset d = simple(3);
+  Rng rng(1);
+  EXPECT_THROW(d.kfold_assignment(4, rng), std::invalid_argument);
+  EXPECT_THROW(d.kfold_assignment(1, rng), std::invalid_argument);
+}
+
+TEST(Dataset, SplitFoldPartitionsExactly) {
+  const Dataset d = simple(9);
+  Rng rng(7);
+  const auto fold = d.kfold_assignment(3, rng);
+  auto [train, test] = d.split_fold(fold, 1);
+  EXPECT_EQ(train.size() + test.size(), d.size());
+  EXPECT_EQ(test.size(), 3u);
+  // Targets are unique in `simple`, so we can verify the partition is exact.
+  std::set<double> all;
+  for (std::size_t i = 0; i < train.size(); ++i) all.insert(train.target(i));
+  for (std::size_t i = 0; i < test.size(); ++i) all.insert(test.target(i));
+  EXPECT_EQ(all.size(), 9u);
+}
+
+}  // namespace
+}  // namespace napel::ml

@@ -1,0 +1,185 @@
+#include "ml/decision_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace napel::ml {
+namespace {
+
+Dataset step_data() {
+  // y = 1 when x0 <= 0.5, else 5 (pure step on feature 0; feature 1 noise).
+  Dataset d(2);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const double x0 = rng.uniform();
+    d.add_row(std::vector<double>{x0, rng.uniform()}, x0 <= 0.5 ? 1.0 : 5.0);
+  }
+  return d;
+}
+
+TEST(DecisionTree, FitsStepFunctionExactly) {
+  DecisionTree tree;
+  tree.fit(step_data());
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{0.1, 0.9}), 1.0);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{0.9, 0.1}), 5.0);
+}
+
+TEST(DecisionTree, ConstantTargetYieldsSingleLeaf) {
+  Dataset d(1);
+  for (int i = 0; i < 20; ++i)
+    d.add_row(std::vector<double>{static_cast<double>(i)}, 7.0);
+  DecisionTree tree;
+  tree.fit(d);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{100.0}), 7.0);
+}
+
+TEST(DecisionTree, PredictionsStayWithinTargetHull) {
+  Dataset d(1);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform(-10, 10);
+    d.add_row(std::vector<double>{x}, x * x);
+  }
+  DecisionTree tree;
+  tree.fit(d);
+  // Leaves average training targets, so extrapolation cannot leave the hull.
+  for (double x : {-100.0, -5.0, 0.0, 5.0, 100.0}) {
+    const double p = tree.predict(std::vector<double>{x});
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 100.0);
+  }
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  TreeParams params;
+  params.max_depth = 2;
+  DecisionTree tree(params);
+  Dataset d(1);
+  Rng rng(5);
+  for (int i = 0; i < 256; ++i) {
+    const double x = rng.uniform();
+    d.add_row(std::vector<double>{x}, x);
+  }
+  tree.fit(d);
+  EXPECT_LE(tree.depth(), 2u);
+  EXPECT_LE(tree.leaf_count(), 4u);
+}
+
+TEST(DecisionTree, RespectsMinSamplesLeaf) {
+  TreeParams params;
+  params.min_samples_leaf = 50;
+  params.min_samples_split = 100;
+  DecisionTree tree(params);
+  tree.fit(step_data());  // 200 rows -> at most 4 leaves of >= 50
+  EXPECT_LE(tree.leaf_count(), 4u);
+}
+
+TEST(DecisionTree, DeterministicGivenSeed) {
+  Dataset d(3);
+  Rng rng(9);
+  for (int i = 0; i < 150; ++i) {
+    std::vector<double> x = {rng.uniform(), rng.uniform(), rng.uniform()};
+    const double y = x[0] + 2 * x[1] * x[2];
+    d.add_row(x, y);
+  }
+  TreeParams params;
+  params.mtry_fraction = 0.5;
+  params.seed = 1234;
+  DecisionTree a(params), b(params);
+  a.fit(d);
+  b.fit(d);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> x = {rng.uniform(), rng.uniform(), rng.uniform()};
+    EXPECT_DOUBLE_EQ(a.predict(x), b.predict(x));
+  }
+}
+
+TEST(DecisionTree, ImportanceIdentifiesInformativeFeature) {
+  DecisionTree tree;
+  tree.fit(step_data());
+  const auto& imp = tree.feature_importance();
+  ASSERT_EQ(imp.size(), 2u);
+  EXPECT_GT(imp[0], 10.0 * imp[1]);  // feature 0 drives the target
+}
+
+TEST(DecisionTree, PredictBeforeFitThrows) {
+  DecisionTree tree;
+  EXPECT_THROW(tree.predict(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(DecisionTree, FitOnEmptyDatasetThrows) {
+  DecisionTree tree;
+  Dataset d(1);
+  EXPECT_THROW(tree.fit(d), std::invalid_argument);
+}
+
+TEST(DecisionTree, WrongArityPredictThrows) {
+  DecisionTree tree;
+  tree.fit(step_data());
+  EXPECT_THROW(tree.predict(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(DecisionTree, RejectsInvalidParams) {
+  TreeParams p;
+  p.mtry_fraction = 0.0;
+  EXPECT_THROW(DecisionTree{p}, std::invalid_argument);
+  TreeParams q;
+  q.min_samples_split = 1;
+  EXPECT_THROW(DecisionTree{q}, std::invalid_argument);
+}
+
+TEST(DecisionTree, SingleRowFitsAsLeaf) {
+  Dataset d(1);
+  d.add_row(std::vector<double>{1.0}, 42.0);
+  DecisionTree tree;
+  tree.fit(d);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{-5.0}), 42.0);
+}
+
+TEST(DecisionTree, DuplicateFeatureValuesDoNotSplitApart) {
+  // All feature values identical: no valid split exists.
+  Dataset d(1);
+  for (int i = 0; i < 50; ++i)
+    d.add_row(std::vector<double>{1.0}, static_cast<double>(i));
+  DecisionTree tree;
+  tree.fit(d);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_NEAR(tree.predict(std::vector<double>{1.0}), 24.5, 1e-9);
+}
+
+class TreeDepthSweepTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TreeDepthSweepTest, DeeperTreesFitTighterOnTrain) {
+  Dataset d(1);
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0, 10);
+    d.add_row(std::vector<double>{x}, std::sin(x));
+  }
+  TreeParams shallow_p, deep_p;
+  shallow_p.max_depth = GetParam();
+  deep_p.max_depth = GetParam() + 3;
+  DecisionTree shallow(shallow_p), deep(deep_p);
+  shallow.fit(d);
+  deep.fit(d);
+  double sse_shallow = 0, sse_deep = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const double es = shallow.predict(d.row(i)) - d.target(i);
+    const double ed = deep.predict(d.row(i)) - d.target(i);
+    sse_shallow += es * es;
+    sse_deep += ed * ed;
+  }
+  EXPECT_LE(sse_deep, sse_shallow + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, TreeDepthSweepTest,
+                         ::testing::Values(1, 2, 3, 4, 6));
+
+}  // namespace
+}  // namespace napel::ml

@@ -1,0 +1,94 @@
+#include "ml/gbm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "ml/metrics.hpp"
+#include "ml/ridge.hpp"
+
+namespace napel::ml {
+namespace {
+
+std::pair<Dataset, Dataset> nonlinear_data(std::uint64_t seed) {
+  Rng rng(seed);
+  auto gen = [&](std::size_t n) {
+    Dataset d(3);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<double> x = {rng.uniform(-1, 1), rng.uniform(-1, 1),
+                               rng.uniform(-1, 1)};
+      d.add_row(x, 4.0 + x[0] * x[1] + std::sin(3.0 * x[2]));
+    }
+    return d;
+  };
+  return {gen(400), gen(100)};
+}
+
+TEST(Gbm, LearnsNonlinearSurface) {
+  auto [train, test] = nonlinear_data(1);
+  GradientBoosting gbm;
+  gbm.fit(train);
+  RidgeRegression ridge;
+  ridge.fit(train);
+  EXPECT_LT(evaluate(gbm, test).mre, evaluate(ridge, test).mre);
+  EXPECT_LT(evaluate(gbm, test).mre, 0.1);
+}
+
+TEST(Gbm, TrainingCurveDecreasesMonotonically) {
+  auto [train, test] = nonlinear_data(2);
+  GradientBoosting gbm(GbmParams{.n_rounds = 50, .subsample = 1.0});
+  gbm.fit(train);
+  const auto& curve = gbm.training_curve();
+  ASSERT_EQ(curve.size(), 50u);
+  // With full-batch rounds, squared-loss boosting cannot increase the
+  // training MSE.
+  for (std::size_t i = 1; i < curve.size(); ++i)
+    EXPECT_LE(curve[i], curve[i - 1] + 1e-9);
+}
+
+TEST(Gbm, MoreRoundsFitTighterOnTrain) {
+  auto [train, test] = nonlinear_data(3);
+  GradientBoosting few(GbmParams{.n_rounds = 10});
+  GradientBoosting many(GbmParams{.n_rounds = 300});
+  few.fit(train);
+  many.fit(train);
+  EXPECT_LT(evaluate(many, train).rmse, evaluate(few, train).rmse);
+}
+
+TEST(Gbm, DeterministicGivenSeed) {
+  auto [train, test] = nonlinear_data(4);
+  GbmParams p;
+  p.seed = 99;
+  GradientBoosting a(p), b(p);
+  a.fit(train);
+  b.fit(train);
+  for (std::size_t i = 0; i < test.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.predict(test.row(i)), b.predict(test.row(i)));
+}
+
+TEST(Gbm, ConstantTargetPredictsConstant) {
+  Dataset d(1);
+  for (int i = 0; i < 30; ++i)
+    d.add_row(std::vector<double>{static_cast<double>(i)}, 5.5);
+  GradientBoosting gbm(GbmParams{.n_rounds = 20});
+  gbm.fit(d);
+  EXPECT_NEAR(gbm.predict(std::vector<double>{100.0}), 5.5, 1e-9);
+}
+
+TEST(Gbm, PredictBeforeFitThrows) {
+  GradientBoosting gbm;
+  EXPECT_THROW(gbm.predict(std::vector<double>{0.0}), std::invalid_argument);
+}
+
+TEST(Gbm, RejectsInvalidParams) {
+  GbmParams p;
+  p.learning_rate = 0.0;
+  EXPECT_THROW(GradientBoosting{p}, std::invalid_argument);
+  GbmParams q;
+  q.subsample = 1.5;
+  EXPECT_THROW(GradientBoosting{q}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace napel::ml

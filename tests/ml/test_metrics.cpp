@@ -1,0 +1,70 @@
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/ridge.hpp"
+
+namespace napel::ml {
+namespace {
+
+/// Trivial regressor returning a constant.
+class ConstModel final : public Regressor {
+ public:
+  explicit ConstModel(double v) : v_(v) {}
+  void fit(const Dataset&) override {}
+  double predict(std::span<const double>) const override { return v_; }
+  bool is_fitted() const override { return true; }
+
+ private:
+  double v_;
+};
+
+Dataset two_rows(double y0, double y1) {
+  Dataset d(1);
+  d.add_row(std::vector<double>{0.0}, y0);
+  d.add_row(std::vector<double>{1.0}, y1);
+  return d;
+}
+
+TEST(Evaluate, PerfectModelHasZeroErrors) {
+  Dataset d = two_rows(5.0, 5.0);
+  ConstModel m(5.0);
+  const auto r = evaluate(m, d);
+  EXPECT_DOUBLE_EQ(r.mre, 0.0);
+  EXPECT_DOUBLE_EQ(r.rmse, 0.0);
+  EXPECT_EQ(r.n, 2u);
+}
+
+TEST(Evaluate, MreMatchesHandComputation) {
+  Dataset d = two_rows(10.0, 20.0);
+  ConstModel m(15.0);
+  // |15-10|/10 = 0.5, |15-20|/20 = 0.25 -> MRE 0.375.
+  EXPECT_NEAR(evaluate(m, d).mre, 0.375, 1e-12);
+}
+
+TEST(Evaluate, ZeroTargetsExcludedFromMreOnly) {
+  Dataset d(1);
+  d.add_row(std::vector<double>{0.0}, 0.0);   // excluded from MRE
+  d.add_row(std::vector<double>{1.0}, 10.0);
+  ConstModel m(5.0);
+  const auto r = evaluate(m, d);
+  EXPECT_NEAR(r.mre, 0.5, 1e-12);             // only the nonzero row
+  EXPECT_NEAR(r.rmse, std::sqrt((25.0 + 25.0) / 2.0), 1e-12);  // both rows
+}
+
+TEST(Evaluate, EmptyDatasetIsZero) {
+  Dataset d(1);
+  ConstModel m(1.0);
+  const auto r = evaluate(m, d);
+  EXPECT_EQ(r.n, 0u);
+  EXPECT_DOUBLE_EQ(r.mre, 0.0);
+}
+
+TEST(Evaluate, R2OfMeanPredictorIsZero) {
+  Dataset d = two_rows(0.0, 10.0);
+  ConstModel m(5.0);
+  EXPECT_NEAR(evaluate(m, d).r2, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace napel::ml

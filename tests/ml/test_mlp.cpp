@@ -1,0 +1,92 @@
+#include "ml/mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "ml/metrics.hpp"
+
+namespace napel::ml {
+namespace {
+
+Dataset linear_data(std::uint64_t seed, std::size_t n) {
+  Dataset d(2);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> x = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    d.add_row(x, 10.0 + 3.0 * x[0] - x[1]);
+  }
+  return d;
+}
+
+TEST(Mlp, FitsLinearFunction) {
+  const Dataset train = linear_data(1, 300);
+  const Dataset test = linear_data(2, 50);
+  Mlp m;
+  m.fit(train);
+  EXPECT_LT(evaluate(m, test).mre, 0.05);
+}
+
+TEST(Mlp, FitsMildNonlinearity) {
+  Rng rng(3);
+  Dataset train(1), test(1);
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.uniform(-2, 2);
+    (i < 320 ? train : test)
+        .add_row(std::vector<double>{x}, 5.0 + x * x);
+  }
+  Mlp m;
+  m.fit(train);
+  EXPECT_LT(evaluate(m, test).mre, 0.1);
+}
+
+TEST(Mlp, TrainingCurveDecreases) {
+  Mlp m;
+  m.fit(linear_data(4, 200));
+  const auto& curve = m.training_curve();
+  ASSERT_GE(curve.size(), 10u);
+  EXPECT_LT(curve.back(), curve.front());
+}
+
+TEST(Mlp, DeterministicGivenSeed) {
+  const Dataset train = linear_data(5, 100);
+  MlpParams p;
+  p.seed = 42;
+  p.epochs = 50;
+  Mlp a(p), b(p);
+  a.fit(train);
+  b.fit(train);
+  const std::vector<double> probe = {0.3, -0.7};
+  EXPECT_DOUBLE_EQ(a.predict(probe), b.predict(probe));
+}
+
+TEST(Mlp, PredictBeforeFitThrows) {
+  Mlp m;
+  EXPECT_THROW(m.predict(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(Mlp, RejectsInvalidParams) {
+  MlpParams p;
+  p.hidden_units = 0;
+  EXPECT_THROW(Mlp{p}, std::invalid_argument);
+  MlpParams q;
+  q.momentum = 1.0;
+  EXPECT_THROW(Mlp{q}, std::invalid_argument);
+}
+
+TEST(Mlp, HandlesConstantFeaturesGracefully) {
+  Dataset d(2);
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform(-1, 1);
+    d.add_row(std::vector<double>{x, 7.0}, 2.0 * x);  // feature 1 constant
+  }
+  Mlp m;
+  EXPECT_NO_THROW(m.fit(d));
+  EXPECT_TRUE(std::isfinite(m.predict(std::vector<double>{0.5, 7.0})));
+}
+
+}  // namespace
+}  // namespace napel::ml

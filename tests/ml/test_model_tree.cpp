@@ -1,0 +1,108 @@
+#include "ml/model_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "ml/metrics.hpp"
+
+namespace napel::ml {
+namespace {
+
+/// Piecewise-linear target: two regimes split on x0.
+double pw_linear(std::span<const double> x) {
+  return x[0] <= 0.0 ? 2.0 * x[1] + 10.0 : -3.0 * x[1] + 20.0;
+}
+
+std::pair<Dataset, Dataset> pw_data(std::uint64_t seed) {
+  Rng rng(seed);
+  auto gen = [&](std::size_t n) {
+    Dataset d(2);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<double> x = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+      d.add_row(x, pw_linear(x));
+    }
+    return d;
+  };
+  return {gen(300), gen(60)};
+}
+
+TEST(ModelTree, FitsPiecewiseLinearSurface) {
+  auto [train, test] = pw_data(1);
+  ModelTree m;
+  m.fit(train);
+  // The CART boundary search is not exactly at x0 = 0, so a few test points
+  // land in the wrong regime's leaf; the error stays small regardless.
+  EXPECT_LT(evaluate(m, test).mre, 0.08);
+}
+
+TEST(ModelTree, BeatsPlainShallowTreeOnLinearLeaves) {
+  auto [train, test] = pw_data(2);
+  ModelTree mt;
+  mt.fit(train);
+  TreeParams tp;
+  tp.max_depth = 3;
+  DecisionTree plain(tp);
+  plain.fit(train);
+  EXPECT_LT(evaluate(mt, test).mre, evaluate(plain, test).mre);
+}
+
+TEST(ModelTree, CanExtrapolateBeyondTrainingHull) {
+  // The defining difference from mean-leaf trees: linear leaves extrapolate.
+  Dataset d(1);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform(0, 1);
+    d.add_row(std::vector<double>{x}, 5.0 * x);
+  }
+  ModelTreeParams p;
+  p.leaf_lambda = 1e-6;  // near-OLS leaves so the slope is not shrunk
+  ModelTree m(p);
+  m.fit(d);
+  EXPECT_GT(m.predict(std::vector<double>{3.0}), 5.0);  // beyond max y=5
+}
+
+TEST(ModelTree, LeafCountIsBounded) {
+  auto [train, test] = pw_data(4);
+  ModelTreeParams p;
+  p.max_depth = 2;
+  ModelTree m(p);
+  m.fit(train);
+  EXPECT_GE(m.leaf_count(), 1u);
+  EXPECT_LE(m.leaf_count(), 4u);
+}
+
+TEST(ModelTree, SingleLeafDegeneratesToRidge) {
+  Dataset d(1);
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const double x = rng.uniform(-1, 1);
+    d.add_row(std::vector<double>{x}, 3.0 * x + 1.0);
+  }
+  ModelTreeParams p;
+  p.max_depth = 1;
+  p.min_samples_leaf = 100;  // forbid any split
+  ModelTree m(p);
+  m.fit(d);
+  EXPECT_EQ(m.leaf_count(), 1u);
+  EXPECT_NEAR(m.predict(std::vector<double>{0.5}), 2.5, 0.1);
+}
+
+TEST(ModelTree, PredictBeforeFitThrows) {
+  ModelTree m;
+  EXPECT_THROW(m.predict(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(ModelTree, DeterministicGivenSeed) {
+  auto [train, test] = pw_data(6);
+  ModelTree a, b;
+  a.fit(train);
+  b.fit(train);
+  for (std::size_t i = 0; i < test.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.predict(test.row(i)), b.predict(test.row(i)));
+}
+
+}  // namespace
+}  // namespace napel::ml

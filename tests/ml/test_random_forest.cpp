@@ -1,0 +1,207 @@
+#include "ml/random_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "ml/metrics.hpp"
+#include "ml/ridge.hpp"
+
+namespace napel::ml {
+namespace {
+
+/// Nonlinear response with interactions — the kind of surface CCD + RF is
+/// designed for.
+double response(std::span<const double> x) {
+  return 2.0 * x[0] * x[1] + std::sin(3.0 * x[2]) + 0.5 * x[0] * x[0];
+}
+
+std::pair<Dataset, Dataset> make_data(std::uint64_t seed, std::size_t n_train,
+                                      std::size_t n_test) {
+  Rng rng(seed);
+  auto gen = [&](std::size_t n) {
+    Dataset d(4);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<double> x = {rng.uniform(-1, 1), rng.uniform(-1, 1),
+                               rng.uniform(-1, 1), rng.uniform(-1, 1)};
+      d.add_row(x, response(x) + 5.0);
+    }
+    return d;
+  };
+  return {gen(n_train), gen(n_test)};
+}
+
+TEST(RandomForest, LearnsNonlinearSurfaceBetterThanLinearModel) {
+  auto [train, test] = make_data(1, 400, 100);
+  RandomForestParams params;
+  params.n_trees = 80;
+  RandomForest rf(params);
+  rf.fit(train);
+  RidgeRegression ridge;
+  ridge.fit(train);
+  const double rf_mre = evaluate(rf, test).mre;
+  const double ridge_mre = evaluate(ridge, test).mre;
+  EXPECT_LT(rf_mre, ridge_mre);
+  EXPECT_LT(rf_mre, 0.1);
+}
+
+TEST(RandomForest, DeterministicGivenSeed) {
+  auto [train, test] = make_data(2, 100, 10);
+  RandomForestParams params;
+  params.n_trees = 20;
+  params.seed = 99;
+  RandomForest a(params), b(params);
+  a.fit(train);
+  b.fit(train);
+  for (std::size_t i = 0; i < test.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.predict(test.row(i)), b.predict(test.row(i)));
+}
+
+TEST(RandomForest, DifferentSeedsGiveDifferentForests) {
+  auto [train, test] = make_data(3, 100, 5);
+  RandomForestParams pa, pb;
+  pa.seed = 1;
+  pb.seed = 2;
+  RandomForest a(pa), b(pb);
+  a.fit(train);
+  b.fit(train);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < test.size(); ++i)
+    if (a.predict(test.row(i)) != b.predict(test.row(i))) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomForest, PredictionIsMeanOfTrees) {
+  auto [train, test] = make_data(4, 80, 1);
+  RandomForestParams params;
+  params.n_trees = 7;
+  RandomForest rf(params);
+  rf.fit(train);
+  double s = 0.0;
+  for (std::size_t t = 0; t < rf.tree_count(); ++t)
+    s += rf.tree(t).predict(test.row(0));
+  EXPECT_NEAR(rf.predict(test.row(0)), s / 7.0, 1e-12);
+}
+
+TEST(RandomForest, PredictionsStayWithinTargetHull) {
+  auto [train, test] = make_data(5, 200, 50);
+  RandomForest rf;
+  rf.fit(train);
+  double lo = 1e300, hi = -1e300;
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    lo = std::min(lo, train.target(i));
+    hi = std::max(hi, train.target(i));
+  }
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const double p = rf.predict(test.row(i));
+    EXPECT_GE(p, lo);
+    EXPECT_LE(p, hi);
+  }
+}
+
+TEST(RandomForest, OobErrorIsReasonable) {
+  auto [train, test] = make_data(6, 400, 1);
+  RandomForestParams params;
+  params.n_trees = 60;
+  RandomForest rf(params);
+  rf.fit(train);
+  EXPECT_GT(rf.oob_mre(), 0.0);
+  EXPECT_LT(rf.oob_mre(), 0.2);
+}
+
+TEST(RandomForest, ImportanceConcentratesOnInformativeFeatures) {
+  auto [train, test] = make_data(7, 400, 1);
+  RandomForestParams params;
+  params.mtry_fraction = 0.5;
+  RandomForest rf(params);
+  rf.fit(train);
+  const auto imp = rf.feature_importance();
+  ASSERT_EQ(imp.size(), 4u);
+  double total = 0.0;
+  for (double v : imp) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // x3 is pure noise; x0 drives both terms.
+  EXPECT_GT(imp[0], imp[3]);
+  EXPECT_LT(imp[3], 0.1);
+}
+
+TEST(RandomForest, MoreTreesReduceVarianceOfGeneralization) {
+  auto [train, test] = make_data(8, 300, 80);
+  RandomForestParams small, big;
+  small.n_trees = 2;
+  big.n_trees = 100;
+  RandomForest a(small), b(big);
+  a.fit(train);
+  b.fit(train);
+  EXPECT_LE(evaluate(b, test).mre, evaluate(a, test).mre * 1.2);
+}
+
+TEST(RandomForest, IntervalBracketsMeanAndOrdersBounds) {
+  auto [train, test] = make_data(10, 200, 20);
+  RandomForest rf;
+  rf.fit(train);
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const auto iv = rf.predict_interval(test.row(i));
+    EXPECT_LE(iv.lo, iv.mean + 1e-12);
+    EXPECT_GE(iv.hi, iv.mean - 1e-12);
+    EXPECT_DOUBLE_EQ(iv.mean, rf.predict(test.row(i)));
+    EXPECT_GE(iv.width(), 0.0);
+  }
+}
+
+TEST(RandomForest, IntervalWidensOutsideTrainingSupport) {
+  // Train on x in [-1,1]; probe far outside: tree disagreement (and thus
+  // the band) should not shrink.
+  Dataset train(1);
+  Rng rng(12);
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.uniform(-1, 1);
+    train.add_row(std::vector<double>{x}, std::sin(3 * x) + 2.0);
+  }
+  RandomForest rf;
+  rf.fit(train);
+  const auto inside = rf.predict_interval(std::vector<double>{0.0});
+  EXPECT_GE(inside.width(), 0.0);
+  EXPECT_TRUE(std::isfinite(inside.lo) && std::isfinite(inside.hi));
+}
+
+TEST(RandomForest, IntervalPercentileOrderValidated) {
+  auto [train, test] = make_data(11, 80, 1);
+  RandomForest rf;
+  rf.fit(train);
+  EXPECT_THROW(rf.predict_interval(test.row(0), 90.0, 10.0),
+               std::invalid_argument);
+}
+
+TEST(RandomForest, PredictBeforeFitThrows) {
+  RandomForest rf;
+  EXPECT_THROW(rf.predict(std::vector<double>{1.0}), std::invalid_argument);
+  EXPECT_THROW(rf.feature_importance(), std::invalid_argument);
+}
+
+TEST(RandomForest, RejectsZeroTrees) {
+  RandomForestParams p;
+  p.n_trees = 0;
+  EXPECT_THROW(RandomForest{p}, std::invalid_argument);
+}
+
+class ForestMtryTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ForestMtryTest, AnyMtryFractionProducesValidForest) {
+  auto [train, test] = make_data(9, 150, 30);
+  RandomForestParams params;
+  params.mtry_fraction = GetParam();
+  params.n_trees = 25;
+  RandomForest rf(params);
+  rf.fit(train);
+  const auto res = evaluate(rf, test);
+  EXPECT_LT(res.mre, 0.25);
+  EXPECT_TRUE(std::isfinite(res.rmse));
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, ForestMtryTest,
+                         ::testing::Values(0.1, 0.25, 1.0 / 3.0, 0.5, 1.0));
+
+}  // namespace
+}  // namespace napel::ml

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "ml/linalg.hpp"
+#include "ml/ridge.hpp"
+
+namespace napel::ml {
+namespace {
+
+TEST(Cholesky, SolvesKnownSpdSystem) {
+  // A = [[4,2],[2,3]], b = [10, 9] -> x = [1.5, 2].
+  std::vector<double> a = {4, 2, 2, 3};
+  std::vector<double> b = {10, 9};
+  std::vector<double> x(2);
+  ASSERT_TRUE(cholesky_solve(a, 2, b, x));
+  EXPECT_NEAR(x[0], 1.5, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Cholesky, IdentityReturnsRhs) {
+  std::vector<double> a = {1, 0, 0, 0, 1, 0, 0, 0, 1};
+  std::vector<double> b = {3, -1, 2};
+  std::vector<double> x(3);
+  ASSERT_TRUE(cholesky_solve(a, 3, b, x));
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], -1.0);
+  EXPECT_DOUBLE_EQ(x[2], 2.0);
+}
+
+TEST(Cholesky, RejectsIndefiniteMatrix) {
+  std::vector<double> a = {1, 2, 2, 1};  // eigenvalues 3, -1
+  std::vector<double> b = {1, 1};
+  std::vector<double> x(2);
+  EXPECT_FALSE(cholesky_solve(a, 2, b, x));
+}
+
+TEST(Cholesky, RejectsSingularMatrix) {
+  std::vector<double> a = {1, 1, 1, 1};
+  std::vector<double> b = {2, 2};
+  std::vector<double> x(2);
+  EXPECT_FALSE(cholesky_solve(a, 2, b, x));
+}
+
+TEST(Cholesky, RandomSpdSystemsRoundTrip) {
+  Rng rng(5);
+  const std::size_t n = 20;
+  // A = B·Bᵀ + n·I is SPD.
+  std::vector<double> bmat(n * n);
+  for (auto& v : bmat) v = rng.uniform(-1, 1);
+  std::vector<double> a(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k)
+        a[i * n + j] += bmat[i * n + k] * bmat[j * n + k];
+      if (i == j) a[i * n + j] += static_cast<double>(n);
+    }
+  std::vector<double> x_true(n);
+  for (auto& v : x_true) v = rng.uniform(-2, 2);
+  std::vector<double> rhs(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) rhs[i] += a[i * n + j] * x_true[j];
+  std::vector<double> x(n);
+  ASSERT_TRUE(cholesky_solve(a, n, rhs, x));
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+TEST(Ridge, RecoversLinearRelationWithTinyLambda) {
+  Dataset d(2);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double> x = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    d.add_row(x, 3.0 * x[0] - 2.0 * x[1] + 1.0);
+  }
+  RidgeRegression m(RidgeParams{.lambda = 1e-8});
+  m.fit(d);
+  EXPECT_NEAR(m.weights()[0], 3.0, 1e-4);
+  EXPECT_NEAR(m.weights()[1], -2.0, 1e-4);
+  EXPECT_NEAR(m.intercept(), 1.0, 1e-4);
+  EXPECT_NEAR(m.predict(std::vector<double>{0.5, 0.5}), 1.5, 1e-4);
+}
+
+TEST(Ridge, LambdaShrinksWeights) {
+  Dataset d(1);
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const double x = rng.uniform(-1, 1);
+    d.add_row(std::vector<double>{x}, 4.0 * x);
+  }
+  RidgeRegression loose(RidgeParams{.lambda = 1e-6});
+  RidgeRegression tight(RidgeParams{.lambda = 100.0});
+  loose.fit(d);
+  tight.fit(d);
+  EXPECT_GT(std::abs(loose.weights()[0]), std::abs(tight.weights()[0]));
+}
+
+TEST(Ridge, InterceptIsUnpenalized) {
+  // Constant target far from zero: heavy lambda must not shrink the
+  // intercept toward zero.
+  Dataset d(1);
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i)
+    d.add_row(std::vector<double>{rng.uniform(-1, 1)}, 100.0);
+  RidgeRegression m(RidgeParams{.lambda = 1e6});
+  m.fit(d);
+  EXPECT_NEAR(m.predict(std::vector<double>{0.0}), 100.0, 0.5);
+}
+
+TEST(Ridge, HandlesMoreFeaturesThanRows) {
+  Dataset d(20);
+  Rng rng(4);
+  for (int i = 0; i < 5; ++i) {
+    std::vector<double> x(20);
+    for (auto& v : x) v = rng.uniform(-1, 1);
+    d.add_row(x, x[0]);
+  }
+  RidgeRegression m;  // default lambda keeps the system well-posed
+  EXPECT_NO_THROW(m.fit(d));
+  EXPECT_TRUE(m.is_fitted());
+  std::vector<double> probe(20, 0.1);
+  EXPECT_TRUE(std::isfinite(m.predict(probe)));
+}
+
+TEST(Ridge, DuplicatedColumnsStillFit) {
+  Dataset d(2);
+  Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    const double x = rng.uniform(-1, 1);
+    d.add_row(std::vector<double>{x, x}, 2.0 * x);  // perfectly collinear
+  }
+  RidgeRegression m(RidgeParams{.lambda = 1.0});
+  m.fit(d);
+  EXPECT_NEAR(m.predict(std::vector<double>{1.0, 1.0}), 2.0, 0.2);
+}
+
+TEST(Ridge, PredictBeforeFitThrows) {
+  RidgeRegression m;
+  EXPECT_THROW(m.predict(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Ridge, RejectsNegativeLambda) {
+  EXPECT_THROW(RidgeRegression{RidgeParams{.lambda = -1.0}},
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace napel::ml

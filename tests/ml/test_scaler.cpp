@@ -1,0 +1,80 @@
+#include "ml/scaler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace napel::ml {
+namespace {
+
+Dataset sample_data() {
+  Dataset d(2);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    d.add_row(std::vector<double>{rng.normal(10.0, 4.0), rng.normal(-3.0, 0.5)},
+              rng.normal(100.0, 25.0));
+  }
+  return d;
+}
+
+TEST(Scaler, TransformedFeaturesAreStandardized) {
+  const Dataset d = sample_data();
+  StandardScaler s;
+  s.fit(d);
+  const Dataset z = s.transform_features(d);
+  for (std::size_t f = 0; f < 2; ++f) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t i = 0; i < z.size(); ++i) mean += z.row(i)[f];
+    mean /= static_cast<double>(z.size());
+    for (std::size_t i = 0; i < z.size(); ++i) {
+      const double dvl = z.row(i)[f] - mean;
+      var += dvl * dvl;
+    }
+    var /= static_cast<double>(z.size());
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-9);
+  }
+}
+
+TEST(Scaler, TargetTransformRoundTrips) {
+  const Dataset d = sample_data();
+  StandardScaler s;
+  s.fit(d);
+  for (double y : {-50.0, 0.0, 100.0, 321.5})
+    EXPECT_NEAR(s.inverse_target(s.transform_target(y)), y, 1e-9);
+}
+
+TEST(Scaler, ConstantFeatureMapsToZero) {
+  Dataset d(2);
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i)
+    d.add_row(std::vector<double>{rng.uniform(), 7.0}, 1.0);
+  StandardScaler s;
+  s.fit(d);
+  const auto z = s.transform(std::vector<double>{0.5, 7.0});
+  EXPECT_DOUBLE_EQ(z[1], 0.0);
+}
+
+TEST(Scaler, TransformBeforeFitThrows) {
+  StandardScaler s;
+  EXPECT_THROW(s.transform(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Scaler, ArityMismatchThrows) {
+  StandardScaler s;
+  s.fit(sample_data());
+  EXPECT_THROW(s.transform(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Scaler, ConstantTargetTransformIsStable) {
+  Dataset d(1);
+  for (int i = 0; i < 10; ++i)
+    d.add_row(std::vector<double>{static_cast<double>(i)}, 5.0);
+  StandardScaler s;
+  s.fit(d);
+  // y_std falls back to 1 for a constant target; round trip must hold.
+  EXPECT_NEAR(s.inverse_target(s.transform_target(5.0)), 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace napel::ml

@@ -1,0 +1,101 @@
+#include "ml/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace napel::ml {
+namespace {
+
+Dataset make_data(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  Dataset d(5);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> x(5);
+    for (auto& v : x) v = rng.uniform(-1, 1);
+    d.add_row(x, 3.0 * x[0] * x[1] + x[2] + 5.0);
+  }
+  return d;
+}
+
+TEST(Serialize, ForestRoundTripsBitIdentically) {
+  const Dataset train = make_data(1, 200);
+  const Dataset probe = make_data(2, 50);
+  RandomForestParams params;
+  params.n_trees = 25;
+  RandomForest original(params);
+  original.fit(train);
+
+  std::stringstream ss;
+  save_forest(original, ss);
+  const RandomForest loaded = load_forest(ss);
+
+  EXPECT_EQ(loaded.tree_count(), original.tree_count());
+  EXPECT_DOUBLE_EQ(loaded.oob_mre(), original.oob_mre());
+  for (std::size_t i = 0; i < probe.size(); ++i)
+    EXPECT_DOUBLE_EQ(loaded.predict(probe.row(i)),
+                     original.predict(probe.row(i)));
+}
+
+TEST(Serialize, PreservesFeatureImportance) {
+  RandomForest original;
+  original.fit(make_data(3, 150));
+  std::stringstream ss;
+  save_forest(original, ss);
+  const RandomForest loaded = load_forest(ss);
+  EXPECT_EQ(loaded.feature_importance(), original.feature_importance());
+}
+
+TEST(Serialize, PreservesParams) {
+  RandomForestParams params;
+  params.n_trees = 7;
+  params.max_depth = 11;
+  params.mtry_fraction = 0.25;
+  RandomForest original(params);
+  original.fit(make_data(4, 80));
+  std::stringstream ss;
+  save_forest(original, ss);
+  const RandomForest loaded = load_forest(ss);
+  EXPECT_EQ(loaded.params().n_trees, 7u);
+  EXPECT_EQ(loaded.params().max_depth, 11u);
+  EXPECT_DOUBLE_EQ(loaded.params().mtry_fraction, 0.25);
+}
+
+TEST(Serialize, UnfittedForestCannotBeSaved) {
+  RandomForest rf;
+  std::stringstream ss;
+  EXPECT_THROW(save_forest(rf, ss), std::invalid_argument);
+}
+
+TEST(Serialize, RejectsGarbage) {
+  std::stringstream ss("not a forest at all");
+  EXPECT_THROW(load_forest(ss), std::invalid_argument);
+}
+
+TEST(Serialize, RejectsTruncatedStream) {
+  RandomForest original;
+  original.fit(make_data(5, 60));
+  std::stringstream ss;
+  save_forest(original, ss);
+  const std::string full = ss.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_forest(truncated), std::invalid_argument);
+}
+
+TEST(Serialize, SingleTreeRoundTrip) {
+  DecisionTree tree;
+  tree.fit(make_data(6, 100));
+  std::stringstream ss;
+  tree.save(ss);
+  const DecisionTree loaded = DecisionTree::load(ss);
+  const Dataset probe = make_data(7, 30);
+  for (std::size_t i = 0; i < probe.size(); ++i)
+    EXPECT_DOUBLE_EQ(loaded.predict(probe.row(i)),
+                     tree.predict(probe.row(i)));
+  EXPECT_EQ(loaded.node_count(), tree.node_count());
+}
+
+}  // namespace
+}  // namespace napel::ml

@@ -1,0 +1,105 @@
+#include "ml/tuning.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "ml/metrics.hpp"
+
+namespace napel::ml {
+namespace {
+
+Dataset make_data(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  Dataset d(3);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> x = {rng.uniform(0, 1), rng.uniform(0, 1),
+                             rng.uniform(0, 1)};
+    d.add_row(x, 5.0 + x[0] * x[1] + 0.3 * std::sin(6.0 * x[2]));
+  }
+  return d;
+}
+
+TEST(Tuning, EvaluatesTheWholeGrid) {
+  RfTuningGrid grid;
+  grid.n_trees = {10, 20};
+  grid.max_depth = {4, 8};
+  grid.mtry_fraction = {0.5};
+  grid.min_samples_leaf = {1, 2};
+  EXPECT_EQ(grid.combinations(), 8u);
+  const auto result = tune_random_forest(make_data(1, 120), grid, 3, 7);
+  EXPECT_EQ(result.combinations_evaluated, 8u);
+  EXPECT_EQ(result.all_scores.size(), 8u);
+}
+
+TEST(Tuning, BestScoreIsMinimumOfAllScores) {
+  RfTuningGrid grid;
+  grid.n_trees = {10};
+  grid.max_depth = {2, 8, 16};
+  grid.mtry_fraction = {0.3, 1.0};
+  grid.min_samples_leaf = {1};
+  const auto result = tune_random_forest(make_data(2, 150), grid, 4, 11);
+  EXPECT_DOUBLE_EQ(
+      result.best_cv_mre,
+      *std::min_element(result.all_scores.begin(), result.all_scores.end()));
+}
+
+TEST(Tuning, BestParamsComeFromTheGrid) {
+  RfTuningGrid grid;
+  grid.n_trees = {15, 25};
+  grid.max_depth = {6};
+  grid.mtry_fraction = {0.4};
+  grid.min_samples_leaf = {2};
+  const auto result = tune_random_forest(make_data(3, 100), grid, 3, 13);
+  EXPECT_TRUE(result.best_params.n_trees == 15 ||
+              result.best_params.n_trees == 25);
+  EXPECT_EQ(result.best_params.max_depth, 6u);
+  EXPECT_DOUBLE_EQ(result.best_params.mtry_fraction, 0.4);
+}
+
+TEST(Tuning, DeterministicGivenSeed) {
+  RfTuningGrid grid;
+  grid.n_trees = {10};
+  grid.max_depth = {4, 8};
+  grid.mtry_fraction = {0.5};
+  grid.min_samples_leaf = {1};
+  const Dataset d = make_data(4, 100);
+  const auto a = tune_random_forest(d, grid, 3, 21);
+  const auto b = tune_random_forest(d, grid, 3, 21);
+  EXPECT_EQ(a.all_scores, b.all_scores);
+  EXPECT_EQ(a.best_params.max_depth, b.best_params.max_depth);
+}
+
+TEST(Tuning, TunedModelGeneralizesAtLeastAsWellAsWorstCombo) {
+  const Dataset train = make_data(5, 200);
+  const Dataset test = make_data(6, 80);
+  RfTuningGrid grid;
+  grid.n_trees = {5, 40};
+  grid.max_depth = {1, 12};
+  grid.mtry_fraction = {0.3};
+  grid.min_samples_leaf = {1};
+  const auto tuned = tune_random_forest(train, grid, 4, 31);
+
+  RandomForest best(tuned.best_params);
+  best.fit(train);
+  // Deliberately bad combo: depth 1, 5 trees.
+  RandomForestParams worst;
+  worst.n_trees = 5;
+  worst.max_depth = 1;
+  worst.mtry_fraction = 0.3;
+  worst.seed = 31;
+  RandomForest bad(worst);
+  bad.fit(train);
+  EXPECT_LE(evaluate(best, test).mre, evaluate(bad, test).mre * 1.05);
+}
+
+TEST(Tuning, RejectsTooFewRows) {
+  RfTuningGrid grid;
+  EXPECT_THROW(tune_random_forest(make_data(7, 3), grid, 4, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace napel::ml

@@ -1,0 +1,106 @@
+#include "napel/dse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/registry.hpp"
+
+namespace napel::core {
+namespace {
+
+const NapelModel& model() {
+  static const NapelModel m = [] {
+    CollectOptions o;
+    o.scale = workloads::Scale::kTiny;
+    o.archs_per_config = 2;
+    o.arch_pool_size = 4;
+    std::vector<TrainingRow> rows;
+    for (const char* app : {"atax", "gesummv", "trmm"})
+      collect_training_data(workloads::workload(app), o, rows);
+    NapelModel out;
+    NapelModel::Options mo;
+    mo.tune = false;
+    mo.untuned_params.n_trees = 25;
+    out.train(rows, mo);
+    return out;
+  }();
+  return m;
+}
+
+profiler::Profile subject_profile() {
+  const auto& w = workloads::workload("mvt");
+  const auto space = w.doe_space(workloads::Scale::kTiny);
+  return profile_workload(w, workloads::WorkloadParams::central(space), 5);
+}
+
+TEST(Dse, GridEnumeratesValidConfigs) {
+  DseGrid grid;
+  const auto configs = enumerate_grid(grid);
+  EXPECT_EQ(configs.size(), grid.combinations());
+  for (const auto& c : configs) EXPECT_NO_THROW(c.validate());
+}
+
+TEST(Dse, GridSkipsInvalidCombinations) {
+  DseGrid grid;
+  grid.cache_lines = {3};  // 3 lines cannot form power-of-two sets
+  grid.n_pes = {32};
+  grid.core_freq_ghz = {1.25};
+  EXPECT_THROW(enumerate_grid(grid), std::invalid_argument);
+}
+
+TEST(Dse, ExploreReturnsOnePointPerCandidate) {
+  DseGrid grid;
+  grid.n_pes = {16, 32};
+  grid.core_freq_ghz = {1.0, 1.25};
+  grid.cache_lines = {2};
+  const auto configs = enumerate_grid(grid);
+  const auto points = explore(model(), subject_profile(), configs);
+  ASSERT_EQ(points.size(), 4u);
+  for (const auto& p : points) {
+    EXPECT_GT(p.pred.ipc, 0.0);
+    EXPECT_GT(p.pred.time_seconds, 0.0);
+    EXPECT_LE(p.ipc_interval.lo, p.ipc_interval.hi);
+  }
+}
+
+TEST(Dse, ParetoFrontIsNonDominatedAndTimeSorted) {
+  const auto configs = enumerate_grid(DseGrid{});
+  const auto points = explore(model(), subject_profile(), configs);
+  const auto front = pareto_front(points);
+  ASSERT_GE(front.size(), 1u);
+  for (std::size_t k = 1; k < front.size(); ++k) {
+    EXPECT_GE(points[front[k]].pred.time_seconds,
+              points[front[k - 1]].pred.time_seconds);
+    EXPECT_LT(points[front[k]].pred.energy_joules,
+              points[front[k - 1]].pred.energy_joules);
+  }
+  // No candidate strictly dominates a frontier member.
+  for (std::size_t f : front)
+    for (const auto& p : points) {
+      const bool dominates =
+          p.pred.time_seconds < points[f].pred.time_seconds &&
+          p.pred.energy_joules < points[f].pred.energy_joules;
+      EXPECT_FALSE(dominates);
+    }
+}
+
+TEST(Dse, BestEdpIsMinimal) {
+  const auto configs = enumerate_grid(DseGrid{});
+  const auto points = explore(model(), subject_profile(), configs);
+  const std::size_t best = best_edp_point(points);
+  for (const auto& p : points)
+    EXPECT_GE(p.pred.edp, points[best].pred.edp);
+}
+
+TEST(Dse, UntrainedModelThrows) {
+  NapelModel empty;
+  const auto configs = enumerate_grid(DseGrid{});
+  EXPECT_THROW(explore(empty, subject_profile(), configs),
+               std::invalid_argument);
+}
+
+TEST(Dse, EmptyPointsThrow) {
+  EXPECT_THROW(best_edp_point({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace napel::core

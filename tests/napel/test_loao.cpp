@@ -1,0 +1,94 @@
+#include "napel/loao.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workloads/registry.hpp"
+
+namespace napel::core {
+namespace {
+
+const std::vector<TrainingRow>& three_app_rows() {
+  static const std::vector<TrainingRow> rows = [] {
+    CollectOptions o;
+    o.scale = workloads::Scale::kTiny;
+    o.archs_per_config = 2;
+    o.arch_pool_size = 4;
+    std::vector<TrainingRow> r;
+    for (const char* app : {"atax", "gesummv", "mvt"})
+      collect_training_data(workloads::workload(app), o, r);
+    return r;
+  }();
+  return rows;
+}
+
+LoaoOptions fast_options() {
+  LoaoOptions o;
+  o.tune_rf = false;
+  return o;
+}
+
+TEST(Loao, ProducesOneResultPerApplication) {
+  const auto results =
+      leave_one_app_out(three_app_rows(), ModelKind::kNapelRf, fast_options());
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].app, "atax");
+  EXPECT_EQ(results[1].app, "gesummv");
+  EXPECT_EQ(results[2].app, "mvt");
+}
+
+TEST(Loao, TestRowCountsMatchPerAppRows) {
+  const auto& rows = three_app_rows();
+  const auto results =
+      leave_one_app_out(rows, ModelKind::kNapelRf, fast_options());
+  std::size_t total = 0;
+  for (const auto& r : results) total += r.test_rows;
+  EXPECT_EQ(total, rows.size());
+}
+
+TEST(Loao, ErrorsAreFiniteAndNonNegative) {
+  for (const ModelKind kind : {ModelKind::kNapelRf, ModelKind::kAnn,
+                               ModelKind::kLinearDecisionTree}) {
+    const auto results =
+        leave_one_app_out(three_app_rows(), kind, fast_options());
+    for (const auto& r : results) {
+      EXPECT_TRUE(std::isfinite(r.perf_mre)) << model_kind_name(kind);
+      EXPECT_TRUE(std::isfinite(r.energy_mre)) << model_kind_name(kind);
+      EXPECT_GE(r.perf_mre, 0.0);
+      EXPECT_GE(r.energy_mre, 0.0);
+    }
+  }
+}
+
+TEST(Loao, UnseenAppErrorExceedsInterpolationError) {
+  // The held-out protocol must be genuinely harder than in-sample
+  // prediction: LOAO MRE should not be ~0.
+  const auto results =
+      leave_one_app_out(three_app_rows(), ModelKind::kNapelRf, fast_options());
+  double total = 0.0;
+  for (const auto& r : results) total += r.perf_mre;
+  EXPECT_GT(total, 0.01);
+}
+
+TEST(Loao, RequiresAtLeastTwoApps) {
+  CollectOptions o;
+  o.scale = workloads::Scale::kTiny;
+  o.archs_per_config = 1;
+  std::vector<TrainingRow> rows;
+  collect_training_data(workloads::workload("atax"), o, rows);
+  EXPECT_THROW(leave_one_app_out(rows, ModelKind::kNapelRf, fast_options()),
+               std::invalid_argument);
+  EXPECT_THROW(leave_one_app_out({}, ModelKind::kNapelRf, fast_options()),
+               std::invalid_argument);
+}
+
+TEST(Loao, ModelKindNamesAreDistinct) {
+  EXPECT_NE(model_kind_name(ModelKind::kNapelRf),
+            model_kind_name(ModelKind::kAnn));
+  EXPECT_NE(model_kind_name(ModelKind::kAnn),
+            model_kind_name(ModelKind::kLinearDecisionTree));
+}
+
+}  // namespace
+}  // namespace napel::core

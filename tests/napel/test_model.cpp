@@ -1,0 +1,118 @@
+#include "napel/napel_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/registry.hpp"
+
+namespace napel::core {
+namespace {
+
+std::vector<TrainingRow> collect_two_apps() {
+  CollectOptions o;
+  o.scale = workloads::Scale::kTiny;
+  o.archs_per_config = 2;
+  o.arch_pool_size = 4;
+  std::vector<TrainingRow> rows;
+  collect_training_data(workloads::workload("atax"), o, rows);
+  collect_training_data(workloads::workload("gesummv"), o, rows);
+  return rows;
+}
+
+NapelModel::Options fast_options(bool tune) {
+  NapelModel::Options m;
+  m.tune = tune;
+  m.grid.n_trees = {20};
+  m.grid.max_depth = {8, 16};
+  m.grid.mtry_fraction = {1.0 / 3.0};
+  m.grid.min_samples_leaf = {1};
+  m.untuned_params.n_trees = 20;
+  return m;
+}
+
+TEST(AssembleDataset, MapsTargetsCorrectly) {
+  const auto rows = collect_two_apps();
+  const auto ipc = assemble_dataset(rows, Target::kIpc);
+  const auto energy = assemble_dataset(rows, Target::kEnergyPerInstr);
+  ASSERT_EQ(ipc.size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ipc.target(i), rows[i].ipc);
+    EXPECT_DOUBLE_EQ(energy.target(i), rows[i].energy_pj_per_instr);
+  }
+  EXPECT_EQ(ipc.feature_names(), model_feature_names());
+}
+
+TEST(NapelModel, TrainsAndPredictsPositiveQuantities) {
+  const auto rows = collect_two_apps();
+  NapelModel model;
+  model.train(rows, fast_options(false));
+  ASSERT_TRUE(model.is_trained());
+
+  const auto& w = workloads::workload("mvt");
+  const auto space = w.doe_space(workloads::Scale::kTiny);
+  const auto profile =
+      profile_workload(w, workloads::WorkloadParams::central(space), 2);
+  const auto pred = model.predict(profile, sim::ArchConfig::paper_default());
+  EXPECT_GT(pred.ipc, 0.0);
+  EXPECT_GT(pred.energy_pj_per_instr, 0.0);
+  EXPECT_GT(pred.time_seconds, 0.0);
+  EXPECT_GT(pred.energy_joules, 0.0);
+  EXPECT_NEAR(pred.edp, pred.energy_joules * pred.time_seconds, 1e-18);
+}
+
+TEST(NapelModel, TimeFollowsPaperFormula) {
+  const auto rows = collect_two_apps();
+  NapelModel model;
+  model.train(rows, fast_options(false));
+  const auto& w = workloads::workload("atax");
+  const auto space = w.doe_space(workloads::Scale::kTiny);
+  const auto profile =
+      profile_workload(w, workloads::WorkloadParams::central(space), 2);
+  const sim::ArchConfig arch = sim::ArchConfig::paper_default();
+  const auto pred = model.predict(profile, arch);
+  const double expected =
+      static_cast<double>(profile.total_instructions) /
+      (pred.ipc * arch.core_freq_ghz * 1e9);
+  EXPECT_NEAR(pred.time_seconds, expected, expected * 1e-9);
+}
+
+TEST(NapelModel, TuningSelectsFromGrid) {
+  const auto rows = collect_two_apps();
+  NapelModel model;
+  model.train(rows, fast_options(true));
+  const auto& tuning = model.ipc_tuning();
+  EXPECT_EQ(tuning.combinations_evaluated, 2u);
+  EXPECT_TRUE(tuning.best_params.max_depth == 8 ||
+              tuning.best_params.max_depth == 16);
+  EXPECT_GE(tuning.best_cv_mre, 0.0);
+}
+
+TEST(NapelModel, PredictBeforeTrainThrows) {
+  NapelModel model;
+  const auto& w = workloads::workload("atax");
+  const auto space = w.doe_space(workloads::Scale::kTiny);
+  const auto profile =
+      profile_workload(w, workloads::WorkloadParams::central(space), 1);
+  EXPECT_THROW(model.predict(profile, sim::ArchConfig::paper_default()),
+               std::invalid_argument);
+  EXPECT_THROW(model.ipc_forest(), std::invalid_argument);
+}
+
+TEST(NapelModel, TrainOnEmptyRowsThrows) {
+  NapelModel model;
+  EXPECT_THROW(model.train({}, fast_options(false)), std::invalid_argument);
+}
+
+TEST(NapelModel, InterpolatesTrainingPointsTightly) {
+  // Predicting a row the model has seen should be close to its label.
+  const auto rows = collect_two_apps();
+  NapelModel model;
+  model.train(rows, fast_options(false));
+  double mre = 0.0;
+  for (const auto& r : rows)
+    mre += std::abs(model.predict_ipc(r.features) - r.ipc) / r.ipc;
+  mre /= static_cast<double>(rows.size());
+  EXPECT_LT(mre, 0.3);
+}
+
+}  // namespace
+}  // namespace napel::core

@@ -1,0 +1,75 @@
+#include "napel/model_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "workloads/registry.hpp"
+
+namespace napel::core {
+namespace {
+
+NapelModel train_tiny_model() {
+  CollectOptions o;
+  o.scale = workloads::Scale::kTiny;
+  o.archs_per_config = 2;
+  o.arch_pool_size = 4;
+  std::vector<TrainingRow> rows;
+  for (const char* app : {"atax", "gesummv"})
+    collect_training_data(workloads::workload(app), o, rows);
+  NapelModel m;
+  NapelModel::Options mo;
+  mo.tune = false;
+  mo.untuned_params.n_trees = 15;
+  m.train(rows, mo);
+  return m;
+}
+
+TEST(ModelIo, RoundTripPredictsIdentically) {
+  const NapelModel original = train_tiny_model();
+  std::stringstream ss;
+  save_model(original, ss);
+  const NapelModel loaded = load_model(ss);
+  ASSERT_TRUE(loaded.is_trained());
+
+  const auto& w = workloads::workload("mvt");
+  const auto space = w.doe_space(workloads::Scale::kTiny);
+  const auto profile =
+      profile_workload(w, workloads::WorkloadParams::central(space), 3);
+  const auto arch = sim::ArchConfig::paper_default();
+  const auto a = original.predict(profile, arch);
+  const auto b = loaded.predict(profile, arch);
+  EXPECT_DOUBLE_EQ(a.ipc, b.ipc);
+  EXPECT_DOUBLE_EQ(a.power_watts, b.power_watts);
+  EXPECT_DOUBLE_EQ(a.energy_joules, b.energy_joules);
+  EXPECT_DOUBLE_EQ(a.edp, b.edp);
+}
+
+TEST(ModelIo, FileRoundTrip) {
+  const NapelModel original = train_tiny_model();
+  const std::string path = "/tmp/napel_model_io_test.txt";
+  save_model_file(original, path);
+  const NapelModel loaded = load_model_file(path);
+  EXPECT_TRUE(loaded.is_trained());
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, UntrainedModelCannotBeSaved) {
+  NapelModel m;
+  std::stringstream ss;
+  EXPECT_THROW(save_model(m, ss), std::invalid_argument);
+}
+
+TEST(ModelIo, RejectsWrongSchemaArity) {
+  std::stringstream ss("napel-model-v1 17\n");
+  EXPECT_THROW(load_model(ss), std::invalid_argument);
+}
+
+TEST(ModelIo, RejectsMissingFile) {
+  EXPECT_THROW(load_model_file("/nonexistent/napel.model"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace napel::core

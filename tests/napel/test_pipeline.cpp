@@ -1,0 +1,161 @@
+#include "napel/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "workloads/registry.hpp"
+
+namespace napel::core {
+namespace {
+
+CollectOptions tiny_options() {
+  CollectOptions o;
+  o.scale = workloads::Scale::kTiny;
+  o.archs_per_config = 2;
+  o.arch_pool_size = 4;
+  return o;
+}
+
+TEST(ModelFeatures, SchemaIsProfilePlusArchPlusInteractions) {
+  const auto& names = model_feature_names();
+  EXPECT_EQ(names.size(), profiler::kFeatureCount +
+                              sim::ArchConfig::feature_names().size() + 7);
+  EXPECT_EQ(names.back(), "analytic_mem_stall_frac");
+  std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
+}
+
+TEST(ModelFeatures, CacheAndDramFractionsAreComplementary) {
+  const auto& w = workloads::workload("atax");
+  const auto space = w.doe_space(workloads::Scale::kTiny);
+  const auto profile =
+      profile_workload(w, workloads::WorkloadParams::central(space), 1);
+  const auto f = model_features(profile, sim::ArchConfig::paper_default());
+  const auto& names = model_feature_names();
+  auto at = [&](std::string_view name) {
+    for (std::size_t i = 0; i < names.size(); ++i)
+      if (names[i] == name) return f[i];
+    ADD_FAILURE() << "missing feature " << name;
+    return 0.0;
+  };
+  const double cache_frac = at("arch_cache_access_fraction");
+  const double dram_frac = at("arch_dram_access_fraction");
+  EXPECT_NEAR(cache_frac + dram_frac, 1.0, 1e-9);
+  EXPECT_GE(dram_frac, 0.0);
+  EXPECT_LE(dram_frac, 1.0);
+  EXPECT_GT(at("analytic_chip_ipc"), 0.0);
+  EXPECT_GE(at("analytic_cpi_pe"), 1.0);
+}
+
+TEST(ModelFeatures, BiggerCacheRaisesCacheAccessFraction) {
+  const auto& w = workloads::workload("gesummv");
+  const auto space = w.doe_space(workloads::Scale::kTiny);
+  const auto profile =
+      profile_workload(w, workloads::WorkloadParams::central(space), 1);
+  sim::ArchConfig small = sim::ArchConfig::paper_default();
+  sim::ArchConfig big = small;
+  big.cache_lines = 1024;
+  const auto fs = model_features(profile, small);
+  const auto fb = model_features(profile, big);
+  const auto& names = model_feature_names();
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < names.size(); ++i)
+    if (names[i] == "arch_cache_access_fraction") idx = i;
+  EXPECT_LE(fs[idx], fb[idx]);
+}
+
+TEST(Pipeline, CollectProducesCcdTimesArchRows) {
+  std::vector<TrainingRow> rows;
+  const auto stats = collect_training_data(workloads::workload("atax"),
+                                           tiny_options(), rows);
+  EXPECT_EQ(stats.n_input_configs, 11u);  // k=2 CCD
+  EXPECT_EQ(stats.n_rows, 22u);
+  EXPECT_EQ(rows.size(), 22u);
+  for (const auto& r : rows) {
+    EXPECT_EQ(r.app, "atax");
+    EXPECT_EQ(r.features.size(), model_feature_names().size());
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_GT(r.energy_pj_per_instr, 0.0);
+    EXPECT_GT(r.instructions, 0u);
+    EXPECT_GT(r.sim_time_seconds, 0.0);
+  }
+}
+
+TEST(Pipeline, RandomDesignHonoursPointCount) {
+  std::vector<TrainingRow> rows;
+  CollectOptions o = tiny_options();
+  o.design = DesignKind::kRandom;
+  o.design_points = 7;
+  o.archs_per_config = 1;
+  collect_training_data(workloads::workload("mvt"), o, rows);
+  EXPECT_EQ(rows.size(), 7u);
+}
+
+TEST(Pipeline, LatinHypercubeDesignWorks) {
+  std::vector<TrainingRow> rows;
+  CollectOptions o = tiny_options();
+  o.design = DesignKind::kLatinHypercube;
+  o.design_points = 5;
+  o.archs_per_config = 1;
+  collect_training_data(workloads::workload("syrk"), o, rows);
+  EXPECT_EQ(rows.size(), 5u);
+}
+
+TEST(Pipeline, ArchPoolStartsWithPaperDefault) {
+  std::vector<TrainingRow> rows;
+  CollectOptions o = tiny_options();
+  collect_training_data(workloads::workload("atax"), o, rows);
+  EXPECT_EQ(rows.front().arch, sim::ArchConfig::paper_default());
+}
+
+TEST(Pipeline, CollectIsDeterministic) {
+  std::vector<TrainingRow> a, b;
+  collect_training_data(workloads::workload("trmm"), tiny_options(), a);
+  collect_training_data(workloads::workload("trmm"), tiny_options(), b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].ipc, b[i].ipc);
+    EXPECT_DOUBLE_EQ(a[i].energy_pj_per_instr, b[i].energy_pj_per_instr);
+    EXPECT_EQ(a[i].features, b[i].features);
+  }
+}
+
+TEST(Pipeline, ProfileAndSimulateAgreeOnInstructionCount) {
+  const auto& w = workloads::workload("gramschmidt");
+  const auto space = w.doe_space(workloads::Scale::kTiny);
+  const auto input = workloads::WorkloadParams::central(space);
+  const auto profile = profile_workload(w, input, 5);
+  const auto sim = simulate_workload(w, input,
+                                     sim::ArchConfig::paper_default(), 5);
+  EXPECT_EQ(profile.total_instructions, sim.instructions);
+}
+
+TEST(Pipeline, IpcLabelConsistentWithTimeFormula) {
+  std::vector<TrainingRow> rows;
+  collect_training_data(workloads::workload("mvt"), tiny_options(), rows);
+  for (const auto& r : rows) {
+    const double t = static_cast<double>(r.instructions) /
+                     (r.ipc * r.arch.core_freq_ghz * 1e9);
+    EXPECT_NEAR(t, r.sim_time_seconds, r.sim_time_seconds * 1e-6);
+  }
+}
+
+TEST(Pipeline, RejectsInvalidOptions) {
+  std::vector<TrainingRow> rows;
+  CollectOptions o = tiny_options();
+  o.archs_per_config = 0;
+  EXPECT_THROW(
+      collect_training_data(workloads::workload("atax"), o, rows),
+      std::invalid_argument);
+  o = tiny_options();
+  o.arch_pool_size = 1;
+  o.archs_per_config = 3;
+  EXPECT_THROW(
+      collect_training_data(workloads::workload("atax"), o, rows),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace napel::core

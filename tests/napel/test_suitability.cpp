@@ -1,0 +1,104 @@
+#include "napel/suitability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/registry.hpp"
+
+namespace napel::core {
+namespace {
+
+const NapelModel& trained_model() {
+  static const NapelModel model = [] {
+    CollectOptions o;
+    o.scale = workloads::Scale::kTiny;
+    o.archs_per_config = 2;
+    o.arch_pool_size = 4;
+    std::vector<TrainingRow> rows;
+    for (const char* app : {"atax", "gesummv", "kmeans"})
+      collect_training_data(workloads::workload(app), o, rows);
+    NapelModel m;
+    NapelModel::Options mo;
+    mo.tune = false;
+    mo.untuned_params.n_trees = 30;
+    m.train(rows, mo);
+    return m;
+  }();
+  return model;
+}
+
+SuitabilityOptions tiny_opts() {
+  SuitabilityOptions o;
+  o.scale = workloads::Scale::kTiny;
+  return o;
+}
+
+TEST(Suitability, PopulatesAllFields) {
+  const auto row = analyze_suitability(
+      workloads::workload("mvt"), trained_model(), hostmodel::HostModel(),
+      sim::ArchConfig::paper_default(), tiny_opts());
+  EXPECT_EQ(row.app, "mvt");
+  EXPECT_GT(row.host_time_s, 0.0);
+  EXPECT_GT(row.host_energy_j, 0.0);
+  EXPECT_GT(row.host_edp, 0.0);
+  EXPECT_GT(row.pred_edp, 0.0);
+  EXPECT_GT(row.sim_edp, 0.0);
+}
+
+TEST(Suitability, EdpIdentitiesHold) {
+  const auto row = analyze_suitability(
+      workloads::workload("trmm"), trained_model(), hostmodel::HostModel(),
+      sim::ArchConfig::paper_default(), tiny_opts());
+  EXPECT_NEAR(row.host_edp, row.host_time_s * row.host_energy_j, 1e-18);
+  EXPECT_NEAR(row.sim_edp, row.sim_time_s * row.sim_energy_j, 1e-18);
+  EXPECT_GT(row.edp_reduction_pred(), 0.0);
+  EXPECT_GT(row.edp_reduction_actual(), 0.0);
+}
+
+TEST(Suitability, SuitabilityFlagsFollowEdpReduction) {
+  const auto row = analyze_suitability(
+      workloads::workload("bfs"), trained_model(), hostmodel::HostModel(),
+      sim::ArchConfig::paper_default(), tiny_opts());
+  EXPECT_EQ(row.nmc_suitable_pred(), row.edp_reduction_pred() > 1.0);
+  EXPECT_EQ(row.nmc_suitable_actual(), row.edp_reduction_actual() > 1.0);
+  EXPECT_GE(row.edp_relative_error(), 0.0);
+}
+
+TEST(Suitability, UntrainedModelThrows) {
+  NapelModel empty;
+  EXPECT_THROW(
+      analyze_suitability(workloads::workload("mvt"), empty,
+                          hostmodel::HostModel(),
+                          sim::ArchConfig::paper_default(), tiny_opts()),
+      std::invalid_argument);
+}
+
+TEST(Suitability, OffloadCostPenalizesBothSides) {
+  SuitabilityOptions with = tiny_opts();
+  with.include_offload_cost = true;
+  const auto base = analyze_suitability(
+      workloads::workload("gesummv"), trained_model(), hostmodel::HostModel(),
+      sim::ArchConfig::paper_default(), tiny_opts());
+  const auto charged = analyze_suitability(
+      workloads::workload("gesummv"), trained_model(), hostmodel::HostModel(),
+      sim::ArchConfig::paper_default(), with);
+  EXPECT_GT(charged.sim_time_s, base.sim_time_s);
+  EXPECT_GT(charged.pred_time_s, base.pred_time_s);
+  EXPECT_GE(charged.sim_energy_j, base.sim_energy_j);
+  // Host side is untouched.
+  EXPECT_DOUBLE_EQ(charged.host_edp, base.host_edp);
+}
+
+TEST(Suitability, DeterministicForFixedSeed) {
+  const auto a = analyze_suitability(
+      workloads::workload("syrk"), trained_model(), hostmodel::HostModel(),
+      sim::ArchConfig::paper_default(), tiny_opts());
+  const auto b = analyze_suitability(
+      workloads::workload("syrk"), trained_model(), hostmodel::HostModel(),
+      sim::ArchConfig::paper_default(), tiny_opts());
+  EXPECT_DOUBLE_EQ(a.sim_edp, b.sim_edp);
+  EXPECT_DOUBLE_EQ(a.pred_edp, b.pred_edp);
+  EXPECT_DOUBLE_EQ(a.host_edp, b.host_edp);
+}
+
+}  // namespace
+}  // namespace napel::core

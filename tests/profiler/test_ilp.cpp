@@ -1,0 +1,115 @@
+#include "profiler/ilp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+#include "trace/isa.hpp"
+
+namespace napel::profiler {
+namespace {
+
+using trace::InstrEvent;
+using trace::OpType;
+using trace::Reg;
+
+InstrEvent arith(Reg dst, Reg s1 = 0, Reg s2 = 0) {
+  InstrEvent ev;
+  ev.op = OpType::kFpAdd;
+  ev.dst = dst;
+  ev.src1 = s1;
+  ev.src2 = s2;
+  return ev;
+}
+
+InstrEvent load(Reg dst, std::uint64_t addr) {
+  InstrEvent ev;
+  ev.op = OpType::kLoad;
+  ev.dst = dst;
+  ev.addr = addr;
+  return ev;
+}
+
+InstrEvent store(Reg src, std::uint64_t addr) {
+  InstrEvent ev;
+  ev.op = OpType::kStore;
+  ev.src1 = src;
+  ev.addr = addr;
+  return ev;
+}
+
+TEST(Ilp, EmptyTraceIsZero) {
+  IlpAnalyzer a;
+  EXPECT_DOUBLE_EQ(a.ilp_infinite(), 0.0);
+  EXPECT_DOUBLE_EQ(a.ilp_window(0), 0.0);
+}
+
+TEST(Ilp, IndependentOpsAreFullyParallel) {
+  IlpAnalyzer a;
+  for (Reg r = 1; r <= 1000; ++r) a.on_instr(arith(r));
+  // No dependences: infinite-window schedule length is 1 cycle.
+  EXPECT_DOUBLE_EQ(a.ilp_infinite(), 1000.0);
+}
+
+TEST(Ilp, SerialChainHasIlpOne) {
+  IlpAnalyzer a;
+  a.on_instr(arith(1));
+  for (Reg r = 2; r <= 500; ++r) a.on_instr(arith(r, r - 1));
+  EXPECT_NEAR(a.ilp_infinite(), 1.0, 0.01);
+  EXPECT_NEAR(a.ilp_window(0), 1.0, 0.01);
+}
+
+TEST(Ilp, FiniteWindowLimitsParallelism) {
+  IlpAnalyzer a;
+  // Independent instructions: window W forces issue at distance W, so the
+  // schedule length is ceil(N/W) and ILP_W ≈ W.
+  const std::size_t n = 4096;
+  for (Reg r = 1; r <= n; ++r) a.on_instr(arith(r));
+  for (std::size_t wi = 0; wi < IlpAnalyzer::kWindows.size(); ++wi) {
+    const double expected = static_cast<double>(IlpAnalyzer::kWindows[wi]);
+    EXPECT_NEAR(a.ilp_window(wi), expected, expected * 0.05) << wi;
+  }
+}
+
+TEST(Ilp, WindowIlpIsMonotoneInWindowSize) {
+  IlpAnalyzer a;
+  Rng rng(3);
+  Reg next = 1;
+  for (int i = 0; i < 5000; ++i) {
+    const Reg dep = next > 4 ? static_cast<Reg>(next - 1 - rng.uniform_index(3))
+                             : 0;
+    a.on_instr(arith(next++, dep));
+  }
+  double prev = 0.0;
+  for (std::size_t wi = 0; wi < IlpAnalyzer::kWindows.size(); ++wi) {
+    EXPECT_GE(a.ilp_window(wi) + 1e-9, prev);
+    prev = a.ilp_window(wi);
+  }
+  EXPECT_GE(a.ilp_infinite() + 1e-9, prev);
+}
+
+TEST(Ilp, StoreToLoadForwardingCreatesDependence) {
+  IlpAnalyzer serial, parallel;
+  // Serial: each load depends on the previous store to the same address.
+  Reg r = 1;
+  for (int i = 0; i < 200; ++i) {
+    serial.on_instr(store(r, 0x100));
+    serial.on_instr(load(++r, 0x100));
+  }
+  // Parallel: disjoint addresses.
+  r = 1;
+  for (int i = 0; i < 200; ++i) {
+    parallel.on_instr(store(r, 0x100 + 64u * static_cast<unsigned>(i)));
+    parallel.on_instr(load(++r, 0x200000 + 64u * static_cast<unsigned>(i)));
+  }
+  EXPECT_LT(serial.ilp_infinite(), parallel.ilp_infinite() / 10.0);
+}
+
+TEST(Ilp, InstructionsCounted) {
+  IlpAnalyzer a;
+  for (Reg r = 1; r <= 7; ++r) a.on_instr(arith(r));
+  EXPECT_EQ(a.instructions(), 7u);
+}
+
+}  // namespace
+}  // namespace napel::profiler

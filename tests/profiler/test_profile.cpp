@@ -1,0 +1,248 @@
+#include "profiler/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <set>
+
+#include "trace/traced.hpp"
+#include "trace/tracer.hpp"
+#include "workloads/registry.hpp"
+
+namespace napel::profiler {
+namespace {
+
+using trace::OpType;
+using trace::Tracer;
+
+Profile profile_of(const workloads::Workload& w, std::uint64_t seed = 1) {
+  Tracer t;
+  ProfileBuilder b;
+  t.attach(b);
+  const auto space = w.doe_space(workloads::Scale::kTiny);
+  w.run(t, workloads::WorkloadParams::central(space), seed);
+  return b.build();
+}
+
+TEST(ProfileSchema, HasExactlyThePaperFeatureCount) {
+  EXPECT_EQ(Profile::feature_names().size(), kFeatureCount);
+  EXPECT_EQ(kFeatureCount, 395u);
+}
+
+TEST(ProfileSchema, FeatureNamesAreUnique) {
+  std::set<std::string> names(Profile::feature_names().begin(),
+                              Profile::feature_names().end());
+  EXPECT_EQ(names.size(), kFeatureCount);
+}
+
+TEST(ProfileBuilder, BuildBeforeEndThrows) {
+  ProfileBuilder b;
+  Tracer t;
+  t.attach(b);
+  t.begin_kernel("k", 1);
+  t.emit_op(OpType::kIntAlu);
+  EXPECT_THROW(b.build(), std::invalid_argument);
+  t.end_kernel();
+  EXPECT_NO_THROW(b.build());
+}
+
+TEST(ProfileBuilder, CountsInstructionMix) {
+  Tracer t;
+  ProfileBuilder b;
+  t.attach(b);
+  t.begin_kernel("k", 1);
+  t.emit_op(OpType::kFpMul);
+  t.emit_op(OpType::kFpMul);
+  t.emit_load(0x40, 8);
+  t.emit_store(0x80, 8, trace::kNoReg);
+  t.end_kernel();
+  const Profile p = b.build();
+  EXPECT_EQ(p.total_instructions, 4u);
+  EXPECT_DOUBLE_EQ(p.feature("mix_fp_mul"), 0.5);
+  EXPECT_DOUBLE_EQ(p.feature("mix_load"), 0.25);
+  EXPECT_DOUBLE_EQ(p.feature("mem_fraction"), 0.5);
+  EXPECT_DOUBLE_EQ(p.feature("load_fraction_of_mem"), 0.5);
+}
+
+TEST(ProfileBuilder, MixFractionsSumToOne) {
+  const Profile p = profile_of(workloads::workload("atax"));
+  double s = 0.0;
+  for (std::size_t op = 0; op < trace::kNumOpTypes; ++op)
+    s += p.feature("mix_" +
+                   std::string(op_name(static_cast<trace::OpType>(op))));
+  EXPECT_NEAR(s, 1.0, 1e-9);
+}
+
+TEST(ProfileBuilder, AllFeaturesAreFinite) {
+  for (const auto* w : workloads::all_workloads()) {
+    const Profile p = profile_of(*w);
+    ASSERT_EQ(p.features.size(), kFeatureCount);
+    for (std::size_t i = 0; i < p.features.size(); ++i)
+      EXPECT_TRUE(std::isfinite(p.features[i]))
+          << w->name() << " feature " << Profile::feature_names()[i];
+  }
+}
+
+TEST(ProfileBuilder, UnknownFeatureNameThrows) {
+  const Profile p = profile_of(workloads::workload("atax"));
+  EXPECT_THROW(p.feature("not_a_feature"), std::invalid_argument);
+}
+
+TEST(ProfileBuilder, FootprintMatchesUniqueLines) {
+  Tracer t;
+  ProfileBuilder b;
+  t.attach(b);
+  t.begin_kernel("k", 1);
+  // Touch 3 distinct 64B lines, one of them twice.
+  t.emit_load(0, 8);
+  t.emit_load(64, 8);
+  t.emit_load(128, 8);
+  t.emit_load(64, 8);
+  t.end_kernel();
+  const Profile p = b.build();
+  EXPECT_EQ(p.unique_lines, 3u);
+  EXPECT_EQ(p.unique_read_lines, 3u);
+  EXPECT_EQ(p.unique_write_lines, 0u);
+  EXPECT_EQ(p.read_bytes, 32u);
+}
+
+TEST(ProfileBuilder, ReuseHistogramMassEqualsMemoryOps) {
+  const Profile p = profile_of(workloads::workload("gesummv"));
+  EXPECT_EQ(p.data_all_rd.samples(), p.memory_ops());
+  EXPECT_EQ(p.data_read_rd.samples() + p.data_write_rd.samples(),
+            p.memory_ops());
+  EXPECT_EQ(p.instr_rd.samples(), p.total_instructions);
+}
+
+TEST(ProfileBuilder, ThreadBalanceFeatures) {
+  Tracer t;
+  ProfileBuilder b;
+  t.attach(b);
+  t.begin_kernel("k", 2);
+  t.set_thread(0);
+  t.emit_op(OpType::kIntAlu);
+  t.emit_op(OpType::kIntAlu);
+  t.set_thread(1);
+  t.emit_op(OpType::kIntAlu);
+  t.end_kernel();
+  const Profile p = b.build();
+  EXPECT_DOUBLE_EQ(p.feature("n_threads"), 2.0);
+  ASSERT_EQ(p.per_thread_instr.size(), 2u);
+  EXPECT_EQ(p.per_thread_instr[0], 2u);
+  EXPECT_EQ(p.per_thread_instr[1], 1u);
+  EXPECT_GT(p.feature("thread_imbalance_cv"), 0.0);
+}
+
+TEST(ProfileBuilder, StreamingKernelHasHighSpatialLocality) {
+  Tracer t;
+  ProfileBuilder b;
+  t.attach(b);
+  t.begin_kernel("k", 1);
+  for (std::uint64_t i = 0; i < 1000; ++i) t.emit_load(i * 8, 8);
+  t.end_kernel();
+  const Profile p = b.build();
+  EXPECT_GT(p.feature("stride_frac_le_line"), 0.99);
+}
+
+TEST(ProfileBuilder, RandomAccessHasLowSpatialLocality) {
+  Tracer t;
+  ProfileBuilder b;
+  t.attach(b);
+  Rng rng(5);
+  t.begin_kernel("k", 1);
+  for (int i = 0; i < 1000; ++i)
+    t.emit_load(rng.uniform_index(1u << 26) * 64, 8);
+  t.end_kernel();
+  const Profile p = b.build();
+  EXPECT_LT(p.feature("stride_frac_le_line"), 0.1);
+}
+
+TEST(ProfileBuilder, MissFractionFeatureDistinguishesWorkingSetSizes) {
+  // Small working set: everything fits in 2^10 lines.
+  Tracer t1;
+  ProfileBuilder b1;
+  t1.attach(b1);
+  t1.begin_kernel("k", 1);
+  for (int rep = 0; rep < 10; ++rep)
+    for (std::uint64_t i = 0; i < 100; ++i) t1.emit_load(i * 64, 8);
+  t1.end_kernel();
+  const Profile small = b1.build();
+
+  // Large working set: 100k lines cycled — misses at every probed capacity
+  // below the set size.
+  Tracer t2;
+  ProfileBuilder b2;
+  t2.attach(b2);
+  t2.begin_kernel("k", 1);
+  for (int rep = 0; rep < 2; ++rep)
+    for (std::uint64_t i = 0; i < 100000; ++i) t2.emit_load(i * 64, 8);
+  t2.end_kernel();
+  const Profile large = b2.build();
+
+  EXPECT_LT(small.feature("miss_frac_read_cap2e10"), 0.2);
+  EXPECT_GT(large.feature("miss_frac_read_cap2e10"), 0.9);
+}
+
+TEST(ProfileBuilder, InstructionReuseSeparatesLoopsFromStraightLine) {
+  // Tight loop: same pseudo-PCs every iteration → short instruction reuse.
+  Tracer t1;
+  ProfileBuilder b1;
+  t1.attach(b1);
+  t1.begin_kernel("k", 1);
+  {
+    Tracer::LoopScope loop(t1);
+    for (int i = 0; i < 500; ++i) {
+      loop.iteration();
+      t1.emit_op(OpType::kFpAdd);
+      t1.emit_op(OpType::kFpMul);
+    }
+  }
+  t1.end_kernel();
+  const Profile looped = b1.build();
+  EXPECT_LT(looped.instr_rd.histogram().approximate_percentile(90), 16.0);
+  // Cold fraction should be tiny: only the first iteration's PCs are new.
+  EXPECT_LT(looped.feature("rd_instr_cold_frac"), 0.05);
+}
+
+TEST(ProfileBuilder, IlpFeaturesExposeParallelismDifferences) {
+  // atax (reduction chains) should have lower infinite-window ILP than a
+  // fully-parallel synthetic stream.
+  Tracer t;
+  ProfileBuilder b;
+  t.attach(b);
+  t.begin_kernel("k", 1);
+  for (int i = 0; i < 2000; ++i) t.emit_op(OpType::kFpAdd);
+  t.end_kernel();
+  const Profile parallel = b.build();
+  const Profile atax = profile_of(workloads::workload("atax"));
+  EXPECT_GT(parallel.feature("ilp_inf"), atax.feature("ilp_inf"));
+}
+
+TEST(ProfileBuilder, DeterministicAcrossRuns) {
+  const Profile a = profile_of(workloads::workload("kmeans"), 5);
+  const Profile b = profile_of(workloads::workload("kmeans"), 5);
+  EXPECT_EQ(a.features, b.features);
+}
+
+TEST(ProfileBuilder, RebuildableAfterNewKernel) {
+  Tracer t;
+  ProfileBuilder b;
+  t.attach(b);
+  t.begin_kernel("k1", 1);
+  t.emit_op(OpType::kIntAlu);
+  t.end_kernel();
+  const Profile p1 = b.build();
+  t.begin_kernel("k2", 1);
+  t.emit_op(OpType::kIntAlu);
+  t.emit_op(OpType::kIntAlu);
+  t.end_kernel();
+  const Profile p2 = b.build();
+  EXPECT_EQ(p1.total_instructions, 1u);
+  EXPECT_EQ(p2.total_instructions, 2u);
+  EXPECT_EQ(p2.kernel, "k2");
+}
+
+}  // namespace
+}  // namespace napel::profiler

@@ -1,0 +1,196 @@
+#include "profiler/reuse_distance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace napel::profiler {
+namespace {
+
+constexpr auto kCold = StackDistanceTracker::kColdMiss;
+
+TEST(StackDistance, FirstAccessIsColdMiss) {
+  StackDistanceTracker t;
+  EXPECT_EQ(t.access(100), kCold);
+  EXPECT_EQ(t.unique_blocks(), 1u);
+}
+
+TEST(StackDistance, ImmediateReuseIsZero) {
+  StackDistanceTracker t;
+  t.access(1);
+  EXPECT_EQ(t.access(1), 0u);
+  EXPECT_EQ(t.access(1), 0u);
+}
+
+TEST(StackDistance, OneInterveningBlockGivesDistanceOne) {
+  StackDistanceTracker t;
+  t.access(1);
+  t.access(2);
+  EXPECT_EQ(t.access(1), 1u);
+}
+
+TEST(StackDistance, RepeatedInterveningBlockCountsOnce) {
+  StackDistanceTracker t;
+  t.access(1);
+  t.access(2);
+  t.access(2);
+  t.access(2);
+  EXPECT_EQ(t.access(1), 1u);  // distinct blocks, not accesses
+}
+
+TEST(StackDistance, CyclicPatternHasConstantDistance) {
+  StackDistanceTracker t;
+  for (int rep = 0; rep < 3; ++rep)
+    for (std::uint64_t b = 0; b < 5; ++b) {
+      const auto d = t.access(b);
+      if (rep > 0) EXPECT_EQ(d, 4u);
+    }
+}
+
+TEST(StackDistance, AccessCountTracksCalls) {
+  StackDistanceTracker t;
+  for (int i = 0; i < 10; ++i) t.access(static_cast<std::uint64_t>(i % 3));
+  EXPECT_EQ(t.access_count(), 10u);
+  EXPECT_EQ(t.unique_blocks(), 3u);
+}
+
+TEST(StackDistance, SurvivesFenwickGrowth) {
+  StackDistanceTracker t;
+  // More accesses than the initial Fenwick capacity (1024) forces growth.
+  t.access(0);
+  for (std::uint64_t i = 1; i <= 3000; ++i) t.access(i);
+  EXPECT_EQ(t.access(0), 3000u);
+}
+
+/// Brute-force reference: distinct blocks since previous access.
+class ReferenceTracker {
+ public:
+  std::uint64_t access(std::uint64_t block) {
+    std::uint64_t d = kCold;
+    const auto it = last_.find(block);
+    if (it != last_.end()) {
+      std::uint64_t distinct = 0;
+      for (const auto& [b, ts] : last_)
+        if (b != block && ts > it->second) ++distinct;
+      d = distinct;
+    }
+    last_[block] = ++time_;
+    return d;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> last_;
+  std::uint64_t time_ = 0;
+};
+
+class StackDistancePropertyTest
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, std::size_t>> {
+};
+
+TEST_P(StackDistancePropertyTest, MatchesBruteForceReference) {
+  const auto [seed, universe] = GetParam();
+  Rng rng(seed);
+  StackDistanceTracker fast;
+  ReferenceTracker ref;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t block = rng.uniform_index(universe);
+    EXPECT_EQ(fast.access(block), ref.access(block)) << "at access " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomStreams, StackDistancePropertyTest,
+    ::testing::Values(std::pair{1ULL, std::size_t{4}},
+                      std::pair{2ULL, std::size_t{16}},
+                      std::pair{3ULL, std::size_t{64}},
+                      std::pair{4ULL, std::size_t{512}},
+                      std::pair{5ULL, std::size_t{2048}}));
+
+TEST(LruStackDistance, BasicSemanticsMatchTracker) {
+  LruStackDistance lru;
+  EXPECT_EQ(lru.access(1), kCold);
+  EXPECT_EQ(lru.access(1), 0u);
+  lru.access(2);
+  EXPECT_EQ(lru.access(1), 1u);
+  EXPECT_EQ(lru.unique_keys(), 2u);
+  EXPECT_EQ(lru.access_count(), 4u);
+}
+
+class LruStackDistancePropertyTest
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, std::size_t>> {
+};
+
+TEST_P(LruStackDistancePropertyTest, MatchesFenwickTrackerExactly) {
+  const auto [seed, universe] = GetParam();
+  Rng rng(seed);
+  LruStackDistance lru;
+  StackDistanceTracker fenwick;
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t key = rng.uniform_index(universe);
+    EXPECT_EQ(lru.access(key), fenwick.access(key)) << "at access " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomStreams, LruStackDistancePropertyTest,
+    ::testing::Values(std::pair{11ULL, std::size_t{3}},
+                      std::pair{12ULL, std::size_t{20}},
+                      std::pair{13ULL, std::size_t{150}},
+                      std::pair{14ULL, std::size_t{1000}}));
+
+TEST(LruStackDistance, LoopPatternHasConstantSmallDistance) {
+  LruStackDistance lru;
+  for (int rep = 0; rep < 100; ++rep)
+    for (std::uint64_t pc = 0; pc < 8; ++pc) {
+      const auto d = lru.access(pc);
+      if (rep > 0) EXPECT_EQ(d, 7u);
+    }
+  EXPECT_EQ(lru.unique_keys(), 8u);
+}
+
+TEST(ReuseDistanceHistogram, SeparatesColdMisses) {
+  ReuseDistanceHistogram h;
+  h.record(kCold);
+  h.record(0);
+  h.record(5);
+  EXPECT_EQ(h.cold_misses(), 1u);
+  EXPECT_EQ(h.histogram().total(), 2u);
+  EXPECT_EQ(h.samples(), 3u);
+}
+
+TEST(ReuseDistanceHistogram, MissFractionColdAlwaysMisses) {
+  ReuseDistanceHistogram h;
+  h.record(kCold);
+  h.record(kCold);
+  EXPECT_DOUBLE_EQ(h.miss_fraction(1 << 20), 1.0);
+}
+
+TEST(ReuseDistanceHistogram, MissFractionIsMonotoneInCapacity) {
+  ReuseDistanceHistogram h;
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) h.record(rng.uniform_index(5000));
+  double prev = 1.0;
+  for (std::uint64_t cap = 1; cap <= (1 << 16); cap *= 4) {
+    const double m = h.miss_fraction(cap);
+    EXPECT_LE(m, prev + 1e-12);
+    EXPECT_GE(m, 0.0);
+    prev = m;
+  }
+}
+
+TEST(ReuseDistanceHistogram, ZeroDistanceHitsInAnyCache) {
+  ReuseDistanceHistogram h;
+  for (int i = 0; i < 10; ++i) h.record(0);
+  EXPECT_NEAR(h.miss_fraction(1), 0.0, 1e-12);
+}
+
+TEST(ReuseDistanceHistogram, EmptyHistogramMissesNothing) {
+  ReuseDistanceHistogram h;
+  EXPECT_DOUBLE_EQ(h.miss_fraction(64), 0.0);
+}
+
+}  // namespace
+}  // namespace napel::profiler

@@ -1,0 +1,119 @@
+#include "sim/l1_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace napel::sim {
+namespace {
+
+TEST(L1Cache, FirstAccessMissesThenHits) {
+  L1Cache c(2, 2, 64);
+  EXPECT_FALSE(c.access(0x1000, false).hit);
+  EXPECT_TRUE(c.access(0x1000, false).hit);
+  EXPECT_TRUE(c.access(0x103F, false).hit);  // same 64B line
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(L1Cache, DistinctLinesMissSeparately) {
+  L1Cache c(2, 2, 64);
+  EXPECT_FALSE(c.access(0x0, false).hit);
+  EXPECT_FALSE(c.access(0x40, false).hit);
+  EXPECT_TRUE(c.access(0x0, false).hit);
+  EXPECT_TRUE(c.access(0x40, false).hit);
+}
+
+TEST(L1Cache, LruEvictsLeastRecentlyUsed) {
+  L1Cache c(2, 2, 64);  // one set, two ways
+  c.access(0x0, false);
+  c.access(0x40, false);
+  c.access(0x0, false);    // 0x0 now MRU
+  c.access(0x80, false);   // evicts 0x40
+  EXPECT_TRUE(c.contains(0x0));
+  EXPECT_FALSE(c.contains(0x40));
+  EXPECT_TRUE(c.contains(0x80));
+}
+
+TEST(L1Cache, DirtyEvictionReportsWriteback) {
+  L1Cache c(2, 2, 64);
+  c.access(0x0, true);     // dirty
+  c.access(0x40, false);
+  const auto res = c.access(0x80, false);  // evicts dirty 0x0
+  EXPECT_TRUE(res.writeback);
+  EXPECT_EQ(res.writeback_addr, 0x0u);
+  EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(L1Cache, CleanEvictionHasNoWriteback) {
+  L1Cache c(2, 2, 64);
+  c.access(0x0, false);
+  c.access(0x40, false);
+  EXPECT_FALSE(c.access(0x80, false).writeback);
+}
+
+TEST(L1Cache, WriteHitMarksLineDirty) {
+  L1Cache c(2, 2, 64);
+  c.access(0x0, false);    // clean fill
+  c.access(0x0, true);     // dirty on hit
+  c.access(0x40, false);
+  const auto res = c.access(0x80, false);
+  EXPECT_TRUE(res.writeback);
+  EXPECT_EQ(res.writeback_addr, 0x0u);
+}
+
+TEST(L1Cache, SetIndexingSeparatesConflicts) {
+  // 4 lines, direct-mapped (1 way) => 4 sets; lines 0 and 4 conflict.
+  L1Cache c(4, 1, 64);
+  c.access(0 * 64, false);
+  c.access(1 * 64, false);
+  c.access(4 * 64, false);  // maps to set 0, evicts line 0
+  EXPECT_FALSE(c.contains(0));
+  EXPECT_TRUE(c.contains(64));
+  EXPECT_TRUE(c.contains(4 * 64));
+}
+
+TEST(L1Cache, LargerCacheReducesMissesOnCyclicPattern) {
+  L1Cache small(2, 2, 64), big(32, 2, 64);
+  for (int rep = 0; rep < 10; ++rep)
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      small.access(i * 64, false);
+      big.access(i * 64, false);
+    }
+  EXPECT_GT(small.misses(), big.misses());
+  EXPECT_EQ(big.misses(), 8u);  // only cold misses
+}
+
+TEST(L1Cache, LineSizeAffectsSpatialHits) {
+  L1Cache narrow(4, 2, 32), wide(4, 2, 128);
+  // Stream of 8B accesses: wide lines hit 15/16, narrow 3/4.
+  for (std::uint64_t a = 0; a < 1024; a += 8) {
+    narrow.access(a, false);
+    wide.access(a, false);
+  }
+  EXPECT_GT(narrow.misses(), wide.misses());
+}
+
+TEST(L1Cache, ResetClearsStateAndCounters) {
+  L1Cache c(2, 2, 64);
+  c.access(0x0, true);
+  c.reset();
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 0u);
+  EXPECT_FALSE(c.contains(0x0));
+}
+
+TEST(L1Cache, RejectsInvalidGeometry) {
+  EXPECT_THROW(L1Cache(3, 2, 64), std::invalid_argument);   // lines % ways
+  EXPECT_THROW(L1Cache(2, 2, 48), std::invalid_argument);   // line size pow2
+  EXPECT_THROW(L1Cache(12, 2, 64), std::invalid_argument);  // sets pow2
+}
+
+TEST(L1Cache, PaperDefaultGeometryIsTwoLinesTwoWays) {
+  // Table 3: cache size = 2 cache lines, 2-way, 64B per line => 1 set.
+  L1Cache c(2, 2, 64);
+  EXPECT_EQ(c.sets(), 1u);
+  EXPECT_EQ(c.ways(), 2u);
+  EXPECT_EQ(c.line_bytes(), 64u);
+}
+
+}  // namespace
+}  // namespace napel::sim

@@ -1,0 +1,112 @@
+// Cross-cutting simulator invariants checked over real workload traces:
+// conservation laws and physical bounds that must hold for ANY kernel on
+// ANY configuration.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "trace/tracer.hpp"
+#include "workloads/registry.hpp"
+
+namespace napel::sim {
+namespace {
+
+struct Case {
+  const char* app;
+  unsigned n_pes;
+  unsigned cache_lines;
+  RowPolicy policy;
+};
+
+class SimInvariantTest : public ::testing::TestWithParam<Case> {};
+
+SimResult run_case(const Case& c) {
+  ArchConfig cfg = ArchConfig::paper_default();
+  cfg.n_pes = c.n_pes;
+  cfg.cache_lines = c.cache_lines;
+  cfg.row_policy = c.policy;
+  const auto& w = workloads::workload(c.app);
+  const auto space = w.doe_space(workloads::Scale::kTiny);
+  trace::Tracer t;
+  NmcSimulator s(cfg);
+  t.attach(s);
+  w.run(t, workloads::WorkloadParams::central(space), 77);
+  return s.result();
+}
+
+TEST_P(SimInvariantTest, ChipIpcBoundedByActivePes) {
+  const auto r = run_case(GetParam());
+  EXPECT_GT(r.ipc, 0.0);
+  EXPECT_LE(r.ipc, static_cast<double>(GetParam().n_pes));
+}
+
+TEST_P(SimInvariantTest, CacheAccessesEqualMemoryOps) {
+  const auto r = run_case(GetParam());
+  // Every load/store performs exactly one L1 access; misses fetch from
+  // DRAM as reads, dirty evictions write back.
+  EXPECT_EQ(r.dram_reads, r.l1_misses);
+  EXPECT_EQ(r.dram_writes, r.l1_writebacks);
+  EXPECT_LE(r.l1_writebacks, r.l1_misses);
+}
+
+TEST_P(SimInvariantTest, ActivationsCoverAccessesUnderClosedRow) {
+  const auto r = run_case(GetParam());
+  if (GetParam().policy == RowPolicy::kClosed) {
+    EXPECT_EQ(r.dram_activations, r.dram_reads + r.dram_writes);
+    EXPECT_EQ(r.dram_row_hits, 0u);
+  } else {
+    EXPECT_EQ(r.dram_activations + r.dram_row_hits,
+              r.dram_reads + r.dram_writes);
+  }
+}
+
+TEST_P(SimInvariantTest, EnergyComponentsAreNonNegativeAndSum) {
+  const auto r = run_case(GetParam());
+  EXPECT_GE(r.core_energy_j, 0.0);
+  EXPECT_GE(r.cache_energy_j, 0.0);
+  EXPECT_GE(r.dram_energy_j, 0.0);
+  EXPECT_GT(r.static_energy_j, 0.0);
+  EXPECT_NEAR(r.energy_joules,
+              r.core_energy_j + r.cache_energy_j + r.dram_energy_j +
+                  r.static_energy_j,
+              r.energy_joules * 1e-12);
+}
+
+TEST_P(SimInvariantTest, TimeConsistentWithCyclesAndFrequency) {
+  const auto r = run_case(GetParam());
+  ArchConfig cfg = ArchConfig::paper_default();
+  cfg.n_pes = GetParam().n_pes;
+  EXPECT_NEAR(r.time_seconds,
+              static_cast<double>(r.cycles) / (cfg.core_freq_ghz * 1e9),
+              r.time_seconds * 1e-12);
+}
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  return std::string(info.param.app) + "_pes" +
+         std::to_string(info.param.n_pes) + "_l" +
+         std::to_string(info.param.cache_lines) +
+         (info.param.policy == RowPolicy::kOpen ? "_open" : "_closed");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mix, SimInvariantTest,
+    ::testing::Values(Case{"atax", 32, 2, RowPolicy::kClosed},
+                      Case{"bfs", 8, 2, RowPolicy::kClosed},
+                      Case{"kmeans", 32, 16, RowPolicy::kClosed},
+                      Case{"gesummv", 1, 2, RowPolicy::kClosed},
+                      Case{"trmm", 64, 4, RowPolicy::kOpen},
+                      Case{"mvt", 32, 2, RowPolicy::kOpen},
+                      Case{"spmv", 16, 8, RowPolicy::kOpen}),
+    case_name);
+
+TEST(SimInvariants, OpenRowNeverReportsMoreActivationsThanClosed) {
+  for (const char* app : {"gesummv", "jacobi2d"}) {
+    const auto closed =
+        run_case(Case{app, 16, 2, RowPolicy::kClosed});
+    const auto open = run_case(Case{app, 16, 2, RowPolicy::kOpen});
+    EXPECT_LE(open.dram_activations, closed.dram_activations) << app;
+    EXPECT_EQ(open.instructions, closed.instructions) << app;
+  }
+}
+
+}  // namespace
+}  // namespace napel::sim

@@ -1,0 +1,314 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/tracer.hpp"
+#include "workloads/registry.hpp"
+
+namespace napel::sim {
+namespace {
+
+using trace::OpType;
+using trace::Tracer;
+
+/// Drives a synthetic single-PE trace through the simulator.
+template <typename EmitFn>
+SimResult run_synthetic(const ArchConfig& cfg, unsigned n_threads,
+                        EmitFn&& emit) {
+  Tracer t;
+  NmcSimulator s(cfg);
+  t.attach(s);
+  t.begin_kernel("synthetic", n_threads);
+  emit(t);
+  t.end_kernel();
+  return s.result();
+}
+
+ArchConfig one_pe() {
+  ArchConfig cfg;
+  cfg.n_pes = 1;
+  cfg.n_vaults = 16;
+  return cfg;
+}
+
+TEST(Simulator, PureArithmeticRunsAtOneIpc) {
+  const auto r = run_synthetic(one_pe(), 1, [](Tracer& t) {
+    for (int i = 0; i < 1000; ++i) t.emit_op(OpType::kFpAdd);
+  });
+  EXPECT_EQ(r.instructions, 1000u);
+  EXPECT_EQ(r.cycles, 1000u);
+  EXPECT_DOUBLE_EQ(r.ipc, 1.0);
+  EXPECT_EQ(r.l1_misses, 0u);
+}
+
+TEST(Simulator, DividesOccupyTheCoreLonger) {
+  const auto adds = run_synthetic(one_pe(), 1, [](Tracer& t) {
+    for (int i = 0; i < 100; ++i) t.emit_op(OpType::kFpAdd);
+  });
+  const auto divs = run_synthetic(one_pe(), 1, [](Tracer& t) {
+    for (int i = 0; i < 100; ++i) t.emit_op(OpType::kFpDiv);
+  });
+  EXPECT_GT(divs.cycles, adds.cycles * 10);
+}
+
+TEST(Simulator, CacheHitsAreFast) {
+  // Repeated access to one line: 1 miss then hits (1 cycle each).
+  const auto r = run_synthetic(one_pe(), 1, [](Tracer& t) {
+    for (int i = 0; i < 1000; ++i) t.emit_load(0x40, 8);
+  });
+  EXPECT_EQ(r.l1_misses, 1u);
+  EXPECT_EQ(r.l1_hits, 999u);
+  EXPECT_LT(r.cycles, 1100u);
+}
+
+TEST(Simulator, MissesPayDramLatency) {
+  const auto r = run_synthetic(one_pe(), 1, [](Tracer& t) {
+    for (std::uint64_t i = 0; i < 100; ++i) t.emit_load(i * 4096, 8);
+  });
+  EXPECT_EQ(r.l1_misses, 100u);
+  // Each miss costs >= tRCD + tCL + burst cycles.
+  EXPECT_GT(r.cycles, 100u * 22u);
+  EXPECT_GT(r.avg_mem_latency_cycles, 20.0);
+}
+
+TEST(Simulator, StoreMissFetchesLineAndWritesBackDirtyVictims) {
+  // Write-allocate: store misses fetch lines; cycling a working set larger
+  // than the cache forces dirty writebacks.
+  const auto r = run_synthetic(one_pe(), 1, [](Tracer& t) {
+    for (int rep = 0; rep < 4; ++rep)
+      for (std::uint64_t i = 0; i < 16; ++i)
+        t.emit_store(i * 64, 8, trace::kNoReg);
+  });
+  EXPECT_GT(r.l1_writebacks, 0u);
+  EXPECT_EQ(r.dram_writes, r.l1_writebacks);
+  EXPECT_EQ(r.dram_reads, r.l1_misses);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  auto run = [] {
+    Tracer t;
+    NmcSimulator s(ArchConfig::paper_default());
+    t.attach(s);
+    const auto& w = workloads::workload("gesummv");
+    const auto space = w.doe_space(workloads::Scale::kTiny);
+    w.run(t, workloads::WorkloadParams::central(space), 3);
+    return s.result();
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.l1_misses, b.l1_misses);
+  EXPECT_DOUBLE_EQ(a.energy_joules, b.energy_joules);
+}
+
+TEST(Simulator, ThreadsSpreadAcrossPesSpeedExecution) {
+  auto workload_run = [](unsigned threads, unsigned pes) {
+    ArchConfig cfg;
+    cfg.n_pes = pes;
+    Tracer t;
+    NmcSimulator s(cfg);
+    t.attach(s);
+    t.begin_kernel("k", threads);
+    for (unsigned th = 0; th < threads; ++th) {
+      t.set_thread(th);
+      for (std::uint64_t i = 0; i < 200; ++i)
+        t.emit_load((th * 1000000ULL) + i * 4096, 8);
+    }
+    t.end_kernel();
+    return s.result();
+  };
+  const auto serial = workload_run(4, 1);
+  const auto parallel = workload_run(4, 4);
+  EXPECT_EQ(serial.instructions, parallel.instructions);
+  EXPECT_GT(serial.cycles, 2 * parallel.cycles);
+  EXPECT_GT(parallel.ipc, serial.ipc);
+}
+
+class CacheSizeMonotonicityTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CacheSizeMonotonicityTest, MoreCacheLinesNeverHurtCyclesOnLoop) {
+  ArchConfig cfg = ArchConfig::paper_default();
+  cfg.n_pes = 1;
+  cfg.cache_lines = GetParam();
+  const auto r = run_synthetic(cfg, 1, [](Tracer& t) {
+    for (int rep = 0; rep < 20; ++rep)
+      for (std::uint64_t i = 0; i < 8; ++i) t.emit_load(i * 64, 8);
+  });
+  // Working set is 8 lines: with >= 8 lines only cold misses remain.
+  if (cfg.cache_lines >= 8) {
+    EXPECT_EQ(r.l1_misses, 8u);
+  } else {
+    EXPECT_GT(r.l1_misses, 8u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CacheSizeMonotonicityTest,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+TEST(Simulator, HigherFrequencyShortensTime) {
+  ArchConfig slow = ArchConfig::paper_default();
+  ArchConfig fast = slow;
+  fast.core_freq_ghz = 2.5;
+  auto emit = [](Tracer& t) {
+    for (int i = 0; i < 500; ++i) t.emit_op(OpType::kIntAlu);
+  };
+  const auto rs = run_synthetic(slow, 1, emit);
+  const auto rf = run_synthetic(fast, 1, emit);
+  EXPECT_EQ(rs.cycles, rf.cycles);
+  EXPECT_GT(rs.time_seconds, rf.time_seconds);
+}
+
+TEST(Simulator, EnergyComponentsSumToTotal) {
+  const auto r = run_synthetic(one_pe(), 1, [](Tracer& t) {
+    for (std::uint64_t i = 0; i < 200; ++i) {
+      t.emit_op(OpType::kFpMul);
+      t.emit_load(i * 128, 8);
+    }
+  });
+  EXPECT_GT(r.energy_joules, 0.0);
+  EXPECT_NEAR(r.energy_joules,
+              r.core_energy_j + r.cache_energy_j + r.dram_energy_j +
+                  r.static_energy_j,
+              1e-15);
+  EXPECT_GT(r.dram_energy_j, 0.0);
+  EXPECT_GT(r.static_energy_j, 0.0);
+}
+
+TEST(Simulator, EdpIsEnergyTimesDelay) {
+  const auto r = run_synthetic(one_pe(), 1, [](Tracer& t) {
+    for (int i = 0; i < 100; ++i) t.emit_op(OpType::kIntAlu);
+  });
+  EXPECT_DOUBLE_EQ(r.edp, r.energy_joules * r.time_seconds);
+}
+
+TEST(Simulator, ResultBeforeEndThrows) {
+  Tracer t;
+  NmcSimulator s(ArchConfig::paper_default());
+  t.attach(s);
+  t.begin_kernel("k", 1);
+  t.emit_op(OpType::kIntAlu);
+  EXPECT_THROW(s.result(), std::invalid_argument);
+  t.end_kernel();
+  EXPECT_NO_THROW(s.result());
+}
+
+TEST(Simulator, EmptyKernelYieldsZeroIpc) {
+  Tracer t;
+  NmcSimulator s(ArchConfig::paper_default());
+  t.attach(s);
+  t.begin_kernel("k", 1);
+  t.end_kernel();
+  const auto& r = s.result();
+  EXPECT_EQ(r.instructions, 0u);
+  EXPECT_DOUBLE_EQ(r.ipc, 0.0);
+}
+
+TEST(Simulator, HitRateReflectsLocality) {
+  const auto streaming = run_synthetic(one_pe(), 1, [](Tracer& t) {
+    for (std::uint64_t i = 0; i < 4000; ++i) t.emit_load(i * 8, 8);
+  });
+  // 8 accesses per 64B line -> 7/8 hit rate.
+  EXPECT_NEAR(streaming.l1_hit_rate(), 0.875, 0.01);
+}
+
+TEST(Simulator, MemoryBoundKernelHasLowIpc) {
+  const auto compute = run_synthetic(one_pe(), 1, [](Tracer& t) {
+    for (int i = 0; i < 2000; ++i) t.emit_op(OpType::kIntAlu);
+  });
+  const auto memory = run_synthetic(one_pe(), 1, [](Tracer& t) {
+    for (std::uint64_t i = 0; i < 2000; ++i) t.emit_load(i * 4096, 8);
+  });
+  EXPECT_GT(compute.ipc, 5.0 * memory.ipc);
+}
+
+class DramLatencyMonotonicityTest : public ::testing::TestWithParam<unsigned> {
+};
+
+TEST_P(DramLatencyMonotonicityTest, HigherTrcdNeverSpeedsUpMissyTrace) {
+  auto run_with_trcd = [](unsigned trcd) {
+    ArchConfig cfg = one_pe();
+    cfg.timing.t_rcd = trcd;
+    return run_synthetic(cfg, 1, [](Tracer& t) {
+      for (std::uint64_t i = 0; i < 300; ++i) t.emit_load(i * 4096, 8);
+    });
+  };
+  const auto base = run_with_trcd(10);
+  const auto slower = run_with_trcd(GetParam());
+  EXPECT_GE(slower.cycles, base.cycles);
+  EXPECT_LE(slower.ipc, base.ipc + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Trcd, DramLatencyMonotonicityTest,
+                         ::testing::Values(10, 15, 20, 40, 80));
+
+TEST(Simulator, MoreVaultsReduceContention) {
+  auto run_with_vaults = [](unsigned vaults) {
+    ArchConfig cfg = ArchConfig::paper_default();
+    cfg.n_vaults = vaults;
+    cfg.n_pes = 16;
+    Tracer t;
+    NmcSimulator s(cfg);
+    t.attach(s);
+    t.begin_kernel("k", 16);
+    for (unsigned th = 0; th < 16; ++th) {
+      t.set_thread(th);
+      for (std::uint64_t i = 0; i < 200; ++i)
+        t.emit_load((th * 100000ULL + i * 17) * 64, 8);
+    }
+    t.end_kernel();
+    return s.result();
+  };
+  EXPECT_GE(run_with_vaults(2).cycles, run_with_vaults(32).cycles);
+}
+
+TEST(Simulator, WiderLineRaisesHitRateOnStreaming) {
+  auto run_with_line = [](unsigned line) {
+    ArchConfig cfg = one_pe();
+    cfg.cache_line_bytes = line;
+    return run_synthetic(cfg, 1, [](Tracer& t) {
+      for (std::uint64_t i = 0; i < 4000; ++i) t.emit_load(i * 8, 8);
+    });
+  };
+  const auto narrow = run_with_line(32);
+  const auto wide = run_with_line(128);
+  EXPECT_GT(wide.l1_hit_rate(), narrow.l1_hit_rate());
+}
+
+TEST(Simulator, EnergyGrowsWithDramTraffic) {
+  const auto hits = run_synthetic(one_pe(), 1, [](Tracer& t) {
+    for (int i = 0; i < 1000; ++i) t.emit_load(0x40, 8);
+  });
+  const auto misses = run_synthetic(one_pe(), 1, [](Tracer& t) {
+    for (std::uint64_t i = 0; i < 1000; ++i) t.emit_load(i * 4096, 8);
+  });
+  EXPECT_GT(misses.dram_energy_j, 10.0 * hits.dram_energy_j);
+}
+
+TEST(Simulator, VaultContentionSlowsConcentratedTraffic) {
+  // All PEs hammering one vault vs spread across vaults.
+  auto run_pattern = [](bool spread) {
+    ArchConfig cfg = ArchConfig::paper_default();
+    cfg.n_pes = 8;
+    Tracer t;
+    NmcSimulator s(cfg);
+    t.attach(s);
+    t.begin_kernel("k", 8);
+    for (unsigned th = 0; th < 8; ++th) {
+      t.set_thread(th);
+      for (std::uint64_t i = 0; i < 100; ++i) {
+        // Vault = line % 32. spread: all vaults; concentrated: vault 0.
+        const std::uint64_t line =
+            spread ? (i * 8 + th) : (i + th * 1000) * 32;
+        t.emit_load(line * 64, 8);
+      }
+    }
+    t.end_kernel();
+    return s.result();
+  };
+  const auto concentrated = run_pattern(false);
+  const auto spread = run_pattern(true);
+  EXPECT_GT(concentrated.cycles, spread.cycles);
+}
+
+}  // namespace
+}  // namespace napel::sim

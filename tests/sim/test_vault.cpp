@@ -1,0 +1,133 @@
+#include "sim/vault.hpp"
+
+#include <gtest/gtest.h>
+
+namespace napel::sim {
+namespace {
+
+DramTiming timing() { return DramTiming{}; }  // tRCD=10, tCL=10, tRP=10
+
+TEST(DramTiming, BurstScalesWithLineSize) {
+  DramTiming t;
+  EXPECT_EQ(t.burst_cycles(32), 1u);
+  EXPECT_EQ(t.burst_cycles(64), 2u);
+  EXPECT_EQ(t.burst_cycles(128), 4u);
+}
+
+TEST(DramTiming, ClosedRowCycleIncludesPrecharge) {
+  DramTiming t;
+  EXPECT_EQ(t.t_rc(64), 10u + 10u + 2u + 10u);
+}
+
+TEST(Vault, UncontendedReadLatency) {
+  Vault v(16, timing(), 64);
+  // Arrives at cycle 0 -> starts at 1, data at start + tRCD + tCL + burst.
+  EXPECT_EQ(v.enqueue(0, false, 0), 1u + 10u + 10u + 2u);
+  EXPECT_EQ(v.reads(), 1u);
+  EXPECT_EQ(v.activations(), 1u);
+}
+
+TEST(Vault, WriteCompletesWithoutClBeforeData) {
+  Vault v(16, timing(), 64);
+  const auto w = v.enqueue(0, true, 0);
+  Vault v2(16, timing(), 64);
+  const auto r = v2.enqueue(0, false, 0);
+  EXPECT_LT(w, r);
+  EXPECT_EQ(v.writes(), 1u);
+}
+
+TEST(Vault, SameBankAccessesSerializeOnTrc) {
+  Vault v(16, timing(), 64);
+  const auto first = v.enqueue(0, false, 0);
+  // Same bank: rows map round-robin to banks, so lines 0..3 (row 0) and
+  // lines 256..259 (row 64 = 4 * 16 banks) both land in bank 0.
+  const auto second = v.enqueue(256, false, 0);
+  EXPECT_GE(second - first, timing().t_rc(64) - timing().burst_cycles(64));
+}
+
+TEST(Vault, DifferentBanksOverlapUpToBusSerialization) {
+  Vault v(16, timing(), 64);
+  const auto first = v.enqueue(0, false, 0);
+  const auto second = v.enqueue(4, false, 0);  // next row -> different bank
+  // Only the burst slot separates them.
+  EXPECT_EQ(second - first, timing().burst_cycles(64));
+}
+
+TEST(Vault, BankLevelParallelismBeatsSingleBank) {
+  Vault conflict(16, timing(), 64), parallel(16, timing(), 64);
+  std::uint64_t conflict_done = 0, parallel_done = 0;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    conflict_done = conflict.enqueue(i * 64, false, 0);  // rows 0,16,32,... all bank 0
+    parallel_done = parallel.enqueue(i * 4, false, 0);   // consecutive rows spread banks
+  }
+  EXPECT_GT(conflict_done, parallel_done);
+}
+
+TEST(Vault, RequestsAfterIdleStartFresh) {
+  Vault v(16, timing(), 64);
+  const auto early = v.enqueue(0, false, 0);
+  const auto late = v.enqueue(4, false, 10000);
+  EXPECT_EQ(late, 10001u + 10u + 10u + 2u);
+  EXPECT_GT(late, early);
+}
+
+TEST(Vault, BusBusyAccountsBursts) {
+  Vault v(16, timing(), 64);
+  v.enqueue(0, false, 0);
+  v.enqueue(1, false, 0);
+  EXPECT_EQ(v.bus_busy_cycles(), 2u * timing().burst_cycles(64));
+}
+
+TEST(Vault, MoreBanksFromMoreLayers) {
+  ArchConfig cfg;
+  cfg.dram_layers = 8;
+  EXPECT_EQ(cfg.banks_per_vault(), 16u);
+  cfg.dram_layers = 4;
+  EXPECT_EQ(cfg.banks_per_vault(), 8u);
+}
+
+TEST(ArchConfig, PaperDefaultMatchesTable3) {
+  const ArchConfig cfg = ArchConfig::paper_default();
+  EXPECT_EQ(cfg.n_pes, 32u);
+  EXPECT_DOUBLE_EQ(cfg.core_freq_ghz, 1.25);
+  EXPECT_EQ(cfg.cache_lines, 2u);
+  EXPECT_EQ(cfg.cache_ways, 2u);
+  EXPECT_EQ(cfg.cache_line_bytes, 64u);
+  EXPECT_EQ(cfg.n_vaults, 32u);
+  EXPECT_EQ(cfg.dram_layers, 8u);
+  EXPECT_EQ(cfg.dram_bytes, 4ULL << 30);
+  EXPECT_EQ(cfg.row_buffer_bytes, 256u);
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ArchConfig, ValidateRejectsBadGeometry) {
+  ArchConfig cfg;
+  cfg.cache_line_bytes = 48;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = ArchConfig{};
+  cfg.n_vaults = 30;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = ArchConfig{};
+  cfg.n_pes = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ArchConfig, FeatureEncodingMatchesNames) {
+  const ArchConfig cfg = ArchConfig::paper_default();
+  EXPECT_EQ(cfg.features().size(), ArchConfig::feature_names().size());
+}
+
+TEST(ArchConfig, SampleIncludesDefaultAndIsDeterministic) {
+  Rng r1(5), r2(5);
+  const auto a = sample_arch_configs(6, r1);
+  const auto b = sample_arch_configs(6, r2);
+  ASSERT_EQ(a.size(), 6u);
+  EXPECT_EQ(a[0], ArchConfig::paper_default());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+    EXPECT_NO_THROW(a[i].validate());
+  }
+}
+
+}  // namespace
+}  // namespace napel::sim

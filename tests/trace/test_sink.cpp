@@ -1,0 +1,99 @@
+#include "trace/sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/isa.hpp"
+#include "trace/tracer.hpp"
+
+namespace napel::trace {
+namespace {
+
+TEST(OpTypeHelpers, ClassifyCorrectly) {
+  EXPECT_TRUE(is_memory(OpType::kLoad));
+  EXPECT_TRUE(is_memory(OpType::kStore));
+  EXPECT_FALSE(is_memory(OpType::kFpAdd));
+  EXPECT_TRUE(is_fp(OpType::kFpAdd));
+  EXPECT_TRUE(is_fp(OpType::kFpMul));
+  EXPECT_TRUE(is_fp(OpType::kFpDiv));
+  EXPECT_FALSE(is_fp(OpType::kIntMul));
+  EXPECT_TRUE(is_int_arith(OpType::kIntAlu));
+  EXPECT_TRUE(is_int_arith(OpType::kIntDiv));
+  EXPECT_FALSE(is_int_arith(OpType::kBranch));
+}
+
+TEST(OpTypeHelpers, EveryOpHasAName) {
+  for (std::size_t op = 0; op < kNumOpTypes; ++op) {
+    const auto name = op_name(static_cast<OpType>(op));
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "invalid");
+  }
+}
+
+TEST(CountingSink, CountsByTypeAndThread) {
+  Tracer t;
+  CountingSink s;
+  t.attach(s);
+  t.begin_kernel("k", 3);
+  t.set_thread(1);
+  t.emit_op(OpType::kFpMul);
+  t.emit_op(OpType::kFpMul);
+  t.set_thread(2);
+  t.emit_load(0x40, 8);
+  t.end_kernel();
+  EXPECT_EQ(s.total(), 3u);
+  EXPECT_EQ(s.count(OpType::kFpMul), 2u);
+  EXPECT_EQ(s.memory_ops(), 1u);
+  EXPECT_EQ(s.count_for_thread(0), 0u);
+  EXPECT_EQ(s.count_for_thread(1), 2u);
+  EXPECT_EQ(s.count_for_thread(2), 1u);
+  EXPECT_THROW(s.count_for_thread(3), std::invalid_argument);
+  EXPECT_EQ(s.kernel_name(), "k");
+  EXPECT_EQ(s.n_threads(), 3u);
+}
+
+TEST(CountingSink, ResetsOnNewKernel) {
+  Tracer t;
+  CountingSink s;
+  t.attach(s);
+  t.begin_kernel("first", 1);
+  t.emit_op(OpType::kIntAlu);
+  t.end_kernel();
+  t.begin_kernel("second", 2);
+  t.end_kernel();
+  // begin_kernel re-arms the sink but keeps cumulative totals per design?
+  // CountingSink counts the *current* kernel only for threads; totals are
+  // cumulative across kernels unless re-created. Verify documented
+  // behaviour: per-thread array is resized, total persists.
+  EXPECT_EQ(s.kernel_name(), "second");
+  EXPECT_EQ(s.n_threads(), 2u);
+  EXPECT_EQ(s.count_for_thread(0), 0u);
+}
+
+TEST(VectorSink, RecordsFullBracket) {
+  Tracer t;
+  VectorSink s;
+  t.attach(s);
+  t.begin_kernel("vec", 1);
+  t.emit_op(OpType::kIntAlu);
+  t.emit_branch();
+  EXPECT_FALSE(s.ended());
+  t.end_kernel();
+  EXPECT_TRUE(s.ended());
+  ASSERT_EQ(s.events().size(), 2u);
+  EXPECT_EQ(s.events()[1].op, OpType::kBranch);
+}
+
+TEST(VectorSink, ClearsOnNewKernel) {
+  Tracer t;
+  VectorSink s;
+  t.attach(s);
+  t.begin_kernel("a", 1);
+  t.emit_op(OpType::kIntAlu);
+  t.end_kernel();
+  t.begin_kernel("b", 1);
+  EXPECT_TRUE(s.events().empty());
+  t.end_kernel();
+}
+
+}  // namespace
+}  // namespace napel::trace

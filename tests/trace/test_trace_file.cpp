@@ -1,0 +1,142 @@
+#include "trace/trace_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "sim/simulator.hpp"
+#include "trace/tracer.hpp"
+#include "workloads/registry.hpp"
+
+namespace napel::trace {
+namespace {
+
+class TraceFileTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  const std::string path_ = "/tmp/napel_trace_test.bin";
+};
+
+TEST_F(TraceFileTest, RoundTripsEventsExactly) {
+  // Record.
+  {
+    Tracer t;
+    TraceWriter writer(path_);
+    t.attach(writer);
+    t.begin_kernel("roundtrip", 3);
+    t.set_thread(1);
+    t.emit_op(OpType::kFpMul);
+    const Reg r = t.emit_load(0xABCD40, 8);
+    t.set_thread(2);
+    t.emit_store(0xABCD80, 8, r);
+    t.emit_branch(r);
+    t.end_kernel();
+    EXPECT_EQ(writer.events_written(), 4u);
+  }
+  // Replay into a vector sink and compare field by field.
+  VectorSink sink;
+  const TraceInfo info = replay_trace(path_, {&sink});
+  EXPECT_EQ(info.kernel_name, "roundtrip");
+  EXPECT_EQ(info.n_threads, 3u);
+  EXPECT_EQ(info.event_count, 4u);
+  ASSERT_EQ(sink.events().size(), 4u);
+  EXPECT_EQ(sink.events()[0].op, OpType::kFpMul);
+  EXPECT_EQ(sink.events()[0].thread, 1u);
+  EXPECT_EQ(sink.events()[1].op, OpType::kLoad);
+  EXPECT_EQ(sink.events()[1].addr, 0xABCD40u);
+  EXPECT_EQ(sink.events()[2].op, OpType::kStore);
+  EXPECT_EQ(sink.events()[2].thread, 2u);
+  EXPECT_EQ(sink.events()[3].op, OpType::kBranch);
+  EXPECT_TRUE(sink.ended());
+}
+
+TEST_F(TraceFileTest, ReplayedSimulationMatchesLiveSimulation) {
+  const auto& w = workloads::workload("gesummv");
+  const auto space = w.doe_space(workloads::Scale::kTiny);
+  const auto input = workloads::WorkloadParams::central(space);
+
+  // Live path: kernel -> simulator.
+  sim::NmcSimulator live(sim::ArchConfig::paper_default());
+  {
+    Tracer t;
+    t.attach(live);
+    w.run(t, input, 9);
+  }
+  // Recorded path: kernel -> file -> simulator.
+  {
+    Tracer t;
+    TraceWriter writer(path_);
+    t.attach(writer);
+    w.run(t, input, 9);
+  }
+  sim::NmcSimulator replayed(sim::ArchConfig::paper_default());
+  replay_trace(path_, {&replayed});
+
+  EXPECT_EQ(live.result().cycles, replayed.result().cycles);
+  EXPECT_EQ(live.result().l1_misses, replayed.result().l1_misses);
+  EXPECT_DOUBLE_EQ(live.result().energy_joules,
+                   replayed.result().energy_joules);
+}
+
+TEST_F(TraceFileTest, InfoReadsHeaderOnly) {
+  {
+    Tracer t;
+    TraceWriter writer(path_);
+    t.attach(writer);
+    t.begin_kernel("hdr", 2);
+    t.emit_op(OpType::kIntAlu);
+    t.end_kernel();
+  }
+  const auto info = read_trace_info(path_);
+  EXPECT_EQ(info.kernel_name, "hdr");
+  EXPECT_EQ(info.n_threads, 2u);
+  EXPECT_EQ(info.event_count, 1u);
+}
+
+TEST_F(TraceFileTest, RejectsGarbageFile) {
+  {
+    std::ofstream f(path_);
+    f << "definitely not a trace";
+  }
+  EXPECT_THROW(read_trace_info(path_), std::invalid_argument);
+  EXPECT_THROW(replay_trace(path_, {}), std::invalid_argument);
+}
+
+TEST_F(TraceFileTest, RejectsTruncatedPayload) {
+  {
+    Tracer t;
+    TraceWriter writer(path_);
+    t.attach(writer);
+    t.begin_kernel("trunc", 1);
+    for (int i = 0; i < 100; ++i) t.emit_op(OpType::kIntAlu);
+    t.end_kernel();
+  }
+  // Chop off half of the payload.
+  std::ifstream in(path_, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size() / 2));
+  out.close();
+  VectorSink sink;
+  EXPECT_THROW(replay_trace(path_, {&sink}), std::invalid_argument);
+}
+
+TEST_F(TraceFileTest, MissingFileThrows) {
+  EXPECT_THROW(read_trace_info("/nonexistent/trace.bin"),
+               std::invalid_argument);
+}
+
+TEST_F(TraceFileTest, SecondKernelBracketRejected) {
+  Tracer t;
+  TraceWriter writer(path_);
+  t.attach(writer);
+  t.begin_kernel("one", 1);
+  t.end_kernel();
+  EXPECT_THROW(t.begin_kernel("two", 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace napel::trace

@@ -1,0 +1,324 @@
+#include "trace/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "trace/sink.hpp"
+#include "trace/traced.hpp"
+
+namespace napel::trace {
+namespace {
+
+TEST(Tracer, KernelBracketReachesSinks) {
+  Tracer t;
+  VectorSink sink;
+  t.attach(sink);
+  t.begin_kernel("k", 2);
+  t.emit_op(OpType::kIntAlu);
+  t.end_kernel();
+  EXPECT_EQ(sink.kernel_name(), "k");
+  EXPECT_EQ(sink.n_threads(), 2u);
+  EXPECT_TRUE(sink.ended());
+  EXPECT_EQ(sink.events().size(), 1u);
+}
+
+TEST(Tracer, EmitOutsideKernelThrows) {
+  Tracer t;
+  EXPECT_THROW(t.emit_op(OpType::kIntAlu), std::invalid_argument);
+  EXPECT_THROW(t.emit_load(0x1000, 8), std::invalid_argument);
+  EXPECT_THROW(t.emit_branch(), std::invalid_argument);
+}
+
+TEST(Tracer, EndWithoutBeginThrows) {
+  Tracer t;
+  EXPECT_THROW(t.end_kernel(), std::invalid_argument);
+}
+
+TEST(Tracer, DoubleBeginThrows) {
+  Tracer t;
+  t.begin_kernel("k", 1);
+  EXPECT_THROW(t.begin_kernel("k2", 1), std::invalid_argument);
+}
+
+TEST(Tracer, EndWithOpenLoopScopeThrows) {
+  Tracer t;
+  t.begin_kernel("k", 1);
+  auto scope = std::make_unique<Tracer::LoopScope>(t);
+  EXPECT_THROW(t.end_kernel(), std::invalid_argument);
+  scope.reset();
+  EXPECT_NO_THROW(t.end_kernel());
+}
+
+TEST(Tracer, RegistersAreSsaMonotone) {
+  Tracer t;
+  VectorSink sink;
+  t.attach(sink);
+  t.begin_kernel("k", 1);
+  const Reg a = t.emit_op(OpType::kIntAlu);
+  const Reg b = t.emit_op(OpType::kFpAdd, a);
+  const Reg c = t.emit_load(0x1000, 8);
+  t.end_kernel();
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_NE(a, kNoReg);
+}
+
+TEST(Tracer, EventsCarryOperands) {
+  Tracer t;
+  VectorSink sink;
+  t.attach(sink);
+  t.begin_kernel("k", 1);
+  const Reg a = t.emit_op(OpType::kIntAlu);
+  const Reg b = t.emit_load(0xABC0, 4);
+  t.emit_store(0xDEF0, 4, b, a);
+  t.end_kernel();
+  const auto& ev = sink.events();
+  ASSERT_EQ(ev.size(), 3u);
+  EXPECT_EQ(ev[1].op, OpType::kLoad);
+  EXPECT_EQ(ev[1].addr, 0xABC0u);
+  EXPECT_EQ(ev[1].size, 4u);
+  EXPECT_EQ(ev[2].op, OpType::kStore);
+  EXPECT_EQ(ev[2].src1, b);
+  EXPECT_EQ(ev[2].src2, a);
+  EXPECT_EQ(ev[2].dst, kNoReg);
+}
+
+TEST(Tracer, ThreadTaggingFollowsSetThread) {
+  Tracer t;
+  VectorSink sink;
+  t.attach(sink);
+  t.begin_kernel("k", 3);
+  t.set_thread(2);
+  t.emit_op(OpType::kIntAlu);
+  t.set_thread(0);
+  t.emit_op(OpType::kIntAlu);
+  t.end_kernel();
+  EXPECT_EQ(sink.events()[0].thread, 2u);
+  EXPECT_EQ(sink.events()[1].thread, 0u);
+}
+
+TEST(Tracer, SetThreadOutOfRangeThrows) {
+  Tracer t;
+  t.begin_kernel("k", 2);
+  EXPECT_THROW(t.set_thread(2), std::invalid_argument);
+  t.end_kernel();
+}
+
+TEST(Tracer, AllocateIsAlignedAndDisjoint) {
+  Tracer t;
+  const auto a = t.allocate(100);
+  const auto b = t.allocate(1);
+  const auto c = t.allocate(64);
+  EXPECT_EQ(a % 64, 0u);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_GE(b, a + 100);
+  EXPECT_GE(c, b + 1);
+}
+
+TEST(Tracer, PseudoPcRepeatsAcrossIterations) {
+  Tracer t;
+  VectorSink sink;
+  t.attach(sink);
+  t.begin_kernel("k", 1);
+  {
+    Tracer::LoopScope loop(t);
+    for (int i = 0; i < 3; ++i) {
+      loop.iteration();
+      t.emit_op(OpType::kFpMul);
+      t.emit_op(OpType::kFpAdd);
+    }
+  }
+  t.end_kernel();
+  const auto& ev = sink.events();
+  // Each iteration: increment, branch, mul, add.
+  ASSERT_EQ(ev.size(), 12u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(ev[i].pc, ev[i + 4].pc) << "instr " << i;
+    EXPECT_EQ(ev[i].pc, ev[i + 8].pc) << "instr " << i;
+  }
+}
+
+TEST(Tracer, NestedLoopKeepsStableScopeIdentity) {
+  Tracer t;
+  VectorSink sink;
+  t.attach(sink);
+  t.begin_kernel("k", 1);
+  std::set<std::uint32_t> inner_pcs_iter0, inner_pcs_iter1;
+  {
+    Tracer::LoopScope outer(t);
+    for (int i = 0; i < 2; ++i) {
+      outer.iteration();
+      Tracer::LoopScope inner(t);  // reconstructed every outer trip
+      for (int j = 0; j < 2; ++j) {
+        inner.iteration();
+        const std::size_t before = sink.events().size();
+        t.emit_op(OpType::kFpMul);
+        auto& pcs = i == 0 ? inner_pcs_iter0 : inner_pcs_iter1;
+        pcs.insert(sink.events()[before].pc);
+      }
+    }
+  }
+  t.end_kernel();
+  EXPECT_EQ(inner_pcs_iter0, inner_pcs_iter1);
+}
+
+TEST(Tracer, DistinctLexicalLoopsGetDistinctPcs) {
+  Tracer t;
+  VectorSink sink;
+  t.attach(sink);
+  t.begin_kernel("k", 1);
+  std::uint32_t pc1, pc2;
+  {
+    Tracer::LoopScope l1(t);
+    l1.iteration();
+    t.emit_op(OpType::kFpMul);
+    pc1 = sink.events().back().pc;
+  }
+  {
+    Tracer::LoopScope l2(t);
+    l2.iteration();
+    t.emit_op(OpType::kFpMul);
+    pc2 = sink.events().back().pc;
+  }
+  t.end_kernel();
+  EXPECT_NE(pc1, pc2);
+}
+
+TEST(Tracer, LoopScopeOutsideKernelThrows) {
+  Tracer t;
+  EXPECT_THROW(Tracer::LoopScope{t}, std::invalid_argument);
+}
+
+TEST(Tracer, FanOutReachesAllSinks) {
+  Tracer t;
+  CountingSink a, b;
+  t.attach(a);
+  t.attach(b);
+  t.begin_kernel("k", 1);
+  t.emit_op(OpType::kIntAlu);
+  t.emit_load(0x40, 8);
+  t.end_kernel();
+  EXPECT_EQ(a.total(), 2u);
+  EXPECT_EQ(b.total(), 2u);
+  EXPECT_EQ(a.count(OpType::kLoad), 1u);
+}
+
+TEST(Tracer, InstrCountAccumulates) {
+  Tracer t;
+  t.begin_kernel("k", 1);
+  t.emit_op(OpType::kIntAlu);
+  t.emit_op(OpType::kIntAlu);
+  t.end_kernel();
+  EXPECT_EQ(t.instr_count(), 2u);
+}
+
+// --- Traced<T> value layer ---
+
+TEST(Traced, ArithmeticEmitsTypedOps) {
+  Tracer t;
+  CountingSink sink;
+  t.attach(sink);
+  t.begin_kernel("k", 1);
+  auto a = imm(t, 2.0);
+  auto b = imm(t, 3.0);
+  auto c = a * b + a / b - b;
+  auto i1 = imm<std::int64_t>(t, 5);
+  auto i2 = i1 * i1 + i1;
+  (void)c;
+  (void)i2;
+  t.end_kernel();
+  EXPECT_EQ(sink.count(OpType::kFpMul), 1u);
+  EXPECT_EQ(sink.count(OpType::kFpDiv), 1u);
+  EXPECT_EQ(sink.count(OpType::kFpAdd), 2u);  // + and -
+  EXPECT_EQ(sink.count(OpType::kIntMul), 1u);
+  EXPECT_EQ(sink.count(OpType::kIntAlu), 1u);
+}
+
+TEST(Traced, ValuesComputeCorrectly) {
+  Tracer t;
+  t.begin_kernel("k", 1);
+  auto a = imm(t, 6.0);
+  auto b = imm(t, 4.0);
+  EXPECT_DOUBLE_EQ((a + b).value, 10.0);
+  EXPECT_DOUBLE_EQ((a - b).value, 2.0);
+  EXPECT_DOUBLE_EQ((a * b).value, 24.0);
+  EXPECT_DOUBLE_EQ((a / b).value, 1.5);
+  EXPECT_DOUBLE_EQ(tsqrt(imm(t, 9.0)).value, 3.0);
+  EXPECT_DOUBLE_EQ(tabs(imm(t, -2.5)).value, 2.5);
+  t.end_kernel();
+}
+
+TEST(Traced, DivisionByZeroThrows) {
+  Tracer t;
+  t.begin_kernel("k", 1);
+  auto a = imm(t, 1.0);
+  auto z = imm(t, 0.0);
+  EXPECT_THROW(a / z, std::invalid_argument);
+  t.end_kernel();
+}
+
+TEST(Traced, TakeEmitsBranchAndReturnsTruth) {
+  Tracer t;
+  CountingSink sink;
+  t.attach(sink);
+  t.begin_kernel("k", 1);
+  auto a = imm(t, 1.0);
+  auto b = imm(t, 2.0);
+  EXPECT_TRUE(take(a < b));
+  EXPECT_FALSE(take(a > b));
+  EXPECT_TRUE(take(a != b));
+  t.end_kernel();
+  EXPECT_EQ(sink.count(OpType::kBranch), 3u);
+  EXPECT_EQ(sink.count(OpType::kIntAlu), 3u);  // the comparisons
+}
+
+TEST(TArray, LoadStoreRoundTripsValues) {
+  Tracer t;
+  TArray<double> arr(t, 4);
+  arr.raw(2) = 7.5;
+  t.begin_kernel("k", 1);
+  auto v = arr.load(2);
+  EXPECT_DOUBLE_EQ(v.value, 7.5);
+  arr.store(0, v * v);
+  t.end_kernel();
+  EXPECT_DOUBLE_EQ(arr.raw(0), 56.25);
+}
+
+TEST(TArray, AddressesAreContiguous) {
+  Tracer t;
+  TArray<double> arr(t, 8);
+  EXPECT_EQ(arr.addr_of(3), arr.base_addr() + 3 * sizeof(double));
+  EXPECT_EQ(arr.base_addr() % 64, 0u);
+}
+
+TEST(TArray, IndexedAccessCarriesDependence) {
+  Tracer t;
+  VectorSink sink;
+  t.attach(sink);
+  TArray<double> arr(t, 4);
+  arr.raw(1) = 3.0;
+  t.begin_kernel("k", 1);
+  auto idx = imm<std::int64_t>(t, 1);
+  auto one = imm<std::int64_t>(t, 0);
+  auto traced_idx = idx + one;  // produce a register for the index
+  auto v = arr.load_indexed(traced_idx);
+  EXPECT_DOUBLE_EQ(v.value, 3.0);
+  t.end_kernel();
+  const auto& load_ev = sink.events().back();
+  EXPECT_EQ(load_ev.op, OpType::kLoad);
+  EXPECT_EQ(load_ev.src1, traced_idx.reg);
+}
+
+TEST(TArray, OutOfBoundsThrows) {
+  Tracer t;
+  TArray<double> arr(t, 2);
+  t.begin_kernel("k", 1);
+  EXPECT_THROW(arr.load(2), std::invalid_argument);
+  EXPECT_THROW(arr.raw(5), std::invalid_argument);
+  t.end_kernel();
+}
+
+}  // namespace
+}  // namespace napel::trace

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "trace/sink.hpp"
+#include "trace/tracer.hpp"
+#include "workloads/registry.hpp"
+
+namespace napel::workloads {
+namespace {
+
+using trace::CountingSink;
+using trace::OpType;
+using trace::Tracer;
+
+TEST(ExtendedSuite, HasThreeWorkloadsReachableByName) {
+  EXPECT_EQ(extended_workloads().size(), 3u);
+  for (const char* name : {"gemm", "jacobi2d", "spmv"}) {
+    EXPECT_TRUE(has_workload(name)) << name;
+    EXPECT_EQ(workload(name).name(), name);
+  }
+}
+
+TEST(ExtendedSuite, NotPartOfThePaperTwelve) {
+  for (const auto* w : all_workloads())
+    for (const auto* e : extended_workloads())
+      EXPECT_NE(w->name(), e->name());
+  EXPECT_EQ(all_workloads().size(), 12u);
+}
+
+class ExtendedWorkloadTest : public ::testing::TestWithParam<const Workload*> {
+};
+
+TEST_P(ExtendedWorkloadTest, RunsAtTinyScale) {
+  const Workload& w = *GetParam();
+  Tracer t;
+  CountingSink sink;
+  t.attach(sink);
+  const auto space = w.doe_space(Scale::kTiny);
+  w.run(t, WorkloadParams::central(space), 1);
+  EXPECT_GT(sink.total(), 50u);
+  EXPECT_GT(sink.memory_ops(), 0u);
+}
+
+TEST_P(ExtendedWorkloadTest, DoeSpacesAreWellFormed) {
+  const Workload& w = *GetParam();
+  for (Scale s : {Scale::kPaper, Scale::kBench, Scale::kTiny}) {
+    const auto space = w.doe_space(s);
+    for (const auto& p : space.params) {
+      for (int i = 0; i < 4; ++i) EXPECT_LT(p.levels[i], p.levels[i + 1]);
+      EXPECT_GE(p.test, 1);
+    }
+    EXPECT_TRUE(space.has_param("threads"));
+  }
+}
+
+TEST_P(ExtendedWorkloadTest, DeterministicBySeed) {
+  const Workload& w = *GetParam();
+  const auto space = w.doe_space(Scale::kTiny);
+  const auto params = WorkloadParams::central(space);
+  std::uint64_t counts[2];
+  for (int r = 0; r < 2; ++r) {
+    Tracer t;
+    CountingSink sink;
+    t.attach(sink);
+    w.run(t, params, 44);
+    counts[r] = sink.total();
+  }
+  EXPECT_EQ(counts[0], counts[1]);
+}
+
+std::string ext_name(const ::testing::TestParamInfo<const Workload*>& info) {
+  return std::string(info.param->name());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ext, ExtendedWorkloadTest,
+                         ::testing::ValuesIn(extended_workloads().begin(),
+                                             extended_workloads().end()),
+                         ext_name);
+
+TEST(ExtendedSuite, GemmOpCountMatchesDims) {
+  const auto& w = workload("gemm");
+  WorkloadParams p;
+  p.set("dimension_i", 4);
+  p.set("dimension_j", 5);
+  p.set("dimension_k", 6);
+  p.set("threads", 1);
+  Tracer t;
+  CountingSink sink;
+  t.attach(sink);
+  w.run(t, p, 1);
+  // Two FpMul per inner iteration (alpha*a*b) plus one per c scaling.
+  EXPECT_EQ(sink.count(OpType::kFpMul), 4u * 5u * (6u * 2u + 1u));
+}
+
+TEST(ExtendedSuite, SpmvIsIrregular) {
+  const auto& w = workload("spmv");
+  const auto space = w.doe_space(Scale::kTiny);
+  Tracer t;
+  trace::VectorSink sink;
+  t.attach(sink);
+  w.run(t, WorkloadParams::central(space), 3);
+  // The x-gather must produce loads whose address generation depends on a
+  // register (indexed loads).
+  bool any_indexed_load = false;
+  for (const auto& ev : sink.events())
+    if (ev.op == OpType::kLoad && ev.src1 != trace::kNoReg)
+      any_indexed_load = true;
+  EXPECT_TRUE(any_indexed_load);
+}
+
+TEST(ExtendedSuite, JacobiIterationsAlternateBuffers) {
+  const auto& w = workload("jacobi2d");
+  WorkloadParams p1, p2;
+  for (auto* p : {&p1, &p2}) {
+    p->set("dimension", 8);
+    p->set("threads", 1);
+  }
+  p1.set("iterations", 1);
+  p2.set("iterations", 2);
+  Tracer t1, t2;
+  CountingSink s1, s2;
+  t1.attach(s1);
+  t2.attach(s2);
+  w.run(t1, p1, 1);
+  w.run(t2, p2, 1);
+  EXPECT_GT(s2.total(), s1.total());
+}
+
+}  // namespace
+}  // namespace napel::workloads

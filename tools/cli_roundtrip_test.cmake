@@ -1,0 +1,11 @@
+# Drives the full CLI cycle: train a tiny model, predict with it, run the
+# suitability verdict. Any non-zero exit fails the test.
+foreach(step
+    "train;-o;${WORKDIR}/cli_model.txt;--apps;atax,gesummv;--scale;tiny"
+    "predict;-m;${WORKDIR}/cli_model.txt;--app;mvt;--scale;tiny"
+    "suitability;-m;${WORKDIR}/cli_model.txt;--app;mvt;--scale;tiny")
+  execute_process(COMMAND ${CLI} ${step} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "CLI step failed: ${step} (rc=${rc})")
+  endif()
+endforeach()

@@ -1,0 +1,9 @@
+foreach(step
+    "record;atax;-o;${WORKDIR}/cli_trace.bin;--scale;tiny"
+    "simulate;--trace;${WORKDIR}/cli_trace.bin"
+    "simulate;--trace;${WORKDIR}/cli_trace.bin;--pes;8;--cache-lines;16")
+  execute_process(COMMAND ${CLI} ${step} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "CLI step failed: ${step} (rc=${rc})")
+  endif()
+endforeach()

@@ -1,0 +1,310 @@
+// napel — command-line front end to the NAPEL framework.
+//
+//   napel list
+//   napel doe <workload> [--scale tiny|bench|paper]
+//   napel train -o <model-file> [--apps a,b,c] [--scale S] [--tune]
+//               [--archs N] [--seed N]
+//   napel predict -m <model-file> --app <workload> [--scale S]
+//                 [--pes N] [--freq GHZ] [--cache-lines N] [--seed N]
+//   napel suitability -m <model-file> --app <workload> [--scale S]
+//
+// Exit status: 0 on success, 1 on usage errors, 2 on runtime failures.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "napel/model_io.hpp"
+#include "napel/napel.hpp"
+#include "trace/trace_file.hpp"
+
+namespace {
+
+using namespace napel;
+
+struct Args {
+  std::string command;
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;  // --key value / --flag ""
+};
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  if (argc >= 2) a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string s = argv[i];
+    if (s.rfind("--", 0) == 0) {
+      const std::string key = s.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0 &&
+          key != "tune") {
+        a.options[key] = argv[++i];
+      } else {
+        a.options[key] = "";
+      }
+    } else if (s == "-o" || s == "-m") {
+      if (i + 1 < argc) a.options[s == "-o" ? "out" : "model"] = argv[++i];
+    } else {
+      a.positional.push_back(std::move(s));
+    }
+  }
+  return a;
+}
+
+workloads::Scale parse_scale(const Args& a) {
+  const auto it = a.options.find("scale");
+  const std::string s = it == a.options.end() ? "bench" : it->second;
+  if (s == "tiny") return workloads::Scale::kTiny;
+  if (s == "bench") return workloads::Scale::kBench;
+  if (s == "paper") return workloads::Scale::kPaper;
+  throw std::invalid_argument("unknown scale: " + s + " (tiny|bench|paper)");
+}
+
+std::uint64_t parse_u64(const Args& a, const std::string& key,
+                        std::uint64_t fallback) {
+  const auto it = a.options.find(key);
+  return it == a.options.end() ? fallback : std::stoull(it->second);
+}
+
+double parse_double(const Args& a, const std::string& key, double fallback) {
+  const auto it = a.options.find(key);
+  return it == a.options.end() ? fallback : std::stod(it->second);
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+const workloads::Workload& require_app(const Args& a) {
+  const auto it = a.options.find("app");
+  if (it == a.options.end())
+    throw std::invalid_argument("missing --app <workload>");
+  if (!workloads::has_workload(it->second))
+    throw std::invalid_argument("unknown workload: " + it->second);
+  return workloads::workload(it->second);
+}
+
+sim::ArchConfig parse_arch(const Args& a) {
+  sim::ArchConfig arch = sim::ArchConfig::paper_default();
+  arch.n_pes = static_cast<unsigned>(parse_u64(a, "pes", arch.n_pes));
+  arch.core_freq_ghz = parse_double(a, "freq", arch.core_freq_ghz);
+  arch.cache_lines =
+      static_cast<unsigned>(parse_u64(a, "cache-lines", arch.cache_lines));
+  arch.validate();
+  return arch;
+}
+
+int cmd_list() {
+  Table t({"workload", "suite", "description"});
+  for (const auto* w : workloads::all_workloads())
+    t.add_row({std::string(w->name()), "paper (Table 2)",
+               std::string(w->description())});
+  for (const auto* w : workloads::extended_workloads())
+    t.add_row({std::string(w->name()), "extended",
+               std::string(w->description())});
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_doe(const Args& a) {
+  if (a.positional.empty())
+    throw std::invalid_argument("usage: napel doe <workload> [--scale S]");
+  if (!workloads::has_workload(a.positional[0]))
+    throw std::invalid_argument("unknown workload: " + a.positional[0]);
+  const auto& w = workloads::workload(a.positional[0]);
+  const auto space = w.doe_space(parse_scale(a));
+  const auto configs = doe::central_composite(space);
+  std::printf("%zu CCD configurations for %s:\n", configs.size(),
+              a.positional[0].c_str());
+  for (const auto& c : configs) std::printf("  %s\n", c.to_string().c_str());
+  return 0;
+}
+
+int cmd_train(const Args& a) {
+  const auto out_it = a.options.find("out");
+  if (out_it == a.options.end())
+    throw std::invalid_argument("missing -o <model-file>");
+
+  std::vector<std::string> apps;
+  if (const auto it = a.options.find("apps"); it != a.options.end()) {
+    apps = split_csv(it->second);
+    for (const auto& app : apps)
+      if (!workloads::has_workload(app))
+        throw std::invalid_argument("unknown workload: " + app);
+  } else {
+    for (const auto* w : workloads::all_workloads())
+      apps.emplace_back(w->name());
+  }
+
+  core::CollectOptions copt;
+  copt.scale = parse_scale(a);
+  copt.archs_per_config = parse_u64(a, "archs", 3);
+  copt.seed = parse_u64(a, "seed", 2019);
+
+  std::vector<core::TrainingRow> rows;
+  for (const auto& app : apps) {
+    const auto stats =
+        core::collect_training_data(workloads::workload(app), copt, rows);
+    std::printf("collected %-12s %2zu configs -> %3zu rows (%.1fs sim)\n",
+                app.c_str(), stats.n_input_configs, stats.n_rows,
+                stats.simulation_seconds);
+  }
+
+  core::NapelModel model;
+  core::NapelModel::Options mopt;
+  mopt.tune = a.options.contains("tune");
+  mopt.untuned_params.n_trees = 100;
+  model.train(rows, mopt);
+  core::save_model_file(model, out_it->second);
+  std::printf("trained on %zu rows%s; model written to %s\n", rows.size(),
+              mopt.tune ? " (tuned)" : "", out_it->second.c_str());
+  std::printf("out-of-bag MRE: ipc %.1f%%, power %.1f%%\n",
+              100.0 * model.ipc_forest().oob_mre(),
+              100.0 * model.energy_forest().oob_mre());
+  return 0;
+}
+
+int cmd_predict(const Args& a) {
+  const auto model_it = a.options.find("model");
+  if (model_it == a.options.end())
+    throw std::invalid_argument("missing -m <model-file>");
+  const core::NapelModel model = core::load_model_file(model_it->second);
+  const auto& w = require_app(a);
+  const auto scale = parse_scale(a);
+  const sim::ArchConfig arch = parse_arch(a);
+
+  const auto input =
+      workloads::WorkloadParams::test_input(w.doe_space(scale));
+  const auto profile =
+      core::profile_workload(w, input, parse_u64(a, "seed", 404));
+  const auto pred = model.predict(profile, arch);
+
+  std::printf("%s (%s) on %s:\n", std::string(w.name()).c_str(),
+              input.to_string().c_str(), arch.to_string().c_str());
+  std::printf("  predicted IPC:    %.3f\n", pred.ipc);
+  std::printf("  predicted time:   %.3f us\n", pred.time_seconds * 1e6);
+  std::printf("  predicted power:  %.2f W\n", pred.power_watts);
+  std::printf("  predicted energy: %.3f uJ\n", pred.energy_joules * 1e6);
+  std::printf("  predicted EDP:    %.4g J*s\n", pred.edp);
+  return 0;
+}
+
+int cmd_record(const Args& a) {
+  if (a.positional.empty())
+    throw std::invalid_argument(
+        "usage: napel record <workload> -o FILE [--scale S] [--seed N]");
+  const auto out_it = a.options.find("out");
+  if (out_it == a.options.end())
+    throw std::invalid_argument("missing -o <trace-file>");
+  if (!workloads::has_workload(a.positional[0]))
+    throw std::invalid_argument("unknown workload: " + a.positional[0]);
+  const auto& w = workloads::workload(a.positional[0]);
+  const auto input =
+      workloads::WorkloadParams::test_input(w.doe_space(parse_scale(a)));
+
+  trace::Tracer t;
+  trace::TraceWriter writer(out_it->second);
+  t.attach(writer);
+  w.run(t, input, parse_u64(a, "seed", 404));
+  std::printf("recorded %llu events of %s (%s) to %s\n",
+              static_cast<unsigned long long>(writer.events_written()),
+              a.positional[0].c_str(), input.to_string().c_str(),
+              out_it->second.c_str());
+  return 0;
+}
+
+int cmd_simulate(const Args& a) {
+  const auto it = a.options.find("trace");
+  if (it == a.options.end())
+    throw std::invalid_argument(
+        "usage: napel simulate --trace FILE [--pes N] [--freq GHZ] "
+        "[--cache-lines N]");
+  const sim::ArchConfig arch = parse_arch(a);
+  sim::NmcSimulator simulator(arch);
+  const auto info = trace::replay_trace(it->second, {&simulator});
+  const auto& r = simulator.result();
+  std::printf("%s (%llu instructions, %u threads) on %s:\n",
+              info.kernel_name.c_str(),
+              static_cast<unsigned long long>(r.instructions), info.n_threads,
+              arch.to_string().c_str());
+  std::printf("  cycles: %llu   IPC: %.3f   time: %.3f us\n",
+              static_cast<unsigned long long>(r.cycles), r.ipc,
+              r.time_seconds * 1e6);
+  std::printf("  L1 hit rate: %.1f%%   DRAM reads/writes: %llu/%llu\n",
+              100.0 * r.l1_hit_rate(),
+              static_cast<unsigned long long>(r.dram_reads),
+              static_cast<unsigned long long>(r.dram_writes));
+  std::printf("  energy: %.3f uJ (core %.1f%%, cache %.1f%%, dram %.1f%%, "
+              "static %.1f%%)   EDP: %.4g J*s\n",
+              r.energy_joules * 1e6, 100.0 * r.core_energy_j / r.energy_joules,
+              100.0 * r.cache_energy_j / r.energy_joules,
+              100.0 * r.dram_energy_j / r.energy_joules,
+              100.0 * r.static_energy_j / r.energy_joules, r.edp);
+  return 0;
+}
+
+int cmd_suitability(const Args& a) {
+  const auto model_it = a.options.find("model");
+  if (model_it == a.options.end())
+    throw std::invalid_argument("missing -m <model-file>");
+  const core::NapelModel model = core::load_model_file(model_it->second);
+  const auto& w = require_app(a);
+
+  core::SuitabilityOptions sopt;
+  sopt.scale = parse_scale(a);
+  const hostmodel::HostModel host(sopt.scale == workloads::Scale::kBench
+                                      ? hostmodel::HostConfig::bench_scaled()
+                                      : hostmodel::HostConfig::paper_default());
+  const auto row = core::analyze_suitability(
+      w, model, host, sim::ArchConfig::paper_default(), sopt);
+  std::printf("%s: host EDP %.4g, predicted NMC EDP %.4g -> reduction %.2fx "
+              "(%s)\n",
+              row.app.c_str(), row.host_edp, row.pred_edp,
+              row.edp_reduction_pred(),
+              row.nmc_suitable_pred() ? "offload to NMC" : "keep on host");
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: napel <command> [options]\n"
+               "  list                               available workloads\n"
+               "  doe <workload> [--scale S]         print CCD configurations\n"
+               "  train -o FILE [--apps a,b] [--scale S] [--tune] [--archs N]\n"
+               "  predict -m FILE --app W [--pes N] [--freq GHZ] [--cache-lines N]\n"
+               "  suitability -m FILE --app W [--scale S]\n"
+               "  record <workload> -o FILE [--scale S]   capture a trace\n"
+               "  simulate --trace FILE [--pes N] [...]   replay on a design\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  try {
+    if (args.command == "list") return cmd_list();
+    if (args.command == "doe") return cmd_doe(args);
+    if (args.command == "train") return cmd_train(args);
+    if (args.command == "predict") return cmd_predict(args);
+    if (args.command == "suitability") return cmd_suitability(args);
+    if (args.command == "record") return cmd_record(args);
+    if (args.command == "simulate") return cmd_simulate(args);
+    return usage();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return 2;
+  }
+}
