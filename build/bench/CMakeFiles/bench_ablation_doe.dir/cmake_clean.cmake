@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_doe.dir/bench_ablation_doe.cpp.o"
+  "CMakeFiles/bench_ablation_doe.dir/bench_ablation_doe.cpp.o.d"
+  "bench_ablation_doe"
+  "bench_ablation_doe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_doe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

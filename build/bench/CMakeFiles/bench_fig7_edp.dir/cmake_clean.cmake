@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_edp.dir/bench_fig7_edp.cpp.o"
+  "CMakeFiles/bench_fig7_edp.dir/bench_fig7_edp.cpp.o.d"
+  "bench_fig7_edp"
+  "bench_fig7_edp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_edp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

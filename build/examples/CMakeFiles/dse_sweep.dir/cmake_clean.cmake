@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dse_sweep.dir/dse_sweep.cpp.o"
+  "CMakeFiles/dse_sweep.dir/dse_sweep.cpp.o.d"
+  "dse_sweep"
+  "dse_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dse_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmc_suitability.dir/nmc_suitability.cpp.o"
+  "CMakeFiles/nmc_suitability.dir/nmc_suitability.cpp.o.d"
+  "nmc_suitability"
+  "nmc_suitability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmc_suitability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_inspector.dir/profile_inspector.cpp.o"
+  "CMakeFiles/profile_inspector.dir/profile_inspector.cpp.o.d"
+  "profile_inspector"
+  "profile_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  LABELS "examples" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_profile_inspector "/root/repo/build/examples/profile_inspector" "bfs")
+set_tests_properties(example_profile_inspector PROPERTIES  LABELS "examples" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_workflow "/root/repo/build/examples/trace_workflow")
+set_tests_properties(example_trace_workflow PROPERTIES  LABELS "examples" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dse_sweep "/root/repo/build/examples/dse_sweep")
+set_tests_properties(example_dse_sweep PROPERTIES  LABELS "examples" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_nmc_suitability "/root/repo/build/examples/nmc_suitability" "mvt")
+set_tests_properties(example_nmc_suitability PROPERTIES  LABELS "examples" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/napel_common.dir/csv.cpp.o"
+  "CMakeFiles/napel_common.dir/csv.cpp.o.d"
+  "CMakeFiles/napel_common.dir/histogram.cpp.o"
+  "CMakeFiles/napel_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/napel_common.dir/stats.cpp.o"
+  "CMakeFiles/napel_common.dir/stats.cpp.o.d"
+  "CMakeFiles/napel_common.dir/table.cpp.o"
+  "CMakeFiles/napel_common.dir/table.cpp.o.d"
+  "libnapel_common.a"
+  "libnapel_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/napel_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

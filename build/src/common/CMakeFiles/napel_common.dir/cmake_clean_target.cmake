@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnapel_common.a"
+)

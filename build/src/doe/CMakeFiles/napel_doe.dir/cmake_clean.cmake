@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/napel_doe.dir/doe.cpp.o"
+  "CMakeFiles/napel_doe.dir/doe.cpp.o.d"
+  "libnapel_doe.a"
+  "libnapel_doe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/napel_doe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

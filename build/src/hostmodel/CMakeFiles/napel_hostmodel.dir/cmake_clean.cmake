@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/napel_hostmodel.dir/host_model.cpp.o"
+  "CMakeFiles/napel_hostmodel.dir/host_model.cpp.o.d"
+  "libnapel_hostmodel.a"
+  "libnapel_hostmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/napel_hostmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

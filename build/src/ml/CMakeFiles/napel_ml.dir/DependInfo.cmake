@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/napel_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/napel_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/ml/CMakeFiles/napel_ml.dir/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/napel_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/gbm.cpp" "src/ml/CMakeFiles/napel_ml.dir/gbm.cpp.o" "gcc" "src/ml/CMakeFiles/napel_ml.dir/gbm.cpp.o.d"
+  "/root/repo/src/ml/linalg.cpp" "src/ml/CMakeFiles/napel_ml.dir/linalg.cpp.o" "gcc" "src/ml/CMakeFiles/napel_ml.dir/linalg.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/ml/CMakeFiles/napel_ml.dir/mlp.cpp.o" "gcc" "src/ml/CMakeFiles/napel_ml.dir/mlp.cpp.o.d"
+  "/root/repo/src/ml/model_tree.cpp" "src/ml/CMakeFiles/napel_ml.dir/model_tree.cpp.o" "gcc" "src/ml/CMakeFiles/napel_ml.dir/model_tree.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/ml/CMakeFiles/napel_ml.dir/random_forest.cpp.o" "gcc" "src/ml/CMakeFiles/napel_ml.dir/random_forest.cpp.o.d"
+  "/root/repo/src/ml/ridge.cpp" "src/ml/CMakeFiles/napel_ml.dir/ridge.cpp.o" "gcc" "src/ml/CMakeFiles/napel_ml.dir/ridge.cpp.o.d"
+  "/root/repo/src/ml/scaler.cpp" "src/ml/CMakeFiles/napel_ml.dir/scaler.cpp.o" "gcc" "src/ml/CMakeFiles/napel_ml.dir/scaler.cpp.o.d"
+  "/root/repo/src/ml/serialize.cpp" "src/ml/CMakeFiles/napel_ml.dir/serialize.cpp.o" "gcc" "src/ml/CMakeFiles/napel_ml.dir/serialize.cpp.o.d"
+  "/root/repo/src/ml/tuning.cpp" "src/ml/CMakeFiles/napel_ml.dir/tuning.cpp.o" "gcc" "src/ml/CMakeFiles/napel_ml.dir/tuning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/napel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

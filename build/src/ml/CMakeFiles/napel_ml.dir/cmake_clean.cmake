@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/napel_ml.dir/dataset.cpp.o"
+  "CMakeFiles/napel_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/napel_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/napel_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/napel_ml.dir/gbm.cpp.o"
+  "CMakeFiles/napel_ml.dir/gbm.cpp.o.d"
+  "CMakeFiles/napel_ml.dir/linalg.cpp.o"
+  "CMakeFiles/napel_ml.dir/linalg.cpp.o.d"
+  "CMakeFiles/napel_ml.dir/mlp.cpp.o"
+  "CMakeFiles/napel_ml.dir/mlp.cpp.o.d"
+  "CMakeFiles/napel_ml.dir/model_tree.cpp.o"
+  "CMakeFiles/napel_ml.dir/model_tree.cpp.o.d"
+  "CMakeFiles/napel_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/napel_ml.dir/random_forest.cpp.o.d"
+  "CMakeFiles/napel_ml.dir/ridge.cpp.o"
+  "CMakeFiles/napel_ml.dir/ridge.cpp.o.d"
+  "CMakeFiles/napel_ml.dir/scaler.cpp.o"
+  "CMakeFiles/napel_ml.dir/scaler.cpp.o.d"
+  "CMakeFiles/napel_ml.dir/serialize.cpp.o"
+  "CMakeFiles/napel_ml.dir/serialize.cpp.o.d"
+  "CMakeFiles/napel_ml.dir/tuning.cpp.o"
+  "CMakeFiles/napel_ml.dir/tuning.cpp.o.d"
+  "libnapel_ml.a"
+  "libnapel_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/napel_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/napel_core.dir/dse.cpp.o"
+  "CMakeFiles/napel_core.dir/dse.cpp.o.d"
+  "CMakeFiles/napel_core.dir/loao.cpp.o"
+  "CMakeFiles/napel_core.dir/loao.cpp.o.d"
+  "CMakeFiles/napel_core.dir/model_io.cpp.o"
+  "CMakeFiles/napel_core.dir/model_io.cpp.o.d"
+  "CMakeFiles/napel_core.dir/napel_model.cpp.o"
+  "CMakeFiles/napel_core.dir/napel_model.cpp.o.d"
+  "CMakeFiles/napel_core.dir/pipeline.cpp.o"
+  "CMakeFiles/napel_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/napel_core.dir/suitability.cpp.o"
+  "CMakeFiles/napel_core.dir/suitability.cpp.o.d"
+  "libnapel_core.a"
+  "libnapel_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/napel_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/napel_profiler.dir/ilp.cpp.o"
+  "CMakeFiles/napel_profiler.dir/ilp.cpp.o.d"
+  "CMakeFiles/napel_profiler.dir/profile.cpp.o"
+  "CMakeFiles/napel_profiler.dir/profile.cpp.o.d"
+  "CMakeFiles/napel_profiler.dir/reuse_distance.cpp.o"
+  "CMakeFiles/napel_profiler.dir/reuse_distance.cpp.o.d"
+  "libnapel_profiler.a"
+  "libnapel_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/napel_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/arch.cpp" "src/sim/CMakeFiles/napel_sim.dir/arch.cpp.o" "gcc" "src/sim/CMakeFiles/napel_sim.dir/arch.cpp.o.d"
+  "/root/repo/src/sim/l1_cache.cpp" "src/sim/CMakeFiles/napel_sim.dir/l1_cache.cpp.o" "gcc" "src/sim/CMakeFiles/napel_sim.dir/l1_cache.cpp.o.d"
+  "/root/repo/src/sim/link.cpp" "src/sim/CMakeFiles/napel_sim.dir/link.cpp.o" "gcc" "src/sim/CMakeFiles/napel_sim.dir/link.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/napel_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/napel_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/vault.cpp" "src/sim/CMakeFiles/napel_sim.dir/vault.cpp.o" "gcc" "src/sim/CMakeFiles/napel_sim.dir/vault.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/napel_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/napel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

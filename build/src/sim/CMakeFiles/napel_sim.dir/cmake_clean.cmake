@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/napel_sim.dir/arch.cpp.o"
+  "CMakeFiles/napel_sim.dir/arch.cpp.o.d"
+  "CMakeFiles/napel_sim.dir/l1_cache.cpp.o"
+  "CMakeFiles/napel_sim.dir/l1_cache.cpp.o.d"
+  "CMakeFiles/napel_sim.dir/link.cpp.o"
+  "CMakeFiles/napel_sim.dir/link.cpp.o.d"
+  "CMakeFiles/napel_sim.dir/simulator.cpp.o"
+  "CMakeFiles/napel_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/napel_sim.dir/vault.cpp.o"
+  "CMakeFiles/napel_sim.dir/vault.cpp.o.d"
+  "libnapel_sim.a"
+  "libnapel_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/napel_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/sink.cpp" "src/trace/CMakeFiles/napel_trace.dir/sink.cpp.o" "gcc" "src/trace/CMakeFiles/napel_trace.dir/sink.cpp.o.d"
+  "/root/repo/src/trace/trace_file.cpp" "src/trace/CMakeFiles/napel_trace.dir/trace_file.cpp.o" "gcc" "src/trace/CMakeFiles/napel_trace.dir/trace_file.cpp.o.d"
+  "/root/repo/src/trace/tracer.cpp" "src/trace/CMakeFiles/napel_trace.dir/tracer.cpp.o" "gcc" "src/trace/CMakeFiles/napel_trace.dir/tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/napel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/napel_trace.dir/sink.cpp.o"
+  "CMakeFiles/napel_trace.dir/sink.cpp.o.d"
+  "CMakeFiles/napel_trace.dir/trace_file.cpp.o"
+  "CMakeFiles/napel_trace.dir/trace_file.cpp.o.d"
+  "CMakeFiles/napel_trace.dir/tracer.cpp.o"
+  "CMakeFiles/napel_trace.dir/tracer.cpp.o.d"
+  "libnapel_trace.a"
+  "libnapel_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/napel_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/kernels/atax.cpp" "src/workloads/CMakeFiles/napel_workloads.dir/kernels/atax.cpp.o" "gcc" "src/workloads/CMakeFiles/napel_workloads.dir/kernels/atax.cpp.o.d"
+  "/root/repo/src/workloads/kernels/bfs.cpp" "src/workloads/CMakeFiles/napel_workloads.dir/kernels/bfs.cpp.o" "gcc" "src/workloads/CMakeFiles/napel_workloads.dir/kernels/bfs.cpp.o.d"
+  "/root/repo/src/workloads/kernels/bp.cpp" "src/workloads/CMakeFiles/napel_workloads.dir/kernels/bp.cpp.o" "gcc" "src/workloads/CMakeFiles/napel_workloads.dir/kernels/bp.cpp.o.d"
+  "/root/repo/src/workloads/kernels/chol.cpp" "src/workloads/CMakeFiles/napel_workloads.dir/kernels/chol.cpp.o" "gcc" "src/workloads/CMakeFiles/napel_workloads.dir/kernels/chol.cpp.o.d"
+  "/root/repo/src/workloads/kernels/extended.cpp" "src/workloads/CMakeFiles/napel_workloads.dir/kernels/extended.cpp.o" "gcc" "src/workloads/CMakeFiles/napel_workloads.dir/kernels/extended.cpp.o.d"
+  "/root/repo/src/workloads/kernels/gemver.cpp" "src/workloads/CMakeFiles/napel_workloads.dir/kernels/gemver.cpp.o" "gcc" "src/workloads/CMakeFiles/napel_workloads.dir/kernels/gemver.cpp.o.d"
+  "/root/repo/src/workloads/kernels/gesummv.cpp" "src/workloads/CMakeFiles/napel_workloads.dir/kernels/gesummv.cpp.o" "gcc" "src/workloads/CMakeFiles/napel_workloads.dir/kernels/gesummv.cpp.o.d"
+  "/root/repo/src/workloads/kernels/gramschmidt.cpp" "src/workloads/CMakeFiles/napel_workloads.dir/kernels/gramschmidt.cpp.o" "gcc" "src/workloads/CMakeFiles/napel_workloads.dir/kernels/gramschmidt.cpp.o.d"
+  "/root/repo/src/workloads/kernels/kmeans.cpp" "src/workloads/CMakeFiles/napel_workloads.dir/kernels/kmeans.cpp.o" "gcc" "src/workloads/CMakeFiles/napel_workloads.dir/kernels/kmeans.cpp.o.d"
+  "/root/repo/src/workloads/kernels/lu.cpp" "src/workloads/CMakeFiles/napel_workloads.dir/kernels/lu.cpp.o" "gcc" "src/workloads/CMakeFiles/napel_workloads.dir/kernels/lu.cpp.o.d"
+  "/root/repo/src/workloads/kernels/mvt.cpp" "src/workloads/CMakeFiles/napel_workloads.dir/kernels/mvt.cpp.o" "gcc" "src/workloads/CMakeFiles/napel_workloads.dir/kernels/mvt.cpp.o.d"
+  "/root/repo/src/workloads/kernels/syrk.cpp" "src/workloads/CMakeFiles/napel_workloads.dir/kernels/syrk.cpp.o" "gcc" "src/workloads/CMakeFiles/napel_workloads.dir/kernels/syrk.cpp.o.d"
+  "/root/repo/src/workloads/kernels/trmm.cpp" "src/workloads/CMakeFiles/napel_workloads.dir/kernels/trmm.cpp.o" "gcc" "src/workloads/CMakeFiles/napel_workloads.dir/kernels/trmm.cpp.o.d"
+  "/root/repo/src/workloads/params.cpp" "src/workloads/CMakeFiles/napel_workloads.dir/params.cpp.o" "gcc" "src/workloads/CMakeFiles/napel_workloads.dir/params.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/napel_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/napel_workloads.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/napel_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/napel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

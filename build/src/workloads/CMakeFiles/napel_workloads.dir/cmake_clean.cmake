@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/napel_workloads.dir/kernels/atax.cpp.o"
+  "CMakeFiles/napel_workloads.dir/kernels/atax.cpp.o.d"
+  "CMakeFiles/napel_workloads.dir/kernels/bfs.cpp.o"
+  "CMakeFiles/napel_workloads.dir/kernels/bfs.cpp.o.d"
+  "CMakeFiles/napel_workloads.dir/kernels/bp.cpp.o"
+  "CMakeFiles/napel_workloads.dir/kernels/bp.cpp.o.d"
+  "CMakeFiles/napel_workloads.dir/kernels/chol.cpp.o"
+  "CMakeFiles/napel_workloads.dir/kernels/chol.cpp.o.d"
+  "CMakeFiles/napel_workloads.dir/kernels/extended.cpp.o"
+  "CMakeFiles/napel_workloads.dir/kernels/extended.cpp.o.d"
+  "CMakeFiles/napel_workloads.dir/kernels/gemver.cpp.o"
+  "CMakeFiles/napel_workloads.dir/kernels/gemver.cpp.o.d"
+  "CMakeFiles/napel_workloads.dir/kernels/gesummv.cpp.o"
+  "CMakeFiles/napel_workloads.dir/kernels/gesummv.cpp.o.d"
+  "CMakeFiles/napel_workloads.dir/kernels/gramschmidt.cpp.o"
+  "CMakeFiles/napel_workloads.dir/kernels/gramschmidt.cpp.o.d"
+  "CMakeFiles/napel_workloads.dir/kernels/kmeans.cpp.o"
+  "CMakeFiles/napel_workloads.dir/kernels/kmeans.cpp.o.d"
+  "CMakeFiles/napel_workloads.dir/kernels/lu.cpp.o"
+  "CMakeFiles/napel_workloads.dir/kernels/lu.cpp.o.d"
+  "CMakeFiles/napel_workloads.dir/kernels/mvt.cpp.o"
+  "CMakeFiles/napel_workloads.dir/kernels/mvt.cpp.o.d"
+  "CMakeFiles/napel_workloads.dir/kernels/syrk.cpp.o"
+  "CMakeFiles/napel_workloads.dir/kernels/syrk.cpp.o.d"
+  "CMakeFiles/napel_workloads.dir/kernels/trmm.cpp.o"
+  "CMakeFiles/napel_workloads.dir/kernels/trmm.cpp.o.d"
+  "CMakeFiles/napel_workloads.dir/params.cpp.o"
+  "CMakeFiles/napel_workloads.dir/params.cpp.o.d"
+  "CMakeFiles/napel_workloads.dir/registry.cpp.o"
+  "CMakeFiles/napel_workloads.dir/registry.cpp.o.d"
+  "libnapel_workloads.a"
+  "libnapel_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/napel_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_doe.dir/doe/test_doe.cpp.o"
+  "CMakeFiles/test_doe.dir/doe/test_doe.cpp.o.d"
+  "test_doe"
+  "test_doe.pdb"
+  "test_doe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_doe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

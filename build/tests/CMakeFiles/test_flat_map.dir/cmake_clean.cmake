@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flat_map.dir/common/test_flat_map.cpp.o"
+  "CMakeFiles/test_flat_map.dir/common/test_flat_map.cpp.o.d"
+  "test_flat_map"
+  "test_flat_map.pdb"
+  "test_flat_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flat_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host_model.dir/hostmodel/test_host_model.cpp.o"
+  "CMakeFiles/test_host_model.dir/hostmodel/test_host_model.cpp.o.d"
+  "test_host_model"
+  "test_host_model.pdb"
+  "test_host_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_link_rowpolicy.dir/sim/test_link_rowpolicy.cpp.o"
+  "CMakeFiles/test_link_rowpolicy.dir/sim/test_link_rowpolicy.cpp.o.d"
+  "test_link_rowpolicy"
+  "test_link_rowpolicy.pdb"
+  "test_link_rowpolicy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_link_rowpolicy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loao.dir/napel/test_loao.cpp.o"
+  "CMakeFiles/test_loao.dir/napel/test_loao.cpp.o.d"
+  "test_loao"
+  "test_loao.pdb"
+  "test_loao[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loao.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_tree.dir/ml/test_model_tree.cpp.o"
+  "CMakeFiles/test_model_tree.dir/ml/test_model_tree.cpp.o.d"
+  "test_model_tree"
+  "test_model_tree.pdb"
+  "test_model_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

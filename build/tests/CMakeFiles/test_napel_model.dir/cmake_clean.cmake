@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_napel_model.dir/napel/test_model.cpp.o"
+  "CMakeFiles/test_napel_model.dir/napel/test_model.cpp.o.d"
+  "test_napel_model"
+  "test_napel_model.pdb"
+  "test_napel_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_napel_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

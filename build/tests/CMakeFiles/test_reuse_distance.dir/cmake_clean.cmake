@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reuse_distance.dir/profiler/test_reuse_distance.cpp.o"
+  "CMakeFiles/test_reuse_distance.dir/profiler/test_reuse_distance.cpp.o.d"
+  "test_reuse_distance"
+  "test_reuse_distance.pdb"
+  "test_reuse_distance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reuse_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ridge_linalg.dir/ml/test_ridge_linalg.cpp.o"
+  "CMakeFiles/test_ridge_linalg.dir/ml/test_ridge_linalg.cpp.o.d"
+  "test_ridge_linalg"
+  "test_ridge_linalg.pdb"
+  "test_ridge_linalg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ridge_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

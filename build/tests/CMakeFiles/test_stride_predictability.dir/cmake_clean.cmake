@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stride_predictability.dir/profiler/test_stride_predictability.cpp.o"
+  "CMakeFiles/test_stride_predictability.dir/profiler/test_stride_predictability.cpp.o.d"
+  "test_stride_predictability"
+  "test_stride_predictability.pdb"
+  "test_stride_predictability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stride_predictability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

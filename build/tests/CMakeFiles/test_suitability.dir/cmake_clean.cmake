@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suitability.dir/napel/test_suitability.cpp.o"
+  "CMakeFiles/test_suitability.dir/napel/test_suitability.cpp.o.d"
+  "test_suitability"
+  "test_suitability.pdb"
+  "test_suitability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suitability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

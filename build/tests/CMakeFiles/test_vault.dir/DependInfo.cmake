@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_vault.cpp" "tests/CMakeFiles/test_vault.dir/sim/test_vault.cpp.o" "gcc" "tests/CMakeFiles/test_vault.dir/sim/test_vault.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/napel/CMakeFiles/napel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/doe/CMakeFiles/napel_doe.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/napel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hostmodel/CMakeFiles/napel_hostmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/napel_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/napel_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/napel_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/napel_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/napel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vault.dir/sim/test_vault.cpp.o"
+  "CMakeFiles/test_vault.dir/sim/test_vault.cpp.o.d"
+  "test_vault"
+  "test_vault.pdb"
+  "test_vault[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/napel_cli.dir/napel_cli.cpp.o"
+  "CMakeFiles/napel_cli.dir/napel_cli.cpp.o.d"
+  "napel"
+  "napel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/napel_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_list "/root/repo/build/tools/napel" "list")
+set_tests_properties(cli_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_doe "/root/repo/build/tools/napel" "doe" "atax" "--scale" "tiny")
+set_tests_properties(cli_doe PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build/tools/napel" "frobnicate")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_roundtrip "/usr/bin/cmake" "-DCLI=/root/repo/build/tools/napel" "-DWORKDIR=/root/repo/build/tools" "-P" "/root/repo/tools/cli_roundtrip_test.cmake")
+set_tests_properties(cli_roundtrip PROPERTIES  LABELS "tools" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_record_simulate "/usr/bin/cmake" "-DCLI=/root/repo/build/tools/napel" "-DWORKDIR=/root/repo/build/tools" "-P" "/root/repo/tools/cli_trace_test.cmake")
+set_tests_properties(cli_record_simulate PROPERTIES  LABELS "tools" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
