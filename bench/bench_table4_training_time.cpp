@@ -8,9 +8,17 @@
 // magnitude faster, so absolute numbers are seconds — the shape to check is
 // the *relative* ordering (DoE run >> Train+Tune >> Pred) and the DoE
 // configuration counts, which match Table 4 exactly.
+// A second table sweeps the end-to-end pipeline (DoE collection + train)
+// over worker-thread counts: the three dominant loops — DoE-selected
+// simulations, forest fitting, and grid-search points — all fan out to the
+// shared pool, and the speedup column quantifies the win. Results are
+// byte-identical at every thread count (see test_parallel_determinism).
+#include <algorithm>
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 
 using namespace napel;
@@ -57,5 +65,40 @@ int main() {
   std::printf(
       "\npaper reference (minutes, their testbed): #DoE conf identical; "
       "DoE run 522-1084, Train+Tune 24.4-43.8, Pred 0.47-0.55\n");
+
+  // Thread-scaling sweep: same end-to-end work (all apps: DoE collection,
+  // then train+tune on the pooled rows) at 1/2/4/N worker threads.
+  std::vector<unsigned> thread_counts = {1, 2, 4};
+  const unsigned hw = ThreadPool::default_threads();
+  if (hw > 4) thread_counts.push_back(hw);
+
+  std::printf("\nThread scaling (all apps, DoE collection + train+tune):\n");
+  Table scaling(
+      {"threads", "DoE run (s)", "Train+Tune (s)", "total (s)", "speedup"});
+  double serial_total = 0.0;
+  for (const unsigned threads : thread_counts) {
+    auto copt = bench::bench_collect_options();
+    copt.n_threads = threads;
+    auto mopt = bench::bench_model_options(true);
+    mopt.n_threads = threads;
+
+    std::vector<core::TrainingRow> rows;
+    bench::Timer doe_timer;
+    for (const auto* w : workloads::all_workloads())
+      core::collect_training_data(*w, copt, rows);
+    const double doe_s = doe_timer.seconds();
+
+    bench::Timer train_timer;
+    core::NapelModel model;
+    model.train(rows, mopt);
+    const double train_s = train_timer.seconds();
+
+    const double total_s = doe_s + train_s;
+    if (threads == 1) serial_total = total_s;
+    scaling.add_row({std::to_string(threads), Table::fmt(doe_s, 2),
+                     Table::fmt(train_s, 2), Table::fmt(total_s, 2),
+                     Table::fmt(serial_total / total_s, 2) + "x"});
+  }
+  scaling.print(std::cout);
   return 0;
 }

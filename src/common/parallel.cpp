@@ -1,0 +1,175 @@
+#include "common/parallel.hpp"
+
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+namespace napel {
+
+namespace {
+
+/// Identity of the pool (and worker slot) the current thread belongs to,
+/// used to route nested submits to the worker's own deque and to pick the
+/// starting deque for steals.
+thread_local const ThreadPool* tl_pool = nullptr;
+thread_local unsigned tl_index = 0;
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned n_threads) {
+  const unsigned n = n_threads ? n_threads : default_threads();
+  queues_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) queues_.push_back(std::make_unique<Queue>());
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  stopping_.store(true, std::memory_order_release);
+  notify_waiters();
+  for (auto& w : workers_) w.join();
+  // Safety net: any task enqueued after the workers drained their queues
+  // (all TaskGroups should have been waited on before destruction).
+  std::function<void()> task;
+  while (pop_any(0, task)) {
+    task();
+    task = nullptr;
+  }
+}
+
+unsigned ThreadPool::default_threads() {
+  if (const char* env = std::getenv("NAPEL_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 4096)
+      return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? hw : 1;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(default_threads());
+  return pool;
+}
+
+void ThreadPool::submit(std::function<void()> fn) {
+  NAPEL_CHECK_MSG(!stopping_.load(std::memory_order_acquire),
+                  "submit on a stopping pool");
+  const unsigned q =
+      tl_pool == this
+          ? tl_index
+          : static_cast<unsigned>(rr_.fetch_add(1, std::memory_order_relaxed) %
+                                  queues_.size());
+  {
+    std::lock_guard<std::mutex> lk(queues_[q]->mu);
+    queues_[q]->tasks.push_back(std::move(fn));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  notify_waiters();
+}
+
+bool ThreadPool::pop_any(unsigned start, std::function<void()>& out) {
+  const std::size_t k = queues_.size();
+  for (std::size_t off = 0; off < k; ++off) {
+    Queue& q = *queues_[(start + off) % k];
+    std::lock_guard<std::mutex> lk(q.mu);
+    if (q.tasks.empty()) continue;
+    if (off == 0) {
+      // Own deque: newest first, so nested subtasks run before unrelated
+      // sibling work and fork-join scopes unwind quickly.
+      out = std::move(q.tasks.back());
+      q.tasks.pop_back();
+    } else {
+      // Steal the oldest task — the one its owner would reach last.
+      out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+    }
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    return true;
+  }
+  return false;
+}
+
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  const unsigned start = tl_pool == this ? tl_index : 0;
+  if (!pop_any(start, task)) return false;
+  task();
+  return true;
+}
+
+void ThreadPool::wait_for_work(const std::function<bool()>& done) {
+  std::unique_lock<std::mutex> lk(wake_mu_);
+  wake_.wait(lk, [&] {
+    return done() || pending_.load(std::memory_order_acquire) > 0 ||
+           stopping_.load(std::memory_order_acquire);
+  });
+}
+
+void ThreadPool::notify_waiters() {
+  // Empty critical section: pairs the notification with the predicate
+  // check under wake_mu_ so a waiter cannot sleep through a state change.
+  { std::lock_guard<std::mutex> lk(wake_mu_); }
+  wake_.notify_all();
+}
+
+void ThreadPool::worker_loop(unsigned me) {
+  tl_pool = this;
+  tl_index = me;
+  std::function<void()> task;
+  for (;;) {
+    if (pop_any(me, task)) {
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(wake_mu_);
+    wake_.wait(lk, [this] {
+      return stopping_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stopping_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0)
+      return;
+  }
+}
+
+void TaskGroup::run(std::function<void()> fn) {
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  pool_.submit([this, fn = std::move(fn)] {
+    try {
+      fn();
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(err_mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+    // The decrement that reaches zero releases the waiter, which may
+    // destroy the group immediately — nothing may touch `this` after it.
+    ThreadPool* pool = &pool_;
+    if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      pool->notify_waiters();
+  });
+}
+
+void TaskGroup::wait_no_throw() {
+  while (outstanding_.load(std::memory_order_acquire) > 0) {
+    if (pool_.try_run_one()) continue;
+    pool_.wait_for_work([this] {
+      return outstanding_.load(std::memory_order_acquire) == 0;
+    });
+  }
+}
+
+void TaskGroup::wait() {
+  wait_no_throw();
+  std::lock_guard<std::mutex> lk(err_mu_);
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace napel

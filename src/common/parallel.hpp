@@ -1,0 +1,162 @@
+// Deterministic multi-threaded execution engine.
+//
+// A work-stealing thread pool shared by every parallel phase of the
+// framework (DoE training-data collection, random-forest fitting,
+// hyper-parameter grid search, LOAO cross-validation). The design goal is
+// *determinism*: parallelism never changes results, only wall-clock time.
+// The contract that makes this hold everywhere in the codebase:
+//
+//   * work items are independent — each owns its private RNG (pre-derived
+//     before the parallel region so the root generator's stream is
+//     identical to the sequential implementation) and its private
+//     simulator/profiler/tree state;
+//   * each item writes only to its own pre-allocated output slot, so the
+//     assembled output is byte-identical to the sequential loop regardless
+//     of execution interleaving;
+//   * floating-point reductions over item results run sequentially, in
+//     item order, after the parallel region.
+//
+// Threading controls: every parallel entry point takes an `n_threads`
+// knob where 0 means "use the process-wide pool" (sized from the
+// NAPEL_THREADS environment variable when set, hardware concurrency
+// otherwise) and 1 means "run inline on the calling thread, touching no
+// pool at all".
+//
+// Nested parallelism is safe: a worker that waits on a TaskGroup helps
+// execute pending pool tasks instead of blocking, so inner parallel_for
+// calls (e.g. forest fits inside grid-search points inside LOAO folds)
+// cannot deadlock even on a single-worker pool.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace napel {
+
+class ThreadPool {
+ public:
+  /// n_threads == 0 selects default_threads().
+  explicit ThreadPool(unsigned n_threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(queues_.size()); }
+
+  /// NAPEL_THREADS environment override (decimal, >= 1) when set and
+  /// valid; otherwise std::thread::hardware_concurrency() (>= 1).
+  static unsigned default_threads();
+
+  /// The lazily-created process-wide pool, sized by default_threads().
+  static ThreadPool& global();
+
+  /// Enqueue a task. A pool worker pushes to its own deque (LIFO side,
+  /// for nested-task locality); external threads distribute round-robin.
+  void submit(std::function<void()> fn);
+
+  /// Pop and execute one pending task on the calling thread. Returns
+  /// false when every deque is empty. This is the "help" primitive that
+  /// keeps nested waits deadlock-free.
+  bool try_run_one();
+
+  /// Block until `done()` holds or a task may be available to help with.
+  void wait_for_work(const std::function<bool()>& done);
+
+  /// Wake every sleeping worker/waiter (used on task-group completion).
+  void notify_waiters();
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(unsigned me);
+  bool pop_any(unsigned start, std::function<void()>& out);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_;
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> rr_{0};
+};
+
+/// Fork-join scope over a pool: run() enqueues tasks, wait() blocks until
+/// all of them finished, helping with pending pool tasks meanwhile, and
+/// rethrows the first exception any task threw.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+  TaskGroup() : TaskGroup(ThreadPool::global()) {}
+  ~TaskGroup() { wait_no_throw(); }
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void run(std::function<void()> fn);
+  void wait();
+
+ private:
+  void wait_no_throw();
+
+  ThreadPool& pool_;
+  std::atomic<std::size_t> outstanding_{0};
+  std::mutex err_mu_;
+  std::exception_ptr error_;
+};
+
+/// Resolves an n_threads knob: 0 -> default_threads(), otherwise as given.
+inline unsigned effective_threads(unsigned n_threads) {
+  return n_threads ? n_threads : ThreadPool::default_threads();
+}
+
+/// Calls body(i) for every i in [0, n), fanning iterations out to at most
+/// `n_threads` concurrent executors (0 = pool default, 1 = inline serial,
+/// touching no pool). Iterations are claimed dynamically, so the body must
+/// write only to i-indexed state for deterministic output. The first
+/// exception thrown by any iteration is rethrown on the caller after
+/// remaining iterations are cancelled.
+template <typename Body>
+void parallel_for(std::size_t n, unsigned n_threads, Body&& body,
+                  ThreadPool* pool_ptr = nullptr) {
+  if (n == 0) return;
+  const unsigned workers =
+      pool_ptr && n_threads == 0 ? pool_ptr->size() : effective_threads(n_threads);
+  if (workers <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  ThreadPool& pool = pool_ptr ? *pool_ptr : ThreadPool::global();
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> cancelled{false};
+  const std::size_t n_tasks = std::min<std::size_t>(workers, n);
+  TaskGroup group(pool);
+  for (std::size_t t = 0; t < n_tasks; ++t) {
+    group.run([&next, &cancelled, n, &body] {
+      for (;;) {
+        if (cancelled.load(std::memory_order_relaxed)) return;
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        try {
+          body(i);
+        } catch (...) {
+          cancelled.store(true, std::memory_order_relaxed);
+          throw;
+        }
+      }
+    });
+  }
+  group.wait();
+}
+
+}  // namespace napel

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "common/stats.hpp"
 
 namespace napel::ml {
@@ -17,24 +18,31 @@ RandomForest::RandomForest(RandomForestParams params) : params_(params) {
 
 void RandomForest::fit(const Dataset& data) {
   NAPEL_CHECK_MSG(!data.empty(), "cannot fit on an empty dataset");
-  trees_.clear();
-  trees_.reserve(params_.n_trees);
   n_features_ = data.n_features();
   importance_raw_.assign(n_features_, 0.0);
-
-  Rng rng(params_.seed);
   const std::size_t n = data.size();
 
-  // Out-of-bag accumulation: per row, sum of predictions from trees whose
-  // bootstrap sample excluded it.
-  std::vector<double> oob_sum(n, 0.0);
-  std::vector<std::size_t> oob_cnt(n, 0);
-  std::vector<std::size_t> sample(n);
-  std::vector<char> in_bag(n);
+  // Pre-split every per-tree generator from the root generator up front:
+  // the root consumes exactly one split() per tree, the same stream the
+  // sequential implementation consumed, so tree t sees the same RNG no
+  // matter how many threads fit the forest.
+  Rng rng(params_.seed);
+  std::vector<Rng> tree_rngs;
+  tree_rngs.reserve(params_.n_trees);
+  for (unsigned t = 0; t < params_.n_trees; ++t)
+    tree_rngs.push_back(rng.split());
 
-  for (unsigned t = 0; t < params_.n_trees; ++t) {
-    Rng tree_rng = rng.split();
-    std::fill(in_bag.begin(), in_bag.end(), 0);
+  // Trees fit concurrently into pre-allocated slots; out-of-bag
+  // predictions are staged per tree (row index ascending) and reduced
+  // sequentially below.
+  trees_.assign(params_.n_trees, DecisionTree{});
+  std::vector<std::vector<std::pair<std::size_t, double>>> oob_preds(
+      params_.n_trees);
+
+  parallel_for(params_.n_trees, params_.n_threads, [&](std::size_t t) {
+    Rng tree_rng = tree_rngs[t];
+    std::vector<std::size_t> sample(n);
+    std::vector<char> in_bag(n, 0);
     for (std::size_t i = 0; i < n; ++i) {
       sample[i] = tree_rng.uniform_index(n);
       in_bag[sample[i]] = 1;
@@ -47,18 +55,26 @@ void RandomForest::fit(const Dataset& data) {
     tp.min_samples_leaf = params_.min_samples_leaf;
     tp.mtry_fraction = params_.mtry_fraction;
     tp.seed = tree_rng();
-    DecisionTree& tree = trees_.emplace_back(tp);
+    DecisionTree tree(tp);
     tree.fit(boot);
 
-    const auto& imp = tree.feature_importance();
+    for (std::size_t i = 0; i < n; ++i)
+      if (!in_bag[i]) oob_preds[t].emplace_back(i, tree.predict(data.row(i)));
+    trees_[t] = std::move(tree);
+  });
+
+  // Sequential reduction in tree order: feature-importance sums and the
+  // out-of-bag accumulators add in exactly the order the sequential loop
+  // used, keeping oob_mre_ and save() bytes bit-identical.
+  std::vector<double> oob_sum(n, 0.0);
+  std::vector<std::size_t> oob_cnt(n, 0);
+  for (unsigned t = 0; t < params_.n_trees; ++t) {
+    const auto& imp = trees_[t].feature_importance();
     for (std::size_t f = 0; f < n_features_; ++f)
       importance_raw_[f] += imp[f];
-
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!in_bag[i]) {
-        oob_sum[i] += tree.predict(data.row(i));
-        ++oob_cnt[i];
-      }
+    for (const auto& [i, pred] : oob_preds[t]) {
+      oob_sum[i] += pred;
+      ++oob_cnt[i];
     }
   }
 

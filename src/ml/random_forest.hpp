@@ -22,6 +22,10 @@ struct RandomForestParams {
   /// (regression default ≈ 1/3).
   double mtry_fraction = 1.0 / 3.0;
   std::uint64_t seed = 42;
+  /// Worker threads for tree fitting: 0 = process-wide pool, 1 = serial.
+  /// Never serialized; the fitted forest, its out-of-bag error, and its
+  /// save() bytes are identical at any thread count.
+  unsigned n_threads = 0;
 };
 
 class RandomForest final : public Regressor {

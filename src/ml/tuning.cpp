@@ -3,13 +3,15 @@
 #include <limits>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "ml/metrics.hpp"
 
 namespace napel::ml {
 
 RfTuningResult tune_random_forest(const Dataset& data,
                                   const RfTuningGrid& grid,
-                                  std::size_t k_folds, std::uint64_t seed) {
+                                  std::size_t k_folds, std::uint64_t seed,
+                                  unsigned n_threads) {
   NAPEL_CHECK(grid.combinations() >= 1);
   NAPEL_CHECK_MSG(data.size() >= k_folds,
                   "need at least k_folds training rows");
@@ -17,10 +19,11 @@ RfTuningResult tune_random_forest(const Dataset& data,
   Rng rng(seed);
   const std::vector<std::size_t> fold = data.kfold_assignment(k_folds, rng);
 
-  RfTuningResult result;
-  result.all_scores.reserve(grid.combinations());
-  double best = std::numeric_limits<double>::infinity();
-
+  // Materialize the grid in its canonical nesting order so combination c
+  // has the same parameters (and the same tie-breaking rank) the
+  // sequential quadruple loop gave it.
+  std::vector<RandomForestParams> combos;
+  combos.reserve(grid.combinations());
   for (unsigned nt : grid.n_trees) {
     for (unsigned md : grid.max_depth) {
       for (double mtry : grid.mtry_fraction) {
@@ -32,29 +35,42 @@ RfTuningResult tune_random_forest(const Dataset& data,
           p.min_samples_leaf = leaf;
           p.min_samples_split = 2 * leaf >= 2 ? 2 * leaf : 2;
           p.seed = seed;
-
-          double mre_sum = 0.0;
-          std::size_t folds_used = 0;
-          for (std::size_t f = 0; f < k_folds; ++f) {
-            auto [train, test] = data.split_fold(fold, f);
-            if (train.empty() || test.empty()) continue;
-            RandomForest model(p);
-            model.fit(train);
-            mre_sum += evaluate(model, test).mre;
-            ++folds_used;
-          }
-          const double score =
-              folds_used ? mre_sum / static_cast<double>(folds_used)
-                         : std::numeric_limits<double>::infinity();
-          result.all_scores.push_back(score);
-          ++result.combinations_evaluated;
-          if (score < best) {
-            best = score;
-            result.best_params = p;
-            result.best_cv_mre = score;
-          }
+          p.n_threads = n_threads;
+          combos.push_back(p);
         }
       }
+    }
+  }
+
+  RfTuningResult result;
+  result.all_scores.assign(combos.size(),
+                           std::numeric_limits<double>::infinity());
+
+  // Each grid point owns its score slot; the fold loop inside stays
+  // sequential (per-point cost is already k forest fits, which themselves
+  // parallelize over trees through the shared pool).
+  parallel_for(combos.size(), n_threads, [&](std::size_t c) {
+    double mre_sum = 0.0;
+    std::size_t folds_used = 0;
+    for (std::size_t f = 0; f < k_folds; ++f) {
+      auto [train, test] = data.split_fold(fold, f);
+      if (train.empty() || test.empty()) continue;
+      RandomForest model(combos[c]);
+      model.fit(train);
+      mre_sum += evaluate(model, test).mre;
+      ++folds_used;
+    }
+    if (folds_used)
+      result.all_scores[c] = mre_sum / static_cast<double>(folds_used);
+  });
+
+  result.combinations_evaluated = combos.size();
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < combos.size(); ++c) {
+    if (result.all_scores[c] < best) {
+      best = result.all_scores[c];
+      result.best_params = combos[c];
+      result.best_cv_mre = best;
     }
   }
   return result;

@@ -31,10 +31,15 @@ struct RfTuningResult {
   std::vector<double> all_scores;
 };
 
-/// Exhaustive grid search with k-fold CV; deterministic given `seed`.
+/// Exhaustive grid search with k-fold CV; deterministic given `seed` at
+/// any thread count. Grid points are evaluated concurrently (n_threads:
+/// 0 = process-wide pool, 1 = serial); scores, the winning combination,
+/// and its tie-breaking (first best in grid order) never depend on the
+/// execution interleaving.
 RfTuningResult tune_random_forest(const Dataset& data,
                                   const RfTuningGrid& grid,
                                   std::size_t k_folds = 4,
-                                  std::uint64_t seed = 1234);
+                                  std::uint64_t seed = 1234,
+                                  unsigned n_threads = 0);
 
 }  // namespace napel::ml

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "ml/metrics.hpp"
 #include "ml/mlp.hpp"
 #include "ml/model_tree.hpp"
@@ -88,10 +89,13 @@ std::vector<LoaoAppResult> leave_one_app_out(
       apps.push_back(r.app);
   NAPEL_CHECK_MSG(apps.size() >= 2, "LOAO requires at least two applications");
 
-  std::vector<LoaoAppResult> results;
-  results.reserve(apps.size());
-
-  for (const auto& app : apps) {
+  // Each held-out application is an independent fold: it builds its own
+  // train/test split, trains from the same seed the sequential loop used,
+  // and writes its result into its own slot, so results are ordered by
+  // first appearance and identical at any thread count.
+  std::vector<LoaoAppResult> results(apps.size());
+  parallel_for(apps.size(), opts.n_threads, [&](std::size_t ai) {
+    const auto& app = apps[ai];
     std::vector<TrainingRow> train, test;
     for (const auto& r : rows) (r.app == app ? test : train).push_back(r);
 
@@ -108,6 +112,7 @@ std::vector<LoaoAppResult> leave_one_app_out(
       mo.grid = opts.grid;
       mo.k_folds = opts.k_folds;
       mo.seed = opts.seed;
+      mo.n_threads = opts.n_threads;
       model.train(train, mo);
       res.perf_mre = ml::evaluate(model.ipc_forest(), test_ipc).mre;
       res.energy_mre =
@@ -123,8 +128,8 @@ std::vector<LoaoAppResult> leave_one_app_out(
       power_model->fit(train_power);
       res.energy_mre = energy_mre(*ipc_model, *power_model, test);
     }
-    results.push_back(std::move(res));
-  }
+    results[ai] = std::move(res);
+  });
   return results;
 }
 

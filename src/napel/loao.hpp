@@ -32,6 +32,10 @@ struct LoaoOptions {
   ml::RfTuningGrid grid;
   std::size_t k_folds = 4;
   std::uint64_t seed = 77;
+  /// Worker threads for running held-out-application folds concurrently:
+  /// 0 = process-wide pool, 1 = serial. Every fold trains from the same
+  /// seed, so per-app MREs are identical at any thread count.
+  unsigned n_threads = 0;
 };
 
 /// Runs the LOAO protocol over all applications present in `rows`.

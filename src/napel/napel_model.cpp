@@ -46,9 +46,10 @@ void NapelModel::train(const std::vector<TrainingRow>& rows,
   auto fit_one = [&](const ml::Dataset& data, ml::RfTuningResult& tuning) {
     ml::RandomForestParams params = opts.untuned_params;
     params.seed = opts.seed;
+    params.n_threads = opts.n_threads;
     if (opts.tune && data.size() >= opts.k_folds) {
-      tuning =
-          ml::tune_random_forest(data, opts.grid, opts.k_folds, opts.seed);
+      tuning = ml::tune_random_forest(data, opts.grid, opts.k_folds,
+                                      opts.seed, opts.n_threads);
       params = tuning.best_params;
     }
     auto rf = std::make_unique<ml::RandomForest>(params);

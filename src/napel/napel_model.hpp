@@ -36,6 +36,9 @@ class NapelModel {
     std::size_t k_folds = 4;
     ml::RandomForestParams untuned_params;  ///< used when tune == false
     std::uint64_t seed = 77;
+    /// Worker threads for tuning and forest fitting: 0 = process-wide
+    /// pool, 1 = serial. The trained model is identical either way.
+    unsigned n_threads = 0;
   };
 
   /// Trains the IPC and energy forests on collected rows.

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "trace/tracer.hpp"
 
 namespace napel::core {
@@ -131,7 +132,18 @@ CollectStats collect_training_data(const workloads::Workload& w,
   CollectStats stats;
   stats.n_input_configs = configs.size();
 
-  for (std::size_t ci = 0; ci < configs.size(); ++ci) {
+  // Every (input config x architecture) item is independent: each claims a
+  // pre-sized output slot and owns a private Tracer/profiler/simulator
+  // stack, so the appended rows are byte-identical to the sequential loop
+  // at any thread count. Per-item wall-clock is reduced in config order
+  // after the parallel region.
+  const std::size_t per_config = opts.archs_per_config;
+  const std::size_t base = out.size();
+  out.resize(base + configs.size() * per_config);
+  std::vector<double> profile_seconds(configs.size(), 0.0);
+  std::vector<double> simulate_seconds(configs.size(), 0.0);
+
+  parallel_for(configs.size(), opts.n_threads, [&](std::size_t ci) {
     const auto& params = configs[ci];
     const std::uint64_t data_seed = opts.seed + ci;
 
@@ -140,13 +152,13 @@ CollectStats collect_training_data(const workloads::Workload& w,
     profiler::ProfileBuilder builder;
     tracer.attach(builder);
     std::vector<std::unique_ptr<sim::NmcSimulator>> sims;
-    for (std::size_t a = 0; a < opts.archs_per_config; ++a) {
+    for (std::size_t a = 0; a < per_config; ++a) {
       // Slot 0 is always the reference design point (pool[0], the paper's
       // Table 3 system): the model's primary prediction target. Remaining
       // slots rotate through the rest of the pool for architectural spread.
       const sim::ArchConfig& arch =
           a == 0 ? pool[0]
-                 : pool[1 + (ci * (opts.archs_per_config - 1) + a - 1) %
+                 : pool[1 + (ci * (per_config - 1) + a - 1) %
                                 (pool.size() - 1)];
       sims.push_back(std::make_unique<sim::NmcSimulator>(arch));
       tracer.attach(*sims.back());
@@ -155,16 +167,17 @@ CollectStats collect_training_data(const workloads::Workload& w,
     const auto t0 = Clock::now();
     w.run(tracer, params, data_seed);
     const profiler::Profile profile = builder.build();
-    stats.kernel_and_profile_seconds += seconds_since(t0);
+    profile_seconds[ci] = seconds_since(t0);
 
     const auto t1 = Clock::now();
-    for (auto& simp : sims) {
-      const sim::SimResult& res = simp->result();
+    for (std::size_t a = 0; a < sims.size(); ++a) {
+      sim::NmcSimulator& simulator = *sims[a];
+      const sim::SimResult& res = simulator.result();
       TrainingRow row;
       row.app = std::string(w.name());
       row.params = params;
-      row.arch = simp->config();
-      row.features = model_features(profile, simp->config());
+      row.arch = simulator.config();
+      row.features = model_features(profile, simulator.config());
       row.ipc = res.ipc;
       row.instructions = res.instructions;
       row.energy_pj_per_instr =
@@ -177,10 +190,15 @@ CollectStats collect_training_data(const workloads::Workload& w,
                             : res.energy_joules / res.time_seconds;
       row.sim_time_seconds = res.time_seconds;
       row.sim_energy_joules = res.energy_joules;
-      out.push_back(std::move(row));
-      ++stats.n_rows;
+      out[base + ci * per_config + a] = std::move(row);
     }
-    stats.simulation_seconds += seconds_since(t1);
+    simulate_seconds[ci] = seconds_since(t1);
+  });
+
+  stats.n_rows = configs.size() * per_config;
+  for (std::size_t ci = 0; ci < configs.size(); ++ci) {
+    stats.kernel_and_profile_seconds += profile_seconds[ci];
+    stats.simulation_seconds += simulate_seconds[ci];
   }
   return stats;
 }

@@ -57,6 +57,10 @@ struct CollectOptions {
   std::size_t archs_per_config = 3;
   std::size_t arch_pool_size = 8;
   std::uint64_t seed = 2019;
+  /// Worker threads for the (input config x architecture) fan-out:
+  /// 0 = process-wide pool (NAPEL_THREADS / hardware concurrency),
+  /// 1 = serial on the calling thread. Output is identical either way.
+  unsigned n_threads = 0;
 };
 
 struct CollectStats {

@@ -1,0 +1,152 @@
+// Thread-pool and parallel_for contract tests: exact coverage on uneven
+// ranges, exception propagation, serial fallback, the NAPEL_THREADS
+// override, and nested fork-join safety on deliberately tiny pools.
+#include "common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace napel {
+namespace {
+
+TEST(ParallelFor, CoversUnevenRangeExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1013;  // prime: never divides evenly
+  std::vector<int> hits(kN, 0);     // distinct slots, no synchronization
+  std::atomic<std::size_t> total{0};
+  parallel_for(
+      kN, 4,
+      [&](std::size_t i) {
+        ++hits[i];
+        total.fetch_add(1, std::memory_order_relaxed);
+      },
+      &pool);
+  EXPECT_EQ(total.load(), kN);
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(ParallelFor, EmptyAndSingletonRanges) {
+  ThreadPool pool(3);
+  int calls = 0;
+  parallel_for(0, 3, [&](std::size_t) { ++calls; }, &pool);
+  EXPECT_EQ(calls, 0);
+  parallel_for(1, 3, [&](std::size_t i) { calls += static_cast<int>(i) + 1; },
+               &pool);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, PropagatesWorkerException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(
+          100, 4,
+          [](std::size_t i) {
+            if (i == 37) throw std::runtime_error("boom");
+          },
+          &pool),
+      std::runtime_error);
+
+  // The pool survives a failed region and runs subsequent work.
+  std::atomic<int> after{0};
+  parallel_for(8, 4, [&](std::size_t) { ++after; }, &pool);
+  EXPECT_EQ(after.load(), 8);
+}
+
+TEST(ParallelFor, SingleThreadRunsInlineInOrder) {
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  parallel_for(16, 1, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  std::vector<std::size_t> expected(16);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, EnvOverrideControlsDefaultThreads) {
+  ::setenv("NAPEL_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_threads(), 3u);
+  ::setenv("NAPEL_THREADS", "0", 1);  // invalid: must fall back
+  EXPECT_GE(ThreadPool::default_threads(), 1u);
+  ::setenv("NAPEL_THREADS", "junk", 1);
+  EXPECT_GE(ThreadPool::default_threads(), 1u);
+  ::unsetenv("NAPEL_THREADS");
+  EXPECT_GE(ThreadPool::default_threads(), 1u);
+
+  ::setenv("NAPEL_THREADS", "2", 1);
+  ThreadPool pool(0);  // 0 → default_threads() → the override
+  EXPECT_EQ(pool.size(), 2u);
+  ::unsetenv("NAPEL_THREADS");
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // A two-worker pool with 4x8 nested iterations: inner waits must help
+  // drain the pool instead of blocking, or this test hangs.
+  ThreadPool pool(2);
+  std::atomic<int> sum{0};
+  parallel_for(
+      4, 2,
+      [&](std::size_t) {
+        parallel_for(8, 2, [&](std::size_t) { ++sum; }, &pool);
+      },
+      &pool);
+  EXPECT_EQ(sum.load(), 32);
+}
+
+TEST(ThreadPool, DeeplyNestedOnSingleWorkerPool) {
+  ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  parallel_for(
+      3, 4,
+      [&](std::size_t) {
+        parallel_for(
+            3, 4,
+            [&](std::size_t) {
+              parallel_for(3, 4, [&](std::size_t) { ++sum; }, &pool);
+            },
+            &pool);
+      },
+      &pool);
+  EXPECT_EQ(sum.load(), 27);
+}
+
+TEST(TaskGroup, SubmitFromWorkerIsSafe) {
+  ThreadPool pool(2);
+  std::atomic<int> v{0};
+  TaskGroup outer(pool);
+  for (int i = 0; i < 4; ++i) {
+    outer.run([&] {
+      TaskGroup inner(pool);
+      for (int j = 0; j < 4; ++j) inner.run([&] { ++v; });
+      inner.wait();
+    });
+  }
+  outer.wait();
+  EXPECT_EQ(v.load(), 16);
+}
+
+TEST(TaskGroup, WaitRethrowsFirstFailureOnce) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  group.run([] { throw std::logic_error("first"); });
+  EXPECT_THROW(group.wait(), std::logic_error);
+  group.run([] {});
+  EXPECT_NO_THROW(group.wait());  // error was consumed by the first wait
+}
+
+TEST(ParallelFor, ManyMoreTasksThanWorkers) {
+  ThreadPool pool(2);
+  std::vector<int> hits(257, 0);
+  parallel_for(hits.size(), 16, [&](std::size_t i) { ++hits[i]; }, &pool);
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], 1);
+}
+
+}  // namespace
+}  // namespace napel

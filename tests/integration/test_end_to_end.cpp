@@ -3,7 +3,10 @@
 // prediction of previously-unseen applications, and suitability analysis.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
+#include <set>
+#include <string>
 
 #include "napel/napel.hpp"
 

@@ -1,0 +1,127 @@
+// Determinism regression for the multi-threaded execution engine: the
+// whole point of the threading model is that n_threads changes wall-clock
+// time and nothing else. Collection, forest fitting, tuning, and LOAO must
+// produce bit-identical results at 1, 2, and 8 threads.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "napel/napel.hpp"
+
+namespace napel {
+namespace {
+
+std::vector<core::TrainingRow> collect_rows(unsigned n_threads) {
+  core::CollectOptions o;
+  o.scale = workloads::Scale::kTiny;
+  o.archs_per_config = 2;
+  o.arch_pool_size = 6;
+  o.n_threads = n_threads;
+  std::vector<core::TrainingRow> rows;
+  for (const char* app : {"atax", "mvt", "bfs"})
+    core::collect_training_data(workloads::workload(app), o, rows);
+  return rows;
+}
+
+void expect_rows_identical(const std::vector<core::TrainingRow>& a,
+                           const std::vector<core::TrainingRow>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("row " + std::to_string(i));
+    EXPECT_EQ(a[i].app, b[i].app);
+    EXPECT_EQ(a[i].params.to_string(), b[i].params.to_string());
+    EXPECT_EQ(a[i].arch.to_string(), b[i].arch.to_string());
+    ASSERT_EQ(a[i].features.size(), b[i].features.size());
+    for (std::size_t f = 0; f < a[i].features.size(); ++f)
+      EXPECT_EQ(a[i].features[f], b[i].features[f]) << "feature " << f;
+    EXPECT_EQ(a[i].ipc, b[i].ipc);
+    EXPECT_EQ(a[i].energy_pj_per_instr, b[i].energy_pj_per_instr);
+    EXPECT_EQ(a[i].power_watts, b[i].power_watts);
+    EXPECT_EQ(a[i].instructions, b[i].instructions);
+    EXPECT_EQ(a[i].sim_time_seconds, b[i].sim_time_seconds);
+    EXPECT_EQ(a[i].sim_energy_joules, b[i].sim_energy_joules);
+  }
+}
+
+TEST(ParallelDeterminism, TrainingRowsIdenticalAcrossThreadCounts) {
+  const auto serial = collect_rows(1);
+  expect_rows_identical(serial, collect_rows(2));
+  expect_rows_identical(serial, collect_rows(8));
+}
+
+TEST(ParallelDeterminism, ForestSaveBytesIdenticalAcrossThreadCounts) {
+  const auto rows = collect_rows(1);
+  const ml::Dataset data = core::assemble_dataset(rows, core::Target::kIpc);
+
+  auto fit_and_save = [&](unsigned n_threads) {
+    ml::RandomForestParams p;
+    p.n_trees = 24;
+    p.max_depth = 12;
+    p.seed = 7;
+    p.n_threads = n_threads;
+    ml::RandomForest rf(p);
+    rf.fit(data);
+    std::ostringstream os;
+    rf.save(os);
+    return std::pair<std::string, double>(os.str(), rf.oob_mre());
+  };
+
+  const auto [bytes1, oob1] = fit_and_save(1);
+  const auto [bytes2, oob2] = fit_and_save(2);
+  const auto [bytes8, oob8] = fit_and_save(8);
+  EXPECT_EQ(bytes1, bytes2);
+  EXPECT_EQ(bytes1, bytes8);
+  EXPECT_EQ(oob1, oob2);
+  EXPECT_EQ(oob1, oob8);
+}
+
+TEST(ParallelDeterminism, TuningPicksSameWinnerAcrossThreadCounts) {
+  const auto rows = collect_rows(1);
+  const ml::Dataset data = core::assemble_dataset(rows, core::Target::kIpc);
+
+  ml::RfTuningGrid grid;
+  grid.n_trees = {12};
+  grid.max_depth = {6, 10};
+  grid.mtry_fraction = {1.0 / 3.0};
+  grid.min_samples_leaf = {1, 2};
+
+  const auto serial = ml::tune_random_forest(data, grid, 3, 11, 1);
+  const auto threaded = ml::tune_random_forest(data, grid, 3, 11, 8);
+  EXPECT_EQ(serial.best_cv_mre, threaded.best_cv_mre);
+  EXPECT_EQ(serial.best_params.n_trees, threaded.best_params.n_trees);
+  EXPECT_EQ(serial.best_params.max_depth, threaded.best_params.max_depth);
+  EXPECT_EQ(serial.best_params.min_samples_leaf,
+            threaded.best_params.min_samples_leaf);
+  EXPECT_EQ(serial.best_params.mtry_fraction,
+            threaded.best_params.mtry_fraction);
+  ASSERT_EQ(serial.all_scores.size(), threaded.all_scores.size());
+  for (std::size_t c = 0; c < serial.all_scores.size(); ++c)
+    EXPECT_EQ(serial.all_scores[c], threaded.all_scores[c]) << "combo " << c;
+}
+
+TEST(ParallelDeterminism, LoaoMresIdenticalAcrossThreadCounts) {
+  const auto rows = collect_rows(2);
+
+  auto run = [&](unsigned n_threads) {
+    core::LoaoOptions lo;
+    lo.tune_rf = false;
+    lo.n_threads = n_threads;
+    return core::leave_one_app_out(rows, core::ModelKind::kNapelRf, lo);
+  };
+
+  const auto serial = run(1);
+  const auto threaded = run(8);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].app, threaded[i].app);
+    EXPECT_EQ(serial[i].test_rows, threaded[i].test_rows);
+    EXPECT_EQ(serial[i].perf_mre, threaded[i].perf_mre) << serial[i].app;
+    EXPECT_EQ(serial[i].energy_mre, threaded[i].energy_mre) << serial[i].app;
+  }
+}
+
+}  // namespace
+}  // namespace napel

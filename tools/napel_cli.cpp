@@ -149,6 +149,9 @@ int cmd_train(const Args& a) {
   copt.scale = parse_scale(a);
   copt.archs_per_config = parse_u64(a, "archs", 3);
   copt.seed = parse_u64(a, "seed", 2019);
+  // 0 = the process-wide pool (NAPEL_THREADS env override, hardware
+  // concurrency default); results are identical at any thread count.
+  copt.n_threads = static_cast<unsigned>(parse_u64(a, "threads", 0));
 
   std::vector<core::TrainingRow> rows;
   for (const auto& app : apps) {
@@ -162,6 +165,7 @@ int cmd_train(const Args& a) {
   core::NapelModel model;
   core::NapelModel::Options mopt;
   mopt.tune = a.options.contains("tune");
+  mopt.n_threads = copt.n_threads;
   mopt.untuned_params.n_trees = 100;
   model.train(rows, mopt);
   core::save_model_file(model, out_it->second);
@@ -280,6 +284,7 @@ int usage() {
                "  list                               available workloads\n"
                "  doe <workload> [--scale S]         print CCD configurations\n"
                "  train -o FILE [--apps a,b] [--scale S] [--tune] [--archs N]\n"
+               "        [--threads N]  (0 = all cores; NAPEL_THREADS env also honoured)\n"
                "  predict -m FILE --app W [--pes N] [--freq GHZ] [--cache-lines N]\n"
                "  suitability -m FILE --app W [--scale S]\n"
                "  record <workload> -o FILE [--scale S]   capture a trace\n"
