@@ -41,13 +41,16 @@ int main() {
       const auto pred = model.predict(profile, arch);
       const auto band = model.ipc_forest().predict_interval(
           core::model_features(profile, arch));
+      std::string band_cell = "[";
+      band_cell += Table::fmt(band.lo, 2);
+      band_cell += ", ";
+      band_cell += Table::fmt(band.hi, 2);
+      band_cell += "]";
       t.add_row({std::to_string(lines),
                  std::to_string(lines * arch.cache_line_bytes),
                  Table::fmt(100.0 * sim_res.l1_hit_rate(), 1),
                  Table::fmt(host_res.edp / sim_res.edp, 2),
-                 Table::fmt(host_res.edp / pred.edp, 2),
-                 "[" + Table::fmt(band.lo, 2) + ", " + Table::fmt(band.hi, 2) +
-                     "]"});
+                 Table::fmt(host_res.edp / pred.edp, 2), std::move(band_cell)});
     }
     std::printf("--- %s (test input %s) ---\n", app,
                 input.to_string().c_str());

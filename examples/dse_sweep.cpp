@@ -49,9 +49,12 @@ int main() {
            "pred energy (uJ)"});
   for (std::size_t i : core::pareto_front(points)) {
     const auto& p = points[i];
-    t.add_row({p.arch.to_string(), Table::fmt(p.pred.ipc, 2),
-               "[" + Table::fmt(p.ipc_interval.lo, 2) + ", " +
-                   Table::fmt(p.ipc_interval.hi, 2) + "]",
+    std::string band = "[";
+    band += Table::fmt(p.ipc_interval.lo, 2);
+    band += ", ";
+    band += Table::fmt(p.ipc_interval.hi, 2);
+    band += "]";
+    t.add_row({p.arch.to_string(), Table::fmt(p.pred.ipc, 2), std::move(band),
                Table::fmt(p.pred.time_seconds * 1e6, 2),
                Table::fmt(p.pred.energy_joules * 1e6, 2)});
   }

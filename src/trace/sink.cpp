@@ -8,9 +8,12 @@ void CountingSink::begin_kernel(std::string_view name, unsigned n_threads) {
   kernel_name_ = std::string(name);
   n_threads_ = n_threads;
   by_thread_.assign(n_threads, 0);
+  in_kernel_ = true;
 }
 
 void CountingSink::on_instr(const InstrEvent& ev) {
+  NAPEL_CHECK_MSG(in_kernel_,
+                  "instr event outside a begin_kernel/end_kernel bracket");
   ++total_;
   ++by_op_[static_cast<std::size_t>(ev.op)];
   if (ev.thread < by_thread_.size()) ++by_thread_[ev.thread];
@@ -26,8 +29,18 @@ void VectorSink::begin_kernel(std::string_view name, unsigned n_threads) {
   n_threads_ = n_threads;
   events_.clear();
   ended_ = false;
+  in_kernel_ = true;
 }
 
-void VectorSink::on_instr(const InstrEvent& ev) { events_.push_back(ev); }
+void VectorSink::on_instr(const InstrEvent& ev) {
+  NAPEL_CHECK_MSG(in_kernel_,
+                  "instr event outside a begin_kernel/end_kernel bracket");
+  events_.push_back(ev);
+}
+
+void VectorSink::end_kernel() {
+  ended_ = true;
+  in_kernel_ = false;
+}
 
 }  // namespace napel::trace

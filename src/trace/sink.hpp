@@ -13,11 +13,20 @@
 namespace napel::trace {
 
 /// Stream consumer. A kernel run produces exactly one
-/// begin_kernel ... instr* ... end_kernel bracket.
+/// begin_kernel ... instr* ... end_kernel bracket; instr events outside a
+/// bracket are a contract violation (the utility sinks below enforce it,
+/// and verify::VerifyingSink reports it as a diagnostic).
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
 
+  /// Footprint notification: the tracer allocated [base, base+bytes) of
+  /// virtual address space. May arrive outside kernel brackets (arrays are
+  /// created up front). Default: ignored.
+  virtual void on_alloc(std::uint64_t base, std::uint64_t bytes) {
+    (void)base;
+    (void)bytes;
+  }
   virtual void begin_kernel(std::string_view name, unsigned n_threads) {
     (void)name;
     (void)n_threads;
@@ -31,6 +40,7 @@ class CountingSink final : public TraceSink {
  public:
   void begin_kernel(std::string_view name, unsigned n_threads) override;
   void on_instr(const InstrEvent& ev) override;
+  void end_kernel() override { in_kernel_ = false; }
 
   std::uint64_t total() const { return total_; }
   std::uint64_t count(OpType op) const {
@@ -49,6 +59,7 @@ class CountingSink final : public TraceSink {
   std::uint64_t total_ = 0;
   unsigned n_threads_ = 0;
   std::string kernel_name_;
+  bool in_kernel_ = false;
 };
 
 /// Buffers the full event stream in memory. Intended for tests and small
@@ -57,7 +68,7 @@ class VectorSink final : public TraceSink {
  public:
   void begin_kernel(std::string_view name, unsigned n_threads) override;
   void on_instr(const InstrEvent& ev) override;
-  void end_kernel() override { ended_ = true; }
+  void end_kernel() override;
 
   const std::vector<InstrEvent>& events() const { return events_; }
   bool ended() const { return ended_; }
@@ -69,6 +80,7 @@ class VectorSink final : public TraceSink {
   std::string kernel_name_;
   unsigned n_threads_ = 0;
   bool ended_ = false;
+  bool in_kernel_ = false;
 };
 
 }  // namespace napel::trace

@@ -46,6 +46,8 @@ std::uint64_t Tracer::allocate(std::uint64_t bytes) {
   NAPEL_CHECK(bytes > 0);
   const std::uint64_t base = alloc_cursor_;
   alloc_cursor_ += (bytes + 63) & ~63ULL;
+  // Footprint notification, so verifying sinks can bound address checks.
+  for (auto* s : sinks_) s->on_alloc(base, bytes);
   return base;
 }
 

@@ -1,0 +1,271 @@
+#include "verify/artifact_checks.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "doe/doe.hpp"
+#include "napel/model_io.hpp"
+#include "napel/pipeline.hpp"
+
+namespace napel::verify {
+
+namespace {
+
+Diagnostic make_diag(Severity severity, std::string rule,
+                     std::string_view context, std::string message,
+                     std::int64_t index = -1) {
+  return Diagnostic{
+      .rule = std::move(rule),
+      .severity = severity,
+      .context = std::string(context),
+      .index = index,
+      .message = std::move(message),
+  };
+}
+
+// --- CSV ------------------------------------------------------------------
+
+/// Splits one CSV line, honouring CsvWriter's RFC-4180 quoting ("" = quote).
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else if (c != '\r') {
+      cell += c;
+    }
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+/// True when the cell parses fully as a floating-point number.
+bool parse_number(const std::string& cell, double& out) {
+  if (cell.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(cell.c_str(), &end);
+  return end == cell.c_str() + cell.size();
+}
+
+}  // namespace
+
+// --- model ----------------------------------------------------------------
+
+void check_model_stream(std::istream& is, std::string_view name,
+                        DiagnosticEngine& diags) {
+  std::string tag;
+  std::size_t n_features = 0;
+  is >> tag >> n_features;
+  if (!is.good() || tag != "napel-model-v1") {
+    diags.report(make_diag(
+        Severity::kError, "model-format", name,
+        "bad header: expected \"napel-model-v1 <n_features>\", got \"" + tag +
+            "\""));
+    return;
+  }
+  const std::size_t expected = core::model_feature_names().size();
+  if (n_features != expected) {
+    diags.report(make_diag(
+        Severity::kError, "model-format", name,
+        "feature-schema mismatch: file has " + std::to_string(n_features) +
+            " features, this build expects " + std::to_string(expected)));
+    return;
+  }
+
+  // Rewind and let the real loader validate forest structure; its contract
+  // checks (tags, node bounds, truncation) become diagnostics here.
+  is.clear();
+  is.seekg(0);
+  core::NapelModel model;
+  try {
+    model = core::load_model(is);
+  } catch (const std::exception& e) {
+    diags.report(make_diag(Severity::kError, "model-format", name,
+                           std::string("model does not load: ") + e.what()));
+    return;
+  }
+
+  for (const auto* forest : {&model.ipc_forest(), &model.energy_forest()}) {
+    const std::string which =
+        forest == &model.ipc_forest() ? "ipc" : "energy";
+    if (!std::isfinite(forest->oob_mre()) || forest->oob_mre() < 0.0)
+      diags.report(make_diag(Severity::kError, "model-content", name,
+                             which + " forest has an invalid out-of-bag MRE"));
+    for (const double v : forest->feature_importance()) {
+      if (!std::isfinite(v) || v < 0.0) {
+        diags.report(make_diag(
+            Severity::kError, "model-content", name,
+            which + " forest has a non-finite or negative feature importance"));
+        break;
+      }
+    }
+  }
+}
+
+void check_model_file(const std::string& path, DiagnosticEngine& diags) {
+  std::ifstream f(path);
+  if (!f.good()) {
+    diags.report(make_diag(Severity::kError, "model-format", path,
+                           "cannot open model file"));
+    return;
+  }
+  check_model_stream(f, path, diags);
+}
+
+// --- CSV ------------------------------------------------------------------
+
+void check_csv_stream(std::istream& is, std::string_view name,
+                      DiagnosticEngine& diags) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    diags.report(
+        make_diag(Severity::kError, "csv-format", name, "empty file"));
+    return;
+  }
+  const auto header = split_csv_line(line);
+  std::set<std::string> seen;
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    if (header[c].empty())
+      diags.report(make_diag(Severity::kWarning, "csv-format", name,
+                             "column " + std::to_string(c) +
+                                 " has an empty name",
+                             0));
+    else if (!seen.insert(header[c]).second)
+      diags.report(make_diag(Severity::kWarning, "csv-format", name,
+                             "duplicate column name \"" + header[c] + "\"",
+                             0));
+  }
+
+  std::int64_t row = 0;
+  while (std::getline(is, line)) {
+    ++row;
+    if (line.empty() && is.peek() == std::char_traits<char>::eof()) break;
+    const auto cells = split_csv_line(line);
+    if (cells.size() != header.size()) {
+      diags.report(make_diag(Severity::kError, "csv-format", name,
+                             "row has " + std::to_string(cells.size()) +
+                                 " cells, header has " +
+                                 std::to_string(header.size()),
+                             row));
+      continue;
+    }
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      double v = 0.0;
+      if (parse_number(cells[c], v) && !std::isfinite(v))
+        diags.report(make_diag(Severity::kError, "csv-value", name,
+                               "column \"" + header[c] +
+                                   "\" holds a non-finite value \"" +
+                                   cells[c] + "\"",
+                               row));
+    }
+  }
+}
+
+void check_csv_file(const std::string& path, DiagnosticEngine& diags) {
+  std::ifstream f(path);
+  if (!f.good()) {
+    diags.report(make_diag(Severity::kError, "csv-format", path,
+                           "cannot open CSV file"));
+    return;
+  }
+  check_csv_stream(f, path, diags);
+}
+
+// --- DoE ------------------------------------------------------------------
+
+void check_doe_space(const workloads::DoeSpace& space,
+                     std::string_view context, DiagnosticEngine& diags) {
+  if (space.params.empty()) {
+    diags.report(make_diag(Severity::kError, "doe-param", context,
+                           "parameter space is empty"));
+    return;
+  }
+
+  std::set<std::string> names;
+  bool structurally_valid = true;
+  for (const auto& p : space.params) {
+    if (p.name.empty()) {
+      diags.report(make_diag(Severity::kError, "doe-param", context,
+                             "parameter with an empty name"));
+      structurally_valid = false;
+    } else if (!names.insert(p.name).second) {
+      diags.report(make_diag(Severity::kError, "doe-param", context,
+                             "duplicate parameter \"" + p.name + "\""));
+      structurally_valid = false;
+    }
+    for (std::size_t l = 0; l < p.levels.size(); ++l) {
+      if (p.levels[l] <= 0) {
+        diags.report(make_diag(
+            Severity::kError, "doe-param", context,
+            "parameter \"" + p.name + "\" level " + std::to_string(l) +
+                " is non-positive (" + std::to_string(p.levels[l]) + ")"));
+        structurally_valid = false;
+      }
+      if (l > 0 && p.levels[l] < p.levels[l - 1]) {
+        diags.report(make_diag(
+            Severity::kError, "doe-param", context,
+            "parameter \"" + p.name + "\" levels are not sorted ascending"));
+        structurally_valid = false;
+      } else if (l > 0 && p.levels[l] == p.levels[l - 1]) {
+        diags.report(make_diag(
+            Severity::kWarning, "doe-param", context,
+            "parameter \"" + p.name + "\" has duplicate level " +
+                std::to_string(p.levels[l]) +
+                " (CCD factorial/axial points coincide)"));
+      }
+    }
+    if (p.test <= 0) {
+      diags.report(make_diag(Severity::kError, "doe-param", context,
+                             "parameter \"" + p.name +
+                                 "\" test input is non-positive"));
+      structurally_valid = false;
+    }
+  }
+
+  if (space.dimension() > 6)
+    diags.report(make_diag(
+        Severity::kWarning, "doe-ccd", context,
+        "dimension " + std::to_string(space.dimension()) +
+            " makes the 2^k factorial portion of the CCD very large"));
+
+  if (!structurally_valid) return;  // CCD legality on broken spaces is noise
+
+  try {
+    const auto configs = doe::central_composite(space);
+    const std::size_t expected = doe::ccd_size(space.dimension());
+    if (configs.size() != expected)
+      diags.report(make_diag(
+          Severity::kError, "doe-ccd", context,
+          "central composite design has " + std::to_string(configs.size()) +
+              " points, the 2^k + 2k + (2k-1) rule expects " +
+              std::to_string(expected)));
+  } catch (const std::exception& e) {
+    diags.report(make_diag(
+        Severity::kError, "doe-ccd", context,
+        std::string("central_composite() rejects the space: ") + e.what()));
+  }
+}
+
+}  // namespace napel::verify

@@ -1,0 +1,48 @@
+// Static validators for NAPEL's serialized artifacts: model files written
+// by napel/model_io, CSV tables (training data / benchmark exports), and
+// DoE parameter spaces. Findings are reported through the same
+// DiagnosticEngine as the stream rules, so `napel lint` gives one unified
+// report across dynamic and static checks.
+//
+// Artifact rule catalog:
+//   model-format   unreadable file, bad header/tag, feature-count mismatch,
+//                  truncated or structurally invalid forests         (error)
+//   model-content  loaded model has non-finite or negative statistics
+//                  (OOB error, feature importance)                   (error)
+//   csv-format     unreadable file, empty header, blank/duplicate
+//                  column names (warn), ragged rows                  (error)
+//   csv-value      numeric-looking cell is nan/inf                   (error)
+//   doe-param      empty space, unnamed/duplicate parameters,
+//                  non-positive or unsorted levels, non-positive test
+//                  input; duplicate levels degrade CCD               (warn)
+//   doe-ccd        central_composite() fails or its point count does
+//                  not match the paper's ccd_size formula            (error)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "verify/diagnostics.hpp"
+#include "workloads/params.hpp"
+
+namespace napel::verify {
+
+/// Validates a serialized NapelModel (see napel/model_io.hpp). The stream
+/// overload uses `name` as the diagnostic context.
+void check_model_stream(std::istream& is, std::string_view name,
+                        DiagnosticEngine& diags);
+void check_model_file(const std::string& path, DiagnosticEngine& diags);
+
+/// Validates a CSV table: consistent row arity against the header and
+/// finite numeric cells. Quoted fields follow CsvWriter's RFC-4180 escaping.
+void check_csv_stream(std::istream& is, std::string_view name,
+                      DiagnosticEngine& diags);
+void check_csv_file(const std::string& path, DiagnosticEngine& diags);
+
+/// Validates one workload's DoE parameter space and the legality of the
+/// central-composite design built from it.
+void check_doe_space(const workloads::DoeSpace& space,
+                     std::string_view context, DiagnosticEngine& diags);
+
+}  // namespace napel::verify

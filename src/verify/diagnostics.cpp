@@ -1,0 +1,120 @@
+#include "verify/diagnostics.hpp"
+
+#include <ostream>
+
+namespace napel::verify {
+
+namespace {
+
+std::size_t severity_slot(Severity s) { return static_cast<std::size_t>(s); }
+
+void json_escape(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char hex[] = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string_view severity_name(Severity s) {
+  switch (s) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kInfo: return "info";
+  }
+  return "invalid";
+}
+
+void DiagnosticEngine::set_rule_enabled(std::string_view rule, bool enabled) {
+  enabled_[std::string(rule)] = enabled;
+}
+
+bool DiagnosticEngine::rule_enabled(std::string_view rule) const {
+  const auto it = enabled_.find(rule);
+  return it == enabled_.end() || it->second;
+}
+
+void DiagnosticEngine::report(Diagnostic d) {
+  auto& fired = fired_[d.rule];
+  ++fired;
+  if (!rule_enabled(d.rule)) return;
+  ++n_by_severity_[severity_slot(d.severity)];
+  auto& retained = retained_[d.rule];
+  if (opts_.max_per_rule != 0 && retained >= opts_.max_per_rule) return;
+  ++retained;
+  diags_.push_back(std::move(d));
+}
+
+std::uint64_t DiagnosticEngine::rule_count(std::string_view rule) const {
+  const auto it = fired_.find(rule);
+  return it == fired_.end() ? 0 : it->second;
+}
+
+void DiagnosticEngine::print_text(std::ostream& os) const {
+  for (const Diagnostic& d : diags_) {
+    os << d.context;
+    if (d.index >= 0) os << '@' << d.index;
+    os << ": " << severity_name(d.severity) << " [" << d.rule << "] "
+       << d.message << '\n';
+  }
+  const std::size_t shown = diags_.size();
+  const std::size_t total = error_count() + warning_count() + info_count();
+  if (total > shown)
+    os << "(" << (total - shown) << " further diagnostics suppressed by the "
+       << "per-rule limit)\n";
+  os << error_count() << " error(s), " << warning_count() << " warning(s), "
+     << info_count() << " info\n";
+}
+
+void DiagnosticEngine::print_json(std::ostream& os) const {
+  os << "{\"diagnostics\":[";
+  bool first = true;
+  for (const Diagnostic& d : diags_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"rule\":";
+    json_escape(os, d.rule);
+    os << ",\"severity\":";
+    json_escape(os, severity_name(d.severity));
+    os << ",\"context\":";
+    json_escape(os, d.context);
+    os << ",\"index\":" << d.index << ",\"message\":";
+    json_escape(os, d.message);
+    os << '}';
+  }
+  os << "],\"rule_counts\":{";
+  first = true;
+  for (const auto& [rule, n] : fired_) {
+    if (!first) os << ',';
+    first = false;
+    json_escape(os, rule);
+    os << ':' << n;
+  }
+  os << "},\"summary\":{\"errors\":" << error_count()
+     << ",\"warnings\":" << warning_count() << ",\"infos\":" << info_count()
+     << ",\"ok\":" << (ok() ? "true" : "false") << "}}\n";
+}
+
+void DiagnosticEngine::clear() {
+  diags_.clear();
+  fired_.clear();
+  retained_.clear();
+  n_by_severity_[0] = n_by_severity_[1] = n_by_severity_[2] = 0;
+}
+
+}  // namespace napel::verify

@@ -1,0 +1,84 @@
+// Diagnostic engine for the static/dynamic analysis framework.
+//
+// Every analysis (stream rules in VerifyingSink, artifact validators in
+// artifact_checks) reports findings as Diagnostic records identified by a
+// stable rule id. The engine owns severity accounting, per-rule
+// enable/disable and retention limits, and renders collected findings as
+// human-readable text or machine-readable JSON (`napel lint --json`).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace napel::verify {
+
+enum class Severity : std::uint8_t { kError, kWarning, kInfo };
+
+std::string_view severity_name(Severity s);
+
+/// One finding. `context` names the analyzed object (kernel name, file
+/// path, "app/scale" pair); `index` is the 0-based dynamic instruction
+/// index within a kernel stream, or -1 when the finding has no stream
+/// position (artifact checks, bracket-level findings).
+struct Diagnostic {
+  std::string rule;
+  Severity severity = Severity::kError;
+  std::string context;
+  std::int64_t index = -1;
+  std::string message;
+};
+
+class DiagnosticEngine {
+ public:
+  struct Options {
+    /// Diagnostics retained per rule id; further findings still count in
+    /// rule_count() but are dropped from the report. 0 = unlimited.
+    std::size_t max_per_rule = 25;
+  };
+
+  DiagnosticEngine() = default;
+  explicit DiagnosticEngine(Options opts) : opts_(opts) {}
+
+  /// Per-rule knob: disabled rules are counted in rule_count() but do not
+  /// contribute diagnostics or severity totals.
+  void set_rule_enabled(std::string_view rule, bool enabled);
+  bool rule_enabled(std::string_view rule) const;
+
+  void report(Diagnostic d);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  std::size_t error_count() const { return n_by_severity_[0]; }
+  std::size_t warning_count() const { return n_by_severity_[1]; }
+  std::size_t info_count() const { return n_by_severity_[2]; }
+  /// Total firings of `rule`, including disabled and over-limit ones.
+  std::uint64_t rule_count(std::string_view rule) const;
+  /// Rule id -> total firings, for summary tables.
+  const std::map<std::string, std::uint64_t, std::less<>>& rule_counts()
+      const {
+    return fired_;
+  }
+
+  /// True when no error-severity diagnostic was recorded.
+  bool ok() const { return error_count() == 0; }
+
+  /// "context[@index]: severity [rule] message" per line plus a summary.
+  void print_text(std::ostream& os) const;
+  /// {"diagnostics":[...],"summary":{...}} — stable key order.
+  void print_json(std::ostream& os) const;
+
+  void clear();
+
+ private:
+  Options opts_;
+  std::vector<Diagnostic> diags_;
+  std::map<std::string, std::uint64_t, std::less<>> fired_;
+  std::map<std::string, std::uint64_t, std::less<>> retained_;
+  std::map<std::string, bool, std::less<>> enabled_;
+  std::size_t n_by_severity_[3] = {0, 0, 0};
+};
+
+}  // namespace napel::verify

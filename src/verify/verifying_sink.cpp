@@ -1,0 +1,217 @@
+#include "verify/verifying_sink.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace napel::verify {
+
+namespace {
+
+using trace::InstrEvent;
+using trace::kNoReg;
+using trace::OpType;
+using trace::Reg;
+
+bool size_is_power_of_two(std::uint64_t size) {
+  return size != 0 && (size & (size - 1)) == 0;
+}
+
+std::string hex(std::uint64_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
+}  // namespace
+
+void VerifyingSink::diag(Severity severity, std::string rule,
+                         std::string message, bool at_instr) {
+  diags_->report(Diagnostic{
+      .rule = std::move(rule),
+      .severity = severity,
+      .context = kernel_.empty() ? std::string("<no-kernel>") : kernel_,
+      .index = at_instr ? instr_index_ : -1,
+      .message = std::move(message),
+  });
+}
+
+void VerifyingSink::on_alloc(std::uint64_t base, std::uint64_t bytes) {
+  if (bytes == 0) return;
+  const Range r{.base = base, .end = base + bytes};
+  const auto it = std::lower_bound(
+      footprint_.begin(), footprint_.end(), r,
+      [](const Range& a, const Range& b) { return a.base < b.base; });
+  footprint_.insert(it, r);
+  if (inner_ != nullptr) inner_->on_alloc(base, bytes);
+}
+
+bool VerifyingSink::in_footprint(std::uint64_t addr,
+                                 std::uint64_t size) const {
+  // First range with base > addr; the candidate is its predecessor.
+  auto it = std::upper_bound(
+      footprint_.begin(), footprint_.end(), addr,
+      [](std::uint64_t a, const Range& r) { return a < r.base; });
+  if (it == footprint_.begin()) return false;
+  --it;
+  return addr + size <= it->end;
+}
+
+void VerifyingSink::begin_kernel(std::string_view name, unsigned n_threads) {
+  if (in_kernel_) {
+    diag(Severity::kError, "bracket",
+         "begin_kernel(\"" + std::string(name) +
+             "\") while kernel \"" + kernel_ + "\" is still open",
+         /*at_instr=*/false);
+    return;  // keep the open bracket; do not re-arm the inner sink
+  }
+  kernel_ = std::string(name);
+  n_threads_ = n_threads;
+  in_kernel_ = true;
+  instr_index_ = 0;
+  if (name.empty())
+    diag(Severity::kError, "kernel-decl", "begin_kernel with an empty name",
+         /*at_instr=*/false);
+  if (n_threads == 0)
+    diag(Severity::kError, "kernel-decl", "begin_kernel with zero threads",
+         /*at_instr=*/false);
+  if (inner_ != nullptr) inner_->begin_kernel(name, n_threads);
+}
+
+void VerifyingSink::check_ssa(const InstrEvent& ev, bool defines) {
+  for (const Reg src : {ev.src1, ev.src2}) {
+    if (src != kNoReg && src > max_def_)
+      diag(Severity::kError, "ssa-def-before-use",
+           "source register r" + std::to_string(src) +
+               " used before any definition (max defined: r" +
+               std::to_string(max_def_) + ")");
+  }
+  if (ev.dst == kNoReg) return;
+  if (!defines) return;  // dest-legality already reported via operand-arity
+  if (max_def_ == kNoReg) {
+    // First definition seen becomes the baseline: a replayed trace may come
+    // from a tracer whose register counter did not start at 1.
+    max_def_ = ev.dst;
+    return;
+  }
+  if (ev.dst <= max_def_) {
+    diag(Severity::kError, "ssa-single-assignment",
+         "destination register r" + std::to_string(ev.dst) +
+             " re-assigned (SSA registers are defined exactly once)");
+    return;  // do not move max_def_ backwards
+  }
+  if (ev.dst != max_def_ + 1)
+    diag(Severity::kWarning, "reg-monotonic",
+         "destination register r" + std::to_string(ev.dst) +
+             " skips ids (expected r" + std::to_string(max_def_ + 1) + ")");
+  max_def_ = ev.dst;
+}
+
+void VerifyingSink::check_memory_event(const InstrEvent& ev) {
+  if (ev.addr == 0) {
+    diag(Severity::kError, "mem-null-addr",
+         std::string(op_name(ev.op)) + " with a null address");
+    return;  // alignment/footprint against address 0 would be noise
+  }
+  const auto size = static_cast<std::uint64_t>(ev.size);
+  if (!size_is_power_of_two(size) || size > 64) {
+    diag(Severity::kError, "mem-align",
+         std::string(op_name(ev.op)) + " access size " +
+             std::to_string(size) + " is not a power of two in [1, 64]");
+    return;
+  }
+  if (ev.addr % size != 0)
+    diag(Severity::kError, "mem-align",
+         std::string(op_name(ev.op)) + " address " + hex(ev.addr) +
+             " is not " + std::to_string(size) + "-byte aligned");
+  if (!footprint_.empty() && !in_footprint(ev.addr, size))
+    diag(Severity::kError, "mem-footprint",
+         std::string(op_name(ev.op)) + " of " + std::to_string(size) +
+             " bytes at " + hex(ev.addr) +
+             " falls outside every allocated range");
+}
+
+void VerifyingSink::on_instr(const InstrEvent& ev) {
+  ++events_seen_;
+  if (!in_kernel_) {
+    diag(Severity::kError, "bracket",
+         "instr event outside a begin_kernel/end_kernel bracket",
+         /*at_instr=*/false);
+    return;  // the utility sinks treat this as a hard error; do not forward
+  }
+
+  if (ev.op >= OpType::kCount) {
+    diag(Severity::kError, "operand-arity",
+         "invalid opcode " +
+             std::to_string(static_cast<unsigned>(ev.op)));
+    ++instr_index_;
+    return;  // inner sinks index per-opcode tables; do not forward
+  }
+
+  if (ev.thread >= n_threads_ && n_threads_ > 0)
+    diag(Severity::kError, "thread-id",
+         "thread id " + std::to_string(ev.thread) +
+             " >= declared n_threads " + std::to_string(n_threads_));
+
+  // Per-opcode operand arity and destination legality.
+  bool defines = false;
+  switch (ev.op) {
+    case OpType::kLoad:
+      defines = true;
+      if (ev.dst == kNoReg)
+        diag(Severity::kError, "operand-arity",
+             "load must define a destination register");
+      if (ev.src2 != kNoReg)
+        diag(Severity::kError, "operand-arity",
+             "load takes at most one source (the address register)");
+      break;
+    case OpType::kStore:
+      if (ev.dst != kNoReg)
+        diag(Severity::kError, "operand-arity",
+             "store must not define a register (dst must be kNoReg)");
+      break;
+    case OpType::kBranch:
+      if (ev.dst != kNoReg)
+        diag(Severity::kError, "operand-arity",
+             "branch must not define a register (dst must be kNoReg)");
+      if (ev.src2 != kNoReg)
+        diag(Severity::kError, "operand-arity",
+             "branch takes a single source (the condition register)");
+      break;
+    default:  // arithmetic
+      defines = true;
+      if (ev.dst == kNoReg)
+        diag(Severity::kError, "operand-arity",
+             std::string(op_name(ev.op)) +
+                 " must define a destination register");
+      break;
+  }
+
+  if (is_memory(ev.op)) {
+    check_memory_event(ev);
+  } else if (ev.addr != 0 || ev.size != 0) {
+    diag(Severity::kError, "non-mem-operands",
+         std::string(op_name(ev.op)) + " carries a memory payload (addr " +
+             hex(ev.addr) + ", size " + std::to_string(ev.size) + ")");
+  }
+
+  check_ssa(ev, defines);
+
+  ++instr_index_;
+  if (inner_ != nullptr) inner_->on_instr(ev);
+}
+
+void VerifyingSink::end_kernel() {
+  if (!in_kernel_) {
+    diag(Severity::kError, "bracket", "end_kernel without begin_kernel",
+         /*at_instr=*/false);
+    return;
+  }
+  if (instr_index_ == 0)
+    diag(Severity::kWarning, "empty-kernel",
+         "kernel bracket closed with zero instructions", /*at_instr=*/false);
+  in_kernel_ = false;
+  instr_index_ = -1;
+  if (inner_ != nullptr) inner_->end_kernel();
+}
+
+}  // namespace napel::verify

@@ -1,0 +1,80 @@
+// VerifyingSink: online rule checking over the virtual-ISA event stream.
+//
+// Wraps any TraceSink (or none) and validates every event against the ISA
+// contract documented in trace/isa.hpp before forwarding it. All rules run
+// in O(1)–O(live allocations) memory, so arbitrarily long streams verify
+// without buffering: because the tracer allocates SSA registers
+// monotonically, def-before-use and single-assignment reduce to comparisons
+// against the running maximum defined register.
+//
+// Stream rule catalog (ids are stable; see DESIGN.md "Static analysis &
+// verification"):
+//   bracket                 instr/end outside a begin_kernel bracket, or
+//                           begin_kernel while a bracket is open      (error)
+//   kernel-decl             begin_kernel with 0 threads or empty name (error)
+//   empty-kernel            bracket closed with zero instructions     (warn)
+//   thread-id               event thread id >= declared n_threads     (error)
+//   ssa-def-before-use      source register never defined             (error)
+//   ssa-single-assignment   destination register reused               (error)
+//   reg-monotonic           destination skips register ids            (warn)
+//   operand-arity           per-opcode dest/source legality (loads and
+//                           arithmetic must define; stores/branches must
+//                           not; branches take a single source)       (error)
+//   mem-null-addr           load/store with a null address            (error)
+//   mem-align               access size not a power of two in [1,64],
+//                           or address misaligned for the size        (error)
+//   mem-footprint           access outside every allocated range      (error)
+//   non-mem-operands        non-memory op carrying addr/size payload  (error)
+//
+// Out-of-bracket events are reported but NOT forwarded to the wrapped sink
+// (the utility sinks treat them as hard contract violations and throw).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/sink.hpp"
+#include "verify/diagnostics.hpp"
+
+namespace napel::verify {
+
+class VerifyingSink final : public trace::TraceSink {
+ public:
+  /// Diagnostics go to `diags`; events are forwarded to `inner` when given.
+  /// Both must outlive the sink.
+  explicit VerifyingSink(DiagnosticEngine& diags,
+                         trace::TraceSink* inner = nullptr)
+      : diags_(&diags), inner_(inner) {}
+
+  void on_alloc(std::uint64_t base, std::uint64_t bytes) override;
+  void begin_kernel(std::string_view name, unsigned n_threads) override;
+  void on_instr(const trace::InstrEvent& ev) override;
+  void end_kernel() override;
+
+  std::uint64_t events_seen() const { return events_seen_; }
+
+ private:
+  struct Range {
+    std::uint64_t base = 0;
+    std::uint64_t end = 0;  // one past the last allocated byte
+  };
+
+  void diag(Severity severity, std::string rule, std::string message,
+            bool at_instr = true);
+  bool in_footprint(std::uint64_t addr, std::uint64_t size) const;
+  void check_memory_event(const trace::InstrEvent& ev);
+  void check_ssa(const trace::InstrEvent& ev, bool defines);
+
+  DiagnosticEngine* diags_;
+  trace::TraceSink* inner_;
+  std::vector<Range> footprint_;  // sorted by base, non-overlapping
+  std::string kernel_;
+  std::uint64_t events_seen_ = 0;
+  std::int64_t instr_index_ = -1;   // within the current bracket
+  trace::Reg max_def_ = trace::kNoReg;  // registers 1..max_def_ are defined
+  unsigned n_threads_ = 0;
+  bool in_kernel_ = false;
+};
+
+}  // namespace napel::verify

@@ -22,7 +22,9 @@ TEST(Log2Histogram, BucketLowerBoundInvertsIndex) {
   for (std::size_t b = 0; b < 40; ++b) {
     const auto lo = Log2Histogram::bucket_lower_bound(b);
     EXPECT_EQ(h.bucket_index(lo), b);
-    if (b > 0) EXPECT_EQ(h.bucket_index(lo - 1), b - 1);
+    if (b > 0) {
+      EXPECT_EQ(h.bucket_index(lo - 1), b - 1);
+    }
   }
 }
 

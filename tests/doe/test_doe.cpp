@@ -18,9 +18,11 @@ using workloads::WorkloadParams;
 
 DoeSpace make_space(std::size_t k) {
   DoeSpace s;
-  for (std::size_t i = 0; i < k; ++i)
-    s.params.push_back(DoeParam("p" + std::to_string(i),
-                                {10, 20, 30, 40, 50}, 35));
+  for (std::size_t i = 0; i < k; ++i) {
+    std::string name = "p";
+    name += std::to_string(i);
+    s.params.push_back(DoeParam(std::move(name), {10, 20, 30, 40, 50}, 35));
+  }
   return s;
 }
 

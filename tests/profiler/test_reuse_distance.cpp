@@ -46,7 +46,9 @@ TEST(StackDistance, CyclicPatternHasConstantDistance) {
   for (int rep = 0; rep < 3; ++rep)
     for (std::uint64_t b = 0; b < 5; ++b) {
       const auto d = t.access(b);
-      if (rep > 0) EXPECT_EQ(d, 4u);
+      if (rep > 0) {
+        EXPECT_EQ(d, 4u);
+      }
     }
 }
 
@@ -146,7 +148,9 @@ TEST(LruStackDistance, LoopPatternHasConstantSmallDistance) {
   for (int rep = 0; rep < 100; ++rep)
     for (std::uint64_t pc = 0; pc < 8; ++pc) {
       const auto d = lru.access(pc);
-      if (rep > 0) EXPECT_EQ(d, 7u);
+      if (rep > 0) {
+        EXPECT_EQ(d, 7u);
+      }
     }
   EXPECT_EQ(lru.unique_keys(), 8u);
 }

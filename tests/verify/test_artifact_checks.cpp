@@ -1,0 +1,229 @@
+// Validators for serialized artifacts: each check has a positive case (a
+// genuine artifact verifies clean) and seeded-corruption cases proving the
+// corresponding rule fires.
+#include "verify/artifact_checks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "napel/model_io.hpp"
+#include "napel/pipeline.hpp"
+#include "workloads/registry.hpp"
+
+namespace napel::verify {
+namespace {
+
+bool has_rule(const DiagnosticEngine& e, std::string_view rule) {
+  return e.rule_count(rule) > 0;
+}
+
+// --- model ----------------------------------------------------------------
+
+std::string trained_model_text() {
+  core::CollectOptions o;
+  o.scale = workloads::Scale::kTiny;
+  o.archs_per_config = 2;
+  o.arch_pool_size = 4;
+  std::vector<core::TrainingRow> rows;
+  core::collect_training_data(workloads::workload("atax"), o, rows);
+  core::NapelModel m;
+  core::NapelModel::Options mo;
+  mo.tune = false;
+  mo.untuned_params.n_trees = 5;
+  m.train(rows, mo);
+  std::stringstream ss;
+  core::save_model(m, ss);
+  return ss.str();
+}
+
+class ModelChecks : public ::testing::Test {
+ protected:
+  // Training once for the whole suite keeps these tests fast.
+  static const std::string& model_text() {
+    static const std::string text = trained_model_text();
+    return text;
+  }
+
+  DiagnosticEngine diags;
+};
+
+TEST_F(ModelChecks, GenuineModelVerifiesClean) {
+  std::istringstream is(model_text());
+  check_model_stream(is, "model", diags);
+  EXPECT_TRUE(diags.ok());
+  EXPECT_EQ(diags.diagnostics().size(), 0u);
+}
+
+TEST_F(ModelChecks, BadTagFires) {
+  std::istringstream is("napel-model-v9 4\n");
+  check_model_stream(is, "model", diags);
+  EXPECT_TRUE(has_rule(diags, "model-format"));
+  EXPECT_FALSE(diags.ok());
+}
+
+TEST_F(ModelChecks, FeatureCountMismatchFires) {
+  std::istringstream is("napel-model-v1 3\n");
+  check_model_stream(is, "model", diags);
+  EXPECT_TRUE(has_rule(diags, "model-format"));
+}
+
+TEST_F(ModelChecks, TruncatedForestFires) {
+  const std::string& text = model_text();
+  std::istringstream is(text.substr(0, text.size() / 2));
+  check_model_stream(is, "model", diags);
+  EXPECT_TRUE(has_rule(diags, "model-format"));
+}
+
+TEST_F(ModelChecks, CorruptedTreeNodeFires) {
+  std::string text = model_text();
+  // Damage a tree header so the loader's structural checks reject it.
+  const auto pos = text.find("\ntree ");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 6, "\nbush ");
+  std::istringstream is(text);
+  check_model_stream(is, "model", diags);
+  EXPECT_TRUE(has_rule(diags, "model-format"));
+}
+
+TEST_F(ModelChecks, MissingFileFires) {
+  check_model_file("/nonexistent/napel.model", diags);
+  EXPECT_TRUE(has_rule(diags, "model-format"));
+}
+
+// --- CSV ------------------------------------------------------------------
+
+TEST(CsvChecks, WellFormedTableIsClean) {
+  DiagnosticEngine diags;
+  std::istringstream is("app,ipc,energy\natax,0.5,1.25e-6\nbfs,0.25,3e-6\n");
+  check_csv_stream(is, "table.csv", diags);
+  EXPECT_TRUE(diags.ok());
+  EXPECT_EQ(diags.diagnostics().size(), 0u);
+}
+
+TEST(CsvChecks, QuotedCommaIsOneCell) {
+  DiagnosticEngine diags;
+  std::istringstream is("name,value\n\"a,b\",1\n");
+  check_csv_stream(is, "table.csv", diags);
+  EXPECT_TRUE(diags.ok());
+}
+
+TEST(CsvChecks, RaggedRowFires) {
+  DiagnosticEngine diags;
+  std::istringstream is("a,b,c\n1,2\n");
+  check_csv_stream(is, "table.csv", diags);
+  EXPECT_TRUE(diags.rule_count("csv-format") > 0);
+  EXPECT_FALSE(diags.ok());
+  EXPECT_EQ(diags.diagnostics()[0].index, 1);  // first data row
+}
+
+TEST(CsvChecks, NonFiniteValueFires) {
+  DiagnosticEngine diags;
+  std::istringstream is("x,y\n1,nan\n2,inf\n");
+  check_csv_stream(is, "table.csv", diags);
+  EXPECT_EQ(diags.rule_count("csv-value"), 2u);
+}
+
+TEST(CsvChecks, DuplicateAndEmptyHeadersWarn) {
+  DiagnosticEngine diags;
+  std::istringstream is("a,a,\n1,2,3\n");
+  check_csv_stream(is, "table.csv", diags);
+  EXPECT_EQ(diags.warning_count(), 2u);
+  EXPECT_TRUE(diags.ok());
+}
+
+TEST(CsvChecks, EmptyFileFires) {
+  DiagnosticEngine diags;
+  std::istringstream is("");
+  check_csv_stream(is, "empty.csv", diags);
+  EXPECT_FALSE(diags.ok());
+}
+
+// --- DoE ------------------------------------------------------------------
+
+TEST(DoeChecks, EveryRegisteredSpaceIsLegalAtEveryScale) {
+  DiagnosticEngine diags;
+  for (const auto* w : workloads::all_workloads())
+    for (const auto scale : {workloads::Scale::kPaper,
+                             workloads::Scale::kBench,
+                             workloads::Scale::kTiny})
+      check_doe_space(w->doe_space(scale), std::string(w->name()), diags);
+  for (const auto* w : workloads::extended_workloads())
+    check_doe_space(w->doe_space(workloads::Scale::kTiny),
+                    std::string(w->name()), diags);
+  EXPECT_TRUE(diags.ok());
+  EXPECT_EQ(diags.error_count(), 0u);
+}
+
+TEST(DoeChecks, EmptySpaceFires) {
+  DiagnosticEngine diags;
+  check_doe_space(workloads::DoeSpace{}, "empty", diags);
+  EXPECT_TRUE(diags.rule_count("doe-param") > 0);
+}
+
+TEST(DoeChecks, NonPositiveLevelFires) {
+  DiagnosticEngine diags;
+  workloads::DoeSpace s;
+  // Bypass DoeParam's validating constructor, as a buggy caller could.
+  workloads::DoeParam p;
+  p.name = "dim";
+  p.levels = {0, 2, 3, 4, 5};
+  p.test = 6;
+  s.params.push_back(p);
+  check_doe_space(s, "bad", diags);
+  EXPECT_TRUE(diags.rule_count("doe-param") > 0);
+  EXPECT_FALSE(diags.ok());
+}
+
+TEST(DoeChecks, DuplicateParameterFires) {
+  DiagnosticEngine diags;
+  workloads::DoeSpace s;
+  s.params.push_back(workloads::DoeParam("dim", {1, 2, 3, 4, 5}, 6));
+  s.params.push_back(workloads::DoeParam("dim", {1, 2, 3, 4, 5}, 6));
+  check_doe_space(s, "bad", diags);
+  EXPECT_TRUE(diags.rule_count("doe-param") > 0);
+}
+
+TEST(DoeChecks, DuplicateLevelsWarn) {
+  DiagnosticEngine diags;
+  workloads::DoeSpace s;
+  workloads::DoeParam p;
+  p.name = "dim";
+  p.levels = {2, 2, 3, 4, 5};
+  p.test = 6;
+  s.params.push_back(p);
+  check_doe_space(s, "degenerate", diags);
+  EXPECT_TRUE(diags.ok());  // warning only
+  EXPECT_GT(diags.warning_count(), 0u);
+}
+
+TEST(DoeChecks, NonPositiveTestInputFires) {
+  DiagnosticEngine diags;
+  workloads::DoeSpace s;
+  s.params.push_back(workloads::DoeParam("dim", {1, 2, 3, 4, 5}, 0));
+  check_doe_space(s, "bad", diags);
+  EXPECT_FALSE(diags.ok());
+}
+
+TEST(DoeChecks, UnsortedLevelsFire) {
+  DiagnosticEngine diags;
+  workloads::DoeSpace s;
+  // Bypass DoeParam's normalizing constructor, as a buggy caller could.
+  workloads::DoeParam p;
+  p.name = "dim";
+  p.levels = {5, 4, 3, 2, 1};
+  p.test = 6;
+  s.params.push_back(p);
+  check_doe_space(s, "bad", diags);
+  EXPECT_TRUE(diags.rule_count("doe-param") > 0);
+}
+
+TEST(DoeChecks, CcdSizeMatchesPaperFormula) {
+  DiagnosticEngine diags;
+  const auto& w = workloads::workload("atax");
+  check_doe_space(w.doe_space(workloads::Scale::kTiny), "atax", diags);
+  EXPECT_EQ(diags.rule_count("doe-ccd"), 0u);
+}
+
+}  // namespace
+}  // namespace napel::verify

@@ -1,0 +1,120 @@
+#include "verify/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace napel::verify {
+namespace {
+
+Diagnostic diag(std::string rule, Severity sev, std::string ctx = "ctx",
+                std::int64_t index = -1, std::string msg = "boom") {
+  return Diagnostic{.rule = std::move(rule),
+                    .severity = sev,
+                    .context = std::move(ctx),
+                    .index = index,
+                    .message = std::move(msg)};
+}
+
+TEST(DiagnosticEngine, CountsBySeverity) {
+  DiagnosticEngine e;
+  e.report(diag("a", Severity::kError));
+  e.report(diag("a", Severity::kWarning));
+  e.report(diag("b", Severity::kInfo));
+  EXPECT_EQ(e.error_count(), 1u);
+  EXPECT_EQ(e.warning_count(), 1u);
+  EXPECT_EQ(e.info_count(), 1u);
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.rule_count("a"), 2u);
+  EXPECT_EQ(e.rule_count("b"), 1u);
+  EXPECT_EQ(e.rule_count("missing"), 0u);
+}
+
+TEST(DiagnosticEngine, OkWithOnlyWarnings) {
+  DiagnosticEngine e;
+  e.report(diag("w", Severity::kWarning));
+  EXPECT_TRUE(e.ok());
+}
+
+TEST(DiagnosticEngine, DisabledRulesAreCountedButNotReported) {
+  DiagnosticEngine e;
+  e.set_rule_enabled("noisy", false);
+  e.report(diag("noisy", Severity::kError));
+  e.report(diag("kept", Severity::kError));
+  EXPECT_EQ(e.diagnostics().size(), 1u);
+  EXPECT_EQ(e.diagnostics()[0].rule, "kept");
+  EXPECT_EQ(e.error_count(), 1u);           // disabled rule not in totals
+  EXPECT_EQ(e.rule_count("noisy"), 1u);     // ...but still counted
+  e.set_rule_enabled("noisy", true);
+  e.report(diag("noisy", Severity::kError));
+  EXPECT_EQ(e.diagnostics().size(), 2u);
+}
+
+TEST(DiagnosticEngine, PerRuleLimitRetainsCountsButDropsRecords) {
+  DiagnosticEngine e(DiagnosticEngine::Options{.max_per_rule = 2});
+  for (int i = 0; i < 5; ++i) e.report(diag("spam", Severity::kError));
+  e.report(diag("other", Severity::kError));
+  EXPECT_EQ(e.diagnostics().size(), 3u);  // 2 spam + 1 other retained
+  EXPECT_EQ(e.error_count(), 6u);         // severity totals are exact
+  EXPECT_EQ(e.rule_count("spam"), 5u);
+}
+
+TEST(DiagnosticEngine, UnlimitedWhenMaxPerRuleIsZero) {
+  DiagnosticEngine e(DiagnosticEngine::Options{.max_per_rule = 0});
+  for (int i = 0; i < 100; ++i) e.report(diag("r", Severity::kWarning));
+  EXPECT_EQ(e.diagnostics().size(), 100u);
+}
+
+TEST(DiagnosticEngine, TextReportFormat) {
+  DiagnosticEngine e;
+  e.report(diag("bracket", Severity::kError, "atax", 17, "bad event"));
+  std::ostringstream os;
+  e.print_text(os);
+  EXPECT_NE(os.str().find("atax@17: error [bracket] bad event"),
+            std::string::npos);
+  EXPECT_NE(os.str().find("1 error(s), 0 warning(s), 0 info"),
+            std::string::npos);
+}
+
+TEST(DiagnosticEngine, TextReportOmitsIndexWhenAbsent) {
+  DiagnosticEngine e;
+  e.report(diag("doe-param", Severity::kWarning, "chol"));
+  std::ostringstream os;
+  e.print_text(os);
+  EXPECT_NE(os.str().find("chol: warning [doe-param] boom"),
+            std::string::npos);
+}
+
+TEST(DiagnosticEngine, JsonReportIsWellFormedAndEscaped) {
+  DiagnosticEngine e;
+  e.report(diag("csv-value", Severity::kError, "file \"x\".csv", 3,
+                "line\nbreak"));
+  std::ostringstream os;
+  e.print_json(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"rule\":\"csv-value\""), std::string::npos);
+  EXPECT_NE(s.find("\"context\":\"file \\\"x\\\".csv\""), std::string::npos);
+  EXPECT_NE(s.find("\"message\":\"line\\nbreak\""), std::string::npos);
+  EXPECT_NE(s.find("\"index\":3"), std::string::npos);
+  EXPECT_NE(s.find("\"errors\":1"), std::string::npos);
+  EXPECT_NE(s.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(s.find("\"rule_counts\":{\"csv-value\":1}"), std::string::npos);
+}
+
+TEST(DiagnosticEngine, ClearResetsEverything) {
+  DiagnosticEngine e;
+  e.report(diag("r", Severity::kError));
+  e.clear();
+  EXPECT_TRUE(e.ok());
+  EXPECT_EQ(e.diagnostics().size(), 0u);
+  EXPECT_EQ(e.rule_count("r"), 0u);
+}
+
+TEST(Severity, Names) {
+  EXPECT_EQ(severity_name(Severity::kError), "error");
+  EXPECT_EQ(severity_name(Severity::kWarning), "warning");
+  EXPECT_EQ(severity_name(Severity::kInfo), "info");
+}
+
+}  // namespace
+}  // namespace napel::verify

@@ -1,0 +1,100 @@
+// The whole kernel registry is self-checking: every registered workload
+// (paper Table 2 + extended suite) must emit a stream that satisfies every
+// ISA contract rule — the same property `napel lint` gates on in CI.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/sink.hpp"
+#include "trace/tracer.hpp"
+#include "verify/diagnostics.hpp"
+#include "verify/verifying_sink.hpp"
+#include "workloads/registry.hpp"
+
+namespace napel::verify {
+namespace {
+
+void expect_kernel_clean(const workloads::Workload& w) {
+  const auto space = w.doe_space(workloads::Scale::kTiny);
+  trace::Tracer t;
+  DiagnosticEngine diags;
+  trace::CountingSink counts;
+  VerifyingSink sink(diags, &counts);
+  t.attach(sink);
+  w.run(t, workloads::WorkloadParams::central(space), /*seed=*/2019);
+
+  std::ostringstream report;
+  diags.print_text(report);
+  EXPECT_TRUE(diags.ok()) << w.name() << " stream violates the ISA "
+                          << "contract:\n"
+                          << report.str();
+  EXPECT_EQ(diags.diagnostics().size(), 0u)
+      << w.name() << " diagnostics:\n"
+      << report.str();
+  EXPECT_GT(counts.total(), 0u) << w.name() << " emitted no instructions";
+  EXPECT_EQ(counts.total(), sink.events_seen());
+}
+
+TEST(KernelRegistryVerifies, AllPaperWorkloadsClean) {
+  for (const auto* w : workloads::all_workloads()) expect_kernel_clean(*w);
+}
+
+TEST(KernelRegistryVerifies, AllExtendedWorkloadsClean) {
+  for (const auto* w : workloads::extended_workloads())
+    expect_kernel_clean(*w);
+}
+
+TEST(KernelRegistryVerifies, TestInputsAlsoClean) {
+  // The held-out test configuration exercises different sizes/branches.
+  for (const char* name : {"atax", "bfs", "kmeans"}) {
+    const auto& w = workloads::workload(name);
+    const auto space = w.doe_space(workloads::Scale::kTiny);
+    trace::Tracer t;
+    DiagnosticEngine diags;
+    VerifyingSink sink(diags);
+    t.attach(sink);
+    w.run(t, workloads::WorkloadParams::test_input(space), /*seed=*/7);
+    EXPECT_TRUE(diags.ok()) << name;
+    EXPECT_EQ(diags.diagnostics().size(), 0u) << name;
+  }
+}
+
+// Satellite regression: the utility sinks themselves now reject events
+// outside a begin_kernel/end_kernel bracket instead of silently accepting
+// (and miscounting) them.
+TEST(SinkBracketDiscipline, CountingSinkRejectsUnbracketedInstr) {
+  trace::CountingSink s;
+  trace::InstrEvent ev;
+  EXPECT_THROW(s.on_instr(ev), std::invalid_argument);
+  EXPECT_EQ(s.total(), 0u);
+}
+
+TEST(SinkBracketDiscipline, CountingSinkRejectsInstrAfterEnd) {
+  trace::CountingSink s;
+  s.begin_kernel("k", 1);
+  trace::InstrEvent ev;
+  s.on_instr(ev);
+  s.end_kernel();
+  EXPECT_THROW(s.on_instr(ev), std::invalid_argument);
+  EXPECT_EQ(s.total(), 1u);
+}
+
+TEST(SinkBracketDiscipline, VectorSinkRejectsUnbracketedInstr) {
+  trace::VectorSink s;
+  trace::InstrEvent ev;
+  EXPECT_THROW(s.on_instr(ev), std::invalid_argument);
+  EXPECT_TRUE(s.events().empty());
+}
+
+TEST(SinkBracketDiscipline, VectorSinkRejectsInstrAfterEnd) {
+  trace::VectorSink s;
+  s.begin_kernel("k", 1);
+  trace::InstrEvent ev;
+  s.on_instr(ev);
+  s.end_kernel();
+  EXPECT_THROW(s.on_instr(ev), std::invalid_argument);
+  EXPECT_EQ(s.events().size(), 1u);
+}
+
+}  // namespace
+}  // namespace napel::verify

@@ -1,0 +1,341 @@
+// Mutation-style coverage of the stream rules: each test feeds a crafted
+// bad InstrEvent sequence into a VerifyingSink and asserts that exactly the
+// targeted diagnostic fires — so no rule can silently stop checking.
+#include "verify/verifying_sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/isa.hpp"
+#include "trace/sink.hpp"
+#include "trace/tracer.hpp"
+#include "verify/diagnostics.hpp"
+
+namespace napel::verify {
+namespace {
+
+using trace::InstrEvent;
+using trace::kNoReg;
+using trace::OpType;
+using trace::Reg;
+
+/// A minimal well-formed arithmetic event; dst continues SSA numbering.
+InstrEvent alu(Reg dst, Reg src1 = kNoReg, Reg src2 = kNoReg) {
+  InstrEvent ev;
+  ev.op = OpType::kIntAlu;
+  ev.dst = dst;
+  ev.src1 = src1;
+  ev.src2 = src2;
+  return ev;
+}
+
+InstrEvent load(Reg dst, std::uint64_t addr, std::uint8_t size = 8) {
+  InstrEvent ev;
+  ev.op = OpType::kLoad;
+  ev.dst = dst;
+  ev.addr = addr;
+  ev.size = size;
+  return ev;
+}
+
+InstrEvent store(std::uint64_t addr, Reg value, std::uint8_t size = 8) {
+  InstrEvent ev;
+  ev.op = OpType::kStore;
+  ev.src1 = value;
+  ev.addr = addr;
+  ev.size = size;
+  return ev;
+}
+
+class VerifyingSinkRules : public ::testing::Test {
+ protected:
+  /// Asserts that the engine holds exactly the given rule firings (order
+  /// sensitive) and nothing else.
+  void expect_only(std::initializer_list<std::string_view> rules) {
+    ASSERT_EQ(diags.diagnostics().size(), rules.size());
+    std::size_t i = 0;
+    for (const auto rule : rules)
+      EXPECT_EQ(diags.diagnostics()[i++].rule, rule);
+  }
+
+  DiagnosticEngine diags;
+  VerifyingSink sink{diags};
+};
+
+TEST_F(VerifyingSinkRules, CleanBracketProducesNoDiagnostics) {
+  sink.on_alloc(0x1000, 64);
+  sink.begin_kernel("k", 2);
+  sink.on_instr(alu(1));
+  sink.on_instr(load(2, 0x1000));
+  sink.on_instr(store(0x1008, 2));
+  InstrEvent br;
+  br.op = OpType::kBranch;
+  br.src1 = 1;
+  sink.on_instr(br);
+  sink.end_kernel();
+  EXPECT_TRUE(diags.ok());
+  expect_only({});
+  EXPECT_EQ(sink.events_seen(), 4u);
+}
+
+TEST_F(VerifyingSinkRules, InstrOutsideBracket) {
+  sink.on_instr(alu(1));
+  expect_only({"bracket"});
+  EXPECT_EQ(diags.error_count(), 1u);
+}
+
+TEST_F(VerifyingSinkRules, EndWithoutBegin) {
+  sink.end_kernel();
+  expect_only({"bracket"});
+}
+
+TEST_F(VerifyingSinkRules, BeginWhileOpen) {
+  sink.begin_kernel("a", 1);
+  sink.begin_kernel("b", 1);
+  expect_only({"bracket"});
+  // The original bracket stays open: closing it is still legal.
+  sink.end_kernel();
+  EXPECT_EQ(diags.error_count(), 1u);
+}
+
+TEST_F(VerifyingSinkRules, ZeroThreadsDeclared) {
+  sink.begin_kernel("k", 0);
+  expect_only({"kernel-decl"});
+}
+
+TEST_F(VerifyingSinkRules, EmptyKernelName) {
+  sink.begin_kernel("", 1);
+  expect_only({"kernel-decl"});
+}
+
+TEST_F(VerifyingSinkRules, EmptyKernelWarns) {
+  sink.begin_kernel("k", 1);
+  sink.end_kernel();
+  expect_only({"empty-kernel"});
+  EXPECT_EQ(diags.warning_count(), 1u);
+  EXPECT_TRUE(diags.ok());  // warnings do not fail verification
+}
+
+TEST_F(VerifyingSinkRules, ThreadIdOutOfRange) {
+  sink.begin_kernel("k", 2);
+  InstrEvent ev = alu(1);
+  ev.thread = 2;  // declared threads: 0 and 1
+  sink.on_instr(ev);
+  expect_only({"thread-id"});
+}
+
+TEST_F(VerifyingSinkRules, UseBeforeDef) {
+  sink.begin_kernel("k", 1);
+  sink.on_instr(alu(1));        // baseline definition
+  sink.on_instr(alu(2, 1, 7));  // r7 was never defined
+  expect_only({"ssa-def-before-use"});
+}
+
+TEST_F(VerifyingSinkRules, SingleAssignmentViolated) {
+  sink.begin_kernel("k", 1);
+  sink.on_instr(alu(1));
+  sink.on_instr(alu(2));
+  sink.on_instr(alu(2, 1));  // r2 re-assigned
+  expect_only({"ssa-single-assignment"});
+}
+
+TEST_F(VerifyingSinkRules, NonMonotonicRegisterAllocationWarns) {
+  sink.begin_kernel("k", 1);
+  sink.on_instr(alu(1));
+  sink.on_instr(alu(5));  // skips r2..r4
+  expect_only({"reg-monotonic"});
+  EXPECT_EQ(diags.warning_count(), 1u);
+}
+
+TEST_F(VerifyingSinkRules, FirstDefinitionSetsBaselineWithoutWarning) {
+  // A replayed trace may start its register numbering above 1 (the tracer's
+  // counter persists across kernels); the first def must not warn.
+  sink.begin_kernel("k", 1);
+  sink.on_instr(alu(500));
+  sink.on_instr(alu(501, 500));
+  expect_only({});
+}
+
+TEST_F(VerifyingSinkRules, LoadWithoutDestination) {
+  sink.begin_kernel("k", 1);
+  sink.on_instr(load(kNoReg, 0x1000));
+  expect_only({"operand-arity"});
+}
+
+TEST_F(VerifyingSinkRules, LoadWithTwoSources) {
+  sink.begin_kernel("k", 1);
+  sink.on_instr(alu(1));
+  sink.on_instr(alu(2));
+  InstrEvent ev = load(3, 0x1000);
+  ev.src1 = 1;
+  ev.src2 = 2;  // loads take only the address register
+  sink.on_instr(ev);
+  expect_only({"operand-arity"});
+}
+
+TEST_F(VerifyingSinkRules, StoreDefiningARegister) {
+  sink.begin_kernel("k", 1);
+  sink.on_instr(alu(1));
+  InstrEvent ev = store(0x1000, 1);
+  ev.dst = 2;  // kNoReg rule: stores must not define
+  sink.on_instr(ev);
+  expect_only({"operand-arity"});
+}
+
+TEST_F(VerifyingSinkRules, BranchDefiningARegister) {
+  sink.begin_kernel("k", 1);
+  InstrEvent ev;
+  ev.op = OpType::kBranch;
+  ev.dst = 1;  // kNoReg rule: branches must not define
+  sink.on_instr(ev);
+  expect_only({"operand-arity"});
+}
+
+TEST_F(VerifyingSinkRules, BranchWithTwoSources) {
+  sink.begin_kernel("k", 1);
+  sink.on_instr(alu(1));
+  sink.on_instr(alu(2));
+  InstrEvent ev;
+  ev.op = OpType::kBranch;
+  ev.src1 = 1;
+  ev.src2 = 2;
+  sink.on_instr(ev);
+  expect_only({"operand-arity"});
+}
+
+TEST_F(VerifyingSinkRules, ArithmeticWithoutDestination) {
+  sink.begin_kernel("k", 1);
+  sink.on_instr(alu(kNoReg));
+  expect_only({"operand-arity"});
+}
+
+TEST_F(VerifyingSinkRules, InvalidOpcodeNotForwarded) {
+  trace::CountingSink counts;
+  VerifyingSink wrapped(diags, &counts);
+  wrapped.begin_kernel("k", 1);
+  InstrEvent ev = alu(1);
+  ev.op = static_cast<OpType>(200);
+  wrapped.on_instr(ev);
+  wrapped.end_kernel();
+  ASSERT_GE(diags.diagnostics().size(), 1u);
+  EXPECT_EQ(diags.diagnostics()[0].rule, "operand-arity");
+  EXPECT_EQ(counts.total(), 0u);  // never reached the inner sink
+}
+
+TEST_F(VerifyingSinkRules, NullAddressLoad) {
+  sink.begin_kernel("k", 1);
+  sink.on_instr(load(1, 0));
+  expect_only({"mem-null-addr"});
+}
+
+TEST_F(VerifyingSinkRules, MisalignedAccess) {
+  sink.begin_kernel("k", 1);
+  sink.on_instr(load(1, 0x1001, 8));  // 8-byte load at odd address
+  expect_only({"mem-align"});
+}
+
+TEST_F(VerifyingSinkRules, NonPowerOfTwoSize) {
+  sink.begin_kernel("k", 1);
+  sink.on_instr(load(1, 0x1000, 3));
+  expect_only({"mem-align"});
+}
+
+TEST_F(VerifyingSinkRules, AccessOutsideFootprint) {
+  sink.on_alloc(0x1000, 64);
+  sink.begin_kernel("k", 1);
+  sink.on_instr(load(1, 0x5000));  // valid alignment, unknown range
+  expect_only({"mem-footprint"});
+}
+
+TEST_F(VerifyingSinkRules, AccessStraddlingFootprintEnd) {
+  sink.on_alloc(0x1000, 64);
+  sink.begin_kernel("k", 1);
+  sink.on_instr(load(1, 0x1038, 8));  // last 8 in-range bytes: ok
+  sink.on_instr(load(2, 0x1040, 8));  // one past the end
+  expect_only({"mem-footprint"});
+}
+
+TEST_F(VerifyingSinkRules, FootprintUnknownSkipsRangeCheck) {
+  // No on_alloc notifications (e.g. replayed trace): any aligned non-null
+  // address is accepted.
+  sink.begin_kernel("k", 1);
+  sink.on_instr(load(1, 0x9999990000ULL));
+  expect_only({});
+}
+
+TEST_F(VerifyingSinkRules, ArithmeticCarryingMemoryPayload) {
+  sink.begin_kernel("k", 1);
+  InstrEvent ev = alu(1);
+  ev.addr = 0x1000;
+  ev.size = 8;
+  sink.on_instr(ev);
+  expect_only({"non-mem-operands"});
+}
+
+TEST_F(VerifyingSinkRules, OutOfBracketEventsNotForwarded) {
+  trace::CountingSink counts;
+  VerifyingSink wrapped(diags, &counts);
+  wrapped.on_instr(alu(1));  // would throw inside CountingSink
+  EXPECT_EQ(counts.total(), 0u);
+  expect_only({"bracket"});
+}
+
+TEST_F(VerifyingSinkRules, ForwardsCleanStreamToInnerSink) {
+  trace::CountingSink counts;
+  VerifyingSink wrapped(diags, &counts);
+  wrapped.begin_kernel("k", 2);
+  wrapped.on_instr(alu(1));
+  InstrEvent ev = alu(2, 1);
+  ev.thread = 1;
+  wrapped.on_instr(ev);
+  wrapped.end_kernel();
+  EXPECT_TRUE(diags.ok());
+  EXPECT_EQ(counts.total(), 2u);
+  EXPECT_EQ(counts.kernel_name(), "k");
+  EXPECT_EQ(counts.count_for_thread(1), 1u);
+}
+
+TEST_F(VerifyingSinkRules, DiagnosticCarriesKernelAndInstructionIndex) {
+  sink.begin_kernel("atax", 1);
+  sink.on_instr(alu(1));
+  sink.on_instr(load(2, 0));  // second instruction (index 1)
+  ASSERT_EQ(diags.diagnostics().size(), 1u);
+  EXPECT_EQ(diags.diagnostics()[0].context, "atax");
+  EXPECT_EQ(diags.diagnostics()[0].index, 1);
+}
+
+// The live tracer path: a real Tracer wired through a VerifyingSink stays
+// clean, and its allocations feed the footprint rule.
+TEST(VerifyingSinkTracer, RealTracerStreamVerifiesClean) {
+  trace::Tracer t;
+  DiagnosticEngine diags;
+  trace::CountingSink counts;
+  VerifyingSink sink(diags, &counts);
+  t.attach(sink);
+  const auto base = t.allocate(256);
+  t.begin_kernel("demo", 2);
+  const auto r = t.emit_load(base, 8);
+  const auto s = t.emit_op(trace::OpType::kFpMul, r, r);
+  t.emit_store(base + 8, 8, s);
+  t.set_thread(1);
+  t.emit_branch(s);
+  t.end_kernel();
+  EXPECT_TRUE(diags.ok());
+  EXPECT_EQ(diags.diagnostics().size(), 0u);
+  EXPECT_EQ(counts.total(), 4u);
+}
+
+TEST(VerifyingSinkTracer, TracerStoreOutsideAllocationIsCaught) {
+  trace::Tracer t;
+  DiagnosticEngine diags;
+  VerifyingSink sink(diags);
+  t.attach(sink);
+  t.allocate(64);
+  t.begin_kernel("demo", 1);
+  t.emit_store(8, 8, trace::kNoReg);  // below every allocated base
+  t.end_kernel();
+  ASSERT_EQ(diags.diagnostics().size(), 1u);
+  EXPECT_EQ(diags.diagnostics()[0].rule, "mem-footprint");
+}
+
+}  // namespace
+}  // namespace napel::verify

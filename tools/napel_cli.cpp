@@ -7,8 +7,11 @@
 //   napel predict -m <model-file> --app <workload> [--scale S]
 //                 [--pes N] [--freq GHZ] [--cache-lines N] [--seed N]
 //   napel suitability -m <model-file> --app <workload> [--scale S]
+//   napel lint [--apps a,b] [--scale S] [--json] [--model FILE] [--csv FILE]
+//              [--trace FILE] [--disable rule,rule] [--max-per-rule N]
 //
-// Exit status: 0 on success, 1 on usage errors, 2 on runtime failures.
+// Exit status: 0 on success, 1 on usage errors, 2 on runtime failures,
+// 3 when `lint` found error-severity diagnostics.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -21,6 +24,9 @@
 #include "napel/model_io.hpp"
 #include "napel/napel.hpp"
 #include "trace/trace_file.hpp"
+#include "verify/artifact_checks.hpp"
+#include "verify/diagnostics.hpp"
+#include "verify/verifying_sink.hpp"
 
 namespace {
 
@@ -39,8 +45,9 @@ Args parse_args(int argc, char** argv) {
     std::string s = argv[i];
     if (s.rfind("--", 0) == 0) {
       const std::string key = s.substr(2);
+      const bool is_flag = key == "tune" || key == "json";
       if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0 &&
-          key != "tune") {
+          !is_flag) {
         a.options[key] = argv[++i];
       } else {
         a.options[key] = "";
@@ -278,6 +285,90 @@ int cmd_suitability(const Args& a) {
   return 0;
 }
 
+// Lints the kernel registry (and optional artifacts): every requested
+// workload runs at a small problem size under verify::VerifyingSink, its
+// DoE space passes the static legality checks, and any --model/--csv/--trace
+// files are validated. Returns 0 when clean, 3 on error diagnostics, so CI
+// can gate on a self-checking registry.
+int cmd_lint(const Args& a) {
+  verify::DiagnosticEngine::Options dopts;
+  dopts.max_per_rule = parse_u64(a, "max-per-rule", 25);
+  verify::DiagnosticEngine diags(dopts);
+  if (const auto it = a.options.find("disable"); it != a.options.end())
+    for (const auto& rule : split_csv(it->second))
+      diags.set_rule_enabled(rule, false);
+
+  // Lint defaults to tiny so the full registry verifies in seconds.
+  const auto scale = a.options.contains("scale") ? parse_scale(a)
+                                                 : workloads::Scale::kTiny;
+  const std::uint64_t seed = parse_u64(a, "seed", 2019);
+  const bool json = a.options.contains("json");
+
+  std::vector<std::string> apps;
+  if (const auto it = a.options.find("apps"); it != a.options.end()) {
+    apps = split_csv(it->second);
+    for (const auto& app : apps)
+      if (!workloads::has_workload(app))
+        throw std::invalid_argument("unknown workload: " + app);
+  } else {
+    for (const auto* w : workloads::all_workloads())
+      apps.emplace_back(w->name());
+    for (const auto* w : workloads::extended_workloads())
+      apps.emplace_back(w->name());
+  }
+
+  std::uint64_t events = 0;
+  for (const auto& app : apps) {
+    const auto& w = workloads::workload(app);
+    const auto space = w.doe_space(scale);
+    verify::check_doe_space(space, app, diags);
+
+    trace::Tracer t;
+    trace::CountingSink counts;
+    verify::VerifyingSink verifier(diags, &counts);
+    t.attach(verifier);
+    try {
+      w.run(t, workloads::WorkloadParams::central(space), seed);
+    } catch (const std::exception& e) {
+      diags.report(verify::Diagnostic{
+          .rule = "kernel-run",
+          .severity = verify::Severity::kError,
+          .context = app,
+          .index = -1,
+          .message = std::string("kernel aborted: ") + e.what()});
+    }
+    events += verifier.events_seen();
+  }
+
+  if (const auto it = a.options.find("model"); it != a.options.end())
+    verify::check_model_file(it->second, diags);
+  if (const auto it = a.options.find("csv"); it != a.options.end())
+    verify::check_csv_file(it->second, diags);
+  if (const auto it = a.options.find("trace"); it != a.options.end()) {
+    verify::VerifyingSink verifier(diags);
+    try {
+      trace::replay_trace(it->second, {&verifier});
+    } catch (const std::exception& e) {
+      diags.report(verify::Diagnostic{
+          .rule = "trace-file",
+          .severity = verify::Severity::kError,
+          .context = it->second,
+          .index = -1,
+          .message = std::string("trace does not replay: ") + e.what()});
+    }
+    events += verifier.events_seen();
+  }
+
+  if (json) {
+    diags.print_json(std::cout);
+  } else {
+    std::printf("linted %zu kernel(s), %llu stream event(s)\n", apps.size(),
+                static_cast<unsigned long long>(events));
+    diags.print_text(std::cout);
+  }
+  return diags.ok() ? 0 : 3;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: napel <command> [options]\n"
@@ -288,7 +379,10 @@ int usage() {
                "  predict -m FILE --app W [--pes N] [--freq GHZ] [--cache-lines N]\n"
                "  suitability -m FILE --app W [--scale S]\n"
                "  record <workload> -o FILE [--scale S]   capture a trace\n"
-               "  simulate --trace FILE [--pes N] [...]   replay on a design\n");
+               "  simulate --trace FILE [--pes N] [...]   replay on a design\n"
+               "  lint [--apps a,b] [--scale S] [--json] [--model FILE]\n"
+               "       [--csv FILE] [--trace FILE] [--disable rule,rule]\n"
+               "       [--max-per-rule N]   verify kernels + artifacts\n");
   return 1;
 }
 
@@ -304,6 +398,7 @@ int main(int argc, char** argv) {
     if (args.command == "suitability") return cmd_suitability(args);
     if (args.command == "record") return cmd_record(args);
     if (args.command == "simulate") return cmd_simulate(args);
+    if (args.command == "lint") return cmd_lint(args);
     return usage();
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
