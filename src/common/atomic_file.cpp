@@ -1,0 +1,105 @@
+#include "common/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/fault_injection.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define NAPEL_HAVE_FSYNC 1
+#endif
+
+namespace napel {
+
+namespace {
+
+PipelineError io_error(const std::string& path, const std::string& what) {
+  return PipelineError{.kind = ErrorKind::kIoError,
+                       .context = path,
+                       .message = what + ": " + std::strerror(errno)};
+}
+
+/// Flushes libc and kernel buffers for an open stream. Returns false on
+/// failure (errno set).
+bool flush_and_sync(std::FILE* f) {
+  if (std::fflush(f) != 0) return false;
+#ifdef NAPEL_HAVE_FSYNC
+  if (fsync(fileno(f)) != 0) return false;
+#endif
+  return true;
+}
+
+/// Best-effort fsync of the directory containing `path`, so the rename
+/// itself is durable. Failure is ignored: the data file is already synced
+/// and some filesystems reject directory fsync.
+void sync_parent_dir(const std::string& path) {
+#ifdef NAPEL_HAVE_FSYNC
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    (void)fsync(fd);
+    (void)close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
+
+}  // namespace
+
+Status atomic_write_file(const std::string& path, std::string_view contents,
+                         FaultPlan* faults) {
+  std::string data(contents);
+  const FaultSpec* injected =
+      faults ? faults->fire_next("io/atomic_write") : nullptr;
+  if (injected) {
+    switch (injected->kind) {
+      case FaultKind::kThrow:
+        throw InjectedFault("injected write failure: " + path);
+      case FaultKind::kCorruptWrite:
+        if (!data.empty()) data[data.size() / 2] ^= 0x40;
+        break;
+      case FaultKind::kCrash:
+      case FaultKind::kHang:
+        break;  // kCrash fires after the temp file is written
+    }
+  }
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) return io_error(path, "cannot open temp file " + tmp);
+  const std::size_t written = data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
+  if (written != data.size()) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return io_error(path, "short write to " + tmp);
+  }
+  if (!flush_and_sync(f)) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return io_error(path, "flush/fsync of " + tmp);
+  }
+  if (std::fclose(f) != 0) {
+    std::remove(tmp.c_str());
+    return io_error(path, "close of " + tmp);
+  }
+
+  // A crash here must leave the previous `path` intact: the temp file is
+  // fully written but never renamed into place.
+  if (injected && injected->kind == FaultKind::kCrash)
+    throw InjectedCrash("injected crash before rename: " + path);
+
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return io_error(path, "rename " + tmp + " -> " + path);
+  }
+  sync_parent_dir(path);
+  return ok_status();
+}
+
+}  // namespace napel

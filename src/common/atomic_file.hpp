@@ -1,0 +1,25 @@
+// Crash-safe file writes.
+//
+// atomic_write_file() is the single way any artifact (model file, CSV
+// table, journal header) reaches disk: the contents are written to a
+// sibling temporary file, flushed and fsync'd, and renamed over the target.
+// A crash at any instant leaves either the old file or the new file —
+// never a truncated or torn artifact. Write/flush/rename failures are
+// reported (Result), not silently swallowed.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/result.hpp"
+
+namespace napel {
+
+class FaultPlan;
+
+/// Atomically replaces `path` with `contents`. `faults` arms the
+/// "io/atomic_write" injection site (tests only).
+Status atomic_write_file(const std::string& path, std::string_view contents,
+                         FaultPlan* faults = nullptr);
+
+}  // namespace napel

@@ -1,8 +1,8 @@
 #include "common/csv.hpp"
 
-#include <fstream>
 #include <sstream>
 
+#include "common/atomic_file.hpp"
 #include "common/check.hpp"
 
 namespace napel {
@@ -44,9 +44,8 @@ std::string CsvWriter::to_string() const {
 }
 
 void CsvWriter::write_file(const std::string& path) const {
-  std::ofstream f(path);
-  NAPEL_CHECK_MSG(f.good(), "cannot open CSV output file: " + path);
-  f << to_string();
+  // Crash-safe: a kill mid-write can never leave a truncated CSV.
+  atomic_write_file(path, to_string()).value_or_throw();
 }
 
 }  // namespace napel

@@ -1,0 +1,40 @@
+#include "common/fault_injection.hpp"
+
+#include <algorithm>
+
+namespace napel {
+
+void FaultPlan::add(FaultSpec spec) {
+  auto armed = std::make_unique<Armed>();
+  armed->spec = std::move(spec);
+  specs_.push_back(std::move(armed));
+}
+
+const FaultSpec* FaultPlan::fire(std::string_view site,
+                                 std::uint64_t occurrence) {
+  for (auto& a : specs_) {
+    if (a->spec.site != site || a->spec.at != occurrence) continue;
+    if (a->spec.times >= 0 &&
+        a->fired.fetch_add(1, std::memory_order_relaxed) >= a->spec.times)
+      continue;
+    return &a->spec;
+  }
+  return nullptr;
+}
+
+const FaultSpec* FaultPlan::fire_next(std::string_view site) {
+  std::uint64_t occurrence = 0;
+  {
+    std::lock_guard<std::mutex> lock(counter_mu_);
+    auto it = std::find_if(site_counters_.begin(), site_counters_.end(),
+                           [&](const auto& p) { return p.first == site; });
+    if (it == site_counters_.end()) {
+      site_counters_.emplace_back(std::string(site), 1);
+    } else {
+      occurrence = it->second++;
+    }
+  }
+  return fire(site, occurrence);
+}
+
+}  // namespace napel

@@ -1,0 +1,127 @@
+// Deterministic fault-injection harness.
+//
+// A FaultPlan is a list of (site, occurrence, kind) triples armed by tests
+// or the CLI's --inject-* flags. Instrumented code asks the plan whether the
+// k-th occurrence of a named site should misbehave, and — when it should —
+// simulates the failure itself: throw an exception, spin until the task
+// watchdog expires, corrupt the bytes about to be written, or "crash"
+// (commit a torn prefix of the write, then unwind the whole process the way
+// a SIGKILL would). Every path the fault-tolerance layer claims to survive
+// is proven by a test that injects exactly that fault.
+//
+// Instrumented sites:
+//   collect/task    — the ci-th DoE task of a collection run (per attempt)
+//   journal/append  — the seq-th record append of a run journal
+//   io/atomic_write — the n-th atomic_write_file call on this plan
+//   sim/schedule    — the n-th drained scheduler event in NmcSimulator
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace napel {
+
+enum class FaultKind : std::uint8_t {
+  kThrow,         ///< throw InjectedFault (a transient task failure)
+  kHang,          ///< spin until the watchdog deadline, then time out
+  kCrash,         ///< tear the in-flight write, then throw InjectedCrash
+  kCorruptWrite,  ///< flip a byte in the bytes being written
+};
+
+/// One armed fault: fires at the `at`-th occurrence (0-based) of `site`,
+/// for the first `times` matching occurrences (-1 = every one). With
+/// retries, successive attempts of the same task re-present the same
+/// occurrence number, so `times` bounds how many attempts fail.
+struct FaultSpec {
+  std::string site;
+  std::uint64_t at = 0;
+  FaultKind kind = FaultKind::kThrow;
+  int times = 1;
+};
+
+/// Thrown by kThrow sites: a transient, retryable task failure.
+class InjectedFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown by kCrash sites *after* they tore their write: simulates the
+/// process dying mid-I/O. Nothing catches it below main()/the test harness.
+class InjectedCrash : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  FaultPlan(std::initializer_list<FaultSpec> specs) {
+    for (const auto& s : specs) add(s);
+  }
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  void add(FaultSpec spec);
+
+  /// Returns the spec firing for this occurrence of `site` (consuming one
+  /// of its `times` charges), or nullptr. Thread-safe.
+  const FaultSpec* fire(std::string_view site, std::uint64_t occurrence);
+
+  /// fire() with a plan-internal per-site call counter as the occurrence —
+  /// for sites without a natural index (atomic_write_file calls).
+  const FaultSpec* fire_next(std::string_view site);
+
+  bool empty() const { return specs_.empty(); }
+
+ private:
+  struct Armed {
+    FaultSpec spec;
+    std::atomic<int> fired{0};
+  };
+  std::vector<std::unique_ptr<Armed>> specs_;
+  std::mutex counter_mu_;
+  std::vector<std::pair<std::string, std::uint64_t>> site_counters_;
+};
+
+/// Thrown when a per-task wall-clock deadline expires.
+class WatchdogTimeout : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Per-task wall-clock deadline. Tasks cannot be preempted mid-kernel, so
+/// the watchdog is checked at phase boundaries (after the kernel run, after
+/// each simulation) — a hung phase is bounded by the simulator's cycle/event
+/// budget instead.
+class Watchdog {
+ public:
+  Watchdog() = default;  ///< disarmed: never expires
+  explicit Watchdog(std::chrono::milliseconds deadline)
+      : armed_(deadline.count() > 0),
+        deadline_(std::chrono::steady_clock::now() + deadline) {}
+
+  bool armed() const { return armed_; }
+  bool expired() const {
+    return armed_ && std::chrono::steady_clock::now() >= deadline_;
+  }
+
+  /// Throws WatchdogTimeout when the deadline has passed.
+  void check(const std::string& context) const {
+    if (expired())
+      throw WatchdogTimeout("task wall-clock deadline expired: " + context);
+  }
+
+ private:
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+}  // namespace napel

@@ -1,0 +1,278 @@
+#include "common/journal.hpp"
+
+#include <bit>
+#include <cerrno>
+#include <cinttypes>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/atomic_file.hpp"
+#include "common/fault_injection.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define NAPEL_HAVE_FSYNC 1
+#endif
+
+namespace napel {
+
+namespace {
+
+constexpr std::string_view kHeaderTag = "napel-journal-v1 ";
+
+PipelineError journal_error(ErrorKind kind, const std::string& path,
+                            const std::string& what) {
+  return PipelineError{.kind = kind, .context = path, .message = what};
+}
+
+std::uint64_t record_checksum(std::uint64_t seq, std::string_view key,
+                              std::string_view payload) {
+  std::uint64_t h = kFnvOffset;
+  char seq_bytes[8];
+  for (int i = 0; i < 8; ++i)
+    seq_bytes[i] = static_cast<char>((seq >> (8 * i)) & 0xff);
+  h = fnv1a64(std::string_view(seq_bytes, 8), h);
+  h = fnv1a64(key, h);
+  h = fnv1a64(payload, h);
+  return h;
+}
+
+std::string format_record(std::uint64_t seq, std::string_view key,
+                          std::string_view payload) {
+  char head[96];
+  std::snprintf(head, sizeof(head), "R %" PRIu64 " %zu %zu %016" PRIx64 "\n",
+                seq, key.size(), payload.size(),
+                record_checksum(seq, key, payload));
+  std::string rec(head);
+  rec.append(key);
+  rec.append(payload);
+  rec.push_back('\n');
+  return rec;
+}
+
+}  // namespace
+
+std::string double_bits_to_hex(double v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, std::bit_cast<std::uint64_t>(v));
+  return buf;
+}
+
+Result<double> double_bits_from_hex(std::string_view hex) {
+  if (hex.size() != 16)
+    return journal_error(ErrorKind::kCorruptArtifact, "",
+                         "malformed double bit pattern: " + std::string(hex));
+  std::uint64_t bits = 0;
+  for (const char c : hex) {
+    bits <<= 4;
+    if (c >= '0' && c <= '9') bits |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') bits |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') bits |= static_cast<std::uint64_t>(c - 'A' + 10);
+    else
+      return journal_error(ErrorKind::kCorruptArtifact, "",
+                           "malformed double bit pattern: " + std::string(hex));
+  }
+  return std::bit_cast<double>(bits);
+}
+
+Result<JournalContents> read_journal(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good())
+    return journal_error(ErrorKind::kIoError, path, "cannot open journal");
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  const std::string bytes = buf.str();
+
+  JournalContents out;
+  std::size_t pos = bytes.find('\n');
+  if (pos == std::string::npos ||
+      bytes.compare(0, kHeaderTag.size(), kHeaderTag) != 0)
+    return journal_error(ErrorKind::kCorruptArtifact, path,
+                         "missing or malformed journal header");
+  out.meta = bytes.substr(kHeaderTag.size(), pos - kHeaderTag.size());
+  pos += 1;
+  out.valid_bytes = pos;
+
+  std::uint64_t expected_seq = 0;
+  while (pos < bytes.size()) {
+    const std::size_t record_start = pos;
+    auto torn = [&](const std::string& why) -> Result<JournalContents> {
+      out.torn_tail = true;
+      out.torn_detail = why;
+      out.valid_bytes = record_start;
+      return std::move(out);
+    };
+
+    const std::size_t eol = bytes.find('\n', pos);
+    if (eol == std::string::npos)
+      return torn("record header truncated at EOF");
+    const std::string head = bytes.substr(pos, eol - pos);
+    std::uint64_t seq = 0, hash = 0;
+    std::size_t klen = 0, plen = 0;
+    char tag = 0;
+    std::istringstream hs(head);
+    hs >> tag >> seq >> klen >> plen >> std::hex >> hash;
+    if (tag != 'R' || hs.fail()) {
+      // Unparseable framing: torn only if nothing valid could follow.
+      return torn("malformed record framing: '" + head + "'");
+    }
+    const std::size_t body_start = eol + 1;
+    const std::size_t body_end = body_start + klen + plen;
+    if (body_end + 1 > bytes.size())
+      return torn("record body truncated at EOF");
+    if (bytes[body_end] != '\n') {
+      if (body_end + 1 >= bytes.size()) return torn("record terminator missing");
+      return journal_error(ErrorKind::kCorruptArtifact, path,
+                           "record " + std::to_string(seq) +
+                               " missing terminator mid-file");
+    }
+    const std::string_view key(&bytes[body_start], klen);
+    const std::string_view payload(&bytes[body_start + klen], plen);
+    if (record_checksum(seq, key, payload) != hash) {
+      if (body_end + 1 >= bytes.size())
+        return torn("checksum mismatch on final record");
+      return journal_error(ErrorKind::kCorruptArtifact, path,
+                           "checksum mismatch on record " +
+                               std::to_string(seq) + " (mid-file corruption)");
+    }
+    if (seq != expected_seq)
+      return journal_error(
+          ErrorKind::kCorruptArtifact, path,
+          "non-monotone record sequence: expected " +
+              std::to_string(expected_seq) + ", found " + std::to_string(seq));
+    ++expected_seq;
+    out.records.push_back(
+        {seq, std::string(key), std::string(payload)});
+    pos = body_end + 1;
+    out.valid_bytes = pos;
+  }
+  return out;
+}
+
+Result<JournalWriter> JournalWriter::create(const std::string& path,
+                                            std::string_view meta,
+                                            FaultPlan* faults) {
+  NAPEL_CHECK_MSG(meta.find('\n') == std::string_view::npos,
+                  "journal meta must be a single line");
+  std::string header(kHeaderTag);
+  header.append(meta);
+  header.push_back('\n');
+  const Status st = atomic_write_file(path, header, faults);
+  if (!st.ok()) return st.error();
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (!f)
+    return journal_error(ErrorKind::kIoError, path,
+                         std::string("cannot open journal for append: ") +
+                             std::strerror(errno));
+  return JournalWriter(path, f, 0, faults);
+}
+
+Result<JournalWriter> JournalWriter::open_append(
+    const std::string& path, std::string_view meta,
+    std::vector<JournalRecord>& resumed, FaultPlan* faults) {
+  Result<JournalContents> contents = read_journal(path);
+  if (!contents.ok()) return contents.error();
+  JournalContents& c = contents.value();
+  if (c.meta != meta)
+    return journal_error(ErrorKind::kIncompatibleJournal, path,
+                         "journal was written for different run options "
+                         "(meta '" + c.meta + "' vs '" + std::string(meta) +
+                             "')");
+#ifdef NAPEL_HAVE_FSYNC
+  if (c.torn_tail) {
+    if (truncate(path.c_str(), static_cast<off_t>(c.valid_bytes)) != 0)
+      return journal_error(ErrorKind::kIoError, path,
+                           std::string("cannot truncate torn tail: ") +
+                               std::strerror(errno));
+  }
+#endif
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (!f)
+    return journal_error(ErrorKind::kIoError, path,
+                         std::string("cannot open journal for append: ") +
+                             std::strerror(errno));
+  const std::uint64_t next_seq = c.records.size();
+  resumed = std::move(c.records);
+  return JournalWriter(path, f, next_seq, faults);
+}
+
+JournalWriter::JournalWriter(JournalWriter&& o) noexcept
+    : path_(std::move(o.path_)),
+      f_(o.f_),
+      next_seq_(o.next_seq_),
+      faults_(o.faults_),
+      dead_(o.dead_) {
+  o.f_ = nullptr;
+}
+
+JournalWriter& JournalWriter::operator=(JournalWriter&& o) noexcept {
+  if (this != &o) {
+    if (f_) std::fclose(f_);
+    path_ = std::move(o.path_);
+    f_ = o.f_;
+    next_seq_ = o.next_seq_;
+    faults_ = o.faults_;
+    dead_ = o.dead_;
+    o.f_ = nullptr;
+  }
+  return *this;
+}
+
+JournalWriter::~JournalWriter() {
+  if (f_) std::fclose(f_);
+}
+
+Status JournalWriter::append(std::string_view key, std::string_view payload) {
+  NAPEL_CHECK_MSG(f_ != nullptr, "append on a moved-from JournalWriter");
+  if (dead_)
+    return journal_error(ErrorKind::kIoError, path_,
+                         "journal writer lost to a simulated crash");
+  const std::uint64_t seq = next_seq_;
+  std::string rec = format_record(seq, key, payload);
+
+  if (faults_) {
+    if (const FaultSpec* spec = faults_->fire("journal/append", seq)) {
+      switch (spec->kind) {
+        case FaultKind::kCrash: {
+          // Commit a torn prefix, exactly as a mid-write kill would, and
+          // poison the writer: a dead process cannot write anything more,
+          // so concurrent producers must not be able to either.
+          dead_ = true;
+          const std::size_t half = rec.size() / 2;
+          (void)std::fwrite(rec.data(), 1, half, f_);
+          (void)std::fflush(f_);
+#ifdef NAPEL_HAVE_FSYNC
+          (void)fsync(fileno(f_));
+#endif
+          throw InjectedCrash("injected crash mid-append of record " +
+                              std::to_string(seq));
+        }
+        case FaultKind::kCorruptWrite:
+          rec[rec.size() - payload.size() / 2 - 2] ^= 0x40;
+          break;
+        case FaultKind::kThrow:
+          throw InjectedFault("injected journal append failure");
+        case FaultKind::kHang:
+          break;
+      }
+    }
+  }
+
+  if (std::fwrite(rec.data(), 1, rec.size(), f_) != rec.size())
+    return journal_error(ErrorKind::kIoError, path_,
+                         std::string("short journal append: ") +
+                             std::strerror(errno));
+  if (std::fflush(f_) != 0)
+    return journal_error(ErrorKind::kIoError, path_,
+                         std::string("journal flush: ") + std::strerror(errno));
+#ifdef NAPEL_HAVE_FSYNC
+  if (fsync(fileno(f_)) != 0)
+    return journal_error(ErrorKind::kIoError, path_,
+                         std::string("journal fsync: ") + std::strerror(errno));
+#endif
+  ++next_seq_;
+  return ok_status();
+}
+
+}  // namespace napel

@@ -1,0 +1,125 @@
+// Crash-safe run journal: an append-only file of checksummed records.
+//
+// Long-running phases (DoE collection, LOAO folds, grid-search tuning)
+// checkpoint each completed unit of work as one record, so an interrupted
+// run resumes by skipping keys already present instead of recomputing them.
+//
+// Format (text framing, binary-exact payloads):
+//
+//   napel-journal-v1 <meta>\n          -- meta fingerprints the run options
+//   R <seq> <keylen> <paylen> <fnv64>\n<key><payload>\n   -- repeated
+//
+// `seq` is assigned by the writer and strictly monotone (0, 1, 2, ...);
+// producers buffer out-of-order completions and flush in index order, so a
+// journal always holds a contiguous, deterministic prefix of the run. The
+// checksum (FNV-1a 64 over seq, key and payload) makes torn or corrupted
+// records detectable: a torn *tail* is the expected signature of a crash
+// and is dropped (and truncated away on append-reopen); corruption
+// anywhere else is an error.
+//
+// Durability: each append is a single buffered write followed by
+// fflush+fsync, so a completed DoE point survives any later crash. The
+// header is written through atomic_write_file.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace napel {
+
+class FaultPlan;
+
+/// FNV-1a 64-bit, the journal's record checksum.
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline std::uint64_t fnv1a64(std::string_view bytes,
+                             std::uint64_t h = kFnvOffset) {
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+struct JournalRecord {
+  std::uint64_t seq = 0;
+  std::string key;
+  std::string payload;
+};
+
+struct JournalContents {
+  std::string meta;
+  std::vector<JournalRecord> records;
+  /// A trailing record that failed to parse or checksum — the expected
+  /// debris of a crash mid-append. Dropped from `records`.
+  bool torn_tail = false;
+  std::string torn_detail;
+  /// Byte offset of the end of the last valid record (start of the torn
+  /// tail, when present) — the truncation point for append-reopen.
+  std::uint64_t valid_bytes = 0;
+};
+
+/// Reads and validates a journal. Mid-file corruption (bad framing, failed
+/// checksum, or non-monotone seq with valid records after it) is an error;
+/// a torn tail is reported via JournalContents::torn_tail.
+Result<JournalContents> read_journal(const std::string& path);
+
+/// Append-side handle. Move-only; owns the FILE*.
+class JournalWriter {
+ public:
+  /// Creates a fresh journal (truncating any existing file) whose header
+  /// carries `meta` (single line, no '\n').
+  static Result<JournalWriter> create(const std::string& path,
+                                      std::string_view meta,
+                                      FaultPlan* faults = nullptr);
+
+  /// Re-opens an existing journal for append. Validates that its meta
+  /// equals `meta` (ErrorKind::kIncompatibleJournal otherwise) and
+  /// truncates a torn tail so subsequent appends form a valid file.
+  /// `resumed` receives the surviving records.
+  static Result<JournalWriter> open_append(const std::string& path,
+                                           std::string_view meta,
+                                           std::vector<JournalRecord>& resumed,
+                                           FaultPlan* faults = nullptr);
+
+  JournalWriter(JournalWriter&& o) noexcept;
+  JournalWriter& operator=(JournalWriter&& o) noexcept;
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+  ~JournalWriter();
+
+  /// Appends one record (assigning the next seq) and fsyncs. Not
+  /// thread-safe — callers serialize (and order) appends themselves.
+  Status append(std::string_view key, std::string_view payload);
+
+  std::uint64_t next_seq() const { return next_seq_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  JournalWriter(std::string path, std::FILE* f, std::uint64_t next_seq,
+                FaultPlan* faults)
+      : path_(std::move(path)), f_(f), next_seq_(next_seq), faults_(faults) {}
+
+  std::string path_;
+  std::FILE* f_ = nullptr;
+  std::uint64_t next_seq_ = 0;
+  FaultPlan* faults_ = nullptr;
+  /// Set when a kCrash fault fired: the "process" is dead, so every later
+  /// append fails without touching the file (a SIGKILLed producer cannot
+  /// keep writing just because another thread retries).
+  bool dead_ = false;
+};
+
+/// Bit-exact double <-> text codec used by journal payloads: a double is
+/// its IEEE-754 bit pattern in fixed-width hex, so resumed values compare
+/// equal to recomputed ones down to the last bit.
+std::string double_bits_to_hex(double v);
+Result<double> double_bits_from_hex(std::string_view hex);
+
+}  // namespace napel

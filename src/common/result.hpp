@@ -1,0 +1,176 @@
+// Typed error model for the fault-tolerant pipeline runtime.
+//
+// Library contracts (precondition violations, malformed arguments) keep
+// throwing through NAPEL_CHECK — those are caller bugs. Everything that can
+// fail at *runtime* on the long-lived DoE collection path — a crashed task,
+// an exhausted simulation budget, a torn artifact, an expired watchdog —
+// is reported as a PipelineError carried in a Result<T>, so one failing
+// DoE point degrades the run instead of aborting it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace napel {
+
+enum class ErrorKind : std::uint8_t {
+  kIoError,              ///< open/write/rename/fsync failure
+  kCorruptArtifact,      ///< checksum mismatch, bad header, torn record
+  kIncompatibleJournal,  ///< journal metadata does not match this run
+  kWatchdogTimeout,      ///< per-task wall-clock deadline expired
+  kSimBudgetExhausted,   ///< simulator hit its cycle/event budget
+  kTaskFailed,           ///< a task threw (kernel / profiler / simulator)
+  kQuorumFailed,         ///< too many DoE points lost, or a critical one
+  kInjectedFault,        ///< fault-injection harness (tests only)
+};
+
+constexpr std::string_view error_kind_name(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kIoError: return "io-error";
+    case ErrorKind::kCorruptArtifact: return "corrupt-artifact";
+    case ErrorKind::kIncompatibleJournal: return "incompatible-journal";
+    case ErrorKind::kWatchdogTimeout: return "watchdog-timeout";
+    case ErrorKind::kSimBudgetExhausted: return "sim-budget-exhausted";
+    case ErrorKind::kTaskFailed: return "task-failed";
+    case ErrorKind::kQuorumFailed: return "quorum-failed";
+    case ErrorKind::kInjectedFault: return "injected-fault";
+  }
+  return "unknown";
+}
+
+/// Whether a bounded retry of the same task can plausibly succeed.
+/// Deterministic outcomes (budget exhaustion, timeouts of a deterministic
+/// simulation, corrupt inputs) are not retried; thrown exceptions and I/O
+/// errors may be transient.
+constexpr bool error_kind_retryable(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kIoError:
+    case ErrorKind::kTaskFailed:
+    case ErrorKind::kInjectedFault:
+      return true;
+    case ErrorKind::kCorruptArtifact:
+    case ErrorKind::kIncompatibleJournal:
+    case ErrorKind::kWatchdogTimeout:
+    case ErrorKind::kSimBudgetExhausted:
+    case ErrorKind::kQuorumFailed:
+      return false;
+  }
+  return false;
+}
+
+/// One runtime failure: what failed (kind), where (context — a task key,
+/// file path, or journal position) and how (message). `attempts` counts
+/// executions of the failing task including retries.
+struct PipelineError {
+  ErrorKind kind = ErrorKind::kTaskFailed;
+  std::string context;
+  std::string message;
+  int attempts = 0;
+
+  bool retryable() const { return error_kind_retryable(kind); }
+
+  std::string to_string() const {
+    std::string s = "[";
+    s += error_kind_name(kind);
+    s += "] ";
+    if (!context.empty()) {
+      s += context;
+      s += ": ";
+    }
+    s += message;
+    if (attempts > 1) {
+      s += " (after ";
+      s += std::to_string(attempts);
+      s += " attempts)";
+    }
+    return s;
+  }
+};
+
+/// Thrown by the legacy throwing wrappers around Result-returning entry
+/// points, carrying the structured error.
+class PipelineException : public std::runtime_error {
+ public:
+  explicit PipelineException(PipelineError err)
+      : std::runtime_error(err.to_string()), error_(std::move(err)) {}
+
+  const PipelineError& error() const { return error_; }
+
+ private:
+  PipelineError error_;
+};
+
+/// Minimal result type: either a value or a PipelineError. Accessing the
+/// wrong alternative is a contract violation (NAPEL_CHECK).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT
+  Result(PipelineError err) : error_(std::move(err)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+
+  const T& value() const& {
+    NAPEL_CHECK_MSG(ok(), "Result::value() on error: " + error_.to_string());
+    return *value_;
+  }
+  T& value() & {
+    NAPEL_CHECK_MSG(ok(), "Result::value() on error: " + error_.to_string());
+    return *value_;
+  }
+  T&& take() && {
+    NAPEL_CHECK_MSG(ok(), "Result::take() on error: " + error_.to_string());
+    return std::move(*value_);
+  }
+
+  const PipelineError& error() const {
+    NAPEL_CHECK_MSG(!ok(), "Result::error() on success");
+    return error_;
+  }
+
+  /// Returns the value, or throws PipelineException — the bridge from
+  /// Result-based internals to exception-based public APIs.
+  T&& value_or_throw() && {
+    if (!ok()) throw PipelineException(std::move(error_));
+    return std::move(*value_);
+  }
+
+ private:
+  PipelineError error_;
+  std::optional<T> value_;
+};
+
+/// Result<void>: success carries nothing.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(PipelineError err) : has_error_(true), error_(std::move(err)) {}  // NOLINT
+
+  bool ok() const { return !has_error_; }
+
+  const PipelineError& error() const {
+    NAPEL_CHECK_MSG(has_error_, "Result::error() on success");
+    return error_;
+  }
+
+  void value_or_throw() const {
+    if (has_error_) throw PipelineException(error_);
+  }
+
+ private:
+  bool has_error_ = false;
+  PipelineError error_;
+};
+
+using Status = Result<void>;
+
+inline Status ok_status() { return Status{}; }
+
+}  // namespace napel

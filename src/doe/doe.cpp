@@ -57,6 +57,17 @@ std::vector<WorkloadParams> central_composite(const DoeSpace& space,
   return points;
 }
 
+std::vector<bool> ccd_critical_mask(const DoeSpace& space, CcdOptions opts) {
+  const std::size_t k = space.dimension();
+  NAPEL_CHECK(k >= 1);
+  // central_composite() emits factorial corners first, then the 2k axial
+  // points, then the center replicates — everything past the corners is
+  // critical.
+  std::vector<bool> mask(ccd_size(k, opts.center_replicates), true);
+  for (std::size_t i = 0; i < (std::size_t{1} << k); ++i) mask[i] = false;
+  return mask;
+}
+
 std::vector<WorkloadParams> full_factorial(const DoeSpace& space) {
   const std::size_t k = space.dimension();
   NAPEL_CHECK(k >= 1);

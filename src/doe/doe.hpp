@@ -32,6 +32,14 @@ std::size_t ccd_size(std::size_t k, int center_replicates = -1);
 std::vector<workloads::WorkloadParams> central_composite(
     const workloads::DoeSpace& space, CcdOptions opts = {});
 
+/// Per-point mask over central_composite() order marking the axial and
+/// center points. These are the design's information-critical points: a
+/// degraded collection run may drop a factorial corner (widening
+/// confidence intervals) but must never drop a center or axial point, or
+/// the response-surface fit loses curvature/pure-error information.
+std::vector<bool> ccd_critical_mask(const workloads::DoeSpace& space,
+                                    CcdOptions opts = {});
+
 /// Every combination of the five levels of every parameter (5^k points) —
 /// the brute-force baseline CCD avoids.
 std::vector<workloads::WorkloadParams> full_factorial(

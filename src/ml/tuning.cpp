@@ -1,17 +1,47 @@
 #include "ml/tuning.hpp"
 
 #include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <sstream>
 
 #include "common/check.hpp"
+#include "common/journal.hpp"
 #include "common/parallel.hpp"
+#include "common/result.hpp"
 #include "ml/metrics.hpp"
 
 namespace napel::ml {
 
+namespace {
+
+/// Journal meta: fingerprints everything that determines the scores, so a
+/// checkpoint from a different search (or dataset) cannot be resumed.
+std::string tuning_meta(const Dataset& data, const RfTuningGrid& grid,
+                        std::size_t k_folds, std::uint64_t seed) {
+  std::ostringstream os;
+  os << "tune k=" << k_folds << " seed=" << seed << " rows=" << data.size()
+     << " nt:";
+  for (unsigned v : grid.n_trees) os << v << ',';
+  os << " md:";
+  for (unsigned v : grid.max_depth) os << v << ',';
+  os << " mtry:";
+  for (double v : grid.mtry_fraction) os << double_bits_to_hex(v) << ',';
+  os << " leaf:";
+  for (std::size_t v : grid.min_samples_leaf) os << v << ',';
+  return os.str();
+}
+
+std::string combo_key(std::size_t c) { return "combo/" + std::to_string(c); }
+
+}  // namespace
+
 RfTuningResult tune_random_forest(const Dataset& data,
                                   const RfTuningGrid& grid,
                                   std::size_t k_folds, std::uint64_t seed,
-                                  unsigned n_threads) {
+                                  unsigned n_threads,
+                                  const TuningCheckpoint* checkpoint) {
   NAPEL_CHECK(grid.combinations() >= 1);
   NAPEL_CHECK_MSG(data.size() >= k_folds,
                   "need at least k_folds training rows");
@@ -46,10 +76,76 @@ RfTuningResult tune_random_forest(const Dataset& data,
   result.all_scores.assign(combos.size(),
                            std::numeric_limits<double>::infinity());
 
+  // Checkpoint journal: restore already-scored combinations, then append
+  // new scores in grid order (buffered in-order flush, like the collection
+  // journal) so the file is always a valid contiguous prefix.
+  const std::size_t n = combos.size();
+  std::vector<char> done(n, 0);
+  std::unique_ptr<JournalWriter> writer;
+  if (checkpoint) {
+    const std::string meta = tuning_meta(data, grid, k_folds, seed);
+    if (checkpoint->resume) {
+      std::vector<JournalRecord> resumed;
+      writer = std::make_unique<JournalWriter>(
+          JournalWriter::open_append(checkpoint->journal_path, meta, resumed)
+              .value_or_throw());
+      for (const JournalRecord& rec : resumed) {
+        std::size_t c = n;
+        if (rec.key.rfind("combo/", 0) == 0) {
+          try {
+            c = std::stoul(rec.key.substr(6));
+          } catch (const std::exception&) {
+            c = n;
+          }
+        }
+        const Result<double> score = double_bits_from_hex(rec.payload);
+        if (c >= n || !score.ok())
+          throw PipelineException(
+              {.kind = ErrorKind::kCorruptArtifact,
+               .context = checkpoint->journal_path + ": " + rec.key,
+               .message = "unparseable tuning checkpoint record"});
+        result.all_scores[c] = score.value();
+        done[c] = 1;
+      }
+    } else {
+      writer = std::make_unique<JournalWriter>(
+          JournalWriter::create(checkpoint->journal_path, meta)
+              .value_or_throw());
+    }
+  }
+
+  std::vector<std::size_t> pending;
+  pending.reserve(n);
+  for (std::size_t c = 0; c < n; ++c)
+    if (!done[c]) pending.push_back(c);
+
+  std::mutex flush_mu;
+  std::size_t next_flush = 0;
+  std::vector<char> resolved(done.begin(), done.end());
+  std::optional<PipelineError> journal_error;
+  const auto flush = [&](std::size_t c) {
+    const std::lock_guard<std::mutex> lock(flush_mu);
+    resolved[c] = 1;
+    if (journal_error) return;
+    while (next_flush < n && resolved[next_flush]) {
+      if (!done[next_flush]) {
+        Status s = writer->append(combo_key(next_flush),
+                                  double_bits_to_hex(
+                                      result.all_scores[next_flush]));
+        if (!s.ok()) {
+          journal_error = s.error();
+          return;
+        }
+      }
+      ++next_flush;
+    }
+  };
+
   // Each grid point owns its score slot; the fold loop inside stays
   // sequential (per-point cost is already k forest fits, which themselves
   // parallelize over trees through the shared pool).
-  parallel_for(combos.size(), n_threads, [&](std::size_t c) {
+  parallel_for(pending.size(), n_threads, [&](std::size_t pi) {
+    const std::size_t c = pending[pi];
     double mre_sum = 0.0;
     std::size_t folds_used = 0;
     for (std::size_t f = 0; f < k_folds; ++f) {
@@ -62,7 +158,9 @@ RfTuningResult tune_random_forest(const Dataset& data,
     }
     if (folds_used)
       result.all_scores[c] = mre_sum / static_cast<double>(folds_used);
+    if (writer) flush(c);
   });
+  if (journal_error) throw PipelineException(std::move(*journal_error));
 
   result.combinations_evaluated = combos.size();
   double best = std::numeric_limits<double>::infinity();

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "ml/random_forest.hpp"
@@ -31,15 +32,28 @@ struct RfTuningResult {
   std::vector<double> all_scores;
 };
 
+/// Optional crash-safe checkpoint for the grid search: every evaluated
+/// combination's CV score is journaled (common/journal.hpp), and a resumed
+/// search skips combinations already scored — the resumed result is
+/// bit-identical to an uninterrupted run. The journal meta fingerprints the
+/// grid, fold count, seed, and row count, so resuming against a different
+/// search is refused.
+struct TuningCheckpoint {
+  std::string journal_path;
+  bool resume = false;
+};
+
 /// Exhaustive grid search with k-fold CV; deterministic given `seed` at
 /// any thread count. Grid points are evaluated concurrently (n_threads:
 /// 0 = process-wide pool, 1 = serial); scores, the winning combination,
 /// and its tie-breaking (first best in grid order) never depend on the
-/// execution interleaving.
+/// execution interleaving. Journal failures (when `checkpoint` is given)
+/// throw PipelineException.
 RfTuningResult tune_random_forest(const Dataset& data,
                                   const RfTuningGrid& grid,
                                   std::size_t k_folds = 4,
                                   std::uint64_t seed = 1234,
-                                  unsigned n_threads = 0);
+                                  unsigned n_threads = 0,
+                                  const TuningCheckpoint* checkpoint = nullptr);
 
 }  // namespace napel::ml

@@ -1,0 +1,131 @@
+#include "napel/journal.hpp"
+
+#include <cinttypes>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace napel::core {
+
+namespace {
+
+PipelineError decode_error(const std::string& what) {
+  return PipelineError{.kind = ErrorKind::kCorruptArtifact,
+                       .context = "collect record",
+                       .message = what};
+}
+
+}  // namespace
+
+std::string collect_journal_meta(const CollectOptions& opts) {
+  std::ostringstream os;
+  os << "collect scale=" << static_cast<int>(opts.scale)
+     << " design=" << static_cast<int>(opts.design)
+     << " points=" << opts.design_points
+     << " archs=" << opts.archs_per_config
+     << " pool=" << opts.arch_pool_size
+     << " seed=" << opts.seed
+     << " nfeat=" << model_feature_names().size();
+  return os.str();
+}
+
+std::string collect_record_key(std::string_view app,
+                               std::size_t config_index) {
+  std::string key(app);
+  key += '/';
+  key += std::to_string(config_index);
+  return key;
+}
+
+std::string encode_collect_record(std::span<const TrainingRow> rows,
+                                  double profile_seconds,
+                                  double simulate_seconds) {
+  std::ostringstream os;
+  os << "t " << double_bits_to_hex(profile_seconds) << ' '
+     << double_bits_to_hex(simulate_seconds) << ' ' << rows.size() << '\n';
+  for (const TrainingRow& r : rows) {
+    os << "r " << double_bits_to_hex(r.ipc) << ' '
+       << double_bits_to_hex(r.energy_pj_per_instr) << ' '
+       << double_bits_to_hex(r.power_watts) << ' ' << r.instructions << ' '
+       << double_bits_to_hex(r.sim_time_seconds) << ' '
+       << double_bits_to_hex(r.sim_energy_joules) << ' ' << r.features.size();
+    for (const double f : r.features) os << ' ' << double_bits_to_hex(f);
+    os << '\n';
+  }
+  return os.str();
+}
+
+Status decode_collect_record(std::string_view payload,
+                             std::span<TrainingRow> rows,
+                             double& profile_seconds,
+                             double& simulate_seconds) {
+  std::istringstream is{std::string(payload)};
+  std::string tag, a, b;
+  std::size_t n_rows = 0;
+  is >> tag >> a >> b >> n_rows;
+  if (is.fail() || tag != "t")
+    return decode_error("malformed record header");
+  if (n_rows != rows.size())
+    return decode_error("record holds " + std::to_string(n_rows) +
+                        " rows, task expects " + std::to_string(rows.size()));
+
+  auto bits = [](const std::string& hex, double& out) {
+    Result<double> r = double_bits_from_hex(hex);
+    if (!r.ok()) return false;
+    out = r.value();
+    return true;
+  };
+  if (!bits(a, profile_seconds) || !bits(b, simulate_seconds))
+    return decode_error("malformed timing bits");
+
+  for (TrainingRow& row : rows) {
+    std::string ipc, epj, pw, time_s, energy_j;
+    std::size_t n_features = 0;
+    is >> tag >> ipc >> epj >> pw >> row.instructions >> time_s >> energy_j >>
+        n_features;
+    if (is.fail() || tag != "r") return decode_error("malformed row record");
+    if (!bits(ipc, row.ipc) || !bits(epj, row.energy_pj_per_instr) ||
+        !bits(pw, row.power_watts) || !bits(time_s, row.sim_time_seconds) ||
+        !bits(energy_j, row.sim_energy_joules))
+      return decode_error("malformed row label bits");
+    row.features.resize(n_features);
+    std::string fbits;
+    for (double& f : row.features) {
+      is >> fbits;
+      if (is.fail() || !bits(fbits, f))
+        return decode_error("malformed feature bits");
+    }
+  }
+  return ok_status();
+}
+
+Result<std::unique_ptr<RunJournal>> RunJournal::open(const std::string& path,
+                                                     std::string_view meta,
+                                                     bool resume,
+                                                     FaultPlan* faults) {
+  if (!resume) {
+    Result<JournalWriter> w = JournalWriter::create(path, meta, faults);
+    if (!w.ok()) return w.error();
+    return std::unique_ptr<RunJournal>(
+        new RunJournal(std::move(w).take()));
+  }
+  std::vector<JournalRecord> records;
+  Result<JournalWriter> w = JournalWriter::open_append(path, meta, records, faults);
+  if (!w.ok()) return w.error();
+  auto journal = std::unique_ptr<RunJournal>(new RunJournal(std::move(w).take()));
+  for (JournalRecord& r : records)
+    journal->loaded_[std::move(r.key)] = std::move(r.payload);
+  return journal;
+}
+
+const std::string* RunJournal::find(const std::string& key) const {
+  const auto it = loaded_.find(key);
+  return it == loaded_.end() ? nullptr : &it->second;
+}
+
+Status RunJournal::append(const std::string& key, std::string_view payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writer_.append(key, payload);
+}
+
+}  // namespace napel::core

@@ -1,0 +1,76 @@
+// NAPEL run journal: the pipeline-facing wrapper over the generic
+// checksummed journal (common/journal.hpp), plus the bit-exact codec for
+// collection checkpoints.
+//
+// One RunJournal file checkpoints an entire `napel collect`/`train`
+// invocation: each completed (input-config × architecture-set) DoE task is
+// one record keyed "<app>/<config-index>", and the header meta fingerprints
+// every option that affects the computed rows (scale, design, seeds, pool
+// geometry, feature schema). Resuming with different options is refused
+// (ErrorKind::kIncompatibleJournal) rather than silently mixing data.
+//
+// Only the simulator *responses* and wall-clock accounting are stored;
+// params and architectures are re-derived deterministically from the run
+// options on resume, so a resumed row is bit-identical to a recomputed one.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/journal.hpp"
+#include "common/result.hpp"
+#include "napel/pipeline.hpp"
+
+namespace napel::core {
+
+/// The header meta string a journal for `opts` must carry.
+std::string collect_journal_meta(const CollectOptions& opts);
+
+/// Key of one collection task record.
+std::string collect_record_key(std::string_view app, std::size_t config_index);
+
+/// Encodes the responses of one completed task: per-row labels + features
+/// (doubles as IEEE-754 bit patterns) and the task's wall-clock accounting.
+std::string encode_collect_record(std::span<const TrainingRow> rows,
+                                  double profile_seconds,
+                                  double simulate_seconds);
+
+/// Decodes into `rows`, whose app/params/arch fields the caller has already
+/// re-derived from the run options. Row count must match.
+Status decode_collect_record(std::string_view payload,
+                             std::span<TrainingRow> rows,
+                             double& profile_seconds,
+                             double& simulate_seconds);
+
+/// Thread-safe journal handle shared by all collect calls of one run.
+class RunJournal {
+ public:
+  /// resume == false: creates a fresh journal (truncates). resume == true:
+  /// re-opens, validates `meta`, truncates a torn tail, and indexes the
+  /// surviving records for lookup.
+  static Result<std::unique_ptr<RunJournal>> open(const std::string& path,
+                                                  std::string_view meta,
+                                                  bool resume,
+                                                  FaultPlan* faults = nullptr);
+
+  /// Payload of a previously-completed record, or nullptr.
+  const std::string* find(const std::string& key) const;
+
+  Status append(const std::string& key, std::string_view payload);
+
+  std::size_t n_loaded() const { return loaded_.size(); }
+  const std::string& path() const { return writer_.path(); }
+
+ private:
+  explicit RunJournal(JournalWriter writer) : writer_(std::move(writer)) {}
+
+  JournalWriter writer_;
+  std::map<std::string, std::string> loaded_;
+  std::mutex mu_;
+};
+
+}  // namespace napel::core

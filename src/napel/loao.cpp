@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <sstream>
 
 #include "common/check.hpp"
+#include "common/journal.hpp"
 #include "common/parallel.hpp"
 #include "ml/metrics.hpp"
 #include "ml/mlp.hpp"
@@ -76,6 +80,33 @@ double energy_mre(const ml::Regressor& ipc_model,
   return n ? s / static_cast<double>(n) : 0.0;
 }
 
+std::string loao_meta(const std::vector<TrainingRow>& rows, ModelKind kind,
+                      const LoaoOptions& opts, std::size_t n_apps) {
+  std::ostringstream os;
+  os << "loao kind=" << static_cast<int>(kind) << " tune=" << opts.tune_rf
+     << " k=" << opts.k_folds << " seed=" << opts.seed
+     << " rows=" << rows.size() << " apps=" << n_apps;
+  return os.str();
+}
+
+std::string fold_payload(const LoaoAppResult& r) {
+  return double_bits_to_hex(r.perf_mre) + ' ' +
+         double_bits_to_hex(r.energy_mre) + ' ' + std::to_string(r.test_rows);
+}
+
+bool parse_fold_payload(const std::string& payload, LoaoAppResult& r) {
+  std::istringstream is(payload);
+  std::string perf, energy;
+  is >> perf >> energy >> r.test_rows;
+  if (is.fail()) return false;
+  const Result<double> p = double_bits_from_hex(perf);
+  const Result<double> e = double_bits_from_hex(energy);
+  if (!p.ok() || !e.ok()) return false;
+  r.perf_mre = p.value();
+  r.energy_mre = e.value();
+  return true;
+}
+
 }  // namespace
 
 std::vector<LoaoAppResult> leave_one_app_out(
@@ -89,12 +120,71 @@ std::vector<LoaoAppResult> leave_one_app_out(
       apps.push_back(r.app);
   NAPEL_CHECK_MSG(apps.size() >= 2, "LOAO requires at least two applications");
 
+  // Fold checkpoint journal: completed folds are restored on resume and
+  // skipped; new folds are appended in app order (buffered in-order flush)
+  // so the journal is always a valid contiguous prefix.
+  const std::size_t n = apps.size();
+  std::vector<char> done(n, 0);
+  std::vector<LoaoAppResult> results(n);
+  std::unique_ptr<JournalWriter> writer;
+  if (!opts.journal_path.empty()) {
+    const std::string meta = loao_meta(rows, kind, opts, n);
+    if (opts.resume) {
+      std::vector<JournalRecord> resumed;
+      writer = std::make_unique<JournalWriter>(
+          JournalWriter::open_append(opts.journal_path, meta, resumed)
+              .value_or_throw());
+      for (const JournalRecord& rec : resumed) {
+        const auto it = std::find(apps.begin(), apps.end(), rec.key);
+        LoaoAppResult r;
+        if (it == apps.end() || !parse_fold_payload(rec.payload, r))
+          throw PipelineException(
+              {.kind = ErrorKind::kCorruptArtifact,
+               .context = opts.journal_path + ": " + rec.key,
+               .message = "unparseable LOAO checkpoint record"});
+        r.app = rec.key;
+        const auto ai = static_cast<std::size_t>(it - apps.begin());
+        results[ai] = std::move(r);
+        done[ai] = 1;
+      }
+    } else {
+      writer = std::make_unique<JournalWriter>(
+          JournalWriter::create(opts.journal_path, meta).value_or_throw());
+    }
+  }
+
+  std::vector<std::size_t> pending;
+  pending.reserve(n);
+  for (std::size_t ai = 0; ai < n; ++ai)
+    if (!done[ai]) pending.push_back(ai);
+
+  std::mutex flush_mu;
+  std::size_t next_flush = 0;
+  std::vector<char> resolved(done.begin(), done.end());
+  std::optional<PipelineError> journal_error;
+  const auto flush = [&](std::size_t ai) {
+    const std::lock_guard<std::mutex> lock(flush_mu);
+    resolved[ai] = 1;
+    if (journal_error) return;
+    while (next_flush < n && resolved[next_flush]) {
+      if (!done[next_flush]) {
+        Status s =
+            writer->append(apps[next_flush], fold_payload(results[next_flush]));
+        if (!s.ok()) {
+          journal_error = s.error();
+          return;
+        }
+      }
+      ++next_flush;
+    }
+  };
+
   // Each held-out application is an independent fold: it builds its own
   // train/test split, trains from the same seed the sequential loop used,
   // and writes its result into its own slot, so results are ordered by
   // first appearance and identical at any thread count.
-  std::vector<LoaoAppResult> results(apps.size());
-  parallel_for(apps.size(), opts.n_threads, [&](std::size_t ai) {
+  parallel_for(pending.size(), opts.n_threads, [&](std::size_t pi) {
+    const std::size_t ai = pending[pi];
     const auto& app = apps[ai];
     std::vector<TrainingRow> train, test;
     for (const auto& r : rows) (r.app == app ? test : train).push_back(r);
@@ -129,7 +219,9 @@ std::vector<LoaoAppResult> leave_one_app_out(
       res.energy_mre = energy_mre(*ipc_model, *power_model, test);
     }
     results[ai] = std::move(res);
+    if (writer) flush(ai);
   });
+  if (journal_error) throw PipelineException(std::move(*journal_error));
   return results;
 }
 

@@ -36,6 +36,11 @@ struct LoaoOptions {
   /// 0 = process-wide pool, 1 = serial. Every fold trains from the same
   /// seed, so per-app MREs are identical at any thread count.
   unsigned n_threads = 0;
+  /// When non-empty, each completed fold is checkpointed to this journal
+  /// (keyed by the held-out application); with `resume`, folds already
+  /// present are restored bit-identically instead of retrained.
+  std::string journal_path;
+  bool resume = false;
 };
 
 /// Runs the LOAO protocol over all applications present in `rows`.

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/atomic_file.hpp"
 #include "common/check.hpp"
 #include "ml/serialize.hpp"
 
@@ -16,9 +17,13 @@ void save_model(const NapelModel& model, std::ostream& os) {
 }
 
 void save_model_file(const NapelModel& model, const std::string& path) {
-  std::ofstream f(path);
-  NAPEL_CHECK_MSG(f.good(), "cannot open model file for writing: " + path);
-  save_model(model, f);
+  // Serialize to memory, then publish atomically (temp + fsync + rename):
+  // a crash mid-save can never leave a torn model file behind, and the
+  // stream state is actually checked before anything hits the disk.
+  std::ostringstream os;
+  save_model(model, os);
+  NAPEL_CHECK_MSG(os.good(), "model serialization failed: " + path);
+  atomic_write_file(path, os.str()).value_or_throw();
 }
 
 NapelModel load_model(std::istream& is) {

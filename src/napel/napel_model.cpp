@@ -43,13 +43,21 @@ void NapelModel::train(const std::vector<TrainingRow>& rows,
   const ml::Dataset ipc_data = assemble_dataset(rows, Target::kIpc);
   const ml::Dataset power_data = assemble_dataset(rows, Target::kPowerWatts);
 
-  auto fit_one = [&](const ml::Dataset& data, ml::RfTuningResult& tuning) {
+  auto fit_one = [&](const ml::Dataset& data, ml::RfTuningResult& tuning,
+                     const char* ckpt_suffix) {
     ml::RandomForestParams params = opts.untuned_params;
     params.seed = opts.seed;
     params.n_threads = opts.n_threads;
     if (opts.tune && data.size() >= opts.k_folds) {
+      ml::TuningCheckpoint ckpt;
+      const bool use_ckpt = !opts.tune_checkpoint.empty();
+      if (use_ckpt) {
+        ckpt.journal_path = opts.tune_checkpoint + ckpt_suffix;
+        ckpt.resume = opts.tune_resume;
+      }
       tuning = ml::tune_random_forest(data, opts.grid, opts.k_folds,
-                                      opts.seed, opts.n_threads);
+                                      opts.seed, opts.n_threads,
+                                      use_ckpt ? &ckpt : nullptr);
       params = tuning.best_params;
     }
     auto rf = std::make_unique<ml::RandomForest>(params);
@@ -57,8 +65,8 @@ void NapelModel::train(const std::vector<TrainingRow>& rows,
     return rf;
   };
 
-  ipc_rf_ = fit_one(ipc_data, ipc_tuning_);
-  energy_rf_ = fit_one(power_data, energy_tuning_);
+  ipc_rf_ = fit_one(ipc_data, ipc_tuning_, ".ipc");
+  energy_rf_ = fit_one(power_data, energy_tuning_, ".power");
   trained_ = true;
 }
 

@@ -39,6 +39,11 @@ class NapelModel {
     /// Worker threads for tuning and forest fitting: 0 = process-wide
     /// pool, 1 = serial. The trained model is identical either way.
     unsigned n_threads = 0;
+    /// When non-empty, the grid searches checkpoint their per-combination
+    /// scores to "<tune_checkpoint>.ipc" / "<tune_checkpoint>.power"; with
+    /// tune_resume, already-scored combinations are skipped.
+    std::string tune_checkpoint;
+    bool tune_resume = false;
   };
 
   /// Trains the IPC and energy forests on collected rows.

@@ -2,9 +2,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
 
 #include "common/check.hpp"
+#include "common/fault_injection.hpp"
 #include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "napel/journal.hpp"
 #include "trace/tracer.hpp"
 
 namespace napel::core {
@@ -23,6 +30,173 @@ std::uint64_t l1_capacity_blocks(const sim::ArchConfig& arch) {
       static_cast<std::uint64_t>(arch.cache_lines) * arch.cache_line_bytes;
   return std::max<std::uint64_t>(1, bytes / 64);
 }
+
+/// The architecture simulated in slot `a` of config `ci`. Slot 0 is always
+/// the reference design point (pool[0], the paper's Table 3 system): the
+/// model's primary prediction target. Remaining slots rotate through the
+/// rest of the pool for architectural spread. Pure function of (ci, a) so
+/// journal resume re-derives the same pairing.
+const sim::ArchConfig& arch_for_slot(const std::vector<sim::ArchConfig>& pool,
+                                     std::size_t ci, std::size_t a,
+                                     std::size_t per_config) {
+  if (a == 0) return pool[0];
+  return pool[1 + (ci * (per_config - 1) + a - 1) % (pool.size() - 1)];
+}
+
+/// The responses of one completed DoE task: `per_config` rows plus the
+/// task's wall-clock accounting.
+struct TaskOutput {
+  std::vector<TrainingRow> rows;
+  double profile_seconds = 0.0;
+  double simulate_seconds = 0.0;
+};
+
+/// One attempt at one DoE task. Runtime failures come back as errors;
+/// InjectedCrash (simulated process death) and NAPEL_CHECK contract
+/// violations propagate.
+Result<TaskOutput> attempt_task(const workloads::Workload& w,
+                                const CollectOptions& opts,
+                                const workloads::WorkloadParams& params,
+                                std::size_t ci,
+                                const std::vector<sim::ArchConfig>& pool) {
+  const std::string key = collect_record_key(w.name(), ci);
+  try {
+    // Retries reuse the same data seed, so a retried success is
+    // bit-identical to a first-attempt success.
+    const std::uint64_t data_seed = opts.seed + ci;
+    const Watchdog watchdog{
+        std::chrono::milliseconds(opts.task_deadline_ms)};
+
+    if (opts.faults) {
+      if (const FaultSpec* f = opts.faults->fire("collect/task", ci)) {
+        switch (f->kind) {
+          case FaultKind::kThrow:
+            throw InjectedFault("injected failure in " + key);
+          case FaultKind::kCrash:
+            throw InjectedCrash("injected crash in " + key);
+          case FaultKind::kHang:
+            // A real hang cannot be preempted; the injected one spins on
+            // the same watchdog a hung phase would eventually hit.
+            NAPEL_CHECK_MSG(watchdog.armed(),
+                            "kHang at collect/task requires task_deadline_ms");
+            while (!watchdog.expired()) std::this_thread::yield();
+            break;
+          case FaultKind::kCorruptWrite:
+            break;  // no bytes written at this site
+        }
+      }
+    }
+
+    // One kernel execution feeds the profiler and all simulators.
+    trace::Tracer tracer;
+    profiler::ProfileBuilder builder;
+    tracer.attach(builder);
+    const std::size_t per_config = opts.archs_per_config;
+    std::vector<std::unique_ptr<sim::NmcSimulator>> sims;
+    for (std::size_t a = 0; a < per_config; ++a) {
+      sims.push_back(std::make_unique<sim::NmcSimulator>(
+          arch_for_slot(pool, ci, a, per_config), opts.sim_budget));
+      sims.back()->set_fault_plan(opts.faults);
+      tracer.attach(*sims.back());
+    }
+
+    TaskOutput task;
+    const auto t0 = Clock::now();
+    w.run(tracer, params, data_seed);
+    const profiler::Profile profile = builder.build();
+    task.profile_seconds = seconds_since(t0);
+    watchdog.check(key + " (kernel/profile phase)");
+
+    const auto t1 = Clock::now();
+    task.rows.reserve(per_config);
+    for (std::size_t a = 0; a < sims.size(); ++a) {
+      sim::NmcSimulator& simulator = *sims[a];
+      const sim::SimResult& res = simulator.result();
+      watchdog.check(key + " (simulation " + std::to_string(a) + ")");
+      if (res.cycles_budget_exhausted)
+        return PipelineError{
+            .kind = ErrorKind::kSimBudgetExhausted,
+            .context = key,
+            .message = "simulation " + std::to_string(a) +
+                       " stopped at its cycle/event budget after " +
+                       std::to_string(res.sched_events) + " events"};
+      TrainingRow row;
+      row.app = std::string(w.name());
+      row.params = params;
+      row.arch = simulator.config();
+      row.features = model_features(profile, simulator.config());
+      row.ipc = res.ipc;
+      row.instructions = res.instructions;
+      row.energy_pj_per_instr =
+          res.instructions == 0
+              ? 0.0
+              : res.energy_joules * 1e12 /
+                    static_cast<double>(res.instructions);
+      row.power_watts = res.time_seconds == 0.0
+                            ? 0.0
+                            : res.energy_joules / res.time_seconds;
+      row.sim_time_seconds = res.time_seconds;
+      row.sim_energy_joules = res.energy_joules;
+      task.rows.push_back(std::move(row));
+    }
+    task.simulate_seconds = seconds_since(t1);
+    return task;
+  } catch (const InjectedCrash&) {
+    throw;  // simulated process death — nothing below main() handles it
+  } catch (const WatchdogTimeout& e) {
+    return PipelineError{.kind = ErrorKind::kWatchdogTimeout,
+                         .context = key,
+                         .message = e.what()};
+  } catch (const InjectedFault& e) {
+    return PipelineError{.kind = ErrorKind::kInjectedFault,
+                         .context = key,
+                         .message = e.what()};
+  } catch (const PipelineException& e) {
+    PipelineError err = e.error();
+    if (err.context.empty()) err.context = key;
+    return err;
+  } catch (const std::invalid_argument&) {
+    throw;  // contract violation — a caller bug, not a runtime fault
+  } catch (const std::exception& e) {
+    return PipelineError{.kind = ErrorKind::kTaskFailed,
+                         .context = key,
+                         .message = e.what()};
+  }
+}
+
+/// attempt_task under the bounded-retry policy. Only retryable failures
+/// (thrown exceptions, I/O) are re-attempted; deterministic outcomes
+/// (watchdog timeout, exhausted budget) fail immediately.
+Result<TaskOutput> run_task(const workloads::Workload& w,
+                            const CollectOptions& opts,
+                            const workloads::WorkloadParams& params,
+                            std::size_t ci,
+                            const std::vector<sim::ArchConfig>& pool,
+                            std::size_t& n_retries) {
+  const std::size_t max_attempts = 1 + opts.max_retries;
+  PipelineError last;
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++n_retries;
+      if (opts.retry_backoff_ms > 0) {
+        // Exponential backoff with deterministic seed-derived jitter.
+        SplitMix64 sm(opts.seed ^ (ci * 0x9e3779b97f4a7c15ULL) ^ attempt);
+        const std::uint64_t base =
+            std::uint64_t{opts.retry_backoff_ms} << (attempt - 1);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(base + sm.next() % (base + 1)));
+      }
+    }
+    Result<TaskOutput> r = attempt_task(w, opts, params, ci, pool);
+    if (r.ok()) return r;
+    last = r.error();
+    last.attempts = static_cast<int>(attempt + 1);
+    if (!last.retryable()) break;
+  }
+  return last;
+}
+
+enum class TaskState : std::uint8_t { kPending, kDone, kFailed };
 
 }  // namespace
 
@@ -98,9 +272,9 @@ sim::SimResult simulate_workload(const workloads::Workload& w,
   return simulator.result();
 }
 
-CollectStats collect_training_data(const workloads::Workload& w,
-                                   const CollectOptions& opts,
-                                   std::vector<TrainingRow>& out) {
+Result<CollectStats> try_collect_training_data(const workloads::Workload& w,
+                                               const CollectOptions& opts,
+                                               std::vector<TrainingRow>& out) {
   NAPEL_CHECK(opts.archs_per_config >= 1);
   NAPEL_CHECK(opts.arch_pool_size >= opts.archs_per_config);
 
@@ -108,9 +282,14 @@ CollectStats collect_training_data(const workloads::Workload& w,
   Rng rng(opts.seed);
 
   std::vector<workloads::WorkloadParams> configs;
+  // Which points a degraded run may drop: CCD center/axial points carry the
+  // design's curvature and pure-error information and are never droppable;
+  // every point of the unstructured designs is.
+  std::vector<bool> critical;
   switch (opts.design) {
     case DesignKind::kCcd:
       configs = doe::central_composite(space);
+      critical = doe::ccd_critical_mask(space);
       break;
     case DesignKind::kRandom:
       configs = doe::random_design(space, opts.design_points, rng);
@@ -122,6 +301,7 @@ CollectStats collect_training_data(const workloads::Workload& w,
       configs = doe::full_factorial(space);
       break;
   }
+  critical.resize(configs.size(), false);
 
   // Architecture pool is derived from the same seed for every workload, so
   // leave-one-application-out folds see a consistent design space.
@@ -137,70 +317,158 @@ CollectStats collect_training_data(const workloads::Workload& w,
   // stack, so the appended rows are byte-identical to the sequential loop
   // at any thread count. Per-item wall-clock is reduced in config order
   // after the parallel region.
+  const std::size_t n = configs.size();
   const std::size_t per_config = opts.archs_per_config;
   const std::size_t base = out.size();
-  out.resize(base + configs.size() * per_config);
-  std::vector<double> profile_seconds(configs.size(), 0.0);
-  std::vector<double> simulate_seconds(configs.size(), 0.0);
+  out.resize(base + n * per_config);
+  std::vector<double> profile_seconds(n, 0.0);
+  std::vector<double> simulate_seconds(n, 0.0);
+  std::vector<TaskState> state(n, TaskState::kPending);
+  std::vector<PipelineError> task_error(n);
+  std::vector<std::size_t> task_retries(n, 0);
 
-  parallel_for(configs.size(), opts.n_threads, [&](std::size_t ci) {
-    const auto& params = configs[ci];
-    const std::uint64_t data_seed = opts.seed + ci;
-
-    // One kernel execution feeds the profiler and all simulators.
-    trace::Tracer tracer;
-    profiler::ProfileBuilder builder;
-    tracer.attach(builder);
-    std::vector<std::unique_ptr<sim::NmcSimulator>> sims;
-    for (std::size_t a = 0; a < per_config; ++a) {
-      // Slot 0 is always the reference design point (pool[0], the paper's
-      // Table 3 system): the model's primary prediction target. Remaining
-      // slots rotate through the rest of the pool for architectural spread.
-      const sim::ArchConfig& arch =
-          a == 0 ? pool[0]
-                 : pool[1 + (ci * (per_config - 1) + a - 1) %
-                                (pool.size() - 1)];
-      sims.push_back(std::make_unique<sim::NmcSimulator>(arch));
-      tracer.attach(*sims.back());
+  // Journal resume: restore completed tasks before the parallel region.
+  // Only the simulator responses are stored; params and architectures are
+  // re-derived above, so a resumed row is bit-identical to a recomputed one.
+  if (opts.journal) {
+    for (std::size_t ci = 0; ci < n; ++ci) {
+      const std::string key = collect_record_key(w.name(), ci);
+      const std::string* payload = opts.journal->find(key);
+      if (payload == nullptr) continue;
+      const std::span<TrainingRow> rows{out.data() + base + ci * per_config,
+                                        per_config};
+      for (std::size_t a = 0; a < per_config; ++a) {
+        rows[a].app = std::string(w.name());
+        rows[a].params = configs[ci];
+        rows[a].arch = arch_for_slot(pool, ci, a, per_config);
+      }
+      Status s = decode_collect_record(*payload, rows, profile_seconds[ci],
+                                       simulate_seconds[ci]);
+      if (!s.ok()) {
+        PipelineError err = s.error();
+        err.context = opts.journal->path() + ": " + key;
+        return err;
+      }
+      state[ci] = TaskState::kDone;
+      ++stats.n_resumed;
     }
+  }
 
-    const auto t0 = Clock::now();
-    w.run(tracer, params, data_seed);
-    const profiler::Profile profile = builder.build();
-    profile_seconds[ci] = seconds_since(t0);
+  std::vector<std::size_t> pending;
+  pending.reserve(n);
+  for (std::size_t ci = 0; ci < n; ++ci)
+    if (state[ci] == TaskState::kPending) pending.push_back(ci);
 
-    const auto t1 = Clock::now();
-    for (std::size_t a = 0; a < sims.size(); ++a) {
-      sim::NmcSimulator& simulator = *sims[a];
-      const sim::SimResult& res = simulator.result();
-      TrainingRow row;
-      row.app = std::string(w.name());
-      row.params = params;
-      row.arch = simulator.config();
-      row.features = model_features(profile, simulator.config());
-      row.ipc = res.ipc;
-      row.instructions = res.instructions;
-      row.energy_pj_per_instr =
-          res.instructions == 0
-              ? 0.0
-              : res.energy_joules * 1e12 /
-                    static_cast<double>(res.instructions);
-      row.power_watts = res.time_seconds == 0.0
-                            ? 0.0
-                            : res.energy_joules / res.time_seconds;
-      row.sim_time_seconds = res.time_seconds;
-      row.sim_energy_joules = res.energy_joules;
-      out[base + ci * per_config + a] = std::move(row);
+  // In-order journal flush: tasks complete out of order, but records are
+  // buffered and appended in config order, so the journal always holds a
+  // contiguous, deterministic prefix of the run (failed tasks are skipped —
+  // a resumed run re-attempts them).
+  std::mutex flush_mu;
+  std::size_t next_flush = 0;
+  std::vector<char> resolved(n, 0);
+  std::vector<std::string> buffered(n);
+  std::optional<PipelineError> journal_error;
+  for (std::size_t ci = 0; ci < n; ++ci)
+    if (state[ci] == TaskState::kDone) resolved[ci] = 1;
+
+  const auto flush = [&](std::size_t ci, std::string payload) {
+    const std::lock_guard<std::mutex> lock(flush_mu);
+    resolved[ci] = 1;
+    buffered[ci] = std::move(payload);
+    if (journal_error) return;
+    while (next_flush < n && resolved[next_flush]) {
+      if (!buffered[next_flush].empty()) {
+        Status s = opts.journal->append(
+            collect_record_key(w.name(), next_flush), buffered[next_flush]);
+        if (!s.ok()) {
+          journal_error = s.error();
+          return;
+        }
+        buffered[next_flush].clear();
+      }
+      ++next_flush;
     }
-    simulate_seconds[ci] = seconds_since(t1);
+  };
+
+  parallel_for(pending.size(), opts.n_threads, [&](std::size_t pi) {
+    const std::size_t ci = pending[pi];
+    Result<TaskOutput> r =
+        run_task(w, opts, configs[ci], ci, pool, task_retries[ci]);
+    std::string payload;
+    if (r.ok()) {
+      TaskOutput task = std::move(r).take();
+      for (std::size_t a = 0; a < per_config; ++a)
+        out[base + ci * per_config + a] = std::move(task.rows[a]);
+      profile_seconds[ci] = task.profile_seconds;
+      simulate_seconds[ci] = task.simulate_seconds;
+      state[ci] = TaskState::kDone;
+      if (opts.journal)
+        payload = encode_collect_record(
+            {out.data() + base + ci * per_config, per_config},
+            task.profile_seconds, task.simulate_seconds);
+    } else {
+      state[ci] = TaskState::kFailed;
+      task_error[ci] = r.error();
+    }
+    if (opts.journal) flush(ci, std::move(payload));
   });
 
-  stats.n_rows = configs.size() * per_config;
-  for (std::size_t ci = 0; ci < configs.size(); ++ci) {
+  // Sequential reductions, in config order.
+  for (std::size_t ci = 0; ci < n; ++ci) {
     stats.kernel_and_profile_seconds += profile_seconds[ci];
     stats.simulation_seconds += simulate_seconds[ci];
+    stats.n_retries += task_retries[ci];
   }
+
+  if (journal_error) return *journal_error;
+
+  // Quorum policy: a bounded number of non-critical points may be dropped;
+  // losing a critical point or exceeding max_failures fails the run.
+  std::optional<std::size_t> lost_critical;
+  for (std::size_t ci = 0; ci < n; ++ci) {
+    if (state[ci] != TaskState::kFailed) continue;
+    ++stats.n_failed;
+    stats.failures.push_back(task_error[ci]);
+    if (critical[ci] && !lost_critical) lost_critical = ci;
+  }
+  if (lost_critical) {
+    return PipelineError{
+        .kind = ErrorKind::kQuorumFailed,
+        .context = collect_record_key(w.name(), *lost_critical),
+        .message = "critical CCD (center/axial) point lost: " +
+                   task_error[*lost_critical].to_string()};
+  }
+  if (stats.n_failed > opts.max_failures) {
+    return PipelineError{
+        .kind = ErrorKind::kQuorumFailed,
+        .context = std::string(w.name()),
+        .message = std::to_string(stats.n_failed) + " of " +
+                   std::to_string(n) + " DoE points failed (max_failures=" +
+                   std::to_string(opts.max_failures) +
+                   "); first: " + stats.failures.front().to_string()};
+  }
+
+  // Compact out the slots of dropped points, preserving config order.
+  if (stats.n_failed > 0) {
+    std::size_t write = base;
+    for (std::size_t ci = 0; ci < n; ++ci) {
+      if (state[ci] != TaskState::kDone) continue;
+      for (std::size_t a = 0; a < per_config; ++a) {
+        const std::size_t read = base + ci * per_config + a;
+        if (write != read) out[write] = std::move(out[read]);
+        ++write;
+      }
+    }
+    out.resize(write);
+  }
+  stats.n_rows = (n - stats.n_failed) * per_config;
   return stats;
+}
+
+CollectStats collect_training_data(const workloads::Workload& w,
+                                   const CollectOptions& opts,
+                                   std::vector<TrainingRow>& out) {
+  return try_collect_training_data(w, opts, out).value_or_throw();
 }
 
 }  // namespace napel::core

@@ -10,13 +10,20 @@
 #include <string>
 #include <vector>
 
+#include "common/result.hpp"
 #include "doe/doe.hpp"
 #include "profiler/profile.hpp"
 #include "sim/arch.hpp"
 #include "sim/simulator.hpp"
 #include "workloads/workload.hpp"
 
+namespace napel {
+class FaultPlan;
+}
+
 namespace napel::core {
+
+class RunJournal;
 
 /// Model input assembly: profile features ++ architecture features ++ the
 /// two profile×architecture interaction features of Table 1 (cache access
@@ -61,6 +68,32 @@ struct CollectOptions {
   /// 0 = process-wide pool (NAPEL_THREADS / hardware concurrency),
   /// 1 = serial on the calling thread. Output is identical either way.
   unsigned n_threads = 0;
+
+  // --- fault tolerance (defaults: strict, no journal, no deadlines) ---
+
+  /// Extra attempts per failed task. Only retryable failures (thrown
+  /// exceptions, I/O errors) are retried; deterministic outcomes such as a
+  /// watchdog timeout or an exhausted simulation budget are not. Retries
+  /// re-run the task with the same data seed, so a retried success is
+  /// bit-identical to a first-attempt success.
+  std::size_t max_retries = 2;
+  /// Base backoff before a retry, doubled per attempt with deterministic
+  /// seed-derived jitter. 0 disables sleeping (tests).
+  std::uint32_t retry_backoff_ms = 0;
+  /// Quorum: how many DoE points may be dropped (after retries) before the
+  /// whole run fails with a diagnostic report. CCD center/axial points are
+  /// never droppable regardless of this knob. 0 = strict (any loss fails).
+  std::size_t max_failures = 0;
+  /// Per-attempt wall-clock watchdog, checked at task phase boundaries.
+  /// 0 = no deadline.
+  std::uint32_t task_deadline_ms = 0;
+  /// Per-simulation cycle/event budget (the in-simulator watchdog).
+  sim::SimBudget sim_budget;
+  /// Checkpoint journal: completed tasks are appended (crash-safe) and,
+  /// on a resumed run, skipped with bit-identical rows. Optional.
+  RunJournal* journal = nullptr;
+  /// Deterministic fault injection (tests / CI drills only).
+  FaultPlan* faults = nullptr;
 };
 
 struct CollectStats {
@@ -68,10 +101,29 @@ struct CollectStats {
   std::size_t n_rows = 0;
   double kernel_and_profile_seconds = 0.0;  ///< trace generation + analysis
   double simulation_seconds = 0.0;          ///< timing-model replay
+
+  // Fault-tolerance accounting.
+  std::size_t n_failed = 0;   ///< DoE points dropped under the quorum
+  std::size_t n_retries = 0;  ///< task attempts beyond the first
+  std::size_t n_resumed = 0;  ///< tasks restored from the journal
+  std::vector<PipelineError> failures;  ///< one per dropped point
+
+  bool degraded() const { return n_failed > 0; }
 };
 
 /// Runs the phase-1/phase-2 pipeline for one workload and appends the
-/// resulting rows. Returns wall-clock accounting for Table 4.
+/// resulting rows. Per-task failures are retried, then dropped under the
+/// quorum policy (CollectOptions::max_failures) — a single failing DoE
+/// point degrades the run instead of aborting it. Returns an error when
+/// the quorum is missed, a CCD center/axial point is lost, or the journal
+/// cannot be written. Option-contract violations still throw
+/// std::invalid_argument.
+Result<CollectStats> try_collect_training_data(const workloads::Workload& w,
+                                               const CollectOptions& opts,
+                                               std::vector<TrainingRow>& out);
+
+/// Throwing wrapper around try_collect_training_data (PipelineException on
+/// runtime failure). Returns wall-clock accounting for Table 4.
 CollectStats collect_training_data(const workloads::Workload& w,
                                    const CollectOptions& opts,
                                    std::vector<TrainingRow>& out);

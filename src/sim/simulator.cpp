@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/check.hpp"
+#include "common/fault_injection.hpp"
 #include "sim/l1_cache.hpp"
 #include "sim/vault.hpp"
 
@@ -45,8 +46,8 @@ struct NmcSimulator::State {
   bool ended = false;
 };
 
-NmcSimulator::NmcSimulator(ArchConfig cfg)
-    : cfg_(cfg), st_(std::make_unique<State>()) {
+NmcSimulator::NmcSimulator(ArchConfig cfg, SimBudget budget)
+    : cfg_(cfg), budget_(budget), st_(std::make_unique<State>()) {
   cfg_.validate();
 }
 
@@ -142,6 +143,16 @@ void NmcSimulator::run() {
   std::uint64_t makespan = 0;
   std::uint64_t miss_latency_sum = 0;
   std::uint64_t miss_count = 0;
+  std::uint64_t drained = 0;
+  std::uint64_t horizon = 0;  ///< highest cycle popped so far
+
+  // Progress invariant bookkeeping: every drained event must either advance
+  // the PE's replay cursor or reschedule it at a strictly later cycle. A
+  // scheduling bug that violates this would otherwise spin the event loop
+  // forever — we make it fail loudly instead.
+  constexpr std::uint64_t kNoCycle = ~std::uint64_t{0};
+  std::vector<std::uint64_t> last_cycle(cfg_.n_pes, kNoCycle);
+  std::vector<std::size_t> last_pos(cfg_.n_pes, 0);
 
   auto vault_of = [&](std::uint64_t line_id) {
     return static_cast<std::size_t>(line_id % n_vaults);
@@ -151,7 +162,35 @@ void NmcSimulator::run() {
   while (!heap.empty()) {
     const auto [cycle, pe_id] = heap.top();
     heap.pop();
+    ++drained;
+    horizon = cycle;
+
+    // Per-simulation watchdog: stop at the budget instead of aborting, so
+    // the caller can drop this design point and keep the run alive.
+    if ((budget_.max_cycles != 0 && cycle > budget_.max_cycles) ||
+        (budget_.max_events != 0 && drained > budget_.max_events)) {
+      result_.cycles_budget_exhausted = true;
+      break;
+    }
+
     Cursor& c = cur[pe_id];
+    NAPEL_CHECK_MSG(
+        last_cycle[pe_id] == kNoCycle || cycle > last_cycle[pe_id] ||
+            c.pos > last_pos[pe_id],
+        "simulator progress invariant violated: PE " +
+            std::to_string(pe_id) + " rescheduled at cycle " +
+            std::to_string(cycle) + " without advancing");
+    last_cycle[pe_id] = cycle;
+    last_pos[pe_id] = c.pos;
+
+    if (faults_) {
+      if (const FaultSpec* f = faults_->fire("sim/schedule", drained - 1);
+          f && f->kind == FaultKind::kHang) {
+        // Injected scheduling bug: re-queue the event with no progress.
+        heap.push({cycle, pe_id});
+        continue;
+      }
+    }
     State::PeStream& pe = s.pes[pe_id];
     L1Cache& l1 = caches[pe_id];
     std::uint64_t now = cycle;
@@ -202,6 +241,10 @@ void NmcSimulator::run() {
   // --- assemble results ---
   SimResult& r = result_;
   r.instructions = s.total_instructions;
+  r.sched_events = drained;
+  // On budget exhaustion no PE may have finished; the popped-cycle horizon
+  // is the best lower bound on the makespan of the simulated prefix.
+  if (r.cycles_budget_exhausted) makespan = std::max(makespan, horizon);
   r.cycles = std::max<std::uint64_t>(makespan, 1);
   r.ipc = static_cast<double>(r.instructions) / static_cast<double>(r.cycles);
   r.time_seconds =

@@ -21,7 +21,20 @@
 #include "sim/arch.hpp"
 #include "trace/sink.hpp"
 
+namespace napel {
+class FaultPlan;
+}
+
 namespace napel::sim {
+
+/// Hard execution budget for one simulation — the per-simulation watchdog.
+/// A simulation that exceeds either bound stops and reports
+/// SimResult::cycles_budget_exhausted instead of running (or hanging)
+/// unboundedly. 0 = unlimited.
+struct SimBudget {
+  std::uint64_t max_cycles = 0;  ///< simulated-cycle ceiling
+  std::uint64_t max_events = 0;  ///< drained scheduler-event ceiling
+};
 
 struct SimResult {
   std::uint64_t instructions = 0;
@@ -45,6 +58,12 @@ struct SimResult {
   double dram_energy_j = 0.0;
   double static_energy_j = 0.0;
 
+  /// Set when the simulation stopped at its SimBudget rather than running
+  /// to completion; the statistics above cover the simulated prefix only
+  /// and must not be used as training labels.
+  bool cycles_budget_exhausted = false;
+  std::uint64_t sched_events = 0;  ///< scheduler events drained
+
   double l1_hit_rate() const {
     const auto n = l1_hits + l1_misses;
     return n == 0 ? 0.0 : static_cast<double>(l1_hits) /
@@ -54,7 +73,7 @@ struct SimResult {
 
 class NmcSimulator final : public trace::TraceSink {
  public:
-  explicit NmcSimulator(ArchConfig cfg);
+  explicit NmcSimulator(ArchConfig cfg, SimBudget budget = {});
   ~NmcSimulator() override;
 
   void begin_kernel(std::string_view name, unsigned n_threads) override;
@@ -66,11 +85,19 @@ class NmcSimulator final : public trace::TraceSink {
   const SimResult& result();
 
   const ArchConfig& config() const { return cfg_; }
+  const SimBudget& budget() const { return budget_; }
+
+  /// Arms the "sim/schedule" fault-injection site (tests only): an injected
+  /// kHang re-schedules an event without progress, which the progress
+  /// invariant converts into a loud failure instead of a silent hang.
+  void set_fault_plan(FaultPlan* faults) { faults_ = faults; }
 
  private:
   void run();
 
   ArchConfig cfg_;
+  SimBudget budget_;
+  FaultPlan* faults_ = nullptr;
   struct State;
   std::unique_ptr<State> st_;
   SimResult result_;

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/journal.hpp"
 #include "doe/doe.hpp"
 #include "napel/model_io.hpp"
 #include "napel/pipeline.hpp"
@@ -266,6 +267,26 @@ void check_doe_space(const workloads::DoeSpace& space,
         Severity::kError, "doe-ccd", context,
         std::string("central_composite() rejects the space: ") + e.what()));
   }
+}
+
+// --- Run journal ----------------------------------------------------------
+
+void check_journal_file(const std::string& path, DiagnosticEngine& diags) {
+  const Result<JournalContents> r = read_journal(path);
+  if (!r.ok()) {
+    diags.report(
+        make_diag(Severity::kError, "journal-format", path,
+                  r.error().to_string()));
+    return;
+  }
+  const JournalContents& j = r.value();
+  if (j.torn_tail)
+    diags.report(make_diag(
+        Severity::kWarning, "journal-torn-tail", path,
+        "torn tail after " + std::to_string(j.records.size()) +
+            " valid record(s) — crash debris, dropped on resume (" +
+            j.torn_detail + ")",
+        static_cast<std::int64_t>(j.records.size())));
 }
 
 }  // namespace napel::verify

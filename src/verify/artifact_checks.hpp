@@ -17,6 +17,10 @@
 //                  input; duplicate levels degrade CCD               (warn)
 //   doe-ccd        central_composite() fails or its point count does
 //                  not match the paper's ccd_size formula            (error)
+//   journal-format    unreadable run journal, bad header, checksum
+//                     mismatch or non-monotone indices mid-file      (error)
+//   journal-torn-tail trailing partial record — the expected debris
+//                     of a crash, dropped on resume                  (warn)
 #pragma once
 
 #include <iosfwd>
@@ -44,5 +48,10 @@ void check_csv_file(const std::string& path, DiagnosticEngine& diags);
 /// central-composite design built from it.
 void check_doe_space(const workloads::DoeSpace& space,
                      std::string_view context, DiagnosticEngine& diags);
+
+/// Validates a run journal (common/journal.hpp): header, per-record
+/// checksums, monotone indices. A clean torn tail — the signature of a
+/// crash mid-append — is a warning; any other corruption is an error.
+void check_journal_file(const std::string& path, DiagnosticEngine& diags);
 
 }  // namespace napel::verify

@@ -1,0 +1,290 @@
+#include "common/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+
+#include "common/atomic_file.hpp"
+#include "common/fault_injection.hpp"
+#include "common/result.hpp"
+
+namespace napel {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "napel_journal_" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(f),
+                     std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f << bytes;
+}
+
+// --- Result ---------------------------------------------------------------
+
+TEST(Result, HoldsValueOrError) {
+  Result<int> ok_result(42);
+  ASSERT_TRUE(ok_result.ok());
+  EXPECT_EQ(ok_result.value(), 42);
+
+  Result<int> err_result(PipelineError{.kind = ErrorKind::kIoError,
+                                       .context = "ctx",
+                                       .message = "boom"});
+  ASSERT_FALSE(err_result.ok());
+  EXPECT_EQ(err_result.error().kind, ErrorKind::kIoError);
+  EXPECT_NE(err_result.error().to_string().find("boom"), std::string::npos);
+}
+
+TEST(Result, ValueOrThrowRaisesPipelineException) {
+  Result<int> err(PipelineError{.kind = ErrorKind::kWatchdogTimeout,
+                                .context = "",
+                                .message = "late"});
+  try {
+    (void)std::move(err).value_or_throw();
+    FAIL() << "expected PipelineException";
+  } catch (const PipelineException& e) {
+    EXPECT_EQ(e.error().kind, ErrorKind::kWatchdogTimeout);
+  }
+}
+
+TEST(Result, RetryabilityFollowsTheTaxonomy) {
+  EXPECT_TRUE(error_kind_retryable(ErrorKind::kIoError));
+  EXPECT_TRUE(error_kind_retryable(ErrorKind::kTaskFailed));
+  EXPECT_TRUE(error_kind_retryable(ErrorKind::kInjectedFault));
+  EXPECT_FALSE(error_kind_retryable(ErrorKind::kWatchdogTimeout));
+  EXPECT_FALSE(error_kind_retryable(ErrorKind::kSimBudgetExhausted));
+  EXPECT_FALSE(error_kind_retryable(ErrorKind::kCorruptArtifact));
+  EXPECT_FALSE(error_kind_retryable(ErrorKind::kQuorumFailed));
+}
+
+// --- Double bit codec -----------------------------------------------------
+
+TEST(DoubleBits, RoundTripsExactly) {
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0,
+                           -1.0 / 3.0,
+                           1e-308,
+                           std::numeric_limits<double>::denorm_min(),
+                           std::numeric_limits<double>::infinity(),
+                           6.02214076e23};
+  for (const double v : values) {
+    const Result<double> back = double_bits_from_hex(double_bits_to_hex(v));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back.value()),
+              std::bit_cast<std::uint64_t>(v));
+  }
+  // NaN: the payload must survive even though NaN != NaN.
+  const double nan = std::nan("0x5ca1e");
+  const Result<double> back = double_bits_from_hex(double_bits_to_hex(nan));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(back.value()),
+            std::bit_cast<std::uint64_t>(nan));
+}
+
+TEST(DoubleBits, RejectsMalformedHex) {
+  EXPECT_FALSE(double_bits_from_hex("abc").ok());
+  EXPECT_FALSE(double_bits_from_hex("zzzzzzzzzzzzzzzz").ok());
+}
+
+// --- atomic_write_file ----------------------------------------------------
+
+TEST(AtomicWrite, WritesAndReplaces) {
+  const std::string path = temp_path("aw.txt");
+  ASSERT_TRUE(atomic_write_file(path, "first").ok());
+  EXPECT_EQ(slurp(path), "first");
+  ASSERT_TRUE(atomic_write_file(path, "second").ok());
+  EXPECT_EQ(slurp(path), "second");
+}
+
+TEST(AtomicWrite, CrashBeforeRenameLeavesOriginalIntact) {
+  const std::string path = temp_path("aw_crash.txt");
+  ASSERT_TRUE(atomic_write_file(path, "precious").ok());
+  FaultPlan faults{{.site = "io/atomic_write", .at = 0,
+                    .kind = FaultKind::kCrash}};
+  EXPECT_THROW((void)atomic_write_file(path, "overwrite", &faults),
+               InjectedCrash);
+  EXPECT_EQ(slurp(path), "precious");
+}
+
+TEST(AtomicWrite, CorruptWriteFlipsAByte) {
+  const std::string path = temp_path("aw_corrupt.txt");
+  FaultPlan faults{{.site = "io/atomic_write", .at = 0,
+                    .kind = FaultKind::kCorruptWrite}};
+  ASSERT_TRUE(atomic_write_file(path, "AAAAAAAA", &faults).ok());
+  EXPECT_NE(slurp(path), "AAAAAAAA");
+}
+
+// --- Journal --------------------------------------------------------------
+
+TEST(Journal, RoundTripsRecordsWithMonotoneSeq) {
+  const std::string path = temp_path("rt.journal");
+  {
+    Result<JournalWriter> w = JournalWriter::create(path, "meta v=1");
+    ASSERT_TRUE(w.ok());
+    JournalWriter writer = std::move(w).take();
+    ASSERT_TRUE(writer.append("alpha", "payload-a").ok());
+    ASSERT_TRUE(writer.append("beta", "payload with\nnewline").ok());
+    ASSERT_TRUE(writer.append("gamma", "").ok());
+    EXPECT_EQ(writer.next_seq(), 3u);
+  }
+  const Result<JournalContents> r = read_journal(path);
+  ASSERT_TRUE(r.ok());
+  const JournalContents& j = r.value();
+  EXPECT_EQ(j.meta, "meta v=1");
+  EXPECT_FALSE(j.torn_tail);
+  ASSERT_EQ(j.records.size(), 3u);
+  EXPECT_EQ(j.records[0].key, "alpha");
+  EXPECT_EQ(j.records[1].payload, "payload with\nnewline");
+  for (std::size_t i = 0; i < j.records.size(); ++i)
+    EXPECT_EQ(j.records[i].seq, i);
+}
+
+TEST(Journal, TornTailIsDroppedAndTruncatedOnReopen) {
+  const std::string path = temp_path("torn.journal");
+  {
+    JournalWriter writer =
+        JournalWriter::create(path, "m").take();
+    ASSERT_TRUE(writer.append("k0", "payload-zero").ok());
+    ASSERT_TRUE(writer.append("k1", "payload-one").ok());
+  }
+  const std::string full = slurp(path);
+  spit(path, full.substr(0, full.size() - 7));  // tear the last record
+
+  Result<JournalContents> r = read_journal(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().torn_tail);
+  ASSERT_EQ(r.value().records.size(), 1u);
+  EXPECT_EQ(r.value().records[0].key, "k0");
+
+  // Reopen for append: the torn tail is truncated away and sequence
+  // numbering continues from the surviving prefix.
+  std::vector<JournalRecord> resumed;
+  Result<JournalWriter> w = JournalWriter::open_append(path, "m", resumed);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(resumed.size(), 1u);
+  JournalWriter writer = std::move(w).take();
+  EXPECT_EQ(writer.next_seq(), 1u);
+  ASSERT_TRUE(writer.append("k1", "payload-one-again").ok());
+
+  r = read_journal(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().torn_tail);
+  ASSERT_EQ(r.value().records.size(), 2u);
+  EXPECT_EQ(r.value().records[1].payload, "payload-one-again");
+}
+
+TEST(Journal, MidFileCorruptionIsAnErrorNotATornTail) {
+  const std::string path = temp_path("midfile.journal");
+  {
+    JournalWriter writer =
+        JournalWriter::create(path, "m").take();
+    ASSERT_TRUE(writer.append("k0", "payload-zero").ok());
+    ASSERT_TRUE(writer.append("k1", "payload-one").ok());
+  }
+  std::string bytes = slurp(path);
+  const std::size_t at = bytes.find("payload-zero");
+  ASSERT_NE(at, std::string::npos);
+  bytes[at] ^= 0x40;  // flip one payload byte of the FIRST record
+  spit(path, bytes);
+
+  const Result<JournalContents> r = read_journal(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().kind, ErrorKind::kCorruptArtifact);
+}
+
+TEST(Journal, ChecksumCatchesACorruptedFinalRecordAsTorn) {
+  const std::string path = temp_path("cksum.journal");
+  {
+    JournalWriter writer =
+        JournalWriter::create(path, "m").take();
+    ASSERT_TRUE(writer.append("k0", "payload-zero").ok());
+  }
+  std::string bytes = slurp(path);
+  const std::size_t at = bytes.find("payload-zero");
+  bytes[at] ^= 0x40;
+  spit(path, bytes);
+
+  const Result<JournalContents> r = read_journal(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().torn_tail);
+  EXPECT_TRUE(r.value().records.empty());
+}
+
+TEST(Journal, MetaMismatchRefusesResume) {
+  const std::string path = temp_path("meta.journal");
+  { (void)JournalWriter::create(path, "seed=1").value(); }
+  std::vector<JournalRecord> resumed;
+  const Result<JournalWriter> w =
+      JournalWriter::open_append(path, "seed=2", resumed);
+  ASSERT_FALSE(w.ok());
+  EXPECT_EQ(w.error().kind, ErrorKind::kIncompatibleJournal);
+}
+
+TEST(Journal, MissingFileIsAnIoError) {
+  const Result<JournalContents> r =
+      read_journal(temp_path("does_not_exist.journal"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().kind, ErrorKind::kIoError);
+}
+
+TEST(Journal, InjectedCrashTearsTheAppendAndPoisonsTheWriter) {
+  const std::string path = temp_path("crash.journal");
+  FaultPlan faults{{.site = "journal/append", .at = 1,
+                    .kind = FaultKind::kCrash}};
+  JournalWriter writer =
+      JournalWriter::create(path, "m", &faults).take();
+  ASSERT_TRUE(writer.append("k0", "payload-zero").ok());
+  EXPECT_THROW((void)writer.append("k1", "payload-one"), InjectedCrash);
+
+  // A dead process cannot keep writing: later appends fail without
+  // touching the file.
+  const std::string after_crash = slurp(path);
+  const Status retry = writer.append("k1", "payload-one");
+  ASSERT_FALSE(retry.ok());
+  EXPECT_EQ(retry.error().kind, ErrorKind::kIoError);
+  EXPECT_EQ(slurp(path), after_crash);
+
+  // On disk: one valid record and the crash's torn debris.
+  const Result<JournalContents> r = read_journal(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().torn_tail);
+  ASSERT_EQ(r.value().records.size(), 1u);
+}
+
+TEST(Journal, CorruptWriteFaultIsDetectedByTheChecksum) {
+  const std::string path = temp_path("corruptw.journal");
+  FaultPlan faults{{.site = "journal/append", .at = 0,
+                    .kind = FaultKind::kCorruptWrite}};
+  JournalWriter writer =
+      JournalWriter::create(path, "m", &faults).take();
+  ASSERT_TRUE(writer.append("k0", "payload-zero").ok());
+
+  const Result<JournalContents> r = read_journal(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().torn_tail);  // final record fails its checksum
+  EXPECT_TRUE(r.value().records.empty());
+}
+
+TEST(FaultPlanTimes, BoundsHowManyOccurrencesFire) {
+  FaultPlan faults{{.site = "s", .at = 3, .kind = FaultKind::kThrow,
+                    .times = 2}};
+  EXPECT_EQ(faults.fire("s", 2), nullptr);
+  EXPECT_NE(faults.fire("s", 3), nullptr);
+  EXPECT_NE(faults.fire("s", 3), nullptr);
+  EXPECT_EQ(faults.fire("s", 3), nullptr);  // charges exhausted
+}
+
+}  // namespace
+}  // namespace napel

@@ -1,0 +1,445 @@
+// Fault-tolerance drills for the collection pipeline: every failure mode
+// the runtime claims to survive is provoked here with a deterministic
+// FaultPlan and shown to behave as specified — retry, degrade under the
+// quorum, time out, resume bit-identically, or fail loudly.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.hpp"
+#include "common/journal.hpp"
+#include "napel/journal.hpp"
+#include "napel/loao.hpp"
+#include "napel/model_io.hpp"
+#include "napel/pipeline.hpp"
+#include "workloads/registry.hpp"
+
+namespace napel::core {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "napel_ft_" + name;
+}
+
+CollectOptions tiny_options() {
+  CollectOptions o;
+  o.scale = workloads::Scale::kTiny;
+  o.archs_per_config = 2;
+  o.arch_pool_size = 4;
+  o.max_retries = 2;
+  return o;
+}
+
+/// Bit-exact row comparison: every label and feature must match down to
+/// the last IEEE-754 bit.
+void expect_rows_identical(const std::vector<TrainingRow>& a,
+                           const std::vector<TrainingRow>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].app, b[i].app);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i].ipc),
+              std::bit_cast<std::uint64_t>(b[i].ipc));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i].energy_pj_per_instr),
+              std::bit_cast<std::uint64_t>(b[i].energy_pj_per_instr));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i].power_watts),
+              std::bit_cast<std::uint64_t>(b[i].power_watts));
+    EXPECT_EQ(a[i].instructions, b[i].instructions);
+    ASSERT_EQ(a[i].features.size(), b[i].features.size());
+    for (std::size_t f = 0; f < a[i].features.size(); ++f)
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i].features[f]),
+                std::bit_cast<std::uint64_t>(b[i].features[f]))
+          << "row " << i << " feature " << f;
+  }
+}
+
+// --- Retry ----------------------------------------------------------------
+
+TEST(FaultTolerance, TransientFailureIsRetriedAndResultIsBitIdentical) {
+  const auto& w = workloads::workload("atax");
+  std::vector<TrainingRow> clean_rows;
+  CollectOptions opts = tiny_options();
+  (void)collect_training_data(w, opts, clean_rows);
+
+  // Task 3 throws on its first attempt only; the retry must succeed and
+  // reproduce the clean run exactly (same data seed on every attempt).
+  FaultPlan faults{{.site = "collect/task", .at = 3,
+                    .kind = FaultKind::kThrow, .times = 1}};
+  opts.faults = &faults;
+  std::vector<TrainingRow> rows;
+  const Result<CollectStats> r = try_collect_training_data(w, opts, rows);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().n_retries, 1u);
+  EXPECT_EQ(r.value().n_failed, 0u);
+  EXPECT_FALSE(r.value().degraded());
+  expect_rows_identical(clean_rows, rows);
+}
+
+TEST(FaultTolerance, RetriesAreBounded) {
+  const auto& w = workloads::workload("atax");
+  CollectOptions opts = tiny_options();
+  opts.max_retries = 2;
+  // Fails every attempt: 1 + max_retries = 3 attempts, then the point is
+  // dropped (max_failures = 1 admits the loss; config 0 is a CCD corner).
+  FaultPlan faults{{.site = "collect/task", .at = 0,
+                    .kind = FaultKind::kThrow, .times = -1}};
+  opts.faults = &faults;
+  opts.max_failures = 1;
+  std::vector<TrainingRow> rows;
+  const Result<CollectStats> r = try_collect_training_data(w, opts, rows);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().degraded());
+  ASSERT_EQ(r.value().failures.size(), 1u);
+  EXPECT_EQ(r.value().failures[0].kind, ErrorKind::kInjectedFault);
+  EXPECT_EQ(r.value().failures[0].attempts, 3);
+  EXPECT_EQ(r.value().n_retries, 2u);
+}
+
+// --- Quorum ---------------------------------------------------------------
+
+TEST(FaultTolerance, QuorumAdmitsExactlyMaxFailures) {
+  const auto& w = workloads::workload("atax");  // k=2 CCD: corners are 0..3
+  CollectOptions base = tiny_options();
+  base.max_retries = 0;
+
+  // Two dropped corners with max_failures = 2: degraded success, and the
+  // surviving rows keep their config order.
+  {
+    FaultPlan faults{
+        {.site = "collect/task", .at = 0, .kind = FaultKind::kThrow,
+         .times = -1},
+        {.site = "collect/task", .at = 2, .kind = FaultKind::kThrow,
+         .times = -1}};
+    CollectOptions opts = base;
+    opts.faults = &faults;
+    opts.max_failures = 2;
+    std::vector<TrainingRow> rows;
+    const Result<CollectStats> r = try_collect_training_data(w, opts, rows);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().n_failed, 2u);
+    EXPECT_EQ(r.value().n_rows, rows.size());
+    EXPECT_EQ(rows.size(),
+              (r.value().n_input_configs - 2) * opts.archs_per_config);
+  }
+
+  // The same two failures with max_failures = 1: quorum missed.
+  {
+    FaultPlan faults{
+        {.site = "collect/task", .at = 0, .kind = FaultKind::kThrow,
+         .times = -1},
+        {.site = "collect/task", .at = 2, .kind = FaultKind::kThrow,
+         .times = -1}};
+    CollectOptions opts = base;
+    opts.faults = &faults;
+    opts.max_failures = 1;
+    std::vector<TrainingRow> rows;
+    const Result<CollectStats> r = try_collect_training_data(w, opts, rows);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().kind, ErrorKind::kQuorumFailed);
+  }
+}
+
+TEST(FaultTolerance, StrictModeFailsOnASingleLoss) {
+  const auto& w = workloads::workload("atax");
+  CollectOptions opts = tiny_options();
+  opts.max_retries = 0;  // max_failures defaults to 0 = strict
+  FaultPlan faults{{.site = "collect/task", .at = 1,
+                    .kind = FaultKind::kThrow, .times = -1}};
+  opts.faults = &faults;
+  std::vector<TrainingRow> rows;
+  const Result<CollectStats> r = try_collect_training_data(w, opts, rows);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().kind, ErrorKind::kQuorumFailed);
+  // The throwing wrapper surfaces the same failure as an exception, not
+  // std::terminate.
+  std::vector<TrainingRow> rows2;
+  FaultPlan faults2{{.site = "collect/task", .at = 1,
+                     .kind = FaultKind::kThrow, .times = -1}};
+  opts.faults = &faults2;
+  EXPECT_THROW((void)collect_training_data(w, opts, rows2),
+               PipelineException);
+}
+
+TEST(FaultTolerance, CcdCriticalPointsAreNeverDroppable) {
+  const auto& w = workloads::workload("atax");
+  CollectOptions opts = tiny_options();
+  opts.max_retries = 0;
+  opts.max_failures = 100;  // quorum would admit anything...
+  // ...but config 4 is the first axial point of the k=2 CCD (after the
+  // 2^2 factorial corners), and axial/center points are information-
+  // critical.
+  FaultPlan faults{{.site = "collect/task", .at = 4,
+                    .kind = FaultKind::kThrow, .times = -1}};
+  opts.faults = &faults;
+  std::vector<TrainingRow> rows;
+  const Result<CollectStats> r = try_collect_training_data(w, opts, rows);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().kind, ErrorKind::kQuorumFailed);
+  EXPECT_NE(r.error().message.find("critical"), std::string::npos);
+}
+
+// --- Watchdog + budgets ---------------------------------------------------
+
+TEST(FaultTolerance, WatchdogConvertsAHangIntoATimeoutFailure) {
+  const auto& w = workloads::workload("atax");
+  CollectOptions opts = tiny_options();
+  opts.task_deadline_ms = 50;
+  opts.max_failures = 1;
+  FaultPlan faults{{.site = "collect/task", .at = 0,
+                    .kind = FaultKind::kHang, .times = -1}};
+  opts.faults = &faults;
+  std::vector<TrainingRow> rows;
+  const Result<CollectStats> r = try_collect_training_data(w, opts, rows);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().failures.size(), 1u);
+  EXPECT_EQ(r.value().failures[0].kind, ErrorKind::kWatchdogTimeout);
+  // Timeouts are deterministic — no retry was attempted.
+  EXPECT_EQ(r.value().failures[0].attempts, 1);
+}
+
+TEST(FaultTolerance, SimBudgetExhaustionFailsTheTaskWithoutRetry) {
+  const auto& w = workloads::workload("atax");
+  CollectOptions opts = tiny_options();
+  opts.sim_budget.max_events = 16;  // far below any real kernel
+  opts.max_retries = 3;
+  std::vector<TrainingRow> rows;
+  const Result<CollectStats> r = try_collect_training_data(w, opts, rows);
+  ASSERT_FALSE(r.ok());  // every point fails; quorum (strict) is missed
+  EXPECT_EQ(r.error().kind, ErrorKind::kQuorumFailed);
+  EXPECT_NE(r.error().message.find("sim-budget-exhausted"),
+            std::string::npos);
+}
+
+TEST(FaultTolerance, SimBudgetFlagIsSurfacedByTheSimulator) {
+  const auto& w = workloads::workload("atax");
+  const auto space = w.doe_space(workloads::Scale::kTiny);
+  const auto params = workloads::WorkloadParams::central(space);
+  trace::Tracer tracer;
+  sim::NmcSimulator simulator(sim::ArchConfig::paper_default(),
+                              {.max_cycles = 0, .max_events = 8});
+  tracer.attach(simulator);
+  w.run(tracer, params, 1);
+  const sim::SimResult& res = simulator.result();
+  EXPECT_TRUE(res.cycles_budget_exhausted);
+  EXPECT_LE(res.sched_events, 9u);
+}
+
+TEST(FaultTolerance, SchedulerNonProgressFailsLoudly) {
+  // An injected kHang re-schedules a drained event without progress; the
+  // simulator's progress invariant must turn that into a loud contract
+  // failure instead of a silent infinite loop.
+  const auto& w = workloads::workload("atax");
+  CollectOptions opts = tiny_options();
+  FaultPlan faults{{.site = "sim/schedule", .at = 5,
+                    .kind = FaultKind::kHang, .times = 1}};
+  opts.faults = &faults;
+  std::vector<TrainingRow> rows;
+  EXPECT_THROW((void)try_collect_training_data(w, opts, rows),
+               std::invalid_argument);
+}
+
+// --- Journal + resume -----------------------------------------------------
+
+TEST(FaultTolerance, CrashMidJournalThenResumeIsBitIdentical) {
+  const auto& w = workloads::workload("atax");
+
+  // Reference: uninterrupted parallel run.
+  std::vector<TrainingRow> ref_rows;
+  CollectOptions ref_opts = tiny_options();
+  ref_opts.n_threads = 4;
+  (void)collect_training_data(w, ref_opts, ref_rows);
+
+  // Crashed run: the process dies tearing journal record 2.
+  const std::string path = temp_path("resume.journal");
+  const std::string meta = collect_journal_meta(tiny_options());
+  {
+    FaultPlan faults{{.site = "journal/append", .at = 2,
+                      .kind = FaultKind::kCrash}};
+    auto journal = RunJournal::open(path, meta, false, &faults)
+                       .value_or_throw();
+    CollectOptions opts = tiny_options();
+    opts.n_threads = 4;
+    opts.journal = journal.get();
+    opts.faults = &faults;
+    std::vector<TrainingRow> rows;
+    EXPECT_THROW((void)try_collect_training_data(w, opts, rows),
+                 InjectedCrash);
+  }
+
+  // The crashed journal: 2 whole records + torn debris of the third.
+  {
+    const Result<JournalContents> j = read_journal(path);
+    ASSERT_TRUE(j.ok());
+    EXPECT_TRUE(j.value().torn_tail);
+    EXPECT_EQ(j.value().records.size(), 2u);
+  }
+
+  // Resume at a DIFFERENT thread count: restored + recomputed rows must be
+  // bit-identical to the uninterrupted run.
+  {
+    auto journal = RunJournal::open(path, meta, true).value_or_throw();
+    EXPECT_EQ(journal->n_loaded(), 2u);
+    CollectOptions opts = tiny_options();
+    opts.n_threads = 1;
+    opts.journal = journal.get();
+    std::vector<TrainingRow> rows;
+    const Result<CollectStats> r = try_collect_training_data(w, opts, rows);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().n_resumed, 2u);
+    expect_rows_identical(ref_rows, rows);
+  }
+
+  // After the resumed run, the journal is complete and healthy.
+  {
+    const Result<JournalContents> j = read_journal(path);
+    ASSERT_TRUE(j.ok());
+    EXPECT_FALSE(j.value().torn_tail);
+    const auto ccd =
+        doe::ccd_size(w.doe_space(workloads::Scale::kTiny).dimension());
+    EXPECT_EQ(j.value().records.size(), ccd);
+  }
+}
+
+TEST(FaultTolerance, ResumeWithDifferentOptionsIsRefused) {
+  const auto& w = workloads::workload("atax");
+  const std::string path = temp_path("meta_mismatch.journal");
+  CollectOptions opts = tiny_options();
+  {
+    auto journal =
+        RunJournal::open(path, collect_journal_meta(opts), false)
+            .value_or_throw();
+    opts.journal = journal.get();
+    std::vector<TrainingRow> rows;
+    ASSERT_TRUE(try_collect_training_data(w, opts, rows).ok());
+  }
+  CollectOptions other = tiny_options();
+  other.seed = opts.seed + 1;  // different rows — silently mixing is unsafe
+  const auto r =
+      RunJournal::open(path, collect_journal_meta(other), true);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().kind, ErrorKind::kIncompatibleJournal);
+}
+
+TEST(FaultTolerance, FullyJournaledRunRecomputesNothing) {
+  const auto& w = workloads::workload("atax");
+  const std::string path = temp_path("full.journal");
+  const std::string meta = collect_journal_meta(tiny_options());
+  std::vector<TrainingRow> first;
+  {
+    auto journal = RunJournal::open(path, meta, false).value_or_throw();
+    CollectOptions opts = tiny_options();
+    opts.journal = journal.get();
+    (void)collect_training_data(w, opts, first);
+  }
+  // Second run over the complete journal: every task resumed; a fault
+  // armed at every task would fire if anything were recomputed.
+  auto journal = RunJournal::open(path, meta, true).value_or_throw();
+  FaultPlan faults{{.site = "collect/task", .at = 0,
+                    .kind = FaultKind::kThrow, .times = -1},
+                   {.site = "collect/task", .at = 1,
+                    .kind = FaultKind::kThrow, .times = -1}};
+  CollectOptions opts = tiny_options();
+  opts.journal = journal.get();
+  opts.faults = &faults;
+  std::vector<TrainingRow> rows;
+  const Result<CollectStats> r = try_collect_training_data(w, opts, rows);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().n_resumed, r.value().n_input_configs);
+  expect_rows_identical(first, rows);
+}
+
+// --- Crash-safe artifact writers ------------------------------------------
+
+TEST(FaultTolerance, ModelSaveRoundTripsThroughTheAtomicWriter) {
+  // save_model_file goes through atomic_write_file (whose crash/corrupt
+  // semantics are drilled in tests/common/test_journal.cpp); this covers
+  // the serialize-to-buffer + rename path end to end.
+  const auto& w = workloads::workload("atax");
+  std::vector<TrainingRow> rows;
+  CollectOptions copt = tiny_options();
+  (void)collect_training_data(w, copt, rows);
+  NapelModel model;
+  NapelModel::Options mopt;
+  mopt.tune = false;
+  mopt.untuned_params.n_trees = 5;
+  model.train(rows, mopt);
+
+  const std::string path = temp_path("model.bin");
+  save_model_file(model, path);
+  const NapelModel reloaded = load_model_file(path);
+  EXPECT_TRUE(reloaded.is_trained());
+}
+
+// --- Checkpointed tuning + LOAO -------------------------------------------
+
+TEST(FaultTolerance, TuningCheckpointResumesBitIdentically) {
+  const auto& w = workloads::workload("atax");
+  std::vector<TrainingRow> rows;
+  CollectOptions copt = tiny_options();
+  (void)collect_training_data(w, copt, rows);
+  const ml::Dataset data = assemble_dataset(rows, Target::kIpc);
+
+  ml::RfTuningGrid grid;
+  grid.n_trees = {5};
+  grid.max_depth = {2, 4};
+  grid.mtry_fraction = {0.5};
+  grid.min_samples_leaf = {1, 2};
+
+  const auto clean = ml::tune_random_forest(data, grid, 3, 7, 1);
+
+  const std::string path = temp_path("tune.journal");
+  ml::TuningCheckpoint ckpt{.journal_path = path, .resume = false};
+  const auto first = ml::tune_random_forest(data, grid, 3, 7, 1, &ckpt);
+  ASSERT_EQ(first.all_scores.size(), clean.all_scores.size());
+  for (std::size_t c = 0; c < clean.all_scores.size(); ++c)
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(first.all_scores[c]),
+              std::bit_cast<std::uint64_t>(clean.all_scores[c]));
+
+  // Tear the checkpoint down to a prefix, then resume: the final scores
+  // must still match the clean run bit-for-bit.
+  {
+    const Result<JournalContents> j = read_journal(path);
+    ASSERT_TRUE(j.ok());
+    ASSERT_EQ(j.value().records.size(), 4u);
+  }
+  ml::TuningCheckpoint resume{.journal_path = path, .resume = true};
+  const auto resumed = ml::tune_random_forest(data, grid, 3, 7, 1, &resume);
+  for (std::size_t c = 0; c < clean.all_scores.size(); ++c)
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(resumed.all_scores[c]),
+              std::bit_cast<std::uint64_t>(clean.all_scores[c]));
+  EXPECT_EQ(resumed.best_params.n_trees, clean.best_params.n_trees);
+  EXPECT_EQ(resumed.best_params.max_depth, clean.best_params.max_depth);
+}
+
+TEST(FaultTolerance, LoaoJournalResumesFolds) {
+  std::vector<TrainingRow> rows;
+  CollectOptions copt = tiny_options();
+  for (const char* app : {"atax", "mvt"})
+    (void)collect_training_data(workloads::workload(app), copt, rows);
+
+  LoaoOptions lopt;
+  lopt.tune_rf = false;
+  lopt.n_threads = 1;
+  const auto clean = leave_one_app_out(rows, ModelKind::kNapelRf, lopt);
+
+  const std::string path = temp_path("loao.journal");
+  lopt.journal_path = path;
+  const auto first = leave_one_app_out(rows, ModelKind::kNapelRf, lopt);
+
+  lopt.resume = true;
+  const auto resumed = leave_one_app_out(rows, ModelKind::kNapelRf, lopt);
+  ASSERT_EQ(resumed.size(), clean.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_EQ(resumed[i].app, clean[i].app);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(resumed[i].perf_mre),
+              std::bit_cast<std::uint64_t>(clean[i].perf_mre));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(resumed[i].energy_mre),
+              std::bit_cast<std::uint64_t>(clean[i].energy_mre));
+    EXPECT_EQ(resumed[i].test_rows, clean[i].test_rows);
+  }
+  EXPECT_EQ(first.size(), clean.size());
+}
+
+}  // namespace
+}  // namespace napel::core

@@ -1,0 +1,50 @@
+# Kill-and-resume drill for the journaled collection pipeline, run end to
+# end through the CLI:
+#   1. reference run (no journal, 4 threads) -> ref.csv
+#   2. journaled run killed mid-append (--inject-crash-at) -> exit 42
+#   3. `napel lint --journal` accepts the torn tail as crash debris (rc 0)
+#   4. resumed run at a different thread count -> resumed.csv
+#   5. resumed.csv must equal ref.csv byte for byte; the journal lints clean
+set(common --apps atax,mvt --scale tiny --seed 7 --archs 2)
+set(journal ${WORKDIR}/cli_resume.journal)
+
+execute_process(
+  COMMAND ${CLI} collect ${common} --threads 4 -o ${WORKDIR}/cli_resume_ref.csv
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "reference collect failed (rc=${rc})")
+endif()
+
+execute_process(
+  COMMAND ${CLI} collect ${common} --threads 4 --journal ${journal}
+          --inject-crash-at 4 -o ${WORKDIR}/cli_resume_crash.csv
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 42)
+  message(FATAL_ERROR "crash run should exit 42, got rc=${rc}")
+endif()
+
+execute_process(COMMAND ${CLI} lint --journal ${journal} RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "lint should warn (not fail) on a torn tail (rc=${rc})")
+endif()
+
+execute_process(
+  COMMAND ${CLI} collect ${common} --threads 1 --journal ${journal} --resume
+          -o ${WORKDIR}/cli_resume_resumed.csv
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "resumed collect failed (rc=${rc})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORKDIR}/cli_resume_ref.csv ${WORKDIR}/cli_resume_resumed.csv
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "resumed CSV differs from the uninterrupted reference")
+endif()
+
+execute_process(COMMAND ${CLI} lint --journal ${journal} RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "post-resume journal should lint clean (rc=${rc})")
+endif()

@@ -2,25 +2,38 @@
 //
 //   napel list
 //   napel doe <workload> [--scale tiny|bench|paper]
+//   napel collect -o <csv-file> [--apps a,b,c] [--scale S] [--archs N]
+//                 [--seed N] [--threads N] [--journal FILE] [--resume]
+//                 [--max-failures N] [--retries N] [--backoff-ms N]
+//                 [--task-deadline-ms N] [--max-sim-cycles N]
 //   napel train -o <model-file> [--apps a,b,c] [--scale S] [--tune]
-//               [--archs N] [--seed N]
+//               [--archs N] [--seed N] [--journal FILE] [--resume]
+//               [--tune-checkpoint FILE] [--max-failures N]
 //   napel predict -m <model-file> --app <workload> [--scale S]
 //                 [--pes N] [--freq GHZ] [--cache-lines N] [--seed N]
 //   napel suitability -m <model-file> --app <workload> [--scale S]
 //   napel lint [--apps a,b] [--scale S] [--json] [--model FILE] [--csv FILE]
-//              [--trace FILE] [--disable rule,rule] [--max-per-rule N]
+//              [--trace FILE] [--journal FILE] [--disable rule,rule]
+//              [--max-per-rule N]
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime failures,
-// 3 when `lint` found error-severity diagnostics.
+// 3 when `lint` found error-severity diagnostics. The hidden
+// --inject-crash-at N flag (CI crash drills) arms a fault that tears the
+// N-th journal append and kills the process with exit status 42.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/csv.hpp"
+#include "common/fault_injection.hpp"
 #include "common/table.hpp"
+#include "napel/journal.hpp"
 #include "napel/model_io.hpp"
 #include "napel/napel.hpp"
 #include "trace/trace_file.hpp"
@@ -45,7 +58,7 @@ Args parse_args(int argc, char** argv) {
     std::string s = argv[i];
     if (s.rfind("--", 0) == 0) {
       const std::string key = s.substr(2);
-      const bool is_flag = key == "tune" || key == "json";
+      const bool is_flag = key == "tune" || key == "json" || key == "resume";
       if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0 &&
           !is_flag) {
         a.options[key] = argv[++i];
@@ -136,11 +149,7 @@ int cmd_doe(const Args& a) {
   return 0;
 }
 
-int cmd_train(const Args& a) {
-  const auto out_it = a.options.find("out");
-  if (out_it == a.options.end())
-    throw std::invalid_argument("missing -o <model-file>");
-
+std::vector<std::string> parse_apps(const Args& a) {
   std::vector<std::string> apps;
   if (const auto it = a.options.find("apps"); it != a.options.end()) {
     apps = split_csv(it->second);
@@ -151,7 +160,10 @@ int cmd_train(const Args& a) {
     for (const auto* w : workloads::all_workloads())
       apps.emplace_back(w->name());
   }
+  return apps;
+}
 
+core::CollectOptions parse_collect_options(const Args& a) {
   core::CollectOptions copt;
   copt.scale = parse_scale(a);
   copt.archs_per_config = parse_u64(a, "archs", 3);
@@ -159,21 +171,125 @@ int cmd_train(const Args& a) {
   // 0 = the process-wide pool (NAPEL_THREADS env override, hardware
   // concurrency default); results are identical at any thread count.
   copt.n_threads = static_cast<unsigned>(parse_u64(a, "threads", 0));
+  copt.max_retries = parse_u64(a, "retries", 2);
+  copt.retry_backoff_ms =
+      static_cast<std::uint32_t>(parse_u64(a, "backoff-ms", 0));
+  copt.max_failures = parse_u64(a, "max-failures", 0);
+  copt.task_deadline_ms =
+      static_cast<std::uint32_t>(parse_u64(a, "task-deadline-ms", 0));
+  copt.sim_budget.max_cycles = parse_u64(a, "max-sim-cycles", 0);
+  copt.sim_budget.max_events = parse_u64(a, "max-sim-events", 0);
+  return copt;
+}
+
+/// Arms the CI crash drill: tear the N-th journal append, then die.
+void arm_fault_plan(const Args& a, FaultPlan& faults) {
+  if (const auto it = a.options.find("inject-crash-at"); it != a.options.end())
+    faults.add({.site = "journal/append",
+                .at = std::stoull(it->second),
+                .kind = FaultKind::kCrash});
+}
+
+/// Runs collection for every app, wiring up the optional journal and fault
+/// plan, and printing per-app accounting (resumed/retried/dropped counts).
+std::vector<core::TrainingRow> run_collection(const Args& a,
+                                              const std::vector<std::string>& apps,
+                                              core::CollectOptions& copt,
+                                              FaultPlan& faults) {
+  std::unique_ptr<core::RunJournal> journal;
+  if (const auto it = a.options.find("journal"); it != a.options.end()) {
+    journal = core::RunJournal::open(it->second,
+                                     core::collect_journal_meta(copt),
+                                     a.options.contains("resume"), &faults)
+                  .value_or_throw();
+    copt.journal = journal.get();
+  }
+  if (!faults.empty()) copt.faults = &faults;
 
   std::vector<core::TrainingRow> rows;
   for (const auto& app : apps) {
     const auto stats =
         core::collect_training_data(workloads::workload(app), copt, rows);
-    std::printf("collected %-12s %2zu configs -> %3zu rows (%.1fs sim)\n",
+    std::printf("collected %-12s %2zu configs -> %3zu rows (%.1fs sim)",
                 app.c_str(), stats.n_input_configs, stats.n_rows,
                 stats.simulation_seconds);
+    if (stats.n_resumed || stats.n_retries || stats.n_failed)
+      std::printf("  [%zu resumed, %zu retried, %zu dropped]",
+                  stats.n_resumed, stats.n_retries, stats.n_failed);
+    std::printf("\n");
+    for (const auto& f : stats.failures)
+      std::fprintf(stderr, "warning: dropped DoE point: %s\n",
+                   f.to_string().c_str());
   }
+  return rows;
+}
+
+/// Shortest round-trippable decimal form of a double (deterministic).
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+int cmd_collect(const Args& a) {
+  const auto out_it = a.options.find("out");
+  if (out_it == a.options.end())
+    throw std::invalid_argument("missing -o <csv-file>");
+  const std::vector<std::string> apps = parse_apps(a);
+  core::CollectOptions copt = parse_collect_options(a);
+  FaultPlan faults;
+  arm_fault_plan(a, faults);
+  const std::vector<core::TrainingRow> rows =
+      run_collection(a, apps, copt, faults);
+
+  std::vector<std::string> headers = {
+      "app",          "params",           "arch",
+      "ipc",          "energy_pj_per_instr", "power_watts",
+      "instructions", "sim_time_seconds", "sim_energy_joules"};
+  for (const auto& name : core::model_feature_names()) headers.push_back(name);
+  CsvWriter csv(std::move(headers));
+  for (const auto& r : rows) {
+    std::vector<std::string> cells = {
+        r.app,
+        r.params.to_string(),
+        r.arch.to_string(),
+        fmt_double(r.ipc),
+        fmt_double(r.energy_pj_per_instr),
+        fmt_double(r.power_watts),
+        std::to_string(r.instructions),
+        fmt_double(r.sim_time_seconds),
+        fmt_double(r.sim_energy_joules)};
+    for (const double f : r.features) cells.push_back(fmt_double(f));
+    csv.add_row(std::move(cells));
+  }
+  csv.write_file(out_it->second);
+  std::printf("wrote %zu rows (%zu apps) to %s\n", rows.size(), apps.size(),
+              out_it->second.c_str());
+  return 0;
+}
+
+int cmd_train(const Args& a) {
+  const auto out_it = a.options.find("out");
+  if (out_it == a.options.end())
+    throw std::invalid_argument("missing -o <model-file>");
+
+  const std::vector<std::string> apps = parse_apps(a);
+  core::CollectOptions copt = parse_collect_options(a);
+  FaultPlan faults;
+  arm_fault_plan(a, faults);
+  const std::vector<core::TrainingRow> rows =
+      run_collection(a, apps, copt, faults);
 
   core::NapelModel model;
   core::NapelModel::Options mopt;
   mopt.tune = a.options.contains("tune");
   mopt.n_threads = copt.n_threads;
   mopt.untuned_params.n_trees = 100;
+  if (const auto it = a.options.find("tune-checkpoint");
+      it != a.options.end()) {
+    mopt.tune_checkpoint = it->second;
+    mopt.tune_resume = a.options.contains("resume");
+  }
   model.train(rows, mopt);
   core::save_model_file(model, out_it->second);
   std::printf("trained on %zu rows%s; model written to %s\n", rows.size(),
@@ -344,6 +460,8 @@ int cmd_lint(const Args& a) {
     verify::check_model_file(it->second, diags);
   if (const auto it = a.options.find("csv"); it != a.options.end())
     verify::check_csv_file(it->second, diags);
+  if (const auto it = a.options.find("journal"); it != a.options.end())
+    verify::check_journal_file(it->second, diags);
   if (const auto it = a.options.find("trace"); it != a.options.end()) {
     verify::VerifyingSink verifier(diags);
     try {
@@ -374,14 +492,21 @@ int usage() {
                "usage: napel <command> [options]\n"
                "  list                               available workloads\n"
                "  doe <workload> [--scale S]         print CCD configurations\n"
+               "  collect -o FILE [--apps a,b] [--scale S] [--archs N] [--threads N]\n"
+               "          [--journal FILE] [--resume] [--max-failures N] [--retries N]\n"
+               "          [--backoff-ms N] [--task-deadline-ms N] [--max-sim-cycles N]\n"
+               "          export training rows as CSV, checkpointed + resumable\n"
                "  train -o FILE [--apps a,b] [--scale S] [--tune] [--archs N]\n"
                "        [--threads N]  (0 = all cores; NAPEL_THREADS env also honoured)\n"
+               "        [--journal FILE] [--resume] [--tune-checkpoint FILE]\n"
+               "        [--max-failures N]   collection flags as for collect\n"
                "  predict -m FILE --app W [--pes N] [--freq GHZ] [--cache-lines N]\n"
                "  suitability -m FILE --app W [--scale S]\n"
                "  record <workload> -o FILE [--scale S]   capture a trace\n"
                "  simulate --trace FILE [--pes N] [...]   replay on a design\n"
                "  lint [--apps a,b] [--scale S] [--json] [--model FILE]\n"
-               "       [--csv FILE] [--trace FILE] [--disable rule,rule]\n"
+               "       [--csv FILE] [--trace FILE] [--journal FILE]\n"
+               "       [--disable rule,rule]\n"
                "       [--max-per-rule N]   verify kernels + artifacts\n");
   return 1;
 }
@@ -393,6 +518,7 @@ int main(int argc, char** argv) {
   try {
     if (args.command == "list") return cmd_list();
     if (args.command == "doe") return cmd_doe(args);
+    if (args.command == "collect") return cmd_collect(args);
     if (args.command == "train") return cmd_train(args);
     if (args.command == "predict") return cmd_predict(args);
     if (args.command == "suitability") return cmd_suitability(args);
@@ -403,6 +529,11 @@ int main(int argc, char** argv) {
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
+  } catch (const InjectedCrash& e) {
+    // CI crash drill: die the way SIGKILL would — no unwinding, no flushes
+    // beyond what the torn write already fsynced.
+    std::fprintf(stderr, "injected crash: %s\n", e.what());
+    std::_Exit(42);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fatal: %s\n", e.what());
     return 2;
