@@ -1,0 +1,213 @@
+// Trace capture/replay dispatch throughput over the 15 registered kernels.
+//
+// Four measured paths per kernel, all driving one paper-default simulator:
+//   live_per_event — kernel execution with per-event virtual dispatch (the
+//                    pre-batching pipeline: one on_instr call per event);
+//   live_batched   — kernel execution with the Tracer's batched dispatch;
+//   replay_per_event — replay of a captured TraceBuffer, one on_instr per
+//                    event;
+//   replay_batched — TraceBuffer replay via the fast path (the collection
+//                    hot path): the simulator is a TraceColumnConsumer, so
+//                    it ingests the encoded SoA columns directly with no
+//                    InstrEvent materialization.
+// Each measurement includes the simulator's stream compilation but not the
+// timing-model run, so the numbers isolate dispatch + ingestion cost.
+//
+// Emits BENCH_trace_replay.json (machine-readable perf trajectory).
+// --smoke runs a reduced configuration for CI.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "trace/trace_buffer.hpp"
+#include "trace/tracer.hpp"
+
+using namespace napel;
+
+namespace {
+
+/// Reproduces the pre-batching dispatch cost: every event is forwarded to
+/// the wrapped sink through an individual virtual on_instr call, defeating
+/// the batch path the way the old Tracer fan-out loop did.
+class PerEventShim final : public trace::TraceSink {
+ public:
+  explicit PerEventShim(trace::TraceSink& inner) : inner_(inner) {}
+
+  void on_alloc(std::uint64_t base, std::uint64_t bytes) override {
+    inner_.on_alloc(base, bytes);
+  }
+  void begin_kernel(std::string_view name, unsigned n_threads) override {
+    inner_.begin_kernel(name, n_threads);
+  }
+  void on_instr(const trace::InstrEvent& ev) override { inner_.on_instr(ev); }
+  void on_instr_batch(const trace::InstrEvent* evs, std::size_t n) override {
+    for (std::size_t i = 0; i < n; ++i) inner_.on_instr(evs[i]);
+  }
+  void end_kernel() override { inner_.end_kernel(); }
+
+ private:
+  trace::TraceSink& inner_;
+};
+
+struct KernelResult {
+  std::string app;
+  std::uint64_t events = 0;
+  double live_per_event_s = 0.0;
+  double live_batched_s = 0.0;
+  double replay_per_event_s = 0.0;
+  double replay_batched_s = 0.0;
+};
+
+double events_per_second(std::uint64_t events, double seconds) {
+  return seconds > 0.0 ? static_cast<double>(events) / seconds : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  const workloads::Scale scale =
+      smoke ? workloads::Scale::kTiny : workloads::Scale::kBench;
+  const int reps = smoke ? 1 : 3;
+
+  std::printf("=== trace capture/replay dispatch throughput (%s) ===\n",
+              smoke ? "smoke: tiny scale" : "bench scale, best of 3");
+
+  std::vector<const workloads::Workload*> all;
+  for (const auto* w : workloads::all_workloads()) all.push_back(w);
+  for (const auto* w : workloads::extended_workloads()) all.push_back(w);
+
+  std::vector<KernelResult> results;
+  for (const auto* w : all) {
+    const auto params =
+        workloads::WorkloadParams::central(w->doe_space(scale));
+    KernelResult r;
+    r.app = std::string(w->name());
+
+    // Capture once (untimed); replays below reuse this buffer.
+    trace::TraceBuffer buf;
+    {
+      trace::Tracer t;
+      t.attach(buf);
+      w->run(t, params, 2019);
+    }
+    r.events = buf.event_count();
+
+    auto best = [&](auto&& body) {
+      double best_s = 0.0;
+      for (int rep = 0; rep < reps; ++rep) {
+        bench::Timer timer;
+        body();
+        const double s = timer.seconds();
+        if (rep == 0 || s < best_s) best_s = s;
+      }
+      return best_s;
+    };
+
+    r.live_per_event_s = best([&] {
+      sim::NmcSimulator s(sim::ArchConfig::paper_default());
+      PerEventShim shim(s);
+      trace::Tracer t;
+      t.attach(shim);
+      w->run(t, params, 2019);
+    });
+    r.live_batched_s = best([&] {
+      sim::NmcSimulator s(sim::ArchConfig::paper_default());
+      trace::Tracer t;
+      t.attach(s);
+      w->run(t, params, 2019);
+    });
+    r.replay_per_event_s = best([&] {
+      sim::NmcSimulator s(sim::ArchConfig::paper_default());
+      buf.replay_per_event(s);
+    });
+    r.replay_batched_s = best([&] {
+      sim::NmcSimulator s(sim::ArchConfig::paper_default());
+      buf.replay(s);
+    });
+    results.push_back(r);
+
+    std::printf(
+        "%-12s %9llu events | live/ev %6.1f M/s  live/batch %6.1f M/s  "
+        "replay/ev %6.1f M/s  replay/batch %6.1f M/s  (batch replay %4.1fx "
+        "vs live/ev)\n",
+        r.app.c_str(), static_cast<unsigned long long>(r.events),
+        events_per_second(r.events, r.live_per_event_s) / 1e6,
+        events_per_second(r.events, r.live_batched_s) / 1e6,
+        events_per_second(r.events, r.replay_per_event_s) / 1e6,
+        events_per_second(r.events, r.replay_batched_s) / 1e6,
+        r.live_per_event_s > 0.0 && r.replay_batched_s > 0.0
+            ? r.live_per_event_s / r.replay_batched_s
+            : 0.0);
+  }
+
+  // Aggregate over all kernels (summed events / summed seconds).
+  std::uint64_t tot_events = 0;
+  double tot_live_pe = 0, tot_live_b = 0, tot_rep_pe = 0, tot_rep_b = 0;
+  for (const auto& r : results) {
+    tot_events += r.events;
+    tot_live_pe += r.live_per_event_s;
+    tot_live_b += r.live_batched_s;
+    tot_rep_pe += r.replay_per_event_s;
+    tot_rep_b += r.replay_batched_s;
+  }
+  const double speedup =
+      tot_rep_b > 0.0 ? tot_live_pe / tot_rep_b : 0.0;
+  std::printf(
+      "\nTOTAL %llu events: batched replay %.1f M events/s vs live "
+      "per-event %.1f M events/s -> %.1fx\n",
+      static_cast<unsigned long long>(tot_events),
+      events_per_second(tot_events, tot_rep_b) / 1e6,
+      events_per_second(tot_events, tot_live_pe) / 1e6, speedup);
+
+  // Machine-readable trajectory for future PRs.
+  FILE* f = std::fopen("BENCH_trace_replay.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_trace_replay.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"trace_replay\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"kernels\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"app\": \"%s\", \"events\": %llu, "
+        "\"live_per_event_eps\": %.0f, \"live_batched_eps\": %.0f, "
+        "\"replay_per_event_eps\": %.0f, \"replay_batched_eps\": %.0f}%s\n",
+        r.app.c_str(), static_cast<unsigned long long>(r.events),
+        events_per_second(r.events, r.live_per_event_s),
+        events_per_second(r.events, r.live_batched_s),
+        events_per_second(r.events, r.replay_per_event_s),
+        events_per_second(r.events, r.replay_batched_s),
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(
+      f,
+      "  \"total\": {\"events\": %llu, \"replay_batched_eps\": %.0f, "
+      "\"live_per_event_eps\": %.0f, "
+      "\"batched_replay_vs_live_per_event\": %.3f}\n}\n",
+      static_cast<unsigned long long>(tot_events),
+      events_per_second(tot_events, tot_rep_b),
+      events_per_second(tot_events, tot_live_pe), speedup);
+  std::fclose(f);
+  std::printf("wrote BENCH_trace_replay.json\n");
+
+  // The collection pipeline relies on batched replay being decisively
+  // faster than the old live per-event dispatch.
+  if (!smoke && speedup < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: batched replay only %.2fx live per-event dispatch "
+                 "(expected >= 2x)\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}

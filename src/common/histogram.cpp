@@ -12,20 +12,6 @@ Log2Histogram::Log2Histogram(std::size_t max_buckets)
   NAPEL_CHECK(max_buckets >= 1 && max_buckets <= 65);
 }
 
-std::size_t Log2Histogram::bucket_index(std::uint64_t value) const {
-  // value+1 in [2^b, 2^(b+1)) → b = floor(log2(value+1)). value==UINT64_MAX
-  // would overflow value+1; saturate it.
-  const std::uint64_t v =
-      value == std::numeric_limits<std::uint64_t>::max() ? value : value + 1;
-  const std::size_t b = static_cast<std::size_t>(std::bit_width(v)) - 1;
-  return b >= buckets_.size() ? buckets_.size() - 1 : b;
-}
-
-void Log2Histogram::add(std::uint64_t value, std::uint64_t count) {
-  buckets_[bucket_index(value)] += count;
-  total_ += count;
-}
-
 std::uint64_t Log2Histogram::bucket(std::size_t b) const {
   NAPEL_CHECK(b < buckets_.size());
   return buckets_[b];

@@ -3,8 +3,10 @@
 // (so value 0 lands in bucket 0, values 1..2 in bucket 1, ...).
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 namespace napel {
@@ -15,14 +17,26 @@ class Log2Histogram {
   /// final bucket. 64 covers the full uint64 range.
   explicit Log2Histogram(std::size_t max_buckets = 64);
 
-  void add(std::uint64_t value, std::uint64_t count = 1);
+  /// Defined inline: recorded once or more per traced instruction by the
+  /// profiler's reuse-distance and stride features.
+  void add(std::uint64_t value, std::uint64_t count = 1) {
+    buckets_[bucket_index(value)] += count;
+    total_ += count;
+  }
 
   std::size_t bucket_count() const { return buckets_.size(); }
   std::uint64_t bucket(std::size_t b) const;
   std::uint64_t total() const { return total_; }
 
   /// Index of the bucket a value falls into.
-  std::size_t bucket_index(std::uint64_t value) const;
+  std::size_t bucket_index(std::uint64_t value) const {
+    // value+1 in [2^b, 2^(b+1)) → b = floor(log2(value+1)). value==UINT64_MAX
+    // would overflow value+1; saturate it.
+    const std::uint64_t v =
+        value == std::numeric_limits<std::uint64_t>::max() ? value : value + 1;
+    const std::size_t b = static_cast<std::size_t>(std::bit_width(v)) - 1;
+    return b >= buckets_.size() ? buckets_.size() - 1 : b;
+  }
 
   /// Lower bound of values mapped to bucket b (inclusive): 2^b − 1.
   static std::uint64_t bucket_lower_bound(std::size_t b);

@@ -38,11 +38,11 @@ std::string collect_record_key(std::string_view app,
 }
 
 std::string encode_collect_record(std::span<const TrainingRow> rows,
-                                  double profile_seconds,
-                                  double simulate_seconds) {
+                                  double capture_seconds,
+                                  double replay_seconds) {
   std::ostringstream os;
-  os << "t " << double_bits_to_hex(profile_seconds) << ' '
-     << double_bits_to_hex(simulate_seconds) << ' ' << rows.size() << '\n';
+  os << "t " << double_bits_to_hex(capture_seconds) << ' '
+     << double_bits_to_hex(replay_seconds) << ' ' << rows.size() << '\n';
   for (const TrainingRow& r : rows) {
     os << "r " << double_bits_to_hex(r.ipc) << ' '
        << double_bits_to_hex(r.energy_pj_per_instr) << ' '
@@ -57,8 +57,8 @@ std::string encode_collect_record(std::span<const TrainingRow> rows,
 
 Status decode_collect_record(std::string_view payload,
                              std::span<TrainingRow> rows,
-                             double& profile_seconds,
-                             double& simulate_seconds) {
+                             double& capture_seconds,
+                             double& replay_seconds) {
   std::istringstream is{std::string(payload)};
   std::string tag, a, b;
   std::size_t n_rows = 0;
@@ -75,7 +75,7 @@ Status decode_collect_record(std::string_view payload,
     out = r.value();
     return true;
   };
-  if (!bits(a, profile_seconds) || !bits(b, simulate_seconds))
+  if (!bits(a, capture_seconds) || !bits(b, replay_seconds))
     return decode_error("malformed timing bits");
 
   for (TrainingRow& row : rows) {

@@ -34,17 +34,19 @@ std::string collect_journal_meta(const CollectOptions& opts);
 std::string collect_record_key(std::string_view app, std::size_t config_index);
 
 /// Encodes the responses of one completed task: per-row labels + features
-/// (doubles as IEEE-754 bit patterns) and the task's wall-clock accounting.
+/// (doubles as IEEE-754 bit patterns) and the task's wall-clock accounting
+/// (trace-capture and replay seconds; the on-disk layout predates the
+/// capture/replay split and is unchanged, so old journals stay readable).
 std::string encode_collect_record(std::span<const TrainingRow> rows,
-                                  double profile_seconds,
-                                  double simulate_seconds);
+                                  double capture_seconds,
+                                  double replay_seconds);
 
 /// Decodes into `rows`, whose app/params/arch fields the caller has already
 /// re-derived from the run options. Row count must match.
 Status decode_collect_record(std::string_view payload,
                              std::span<TrainingRow> rows,
-                             double& profile_seconds,
-                             double& simulate_seconds);
+                             double& capture_seconds,
+                             double& replay_seconds);
 
 /// Thread-safe journal handle shared by all collect calls of one run.
 class RunJournal {

@@ -1,9 +1,16 @@
 // NAPEL training-data pipeline (Figure 1 of the paper, phases 1-2):
 // DoE-selected input configurations are executed once through the
 // instrumentation layer, producing (a) the hardware-independent profile and
-// (b) simulator responses for one or more architecture configurations —
-// both from the same kernel execution, since profiler and simulators are
-// all TraceSinks on the same Tracer.
+// (b) simulator responses for one or more architecture configurations.
+//
+// Each DoE task runs capture-once/replay-many: the kernel executes a single
+// time into a trace::TraceBuffer, and the recorded stream is then replayed
+// — bit-identically, in batches — into the profiler and into one simulator
+// per paired architecture as independent thread-pool tasks. An optional
+// bounded trace cache (CollectOptions::trace_cache) keyed by
+// (app, params, data_seed) lets retries and repeated collections skip the
+// kernel execution entirely; cache hits affect only wall-clock time, never
+// results.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +26,10 @@
 
 namespace napel {
 class FaultPlan;
+}
+
+namespace napel::trace {
+class TraceCache;
 }
 
 namespace napel::core {
@@ -94,13 +105,44 @@ struct CollectOptions {
   RunJournal* journal = nullptr;
   /// Deterministic fault injection (tests / CI drills only).
   FaultPlan* faults = nullptr;
+  /// Optional shared trace cache: captured kernel traces are published
+  /// under (app, params, data_seed) and reused by retries and by later
+  /// collect calls in the same process. Hits skip the kernel execution;
+  /// the replayed rows are bit-identical either way.
+  trace::TraceCache* trace_cache = nullptr;
 };
 
 struct CollectStats {
   std::size_t n_input_configs = 0;
   std::size_t n_rows = 0;
-  double kernel_and_profile_seconds = 0.0;  ///< trace generation + analysis
-  double simulation_seconds = 0.0;          ///< timing-model replay
+  /// Wall-clock executing kernels into trace buffers (zero for tasks whose
+  /// trace came from the cache or the journal). When the pool is saturated
+  /// the capture pass also feeds the consumers (fused capture+consume), so
+  /// their ingestion cost lands here rather than in replay_seconds.
+  double capture_seconds = 0.0;
+  /// Wall-clock of the per-task consumption fan-out: trace replays (cache
+  /// hits and idle-worker fan-out) plus the per-architecture timing models.
+  double replay_seconds = 0.0;
+  /// Events delivered to consumers (profiler + simulators), whether via
+  /// fused capture or trace replay.
+  std::uint64_t n_replay_events = 0;
+
+  // Trace-cache accounting (executed tasks only; resumed tasks excluded).
+  std::size_t n_cache_hits = 0;    ///< tasks served from the trace cache
+  std::size_t n_cache_misses = 0;  ///< tasks that captured a fresh trace
+
+  /// Replay throughput in events/second (0 when nothing replayed).
+  double replay_events_per_second() const {
+    return replay_seconds > 0.0
+               ? static_cast<double>(n_replay_events) / replay_seconds
+               : 0.0;
+  }
+  /// Trace-cache hit rate over executed tasks (0 when none executed).
+  double cache_hit_rate() const {
+    const std::size_t n = n_cache_hits + n_cache_misses;
+    return n == 0 ? 0.0
+                  : static_cast<double>(n_cache_hits) / static_cast<double>(n);
+  }
 
   // Fault-tolerance accounting.
   std::size_t n_failed = 0;   ///< DoE points dropped under the quorum

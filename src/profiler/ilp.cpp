@@ -1,7 +1,5 @@
 #include "profiler/ilp.hpp"
 
-#include <algorithm>
-
 #include "common/check.hpp"
 
 namespace napel::profiler {
@@ -9,56 +7,6 @@ namespace napel::profiler {
 IlpAnalyzer::IlpAnalyzer() : reg_ring_(1u << kRegRingBits) {
   for (std::size_t w = 0; w < kWindows.size(); ++w)
     window_ring_[w].assign(kWindows[w], 0);
-}
-
-IlpAnalyzer::Times IlpAnalyzer::reg_ready(trace::Reg r) const {
-  if (r == trace::kNoReg) return Times{};
-  const RegSlot& slot = reg_ring_[r & ((1u << kRegRingBits) - 1)];
-  return slot.reg == r ? slot.ready : Times{};
-}
-
-void IlpAnalyzer::set_reg_ready(trace::Reg r, const Times& t) {
-  if (r == trace::kNoReg) return;
-  RegSlot& slot = reg_ring_[r & ((1u << kRegRingBits) - 1)];
-  slot.reg = r;
-  slot.ready = t;
-}
-
-void IlpAnalyzer::on_instr(const trace::InstrEvent& ev) {
-  const Times r1 = reg_ready(ev.src1);
-  const Times r2 = reg_ready(ev.src2);
-
-  Times issue;
-  for (std::size_t s = 0; s < kNumSchedules; ++s)
-    issue[s] = std::max(r1[s], r2[s]);
-
-  if (ev.op == trace::OpType::kLoad) {
-    if (const Times* fwd = store_ready_.find(ev.addr))
-      for (std::size_t s = 0; s < kNumSchedules; ++s)
-        issue[s] = std::max(issue[s], (*fwd)[s]);
-  }
-
-  // Finite windows: the W-entry window frees a slot one cycle after the
-  // instruction W positions earlier has issued.
-  for (std::size_t w = 0; w < kWindows.size(); ++w) {
-    auto& ring = window_ring_[w];
-    const std::size_t pos = static_cast<std::size_t>(n_ % kWindows[w]);
-    if (n_ >= kWindows[w]) issue[w] = std::max(issue[w], ring[pos] + 1);
-    ring[pos] = issue[w];  // our own issue time replaces the aged-out slot
-  }
-
-  Times done;
-  for (std::size_t s = 0; s < kNumSchedules; ++s) {
-    done[s] = issue[s] + 1;  // unit latency on the ideal machine
-    horizon_[s] = std::max(horizon_[s], done[s]);
-  }
-
-  if (ev.dst != trace::kNoReg) set_reg_ready(ev.dst, done);
-  if (ev.op == trace::OpType::kStore) {
-    if (store_ready_.size() >= kMaxStoreMapEntries) store_ready_.clear();
-    store_ready_[ev.addr] = done;
-  }
-  ++n_;
 }
 
 double IlpAnalyzer::ilp_window(std::size_t i) const {

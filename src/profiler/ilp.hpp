@@ -23,7 +23,45 @@ class IlpAnalyzer {
 
   IlpAnalyzer();
 
-  void on_instr(const trace::InstrEvent& ev);
+  /// Defined inline: called once per traced instruction by the profiler;
+  /// inlining keeps the schedule-time vectors in registers across the
+  /// batch loop.
+  void on_instr(const trace::InstrEvent& ev) {
+    const Times& r1 = reg_ready(ev.src1);
+    const Times& r2 = reg_ready(ev.src2);
+
+    Times issue;
+    for (std::size_t s = 0; s < kNumSchedules; ++s)
+      issue[s] = std::max(r1[s], r2[s]);
+
+    if (ev.op == trace::OpType::kLoad) {
+      if (const Times* fwd = store_ready_.find(ev.addr))
+        for (std::size_t s = 0; s < kNumSchedules; ++s)
+          issue[s] = std::max(issue[s], (*fwd)[s]);
+    }
+
+    // Finite windows: the W-entry window frees a slot one cycle after the
+    // instruction W positions earlier has issued.
+    for (std::size_t w = 0; w < kWindows.size(); ++w) {
+      auto& ring = window_ring_[w];
+      const std::size_t pos = static_cast<std::size_t>(n_ % kWindows[w]);
+      if (n_ >= kWindows[w]) issue[w] = std::max(issue[w], ring[pos] + 1);
+      ring[pos] = issue[w];  // our own issue time replaces the aged-out slot
+    }
+
+    Times done;
+    for (std::size_t s = 0; s < kNumSchedules; ++s) {
+      done[s] = issue[s] + 1;  // unit latency on the ideal machine
+      horizon_[s] = std::max(horizon_[s], done[s]);
+    }
+
+    if (ev.dst != trace::kNoReg) set_reg_ready(ev.dst, done);
+    if (ev.op == trace::OpType::kStore) {
+      if (store_ready_.size() >= kMaxStoreMapEntries) store_ready_.clear();
+      store_ready_[ev.addr] = done;
+    }
+    ++n_;
+  }
 
   /// ILP for finite window index i (into kWindows).
   double ilp_window(std::size_t i) const;
@@ -42,8 +80,19 @@ class IlpAnalyzer {
     Times ready{};
   };
 
-  Times reg_ready(trace::Reg r) const;
-  void set_reg_ready(trace::Reg r, const Times& t);
+  // Returned by reference: two 40-byte Times copies per instruction are
+  // measurable on the profiler's hot path.
+  const Times& reg_ready(trace::Reg r) const {
+    static constexpr Times kZero{};
+    if (r == trace::kNoReg) return kZero;
+    const RegSlot& slot = reg_ring_[r & ((1u << kRegRingBits) - 1)];
+    return slot.reg == r ? slot.ready : kZero;
+  }
+  void set_reg_ready(trace::Reg r, const Times& t) {
+    RegSlot& slot = reg_ring_[r & ((1u << kRegRingBits) - 1)];
+    slot.reg = r;
+    slot.ready = t;
+  }
 
   std::vector<RegSlot> reg_ring_;
   // Memory RAW: last store completion per exact address (all schedules in

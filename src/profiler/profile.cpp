@@ -142,6 +142,11 @@ struct ProfileBuilder::State {
 
   FlatSet read_lines;
   FlatSet write_lines;
+  // Sequential sweeps touch the same 64B line several times in a row; set
+  // inserts are idempotent, so repeats skip the hash. ~0 is never a real
+  // line (addresses are 64-bit, lines 58-bit).
+  std::uint64_t last_read_line = ~0ULL;
+  std::uint64_t last_write_line = ~0ULL;
   std::uint64_t read_bytes = 0;
   std::uint64_t write_bytes = 0;
   std::uint64_t src_reads = 0;
@@ -181,7 +186,18 @@ void ProfileBuilder::end_kernel() {
 }
 
 void ProfileBuilder::on_instr(const trace::InstrEvent& ev) {
+  ingest(*st_, ev);
+}
+
+// One virtual call per batch; the per-event feature updates run in this
+// non-virtual loop with the State reference hoisted out.
+void ProfileBuilder::on_instr_batch(const trace::InstrEvent* evs,
+                                    std::size_t n) {
   State& s = *st_;
+  for (std::size_t i = 0; i < n; ++i) ingest(s, evs[i]);
+}
+
+void ProfileBuilder::ingest(State& s, const trace::InstrEvent& ev) {
   ++s.total;
   ++s.op_counts[static_cast<std::size_t>(ev.op)];
   if (ev.thread < s.per_thread.size()) ++s.per_thread[ev.thread];
@@ -201,11 +217,17 @@ void ProfileBuilder::on_instr(const trace::InstrEvent& ev) {
     s.rd_all.record(d);
     if (ev.op == trace::OpType::kLoad) {
       s.rd_read.record(d);
-      s.read_lines.insert(line);
+      if (line != s.last_read_line) {
+        s.read_lines.insert(line);
+        s.last_read_line = line;
+      }
       s.read_bytes += ev.size;
     } else {
       s.rd_write.record(d);
-      s.write_lines.insert(line);
+      if (line != s.last_write_line) {
+        s.write_lines.insert(line);
+        s.last_write_line = line;
+      }
       s.write_bytes += ev.size;
     }
     if (s.have_prev_addr) {

@@ -88,6 +88,7 @@ class ProfileBuilder final : public trace::TraceSink {
 
   void begin_kernel(std::string_view name, unsigned n_threads) override;
   void on_instr(const trace::InstrEvent& ev) override;
+  void on_instr_batch(const trace::InstrEvent* evs, std::size_t n) override;
   void end_kernel() override;
 
   /// Assembles the profile. Requires a completed kernel bracket.
@@ -95,6 +96,7 @@ class ProfileBuilder final : public trace::TraceSink {
 
  private:
   struct State;
+  void ingest(State& s, const trace::InstrEvent& ev);
   std::unique_ptr<State> st_;
 };
 

@@ -1,97 +1,6 @@
 #include "profiler/reuse_distance.hpp"
 
-#include <limits>
-
-#include "common/check.hpp"
-
 namespace napel::profiler {
-
-StackDistanceTracker::StackDistanceTracker() : fenwick_(1024, 0) {}
-
-void StackDistanceTracker::fenwick_add(std::size_t i, int delta) {
-  for (; i < fenwick_.size(); i += i & (~i + 1)) {
-    fenwick_[i] += delta;
-  }
-}
-
-std::uint64_t StackDistanceTracker::fenwick_prefix_sum(std::size_t i) const {
-  std::uint64_t s = 0;
-  for (; i > 0; i -= i & (~i + 1)) {
-    s += static_cast<std::uint64_t>(fenwick_[i]);
-  }
-  return s;
-}
-
-std::uint64_t StackDistanceTracker::access(std::uint64_t block) {
-  ++time_;  // timestamps are 1-indexed for the Fenwick tree
-  if (time_ >= fenwick_.size()) {
-    // Grow by rebuilding: only the "present" markers (one per tracked block,
-    // at its last access time) carry state, so a rebuild costs O(U log N)
-    // and is amortized over the doubling.
-    fenwick_.assign(fenwick_.size() * 2, 0);
-    last_access_.for_each([&](std::uint64_t, std::uint64_t ts) {
-      fenwick_add(static_cast<std::size_t>(ts), +1);
-    });
-  }
-
-  std::uint64_t distance = kColdMiss;
-  bool inserted;
-  std::uint64_t& slot = last_access_.insert_or_get(block, inserted);
-  if (!inserted) {
-    const std::uint64_t prev = slot;
-    // Distinct blocks touched strictly after prev: present markers in
-    // (prev, time_). Current access not yet marked.
-    const std::uint64_t upto_now = fenwick_prefix_sum(time_ - 1);
-    const std::uint64_t upto_prev = fenwick_prefix_sum(prev);
-    distance = upto_now - upto_prev;
-    fenwick_add(static_cast<std::size_t>(prev), -1);
-  }
-  slot = time_;
-  fenwick_add(static_cast<std::size_t>(time_), +1);
-  return distance;
-}
-
-std::uint64_t LruStackDistance::access(std::uint64_t key) {
-  ++accesses_;
-  bool inserted;
-  std::uint32_t& slot = slot_of_.insert_or_get(key, inserted);
-  if (inserted) {
-    slot = static_cast<std::uint32_t>(nodes_.size());
-    nodes_.push_back(Node{kNil, head_});
-    if (head_ != kNil) nodes_[head_].prev = slot;
-    head_ = slot;
-    return kColdMiss;
-  }
-
-  // Walk from the head counting distinct keys ahead of `key`.
-  std::uint64_t distance = 0;
-  std::uint32_t cur = head_;
-  while (cur != slot) {
-    NAPEL_DCHECK(cur != kNil);
-    cur = nodes_[cur].next;
-    ++distance;
-  }
-  // Move to front.
-  if (slot != head_) {
-    Node& n = nodes_[slot];
-    nodes_[n.prev].next = n.next;
-    if (n.next != kNil) nodes_[n.next].prev = n.prev;
-    n.prev = kNil;
-    n.next = head_;
-    nodes_[head_].prev = slot;
-    head_ = slot;
-  }
-  return distance;
-}
-
-void ReuseDistanceHistogram::record(std::uint64_t distance) {
-  if (distance == StackDistanceTracker::kColdMiss) {
-    ++cold_;
-  } else {
-    hist_.add(distance);
-    if (distance < kExactBins) ++small_[distance];
-  }
-}
 
 double ReuseDistanceHistogram::miss_fraction(
     std::uint64_t capacity_blocks) const {

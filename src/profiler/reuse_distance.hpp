@@ -8,69 +8,212 @@
 // holding C blocks (distance ≥ C).
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <limits>
+#include <utility>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/flat_map.hpp"
 #include "common/histogram.hpp"
 
 namespace napel::profiler {
 
-/// Streaming exact stack-distance computation. O(log N) per access,
-/// O(N) memory in the number of accesses (Fenwick tree of one bit-count per
-/// timestamp) plus O(U) for the last-access map over unique blocks.
+/// Streaming exact stack-distance computation, O(log) amortized per access.
+/// When timestamps outgrow the Fenwick tree, high-reuse streams (live set
+/// much smaller than the tree) compact timestamps to a dense prefix
+/// preserving recency order — a per-instruction tracker over a few hundred
+/// PCs runs on a cache-resident tree across millions of accesses — while
+/// low-reuse streams (graph traversals, where unique blocks grow with the
+/// access count and compaction would rebuild an ever-growing live set over
+/// and over) just double the tree with an O(1) marker-count fixup.
+///
+/// Keys are hashed through a FlatMap in all uses: pseudo-PCs look dense but
+/// are strided by 4096 per tracer scope (a direct-indexed table would be
+/// megabytes of mostly-empty slots), while the hash table holds just the
+/// few hundred live entries cache-resident.
 class StackDistanceTracker {
  public:
-  StackDistanceTracker();
+  StackDistanceTracker() : fenwick_(1024, 0) {}
 
   /// Records an access to `block` and returns its stack distance: the number
   /// of distinct blocks accessed since the previous access to `block`, or
   /// kColdMiss for a first access.
   static constexpr std::uint64_t kColdMiss =
       std::numeric_limits<std::uint64_t>::max();
-  std::uint64_t access(std::uint64_t block);
+
+  /// Defined inline: this is the single hottest call in the profiler (once
+  /// per instruction for PC reuse, once per memory op for data reuse).
+  std::uint64_t access(std::uint64_t block) {
+    // Fast path: immediate re-access of the block touched last (sequential
+    // sweeps hit each 64B line several times in a row). Skips the hash
+    // lookup entirely; the marker move from now_-1 to now_ collapses to at
+    // most one tree node because the two paths merge immediately. Produces
+    // exactly the slow path's result (distance 0, marker at now_).
+    // memo_slot_ points at the most recent call's table slot; it stays
+    // valid because compact() rewrites timestamps without rehashing, and
+    // the table only grows at the start of a slow-path call (which then
+    // re-establishes the memo from the post-growth reference).
+    if (memo_slot_ != nullptr && block == memo_block_) {
+      ++time_;
+      if (now_ + 1 >= fenwick_.size()) maintain();
+      ++now_;
+      const std::size_t n = fenwick_.size();
+      std::size_t a = static_cast<std::size_t>(now_ - 1);
+      std::size_t b = static_cast<std::size_t>(now_);
+      while (a != b && (a < n || b < n)) {
+        if (a < b) {
+          if (a < n) fenwick_[a] -= 1;
+          a += a & (~a + 1);
+        } else {
+          if (b < n) fenwick_[b] += 1;
+          b += b & (~b + 1);
+        }
+      }
+      *memo_slot_ = now_;
+      return 0;
+    }
+
+    ++time_;
+    if (now_ + 1 >= fenwick_.size()) maintain();
+    ++now_;  // timestamps are 1-indexed for the Fenwick tree
+
+    std::uint64_t distance = kColdMiss;
+    bool inserted;
+    std::uint64_t& slot = last_access_.insert_or_get(block, inserted);
+    if (!inserted) {
+      // Distinct blocks touched strictly after prev: present markers in
+      // (prev, now_). Current access not yet marked. The two prefix-sum
+      // cursors share their low path, so interleaving them makes the query
+      // cost O(log(now - prev)) — near-constant for the tight-loop reuse
+      // that dominates instruction streams — instead of O(log N).
+      std::size_t a = static_cast<std::size_t>(slot);
+      std::size_t b = static_cast<std::size_t>(now_ - 1);
+      std::int64_t in_between = 0;
+      while (a != b) {
+        if (b > a) {
+          in_between += fenwick_[b];
+          b -= b & (~b + 1);
+        } else {
+          in_between -= fenwick_[a];
+          a -= a & (~a + 1);
+        }
+      }
+      distance = static_cast<std::uint64_t>(in_between);
+
+      // Move the marker from prev to now_: the two update paths merge at
+      // their lowest common Fenwick ancestor, above which -1 and +1
+      // cancel, so the walk also costs O(log(now - prev)).
+      const std::size_t n = fenwick_.size();
+      a = static_cast<std::size_t>(slot);
+      b = static_cast<std::size_t>(now_);
+      while (a != b && (a < n || b < n)) {
+        if (a < b) {
+          if (a < n) fenwick_[a] -= 1;
+          a += a & (~a + 1);
+        } else {
+          if (b < n) fenwick_[b] += 1;
+          b += b & (~b + 1);
+        }
+      }
+    } else {
+      fenwick_add(static_cast<std::size_t>(now_), +1);
+    }
+    slot = now_;
+    memo_block_ = block;
+    memo_slot_ = &slot;
+    return distance;
+  }
 
   std::uint64_t access_count() const { return time_; }
   std::uint64_t unique_blocks() const { return last_access_.size(); }
 
  private:
-  void fenwick_add(std::size_t i, int delta);
-  std::uint64_t fenwick_prefix_sum(std::size_t i) const;  // sum of [1..i]
+  void fenwick_add(std::size_t i, int delta) {
+    for (; i < fenwick_.size(); i += i & (~i + 1)) {
+      fenwick_[i] += delta;
+    }
+  }
+
+  // Timestamps have filled the tree. Compact only when the live set is much
+  // smaller than the tree (reclaiming at least 63/64 of the timestamps per
+  // rebuild); otherwise the stream touches new blocks about as fast as it
+  // accesses, compaction would rebuild a live set that grows with the
+  // stream, and doubling is O(1) amortized.
+  void maintain() {
+    if ((last_access_.size() + 1) * 64 <= fenwick_.size()) {
+      compact();
+    } else {
+      grow_tree();
+    }
+  }
+
+  void grow_tree() {
+    // The tree size is always a power of two (ctor, compact(), and this
+    // doubling preserve it), so exactly one new node spans old timestamps:
+    // index `old` covers [1, old], which holds one marker per live block.
+    // Every other new node's range lies entirely above old timestamps.
+    const std::size_t old = fenwick_.size();
+    fenwick_.resize(old * 2, 0);
+    fenwick_[old] = static_cast<std::int32_t>(last_access_.size());
+  }
+
+  void compact() {
+    // Only the "present" markers (one per tracked block, at its last access
+    // time) carry state. Remap them onto a dense 1..U timestamp prefix in
+    // recency order: prefix sums between any two markers are preserved, so
+    // every future distance is unchanged, but the tree stays sized to the
+    // live set instead of the access count. Only reached when the live set
+    // fills at most 1/64 of the tree (see maintain()), so the O(U log U)
+    // rebuild amortizes over the >= 63·U accesses the freed headroom buys
+    // before the next one.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> live;  // (ts, block)
+    live.reserve(last_access_.size());
+    last_access_.for_each([&](std::uint64_t block, std::uint64_t ts) {
+      live.emplace_back(ts, block);
+    });
+    std::sort(live.begin(), live.end());
+
+    std::size_t cap = fenwick_.size();
+    while (cap < (live.size() + 1) * 16) cap *= 2;
+    fenwick_.assign(cap, 0);
+    now_ = 0;
+    for (const auto& [old_ts, block] : live) {
+      *last_access_.find(block) = ++now_;
+      fenwick_add(static_cast<std::size_t>(now_), +1);
+    }
+  }
 
   FlatMap<std::uint64_t> last_access_;
   std::vector<std::int32_t> fenwick_;  // 1-indexed
-  std::uint64_t time_ = 0;
+  std::uint64_t time_ = 0;  // monotone access count (never reset)
+  std::uint64_t now_ = 0;   // Fenwick timestamp clock (reset by compact())
+  std::uint64_t memo_block_ = 0;         // last accessed block...
+  std::uint64_t* memo_slot_ = nullptr;   // ...and its table slot
 };
 
-/// Exact LRU stack distance specialized for small universes with short
-/// distances (instruction pseudo-PCs: a loop re-executes the same few PCs,
-/// so the accessed key is almost always near the top of the LRU stack).
-/// A move-to-front list makes each access O(distance) with a tiny constant,
-/// much faster than the Fenwick tracker for this access pattern.
+/// Exact LRU stack distance over arbitrary keys (instruction pseudo-PCs).
+/// Historically a move-to-front linked list whose access cost was
+/// O(distance) — fine for tight loops re-touching the stack top, but
+/// pathological for kernels interleaving many distinct PCs (outer-loop PCs
+/// paid a full-stack walk on every reuse). Now a thin wrapper over the
+/// Olken-style Fenwick tracker: O(log N) per access regardless of distance,
+/// with identical results.
 class LruStackDistance {
  public:
   static constexpr std::uint64_t kColdMiss = StackDistanceTracker::kColdMiss;
 
   /// Records an access and returns the number of distinct keys accessed
   /// since the previous access to `key` (kColdMiss on first access).
-  std::uint64_t access(std::uint64_t key);
+  std::uint64_t access(std::uint64_t key) { return tracker_.access(key); }
 
-  std::uint64_t access_count() const { return accesses_; }
-  std::uint64_t unique_keys() const { return slot_of_.size(); }
+  std::uint64_t access_count() const { return tracker_.access_count(); }
+  std::uint64_t unique_keys() const { return tracker_.unique_blocks(); }
 
  private:
-  struct Node {
-    std::uint32_t prev;
-    std::uint32_t next;
-  };
-  static constexpr std::uint32_t kNil = ~0u;
-
-  std::vector<Node> nodes_;
-  FlatMap<std::uint32_t> slot_of_;  // key -> node index
-  std::uint32_t head_ = kNil;
-  std::uint64_t accesses_ = 0;
+  StackDistanceTracker tracker_;
 };
 
 /// Convenience aggregation: histogram of distances plus cold-miss count.
@@ -85,7 +228,16 @@ class ReuseDistanceHistogram {
   explicit ReuseDistanceHistogram(std::size_t buckets = 40)
       : hist_(buckets) {}
 
-  void record(std::uint64_t distance);
+  /// Defined inline: recorded once per instruction (PC reuse) and up to
+  /// three times per memory op (read/write/all data reuse).
+  void record(std::uint64_t distance) {
+    if (distance == StackDistanceTracker::kColdMiss) {
+      ++cold_;
+    } else {
+      hist_.add(distance);
+      if (distance < kExactBins) ++small_[distance];
+    }
+  }
 
   const Log2Histogram& histogram() const { return hist_; }
   std::uint64_t cold_misses() const { return cold_; }

@@ -47,20 +47,88 @@ struct NmcSimulator::State {
 };
 
 NmcSimulator::NmcSimulator(ArchConfig cfg, SimBudget budget)
-    : cfg_(cfg), budget_(budget), st_(std::make_unique<State>()) {
+    : cfg_(cfg), budget_(budget), st_(std::make_shared<State>()) {
   cfg_.validate();
 }
 
 NmcSimulator::~NmcSimulator() = default;
 
 void NmcSimulator::begin_kernel(std::string_view, unsigned) {
-  st_ = std::make_unique<State>();
+  st_ = std::make_shared<State>();
   st_->pes.resize(cfg_.n_pes);
   ran_ = false;
   result_ = SimResult{};
 }
 
-void NmcSimulator::on_instr(const trace::InstrEvent& ev) {
+void NmcSimulator::on_instr(const trace::InstrEvent& ev) { ingest(ev); }
+
+// Stream compilation happens here (not in the timing loop), so batched
+// delivery pays one virtual call per batch and then runs this tight loop.
+// Events arrive in long same-thread runs (SPMD kernels switch threads
+// rarely), so the thread → PE resolution — an integer division by the
+// runtime n_pes — and the stream pointer are hoisted out to once per run.
+void NmcSimulator::on_instr_batch(const trace::InstrEvent* evs,
+                                  std::size_t n) {
+  if (n == 0) return;
+  State& s = *st_;
+  s.total_instructions += n;
+  const unsigned n_pes = cfg_.n_pes;
+  State::PeStream* pe = &s.pes[evs[0].thread % n_pes];
+  std::uint16_t run_thread = evs[0].thread;
+  for (std::size_t i = 0; i < n; ++i) {
+    const trace::InstrEvent& ev = evs[i];
+    ++s.op_counts[static_cast<std::size_t>(ev.op)];
+    if (ev.thread != run_thread) {
+      run_thread = ev.thread;
+      pe = &s.pes[run_thread % n_pes];
+    }
+    ++pe->instructions;
+    if (trace::is_memory(ev.op)) {
+      pe->ops.push_back({.addr = ev.addr,
+                         .gap = static_cast<std::uint32_t>(
+                             std::min<std::uint64_t>(pe->pending_gap,
+                                                     UINT32_MAX)),
+                         .is_write = ev.op == trace::OpType::kStore});
+      pe->pending_gap = 0;
+    } else {
+      pe->pending_gap += issue_cycles(ev.op);
+    }
+  }
+}
+
+// Columnar replay: the stream compiler reads only the op, thread, and
+// address columns, so it walks the SoA views directly — per-run PE
+// resolution comes free from the thread RLE, and memory addresses stream
+// out of the varint cursor in memory-op order (exactly the order this
+// loop consumes them). State transitions match on_instr_batch exactly.
+void NmcSimulator::consume_columns(const trace::TraceColumns& cols) {
+  State& s = *st_;
+  const unsigned n_pes = cfg_.n_pes;
+  const std::uint8_t* const ops = cols.ops.data();
+  trace::MemAddrCursor addr(cols.mem_addr_deltas);
+  s.total_instructions += cols.ops.size();
+  std::size_t i = 0;
+  for (const trace::ThreadRun& run : cols.thread_runs) {
+    State::PeStream& pe = s.pes[run.thread % n_pes];
+    pe.instructions += run.count;
+    for (const std::size_t end = i + run.count; i < end; ++i) {
+      const auto op = static_cast<trace::OpType>(ops[i]);
+      ++s.op_counts[static_cast<std::size_t>(op)];
+      if (trace::is_memory(op)) {
+        pe.ops.push_back({.addr = addr.next(),
+                          .gap = static_cast<std::uint32_t>(
+                              std::min<std::uint64_t>(pe.pending_gap,
+                                                      UINT32_MAX)),
+                          .is_write = op == trace::OpType::kStore});
+        pe.pending_gap = 0;
+      } else {
+        pe.pending_gap += issue_cycles(op);
+      }
+    }
+  }
+}
+
+void NmcSimulator::ingest(const trace::InstrEvent& ev) {
   State& s = *st_;
   ++s.total_instructions;
   ++s.op_counts[static_cast<std::size_t>(ev.op)];
@@ -85,6 +153,17 @@ void NmcSimulator::end_kernel() {
   st_->ended = true;
 }
 
+void NmcSimulator::share_stream_from(const NmcSimulator& donor) {
+  NAPEL_CHECK_MSG(donor.st_->ended,
+                  "share_stream_from requires a completed donor kernel");
+  NAPEL_CHECK_MSG(cfg_.n_pes == donor.cfg_.n_pes,
+                  "stream sharing requires matching n_pes (thread → PE "
+                  "mapping must be identical)");
+  st_ = donor.st_;
+  ran_ = false;
+  result_ = SimResult{};
+}
+
 const SimResult& NmcSimulator::result() {
   NAPEL_CHECK_MSG(st_->ended, "result() requires a completed kernel run");
   if (!ran_) {
@@ -95,7 +174,7 @@ const SimResult& NmcSimulator::result() {
 }
 
 void NmcSimulator::run() {
-  State& s = *st_;
+  const State& s = *st_;  // possibly shared across simulators: read-only
   const unsigned line_bytes = cfg_.cache_line_bytes;
   const unsigned line_shift =
       static_cast<unsigned>(std::countr_zero(line_bytes));
@@ -191,7 +270,7 @@ void NmcSimulator::run() {
         continue;
       }
     }
-    State::PeStream& pe = s.pes[pe_id];
+    const State::PeStream& pe = s.pes[pe_id];
     L1Cache& l1 = caches[pe_id];
     std::uint64_t now = cycle;
 

@@ -20,6 +20,7 @@
 
 #include "sim/arch.hpp"
 #include "trace/sink.hpp"
+#include "trace/trace_buffer.hpp"
 
 namespace napel {
 class FaultPlan;
@@ -71,14 +72,22 @@ struct SimResult {
   }
 };
 
-class NmcSimulator final : public trace::TraceSink {
+class NmcSimulator final : public trace::TraceSink,
+                           public trace::TraceColumnConsumer {
  public:
   explicit NmcSimulator(ArchConfig cfg, SimBudget budget = {});
   ~NmcSimulator() override;
 
   void begin_kernel(std::string_view name, unsigned n_threads) override;
   void on_instr(const trace::InstrEvent& ev) override;
+  void on_instr_batch(const trace::InstrEvent* evs, std::size_t n) override;
   void end_kernel() override;
+
+  /// Columnar replay fast path: stream compilation needs only the op,
+  /// thread, and address columns, so consuming a TraceBuffer's columns
+  /// directly skips materializing 32-byte InstrEvents altogether. Produces
+  /// bit-identical state to ingesting the same events via on_instr_batch.
+  void consume_columns(const trace::TraceColumns& cols) override;
 
   /// Runs the timing simulation (first call) and returns the result.
   /// Requires a completed kernel bracket.
@@ -92,14 +101,27 @@ class NmcSimulator final : public trace::TraceSink {
   /// invariant converts into a loud failure instead of a silent hang.
   void set_fault_plan(FaultPlan* faults) { faults_ = faults; }
 
+  /// Adopts `donor`'s compiled per-PE command streams instead of ingesting
+  /// the event stream again. Stream compilation depends on the architecture
+  /// only through the thread → PE mapping (thread mod n_pes), so two
+  /// simulators with equal n_pes compile bit-identical streams from the
+  /// same trace; sharing the donor's completed, immutable state makes the
+  /// result indistinguishable from an independent ingest while skipping an
+  /// entire pass over the events. Requires a completed donor kernel and
+  /// matching n_pes; the timing model still runs per-simulator.
+  void share_stream_from(const NmcSimulator& donor);
+
  private:
+  void ingest(const trace::InstrEvent& ev);
   void run();
 
   ArchConfig cfg_;
   SimBudget budget_;
   FaultPlan* faults_ = nullptr;
   struct State;
-  std::unique_ptr<State> st_;
+  // Owned exclusively while ingesting; may alias a donor's completed state
+  // after share_stream_from (run() never mutates a completed State).
+  std::shared_ptr<State> st_;
   SimResult result_;
   bool ran_ = false;
 };

@@ -11,12 +11,22 @@ void CountingSink::begin_kernel(std::string_view name, unsigned n_threads) {
   in_kernel_ = true;
 }
 
-void CountingSink::on_instr(const InstrEvent& ev) {
-  NAPEL_CHECK_MSG(in_kernel_,
-                  "instr event outside a begin_kernel/end_kernel bracket");
+void CountingSink::count(const InstrEvent& ev) {
   ++total_;
   ++by_op_[static_cast<std::size_t>(ev.op)];
   if (ev.thread < by_thread_.size()) ++by_thread_[ev.thread];
+}
+
+void CountingSink::on_instr(const InstrEvent& ev) {
+  NAPEL_CHECK_MSG(in_kernel_,
+                  "instr event outside a begin_kernel/end_kernel bracket");
+  count(ev);
+}
+
+void CountingSink::on_instr_batch(const InstrEvent* evs, std::size_t n) {
+  NAPEL_CHECK_MSG(in_kernel_,
+                  "instr event outside a begin_kernel/end_kernel bracket");
+  for (std::size_t i = 0; i < n; ++i) count(evs[i]);
 }
 
 std::uint64_t CountingSink::count_for_thread(unsigned t) const {
@@ -36,6 +46,12 @@ void VectorSink::on_instr(const InstrEvent& ev) {
   NAPEL_CHECK_MSG(in_kernel_,
                   "instr event outside a begin_kernel/end_kernel bracket");
   events_.push_back(ev);
+}
+
+void VectorSink::on_instr_batch(const InstrEvent* evs, std::size_t n) {
+  NAPEL_CHECK_MSG(in_kernel_,
+                  "instr event outside a begin_kernel/end_kernel bracket");
+  events_.insert(events_.end(), evs, evs + n);
 }
 
 void VectorSink::end_kernel() {

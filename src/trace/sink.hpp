@@ -3,6 +3,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -16,6 +17,16 @@ namespace napel::trace {
 /// begin_kernel ... instr* ... end_kernel bracket; instr events outside a
 /// bracket are a contract violation (the utility sinks below enforce it,
 /// and verify::VerifyingSink reports it as a diagnostic).
+///
+/// Delivery granularity: producers (Tracer, TraceBuffer::replay,
+/// replay_trace) hand events over in batches via on_instr_batch, so the
+/// per-instruction virtual-call cost is paid once per batch, not once per
+/// event. The two entry points are equivalent — a batch of n events means
+/// exactly the same stream as n consecutive on_instr calls — and events are
+/// always delivered in emission order. Producers flush pending batches
+/// before on_alloc and end_kernel, so those remain precise sequence points;
+/// between them a sink may observe events slightly later than they were
+/// emitted.
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
@@ -32,6 +43,13 @@ class TraceSink {
     (void)n_threads;
   }
   virtual void on_instr(const InstrEvent& ev) = 0;
+  /// Batched delivery of `n` consecutive events. Semantically identical to
+  /// calling on_instr for each event in order; hot sinks override it to
+  /// amortize the virtual dispatch. The default falls back per event, so a
+  /// sink only implementing on_instr stays correct.
+  virtual void on_instr_batch(const InstrEvent* evs, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) on_instr(evs[i]);
+  }
   virtual void end_kernel() {}
 };
 
@@ -40,6 +58,7 @@ class CountingSink final : public TraceSink {
  public:
   void begin_kernel(std::string_view name, unsigned n_threads) override;
   void on_instr(const InstrEvent& ev) override;
+  void on_instr_batch(const InstrEvent* evs, std::size_t n) override;
   void end_kernel() override { in_kernel_ = false; }
 
   std::uint64_t total() const { return total_; }
@@ -54,6 +73,8 @@ class CountingSink final : public TraceSink {
   const std::string& kernel_name() const { return kernel_name_; }
 
  private:
+  void count(const InstrEvent& ev);
+
   std::array<std::uint64_t, kNumOpTypes> by_op_{};
   std::vector<std::uint64_t> by_thread_;
   std::uint64_t total_ = 0;
@@ -68,6 +89,7 @@ class VectorSink final : public TraceSink {
  public:
   void begin_kernel(std::string_view name, unsigned n_threads) override;
   void on_instr(const InstrEvent& ev) override;
+  void on_instr_batch(const InstrEvent* evs, std::size_t n) override;
   void end_kernel() override;
 
   const std::vector<InstrEvent>& events() const { return events_; }

@@ -1,0 +1,361 @@
+#include "trace/trace_buffer.hpp"
+
+#include <array>
+
+#include "common/check.hpp"
+
+namespace napel::trace {
+
+namespace {
+
+// Zigzag maps small signed deltas to small unsigned varints: 0,-1,1,-2,2 ->
+// 0,1,2,3,4, so both forward and backward strides encode compactly.
+std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t zigzag_decode(std::uint64_t u) {
+  return static_cast<std::int64_t>(u >> 1) ^
+         -static_cast<std::int64_t>(u & 1);
+}
+
+void varint_append(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Raw-buffer variant for the batched capture path: no per-byte capacity
+/// checks. Returns the encoded length (<= 10 bytes).
+std::size_t varint_write(std::uint8_t* out, std::uint64_t v) {
+  std::size_t n = 0;
+  while (v >= 0x80) {
+    out[n++] = static_cast<std::uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  out[n++] = static_cast<std::uint8_t>(v);
+  return n;
+}
+
+std::uint64_t varint_read(const std::uint8_t* bytes, std::size_t& pos) {
+  // Single-byte fast path: unit-stride sweeps produce one-byte deltas for
+  // almost every access, so this branch is nearly always taken.
+  const std::uint8_t b0 = bytes[pos];
+  if ((b0 & 0x80) == 0) {
+    ++pos;
+    return b0;
+  }
+  std::uint64_t v = 0;
+  unsigned shift = 0;
+  for (;;) {
+    const std::uint8_t b = bytes[pos++];
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+}  // namespace
+
+void TraceBuffer::on_alloc(std::uint64_t base, std::uint64_t bytes) {
+  NAPEL_CHECK_MSG(!ended_, "allocation after the recorded kernel ended");
+  allocs_.push_back(Alloc{n_events_, base, bytes});
+}
+
+void TraceBuffer::begin_kernel(std::string_view name, unsigned n_threads) {
+  NAPEL_CHECK_MSG(!in_kernel_ && !ended_,
+                  "TraceBuffer records exactly one kernel execution");
+  kernel_name_ = std::string(name);
+  n_threads_ = n_threads;
+  in_kernel_ = true;
+}
+
+void TraceBuffer::append(const InstrEvent& ev) {
+  ops_.push_back(static_cast<std::uint8_t>(ev.op));
+  pcs_.push_back(ev.pc);
+  dsts_.push_back(ev.dst);
+  src1s_.push_back(ev.src1);
+  src2s_.push_back(ev.src2);
+  if (is_memory(ev.op)) {
+    mem_sizes_.push_back(ev.size);
+    const std::int64_t delta = static_cast<std::int64_t>(ev.addr) -
+                               static_cast<std::int64_t>(last_mem_addr_);
+    varint_append(mem_addr_deltas_, zigzag_encode(delta));
+    last_mem_addr_ = ev.addr;
+  }
+  if (!thread_runs_.empty() && thread_runs_.back().thread == ev.thread) {
+    ++thread_runs_.back().count;
+  } else {
+    thread_runs_.push_back(ThreadRun{1, ev.thread});
+  }
+  ++n_events_;
+}
+
+void TraceBuffer::on_instr(const InstrEvent& ev) {
+  NAPEL_CHECK_MSG(in_kernel_, "instr event outside the kernel bracket");
+  append(ev);
+}
+
+void TraceBuffer::on_instr_batch(const InstrEvent* evs, std::size_t n) {
+  NAPEL_CHECK_MSG(in_kernel_, "instr event outside the kernel bracket");
+  if (n == 0) return;
+  // Column-wise bulk append: one capacity check per column per batch and
+  // tight per-column copy loops, instead of five push_backs per event.
+  const std::size_t base = ops_.size();
+  ops_.resize(base + n);
+  pcs_.resize(base + n);
+  dsts_.resize(base + n);
+  src1s_.resize(base + n);
+  src2s_.resize(base + n);
+  for (std::size_t i = 0; i < n; ++i)
+    ops_[base + i] = static_cast<std::uint8_t>(evs[i].op);
+  for (std::size_t i = 0; i < n; ++i) pcs_[base + i] = evs[i].pc;
+  for (std::size_t i = 0; i < n; ++i) dsts_[base + i] = evs[i].dst;
+  for (std::size_t i = 0; i < n; ++i) src1s_[base + i] = evs[i].src1;
+  for (std::size_t i = 0; i < n; ++i) src2s_[base + i] = evs[i].src2;
+
+  // Run-length state hoisted out of the loop: the open run is popped into
+  // locals and pushed back closed at the end, so the per-event cost is a
+  // register compare instead of a load/store through the vector's tail.
+  std::uint16_t run_thread = 0;
+  std::uint64_t run_count = 0;
+  if (!thread_runs_.empty()) {
+    run_thread = thread_runs_.back().thread;
+    run_count = thread_runs_.back().count;
+    thread_runs_.pop_back();
+  } else {
+    run_thread = evs[0].thread;
+  }
+
+  // Memory columns go through fixed-size scratch first — one bulk insert
+  // per chunk instead of per-event (and per-varint-byte) capacity checks.
+  constexpr std::size_t kChunk = 512;
+  for (std::size_t start = 0; start < n; start += kChunk) {
+    const std::size_t end = std::min(n, start + kChunk);
+    std::uint8_t sizes[kChunk];
+    std::uint8_t deltas[kChunk * 10];  // worst-case 10B varint per mem op
+    std::size_t n_sizes = 0;
+    std::size_t n_deltas = 0;
+    for (std::size_t i = start; i < end; ++i) {
+      const InstrEvent& ev = evs[i];
+      if (is_memory(ev.op)) {
+        sizes[n_sizes++] = ev.size;
+        const std::int64_t delta = static_cast<std::int64_t>(ev.addr) -
+                                   static_cast<std::int64_t>(last_mem_addr_);
+        n_deltas += varint_write(deltas + n_deltas, zigzag_encode(delta));
+        last_mem_addr_ = ev.addr;
+      }
+      if (ev.thread == run_thread) {
+        ++run_count;
+      } else {
+        if (run_count > 0) thread_runs_.push_back(ThreadRun{run_count, run_thread});
+        run_thread = ev.thread;
+        run_count = 1;
+      }
+    }
+    mem_sizes_.insert(mem_sizes_.end(), sizes, sizes + n_sizes);
+    mem_addr_deltas_.insert(mem_addr_deltas_.end(), deltas,
+                            deltas + n_deltas);
+  }
+  thread_runs_.push_back(ThreadRun{run_count, run_thread});
+  n_events_ += n;
+}
+
+void TraceBuffer::end_kernel() {
+  NAPEL_CHECK_MSG(in_kernel_, "end_kernel without begin_kernel");
+  in_kernel_ = false;
+  ended_ = true;
+  ops_.shrink_to_fit();
+  pcs_.shrink_to_fit();
+  dsts_.shrink_to_fit();
+  src1s_.shrink_to_fit();
+  src2s_.shrink_to_fit();
+  mem_sizes_.shrink_to_fit();
+  mem_addr_deltas_.shrink_to_fit();
+  thread_runs_.shrink_to_fit();
+  allocs_.shrink_to_fit();
+}
+
+std::size_t TraceBuffer::memory_bytes() const {
+  return ops_.capacity() * sizeof(std::uint8_t) +
+         pcs_.capacity() * sizeof(std::uint32_t) +
+         dsts_.capacity() * sizeof(std::uint32_t) +
+         src1s_.capacity() * sizeof(std::uint32_t) +
+         src2s_.capacity() * sizeof(std::uint32_t) +
+         mem_sizes_.capacity() * sizeof(std::uint8_t) +
+         mem_addr_deltas_.capacity() * sizeof(std::uint8_t) +
+         thread_runs_.capacity() * sizeof(ThreadRun) +
+         allocs_.capacity() * sizeof(Alloc) + kernel_name_.capacity();
+}
+
+template <typename Emit>
+void TraceBuffer::decode(Emit&& emit) const {
+  std::array<InstrEvent, kReplayBatch> batch;
+  std::size_t delta_pos = 0;      // byte cursor in mem_addr_deltas_
+  std::size_t mem_i = 0;          // index of the next memory op
+  std::uint64_t mem_addr = 0;     // running decoded address
+  std::size_t run_i = 0;          // current thread run
+  std::uint64_t run_left = thread_runs_.empty() ? 0 : thread_runs_[0].count;
+
+  // Events are decoded directly into their batch slot (every field assigned
+  // explicitly): a stack temporary copied in afterwards stalls store-to-load
+  // forwarding on the overlapping reads the 32-byte copy needs. Column
+  // pointers are hoisted into locals so the emit callback (an opaque sink
+  // call) doesn't force reloading them every event.
+  const std::uint8_t* const ops = ops_.data();
+  const std::uint32_t* const pcs = pcs_.data();
+  const Reg* const dsts = dsts_.data();
+  const Reg* const src1s = src1s_.data();
+  const Reg* const src2s = src2s_.data();
+  const std::uint8_t* const mem_sizes = mem_sizes_.data();
+  const std::uint8_t* const deltas = mem_addr_deltas_.data();
+  const ThreadRun* const runs = thread_runs_.data();
+
+  // The batch is filled by three fissioned passes — plain columns, thread
+  // runs, memory addresses — so each loop stays branch-light: the column
+  // pass is unconditional, the thread pass writes whole runs without a
+  // per-event run-boundary check, and only the memory pass keeps a
+  // data-dependent branch.
+  std::uint64_t i = 0;
+  while (i < n_events_) {
+    const std::size_t m = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kReplayBatch, n_events_ - i));
+    for (std::size_t k = 0; k < m; ++k) {
+      InstrEvent& ev = batch[k];
+      ev.op = static_cast<OpType>(ops[i + k]);
+      ev.pc = pcs[i + k];
+      ev.dst = dsts[i + k];
+      ev.src1 = src1s[i + k];
+      ev.src2 = src2s[i + k];
+    }
+    for (std::size_t k = 0; k < m;) {
+      while (run_left == 0) run_left = runs[++run_i].count;
+      const std::size_t take = static_cast<std::size_t>(
+          std::min<std::uint64_t>(run_left, m - k));
+      const std::uint16_t th = runs[run_i].thread;
+      for (const std::size_t end = k + take; k < end; ++k)
+        batch[k].thread = th;
+      run_left -= take;
+    }
+    for (std::size_t k = 0; k < m; ++k) {
+      InstrEvent& ev = batch[k];
+      if (is_memory(ev.op)) {
+        const std::int64_t delta =
+            zigzag_decode(varint_read(deltas, delta_pos));
+        mem_addr = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(mem_addr) + delta);
+        ev.addr = mem_addr;
+        ev.size = mem_sizes[mem_i++];
+      } else {
+        ev.addr = 0;
+        ev.size = 0;
+      }
+    }
+    emit(batch.data(), m);
+    i += m;
+  }
+}
+
+void TraceBuffer::replay(TraceSink& sink) const {
+  TraceSink* one[] = {&sink};
+  replay(std::span<TraceSink* const>(one, 1));
+}
+
+void TraceBuffer::replay(std::span<TraceSink* const> sinks) const {
+  NAPEL_CHECK_MSG(ended_, "replay of an incomplete trace");
+
+  // Column-aware sinks skip event materialization entirely: they get the
+  // full bracket and every allocation (mid-kernel ones up front, per the
+  // TraceColumnConsumer contract) and then consume the SoA columns in one
+  // call. The remaining sinks share one batched decode pass below.
+  std::vector<TraceSink*> batched;
+  batched.reserve(sinks.size());
+  for (TraceSink* s : sinks) {
+    auto* col = dynamic_cast<TraceColumnConsumer*>(s);
+    if (col == nullptr) {
+      batched.push_back(s);
+      continue;
+    }
+    std::size_t a = 0;
+    while (a < allocs_.size() && allocs_[a].event_index == 0) {
+      s->on_alloc(allocs_[a].base, allocs_[a].bytes);
+      ++a;
+    }
+    s->begin_kernel(kernel_name_, n_threads_);
+    for (; a < allocs_.size(); ++a)
+      s->on_alloc(allocs_[a].base, allocs_[a].bytes);
+    col->consume_columns(columns());
+    s->end_kernel();
+  }
+  if (batched.empty()) return;
+  sinks = std::span<TraceSink* const>(batched.data(), batched.size());
+
+  std::size_t alloc_i = 0;
+  // Allocations recorded before the first event (typically all of them:
+  // arrays are created up front) precede the bracket, as they did live.
+  while (alloc_i < allocs_.size() && allocs_[alloc_i].event_index == 0) {
+    for (TraceSink* s : sinks)
+      s->on_alloc(allocs_[alloc_i].base, allocs_[alloc_i].bytes);
+    ++alloc_i;
+  }
+  for (TraceSink* s : sinks) s->begin_kernel(kernel_name_, n_threads_);
+  std::uint64_t emitted = 0;
+  decode([&](const InstrEvent* evs, std::size_t n) {
+    // Mid-kernel allocations split batches so every sink sees the
+    // allocation at its exact original stream position.
+    std::size_t off = 0;
+    while (alloc_i < allocs_.size() &&
+           allocs_[alloc_i].event_index < emitted + n) {
+      const std::size_t upto =
+          static_cast<std::size_t>(allocs_[alloc_i].event_index - emitted);
+      if (upto > off)
+        for (TraceSink* s : sinks) s->on_instr_batch(evs + off, upto - off);
+      for (TraceSink* s : sinks)
+        s->on_alloc(allocs_[alloc_i].base, allocs_[alloc_i].bytes);
+      off = upto;
+      ++alloc_i;
+    }
+    if (n > off)
+      for (TraceSink* s : sinks) s->on_instr_batch(evs + off, n - off);
+    emitted += n;
+  });
+  while (alloc_i < allocs_.size()) {
+    NAPEL_CHECK(allocs_[alloc_i].event_index == n_events_);
+    for (TraceSink* s : sinks)
+      s->on_alloc(allocs_[alloc_i].base, allocs_[alloc_i].bytes);
+    ++alloc_i;
+  }
+  for (TraceSink* s : sinks) s->end_kernel();
+}
+
+void TraceBuffer::replay_per_event(TraceSink& sink) const {
+  NAPEL_CHECK_MSG(ended_, "replay of an incomplete trace");
+  std::size_t alloc_i = 0;
+  std::uint64_t emitted = 0;
+  while (alloc_i < allocs_.size() && allocs_[alloc_i].event_index == 0) {
+    sink.on_alloc(allocs_[alloc_i].base, allocs_[alloc_i].bytes);
+    ++alloc_i;
+  }
+  sink.begin_kernel(kernel_name_, n_threads_);
+  decode([&](const InstrEvent* evs, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      while (alloc_i < allocs_.size() &&
+             allocs_[alloc_i].event_index == emitted) {
+        sink.on_alloc(allocs_[alloc_i].base, allocs_[alloc_i].bytes);
+        ++alloc_i;
+      }
+      sink.on_instr(evs[i]);
+      ++emitted;
+    }
+  });
+  while (alloc_i < allocs_.size()) {
+    sink.on_alloc(allocs_[alloc_i].base, allocs_[alloc_i].bytes);
+    ++alloc_i;
+  }
+  sink.end_kernel();
+}
+
+}  // namespace napel::trace

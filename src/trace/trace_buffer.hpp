@@ -1,0 +1,193 @@
+// TraceBuffer: capture-once / replay-many recording of one kernel execution.
+//
+// Trace-driven simulation pays for kernel execution once and replays the
+// recorded stream into any number of consumers (profiler, one simulator per
+// architecture configuration). The buffer is a TraceSink, so capturing is
+// just attaching it to a Tracer; replay() reconstructs the exact event
+// stream — bit-identical InstrEvents, allocations at their original stream
+// positions, one begin/end bracket — into any other TraceSink, using
+// batched dispatch (TraceSink::on_instr_batch) on the hot path.
+//
+// Storage is structure-of-arrays rather than a vector<InstrEvent>:
+//   * per-event columns: op (u8), pc (u32), dst/src1/src2 (u32);
+//   * thread ids are run-length encoded (SPMD kernels switch threads per
+//     block, not per instruction);
+//   * memory operands live in side arrays indexed by memory-op order: the
+//     access size (u8) and the address as a zigzag-varint delta from the
+//     previous memory address (loop strides are small, so most deltas fit
+//     in 1-2 bytes);
+//   * kernel/alloc metadata (name, n_threads, allocation ranges) is
+//     interned once in the header, not repeated per event.
+// This shrinks a 32-byte InstrEvent to ~18-19 bytes for typical kernels
+// while keeping decode a branch-light linear scan.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/sink.hpp"
+
+namespace napel::trace {
+
+/// One run of consecutive events sharing a thread id (the RLE unit of the
+/// thread column).
+struct ThreadRun {
+  std::uint64_t count;  ///< consecutive events with this thread id
+  std::uint16_t thread;
+};
+
+/// Streaming decoder for the zigzag-varint memory-address column: next()
+/// yields the absolute address of each successive memory op. Single-byte
+/// deltas (unit-stride sweeps) take the early-return fast path.
+class MemAddrCursor {
+ public:
+  explicit MemAddrCursor(std::span<const std::uint8_t> bytes)
+      : p_(bytes.data()) {}
+
+  std::uint64_t next() {
+    std::uint64_t u;
+    const std::uint8_t b0 = *p_;
+    if ((b0 & 0x80) == 0) {
+      u = b0;
+      ++p_;
+    } else {
+      u = 0;
+      unsigned shift = 0;
+      for (;;) {
+        const std::uint8_t b = *p_++;
+        u |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+        if ((b & 0x80) == 0) break;
+        shift += 7;
+      }
+    }
+    const std::int64_t delta =
+        static_cast<std::int64_t>(u >> 1) ^ -static_cast<std::int64_t>(u & 1);
+    addr_ = static_cast<std::uint64_t>(static_cast<std::int64_t>(addr_) +
+                                       delta);
+    return addr_;
+  }
+
+ private:
+  const std::uint8_t* p_;
+  std::uint64_t addr_ = 0;
+};
+
+/// Read-only view of a TraceBuffer's encoded columns, for sinks that can
+/// consume the stream without materialized InstrEvents.
+struct TraceColumns {
+  std::span<const std::uint8_t> ops;   ///< OpType per event
+  std::span<const std::uint32_t> pcs;
+  std::span<const std::uint32_t> dsts;
+  std::span<const std::uint32_t> src1s;
+  std::span<const std::uint32_t> src2s;
+  std::span<const std::uint8_t> mem_sizes;        ///< per memory op
+  std::span<const std::uint8_t> mem_addr_deltas;  ///< decode via MemAddrCursor
+  std::span<const ThreadRun> thread_runs;
+};
+
+/// Opt-in fast path for replay: a TraceSink that also implements this
+/// interface receives the raw SoA columns instead of materialized event
+/// batches — no 32-byte InstrEvent is ever built, and the consumer reads
+/// only the columns it needs (a simulator compiles streams from op, thread,
+/// and address alone). Consuming the columns must be observably equivalent
+/// to ingesting the same events through on_instr_batch. Column consumers
+/// must not correlate on_alloc calls with event positions: replay delivers
+/// mid-kernel allocations up front on this path.
+class TraceColumnConsumer {
+ public:
+  virtual ~TraceColumnConsumer() = default;
+  virtual void consume_columns(const TraceColumns& cols) = 0;
+};
+
+class TraceBuffer final : public TraceSink {
+ public:
+  /// Events per on_instr_batch call during replay.
+  static constexpr std::size_t kReplayBatch = 512;
+
+  // --- capture (TraceSink interface; records exactly one kernel) ---
+
+  void on_alloc(std::uint64_t base, std::uint64_t bytes) override;
+  void begin_kernel(std::string_view name, unsigned n_threads) override;
+  void on_instr(const InstrEvent& ev) override;
+  void on_instr_batch(const InstrEvent* evs, std::size_t n) override;
+  void end_kernel() override;
+
+  // --- recorded stream ---
+
+  /// True once one full begin/end bracket has been captured.
+  bool complete() const { return ended_; }
+  std::uint64_t event_count() const { return n_events_; }
+  const std::string& kernel_name() const { return kernel_name_; }
+  unsigned n_threads() const { return n_threads_; }
+  /// Heap bytes held by the encoded stream (cache accounting).
+  std::size_t memory_bytes() const;
+
+  /// Replays the recorded execution into `sink`: pre-kernel allocations,
+  /// the kernel bracket, every event (batched, bit-identical to capture),
+  /// mid-kernel allocations at their original stream positions. Requires a
+  /// complete() buffer. The buffer is immutable during replay, so any
+  /// number of threads may replay the same buffer concurrently.
+  void replay(TraceSink& sink) const;
+
+  /// Replays into several sinks in one pass: the stream is decoded once and
+  /// every batch/alloc/bracket call fans out to each sink in order, so each
+  /// sink observes exactly the stream the single-sink overload delivers.
+  /// Preferred when the sinks cannot usefully run on separate threads
+  /// (serial collection) — it pays the decode cost once instead of once
+  /// per sink.
+  void replay(std::span<TraceSink* const> sinks) const;
+
+  /// Replay via one on_instr virtual call per event instead of batches.
+  /// Reference path for equivalence tests and dispatch-cost benchmarks.
+  void replay_per_event(TraceSink& sink) const;
+
+  /// View of the encoded columns (requires a complete() buffer).
+  TraceColumns columns() const {
+    return TraceColumns{.ops = ops_,
+                        .pcs = pcs_,
+                        .dsts = dsts_,
+                        .src1s = src1s_,
+                        .src2s = src2s_,
+                        .mem_sizes = mem_sizes_,
+                        .mem_addr_deltas = mem_addr_deltas_,
+                        .thread_runs = thread_runs_};
+  }
+
+ private:
+  struct Alloc {
+    std::uint64_t event_index;  ///< events emitted before this allocation
+    std::uint64_t base;
+    std::uint64_t bytes;
+  };
+
+  void append(const InstrEvent& ev);
+  template <typename Emit>
+  void decode(Emit&& emit) const;  // emit(const InstrEvent*, size_t)
+
+  // SoA columns, one entry per event.
+  std::vector<std::uint8_t> ops_;
+  std::vector<std::uint32_t> pcs_;
+  std::vector<std::uint32_t> dsts_;
+  std::vector<std::uint32_t> src1s_;
+  std::vector<std::uint32_t> src2s_;
+  // Memory operands, one entry per memory op (in memory-op order).
+  std::vector<std::uint8_t> mem_sizes_;
+  std::vector<std::uint8_t> mem_addr_deltas_;  ///< zigzag varint stream
+  // Run-length-encoded thread ids.
+  std::vector<ThreadRun> thread_runs_;
+  // Interned metadata.
+  std::vector<Alloc> allocs_;
+  std::string kernel_name_;
+  unsigned n_threads_ = 1;
+
+  std::uint64_t n_events_ = 0;
+  std::uint64_t last_mem_addr_ = 0;  ///< capture-side delta base
+  bool in_kernel_ = false;
+  bool ended_ = false;
+};
+
+}  // namespace napel::trace

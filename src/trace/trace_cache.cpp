@@ -1,0 +1,79 @@
+#include "trace/trace_cache.hpp"
+
+#include <functional>
+#include <string_view>
+
+#include "common/check.hpp"
+
+namespace napel::trace {
+
+std::shared_ptr<const TraceBuffer> TraceCache::get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->buf;
+}
+
+void TraceCache::put(const std::string& key,
+                     std::shared_ptr<const TraceBuffer> buf) {
+  NAPEL_CHECK(buf != nullptr);
+  NAPEL_CHECK_MSG(buf->complete(), "caching an incomplete trace");
+  const std::size_t bytes = buf->memory_bytes();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index_.count(key) > 0) return;  // first capture wins
+  if (bytes > max_bytes_) return;     // never admit an oversized trace
+  evict_to_fit_locked(bytes);
+  lru_.push_front(Entry{key, std::move(buf), bytes});
+  index_.emplace(key, lru_.begin());
+  resident_bytes_ += bytes;
+}
+
+bool TraceCache::note_miss(const std::string& key) {
+  std::uint64_t h = std::hash<std::string_view>{}(key);
+  if (h == ~0ULL) h = 0;  // FlatSet reserves the all-ones key
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ghost_.size() >= kMaxGhostEntries) ghost_.clear();
+  return !ghost_.insert(h);
+}
+
+void TraceCache::evict_to_fit_locked(std::size_t incoming_bytes) {
+  while (!lru_.empty() && resident_bytes_ + incoming_bytes > max_bytes_) {
+    const Entry& victim = lru_.back();
+    resident_bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+std::uint64_t TraceCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t TraceCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::uint64_t TraceCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+std::size_t TraceCache::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_bytes_;
+}
+
+std::size_t TraceCache::resident_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace napel::trace

@@ -1,0 +1,87 @@
+// TraceCache: bounded LRU cache of captured kernel traces.
+//
+// Collection runs the same (app, params, data_seed) kernel for several
+// architecture configurations; the cache lets later tasks replay the trace
+// captured by the first one instead of re-executing the kernel. Entries are
+// immutable shared_ptr<const TraceBuffer>, so a hit can be replayed while
+// the cache concurrently evicts it. Hits and misses only affect timing —
+// a replayed trace is bit-identical to live execution — so eviction order
+// never influences results.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/flat_map.hpp"
+#include "trace/trace_buffer.hpp"
+
+namespace napel::trace {
+
+class TraceCache {
+ public:
+  /// `max_bytes` bounds the summed TraceBuffer::memory_bytes() of resident
+  /// entries; least-recently-used entries are evicted past the bound. A
+  /// single trace larger than the bound is never admitted.
+  explicit TraceCache(std::size_t max_bytes) : max_bytes_(max_bytes) {}
+
+  TraceCache(const TraceCache&) = delete;
+  TraceCache& operator=(const TraceCache&) = delete;
+
+  /// Returns the cached trace for `key` (marking it most recently used), or
+  /// nullptr on a miss.
+  std::shared_ptr<const TraceBuffer> get(const std::string& key);
+
+  /// Inserts a complete trace under `key`, evicting LRU entries to respect
+  /// the byte bound. Re-insertion under an existing key keeps the resident
+  /// entry (first capture wins; both are bit-identical by construction).
+  void put(const std::string& key, std::shared_ptr<const TraceBuffer> buf);
+
+  /// Capture admission control: records that `key` was requested and
+  /// missed, and returns true when it had already missed before (ghost
+  /// hit). Capturing a trace costs real time on the execution path, and a
+  /// cold DoE collect requests every key exactly once — so first-touch
+  /// misses are not worth capturing. A trace is admitted only once its key
+  /// provably recurs (bounded-retry re-attempts, repeated collections in
+  /// one process). Ghost entries are key hashes: a collision merely
+  /// captures one trace a round early, never changes results.
+  bool note_miss(const std::string& key);
+
+  std::size_t max_bytes() const { return max_bytes_; }
+
+  // --- statistics (monotonic over the cache lifetime) ---
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+  std::size_t resident_bytes() const;
+  std::size_t resident_entries() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const TraceBuffer> buf;
+    std::size_t bytes;
+  };
+
+  void evict_to_fit_locked(std::size_t incoming_bytes);
+
+  mutable std::mutex mu_;
+  std::size_t max_bytes_;
+  std::size_t resident_bytes_ = 0;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+
+  // Ghost keys for note_miss (hashes of keys that have missed). Cleared
+  // wholesale past the bound; losing ghosts only delays an admission.
+  static constexpr std::size_t kMaxGhostEntries = 1u << 16;
+  FlatSet ghost_;
+};
+
+}  // namespace napel::trace

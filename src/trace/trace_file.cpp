@@ -123,8 +123,7 @@ TraceInfo replay_trace(const std::string& path,
     is.read(reinterpret_cast<char*>(buffer.data()),
             static_cast<std::streamsize>(chunk * sizeof(InstrEvent)));
     NAPEL_CHECK_MSG(is.good(), "trace payload shorter than header count");
-    for (std::size_t i = 0; i < chunk; ++i)
-      for (TraceSink* s : sinks) s->on_instr(buffer[i]);
+    for (TraceSink* s : sinks) s->on_instr_batch(buffer.data(), chunk);
     remaining -= chunk;
   }
   for (TraceSink* s : sinks) s->end_kernel();

@@ -11,8 +11,16 @@
 //    which makes instruction-reuse-distance statistics meaningful (tight
 //    loops re-execute the same pseudo-PCs every iteration),
 //  * SPMD thread tagging for the `threads` DoE parameter.
+//
+// Dispatch is batched: emitted events accumulate in a small internal buffer
+// and reach the attached sinks through one on_instr_batch call per
+// kBatchSize events, so the hot emission path pays one virtual call per
+// batch instead of one per (event x sink). The buffer is flushed before
+// on_alloc fan-out and before end_kernel, preserving the stream order every
+// sink observes.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -92,6 +100,9 @@ class Tracer {
     Tracer& tracer_;
   };
 
+  /// Events per batched dispatch to the attached sinks.
+  static constexpr std::size_t kBatchSize = 256;
+
  private:
   struct Scope {
     std::uint32_t id = 0;          // static identity of this nesting position
@@ -102,13 +113,23 @@ class Tracer {
 
   std::uint32_t next_pc();
   Reg next_reg() { return reg_counter_++; }
-  void dispatch(const InstrEvent& ev);
+  /// The batch slot the next event is built into (in place; emit_* assigns
+  /// every field, so no stack temporary or copy is involved).
+  InstrEvent& next_slot() { return batch_[batch_n_]; }
+  /// Publishes the event built in next_slot().
+  void commit() {
+    ++instr_count_;
+    if (++batch_n_ == kBatchSize) flush_batch();
+  }
+  void flush_batch();
 
   void push_scope();
   void pop_scope();
   void scope_iteration();
 
   std::vector<TraceSink*> sinks_;
+  std::array<InstrEvent, kBatchSize> batch_;
+  std::size_t batch_n_ = 0;
   std::vector<Scope> scope_stack_;
   // (parent scope id, lexical child index) -> stable scope id
   std::unordered_map<std::uint64_t, std::uint32_t> scope_ids_;

@@ -131,12 +131,32 @@ void VerifyingSink::check_memory_event(const InstrEvent& ev) {
 }
 
 void VerifyingSink::on_instr(const InstrEvent& ev) {
+  if (verify_instr(ev) && inner_ != nullptr) inner_->on_instr(ev);
+}
+
+void VerifyingSink::on_instr_batch(const InstrEvent* evs, std::size_t n) {
+  // Verify every event; forward the contiguous runs of forwardable events
+  // as sub-batches so the inner sink sees the per-event-equivalent stream.
+  std::size_t span_begin = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!verify_instr(evs[i])) {
+      if (inner_ != nullptr && i > span_begin)
+        inner_->on_instr_batch(evs + span_begin, i - span_begin);
+      span_begin = i + 1;
+    }
+  }
+  if (inner_ != nullptr && n > span_begin)
+    inner_->on_instr_batch(evs + span_begin, n - span_begin);
+}
+
+bool VerifyingSink::verify_instr(const InstrEvent& ev) {
   ++events_seen_;
   if (!in_kernel_) {
     diag(Severity::kError, "bracket",
          "instr event outside a begin_kernel/end_kernel bracket",
          /*at_instr=*/false);
-    return;  // the utility sinks treat this as a hard error; do not forward
+    // The utility sinks treat this as a hard error; do not forward.
+    return false;
   }
 
   if (ev.op >= OpType::kCount) {
@@ -144,7 +164,7 @@ void VerifyingSink::on_instr(const InstrEvent& ev) {
          "invalid opcode " +
              std::to_string(static_cast<unsigned>(ev.op)));
     ++instr_index_;
-    return;  // inner sinks index per-opcode tables; do not forward
+    return false;  // inner sinks index per-opcode tables; do not forward
   }
 
   if (ev.thread >= n_threads_ && n_threads_ > 0)
@@ -197,7 +217,7 @@ void VerifyingSink::on_instr(const InstrEvent& ev) {
   check_ssa(ev, defines);
 
   ++instr_index_;
-  if (inner_ != nullptr) inner_->on_instr(ev);
+  return true;
 }
 
 void VerifyingSink::end_kernel() {

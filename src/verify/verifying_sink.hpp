@@ -50,6 +50,12 @@ class VerifyingSink final : public trace::TraceSink {
   void on_alloc(std::uint64_t base, std::uint64_t bytes) override;
   void begin_kernel(std::string_view name, unsigned n_threads) override;
   void on_instr(const trace::InstrEvent& ev) override;
+  /// Batched verification. Events that must not reach the wrapped sink
+  /// (out-of-bracket, invalid opcode) split the batch: the contiguous spans
+  /// of forwardable events around them are passed through as sub-batches,
+  /// so the inner sink observes exactly the same stream as under per-event
+  /// delivery.
+  void on_instr_batch(const trace::InstrEvent* evs, std::size_t n) override;
   void end_kernel() override;
 
   std::uint64_t events_seen() const { return events_seen_; }
@@ -65,6 +71,8 @@ class VerifyingSink final : public trace::TraceSink {
   bool in_footprint(std::uint64_t addr, std::uint64_t size) const;
   void check_memory_event(const trace::InstrEvent& ev);
   void check_ssa(const trace::InstrEvent& ev, bool defines);
+  /// Runs every rule on one event; returns whether it may be forwarded.
+  bool verify_instr(const trace::InstrEvent& ev);
 
   DiagnosticEngine* diags_;
   trace::TraceSink* inner_;

@@ -1,0 +1,174 @@
+// Trace-cache behaviour and the capture/replay determinism contract: rows
+// produced by replaying cached traces are byte-equal to rows from direct
+// execution, at any thread count, and the LRU byte bound actually evicts.
+#include "trace/trace_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "napel/pipeline.hpp"
+#include "trace/tracer.hpp"
+#include "workloads/registry.hpp"
+
+namespace napel::core {
+namespace {
+
+CollectOptions tiny_options() {
+  CollectOptions o;
+  o.scale = workloads::Scale::kTiny;
+  o.archs_per_config = 2;
+  o.arch_pool_size = 4;
+  return o;
+}
+
+void expect_rows_equal(const std::vector<TrainingRow>& a,
+                       const std::vector<TrainingRow>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("row " + std::to_string(i));
+    EXPECT_EQ(a[i].app, b[i].app);
+    EXPECT_EQ(a[i].params, b[i].params);
+    EXPECT_EQ(a[i].arch, b[i].arch);
+    EXPECT_EQ(a[i].instructions, b[i].instructions);
+    // Exact bit equality for every double-valued label and feature.
+    EXPECT_EQ(std::memcmp(&a[i].ipc, &b[i].ipc, sizeof(double)), 0);
+    EXPECT_EQ(std::memcmp(&a[i].energy_pj_per_instr, &b[i].energy_pj_per_instr,
+                          sizeof(double)),
+              0);
+    EXPECT_EQ(std::memcmp(&a[i].power_watts, &b[i].power_watts,
+                          sizeof(double)),
+              0);
+    ASSERT_EQ(a[i].features.size(), b[i].features.size());
+    EXPECT_EQ(std::memcmp(a[i].features.data(), b[i].features.data(),
+                          a[i].features.size() * sizeof(double)),
+              0);
+  }
+}
+
+TEST(TraceCacheCollect, CachedReplayRowsMatchDirectExecution) {
+  const auto& w = workloads::workload("atax");
+
+  // Reference: direct execution, no cache, serial.
+  CollectOptions direct = tiny_options();
+  direct.n_threads = 1;
+  std::vector<TrainingRow> reference;
+  collect_training_data(w, direct, reference);
+
+  // Cached collection at 1 thread and at N threads. Capture admission is
+  // second-touch: the first run only registers ghost keys (cold first-touch
+  // streams are not worth the capture cost), the second run captures and
+  // fills the cache, the third replays from it. Every variant must be
+  // byte-equal to the direct reference.
+  for (const unsigned threads : {1u, 4u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    trace::TraceCache cache(64u << 20);
+    CollectOptions copt = tiny_options();
+    copt.n_threads = threads;
+    copt.trace_cache = &cache;
+
+    std::vector<TrainingRow> first;
+    const CollectStats s1 = collect_training_data(w, copt, first);
+    EXPECT_EQ(s1.n_cache_hits, 0u);
+    EXPECT_EQ(s1.n_cache_misses, s1.n_input_configs);
+    expect_rows_equal(reference, first);
+
+    std::vector<TrainingRow> second;
+    const CollectStats s2 = collect_training_data(w, copt, second);
+    EXPECT_EQ(s2.n_cache_hits, 0u);
+    EXPECT_EQ(s2.n_cache_misses, s2.n_input_configs);
+    EXPECT_GT(s2.capture_seconds, 0.0);  // ghost hits admit: traces captured
+    expect_rows_equal(reference, second);
+
+    std::vector<TrainingRow> third;
+    const CollectStats s3 = collect_training_data(w, copt, third);
+    EXPECT_EQ(s3.n_cache_hits, s3.n_input_configs);
+    EXPECT_EQ(s3.n_cache_misses, 0u);
+    EXPECT_EQ(s3.capture_seconds, 0.0);  // no kernel ran
+    expect_rows_equal(reference, third);
+  }
+}
+
+TEST(TraceCacheCollect, StatsReportReplayThroughput) {
+  const auto& w = workloads::workload("gesummv");
+  CollectOptions copt = tiny_options();
+  copt.n_threads = 1;
+  std::vector<TrainingRow> rows;
+  const CollectStats stats = collect_training_data(w, copt, rows);
+  // Each task replays its trace into the profiler and per_config sims.
+  EXPECT_GT(stats.n_replay_events, 0u);
+  EXPECT_GT(stats.replay_seconds, 0.0);
+  EXPECT_GT(stats.replay_events_per_second(), 0.0);
+  EXPECT_EQ(stats.n_cache_hits + stats.n_cache_misses,
+            stats.n_input_configs);  // no cache: every task ran live
+  EXPECT_EQ(stats.cache_hit_rate(), 0.0);
+  EXPECT_EQ(stats.capture_seconds, 0.0);  // no cache: nothing worth capturing
+}
+
+TEST(TraceCache, EvictsLeastRecentlyUsedUnderByteBound) {
+  auto make_trace = [](std::uint64_t n_events) {
+    auto buf = std::make_shared<trace::TraceBuffer>();
+    buf->begin_kernel("k", 1);
+    trace::InstrEvent ev;
+    ev.op = trace::OpType::kIntAlu;
+    for (std::uint64_t i = 0; i < n_events; ++i) {
+      ev.pc = static_cast<std::uint32_t>(i);  // defeat run-length collapse
+      ev.dst = static_cast<std::uint32_t>(i + 1);
+      buf->on_instr(ev);
+    }
+    buf->end_kernel();
+    return buf;
+  };
+
+  const auto probe = make_trace(512);
+  // Bound that holds roughly two of these traces, not three.
+  trace::TraceCache cache(probe->memory_bytes() * 5 / 2);
+
+  cache.put("a", make_trace(512));
+  cache.put("b", make_trace(512));
+  EXPECT_EQ(cache.resident_entries(), 2u);
+  EXPECT_NE(cache.get("a"), nullptr);  // touch: "b" becomes the LRU victim
+  cache.put("c", make_trace(512));
+  EXPECT_GT(cache.evictions(), 0u);
+  EXPECT_NE(cache.get("a"), nullptr);
+  EXPECT_EQ(cache.get("b"), nullptr);
+  EXPECT_NE(cache.get("c"), nullptr);
+  EXPECT_LE(cache.resident_bytes(), cache.max_bytes());
+}
+
+TEST(TraceCache, NeverAdmitsAnOversizedTrace) {
+  trace::TraceCache cache(8);  // smaller than any encoded kernel
+  auto buf = std::make_shared<trace::TraceBuffer>();
+  buf->begin_kernel("k", 1);
+  trace::InstrEvent ev;
+  ev.op = trace::OpType::kIntAlu;
+  ev.dst = 1;
+  buf->on_instr(ev);
+  buf->end_kernel();
+  cache.put("k", buf);
+  EXPECT_EQ(cache.resident_entries(), 0u);
+  EXPECT_EQ(cache.get("k"), nullptr);
+}
+
+TEST(TraceCache, HitReturnsTheSameBuffer) {
+  trace::TraceCache cache(1u << 20);
+  auto buf = std::make_shared<trace::TraceBuffer>();
+  buf->begin_kernel("k", 1);
+  trace::InstrEvent ev;
+  ev.op = trace::OpType::kIntAlu;
+  ev.dst = 1;
+  buf->on_instr(ev);
+  buf->end_kernel();
+  cache.put("k", buf);
+  EXPECT_EQ(cache.get("k").get(), buf.get());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.get("absent"), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+}  // namespace
+}  // namespace napel::core

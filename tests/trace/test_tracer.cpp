@@ -4,6 +4,7 @@
 
 #include <memory>
 #include <set>
+#include <vector>
 
 #include "trace/sink.hpp"
 #include "trace/traced.hpp"
@@ -145,7 +146,10 @@ TEST(Tracer, NestedLoopKeepsStableScopeIdentity) {
   VectorSink sink;
   t.attach(sink);
   t.begin_kernel("k", 1);
-  std::set<std::uint32_t> inner_pcs_iter0, inner_pcs_iter1;
+  // Dispatch is batched, so events only become visible in the sink at
+  // end_kernel: record the stream index of each emission (instr_count()
+  // counts dispatched events) and resolve PCs afterwards.
+  std::vector<std::size_t> idx_iter0, idx_iter1;
   {
     Tracer::LoopScope outer(t);
     for (int i = 0; i < 2; ++i) {
@@ -153,14 +157,18 @@ TEST(Tracer, NestedLoopKeepsStableScopeIdentity) {
       Tracer::LoopScope inner(t);  // reconstructed every outer trip
       for (int j = 0; j < 2; ++j) {
         inner.iteration();
-        const std::size_t before = sink.events().size();
         t.emit_op(OpType::kFpMul);
-        auto& pcs = i == 0 ? inner_pcs_iter0 : inner_pcs_iter1;
-        pcs.insert(sink.events()[before].pc);
+        auto& idx = i == 0 ? idx_iter0 : idx_iter1;
+        idx.push_back(static_cast<std::size_t>(t.instr_count()) - 1);
       }
     }
   }
   t.end_kernel();
+  std::set<std::uint32_t> inner_pcs_iter0, inner_pcs_iter1;
+  for (const std::size_t i : idx_iter0)
+    inner_pcs_iter0.insert(sink.events()[i].pc);
+  for (const std::size_t i : idx_iter1)
+    inner_pcs_iter1.insert(sink.events()[i].pc);
   EXPECT_EQ(inner_pcs_iter0, inner_pcs_iter1);
 }
 
@@ -169,21 +177,21 @@ TEST(Tracer, DistinctLexicalLoopsGetDistinctPcs) {
   VectorSink sink;
   t.attach(sink);
   t.begin_kernel("k", 1);
-  std::uint32_t pc1, pc2;
+  std::size_t idx1, idx2;
   {
     Tracer::LoopScope l1(t);
     l1.iteration();
     t.emit_op(OpType::kFpMul);
-    pc1 = sink.events().back().pc;
+    idx1 = static_cast<std::size_t>(t.instr_count()) - 1;
   }
   {
     Tracer::LoopScope l2(t);
     l2.iteration();
     t.emit_op(OpType::kFpMul);
-    pc2 = sink.events().back().pc;
+    idx2 = static_cast<std::size_t>(t.instr_count()) - 1;
   }
   t.end_kernel();
-  EXPECT_NE(pc1, pc2);
+  EXPECT_NE(sink.events()[idx1].pc, sink.events()[idx2].pc);
 }
 
 TEST(Tracer, LoopScopeOutsideKernelThrows) {

@@ -6,6 +6,7 @@
 //                 [--seed N] [--threads N] [--journal FILE] [--resume]
 //                 [--max-failures N] [--retries N] [--backoff-ms N]
 //                 [--task-deadline-ms N] [--max-sim-cycles N]
+//                 [--trace-cache-mb N]
 //   napel train -o <model-file> [--apps a,b,c] [--scale S] [--tune]
 //               [--archs N] [--seed N] [--journal FILE] [--resume]
 //               [--tune-checkpoint FILE] [--max-failures N]
@@ -36,6 +37,7 @@
 #include "napel/journal.hpp"
 #include "napel/model_io.hpp"
 #include "napel/napel.hpp"
+#include "trace/trace_cache.hpp"
 #include "trace/trace_file.hpp"
 #include "verify/artifact_checks.hpp"
 #include "verify/diagnostics.hpp"
@@ -190,8 +192,10 @@ void arm_fault_plan(const Args& a, FaultPlan& faults) {
                 .kind = FaultKind::kCrash});
 }
 
-/// Runs collection for every app, wiring up the optional journal and fault
-/// plan, and printing per-app accounting (resumed/retried/dropped counts).
+/// Runs collection for every app, wiring up the optional journal, the
+/// shared trace cache, and the fault plan, and printing per-app accounting
+/// (capture/replay split, replay throughput, cache hit rate,
+/// resumed/retried/dropped counts).
 std::vector<core::TrainingRow> run_collection(const Args& a,
                                               const std::vector<std::string>& apps,
                                               core::CollectOptions& copt,
@@ -206,13 +210,21 @@ std::vector<core::TrainingRow> run_collection(const Args& a,
   }
   if (!faults.empty()) copt.faults = &faults;
 
+  // One trace cache across every app of the run: retried tasks replay the
+  // already-captured trace instead of re-running the kernel.
+  trace::TraceCache trace_cache(parse_u64(a, "trace-cache-mb", 256) << 20);
+  copt.trace_cache = &trace_cache;
+
   std::vector<core::TrainingRow> rows;
   for (const auto& app : apps) {
     const auto stats =
         core::collect_training_data(workloads::workload(app), copt, rows);
-    std::printf("collected %-12s %2zu configs -> %3zu rows (%.1fs sim)",
-                app.c_str(), stats.n_input_configs, stats.n_rows,
-                stats.simulation_seconds);
+    std::printf(
+        "collected %-12s %2zu configs -> %3zu rows "
+        "(%.1fs capture + %.1fs replay, %.1fM events/s, cache %2.0f%%)",
+        app.c_str(), stats.n_input_configs, stats.n_rows,
+        stats.capture_seconds, stats.replay_seconds,
+        stats.replay_events_per_second() / 1e6, stats.cache_hit_rate() * 100);
     if (stats.n_resumed || stats.n_retries || stats.n_failed)
       std::printf("  [%zu resumed, %zu retried, %zu dropped]",
                   stats.n_resumed, stats.n_retries, stats.n_failed);
@@ -495,6 +507,7 @@ int usage() {
                "  collect -o FILE [--apps a,b] [--scale S] [--archs N] [--threads N]\n"
                "          [--journal FILE] [--resume] [--max-failures N] [--retries N]\n"
                "          [--backoff-ms N] [--task-deadline-ms N] [--max-sim-cycles N]\n"
+               "          [--trace-cache-mb N]\n"
                "          export training rows as CSV, checkpointed + resumable\n"
                "  train -o FILE [--apps a,b] [--scale S] [--tune] [--archs N]\n"
                "        [--threads N]  (0 = all cores; NAPEL_THREADS env also honoured)\n"
