@@ -1,0 +1,196 @@
+// Forest inference throughput: pointer-chasing RandomForest vs the compiled
+// FlatForest arena.
+//
+// Four measured paths over the same fitted forest and the same evaluation
+// matrix:
+//   scalar_rf      — RandomForest::predict per row (per-tree AoS node
+//                    vectors, one heap-allocated tree at a time);
+//   flat_scalar    — FlatForest::predict per row (contiguous SoA arena,
+//                    still row-at-a-time);
+//   flat_batched   — FlatForest::predict_batch, row-blocks walked
+//                    tree-major (the DSE / cross-validation hot path);
+//   interval_rf / interval_flat — predict_interval per row: the forest path
+//                    allocates + copies + double-sorts per call, the flat
+//                    path reuses one scratch buffer and one traversal.
+// Every flat result is checked bit-for-bit against the forest result before
+// anything is timed — a wrong fast path fails the bench, not just the gate.
+//
+// Emits BENCH_forest_inference.json. --smoke runs a reduced configuration
+// for CI; the >= 3x batched-vs-scalar gate applies to the full run only
+// (smoke sizes are too small for stable ratios).
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "ml/flat_forest.hpp"
+
+using namespace napel;
+
+namespace {
+
+/// Synthetic nonlinear regression surface: deterministic from the seed, with
+/// enough feature interaction that the trees actually grow deep.
+ml::Dataset make_dataset(std::size_t n_rows, std::size_t n_features,
+                         Rng& rng) {
+  ml::Dataset data(n_features);
+  std::vector<double> x(n_features);
+  for (std::size_t i = 0; i < n_rows; ++i) {
+    for (auto& v : x) v = rng.uniform(-2.0, 2.0);
+    double y = std::sin(x[0] * 3.0) + x[1] * x[2] - 0.5 * x[3];
+    for (std::size_t f = 4; f < n_features; ++f)
+      y += 0.05 * x[f] * (f % 2 ? 1.0 : -1.0);
+    y += rng.normal(0.0, 0.05);
+    data.add_row(x, y);
+  }
+  return data;
+}
+
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  const std::size_t n_features = 16;
+  const std::size_t n_train = smoke ? 400 : 2000;
+  const std::size_t n_eval = smoke ? 2000 : 20000;
+  const unsigned n_trees = smoke ? 30 : 100;
+  const int reps = smoke ? 1 : 3;
+
+  std::printf("=== forest inference: pointer forest vs flat arena (%s) ===\n",
+              smoke ? "smoke" : "full, best of 3");
+
+  Rng rng(2019);
+  const ml::Dataset train = make_dataset(n_train, n_features, rng);
+  const ml::Dataset eval = make_dataset(n_eval, n_features, rng);
+
+  ml::RandomForestParams params;
+  params.n_trees = n_trees;
+  params.seed = 7;
+  ml::RandomForest forest(params);
+  forest.fit(train);
+  const ml::FlatForest flat(forest);
+  std::printf("forest: %zu trees, %zu arena nodes, %zu eval rows\n",
+              flat.tree_count(), flat.node_count(), eval.size());
+
+  // --- bit-identity first: a fast-but-wrong path must fail loudly. --------
+  std::vector<double> scratch(flat.tree_count());
+  std::vector<double> batched(eval.size());
+  flat.predict_batch(eval.features(), eval.size(), batched);
+  for (std::size_t i = 0; i < eval.size(); ++i) {
+    const double ref = forest.predict(eval.row(i));
+    if (!bits_equal(ref, flat.predict(eval.row(i))) ||
+        !bits_equal(ref, batched[i])) {
+      std::fprintf(stderr, "FAIL: flat prediction differs at row %zu\n", i);
+      return 1;
+    }
+    const auto ri = forest.predict_interval(eval.row(i));
+    const auto fi = flat.predict_interval(eval.row(i), scratch);
+    if (!bits_equal(ri.mean, fi.mean) || !bits_equal(ri.lo, fi.lo) ||
+        !bits_equal(ri.hi, fi.hi)) {
+      std::fprintf(stderr, "FAIL: flat interval differs at row %zu\n", i);
+      return 1;
+    }
+  }
+  std::printf("bit-identity: %zu rows x {predict, batch, interval} OK\n\n",
+              eval.size());
+
+  auto best = [&](auto&& body) {
+    volatile double guard = 0.0;  // keep the work observable
+    double best_s = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      bench::Timer timer;
+      guard = guard + body();
+      const double s = timer.seconds();
+      if (rep == 0 || s < best_s) best_s = s;
+    }
+    return best_s;
+  };
+
+  const double scalar_rf_s = best([&] {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < eval.size(); ++i)
+      acc += forest.predict(eval.row(i));
+    return acc;
+  });
+  const double flat_scalar_s = best([&] {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < eval.size(); ++i)
+      acc += flat.predict(eval.row(i));
+    return acc;
+  });
+  const double flat_batched_s = best([&] {
+    flat.predict_batch(eval.features(), eval.size(), batched);
+    return batched[0];
+  });
+  const double interval_rf_s = best([&] {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < eval.size(); ++i)
+      acc += forest.predict_interval(eval.row(i)).mean;
+    return acc;
+  });
+  const double interval_flat_s = best([&] {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < eval.size(); ++i)
+      acc += flat.predict_interval(eval.row(i), scratch).mean;
+    return acc;
+  });
+
+  const double rows = static_cast<double>(eval.size());
+  const auto rps = [rows](double s) { return s > 0.0 ? rows / s : 0.0; };
+  const double batched_speedup =
+      flat_batched_s > 0.0 ? scalar_rf_s / flat_batched_s : 0.0;
+  const double interval_speedup =
+      interval_flat_s > 0.0 ? interval_rf_s / interval_flat_s : 0.0;
+
+  std::printf("scalar forest    %10.0f rows/s\n", rps(scalar_rf_s));
+  std::printf("flat scalar      %10.0f rows/s  (%.2fx)\n", rps(flat_scalar_s),
+              flat_scalar_s > 0.0 ? scalar_rf_s / flat_scalar_s : 0.0);
+  std::printf("flat batched     %10.0f rows/s  (%.2fx)\n", rps(flat_batched_s),
+              batched_speedup);
+  std::printf("interval forest  %10.0f rows/s\n", rps(interval_rf_s));
+  std::printf("interval flat    %10.0f rows/s  (%.2fx)\n",
+              rps(interval_flat_s), interval_speedup);
+
+  FILE* f = std::fopen("BENCH_forest_inference.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_forest_inference.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"forest_inference\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f,
+               "  \"trees\": %zu, \"nodes\": %zu, \"eval_rows\": %zu,\n",
+               flat.tree_count(), flat.node_count(), eval.size());
+  std::fprintf(f,
+               "  \"scalar_rf_rps\": %.0f, \"flat_scalar_rps\": %.0f, "
+               "\"flat_batched_rps\": %.0f,\n",
+               rps(scalar_rf_s), rps(flat_scalar_s), rps(flat_batched_s));
+  std::fprintf(f,
+               "  \"interval_rf_rps\": %.0f, \"interval_flat_rps\": %.0f,\n",
+               rps(interval_rf_s), rps(interval_flat_s));
+  std::fprintf(f,
+               "  \"batched_vs_scalar\": %.3f, "
+               "\"interval_flat_vs_rf\": %.3f\n}\n",
+               batched_speedup, interval_speedup);
+  std::fclose(f);
+  std::printf("wrote BENCH_forest_inference.json\n");
+
+  // The DSE and cross-validation loops were rebuilt on the batched path; it
+  // has to be decisively faster than the pointer-chasing forest.
+  if (!smoke && batched_speedup < 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: flat batched inference only %.2fx the scalar forest "
+                 "(expected >= 3x)\n",
+                 batched_speedup);
+    return 1;
+  }
+  return 0;
+}

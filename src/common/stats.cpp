@@ -28,15 +28,20 @@ double median(std::span<const double> xs) { return percentile(xs, 50.0); }
 
 double percentile(std::span<const double> xs, double p) {
   NAPEL_CHECK(!xs.empty());
-  NAPEL_CHECK(p >= 0.0 && p <= 100.0);
   std::vector<double> sorted(xs.begin(), xs.end());
   std::sort(sorted.begin(), sorted.end());
-  if (sorted.size() == 1) return sorted.front();
-  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  return percentile_sorted(sorted, p);
+}
+
+double percentile_sorted(std::span<const double> sorted_xs, double p) {
+  NAPEL_CHECK(!sorted_xs.empty());
+  NAPEL_CHECK(p >= 0.0 && p <= 100.0);
+  if (sorted_xs.size() == 1) return sorted_xs.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted_xs.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const std::size_t hi = std::min(lo + 1, sorted_xs.size() - 1);
   const double frac = rank - static_cast<double>(lo);
-  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  return sorted_xs[lo] + frac * (sorted_xs[hi] - sorted_xs[lo]);
 }
 
 double min_of(std::span<const double> xs) {

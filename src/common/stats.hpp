@@ -14,6 +14,11 @@ double stddev(std::span<const double> xs);
 double median(std::span<const double> xs);
 /// Linear-interpolated percentile, p in [0, 100].
 double percentile(std::span<const double> xs, double p);
+/// Percentile over an already-ascending-sorted span: the value `percentile`
+/// would return, with no copy, sort, or allocation. Hot inference paths
+/// (ensemble prediction intervals) sort a caller-owned scratch buffer once
+/// and read several percentiles from it.
+double percentile_sorted(std::span<const double> sorted_xs, double p);
 double min_of(std::span<const double> xs);
 double max_of(std::span<const double> xs);
 /// Geometric mean; requires all xs > 0.

@@ -25,6 +25,9 @@ class Dataset {
   std::span<const double> row(std::size_t i) const;
   double target(std::size_t i) const;
   std::span<const double> targets() const { return y_; }
+  /// The whole row-major feature matrix (size() * n_features() doubles) —
+  /// the zero-copy input shape batched inference consumes.
+  std::span<const double> features() const { return x_; }
   const std::vector<std::string>& feature_names() const { return names_; }
 
   /// New dataset holding the given rows (indices may repeat — used for

@@ -19,21 +19,66 @@ DecisionTree::DecisionTree(TreeParams params) : params_(params) {
   NAPEL_CHECK(params_.mtry_fraction > 0.0 && params_.mtry_fraction <= 1.0);
 }
 
+/// Sort-free training scratch, allocated once per fit() and reused by every
+/// node. `order` holds one index column per feature, sorted at the root by
+/// (feature value, target) and maintained in that order down the tree by
+/// stable partitioning — a subsequence of a sorted sequence is sorted, so
+/// best_split never sorts (or allocates) again. The (value, target) sort
+/// key reproduces the historical per-node `std::sort` of (value, target)
+/// pairs exactly: target sums therefore accumulate in the same order and
+/// every split score is bit-identical to the sorting implementation.
+struct DecisionTree::FitWorkspace {
+  std::size_t n = 0;                     // dataset rows
+  std::size_t p = 0;                     // features
+  std::vector<std::uint32_t> order;      // p columns of n row ids
+  std::vector<std::uint32_t> scratch;    // stable-partition spill (n)
+  std::vector<unsigned char> goes_left;  // per-row split side (n)
+  std::vector<double> col;               // column-major feature copy (p * n)
+  std::vector<double> y;                 // target copy (n)
+};
+
 void DecisionTree::fit(const Dataset& data) {
   NAPEL_CHECK_MSG(!data.empty(), "cannot fit on an empty dataset");
   nodes_.clear();
   n_features_ = data.n_features();
   importance_.assign(n_features_, 0.0);
-  std::vector<std::size_t> idx(data.size());
+  const std::size_t n = data.size();
+  const std::size_t p = n_features_;
+  std::vector<std::size_t> idx(n);
   std::iota(idx.begin(), idx.end(), std::size_t{0});
+
+  FitWorkspace ws;
+  ws.n = n;
+  ws.p = p;
+  ws.col.resize(p * n);
+  ws.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ws.y[i] = data.target(i);
+    const std::span<const double> row = data.row(i);
+    for (std::size_t f = 0; f < p; ++f) ws.col[f * n + i] = row[f];
+  }
+  ws.order.resize(p * n);
+  for (std::size_t f = 0; f < p; ++f) {
+    std::uint32_t* ord = ws.order.data() + f * n;
+    std::iota(ord, ord + n, std::uint32_t{0});
+    const double* v = ws.col.data() + f * n;
+    std::sort(ord, ord + n, [&](std::uint32_t a, std::uint32_t b) {
+      if (v[a] != v[b]) return v[a] < v[b];
+      return ws.y[a] < ws.y[b];
+    });
+  }
+  ws.scratch.resize(n);
+  ws.goes_left.assign(n, 0);
+
   Rng rng(params_.seed);
-  build(data, idx, 0, idx.size(), 0, rng);
+  build(data, idx, ws, 0, n, 0, rng);
 }
 
 std::optional<DecisionTree::SplitChoice> DecisionTree::best_split(
-    const Dataset& data, std::span<std::size_t> idx, Rng& rng) const {
-  const std::size_t n = idx.size();
-  const std::size_t p = data.n_features();
+    const FitWorkspace& ws, std::span<const std::size_t> idx,
+    std::size_t begin, std::size_t end, Rng& rng) const {
+  const std::size_t n = end - begin;
+  const std::size_t p = ws.p;
 
   // Candidate features for this node.
   std::size_t mtry = static_cast<std::size_t>(
@@ -51,11 +96,11 @@ std::optional<DecisionTree::SplitChoice> DecisionTree::best_split(
   }
 
   double total_sum = 0.0;
-  for (std::size_t i : idx) total_sum += data.target(i);
+  for (std::size_t i : idx) total_sum += ws.y[i];
   const double total_sq = [&] {
     double s = 0.0;
     for (std::size_t i : idx) {
-      const double y = data.target(i);
+      const double y = ws.y[i];
       s += y * y;
     }
     return s;
@@ -64,19 +109,19 @@ std::optional<DecisionTree::SplitChoice> DecisionTree::best_split(
       total_sq - total_sum * total_sum / static_cast<double>(n);
 
   std::optional<SplitChoice> best;
-  std::vector<std::pair<double, double>> vals;  // (feature value, target)
-  vals.reserve(n);
 
   for (std::size_t f : feats) {
-    vals.clear();
-    for (std::size_t i : idx) vals.emplace_back(data.row(i)[f], data.target(i));
-    std::sort(vals.begin(), vals.end());
-    if (vals.front().first == vals.back().first) continue;  // constant feature
+    // The node's rows in ascending (value, target) order — maintained since
+    // the root presort, so no per-node sort and no allocation.
+    const std::uint32_t* ord = ws.order.data() + f * ws.n + begin;
+    const double* v = ws.col.data() + f * ws.n;
+    if (v[ord[0]] == v[ord[n - 1]]) continue;  // constant feature
 
     double left_sum = 0.0;
     for (std::size_t cut = 1; cut < n; ++cut) {
-      left_sum += vals[cut - 1].second;
-      if (vals[cut].first == vals[cut - 1].first) continue;  // not a boundary
+      const std::uint32_t prev = ord[cut - 1];
+      left_sum += ws.y[prev];
+      if (v[ord[cut]] == v[prev]) continue;  // not a boundary
       if (cut < params_.min_samples_leaf || n - cut < params_.min_samples_leaf)
         continue;
       const double right_sum = total_sum - left_sum;
@@ -94,7 +139,7 @@ std::optional<DecisionTree::SplitChoice> DecisionTree::best_split(
         // midpoint rounding between adjacent values.
         best = SplitChoice{
             .feature = f,
-            .threshold = vals[cut - 1].first,
+            .threshold = v[prev],
             .sse_reduction = reduction,
         };
       }
@@ -108,8 +153,8 @@ std::optional<DecisionTree::SplitChoice> DecisionTree::best_split(
 
 std::uint32_t DecisionTree::build(const Dataset& data,
                                   std::vector<std::size_t>& idx,
-                                  std::size_t begin, std::size_t end,
-                                  unsigned depth, Rng& rng) {
+                                  FitWorkspace& ws, std::size_t begin,
+                                  std::size_t end, unsigned depth, Rng& rng) {
   const std::size_t n = end - begin;
   NAPEL_CHECK(n >= 1);
   const auto node_id = static_cast<std::uint32_t>(nodes_.size());
@@ -124,7 +169,7 @@ std::uint32_t DecisionTree::build(const Dataset& data,
     return node_id;
 
   const auto choice =
-      best_split(data, {idx.data() + begin, n}, rng);
+      best_split(ws, {idx.data() + begin, n}, begin, end, rng);
   if (!choice) return node_id;
 
   const auto mid_it = std::partition(
@@ -137,9 +182,31 @@ std::uint32_t DecisionTree::build(const Dataset& data,
   // The split came from actual value boundaries, so both sides are nonempty.
   NAPEL_CHECK(mid > begin && mid < end);
 
+  // Stable-partition every per-feature order column around the chosen
+  // split: left rows compact forward in place (the write cursor never
+  // passes the read cursor), right rows spill to scratch and copy back.
+  // Relative order inside each side is preserved, so both children's
+  // columns remain sorted by (value, target) with zero re-sorting.
+  for (std::size_t k = begin; k < mid; ++k) ws.goes_left[idx[k]] = 1;
+  for (std::size_t k = mid; k < end; ++k) ws.goes_left[idx[k]] = 0;
+  for (std::size_t f = 0; f < ws.p; ++f) {
+    std::uint32_t* ord = ws.order.data() + f * ws.n;
+    std::uint32_t* spill = ws.scratch.data();
+    std::size_t nl = begin, nr = 0;
+    for (std::size_t k = begin; k < end; ++k) {
+      const std::uint32_t i = ord[k];
+      if (ws.goes_left[i])
+        ord[nl++] = i;
+      else
+        spill[nr++] = i;
+    }
+    NAPEL_CHECK(nl == mid);
+    std::copy(spill, spill + nr, ord + mid);
+  }
+
   importance_[choice->feature] += choice->sse_reduction;
-  const std::uint32_t left = build(data, idx, begin, mid, depth + 1, rng);
-  const std::uint32_t right = build(data, idx, mid, end, depth + 1, rng);
+  const std::uint32_t left = build(data, idx, ws, begin, mid, depth + 1, rng);
+  const std::uint32_t right = build(data, idx, ws, mid, end, depth + 1, rng);
   nodes_[node_id].feature = static_cast<std::int32_t>(choice->feature);
   nodes_[node_id].threshold = choice->threshold;
   nodes_[node_id].left = left;
@@ -186,7 +253,8 @@ DecisionTree DecisionTree::load(std::istream& is) {
   DecisionTree tree;
   tree.n_features_ = n_features;
   tree.nodes_.resize(n_nodes);
-  for (Node& nd : tree.nodes_) {
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    Node& nd = tree.nodes_[i];
     is >> nd.feature >> nd.threshold >> nd.left >> nd.right >> nd.value;
     NAPEL_CHECK_MSG(is.good(), "truncated tree nodes");
     NAPEL_CHECK_MSG(nd.feature < static_cast<std::int32_t>(n_features),
@@ -194,7 +262,28 @@ DecisionTree DecisionTree::load(std::istream& is) {
     NAPEL_CHECK_MSG(nd.feature < 0 ||
                         (nd.left < n_nodes && nd.right < n_nodes),
                     "node child out of range");
+    // Saved trees are in DFS preorder, so every child id exceeds its
+    // parent's. Enforcing that here makes traversal progress strictly
+    // monotone: a corrupted file can mis-predict, but leaf_id() can never
+    // cycle or hang.
+    if (nd.feature >= 0 && (nd.left <= i || nd.right <= i))
+      throw TreeTopologyError(
+          "tree topology: node " + std::to_string(i) +
+          " links to a child at or before itself (cycle risk)");
   }
+  // Tree-ness: the root is referenced by nothing and every other node by
+  // exactly one parent — rejects shared subtrees and unreachable debris.
+  std::vector<std::uint8_t> refs(n_nodes, 0);
+  for (const Node& nd : tree.nodes_)
+    if (nd.feature >= 0) {
+      ++refs[nd.left];
+      ++refs[nd.right];
+    }
+  for (std::size_t i = 0; i < n_nodes; ++i)
+    if (refs[i] != (i == 0 ? 0 : 1))
+      throw TreeTopologyError(
+          "tree topology: node " + std::to_string(i) +
+          (refs[i] == 0 ? " is unreachable" : " has multiple parents"));
   tree.importance_.resize(n_features);
   for (double& v : tree.importance_) {
     is >> v;

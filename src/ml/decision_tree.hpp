@@ -6,11 +6,22 @@
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "ml/regressor.hpp"
 
 namespace napel::ml {
+
+/// Thrown by DecisionTree::load (and hence RandomForest / model loading)
+/// when a file's node links do not form a proper forward-only tree: a child
+/// pointing at its parent or an earlier node (a cycle — traversal would
+/// never terminate), a node referenced by two parents, or unreachable
+/// nodes. Distinct from the plain std::invalid_argument contract failures
+/// so artifact validation can attribute a dedicated lint rule to it.
+class TreeTopologyError : public std::invalid_argument {
+  using std::invalid_argument::invalid_argument;
+};
 
 struct TreeParams {
   unsigned max_depth = 24;
@@ -52,6 +63,8 @@ class DecisionTree final : public Regressor {
   static DecisionTree load(std::istream& is);
 
  private:
+  friend class FlatForest;  // compiles nodes_ into the SoA inference arena
+
   struct Node {
     std::int32_t feature = -1;  // -1 = leaf
     double threshold = 0.0;
@@ -60,16 +73,22 @@ class DecisionTree final : public Regressor {
     double value = 0.0;  // mean of training targets in this subspace
   };
 
+  /// Per-fit scratch: presorted per-feature index columns maintained by
+  /// stable partitioning, a column-major feature copy, and reusable
+  /// partition buffers (see decision_tree.cpp).
+  struct FitWorkspace;
+
   std::uint32_t build(const Dataset& data, std::vector<std::size_t>& idx,
-                      std::size_t begin, std::size_t end, unsigned depth,
-                      Rng& rng);
+                      FitWorkspace& ws, std::size_t begin, std::size_t end,
+                      unsigned depth, Rng& rng);
   struct SplitChoice {
     std::size_t feature;
     double threshold;
     double sse_reduction;
   };
-  std::optional<SplitChoice> best_split(const Dataset& data,
-                                        std::span<std::size_t> idx,
+  std::optional<SplitChoice> best_split(const FitWorkspace& ws,
+                                        std::span<const std::size_t> idx,
+                                        std::size_t begin, std::size_t end,
                                         Rng& rng) const;
 
   TreeParams params_;

@@ -1,0 +1,154 @@
+#include "ml/flat_forest.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace napel::ml {
+
+FlatForest::FlatForest(const RandomForest& forest) {
+  NAPEL_CHECK_MSG(forest.is_fitted(), "cannot compile an unfitted forest");
+  n_features_ = forest.n_features();
+
+  std::size_t total = 0;
+  for (std::size_t t = 0; t < forest.tree_count(); ++t)
+    total += forest.tree(t).node_count();
+  NAPEL_CHECK_MSG(total <= 0xffffffffu, "forest too large for u32 arena");
+  feature_.reserve(total);
+  threshold_.reserve(total);
+  left_.reserve(total);
+  right_.reserve(total);
+  value_.reserve(total);
+  tree_offset_.reserve(forest.tree_count() + 1);
+  tree_steps_.reserve(forest.tree_count());
+
+  std::vector<unsigned> depth;
+  for (std::size_t t = 0; t < forest.tree_count(); ++t) {
+    const auto base = static_cast<std::uint32_t>(feature_.size());
+    tree_offset_.push_back(base);
+    // DecisionTree stores nodes in DFS preorder already; packing is a copy
+    // with child links rebased to arena-absolute indices. Leaves get the
+    // lockstep encoding: a +inf threshold and self-referential children, so
+    // the batch kernel can keep stepping a finished row without branching
+    // (x[0] <= +inf routes left, back to the same leaf, forever).
+    const auto& nodes = forest.tree(t).nodes_;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const DecisionTree::Node& nd = nodes[i];
+      const bool leaf = nd.feature < 0;
+      const auto self = static_cast<std::uint32_t>(base + i);
+      feature_.push_back(nd.feature);
+      threshold_.push_back(
+          leaf ? std::numeric_limits<double>::infinity() : nd.threshold);
+      left_.push_back(leaf ? self : base + nd.left);
+      right_.push_back(leaf ? self : base + nd.right);
+      value_.push_back(nd.value);
+    }
+    // Deepest leaf of this tree = the fixed step count that parks every
+    // row of a lockstep block on its leaf. Children follow their parent in
+    // preorder, so one forward pass settles all depths.
+    depth.assign(nodes.size(), 0);
+    unsigned deepest = 0;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i].feature < 0) {
+        deepest = std::max(deepest, depth[i]);
+      } else {
+        depth[nodes[i].left] = depth[i] + 1;
+        depth[nodes[i].right] = depth[i] + 1;
+      }
+    }
+    tree_steps_.push_back(deepest);
+  }
+  tree_offset_.push_back(static_cast<std::uint32_t>(feature_.size()));
+}
+
+double FlatForest::predict(std::span<const double> x) const {
+  NAPEL_CHECK_MSG(is_compiled(), "predict before compile");
+  NAPEL_CHECK(x.size() == n_features_);
+  double s = 0.0;
+  const std::size_t nt = tree_count();
+  for (std::size_t t = 0; t < nt; ++t) s += traverse(t, x.data());
+  return s / static_cast<double>(nt);
+}
+
+void FlatForest::predict_batch(std::span<const double> X, std::size_t n_rows,
+                               std::span<double> out) const {
+  NAPEL_CHECK_MSG(is_compiled(), "predict before compile");
+  NAPEL_CHECK(X.size() == n_rows * n_features_);
+  NAPEL_CHECK(out.size() >= n_rows);
+  constexpr std::size_t kRowBlock = 64;
+  const std::size_t nt = tree_count();
+  const auto nt_d = static_cast<double>(nt);
+  double acc[kRowBlock];
+  const double* xs[kRowBlock];
+  std::uint32_t cur[kRowBlock];
+  for (std::size_t row0 = 0; row0 < n_rows; row0 += kRowBlock) {
+    const std::size_t b = std::min(kRowBlock, n_rows - row0);
+    std::fill_n(acc, b, 0.0);
+    for (std::size_t r = 0; r < b; ++r)
+      xs[r] = X.data() + (row0 + r) * n_features_;
+    // Tree-major over the block, all rows stepping one level per iteration
+    // in lockstep. One row alone is a serial chain of dependent node loads
+    // (each next index depends on the previous load); b rows side by side
+    // give the core b independent chains to overlap. Rows that reach a
+    // leaf early spin harmlessly on its self-link (+inf threshold) until
+    // the tree's deepest leaf is reached — branch-free, and the leaf each
+    // row ends on is exactly the one early-exit traversal finds. Per-row
+    // votes still accumulate in tree order, so out[r] is bit-identical to
+    // the one-row-at-a-time sum.
+    for (std::size_t t = 0; t < nt; ++t) {
+      const std::uint32_t root = tree_offset_[t];
+      for (std::size_t r = 0; r < b; ++r) cur[r] = root;
+      for (unsigned step = 0; step < tree_steps_[t]; ++step) {
+        for (std::size_t r = 0; r < b; ++r) {
+          const std::uint32_t c = cur[r];
+          const std::int32_t f = feature_[c];
+          const auto fi =
+              static_cast<std::uint32_t>(f < 0 ? 0 : f);  // leaf reads x[0]
+          // Load both children before selecting: with the operands already
+          // in registers the compare lowers to a conditional move, not a
+          // 50/50-mispredicted branch per node.
+          const std::uint32_t l = left_[c];
+          const std::uint32_t rt = right_[c];
+          cur[r] = xs[r][fi] <= threshold_[c] ? l : rt;
+        }
+      }
+      for (std::size_t r = 0; r < b; ++r) acc[r] += value_[cur[r]];
+    }
+    for (std::size_t r = 0; r < b; ++r) out[row0 + r] = acc[r] / nt_d;
+  }
+}
+
+void FlatForest::predict_all_trees(std::span<const double> x,
+                                   std::span<double> per_tree) const {
+  NAPEL_CHECK_MSG(is_compiled(), "predict before compile");
+  NAPEL_CHECK(x.size() == n_features_);
+  NAPEL_CHECK(per_tree.size() == tree_count());
+  for (std::size_t t = 0; t < per_tree.size(); ++t)
+    per_tree[t] = traverse(t, x.data());
+}
+
+RandomForest::Interval FlatForest::interval_from_trees(
+    std::span<double> votes, double lo_pct, double hi_pct) {
+  NAPEL_CHECK(!votes.empty());
+  NAPEL_CHECK(lo_pct <= hi_pct);
+  double sum = 0.0;
+  for (const double v : votes) sum += v;
+  RandomForest::Interval iv;
+  iv.mean = sum / static_cast<double>(votes.size());
+  std::sort(votes.begin(), votes.end());
+  iv.lo = percentile_sorted(votes, lo_pct);
+  iv.hi = percentile_sorted(votes, hi_pct);
+  return iv;
+}
+
+RandomForest::Interval FlatForest::predict_interval(std::span<const double> x,
+                                                    std::span<double> scratch,
+                                                    double lo_pct,
+                                                    double hi_pct) const {
+  predict_all_trees(x, scratch);
+  return interval_from_trees(scratch, lo_pct, hi_pct);
+}
+
+}  // namespace napel::ml

@@ -1,0 +1,109 @@
+// Flat, batched forest-inference engine.
+//
+// A fitted RandomForest stores each tree as its own heap-allocated vector
+// of AoS nodes; prediction pointer-chases them one row at a time. For the
+// serving shapes NAPEL cares about — design-space exploration over hundreds
+// of candidates, cross-validation over whole held-out sets — that wastes
+// most of its cycles on cache misses and per-call allocations.
+//
+// FlatForest compiles a fitted forest into one contiguous structure-of-
+// arrays arena: i32 feature / f64 threshold / u32 child / f64 leaf-value
+// columns, trees packed back-to-back in the tree's natural DFS layout with
+// per-tree offsets (child links are rebased to arena-absolute indices, so
+// traversal needs no per-tree bias). predict_batch() walks row-blocks
+// tree-major, keeping each tree's node columns cache-resident while it is
+// reused across the block; predict_all_trees() exposes the per-tree votes
+// of a single traversal so the ensemble mean and the percentile interval
+// never pay for two walks.
+//
+// Determinism contract: every path reproduces the pointer-based forest
+// bit-for-bit. Traversal visits identical nodes (same comparisons on the
+// same values), per-row tree votes accumulate in tree order with the same
+// `sum / n_trees` division, and intervals sort the same vote multiset
+// before the same linear interpolation — so swapping a RandomForest for
+// its compiled FlatForest can never change a prediction, at any batch
+// size or thread count.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/random_forest.hpp"
+
+namespace napel::ml {
+
+class FlatForest {
+ public:
+  FlatForest() = default;
+
+  /// Compiles a fitted forest into the flat arena. O(total node count).
+  explicit FlatForest(const RandomForest& forest);
+
+  bool is_compiled() const { return tree_offset_.size() > 1; }
+  std::size_t tree_count() const {
+    return tree_offset_.empty() ? 0 : tree_offset_.size() - 1;
+  }
+  std::size_t node_count() const { return feature_.size(); }
+  std::size_t n_features() const { return n_features_; }
+
+  /// Ensemble mean for one row (bit-identical to RandomForest::predict).
+  double predict(std::span<const double> x) const;
+
+  /// Ensemble means for `n_rows` row-major rows of X (size n_rows *
+  /// n_features()), written to out[0..n_rows). Walks row-blocks tree-major:
+  /// each tree's columns stay cache-resident while the whole block reuses
+  /// them, instead of every row streaming the full arena past the cache.
+  void predict_batch(std::span<const double> X, std::size_t n_rows,
+                     std::span<double> out) const;
+
+  /// One traversal's per-tree votes for a single row, in tree order
+  /// (per_tree.size() == tree_count()). The mean and any percentile of
+  /// these votes match predict()/predict_interval() bit-for-bit.
+  void predict_all_trees(std::span<const double> x,
+                         std::span<double> per_tree) const;
+
+  /// Mean + percentile band from one traversal into the caller-owned
+  /// scratch buffer (size tree_count()); sorts `scratch` in place, so no
+  /// allocation. Bit-identical to RandomForest::predict_interval.
+  RandomForest::Interval predict_interval(std::span<const double> x,
+                                          std::span<double> scratch,
+                                          double lo_pct = 10.0,
+                                          double hi_pct = 90.0) const;
+
+  /// Band over already-computed per-tree votes (sorts them in place).
+  static RandomForest::Interval interval_from_trees(std::span<double> votes,
+                                                    double lo_pct = 10.0,
+                                                    double hi_pct = 90.0);
+
+ private:
+  /// Leaf value tree `t` routes row `x` to. Root of tree t is
+  /// tree_offset_[t]; child links are arena-absolute.
+  double traverse(std::size_t t, const double* x) const {
+    std::uint32_t cur = tree_offset_[t];
+    for (;;) {
+      const std::int32_t f = feature_[cur];
+      if (f < 0) return value_[cur];
+      // Both children loaded up front so the direction pick is a
+      // conditional move, not a per-node mispredicted branch.
+      const std::uint32_t l = left_[cur];
+      const std::uint32_t r = right_[cur];
+      cur = x[static_cast<std::uint32_t>(f)] <= threshold_[cur] ? l : r;
+    }
+  }
+
+  // Leaves carry the lockstep encoding: threshold +inf and left_ == right_
+  // == own index, so the batched kernel can step every row of a block one
+  // level at a time with no per-row termination branch (a finished row
+  // spins on its leaf). feature_ keeps -1 at leaves for the scalar paths.
+  std::vector<std::int32_t> feature_;    // -1 = leaf
+  std::vector<double> threshold_;
+  std::vector<std::uint32_t> left_;      // arena-absolute child indices
+  std::vector<std::uint32_t> right_;
+  std::vector<double> value_;
+  std::vector<std::uint32_t> tree_offset_;  // size tree_count() + 1
+  std::vector<unsigned> tree_steps_;        // deepest leaf depth per tree
+  std::size_t n_features_ = 0;
+};
+
+}  // namespace napel::ml

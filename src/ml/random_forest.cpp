@@ -1,5 +1,6 @@
 #include "ml/random_forest.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <istream>
 #include <limits>
@@ -109,8 +110,10 @@ RandomForest::Interval RandomForest::predict_interval(
   }
   Interval iv;
   iv.mean = sum / static_cast<double>(preds.size());
-  iv.lo = percentile(preds, lo_pct);
-  iv.hi = percentile(preds, hi_pct);
+  // One in-place sort serves both percentiles — no per-percentile copy.
+  std::sort(preds.begin(), preds.end());
+  iv.lo = percentile_sorted(preds, lo_pct);
+  iv.hi = percentile_sorted(preds, hi_pct);
   return iv;
 }
 

@@ -51,6 +51,7 @@ class RandomForest final : public Regressor {
                             double hi_pct = 90.0) const;
 
   std::size_t tree_count() const { return trees_.size(); }
+  std::size_t n_features() const { return n_features_; }
   const DecisionTree& tree(std::size_t i) const;
 
   /// Mean out-of-bag absolute relative error — an internal generalization

@@ -153,7 +153,9 @@ RfTuningResult tune_random_forest(const Dataset& data,
       if (train.empty() || test.empty()) continue;
       RandomForest model(combos[c]);
       model.fit(train);
-      mre_sum += evaluate(model, test).mre;
+      // Score the held-out fold through the compiled flat arena: one
+      // batched traversal instead of per-row pointer chasing, same bits.
+      mre_sum += evaluate(FlatForest(model), test).mre;
       ++folds_used;
     }
     if (folds_used)

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 
 namespace napel::core {
 
@@ -41,19 +42,44 @@ std::vector<sim::ArchConfig> enumerate_grid(const DseGrid& grid) {
 
 std::vector<DsePoint> explore(const NapelModel& model,
                               const profiler::Profile& profile,
-                              const std::vector<sim::ArchConfig>& candidates) {
+                              const std::vector<sim::ArchConfig>& candidates,
+                              unsigned n_threads) {
   NAPEL_CHECK_MSG(model.is_trained(), "explore requires a trained model");
   NAPEL_CHECK(!candidates.empty());
-  std::vector<DsePoint> out;
-  out.reserve(candidates.size());
-  for (const auto& arch : candidates) {
-    DsePoint p;
-    p.arch = arch;
-    p.pred = model.predict(profile, arch);
-    p.ipc_interval =
-        model.ipc_forest().predict_interval(model_features(profile, arch));
-    out.push_back(std::move(p));
+  const std::size_t n = candidates.size();
+  const std::size_t p = model_feature_names().size();
+  const auto instr = static_cast<double>(profile.total_instructions);
+
+  // Assemble the feature matrix once, up front: one row per candidate
+  // (the historical loop rebuilt every row twice — once for the mean,
+  // once for the interval).
+  std::vector<double> X(n * p);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::vector<double> f = model_features(profile, candidates[i]);
+    std::copy(f.begin(), f.end(), X.begin() + static_cast<std::ptrdiff_t>(i * p));
   }
+
+  // Candidates fan out in blocks; each block owns a per-tree vote scratch
+  // buffer and writes only its own pre-allocated DsePoint slots, so the
+  // output is bit-identical at any thread count.
+  std::vector<DsePoint> out(n);
+  const ml::FlatForest& ipc = model.ipc_flat();
+  constexpr std::size_t kBlock = 16;
+  const std::size_t n_blocks = (n + kBlock - 1) / kBlock;
+  parallel_for(n_blocks, n_threads, [&](std::size_t blk) {
+    std::vector<double> votes(ipc.tree_count());
+    const std::size_t lo = blk * kBlock;
+    const std::size_t hi = std::min(lo + kBlock, n);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::span<const double> f{X.data() + i * p, p};
+      DsePoint& pt = out[i];
+      pt.arch = candidates[i];
+      // Single IPC-forest traversal: the ensemble mean and the percentile
+      // band both come from the same per-tree votes.
+      pt.ipc_interval = ipc.predict_interval(f, votes);
+      pt.pred = model.predict_from_features(f, pt.ipc_interval.mean, instr);
+    }
+  });
   return out;
 }
 

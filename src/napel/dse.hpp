@@ -37,10 +37,16 @@ struct DseGrid {
 /// combinations are skipped).
 std::vector<sim::ArchConfig> enumerate_grid(const DseGrid& grid);
 
-/// Predicts every candidate for the profiled kernel.
+/// Predicts every candidate for the profiled kernel. The feature matrix is
+/// assembled once, candidates fan out over `n_threads` workers (0 = the
+/// process-wide pool, 1 = serial), and each design point costs exactly one
+/// traversal of the IPC forest (mean + uncertainty band from the same
+/// per-tree votes) plus one of the power forest. Results are bit-identical
+/// at any thread count.
 std::vector<DsePoint> explore(const NapelModel& model,
                               const profiler::Profile& profile,
-                              const std::vector<sim::ArchConfig>& candidates);
+                              const std::vector<sim::ArchConfig>& candidates,
+                              unsigned n_threads = 0);
 
 /// Indices of the (time, energy)-minimizing Pareto frontier, sorted by
 /// predicted time.

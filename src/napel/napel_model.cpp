@@ -67,44 +67,59 @@ void NapelModel::train(const std::vector<TrainingRow>& rows,
 
   ipc_rf_ = fit_one(ipc_data, ipc_tuning_, ".ipc");
   energy_rf_ = fit_one(power_data, energy_tuning_, ".power");
+  // Compile both forests into flat SoA arenas once; all serving goes
+  // through them (bit-identical to the pointer forests, much faster).
+  ipc_flat_ = ml::FlatForest(*ipc_rf_);
+  energy_flat_ = ml::FlatForest(*energy_rf_);
   trained_ = true;
 }
 
 double NapelModel::predict_ipc(std::span<const double> features) const {
   NAPEL_CHECK_MSG(trained_, "predict before train");
-  return ipc_rf_->predict(features);
+  return ipc_flat_.predict(features);
 }
 
 double NapelModel::predict_power_watts(
     std::span<const double> features) const {
   NAPEL_CHECK_MSG(trained_, "predict before train");
-  return energy_rf_->predict(features);
+  return energy_flat_.predict(features);
 }
 
 double NapelModel::predict_energy_pj(std::span<const double> features) const {
   NAPEL_CHECK_MSG(trained_, "predict before train");
-  const double ipc = std::max(1e-6, ipc_rf_->predict(features));
+  const double ipc = std::max(1e-6, ipc_flat_.predict(features));
   const double freq_hz = features[freq_feature_index()] * 1e9;
-  const double watts = std::max(0.0, energy_rf_->predict(features));
+  const double watts = std::max(0.0, energy_flat_.predict(features));
   // Per-instruction time is 1/(IPC·f); energy = P · time.
   return watts / (ipc * freq_hz) * 1e12;
+}
+
+Prediction NapelModel::predict_from_features(
+    std::span<const double> features, double ipc_forest_mean,
+    double total_instructions) const {
+  NAPEL_CHECK_MSG(trained_, "predict before train");
+  Prediction p;
+  p.ipc = std::max(1e-6, ipc_forest_mean);
+  p.power_watts = std::max(0.0, energy_flat_.predict(features));
+  // T = I_offload / (IPC · f_core)   (Section 2.5). The schema stores the
+  // core frequency verbatim, so reading it back is exact.
+  const double freq_ghz = features[freq_feature_index()];
+  p.time_seconds = total_instructions / (p.ipc * freq_ghz * 1e9);
+  p.energy_joules = p.power_watts * p.time_seconds;
+  p.energy_pj_per_instr = total_instructions == 0.0
+                              ? 0.0
+                              : p.energy_joules * 1e12 / total_instructions;
+  p.edp = p.energy_joules * p.time_seconds;
+  return p;
 }
 
 Prediction NapelModel::predict(const profiler::Profile& profile,
                                const sim::ArchConfig& arch) const {
   NAPEL_CHECK_MSG(trained_, "predict before train");
   const std::vector<double> f = model_features(profile, arch);
-  Prediction p;
-  p.ipc = std::max(1e-6, ipc_rf_->predict(f));
-  p.power_watts = std::max(0.0, energy_rf_->predict(f));
-  const double instr = static_cast<double>(profile.total_instructions);
-  // T = I_offload / (IPC · f_core)   (Section 2.5)
-  p.time_seconds = instr / (p.ipc * arch.core_freq_ghz * 1e9);
-  p.energy_joules = p.power_watts * p.time_seconds;
-  p.energy_pj_per_instr =
-      instr == 0.0 ? 0.0 : p.energy_joules * 1e12 / instr;
-  p.edp = p.energy_joules * p.time_seconds;
-  return p;
+  return predict_from_features(
+      f, ipc_flat_.predict(f),
+      static_cast<double>(profile.total_instructions));
 }
 
 const ml::RandomForest& NapelModel::ipc_forest() const {
@@ -117,6 +132,16 @@ const ml::RandomForest& NapelModel::energy_forest() const {
   return *energy_rf_;
 }
 
+const ml::FlatForest& NapelModel::ipc_flat() const {
+  NAPEL_CHECK_MSG(trained_, "model not trained");
+  return ipc_flat_;
+}
+
+const ml::FlatForest& NapelModel::energy_flat() const {
+  NAPEL_CHECK_MSG(trained_, "model not trained");
+  return energy_flat_;
+}
+
 NapelModel NapelModel::from_forests(ml::RandomForest ipc_rf,
                                     ml::RandomForest energy_rf) {
   NAPEL_CHECK_MSG(ipc_rf.is_fitted() && energy_rf.is_fitted(),
@@ -124,6 +149,8 @@ NapelModel NapelModel::from_forests(ml::RandomForest ipc_rf,
   NapelModel model;
   model.ipc_rf_ = std::make_unique<ml::RandomForest>(std::move(ipc_rf));
   model.energy_rf_ = std::make_unique<ml::RandomForest>(std::move(energy_rf));
+  model.ipc_flat_ = ml::FlatForest(*model.ipc_rf_);
+  model.energy_flat_ = ml::FlatForest(*model.energy_rf_);
   model.trained_ = true;
   return model;
 }

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ml/flat_forest.hpp"
 #include "ml/random_forest.hpp"
 #include "ml/tuning.hpp"
 #include "napel/pipeline.hpp"
@@ -56,6 +57,16 @@ class NapelModel {
   Prediction predict(const profiler::Profile& profile,
                      const sim::ArchConfig& arch) const;
 
+  /// Full prediction from a pre-assembled feature row, reusing an
+  /// already-computed IPC-forest ensemble mean (the DSE hot path: the mean
+  /// falls out of the same traversal that produced the uncertainty band,
+  /// so the IPC forest is walked exactly once per design point). The core
+  /// frequency is read from the feature row; `total_instructions` is the
+  /// profiled kernel's instruction count.
+  Prediction predict_from_features(std::span<const double> features,
+                                   double ipc_forest_mean,
+                                   double total_instructions) const;
+
   /// Raw model outputs for a pre-assembled feature vector.
   double predict_ipc(std::span<const double> features) const;
   double predict_power_watts(std::span<const double> features) const;
@@ -65,6 +76,10 @@ class NapelModel {
 
   const ml::RandomForest& ipc_forest() const;
   const ml::RandomForest& energy_forest() const;  ///< the power model
+  /// Compiled flat-arena twins of the two forests: every prediction this
+  /// model serves runs on these (bit-identical to the pointer forests).
+  const ml::FlatForest& ipc_flat() const;
+  const ml::FlatForest& energy_flat() const;
 
   /// Reconstructs a trained model from two fitted forests (used by the
   /// persistence layer in napel/model_io.hpp).
@@ -76,6 +91,8 @@ class NapelModel {
  private:
   std::unique_ptr<ml::RandomForest> ipc_rf_;
   std::unique_ptr<ml::RandomForest> energy_rf_;
+  ml::FlatForest ipc_flat_;     // compiled from ipc_rf_ at train/load time
+  ml::FlatForest energy_flat_;  // compiled from energy_rf_
   ml::RfTuningResult ipc_tuning_;
   ml::RfTuningResult energy_tuning_;
   bool trained_ = false;

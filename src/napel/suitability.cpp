@@ -25,6 +25,8 @@ SuitabilityRow analyze_suitability(const workloads::Workload& w,
   const profiler::Profile profile = builder.build();
   const sim::SimResult& sim_res = simulator.result();
   const hostmodel::HostResult host_res = host.evaluate(profile);
+  // Model inference runs on the compiled flat forests (one feature row,
+  // one traversal per forest) — the same engine the DSE loop batches over.
   const Prediction pred = model.predict(profile, arch);
 
   SuitabilityRow row;

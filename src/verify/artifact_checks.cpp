@@ -102,6 +102,12 @@ void check_model_stream(std::istream& is, std::string_view name,
   core::NapelModel model;
   try {
     model = core::load_model(is);
+  } catch (const ml::TreeTopologyError& e) {
+    // Node links that cycle or share subtrees would hang or corrupt
+    // traversal; the loader rejects them and lint gets a dedicated rule.
+    diags.report(make_diag(Severity::kError, "model-topology", name,
+                           std::string("corrupt tree structure: ") + e.what()));
+    return;
   } catch (const std::exception& e) {
     diags.report(make_diag(Severity::kError, "model-format", name,
                            std::string("model does not load: ") + e.what()));

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -151,6 +152,93 @@ TEST(DecisionTree, DuplicateFeatureValuesDoNotSplitApart) {
   tree.fit(d);
   EXPECT_EQ(tree.leaf_count(), 1u);
   EXPECT_NEAR(tree.predict(std::vector<double>{1.0}), 24.5, 1e-9);
+}
+
+// --- load-time topology hardening ----------------------------------------
+// Node lines are "feature threshold left right value"; children of a saved
+// tree always come after their parent (DFS preorder). The loader must
+// reject anything else — a backward child link would make leaf_id() loop
+// forever on a corrupted file.
+
+TEST(DecisionTree, LoadAcceptsWellFormedPreorderTree) {
+  std::istringstream is(
+      "tree 1 3\n"
+      "0 0.5 1 2 0\n"
+      "-1 0 0 0 1\n"
+      "-1 0 0 0 5\n"
+      "0.5\n");
+  const DecisionTree tree = DecisionTree::load(is);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{0.1}), 1.0);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{0.9}), 5.0);
+}
+
+TEST(DecisionTree, LoadRejectsSelfReferencingChild) {
+  // Root's left child is the root itself: the classic infinite cycle.
+  std::istringstream is(
+      "tree 1 3\n"
+      "0 0.5 0 2 0\n"
+      "-1 0 0 0 1\n"
+      "-1 0 0 0 5\n"
+      "0.5\n");
+  EXPECT_THROW(DecisionTree::load(is), TreeTopologyError);
+}
+
+TEST(DecisionTree, LoadRejectsBackwardChildLink) {
+  // Node 1 links back to an earlier node — a cycle through two nodes.
+  std::istringstream is(
+      "tree 1 4\n"
+      "0 0.5 1 3 0\n"
+      "0 0.2 0 2 0\n"
+      "-1 0 0 0 1\n"
+      "-1 0 0 0 5\n"
+      "0.5\n");
+  EXPECT_THROW(DecisionTree::load(is), TreeTopologyError);
+}
+
+TEST(DecisionTree, LoadRejectsSharedChild) {
+  // left == right: node 1 has two parents, node 2 is unreachable.
+  std::istringstream is(
+      "tree 1 3\n"
+      "0 0.5 1 1 0\n"
+      "-1 0 0 0 1\n"
+      "-1 0 0 0 5\n"
+      "0.5\n");
+  EXPECT_THROW(DecisionTree::load(is), TreeTopologyError);
+}
+
+TEST(DecisionTree, LoadRejectsUnreachableNode) {
+  std::istringstream is(
+      "tree 1 2\n"
+      "-1 0 0 0 1\n"
+      "-1 0 0 0 5\n"
+      "0.5\n");
+  EXPECT_THROW(DecisionTree::load(is), TreeTopologyError);
+}
+
+TEST(DecisionTree, TopologyErrorIsAnInvalidArgument) {
+  // Existing catch sites treat corrupt files as std::invalid_argument; the
+  // topology subtype must stay inside that contract.
+  std::istringstream is(
+      "tree 1 3\n"
+      "0 0.5 0 2 0\n"
+      "-1 0 0 0 1\n"
+      "-1 0 0 0 5\n"
+      "0.5\n");
+  EXPECT_THROW(DecisionTree::load(is), std::invalid_argument);
+}
+
+TEST(DecisionTree, SaveLoadRoundTripSurvivesHardenedLoader) {
+  DecisionTree tree;
+  tree.fit(step_data());
+  std::stringstream ss;
+  tree.save(ss);
+  const DecisionTree loaded = DecisionTree::load(ss);
+  EXPECT_EQ(loaded.node_count(), tree.node_count());
+  Rng rng(21);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> x = {rng.uniform(), rng.uniform()};
+    EXPECT_DOUBLE_EQ(tree.predict(x), loaded.predict(x));
+  }
 }
 
 class TreeDepthSweepTest : public ::testing::TestWithParam<unsigned> {};

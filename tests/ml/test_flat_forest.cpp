@@ -1,0 +1,185 @@
+#include "ml/flat_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "napel/napel_model.hpp"
+#include "napel/pipeline.hpp"
+#include "workloads/registry.hpp"
+
+namespace napel::ml {
+namespace {
+
+/// Bitwise double equality: the flat engine's contract is stronger than
+/// EXPECT_DOUBLE_EQ — the compiled forest must reproduce the pointer
+/// forest's exact bit pattern.
+::testing::AssertionResult bits_eq(double a, double b) {
+  if (std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b))
+    return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << a << " != " << b << " (bit patterns differ)";
+}
+
+double response(std::span<const double> x) {
+  return 2.0 * x[0] * x[1] + std::sin(3.0 * x[2]) + 0.5 * x[3] * x[3];
+}
+
+Dataset make_data(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  Dataset d(4);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> x = {rng.uniform(-1, 1), rng.uniform(-1, 1),
+                             rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    d.add_row(x, response(x) + 5.0);
+  }
+  return d;
+}
+
+RandomForest fitted_forest(std::uint64_t seed, unsigned n_trees = 30) {
+  RandomForestParams p;
+  p.n_trees = n_trees;
+  p.seed = seed;
+  RandomForest rf(p);
+  rf.fit(make_data(seed, 300));
+  return rf;
+}
+
+TEST(FlatForest, CompilesShapeOfSourceForest) {
+  const RandomForest rf = fitted_forest(1);
+  const FlatForest flat(rf);
+  EXPECT_TRUE(flat.is_compiled());
+  EXPECT_EQ(flat.tree_count(), rf.tree_count());
+  EXPECT_EQ(flat.n_features(), rf.n_features());
+  std::size_t nodes = 0;
+  for (std::size_t t = 0; t < rf.tree_count(); ++t)
+    nodes += rf.tree(t).node_count();
+  EXPECT_EQ(flat.node_count(), nodes);
+}
+
+TEST(FlatForest, DefaultConstructedIsNotCompiled) {
+  const FlatForest flat;
+  EXPECT_FALSE(flat.is_compiled());
+  EXPECT_EQ(flat.tree_count(), 0u);
+}
+
+TEST(FlatForest, PredictMatchesPointerForestBitwise) {
+  const RandomForest rf = fitted_forest(2);
+  const FlatForest flat(rf);
+  const Dataset probe = make_data(99, 200);
+  for (std::size_t i = 0; i < probe.size(); ++i)
+    EXPECT_TRUE(bits_eq(rf.predict(probe.row(i)), flat.predict(probe.row(i))))
+        << "row " << i;
+}
+
+TEST(FlatForest, BatchMatchesScalarAtBlockBoundaries) {
+  const RandomForest rf = fitted_forest(3);
+  const FlatForest flat(rf);
+  // 63/64/65 straddle the internal row-block size; 1 and 1000 cover the
+  // degenerate and the many-blocks cases.
+  for (const std::size_t n : {std::size_t{1}, std::size_t{63}, std::size_t{64},
+                              std::size_t{65}, std::size_t{1000}}) {
+    const Dataset probe = make_data(7 + n, n);
+    std::vector<double> out(n);
+    flat.predict_batch(probe.features(), n, out);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_TRUE(bits_eq(rf.predict(probe.row(i)), out[i]))
+          << "n=" << n << " row " << i;
+  }
+}
+
+TEST(FlatForest, AllTreeVotesMatchIndividualTrees) {
+  const RandomForest rf = fitted_forest(4, 9);
+  const FlatForest flat(rf);
+  const Dataset probe = make_data(55, 20);
+  std::vector<double> votes(flat.tree_count());
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    flat.predict_all_trees(probe.row(i), votes);
+    for (std::size_t t = 0; t < rf.tree_count(); ++t)
+      EXPECT_TRUE(bits_eq(rf.tree(t).predict(probe.row(i)), votes[t]))
+          << "row " << i << " tree " << t;
+  }
+}
+
+TEST(FlatForest, IntervalMatchesPointerForestBitwise) {
+  const RandomForest rf = fitted_forest(5);
+  const FlatForest flat(rf);
+  const Dataset probe = make_data(77, 100);
+  std::vector<double> scratch(flat.tree_count());
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    const auto a = rf.predict_interval(probe.row(i));
+    const auto b = flat.predict_interval(probe.row(i), scratch);
+    EXPECT_TRUE(bits_eq(a.mean, b.mean)) << "row " << i;
+    EXPECT_TRUE(bits_eq(a.lo, b.lo)) << "row " << i;
+    EXPECT_TRUE(bits_eq(a.hi, b.hi)) << "row " << i;
+  }
+  // Non-default percentiles take the same interpolation path.
+  const auto a = rf.predict_interval(probe.row(0), 25.0, 75.0);
+  const auto b = flat.predict_interval(probe.row(0), scratch, 25.0, 75.0);
+  EXPECT_TRUE(bits_eq(a.lo, b.lo));
+  EXPECT_TRUE(bits_eq(a.hi, b.hi));
+}
+
+TEST(FlatForest, SaveLoadCompileRoundTripIsIdentity) {
+  const RandomForest rf = fitted_forest(6);
+  std::stringstream ss;
+  rf.save(ss);
+  const RandomForest loaded = RandomForest::load(ss);
+  const FlatForest flat_orig(rf);
+  const FlatForest flat_loaded(loaded);
+  const Dataset probe = make_data(123, 100);
+  std::vector<double> scratch(flat_orig.tree_count());
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    EXPECT_TRUE(
+        bits_eq(flat_orig.predict(probe.row(i)), flat_loaded.predict(probe.row(i))));
+    const auto a = flat_orig.predict_interval(probe.row(i), scratch);
+    const auto b = flat_loaded.predict_interval(probe.row(i), scratch);
+    EXPECT_TRUE(bits_eq(a.mean, b.mean));
+    EXPECT_TRUE(bits_eq(a.lo, b.lo));
+    EXPECT_TRUE(bits_eq(a.hi, b.hi));
+  }
+}
+
+// Every registered kernel, end to end: collect a tiny training set, fit a
+// forest on the real NAPEL feature rows, and require the compiled engine to
+// reproduce the pointer forest bit-for-bit on those rows.
+TEST(FlatForest, EveryKernelTrainedForestMatchesBitwise) {
+  std::vector<const workloads::Workload*> all;
+  for (const auto* w : workloads::all_workloads()) all.push_back(w);
+  for (const auto* w : workloads::extended_workloads()) all.push_back(w);
+
+  core::CollectOptions copt;
+  copt.scale = workloads::Scale::kTiny;
+  copt.archs_per_config = 1;
+  copt.arch_pool_size = 2;
+
+  for (const auto* w : all) {
+    std::vector<core::TrainingRow> rows;
+    core::collect_training_data(*w, copt, rows);
+    const Dataset data = core::assemble_dataset(rows, core::Target::kIpc);
+    RandomForestParams p;
+    p.n_trees = 10;
+    RandomForest rf(p);
+    rf.fit(data);
+    const FlatForest flat(rf);
+
+    std::vector<double> out(data.size());
+    flat.predict_batch(data.features(), data.size(), out);
+    std::vector<double> scratch(flat.tree_count());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      EXPECT_TRUE(bits_eq(rf.predict(data.row(i)), out[i]))
+          << w->name() << " row " << i;
+      const auto a = rf.predict_interval(data.row(i));
+      const auto b = flat.predict_interval(data.row(i), scratch);
+      EXPECT_TRUE(bits_eq(a.lo, b.lo)) << w->name() << " row " << i;
+      EXPECT_TRUE(bits_eq(a.hi, b.hi)) << w->name() << " row " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace napel::ml

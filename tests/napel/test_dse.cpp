@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
+
 #include "workloads/registry.hpp"
 
 namespace napel::core {
@@ -89,6 +92,49 @@ TEST(Dse, BestEdpIsMinimal) {
   const std::size_t best = best_edp_point(points);
   for (const auto& p : points)
     EXPECT_GE(p.pred.edp, points[best].pred.edp);
+}
+
+TEST(Dse, ExploreIsThreadCountInvariantBitwise) {
+  const auto configs = enumerate_grid(DseGrid{});
+  const auto profile = subject_profile();
+  const auto serial = explore(model(), profile, configs, 1);
+  const auto threaded = explore(model(), profile, configs, 4);
+  ASSERT_EQ(serial.size(), threaded.size());
+  const auto bits = [](double v) {
+    std::uint64_t u;
+    std::memcpy(&u, &v, sizeof u);
+    return u;
+  };
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(bits(serial[i].pred.ipc), bits(threaded[i].pred.ipc)) << i;
+    EXPECT_EQ(bits(serial[i].pred.time_seconds),
+              bits(threaded[i].pred.time_seconds))
+        << i;
+    EXPECT_EQ(bits(serial[i].pred.energy_joules),
+              bits(threaded[i].pred.energy_joules))
+        << i;
+    EXPECT_EQ(bits(serial[i].pred.edp), bits(threaded[i].pred.edp)) << i;
+    EXPECT_EQ(bits(serial[i].ipc_interval.mean),
+              bits(threaded[i].ipc_interval.mean))
+        << i;
+    EXPECT_EQ(bits(serial[i].ipc_interval.lo), bits(threaded[i].ipc_interval.lo))
+        << i;
+    EXPECT_EQ(bits(serial[i].ipc_interval.hi), bits(threaded[i].ipc_interval.hi))
+        << i;
+  }
+}
+
+TEST(Dse, IntervalMeanMatchesPointForestPrediction) {
+  // The single-traversal rewrite must keep the interval's mean equal to the
+  // plain ensemble prediction the DsePoint reports.
+  DseGrid grid;
+  grid.n_pes = {16};
+  grid.core_freq_ghz = {1.0, 2.0};
+  grid.cache_lines = {2};
+  const auto configs = enumerate_grid(grid);
+  const auto points = explore(model(), subject_profile(), configs);
+  for (const auto& p : points)
+    EXPECT_DOUBLE_EQ(p.ipc_interval.mean, p.pred.ipc);
 }
 
 TEST(Dse, UntrainedModelThrows) {

@@ -86,6 +86,27 @@ TEST_F(ModelChecks, CorruptedTreeNodeFires) {
   EXPECT_TRUE(has_rule(diags, "model-format"));
 }
 
+TEST_F(ModelChecks, CorruptedTopologyFiresDedicatedRule) {
+  std::string text = model_text();
+  // Rewrite the first tree's root so its left child points back at itself —
+  // the cycle a pre-hardening loader would traverse forever.
+  const auto tree_pos = text.find("\ntree ");
+  ASSERT_NE(tree_pos, std::string::npos);
+  const auto node_pos = text.find('\n', tree_pos + 1) + 1;
+  const auto node_end = text.find('\n', node_pos);
+  std::istringstream node(text.substr(node_pos, node_end - node_pos));
+  std::string feature, threshold, left, right, value;
+  node >> feature >> threshold >> left >> right >> value;
+  ASSERT_NE(feature, "-1") << "root of a 5-tree forest should split";
+  text.replace(node_pos, node_end - node_pos,
+               feature + ' ' + threshold + " 0 " + right + ' ' + value);
+  std::istringstream is(text);
+  check_model_stream(is, "model", diags);
+  EXPECT_TRUE(has_rule(diags, "model-topology"));
+  EXPECT_FALSE(has_rule(diags, "model-format"));
+  EXPECT_FALSE(diags.ok());
+}
+
 TEST_F(ModelChecks, MissingFileFires) {
   check_model_file("/nonexistent/napel.model", diags);
   EXPECT_TRUE(has_rule(diags, "model-format"));

@@ -1,0 +1,20 @@
+# DSE determinism drill: train a tiny model, explore the design grid at one
+# thread and at four, and require byte-identical CSVs — the flat-forest
+# engine's bit-identical-at-any-thread-count contract, end to end.
+foreach(step
+    "train;-o;${WORKDIR}/cli_dse_model.txt;--apps;atax,gesummv;--scale;tiny"
+    "dse;-m;${WORKDIR}/cli_dse_model.txt;--app;mvt;--scale;tiny;--threads;1;-o;${WORKDIR}/cli_dse_t1.csv"
+    "dse;-m;${WORKDIR}/cli_dse_model.txt;--app;mvt;--scale;tiny;--threads;4;-o;${WORKDIR}/cli_dse_t4.csv")
+  execute_process(COMMAND ${CLI} ${step} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "CLI step failed: ${step} (rc=${rc})")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORKDIR}/cli_dse_t1.csv ${WORKDIR}/cli_dse_t4.csv
+  RESULT_VARIABLE cmp_rc)
+if(NOT cmp_rc EQUAL 0)
+  message(FATAL_ERROR "DSE CSV differs between --threads 1 and --threads 4")
+endif()

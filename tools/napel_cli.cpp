@@ -12,6 +12,8 @@
 //               [--tune-checkpoint FILE] [--max-failures N]
 //   napel predict -m <model-file> --app <workload> [--scale S]
 //                 [--pes N] [--freq GHZ] [--cache-lines N] [--seed N]
+//   napel dse -m <model-file> --app <workload> [--scale S] [--threads N]
+//             [--seed N] [-o csv-file]
 //   napel suitability -m <model-file> --app <workload> [--scale S]
 //   napel lint [--apps a,b] [--scale S] [--json] [--model FILE] [--csv FILE]
 //              [--trace FILE] [--journal FILE] [--disable rule,rule]
@@ -21,6 +23,7 @@
 // 3 when `lint` found error-severity diagnostics. The hidden
 // --inject-crash-at N flag (CI crash drills) arms a fault that tears the
 // N-th journal append and kills the process with exit status 42.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -391,6 +394,77 @@ int cmd_simulate(const Args& a) {
   return 0;
 }
 
+// Design-space exploration: profile the kernel once, enumerate the default
+// grid, and rank every candidate with the flat-forest inference engine.
+// Output (and the optional CSV) is bit-identical at any --threads value.
+int cmd_dse(const Args& a) {
+  const auto model_it = a.options.find("model");
+  if (model_it == a.options.end())
+    throw std::invalid_argument("missing -m <model-file>");
+  const core::NapelModel model = core::load_model_file(model_it->second);
+  const auto& w = require_app(a);
+  const auto scale = parse_scale(a);
+  const auto threads = static_cast<unsigned>(parse_u64(a, "threads", 0));
+
+  const auto input =
+      workloads::WorkloadParams::test_input(w.doe_space(scale));
+  const auto profile =
+      core::profile_workload(w, input, parse_u64(a, "seed", 404));
+  const std::vector<sim::ArchConfig> candidates =
+      core::enumerate_grid(core::DseGrid{});
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<core::DsePoint> points =
+      core::explore(model, profile, candidates, threads);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::printf("%s (%s): %zu candidate designs in %.3f ms (%.0f predictions/s)\n",
+              std::string(w.name()).c_str(), input.to_string().c_str(),
+              points.size(), secs * 1e3,
+              static_cast<double>(points.size()) / secs);
+
+  const std::vector<std::size_t> front = core::pareto_front(points);
+  Table t({"design", "ipc", "ipc 10-90%", "time us", "energy uJ", "EDP J*s"});
+  for (const std::size_t i : front) {
+    const core::DsePoint& pt = points[i];
+    char ival[64], edp[32];
+    std::snprintf(ival, sizeof ival, "[%.2f, %.2f]", pt.ipc_interval.lo,
+                  pt.ipc_interval.hi);
+    std::snprintf(edp, sizeof edp, "%.4g", pt.pred.edp);
+    char tbuf[32], ebuf[32], ibuf[32];
+    std::snprintf(ibuf, sizeof ibuf, "%.3f", pt.pred.ipc);
+    std::snprintf(tbuf, sizeof tbuf, "%.3f", pt.pred.time_seconds * 1e6);
+    std::snprintf(ebuf, sizeof ebuf, "%.3f", pt.pred.energy_joules * 1e6);
+    t.add_row({pt.arch.to_string(), ibuf, ival, tbuf, ebuf, edp});
+  }
+  std::printf("Pareto frontier (%zu of %zu points):\n", front.size(),
+              points.size());
+  t.print(std::cout);
+
+  const core::DsePoint& best = points[core::best_edp_point(points)];
+  std::printf("EDP-optimal design: %s (EDP %.4g J*s)\n",
+              best.arch.to_string().c_str(), best.pred.edp);
+
+  if (const auto out_it = a.options.find("out"); out_it != a.options.end()) {
+    CsvWriter csv({"arch", "ipc", "ipc_lo", "ipc_hi", "power_watts",
+                   "time_seconds", "energy_joules", "edp"});
+    for (const core::DsePoint& pt : points)
+      csv.add_row({pt.arch.to_string(), fmt_double(pt.pred.ipc),
+                   fmt_double(pt.ipc_interval.lo),
+                   fmt_double(pt.ipc_interval.hi),
+                   fmt_double(pt.pred.power_watts),
+                   fmt_double(pt.pred.time_seconds),
+                   fmt_double(pt.pred.energy_joules),
+                   fmt_double(pt.pred.edp)});
+    csv.write_file(out_it->second);
+    std::printf("wrote %zu design points to %s\n", points.size(),
+                out_it->second.c_str());
+  }
+  return 0;
+}
+
 int cmd_suitability(const Args& a) {
   const auto model_it = a.options.find("model");
   if (model_it == a.options.end())
@@ -514,6 +588,8 @@ int usage() {
                "        [--journal FILE] [--resume] [--tune-checkpoint FILE]\n"
                "        [--max-failures N]   collection flags as for collect\n"
                "  predict -m FILE --app W [--pes N] [--freq GHZ] [--cache-lines N]\n"
+               "  dse -m FILE --app W [--scale S] [--threads N] [--seed N] [-o CSV]\n"
+               "      rank every grid design; Pareto front + EDP optimum\n"
                "  suitability -m FILE --app W [--scale S]\n"
                "  record <workload> -o FILE [--scale S]   capture a trace\n"
                "  simulate --trace FILE [--pes N] [...]   replay on a design\n"
@@ -534,6 +610,7 @@ int main(int argc, char** argv) {
     if (args.command == "collect") return cmd_collect(args);
     if (args.command == "train") return cmd_train(args);
     if (args.command == "predict") return cmd_predict(args);
+    if (args.command == "dse") return cmd_dse(args);
     if (args.command == "suitability") return cmd_suitability(args);
     if (args.command == "record") return cmd_record(args);
     if (args.command == "simulate") return cmd_simulate(args);
