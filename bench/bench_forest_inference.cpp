@@ -25,6 +25,7 @@
 
 #include "bench_util.hpp"
 #include "ml/flat_forest.hpp"
+#include "verify/forest_analyzer.hpp"
 
 using namespace napel;
 
@@ -150,6 +151,22 @@ int main(int argc, char** argv) {
   const double interval_speedup =
       interval_flat_s > 0.0 ? interval_rf_s / interval_flat_s : 0.0;
 
+  // Static-analyzer cost over the same arena: certify() (the serve-time
+  // structural pass) and the full abstract interpretation. Reported for
+  // tracking, not gated — the analyzer runs offline, never per prediction.
+  const double certify_s = best([&] {
+    flat.certify();
+    return 1.0;
+  });
+  const double analyze_s = best([&] {
+    verify::DiagnosticEngine diags;
+    const auto domain = verify::FeatureDomain::unbounded(
+        std::vector<std::string>(n_features, "f"));
+    const auto analysis =
+        verify::analyze_forest(flat, domain, "bench", diags);
+    return analysis.bounds.hi;
+  });
+
   std::printf("scalar forest    %10.0f rows/s\n", rps(scalar_rf_s));
   std::printf("flat scalar      %10.0f rows/s  (%.2fx)\n", rps(flat_scalar_s),
               flat_scalar_s > 0.0 ? scalar_rf_s / flat_scalar_s : 0.0);
@@ -158,6 +175,9 @@ int main(int argc, char** argv) {
   std::printf("interval forest  %10.0f rows/s\n", rps(interval_rf_s));
   std::printf("interval flat    %10.0f rows/s  (%.2fx)\n",
               rps(interval_flat_s), interval_speedup);
+  std::printf("static analyzer  certify %.3f ms, abstract-interp %.3f ms "
+              "(%zu nodes; offline, not gated)\n",
+              certify_s * 1e3, analyze_s * 1e3, flat.node_count());
 
   FILE* f = std::fopen("BENCH_forest_inference.json", "w");
   if (f == nullptr) {
@@ -178,8 +198,11 @@ int main(int argc, char** argv) {
                rps(interval_rf_s), rps(interval_flat_s));
   std::fprintf(f,
                "  \"batched_vs_scalar\": %.3f, "
-               "\"interval_flat_vs_rf\": %.3f\n}\n",
+               "\"interval_flat_vs_rf\": %.3f,\n",
                batched_speedup, interval_speedup);
+  std::fprintf(f,
+               "  \"certify_ms\": %.3f, \"analyze_ms\": %.3f\n}\n",
+               certify_s * 1e3, analyze_s * 1e3);
   std::fclose(f);
   std::printf("wrote BENCH_forest_inference.json\n");
 

@@ -1,7 +1,9 @@
 #include "ml/flat_forest.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <string>
 
 #include "common/check.hpp"
 #include "common/stats.hpp"
@@ -61,6 +63,112 @@ FlatForest::FlatForest(const RandomForest& forest) {
     tree_steps_.push_back(deepest);
   }
   tree_offset_.push_back(static_cast<std::uint32_t>(feature_.size()));
+}
+
+void FlatForest::certify() const {
+  const auto fail = [](const std::string& what) {
+    throw ArenaCertificationError("arena certification: " + what);
+  };
+  if (!is_compiled()) fail("forest is not compiled");
+  if (n_features_ == 0) fail("feature count is zero");
+  const std::size_t n = feature_.size();
+  if (threshold_.size() != n || left_.size() != n || right_.size() != n ||
+      value_.size() != n)
+    fail("column lengths disagree");
+  if (tree_offset_.front() != 0)
+    fail("first tree offset is not zero");
+  if (tree_offset_.back() != n)
+    fail("last tree offset does not close the arena");
+  if (tree_steps_.size() != tree_count())
+    fail("lockstep step table length disagrees with tree count");
+
+  std::vector<std::uint32_t> refs(n, 0);
+  for (std::size_t t = 0; t < tree_count(); ++t) {
+    const std::uint32_t o = tree_offset_[t];
+    const std::uint32_t e = tree_offset_[t + 1];
+    if (e <= o) fail("tree " + std::to_string(t) + " offsets not monotone");
+    for (std::uint32_t i = o; i < e; ++i) {
+      const std::int32_t f = feature_[i];
+      if (!std::isfinite(value_[i]))
+        fail("node " + std::to_string(i) + " value is not finite");
+      if (f < 0) {
+        if (f != -1)
+          fail("node " + std::to_string(i) + " has invalid leaf marker");
+        if (threshold_[i] != std::numeric_limits<double>::infinity())
+          fail("leaf " + std::to_string(i) + " threshold is not +inf");
+        if (left_[i] != i || right_[i] != i)
+          fail("leaf " + std::to_string(i) + " is not self-linked");
+        continue;
+      }
+      if (static_cast<std::size_t>(f) >= n_features_)
+        fail("node " + std::to_string(i) + " splits on out-of-schema feature");
+      if (!std::isfinite(threshold_[i]))
+        fail("node " + std::to_string(i) + " threshold is not finite");
+      const std::uint32_t l = left_[i];
+      const std::uint32_t r = right_[i];
+      // Forward-only links within the node's own tree: traversal progress
+      // is strictly monotone, so a certified arena can never cycle.
+      if (l <= i || l >= e || r <= i || r >= e)
+        fail("node " + std::to_string(i) + " child link escapes the tree");
+      if (l == r)
+        fail("node " + std::to_string(i) + " children collide");
+      ++refs[l];
+      ++refs[r];
+    }
+    // Tree-ness: the root is referenced by nothing, every other node by
+    // exactly one parent (leaf self-links excluded above).
+    for (std::uint32_t i = o; i < e; ++i) {
+      const std::uint32_t expected = i == o ? 0 : 1;
+      if (refs[i] != expected)
+        fail("node " + std::to_string(i) +
+             (refs[i] < expected ? " is unreachable debris"
+                                 : " has multiple parents"));
+    }
+    // The recorded lockstep step count must reach the deepest leaf, or
+    // predict_batch would stop mid-tree and read an internal node's value.
+    std::vector<unsigned> depth(e - o, 0);
+    unsigned deepest = 0;
+    for (std::uint32_t i = o; i < e; ++i) {
+      if (feature_[i] < 0) {
+        deepest = std::max(deepest, depth[i - o]);
+      } else {
+        depth[left_[i] - o] = depth[i - o] + 1;
+        depth[right_[i] - o] = depth[i - o] + 1;
+      }
+    }
+    if (tree_steps_[t] != deepest)
+      fail("tree " + std::to_string(t) + " lockstep step count " +
+           std::to_string(tree_steps_[t]) + " != deepest leaf depth " +
+           std::to_string(deepest));
+  }
+}
+
+FlatForest::ValueBounds FlatForest::tree_value_bounds(std::size_t t) const {
+  NAPEL_CHECK_MSG(is_compiled(), "value bounds before compile");
+  NAPEL_CHECK(t < tree_count());
+  ValueBounds b{std::numeric_limits<double>::infinity(),
+                -std::numeric_limits<double>::infinity()};
+  for (std::uint32_t i = tree_offset_[t]; i < tree_offset_[t + 1]; ++i) {
+    if (feature_[i] >= 0) continue;
+    b.lo = std::min(b.lo, value_[i]);
+    b.hi = std::max(b.hi, value_[i]);
+  }
+  return b;
+}
+
+FlatForest::ValueBounds FlatForest::value_bounds() const {
+  NAPEL_CHECK_MSG(is_compiled(), "value bounds before compile");
+  const std::size_t nt = tree_count();
+  // Summed in tree order, exactly like the vote accumulation in every
+  // prediction path, so the bounds are bit-exact envelopes.
+  double lo_sum = 0.0;
+  double hi_sum = 0.0;
+  for (std::size_t t = 0; t < nt; ++t) {
+    const ValueBounds b = tree_value_bounds(t);
+    lo_sum += b.lo;
+    hi_sum += b.hi;
+  }
+  return {lo_sum / static_cast<double>(nt), hi_sum / static_cast<double>(nt)};
 }
 
 double FlatForest::predict(std::span<const double> x) const {

@@ -27,11 +27,22 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "ml/random_forest.hpp"
 
 namespace napel::ml {
+
+/// Thrown by FlatForest::certify() when the arena violates the structural
+/// contract predict_batch relies on: in-arena forward-only child links,
+/// self-linked +inf-threshold leaves, monotone per-tree offsets, finite
+/// thresholds and leaf values, consistent lockstep step counts. Distinct
+/// from std::invalid_argument contract failures so the verification layer
+/// can attribute a dedicated lint rule (`forest-structure`) to it.
+class ArenaCertificationError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 class FlatForest {
  public:
@@ -75,6 +86,68 @@ class FlatForest {
   static RandomForest::Interval interval_from_trees(std::span<double> votes,
                                                     double lo_pct = 10.0,
                                                     double hi_pct = 90.0);
+
+  // --- static-analysis surface (src/verify/forest_analyzer) ---------------
+
+  /// Read-only view of the arena columns, for offline analyzers. Spans stay
+  /// valid until the forest is recompiled or destroyed.
+  struct ArenaView {
+    std::span<const std::int32_t> feature;
+    std::span<const double> threshold;
+    std::span<const std::uint32_t> left;
+    std::span<const std::uint32_t> right;
+    std::span<const double> value;
+    std::span<const std::uint32_t> tree_offset;  // size tree_count() + 1
+    std::span<const unsigned> tree_steps;        // lockstep depth per tree
+  };
+  ArenaView arena() const {
+    return {feature_, threshold_, left_, right_,
+            value_,   tree_offset_, tree_steps_};
+  }
+
+  /// Corruption hook for verification tests: mutable access to the arena
+  /// columns so a test can damage one cell and prove certify() (or the
+  /// forest analyzer) rejects the arena before predict_batch runs. Not for
+  /// production use — a mutated arena voids the determinism contract.
+  struct MutableArena {
+    std::span<std::int32_t> feature;
+    std::span<double> threshold;
+    std::span<std::uint32_t> left;
+    std::span<std::uint32_t> right;
+    std::span<double> value;
+  };
+  MutableArena mutable_arena() {
+    return {feature_, threshold_, left_, right_, value_};
+  }
+
+  /// Full structural re-validation of the compiled arena — the static
+  /// safety half of the determinism contract. O(node count). Throws
+  /// ArenaCertificationError naming the first violated invariant:
+  ///   * per-tree offsets strictly monotone, first 0, last == node_count();
+  ///   * internal nodes: feature in [0, n_features), finite threshold,
+  ///     both children inside the same tree and strictly after the parent
+  ///     (DFS-preorder forward-only — traversal provably terminates);
+  ///   * leaves: feature == -1, +inf threshold, self-linked children,
+  ///     finite value (the lockstep spin encoding);
+  ///   * every non-root node referenced by exactly one parent (no shared
+  ///     subtrees, no unreachable debris);
+  ///   * recorded lockstep step counts match the recomputed leaf depths
+  ///     (an understated count would truncate predict_batch mid-tree).
+  void certify() const;
+
+  /// Certified output range of one tree / of the ensemble mean: [lo, hi]
+  /// over leaf values, combined across trees in tree order as
+  /// (Σ min_t)/T .. (Σ max_t)/T. Round-to-nearest addition and division
+  /// are monotone, and every prediction path sums per-tree votes in the
+  /// same order, so any predict()/predict_batch()/predict_all_trees()
+  /// result provably lies inside value_bounds() bit-exactly.
+  struct ValueBounds {
+    double lo = 0.0;
+    double hi = 0.0;
+    bool contains(double v) const { return v >= lo && v <= hi; }
+  };
+  ValueBounds tree_value_bounds(std::size_t t) const;
+  ValueBounds value_bounds() const;
 
  private:
   /// Leaf value tree `t` routes row `x` to. Root of tree t is

@@ -1,6 +1,8 @@
 #include "napel/model_io.hpp"
 
 #include <fstream>
+#include <iomanip>
+#include <limits>
 #include <sstream>
 
 #include "common/atomic_file.hpp"
@@ -9,9 +11,42 @@
 
 namespace napel::core {
 
+namespace {
+
+/// Round-trippable rendering: operator<< at max_digits10 followed by
+/// operator>> reproduces every finite double bit-exactly, so the stored
+/// bounds can be compared to recomputed ones with plain ==.
+void write_bounds(std::ostream& os, const NapelModel& model) {
+  const auto old_precision =
+      os.precision(std::numeric_limits<double>::max_digits10);
+  os << "bounds " << model.ipc_bounds().lo << ' ' << model.ipc_bounds().hi
+     << ' ' << model.power_bounds().lo << ' ' << model.power_bounds().hi
+     << '\n';
+  os.precision(old_precision);
+}
+
+}  // namespace
+
+std::uint64_t feature_schema_fingerprint() {
+  // FNV-1a over the ordered names with a separator, so permutations and
+  // boundary shifts fingerprint differently even at equal total length.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](char c) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  };
+  for (const std::string& name : model_feature_names()) {
+    for (const char c : name) mix(c);
+    mix('\n');
+  }
+  return h;
+}
+
 void save_model(const NapelModel& model, std::ostream& os) {
   NAPEL_CHECK_MSG(model.is_trained(), "cannot save an untrained model");
-  os << "napel-model-v1 " << model_feature_names().size() << '\n';
+  os << "napel-model-v2 " << model_feature_names().size() << ' ' << std::hex
+     << feature_schema_fingerprint() << std::dec << '\n';
+  write_bounds(os, model);
   ml::save_forest(model.ipc_forest(), os);
   ml::save_forest(model.energy_forest(), os);
 }
@@ -30,13 +65,52 @@ NapelModel load_model(std::istream& is) {
   std::string tag;
   std::size_t n_features = 0;
   is >> tag >> n_features;
-  NAPEL_CHECK_MSG(is.good() && tag == "napel-model-v1",
+  NAPEL_CHECK_MSG(is.good() &&
+                      (tag == "napel-model-v1" || tag == "napel-model-v2"),
                   "malformed model header");
-  NAPEL_CHECK_MSG(n_features == model_feature_names().size(),
-                  "model feature schema does not match this build");
+  if (n_features != model_feature_names().size())
+    throw ModelSchemaError(
+        "model feature schema does not match this build: file has " +
+        std::to_string(n_features) + " features, this build expects " +
+        std::to_string(model_feature_names().size()));
+
+  bool have_bounds = false;
+  ml::FlatForest::ValueBounds ipc_bounds, power_bounds;
+  if (tag == "napel-model-v2") {
+    std::uint64_t fingerprint = 0;
+    is >> std::hex >> fingerprint >> std::dec;
+    NAPEL_CHECK_MSG(is.good(), "malformed model header");
+    if (fingerprint != feature_schema_fingerprint())
+      throw ModelSchemaError(
+          "model feature-schema fingerprint does not match this build "
+          "(same count, different names or order)");
+    std::string bounds_tag;
+    is >> bounds_tag >> ipc_bounds.lo >> ipc_bounds.hi >> power_bounds.lo >>
+        power_bounds.hi;
+    NAPEL_CHECK_MSG(is.good() && bounds_tag == "bounds",
+                    "malformed model bounds line");
+    have_bounds = true;
+  }
+
   ml::RandomForest ipc = ml::load_forest(is);
   ml::RandomForest energy = ml::load_forest(is);
-  return NapelModel::from_forests(std::move(ipc), std::move(energy));
+  NapelModel model =
+      NapelModel::from_forests(std::move(ipc), std::move(energy));
+  if (have_bounds) {
+    // Cross-check the stored certificate against the bounds recomputed from
+    // the forests that actually arrived. Text round-trip is bit-exact, so
+    // any difference is real drift, not formatting noise.
+    const auto recomputed_ipc = model.ipc_bounds();
+    const auto recomputed_power = model.power_bounds();
+    if (ipc_bounds.lo != recomputed_ipc.lo ||
+        ipc_bounds.hi != recomputed_ipc.hi ||
+        power_bounds.lo != recomputed_power.lo ||
+        power_bounds.hi != recomputed_power.hi)
+      throw ModelBoundsError(
+          "stored prediction bounds disagree with the model's forests — "
+          "the file's certificate and its trees drifted apart");
+  }
+  return model;
 }
 
 NapelModel load_model_file(const std::string& path) {

@@ -1,21 +1,57 @@
 // NapelModel persistence: save a trained model (both forests plus the
-// feature-schema fingerprint) so design-space exploration sessions can
-// reuse a model without re-running the DoE simulations.
+// feature-schema fingerprint and the certified prediction bounds) so
+// design-space exploration sessions can reuse a model without re-running
+// the DoE simulations.
+//
+// Format (text, one artifact per file):
+//   napel-model-v2 <n_features> <schema-fingerprint-hex>
+//   bounds <ipc_lo> <ipc_hi> <power_lo> <power_hi>
+//   <ipc forest>      (ml/serialize.hpp)
+//   <power forest>
+// The fingerprint hashes the ordered feature names, so a model trained
+// against a different schema *ordering* is rejected even when the count
+// happens to match. The bounds line is the certified ensemble output range
+// of each forest (ml::FlatForest::value_bounds()); the loader recomputes
+// both from the deserialized forests and rejects any disagreement — a
+// mismatch means the file's forests and its certificate drifted apart.
+// Legacy "napel-model-v1" files (count only, no bounds) still load; their
+// bounds are recomputed from the forests.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "napel/napel_model.hpp"
 
 namespace napel::core {
 
+/// Thrown by load_model when the file's feature schema (count or ordered-
+/// name fingerprint) does not match this build's. Surfaced by `napel lint`
+/// as the `contract-schema` rule.
+class ModelSchemaError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown by load_model when the stored certified prediction bounds do not
+/// match the bounds recomputed from the deserialized forests. Surfaced by
+/// `napel lint` as the `forest-bounds` rule.
+class ModelBoundsError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// FNV-1a hash over this build's ordered model feature names — the schema
+/// identity stored in every saved model.
+std::uint64_t feature_schema_fingerprint();
+
 /// Writes a trained model. Throws std::invalid_argument when untrained.
 void save_model(const NapelModel& model, std::ostream& os);
 void save_model_file(const NapelModel& model, const std::string& path);
 
 /// Reads a model written by save_model. Rejects models whose feature
-/// schema does not match this build's (the schema is part of the format).
+/// schema does not match this build's (the schema is part of the format)
+/// and models whose stored bounds disagree with their forests.
 NapelModel load_model(std::istream& is);
 NapelModel load_model_file(const std::string& path);
 

@@ -71,7 +71,28 @@ void NapelModel::train(const std::vector<TrainingRow>& rows,
   // through them (bit-identical to the pointer forests, much faster).
   ipc_flat_ = ml::FlatForest(*ipc_rf_);
   energy_flat_ = ml::FlatForest(*energy_rf_);
+  seal_compiled_forests();
   trained_ = true;
+}
+
+void NapelModel::seal_compiled_forests() {
+  // Static safety gate: predict_batch and the lockstep kernel assume the
+  // structural invariants certify() proves. A forest that fails here can
+  // never be served.
+  ipc_flat_.certify();
+  energy_flat_.certify();
+  ipc_bounds_ = ipc_flat_.value_bounds();
+  power_bounds_ = energy_flat_.value_bounds();
+}
+
+ml::FlatForest::ValueBounds NapelModel::ipc_bounds() const {
+  NAPEL_CHECK_MSG(trained_, "model not trained");
+  return ipc_bounds_;
+}
+
+ml::FlatForest::ValueBounds NapelModel::power_bounds() const {
+  NAPEL_CHECK_MSG(trained_, "model not trained");
+  return power_bounds_;
 }
 
 double NapelModel::predict_ipc(std::span<const double> features) const {
@@ -98,9 +119,22 @@ Prediction NapelModel::predict_from_features(
     std::span<const double> features, double ipc_forest_mean,
     double total_instructions) const {
   NAPEL_CHECK_MSG(trained_, "predict before train");
+  // Serve-time bounds assertion: two comparisons per output against the
+  // certified ensemble ranges. A healthy arena provably cannot escape them
+  // (value_bounds() is a bit-exact envelope of every traversal), so a
+  // violation means the compiled forest no longer matches its certificate.
+  if (!ipc_bounds_.contains(ipc_forest_mean))
+    throw PredictionOutOfBoundsError(
+        "IPC prediction escapes the certified forest bounds — the served "
+        "arena is corrupt or mismatched");
+  const double power_raw = energy_flat_.predict(features);
+  if (!power_bounds_.contains(power_raw))
+    throw PredictionOutOfBoundsError(
+        "power prediction escapes the certified forest bounds — the served "
+        "arena is corrupt or mismatched");
   Prediction p;
   p.ipc = std::max(1e-6, ipc_forest_mean);
-  p.power_watts = std::max(0.0, energy_flat_.predict(features));
+  p.power_watts = std::max(0.0, power_raw);
   // T = I_offload / (IPC · f_core)   (Section 2.5). The schema stores the
   // core frequency verbatim, so reading it back is exact.
   const double freq_ghz = features[freq_feature_index()];
@@ -151,6 +185,7 @@ NapelModel NapelModel::from_forests(ml::RandomForest ipc_rf,
   model.energy_rf_ = std::make_unique<ml::RandomForest>(std::move(energy_rf));
   model.ipc_flat_ = ml::FlatForest(*model.ipc_rf_);
   model.energy_flat_ = ml::FlatForest(*model.energy_rf_);
+  model.seal_compiled_forests();
   model.trained_ = true;
   return model;
 }

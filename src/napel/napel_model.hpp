@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "ml/flat_forest.hpp"
@@ -19,6 +20,14 @@
 #include "napel/pipeline.hpp"
 
 namespace napel::core {
+
+/// Thrown by NapelModel::predict_from_features when a model output escapes
+/// the certified ensemble bounds derived from its compiled forests — the
+/// serve-time symptom of a corrupted or swapped arena (a healthy forest
+/// provably cannot produce it; see ml::FlatForest::value_bounds()).
+class PredictionOutOfBoundsError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 struct Prediction {
   double ipc = 0.0;
@@ -81,6 +90,21 @@ class NapelModel {
   const ml::FlatForest& ipc_flat() const;
   const ml::FlatForest& energy_flat() const;
 
+  /// Certified ensemble output ranges, computed when the forests are
+  /// compiled (train / from_forests) and persisted with the model. Every
+  /// genuine forest output provably lies inside; predict_from_features
+  /// asserts them on the serve path and throws PredictionOutOfBoundsError
+  /// on escape.
+  ml::FlatForest::ValueBounds ipc_bounds() const;
+  ml::FlatForest::ValueBounds power_bounds() const;
+
+  /// Corruption hooks for verification tests: mutable access to the
+  /// compiled arenas (FlatForest::mutable_arena()), so a test can damage a
+  /// served forest in place and prove the bounds assertion / certify()
+  /// rejects it. Never use outside tests.
+  ml::FlatForest& ipc_flat_for_test() { return ipc_flat_; }
+  ml::FlatForest& energy_flat_for_test() { return energy_flat_; }
+
   /// Reconstructs a trained model from two fitted forests (used by the
   /// persistence layer in napel/model_io.hpp).
   static NapelModel from_forests(ml::RandomForest ipc_rf,
@@ -91,8 +115,14 @@ class NapelModel {
  private:
   std::unique_ptr<ml::RandomForest> ipc_rf_;
   std::unique_ptr<ml::RandomForest> energy_rf_;
+  /// Certifies both freshly compiled arenas and derives the serve-time
+  /// prediction bounds (shared tail of train() and from_forests()).
+  void seal_compiled_forests();
+
   ml::FlatForest ipc_flat_;     // compiled from ipc_rf_ at train/load time
   ml::FlatForest energy_flat_;  // compiled from energy_rf_
+  ml::FlatForest::ValueBounds ipc_bounds_;
+  ml::FlatForest::ValueBounds power_bounds_;
   ml::RfTuningResult ipc_tuning_;
   ml::RfTuningResult energy_tuning_;
   bool trained_ = false;

@@ -1,7 +1,9 @@
 #include "sim/arch.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
+#include <iterator>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -67,15 +69,22 @@ bool ArchConfig::operator==(const ArchConfig& o) const {
          dram_bytes == o.dram_bytes && row_buffer_bytes == o.row_buffer_bytes;
 }
 
+namespace {
+
+// The design-point sampling pool: one level table per varied parameter.
+// arch_feature_ranges() derives the declared feature domain from the same
+// tables, so the pool and its certificate cannot drift apart.
+constexpr unsigned kPes[] = {8, 16, 32, 64};
+constexpr double kFreq[] = {0.8, 1.0, 1.25, 1.6, 2.0};
+constexpr unsigned kLine[] = {32, 64, 128};
+constexpr unsigned kLines[] = {2, 4, 8, 16, 32};
+constexpr unsigned kLayers[] = {4, 8, 16};
+constexpr unsigned kVaults[] = {16, 32};
+
+}  // namespace
+
 std::vector<ArchConfig> sample_arch_configs(std::size_t n, Rng& rng) {
   NAPEL_CHECK(n >= 1);
-  static constexpr unsigned kPes[] = {8, 16, 32, 64};
-  static constexpr double kFreq[] = {0.8, 1.0, 1.25, 1.6, 2.0};
-  static constexpr unsigned kLine[] = {32, 64, 128};
-  static constexpr unsigned kLines[] = {2, 4, 8, 16, 32};
-  static constexpr unsigned kLayers[] = {4, 8, 16};
-  static constexpr unsigned kVaults[] = {16, 32};
-
   std::vector<ArchConfig> out;
   out.reserve(n);
   out.push_back(ArchConfig::paper_default());
@@ -92,6 +101,36 @@ std::vector<ArchConfig> sample_arch_configs(std::size_t n, Rng& rng) {
     out.push_back(c);
   }
   return out;
+}
+
+const std::vector<std::pair<double, double>>& arch_feature_ranges() {
+  static const std::vector<std::pair<double, double>> ranges = [] {
+    const auto span = [](const auto& levels) {
+      return std::pair<double, double>(
+          static_cast<double>(*std::min_element(std::begin(levels),
+                                                std::end(levels))),
+          static_cast<double>(*std::max_element(std::begin(levels),
+                                                std::end(levels))));
+    };
+    const ArchConfig dflt = ArchConfig::paper_default();
+    // Same order as ArchConfig::feature_names(). Parameters the pool never
+    // varies collapse to the default's point value.
+    std::vector<std::pair<double, double>> r = {
+        span(kPes),                                  // arch_n_pes
+        span(kFreq),                                 // arch_core_freq_ghz
+        span(kLine),                                 // arch_cache_line_bytes
+        span(kLines),                                // arch_cache_lines
+        span(kLayers),                               // arch_dram_layers
+        {std::log2(static_cast<double>(dflt.dram_bytes)),
+         std::log2(static_cast<double>(dflt.dram_bytes))},  // arch_log_dram_bytes
+        span(kVaults),                               // arch_n_vaults
+        {static_cast<double>(dflt.row_buffer_bytes),
+         static_cast<double>(dflt.row_buffer_bytes)},  // arch_row_buffer_bytes
+    };
+    NAPEL_CHECK(r.size() == ArchConfig::feature_names().size());
+    return r;
+  }();
+  return ranges;
 }
 
 }  // namespace napel::sim

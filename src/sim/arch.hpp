@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -88,5 +89,13 @@ struct ArchConfig {
 /// index 0 is always paper_default(). Used to give the training set
 /// architectural spread.
 std::vector<ArchConfig> sample_arch_configs(std::size_t n, Rng& rng);
+
+/// Per-feature [lo, hi] closed domain of ArchConfig::features() over the
+/// sampling pool sample_arch_configs() draws from (plus paper_default()).
+/// Same order as ArchConfig::feature_names(). This is the declared
+/// architecture-feature domain the forest static analyzer checks split
+/// thresholds against: any training row's arch features provably lie
+/// inside these ranges.
+const std::vector<std::pair<double, double>>& arch_feature_ranges();
 
 }  // namespace napel::sim

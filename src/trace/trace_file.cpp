@@ -20,7 +20,8 @@ void write_pod(std::ofstream& os, const T& v) {
 template <typename T>
 void read_pod(std::ifstream& is, T& v) {
   is.read(reinterpret_cast<char*>(&v), sizeof(T));
-  NAPEL_CHECK_MSG(is.good(), "truncated trace file");
+  if (!is.good())
+    throw TruncatedTraceError("trace file ends inside the header");
 }
 
 std::ifstream open_and_check(const std::string& path, TraceInfo& info,
@@ -29,6 +30,8 @@ std::ifstream open_and_check(const std::string& path, TraceInfo& info,
   NAPEL_CHECK_MSG(is.good(), "cannot open trace file: " + path);
   char magic[8];
   is.read(magic, sizeof(magic));
+  if (is.eof())
+    throw TruncatedTraceError("trace file ends inside the magic bytes");
   NAPEL_CHECK_MSG(is.good() && std::memcmp(magic, kMagic, 8) == 0,
                   "not a NAPEL trace file: " + path);
   std::uint32_t version = 0;
@@ -39,6 +42,8 @@ std::ifstream open_and_check(const std::string& path, TraceInfo& info,
   NAPEL_CHECK_MSG(name_len <= 4096, "implausible kernel name length");
   info.kernel_name.resize(name_len);
   is.read(info.kernel_name.data(), name_len);
+  if (!is.good())
+    throw TruncatedTraceError("trace file ends inside the kernel name");
   std::uint32_t n_threads = 0;
   read_pod(is, n_threads);
   NAPEL_CHECK_MSG(n_threads >= 1, "malformed trace header");
@@ -122,7 +127,8 @@ TraceInfo replay_trace(const std::string& path,
         static_cast<std::size_t>(std::min<std::uint64_t>(kBatch, remaining));
     is.read(reinterpret_cast<char*>(buffer.data()),
             static_cast<std::streamsize>(chunk * sizeof(InstrEvent)));
-    NAPEL_CHECK_MSG(is.good(), "trace payload shorter than header count");
+    if (!is.good())
+      throw TruncatedTraceError("trace payload shorter than header count");
     for (TraceSink* s : sinks) s->on_instr_batch(buffer.data(), chunk);
     remaining -= chunk;
   }

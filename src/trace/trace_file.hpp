@@ -15,12 +15,22 @@
 
 #include <cstdint>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "trace/sink.hpp"
 
 namespace napel::trace {
+
+/// Thrown by the trace readers when a file ends before the header or the
+/// header-declared event payload does — the signature of an interrupted
+/// capture or a partial copy. Distinct from the std::invalid_argument a
+/// structurally malformed file raises, so callers (and `napel lint
+/// --trace`) can tell "truncated" from "not a trace at all".
+class TruncatedTraceError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 class TraceWriter final : public TraceSink {
  public:

@@ -12,6 +12,8 @@
 #include "doe/doe.hpp"
 #include "napel/model_io.hpp"
 #include "napel/pipeline.hpp"
+#include "trace/trace_file.hpp"
+#include "verify/verifying_sink.hpp"
 
 namespace napel::verify {
 
@@ -29,9 +31,17 @@ Diagnostic make_diag(Severity severity, std::string rule,
   };
 }
 
+/// True when a seekable stream (file or stringstream) holds no bytes at
+/// all — the artifact-empty case every per-format validator screens first,
+/// so "crashed producer" never masquerades as "bad header".
+bool stream_is_empty(std::istream& is) {
+  return is.peek() == std::char_traits<char>::eof();
+}
+
+}  // namespace
+
 // --- CSV ------------------------------------------------------------------
 
-/// Splits one CSV line, honouring CsvWriter's RFC-4180 quoting ("" = quote).
 std::vector<std::string> split_csv_line(const std::string& line) {
   std::vector<std::string> cells;
   std::string cell;
@@ -62,6 +72,8 @@ std::vector<std::string> split_csv_line(const std::string& line) {
   return cells;
 }
 
+namespace {
+
 /// True when the cell parses fully as a floating-point number.
 bool parse_number(const std::string& cell, double& out) {
   if (cell.empty()) return false;
@@ -76,20 +88,27 @@ bool parse_number(const std::string& cell, double& out) {
 
 void check_model_stream(std::istream& is, std::string_view name,
                         DiagnosticEngine& diags) {
+  if (stream_is_empty(is)) {
+    diags.report(make_diag(Severity::kError, "artifact-empty", name,
+                           "model file is empty"));
+    return;
+  }
   std::string tag;
   std::size_t n_features = 0;
   is >> tag >> n_features;
-  if (!is.good() || tag != "napel-model-v1") {
+  if (!is.good() || (tag != "napel-model-v1" && tag != "napel-model-v2")) {
     diags.report(make_diag(
         Severity::kError, "model-format", name,
-        "bad header: expected \"napel-model-v1 <n_features>\", got \"" + tag +
-            "\""));
+        "bad header: expected \"napel-model-v1|v2 <n_features>\", got \"" +
+            tag + "\""));
     return;
   }
   const std::size_t expected = core::model_feature_names().size();
   if (n_features != expected) {
+    // Feature count is the model <-> build half of the schema contract;
+    // the v2 fingerprint (name order) is enforced by load_model below.
     diags.report(make_diag(
-        Severity::kError, "model-format", name,
+        Severity::kError, "contract-schema", name,
         "feature-schema mismatch: file has " + std::to_string(n_features) +
             " features, this build expects " + std::to_string(expected)));
     return;
@@ -102,6 +121,16 @@ void check_model_stream(std::istream& is, std::string_view name,
   core::NapelModel model;
   try {
     model = core::load_model(is);
+  } catch (const core::ModelSchemaError& e) {
+    diags.report(make_diag(Severity::kError, "contract-schema", name,
+                           std::string("schema contract violated: ") +
+                               e.what()));
+    return;
+  } catch (const core::ModelBoundsError& e) {
+    diags.report(make_diag(Severity::kError, "forest-bounds", name,
+                           std::string("bounds certificate violated: ") +
+                               e.what()));
+    return;
   } catch (const ml::TreeTopologyError& e) {
     // Node links that cycle or share subtrees would hang or corrupt
     // traversal; the loader rejects them and lint gets a dedicated rule.
@@ -109,8 +138,14 @@ void check_model_stream(std::istream& is, std::string_view name,
                            std::string("corrupt tree structure: ") + e.what()));
     return;
   } catch (const std::exception& e) {
-    diags.report(make_diag(Severity::kError, "model-format", name,
-                           std::string("model does not load: ") + e.what()));
+    // EOF mid-load means the file physically ends before the model does —
+    // a partial write/copy, not merely bad syntax.
+    const bool truncated = is.eof();
+    diags.report(make_diag(
+        Severity::kError, truncated ? "model-truncated" : "model-format",
+        name,
+        std::string(truncated ? "model file is truncated: "
+                              : "model does not load: ") + e.what()));
     return;
   }
 
@@ -145,12 +180,24 @@ void check_model_file(const std::string& path, DiagnosticEngine& diags) {
 
 void check_csv_stream(std::istream& is, std::string_view name,
                       DiagnosticEngine& diags) {
-  std::string line;
-  if (!std::getline(is, line)) {
+  if (stream_is_empty(is)) {
     diags.report(
-        make_diag(Severity::kError, "csv-format", name, "empty file"));
+        make_diag(Severity::kError, "artifact-empty", name, "CSV is empty"));
     return;
   }
+  // Slurp once: CsvWriter terminates every row with '\n', so a file whose
+  // last byte is not a newline was cut off mid-row (partial write or copy).
+  std::ostringstream slurped;
+  slurped << is.rdbuf();
+  const std::string content = slurped.str();
+  if (content.back() != '\n')
+    diags.report(make_diag(
+        Severity::kError, "csv-truncated", name,
+        "file does not end in a newline — the last row was cut short"));
+
+  std::istringstream body(content);
+  std::string line;
+  std::getline(body, line);
   const auto header = split_csv_line(line);
   std::set<std::string> seen;
   for (std::size_t c = 0; c < header.size(); ++c) {
@@ -166,9 +213,9 @@ void check_csv_stream(std::istream& is, std::string_view name,
   }
 
   std::int64_t row = 0;
-  while (std::getline(is, line)) {
+  while (std::getline(body, line)) {
     ++row;
-    if (line.empty() && is.peek() == std::char_traits<char>::eof()) break;
+    if (line.empty() && body.peek() == std::char_traits<char>::eof()) break;
     const auto cells = split_csv_line(line);
     if (cells.size() != header.size()) {
       diags.report(make_diag(Severity::kError, "csv-format", name,
@@ -293,6 +340,38 @@ void check_journal_file(const std::string& path, DiagnosticEngine& diags) {
             " valid record(s) — crash debris, dropped on resume (" +
             j.torn_detail + ")",
         static_cast<std::int64_t>(j.records.size())));
+}
+
+// --- trace ----------------------------------------------------------------
+
+std::uint64_t check_trace_file(const std::string& path,
+                               DiagnosticEngine& diags) {
+  {
+    std::ifstream f(path, std::ios::binary);
+    if (!f.good()) {
+      diags.report(make_diag(Severity::kError, "trace-file", path,
+                             "cannot open trace file"));
+      return 0;
+    }
+    if (stream_is_empty(f)) {
+      diags.report(make_diag(Severity::kError, "artifact-empty", path,
+                             "trace file is empty"));
+      return 0;
+    }
+  }
+  VerifyingSink verifier(diags);
+  try {
+    trace::replay_trace(path, {&verifier});
+  } catch (const trace::TruncatedTraceError& e) {
+    diags.report(make_diag(Severity::kError, "trace-truncated", path,
+                           std::string("trace file is truncated: ") +
+                               e.what()));
+  } catch (const std::exception& e) {
+    diags.report(make_diag(Severity::kError, "trace-file", path,
+                           std::string("trace does not replay: ") +
+                               e.what()));
+  }
+  return verifier.events_seen();
 }
 
 }  // namespace napel::verify

@@ -5,13 +5,28 @@
 // report across dynamic and static checks.
 //
 // Artifact rule catalog:
-//   model-format   unreadable file, bad header/tag, feature-count mismatch,
-//                  truncated or structurally invalid forests         (error)
+//   artifact-empty model / CSV / trace file exists but is zero-length —
+//                  almost always a crashed producer or bad redirect  (error)
+//   model-format   unreadable file, bad header/tag, structurally
+//                  invalid forests                                   (error)
+//   model-truncated file ends mid-model (EOF inside a forest or the
+//                  bounds line) — partial write or copy              (error)
+//   model-topology node links cycle, escape or share subtrees        (error)
 //   model-content  loaded model has non-finite or negative statistics
 //                  (OOB error, feature importance)                   (error)
+//   contract-schema feature-schema contract between model, DoE space
+//                  and feature matrix broken: count/order/fingerprint
+//                  mismatch (error), value outside declared range (warn)
+//   forest-bounds  stored serve-time prediction bounds disagree with
+//                  the model's forests (see forest_analyzer.hpp)     (error)
 //   csv-format     unreadable file, empty header, blank/duplicate
 //                  column names (warn), ragged rows                  (error)
+//   csv-truncated  file does not end in a newline — CsvWriter always
+//                  terminates rows, so the last row was cut short    (error)
 //   csv-value      numeric-looking cell is nan/inf                   (error)
+//   trace-file     trace is structurally malformed / fails replay    (error)
+//   trace-truncated trace ends inside the header or before the
+//                  header-declared event count                       (error)
 //   doe-param      empty space, unnamed/duplicate parameters,
 //                  non-positive or unsorted levels, non-positive test
 //                  input; duplicate levels degrade CCD               (warn)
@@ -23,14 +38,21 @@
 //                     of a crash, dropped on resume                  (warn)
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "verify/diagnostics.hpp"
 #include "workloads/params.hpp"
 
 namespace napel::verify {
+
+/// Splits one CSV line, honouring CsvWriter's RFC-4180 quoting ("" inside a
+/// quoted field is a literal quote). Shared by the CSV validator and the
+/// forest analyzer's feature-matrix contract check.
+std::vector<std::string> split_csv_line(const std::string& line);
 
 /// Validates a serialized NapelModel (see napel/model_io.hpp). The stream
 /// overload uses `name` as the diagnostic context.
@@ -53,5 +75,13 @@ void check_doe_space(const workloads::DoeSpace& space,
 /// checksums, monotone indices. A clean torn tail — the signature of a
 /// crash mid-append — is a warning; any other corruption is an error.
 void check_journal_file(const std::string& path, DiagnosticEngine& diags);
+
+/// Validates a recorded trace by replaying it through a VerifyingSink:
+/// empty files, truncation (header or payload) and malformed structure get
+/// dedicated rules; the replayed stream runs the full dynamic rule set.
+/// Returns the number of stream events verified (0 when the file fails
+/// before replay).
+std::uint64_t check_trace_file(const std::string& path,
+                               DiagnosticEngine& diags);
 
 }  // namespace napel::verify

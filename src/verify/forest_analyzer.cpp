@@ -1,0 +1,525 @@
+#include "verify/forest_analyzer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "napel/model_io.hpp"
+#include "napel/napel_model.hpp"
+#include "napel/pipeline.hpp"
+#include "sim/arch.hpp"
+#include "verify/artifact_checks.hpp"
+
+namespace napel::verify {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Diagnostic make_diag(Severity severity, std::string rule,
+                     std::string_view context, std::string message,
+                     std::int64_t index = -1) {
+  return Diagnostic{
+      .rule = std::move(rule),
+      .severity = severity,
+      .context = std::string(context),
+      .index = index,
+      .message = std::move(message),
+  };
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+/// True when every fraction-style schema name convention applies: these
+/// features are ratios of counts and provably live in [0, 1].
+bool is_fraction_feature(std::string_view name) {
+  static constexpr std::string_view kPrefixes[] = {"mix_", "miss_frac_",
+                                                   "stride_frac_"};
+  for (const auto p : kPrefixes)
+    if (name.substr(0, p.size()) == p) return true;
+  static constexpr std::string_view kExact[] = {
+      "mem_fraction",          "arith_fraction",
+      "fp_fraction_of_arith",  "load_fraction_of_mem",
+      "frac_instr_with_dst",   "frac_instr_with_src",
+      "rw_footprint_overlap",  "branch_fraction",
+      "arch_cache_access_fraction", "arch_dram_access_fraction",
+      "analytic_mem_stall_frac"};
+  for (const auto e : kExact)
+    if (name == e) return true;
+  return false;
+}
+
+// --- structural pass ------------------------------------------------------
+
+/// Reports every violated arena invariant as a forest-structure error.
+/// Mirrors ml::FlatForest::certify() (which throws on the first violation
+/// for the serve path); the two must enforce the same contract.
+bool check_structure(const ml::FlatForest& forest, std::string_view context,
+                     DiagnosticEngine& diags) {
+  bool ok = true;
+  const auto bad = [&](std::int64_t index, std::string message) {
+    ok = false;
+    diags.report(make_diag(Severity::kError, "forest-structure", context,
+                           std::move(message), index));
+  };
+
+  const auto a = forest.arena();
+  const std::size_t n = a.feature.size();
+  if (!forest.is_compiled()) {
+    bad(-1, "forest is not compiled");
+    return false;
+  }
+  if (forest.n_features() == 0) bad(-1, "feature count is zero");
+  if (a.threshold.size() != n || a.left.size() != n || a.right.size() != n ||
+      a.value.size() != n) {
+    bad(-1, "arena column lengths disagree");
+    return false;  // nothing below can index safely
+  }
+  const std::size_t nt = forest.tree_count();
+  if (a.tree_offset.front() != 0) bad(-1, "first tree offset is not zero");
+  if (a.tree_offset.back() != n)
+    bad(-1, "last tree offset does not close the arena");
+  if (a.tree_steps.size() != nt)
+    bad(-1, "lockstep step table length disagrees with tree count");
+  for (std::size_t t = 0; t + 1 < a.tree_offset.size(); ++t)
+    if (a.tree_offset[t + 1] <= a.tree_offset[t])
+      bad(-1, "tree " + std::to_string(t) + " offsets are not monotone");
+  if (!ok) return false;
+
+  std::vector<std::uint32_t> refs(n, 0);
+  for (std::size_t t = 0; t < nt; ++t) {
+    const std::uint32_t o = a.tree_offset[t];
+    const std::uint32_t e = a.tree_offset[t + 1];
+    for (std::uint32_t i = o; i < e; ++i) {
+      const std::int32_t f = a.feature[i];
+      if (!std::isfinite(a.value[i]))
+        bad(i, "node value is not finite");
+      if (f < 0) {
+        if (f != -1) bad(i, "invalid leaf marker " + std::to_string(f));
+        if (a.threshold[i] != kInf)
+          bad(i, "leaf threshold is not +inf (lockstep spin encoding)");
+        if (a.left[i] != i || a.right[i] != i)
+          bad(i, "leaf is not self-linked");
+        continue;
+      }
+      if (static_cast<std::size_t>(f) >= forest.n_features())
+        bad(i, "split feature " + std::to_string(f) +
+                   " is outside the schema (n_features = " +
+                   std::to_string(forest.n_features()) + ")");
+      if (!std::isfinite(a.threshold[i]))
+        bad(i, "split threshold is not finite");
+      const std::uint32_t l = a.left[i];
+      const std::uint32_t r = a.right[i];
+      if (l <= i || l >= e || r <= i || r >= e) {
+        bad(i, "child link escapes the tree or points backwards "
+               "(traversal could cycle or cross trees)");
+        continue;  // refs on wild links would index out of the tree
+      }
+      if (l == r) bad(i, "left and right children collide");
+      ++refs[l];
+      ++refs[r];
+    }
+    if (!ok) continue;  // ref/depth accounting is noise on broken links
+    for (std::uint32_t i = o; i < e; ++i) {
+      const std::uint32_t expected = i == o ? 0 : 1;
+      if (refs[i] != expected)
+        bad(i, refs[i] < expected ? "node is unreachable debris"
+                                  : "node has multiple parents");
+    }
+    std::vector<unsigned> depth(e - o, 0);
+    unsigned deepest = 0;
+    for (std::uint32_t i = o; i < e; ++i) {
+      if (a.feature[i] < 0) {
+        deepest = std::max(deepest, depth[i - o]);
+      } else {
+        depth[a.left[i] - o] = depth[i - o] + 1;
+        depth[a.right[i] - o] = depth[i - o] + 1;
+      }
+    }
+    if (ok && a.tree_steps[t] != deepest)
+      bad(-1, "tree " + std::to_string(t) + " lockstep step count " +
+                  std::to_string(a.tree_steps[t]) +
+                  " != deepest leaf depth " + std::to_string(deepest) +
+                  " (predict_batch would stop mid-tree)");
+  }
+  return ok;
+}
+
+}  // namespace
+
+FeatureDomain FeatureDomain::unbounded(std::vector<std::string> names) {
+  FeatureDomain d;
+  d.lo.assign(names.size(), -kInf);
+  d.hi.assign(names.size(), kInf);
+  d.names = std::move(names);
+  return d;
+}
+
+FeatureDomain napel_feature_domain(const workloads::DoeSpace* space) {
+  FeatureDomain d = FeatureDomain::unbounded(core::model_feature_names());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (is_fraction_feature(d.names[i])) {
+      d.lo[i] = 0.0;
+      d.hi[i] = 1.0;
+    }
+  }
+  // Architecture features: the training pool's level tables.
+  const auto& arch_names = sim::ArchConfig::feature_names();
+  const auto& arch_ranges = sim::arch_feature_ranges();
+  for (std::size_t ai = 0; ai < arch_names.size(); ++ai) {
+    const auto it = std::find(d.names.begin(), d.names.end(), arch_names[ai]);
+    if (it == d.names.end()) continue;
+    const auto i = static_cast<std::size_t>(it - d.names.begin());
+    d.lo[i] = arch_ranges[ai].first;
+    d.hi[i] = arch_ranges[ai].second;
+  }
+  // Thread count: at least one, and within the DoE space's CCD levels when
+  // a space is declared (training rows only ever see those levels).
+  const auto nt = std::find(d.names.begin(), d.names.end(), "n_threads");
+  if (nt != d.names.end()) {
+    const auto i = static_cast<std::size_t>(nt - d.names.begin());
+    d.lo[i] = 1.0;
+    if (space != nullptr && space->has_param("threads")) {
+      const auto& p = space->param("threads");
+      d.lo[i] = static_cast<double>(p.minimum());
+      d.hi[i] = static_cast<double>(p.maximum());
+    }
+  }
+  return d;
+}
+
+ForestAnalysis analyze_forest(const ml::FlatForest& forest,
+                              const FeatureDomain& domain,
+                              std::string_view context,
+                              DiagnosticEngine& diags) {
+  ForestAnalysis out;
+  out.structure_ok = check_structure(forest, context, diags);
+  if (!out.structure_ok) return out;
+
+  const auto a = forest.arena();
+  out.n_trees = forest.tree_count();
+  out.n_nodes = forest.node_count();
+
+  const std::size_t nf = forest.n_features();
+  FeatureDomain root = domain;
+  if (domain.size() != nf) {
+    diags.report(make_diag(
+        Severity::kError, "contract-schema", context,
+        "declared feature domain has " + std::to_string(domain.size()) +
+            " features, the forest splits over " + std::to_string(nf)));
+    root = FeatureDomain::unbounded(
+        std::vector<std::string>(nf, std::string("?")));
+  }
+  for (std::size_t f = 0; f < root.size(); ++f) {
+    if (root.lo[f] > root.hi[f]) {
+      diags.report(make_diag(Severity::kError, "contract-schema", context,
+                             "declared domain of feature \"" + root.names[f] +
+                                 "\" is empty (lo > hi)"));
+      return out;
+    }
+  }
+
+  out.feature_split_reachable.assign(nf, 0);
+  out.feature_split_anywhere.assign(nf, 0);
+  out.tree_bounds.reserve(out.n_trees);
+
+  // Per-tree forward pass over the DFS-preorder arena: a parent's index is
+  // always smaller than its children's, so each node's interval box is
+  // final before the node is visited. Boxes are stored per node of the
+  // current tree (flat lo/hi matrices).
+  std::vector<double> lo, hi;
+  std::vector<std::uint8_t> reachable;
+  double lo_sum = 0.0;
+  double hi_sum = 0.0;
+  for (std::size_t t = 0; t < out.n_trees; ++t) {
+    const std::uint32_t o = a.tree_offset[t];
+    const std::uint32_t e = a.tree_offset[t + 1];
+    const std::size_t tn = e - o;
+    lo.assign(tn * nf, 0.0);
+    hi.assign(tn * nf, 0.0);
+    reachable.assign(tn, 0);
+    std::copy(root.lo.begin(), root.lo.end(), lo.begin());
+    std::copy(root.hi.begin(), root.hi.end(), hi.begin());
+    reachable[0] = 1;
+
+    ml::FlatForest::ValueBounds tb{kInf, -kInf};
+    for (std::uint32_t i = o; i < e; ++i) {
+      const std::size_t k = i - o;
+      const std::int32_t f = a.feature[i];
+      if (f < 0) {
+        if (reachable[k]) {
+          tb.lo = std::min(tb.lo, a.value[i]);
+          tb.hi = std::max(tb.hi, a.value[i]);
+        } else {
+          ++out.n_unreachable_nodes;
+        }
+        continue;
+      }
+      const auto fi = static_cast<std::size_t>(f);
+      if (!reachable[k]) {
+        ++out.n_unreachable_nodes;
+        out.feature_split_anywhere[fi] = 1;
+        // Children inherit unreachability; boxes stay untouched.
+        continue;
+      }
+      out.feature_split_anywhere[fi] = 1;
+      out.feature_split_reachable[fi] = 1;
+      const double th = a.threshold[i];
+      if (th < root.lo[fi] || th > root.hi[fi]) {
+        ++out.n_domain_violations;
+        diags.report(make_diag(
+            Severity::kWarning, "forest-domain", context,
+            "tree " + std::to_string(t) + " splits \"" + root.names[fi] +
+                "\" at " + fmt(th) + ", outside the declared domain [" +
+                fmt(root.lo[fi]) + ", " + fmt(root.hi[fi]) + "]",
+            i));
+      }
+      const std::size_t lk = a.left[i] - o;
+      const std::size_t rk = a.right[i] - o;
+      const double box_lo = lo[k * nf + fi];
+      const double box_hi = hi[k * nf + fi];
+      // Exact transfer function over doubles: x <= th routes left,
+      // x >= nextafter(th) routes right.
+      const bool left_reachable = box_lo <= th;
+      const bool right_reachable = box_hi > th;
+      if (left_reachable) {
+        std::copy_n(lo.begin() + static_cast<std::ptrdiff_t>(k * nf), nf,
+                    lo.begin() + static_cast<std::ptrdiff_t>(lk * nf));
+        std::copy_n(hi.begin() + static_cast<std::ptrdiff_t>(k * nf), nf,
+                    hi.begin() + static_cast<std::ptrdiff_t>(lk * nf));
+        hi[lk * nf + fi] = std::min(box_hi, th);
+        reachable[lk] = 1;
+      } else {
+        diags.report(make_diag(
+            Severity::kWarning, "forest-unreachable", context,
+            "tree " + std::to_string(t) + ": left child of node " +
+                std::to_string(i) + " is unreachable — \"" + root.names[fi] +
+                "\" <= " + fmt(th) + " cannot hold inside [" + fmt(box_lo) +
+                ", " + fmt(box_hi) + "]",
+            i));
+      }
+      if (right_reachable) {
+        std::copy_n(lo.begin() + static_cast<std::ptrdiff_t>(k * nf), nf,
+                    lo.begin() + static_cast<std::ptrdiff_t>(rk * nf));
+        std::copy_n(hi.begin() + static_cast<std::ptrdiff_t>(k * nf), nf,
+                    hi.begin() + static_cast<std::ptrdiff_t>(rk * nf));
+        lo[rk * nf + fi] =
+            std::max(box_lo, std::nextafter(th, kInf));
+        reachable[rk] = 1;
+      } else {
+        diags.report(make_diag(
+            Severity::kWarning, "forest-unreachable", context,
+            "tree " + std::to_string(t) + ": right child of node " +
+                std::to_string(i) + " is unreachable — \"" + root.names[fi] +
+                "\" > " + fmt(th) + " cannot hold inside [" + fmt(box_lo) +
+                ", " + fmt(box_hi) + "]",
+            i));
+      }
+    }
+    // The root is always reachable (the declared domain is non-empty), so
+    // every tree keeps at least one reachable leaf.
+    out.tree_bounds.push_back(tb);
+    lo_sum += tb.lo;
+    hi_sum += tb.hi;
+  }
+  out.bounds = {lo_sum / static_cast<double>(out.n_trees),
+                hi_sum / static_cast<double>(out.n_trees)};
+
+  // Dead features: part of the schema, never consulted on a reachable path.
+  for (std::size_t f = 0; f < nf; ++f) {
+    if (out.feature_split_reachable[f]) continue;
+    ++out.n_dead_features;
+    if (out.feature_split_anywhere[f]) {
+      diags.report(make_diag(
+          Severity::kWarning, "forest-dead-feature", context,
+          "feature \"" + root.names[f] +
+              "\" is split on only along unreachable paths — every one of "
+              "its splits is dead code"));
+    }
+  }
+  if (out.n_dead_features > 0) {
+    std::string examples;
+    std::size_t listed = 0;
+    for (std::size_t f = 0; f < nf && listed < 4; ++f) {
+      if (out.feature_split_reachable[f]) continue;
+      examples += (listed == 0 ? "" : ", ") + root.names[f];
+      ++listed;
+    }
+    diags.report(make_diag(
+        Severity::kInfo, "forest-dead-feature", context,
+        std::to_string(out.n_dead_features) + " of " + std::to_string(nf) +
+            " schema features never split on a reachable path (" + examples +
+            (out.n_dead_features > listed ? ", ..." : "") +
+            "); the model is insensitive to them"));
+  }
+  return out;
+}
+
+void check_trained_model(const core::NapelModel& model,
+                         const FeatureDomain& domain,
+                         std::string_view context, DiagnosticEngine& diags) {
+  struct Side {
+    const char* tag;
+    const ml::FlatForest* forest;
+    ml::FlatForest::ValueBounds stored;
+  };
+  const Side sides[] = {
+      {"ipc", &model.ipc_flat(), model.ipc_bounds()},
+      {"power", &model.energy_flat(), model.power_bounds()},
+  };
+  for (const Side& s : sides) {
+    const std::string ctx = std::string(context) + "/" + s.tag;
+    const ForestAnalysis analysis =
+        analyze_forest(*s.forest, domain, ctx, diags);
+    if (!analysis.structure_ok) continue;
+
+    // forest-bounds: the serve-time certificate must (1) be finite and
+    // ordered, (2) equal the bounds recomputed from the arena it claims to
+    // describe, (3) contain the tighter reachable-leaf bounds the abstract
+    // interpretation derived.
+    if (!std::isfinite(s.stored.lo) || !std::isfinite(s.stored.hi) ||
+        s.stored.lo > s.stored.hi) {
+      diags.report(make_diag(Severity::kError, "forest-bounds", ctx,
+                             "certified bounds are non-finite or inverted ["
+                             + fmt(s.stored.lo) + ", " + fmt(s.stored.hi) +
+                             "]"));
+      continue;
+    }
+    const auto recomputed = s.forest->value_bounds();
+    if (recomputed.lo != s.stored.lo || recomputed.hi != s.stored.hi) {
+      diags.report(make_diag(
+          Severity::kError, "forest-bounds", ctx,
+          "certified bounds [" + fmt(s.stored.lo) + ", " + fmt(s.stored.hi) +
+              "] disagree with the arena's recomputed bounds [" +
+              fmt(recomputed.lo) + ", " + fmt(recomputed.hi) + "]"));
+      continue;
+    }
+    if (analysis.bounds.lo < s.stored.lo || analysis.bounds.hi > s.stored.hi) {
+      diags.report(make_diag(
+          Severity::kError, "forest-bounds", ctx,
+          "reachable-leaf bounds [" + fmt(analysis.bounds.lo) + ", " +
+              fmt(analysis.bounds.hi) +
+              "] escape the certified serve-time bounds [" +
+              fmt(s.stored.lo) + ", " + fmt(s.stored.hi) + "]"));
+      continue;
+    }
+    diags.report(make_diag(
+        Severity::kInfo, "forest-bounds", ctx,
+        std::string("certified ") + s.tag + " prediction bounds [" +
+            fmt(s.stored.lo) + ", " + fmt(s.stored.hi) +
+            "], reachable-leaf bounds [" + fmt(analysis.bounds.lo) + ", " +
+            fmt(analysis.bounds.hi) + "] over " +
+            std::to_string(analysis.n_trees) + " trees / " +
+            std::to_string(analysis.n_nodes) + " nodes"));
+  }
+}
+
+void check_forest_model_file(const std::string& path,
+                             const workloads::DoeSpace* space,
+                             DiagnosticEngine& diags) {
+  std::ifstream f(path);
+  if (!f.good()) {
+    diags.report(make_diag(Severity::kError, "model-format", path,
+                           "cannot open model file"));
+    return;
+  }
+  if (f.peek() == std::char_traits<char>::eof()) {
+    diags.report(make_diag(Severity::kError, "artifact-empty", path,
+                           "model file is empty"));
+    return;
+  }
+  core::NapelModel model;
+  try {
+    model = core::load_model(f);
+  } catch (const core::ModelSchemaError& e) {
+    diags.report(make_diag(Severity::kError, "contract-schema", path,
+                           std::string("schema contract violated: ") +
+                               e.what()));
+    return;
+  } catch (const core::ModelBoundsError& e) {
+    diags.report(make_diag(Severity::kError, "forest-bounds", path,
+                           std::string("bounds certificate violated: ") +
+                               e.what()));
+    return;
+  } catch (const ml::TreeTopologyError& e) {
+    diags.report(make_diag(Severity::kError, "model-topology", path,
+                           std::string("corrupt tree structure: ") +
+                               e.what()));
+    return;
+  } catch (const std::exception& e) {
+    diags.report(make_diag(
+        Severity::kError, f.eof() ? "model-truncated" : "model-format", path,
+        std::string(f.eof() ? "model file is truncated: " :
+                              "model does not load: ") + e.what()));
+    return;
+  }
+  check_trained_model(model, napel_feature_domain(space), path, diags);
+}
+
+void check_feature_matrix_contract(const std::string& csv_path,
+                                   const FeatureDomain& domain,
+                                   DiagnosticEngine& diags) {
+  std::ifstream f(csv_path);
+  if (!f.good()) {
+    diags.report(make_diag(Severity::kError, "csv-format", csv_path,
+                           "cannot open CSV file"));
+    return;
+  }
+  std::string line;
+  if (!std::getline(f, line) || line.empty()) {
+    diags.report(make_diag(Severity::kError, "artifact-empty", csv_path,
+                           "feature matrix is empty"));
+    return;
+  }
+  const std::vector<std::string> header = split_csv_line(line);
+  if (header.size() < domain.size()) {
+    diags.report(make_diag(
+        Severity::kError, "contract-schema", csv_path,
+        "feature matrix has " + std::to_string(header.size()) +
+            " columns, fewer than the " + std::to_string(domain.size()) +
+            "-feature schema"));
+    return;
+  }
+  const std::size_t base = header.size() - domain.size();
+  for (std::size_t i = 0; i < domain.size(); ++i) {
+    if (header[base + i] != domain.names[i]) {
+      diags.report(make_diag(
+          Severity::kError, "contract-schema", csv_path,
+          "feature column " + std::to_string(base + i) + " is \"" +
+              header[base + i] + "\", schema expects \"" + domain.names[i] +
+              "\" — count, order and names must agree"));
+      return;
+    }
+  }
+
+  std::int64_t row = 0;
+  while (std::getline(f, line)) {
+    ++row;
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = split_csv_line(line);
+    if (cells.size() != header.size()) continue;  // csv-format territory
+    for (std::size_t i = 0; i < domain.size(); ++i) {
+      char* end = nullptr;
+      const std::string& cell = cells[base + i];
+      const double v = std::strtod(cell.c_str(), &end);
+      if (cell.empty() || end != cell.c_str() + cell.size()) continue;
+      if (v < domain.lo[i] || v > domain.hi[i])
+        diags.report(make_diag(
+            Severity::kWarning, "contract-schema", csv_path,
+            "row feature \"" + domain.names[i] + "\" = " + fmt(v) +
+                " lies outside the declared domain [" + fmt(domain.lo[i]) +
+                ", " + fmt(domain.hi[i]) + "]",
+            row));
+    }
+  }
+}
+
+}  // namespace napel::verify

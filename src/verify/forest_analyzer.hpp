@@ -1,0 +1,132 @@
+// Static forest analyzer: abstract interpretation over compiled models.
+//
+// The FlatForest arena is the serving hot path for DSE, LOAO and tuning,
+// and nothing at serve time re-checks that a compiled (or loaded) forest is
+// well-formed, that its splits are reachable, or that its outputs stay
+// inside the range the training data supports. This analyzer proves those
+// properties offline, before a model is served, in the spirit of
+// platform-independent static software analysis for NMC (PISA,
+// arXiv:1906.10037) applied to our own model artifacts.
+//
+// The abstract domain is a per-feature interval box propagated from the
+// root of each tree: the root starts at the declared feature domain, a
+// split on feature f at threshold t refines the box to x_f <= t on the
+// left edge and x_f > t (nextafter(t) for the double-valued features the
+// forest actually sees — the transfer function is exact, not an
+// approximation) on the right edge. An edge whose refined box is empty is
+// unreachable; reachable leaves accumulate the certified per-tree and
+// ensemble prediction bounds.
+//
+// Rule catalog (all reported through DiagnosticEngine):
+//   forest-structure     arena violates the structural contract
+//                        predict_batch relies on (links, leaf encoding,
+//                        offsets, finiteness, lockstep depths)    (error)
+//   forest-unreachable   an edge's refined interval box is empty — the
+//                        subtree below it can never be taken      (warn)
+//   forest-dead-feature  schema features never split on any reachable
+//                        path (info summary), or split *only* on
+//                        unreachable paths                 (warn per feat)
+//   forest-domain        a reachable split threshold lies outside the
+//                        feature's declared domain                (warn)
+//   forest-bounds        stored/derived prediction bounds are non-finite,
+//                        inverted, or disagree with the forests   (error)
+//   contract-schema      model, DoE space and feature-matrix schema
+//                        disagree on feature count, order or range
+//                                                      (error; range warn)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ml/flat_forest.hpp"
+#include "verify/diagnostics.hpp"
+#include "workloads/params.hpp"
+
+namespace napel::core {
+class NapelModel;
+}
+
+namespace napel::verify {
+
+/// Declared per-feature closed domain [lo, hi] in schema order; ±inf marks
+/// an unconstrained side. The abstract interpretation starts every tree's
+/// root box here.
+struct FeatureDomain {
+  std::vector<std::string> names;
+  std::vector<double> lo;
+  std::vector<double> hi;
+
+  std::size_t size() const { return names.size(); }
+  static FeatureDomain unbounded(std::vector<std::string> names);
+};
+
+/// The declared domain of this build's model feature schema:
+///   * fraction-valued features (instruction mix, miss/stride fractions,
+///     access-fraction interactions) are bounded to [0, 1];
+///   * architecture features take sim::arch_feature_ranges() — the design
+///     pool every training row's architecture is drawn from;
+///   * with a DoE `space`, the profile thread count is bounded by the
+///     space's "threads" CCD levels (split thresholds come from training
+///     rows, which only ever see those levels);
+///   * everything else (sizes, latencies, analytic interactions) is
+///     unconstrained.
+FeatureDomain napel_feature_domain(const workloads::DoeSpace* space = nullptr);
+
+/// What one forest's abstract interpretation concluded.
+struct ForestAnalysis {
+  bool structure_ok = false;
+  std::size_t n_trees = 0;
+  std::size_t n_nodes = 0;
+  /// Nodes inside subtrees hanging off an empty-box edge.
+  std::size_t n_unreachable_nodes = 0;
+  /// Reachable split thresholds outside the declared feature domain.
+  std::size_t n_domain_violations = 0;
+  /// Schema features never split on any reachable path of this forest.
+  std::size_t n_dead_features = 0;
+  std::vector<std::uint8_t> feature_split_reachable;  // per schema feature
+  std::vector<std::uint8_t> feature_split_anywhere;
+  /// Certified output range per tree over *reachable* leaves, and the
+  /// ensemble mean range combined in tree order (see
+  /// ml::FlatForest::value_bounds for the bit-exactness argument).
+  std::vector<ml::FlatForest::ValueBounds> tree_bounds;
+  ml::FlatForest::ValueBounds bounds{};
+};
+
+/// Abstract-interprets one compiled forest under `domain`, reporting
+/// forest-structure / forest-unreachable / forest-dead-feature /
+/// forest-domain diagnostics against `context`. The interval propagation
+/// only runs when the structural pass is clean (interpreting a corrupt
+/// arena would chase broken links).
+ForestAnalysis analyze_forest(const ml::FlatForest& forest,
+                              const FeatureDomain& domain,
+                              std::string_view context,
+                              DiagnosticEngine& diags);
+
+/// Full static pass over a trained model: both forests analyzed under
+/// `domain`, plus the forest-bounds certificate check (the model's stored
+/// serve-time bounds must equal the bounds recomputed from its arenas, and
+/// must contain the reachable-leaf bounds) and the model-side
+/// contract-schema check (forest feature count vs domain).
+void check_trained_model(const core::NapelModel& model,
+                         const FeatureDomain& domain,
+                         std::string_view context, DiagnosticEngine& diags);
+
+/// `napel lint --forest`: loads a saved model (dedicated diagnostics for
+/// empty files, schema mismatches and bounds drift) and runs
+/// check_trained_model under napel_feature_domain(space).
+void check_forest_model_file(const std::string& path,
+                             const workloads::DoeSpace* space,
+                             DiagnosticEngine& diags);
+
+/// Cross-artifact contract between a training/feature CSV and the declared
+/// schema: the table's trailing columns must be exactly the schema feature
+/// names in order (contract-schema error otherwise), and every feature
+/// cell must lie inside the declared domain (contract-schema warning per
+/// offending cell).
+void check_feature_matrix_contract(const std::string& csv_path,
+                                   const FeatureDomain& domain,
+                                   DiagnosticEngine& diags);
+
+}  // namespace napel::verify

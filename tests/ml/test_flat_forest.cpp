@@ -4,6 +4,7 @@
 
 #include <bit>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -142,6 +143,118 @@ TEST(FlatForest, SaveLoadCompileRoundTripIsIdentity) {
     EXPECT_TRUE(bits_eq(a.lo, b.lo));
     EXPECT_TRUE(bits_eq(a.hi, b.hi));
   }
+}
+
+// --- arena certification -------------------------------------------------
+// certify() must accept every genuinely compiled arena and reject an
+// in-memory corruption of each arena column with ArenaCertificationError.
+
+TEST(FlatForestCertify, GenuineCompiledArenaCertifies) {
+  const FlatForest flat(fitted_forest(8));
+  EXPECT_NO_THROW(flat.certify());
+}
+
+TEST(FlatForestCertify, UncompiledForestIsRejected) {
+  const FlatForest flat;
+  EXPECT_THROW(flat.certify(), ArenaCertificationError);
+}
+
+TEST(FlatForestCertify, CorruptFeatureColumnIsRejected) {
+  FlatForest flat(fitted_forest(8));
+  const auto arena = flat.mutable_arena();
+  // First internal node's feature id pushed outside the schema.
+  for (std::size_t i = 0; i < arena.feature.size(); ++i)
+    if (arena.feature[i] >= 0) {
+      arena.feature[i] = static_cast<std::int32_t>(flat.n_features());
+      break;
+    }
+  EXPECT_THROW(flat.certify(), ArenaCertificationError);
+}
+
+TEST(FlatForestCertify, CorruptThresholdColumnIsRejected) {
+  FlatForest flat(fitted_forest(8));
+  const auto arena = flat.mutable_arena();
+  for (std::size_t i = 0; i < arena.feature.size(); ++i)
+    if (arena.feature[i] >= 0) {
+      arena.threshold[i] = std::numeric_limits<double>::quiet_NaN();
+      break;
+    }
+  EXPECT_THROW(flat.certify(), ArenaCertificationError);
+}
+
+TEST(FlatForestCertify, BackwardChildLinkIsRejected) {
+  FlatForest flat(fitted_forest(8));
+  const auto arena = flat.mutable_arena();
+  // A child link pointing back at its own parent would loop forever in
+  // traverse(); certify() must refuse before the arena ever serves.
+  for (std::size_t i = 0; i < arena.feature.size(); ++i)
+    if (arena.feature[i] >= 0) {
+      arena.left[i] = static_cast<std::uint32_t>(i);
+      break;
+    }
+  EXPECT_THROW(flat.certify(), ArenaCertificationError);
+}
+
+TEST(FlatForestCertify, CrossTreeRightLinkIsRejected) {
+  FlatForest flat(fitted_forest(8));
+  ASSERT_GE(flat.tree_count(), 2u);
+  const auto arena = flat.mutable_arena();
+  // Tree 0's root right child redirected into a later tree's range.
+  arena.right[0] = static_cast<std::uint32_t>(flat.node_count() - 1);
+  EXPECT_THROW(flat.certify(), ArenaCertificationError);
+}
+
+TEST(FlatForestCertify, NonFiniteLeafValueIsRejected) {
+  FlatForest flat(fitted_forest(8));
+  const auto arena = flat.mutable_arena();
+  for (std::size_t i = 0; i < arena.feature.size(); ++i)
+    if (arena.feature[i] < 0) {
+      arena.value[i] = std::numeric_limits<double>::infinity();
+      break;
+    }
+  EXPECT_THROW(flat.certify(), ArenaCertificationError);
+}
+
+TEST(FlatForestCertify, LeafSelfLinkBrokenIsRejected) {
+  FlatForest flat(fitted_forest(8));
+  const auto arena = flat.mutable_arena();
+  // A leaf whose children stop pointing at itself breaks the lockstep
+  // spin encoding predict_batch relies on.
+  for (std::size_t i = 1; i < arena.feature.size(); ++i)
+    if (arena.feature[i] < 0) {
+      arena.left[i] = static_cast<std::uint32_t>(i - 1);
+      break;
+    }
+  EXPECT_THROW(flat.certify(), ArenaCertificationError);
+}
+
+// --- certified value bounds ----------------------------------------------
+
+TEST(FlatForestBounds, EveryPredictionInsideCertifiedBounds) {
+  const RandomForest rf = fitted_forest(9);
+  const FlatForest flat(rf);
+  const auto b = flat.value_bounds();
+  ASSERT_LE(b.lo, b.hi);
+  const Dataset probe = make_data(31, 300);
+  for (std::size_t i = 0; i < probe.size(); ++i)
+    EXPECT_TRUE(b.contains(flat.predict(probe.row(i)))) << "row " << i;
+}
+
+TEST(FlatForestBounds, TreeBoundsComposeToEnsembleBounds) {
+  const FlatForest flat(fitted_forest(10, 7));
+  // The ensemble bounds are defined as the tree-order sum of per-tree
+  // bounds divided by T; recompute and require bit equality.
+  double lo = 0.0;
+  double hi = 0.0;
+  for (std::size_t t = 0; t < flat.tree_count(); ++t) {
+    const auto tb = flat.tree_value_bounds(t);
+    ASSERT_LE(tb.lo, tb.hi) << "tree " << t;
+    lo += tb.lo;
+    hi += tb.hi;
+  }
+  const double n = static_cast<double>(flat.tree_count());
+  EXPECT_TRUE(bits_eq(flat.value_bounds().lo, lo / n));
+  EXPECT_TRUE(bits_eq(flat.value_bounds().hi, hi / n));
 }
 
 // Every registered kernel, end to end: collect a tiny training set, fit a

@@ -102,6 +102,49 @@ TEST(NapelModel, TrainOnEmptyRowsThrows) {
   EXPECT_THROW(model.train({}, fast_options(false)), std::invalid_argument);
 }
 
+TEST(NapelModel, PredictionsStayInsideCertifiedBounds) {
+  const auto rows = collect_two_apps();
+  NapelModel model;
+  model.train(rows, fast_options(false));
+  const auto ib = model.ipc_bounds();
+  const auto pb = model.power_bounds();
+  ASSERT_LE(ib.lo, ib.hi);
+  ASSERT_LE(pb.lo, pb.hi);
+  for (const auto& r : rows) {
+    EXPECT_TRUE(ib.contains(model.predict_ipc(r.features)));
+    EXPECT_TRUE(pb.contains(model.predict_power_watts(r.features)));
+  }
+}
+
+TEST(NapelModel, OutOfBoundsIpcMeanIsRejectedAtServeTime) {
+  const auto rows = collect_two_apps();
+  NapelModel model;
+  model.train(rows, fast_options(false));
+  // An ensemble mean outside the certified range is exactly what a
+  // corrupted or swapped IPC arena would hand the serve path.
+  const double escaped = model.ipc_bounds().hi * 2.0 + 1.0;
+  EXPECT_THROW(model.predict_from_features(rows[0].features, escaped,
+                                           1e6),
+               PredictionOutOfBoundsError);
+}
+
+TEST(NapelModel, CorruptedPowerArenaIsRejectedAtServeTime) {
+  const auto rows = collect_two_apps();
+  NapelModel model;
+  model.train(rows, fast_options(false));
+  const double ipc_mean = model.predict_ipc(rows[0].features);
+  EXPECT_NO_THROW(model.predict_from_features(rows[0].features, ipc_mean,
+                                              1e6));
+  // Shift every power leaf past the certificate recorded at train time:
+  // the stored bounds no longer cover what the arena now produces.
+  const auto arena = model.energy_flat_for_test().mutable_arena();
+  for (std::size_t i = 0; i < arena.feature.size(); ++i)
+    if (arena.feature[i] < 0) arena.value[i] += 1e9;
+  EXPECT_THROW(
+      model.predict_from_features(rows[0].features, ipc_mean, 1e6),
+      PredictionOutOfBoundsError);
+}
+
 TEST(NapelModel, InterpolatesTrainingPointsTightly) {
   // Predicting a row the model has seen should be close to its label.
   const auto rows = collect_two_apps();

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdio>
 #include <sstream>
+#include <string>
 
 #include "workloads/registry.hpp"
 
@@ -63,7 +65,76 @@ TEST(ModelIo, UntrainedModelCannotBeSaved) {
 
 TEST(ModelIo, RejectsWrongSchemaArity) {
   std::stringstream ss("napel-model-v1 17\n");
-  EXPECT_THROW(load_model(ss), std::invalid_argument);
+  EXPECT_THROW(load_model(ss), ModelSchemaError);
+}
+
+namespace {
+
+const std::string& saved_model_text() {
+  static const std::string text = [] {
+    std::stringstream ss;
+    save_model(train_tiny_model(), ss);
+    return ss.str();
+  }();
+  return text;
+}
+
+}  // namespace
+
+TEST(ModelIo, SavesVersionTwoHeaderWithBoundsLine) {
+  const std::string& text = saved_model_text();
+  EXPECT_EQ(text.rfind("napel-model-v2 ", 0), 0u);
+  EXPECT_NE(text.find("\nbounds "), std::string::npos);
+}
+
+TEST(ModelIo, RoundTripPreservesCertifiedBoundsBitExactly) {
+  std::stringstream ss(saved_model_text());
+  const NapelModel loaded = load_model(ss);
+  // max_digits10 text round-trip is bit-exact, and load_model rejects any
+  // drift, so the reloaded certificate must equal the recomputed one with
+  // plain ==, no tolerance.
+  std::stringstream again;
+  save_model(loaded, again);
+  EXPECT_EQ(ss.str(), again.str());
+}
+
+TEST(ModelIo, LoadsLegacyVersionOneWithoutBounds) {
+  // A v1 file is the v2 file minus the fingerprint and the bounds line.
+  const std::string& v2 = saved_model_text();
+  const std::size_t header_end = v2.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+  const std::size_t bounds_end = v2.find('\n', header_end + 1);
+  ASSERT_NE(bounds_end, std::string::npos);
+  std::stringstream v1;
+  v1 << "napel-model-v1 " << model_feature_names().size() << '\n'
+     << v2.substr(bounds_end + 1);
+  const NapelModel loaded = load_model(v1);
+  EXPECT_TRUE(loaded.is_trained());
+  // from_forests re-derives the certificate even without a stored one.
+  EXPECT_LE(loaded.ipc_bounds().lo, loaded.ipc_bounds().hi);
+}
+
+TEST(ModelIo, FingerprintMismatchThrowsModelSchemaError) {
+  std::string text = saved_model_text();
+  const std::size_t header_end = text.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+  // The fingerprint is the header's last token; flip one hex digit.
+  const std::size_t digit = text.rfind(' ', header_end) + 1;
+  text[digit] = text[digit] == '0' ? '1' : '0';
+  std::stringstream ss(text);
+  EXPECT_THROW(load_model(ss), ModelSchemaError);
+}
+
+TEST(ModelIo, BoundsDriftThrowsModelBoundsError) {
+  std::string text = saved_model_text();
+  const std::size_t bounds_pos = text.find("\nbounds ");
+  ASSERT_NE(bounds_pos, std::string::npos);
+  // Nudge the leading digit of the stored ipc lower bound.
+  std::size_t digit = bounds_pos + 8;
+  while (!std::isdigit(static_cast<unsigned char>(text[digit]))) ++digit;
+  text[digit] = text[digit] == '9' ? '8' : text[digit] + 1;
+  std::stringstream ss(text);
+  EXPECT_THROW(load_model(ss), ModelBoundsError);
 }
 
 TEST(ModelIo, RejectsMissingFile) {

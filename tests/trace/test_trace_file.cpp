@@ -121,7 +121,9 @@ TEST_F(TraceFileTest, RejectsTruncatedPayload) {
   out.write(data.data(), static_cast<std::streamsize>(data.size() / 2));
   out.close();
   VectorSink sink;
-  EXPECT_THROW(replay_trace(path_, {&sink}), std::invalid_argument);
+  // Truncation has its own exception type so `napel lint` can attribute
+  // the dedicated trace-truncated rule instead of a generic format error.
+  EXPECT_THROW(replay_trace(path_, {&sink}), TruncatedTraceError);
 }
 
 TEST_F(TraceFileTest, MissingFileThrows) {

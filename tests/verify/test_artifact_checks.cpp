@@ -5,10 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "napel/model_io.hpp"
 #include "napel/pipeline.hpp"
+#include "trace/trace_file.hpp"
+#include "trace/tracer.hpp"
 #include "workloads/registry.hpp"
 
 namespace napel::verify {
@@ -62,17 +66,57 @@ TEST_F(ModelChecks, BadTagFires) {
   EXPECT_FALSE(diags.ok());
 }
 
-TEST_F(ModelChecks, FeatureCountMismatchFires) {
+TEST_F(ModelChecks, FeatureCountMismatchFiresContractSchema) {
+  // Count is the model <-> build half of the feature-schema contract.
   std::istringstream is("napel-model-v1 3\n");
   check_model_stream(is, "model", diags);
-  EXPECT_TRUE(has_rule(diags, "model-format"));
+  EXPECT_TRUE(has_rule(diags, "contract-schema"));
+  EXPECT_FALSE(has_rule(diags, "model-format"));
 }
 
-TEST_F(ModelChecks, TruncatedForestFires) {
+TEST_F(ModelChecks, EmptyModelFiresArtifactEmpty) {
+  std::istringstream is("");
+  check_model_stream(is, "model", diags);
+  EXPECT_TRUE(has_rule(diags, "artifact-empty"));
+  EXPECT_FALSE(has_rule(diags, "model-format"));
+  EXPECT_FALSE(diags.ok());
+}
+
+TEST_F(ModelChecks, TruncatedForestFiresDedicatedRule) {
+  // EOF mid-load is a partial write/copy, not merely bad syntax — it must
+  // be distinguishable from a malformed header.
   const std::string& text = model_text();
   std::istringstream is(text.substr(0, text.size() / 2));
   check_model_stream(is, "model", diags);
-  EXPECT_TRUE(has_rule(diags, "model-format"));
+  EXPECT_TRUE(has_rule(diags, "model-truncated"));
+  EXPECT_FALSE(has_rule(diags, "model-format"));
+}
+
+TEST_F(ModelChecks, SchemaFingerprintMismatchFiresContractSchema) {
+  // Flip one hex digit of the v2 fingerprint: same feature count, claimed
+  // different names/order.
+  std::string text = model_text();
+  const auto line_end = text.find('\n');
+  ASSERT_NE(line_end, std::string::npos);
+  const auto fp_pos = text.rfind(' ', line_end) + 1;
+  text[fp_pos] = text[fp_pos] == '0' ? '1' : '0';
+  std::istringstream is(text);
+  check_model_stream(is, "model", diags);
+  EXPECT_TRUE(has_rule(diags, "contract-schema"));
+}
+
+TEST_F(ModelChecks, BoundsDriftFiresForestBounds) {
+  // Damage the stored bounds certificate; the loader recomputes bounds
+  // from the forests and must reject the drift.
+  std::string text = model_text();
+  const auto pos = text.find("\nbounds ");
+  ASSERT_NE(pos, std::string::npos);
+  const auto digit = text.find_first_of("0123456789", pos + 8);
+  text[digit] = text[digit] == '9' ? '8' : '9';
+  std::istringstream is(text);
+  check_model_stream(is, "model", diags);
+  EXPECT_TRUE(has_rule(diags, "forest-bounds"));
+  EXPECT_FALSE(diags.ok());
 }
 
 TEST_F(ModelChecks, CorruptedTreeNodeFires) {
@@ -153,11 +197,30 @@ TEST(CsvChecks, DuplicateAndEmptyHeadersWarn) {
   EXPECT_TRUE(diags.ok());
 }
 
-TEST(CsvChecks, EmptyFileFires) {
+TEST(CsvChecks, EmptyFileFiresArtifactEmpty) {
   DiagnosticEngine diags;
   std::istringstream is("");
   check_csv_stream(is, "empty.csv", diags);
+  EXPECT_TRUE(diags.rule_count("artifact-empty") > 0);
   EXPECT_FALSE(diags.ok());
+}
+
+TEST(CsvChecks, MissingTrailingNewlineFiresCsvTruncated) {
+  // CsvWriter terminates every row, so a file whose last byte is not a
+  // newline was cut off mid-row.
+  DiagnosticEngine diags;
+  std::istringstream is("a,b\n1,2\n3,");
+  check_csv_stream(is, "cut.csv", diags);
+  EXPECT_TRUE(diags.rule_count("csv-truncated") > 0);
+  EXPECT_FALSE(diags.ok());
+}
+
+TEST(CsvChecks, CompleteFileDoesNotFireCsvTruncated) {
+  DiagnosticEngine diags;
+  std::istringstream is("a,b\n1,2\n");
+  check_csv_stream(is, "ok.csv", diags);
+  EXPECT_EQ(diags.rule_count("csv-truncated"), 0u);
+  EXPECT_TRUE(diags.ok());
 }
 
 // --- DoE ------------------------------------------------------------------
@@ -244,6 +307,80 @@ TEST(DoeChecks, CcdSizeMatchesPaperFormula) {
   const auto& w = workloads::workload("atax");
   check_doe_space(w.doe_space(workloads::Scale::kTiny), "atax", diags);
   EXPECT_EQ(diags.rule_count("doe-ccd"), 0u);
+}
+
+// --- trace ----------------------------------------------------------------
+
+class TraceChecks : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  /// Records one genuine registered-kernel trace (clean under the full
+  /// dynamic rule set) and returns its bytes.
+  std::string recorded_trace() {
+    {
+      trace::Tracer t;
+      trace::TraceWriter writer(path_);
+      t.attach(writer);
+      const auto& w = workloads::workload("atax");
+      const auto space = w.doe_space(workloads::Scale::kTiny);
+      w.run(t, workloads::WorkloadParams::central(space), 11);
+    }
+    std::ifstream f(path_, std::ios::binary);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+  }
+
+  void write_file(const std::string& bytes) {
+    std::ofstream f(path_, std::ios::binary | std::ios::trunc);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  const std::string path_ = "/tmp/napel_artifact_trace_test.bin";
+  DiagnosticEngine diags;
+};
+
+TEST_F(TraceChecks, GenuineTraceVerifiesClean) {
+  recorded_trace();
+  const std::uint64_t events = check_trace_file(path_, diags);
+  EXPECT_TRUE(diags.ok());
+  EXPECT_GT(events, 0u);
+}
+
+TEST_F(TraceChecks, EmptyTraceFiresArtifactEmpty) {
+  write_file("");
+  check_trace_file(path_, diags);
+  EXPECT_TRUE(diags.rule_count("artifact-empty") > 0);
+  EXPECT_EQ(diags.rule_count("trace-file"), 0u);
+  EXPECT_FALSE(diags.ok());
+}
+
+TEST_F(TraceChecks, TruncatedHeaderFiresDedicatedRule) {
+  write_file(recorded_trace().substr(0, 10));  // mid-header
+  check_trace_file(path_, diags);
+  EXPECT_TRUE(diags.rule_count("trace-truncated") > 0);
+  EXPECT_EQ(diags.rule_count("trace-file"), 0u);
+}
+
+TEST_F(TraceChecks, TruncatedPayloadFiresDedicatedRule) {
+  const std::string bytes = recorded_trace();
+  write_file(bytes.substr(0, bytes.size() - 7));  // mid-event
+  check_trace_file(path_, diags);
+  EXPECT_TRUE(diags.rule_count("trace-truncated") > 0);
+  EXPECT_FALSE(diags.ok());
+}
+
+TEST_F(TraceChecks, WrongMagicStillFiresTraceFile) {
+  write_file("definitely not a napel trace, but long enough to read");
+  check_trace_file(path_, diags);
+  EXPECT_TRUE(diags.rule_count("trace-file") > 0);
+  EXPECT_EQ(diags.rule_count("trace-truncated"), 0u);
+}
+
+TEST_F(TraceChecks, MissingFileFires) {
+  check_trace_file("/nonexistent/napel.trace", diags);
+  EXPECT_TRUE(diags.rule_count("trace-file") > 0);
 }
 
 }  // namespace

@@ -1,0 +1,431 @@
+// Static forest analyzer: every rule id has a mutation test proving it
+// fires on a seeded defect, plus positive cases proving genuine forests
+// and models analyze clean.
+#include "verify/forest_analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "ml/serialize.hpp"
+#include "napel/model_io.hpp"
+#include "napel/napel_model.hpp"
+#include "napel/pipeline.hpp"
+#include "sim/arch.hpp"
+#include "workloads/registry.hpp"
+
+namespace napel::verify {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+bool has_rule(const DiagnosticEngine& e, std::string_view rule) {
+  return e.rule_count(rule) > 0;
+}
+
+/// Assembles a forest from hand-written tree node tables via the text
+/// loader, so reachability and domain defects can be staged precisely.
+/// Each tree string is the body after "tree <nf> <nn>\n": node lines
+/// "feature threshold left right value" followed by an importance line.
+ml::RandomForest forest_from_text(std::size_t n_features,
+                                  const std::vector<std::string>& trees) {
+  std::ostringstream os;
+  os << "napel-forest-v1 " << trees.size() << ' ' << n_features << " 0.1\n";
+  os << trees.size() << " 8 2 1 0.5 7\n";
+  for (std::size_t f = 0; f < n_features; ++f)
+    os << "0.1" << (f + 1 < n_features ? ' ' : '\n');
+  for (const auto& t : trees) os << t;
+  std::istringstream is(os.str());
+  return ml::load_forest(is);
+}
+
+std::string importance_line(std::size_t n_features) {
+  std::string s;
+  for (std::size_t f = 0; f < n_features; ++f)
+    s += std::string("0.5") + (f + 1 < n_features ? " " : "\n");
+  return s;
+}
+
+/// One tree, one feature: root split at 0.5; its left child re-splits the
+/// same feature at 0.7, so that child's right edge (f0 > 0.7 inside
+/// f0 <= 0.5) is unreachable. Leaf under the dead edge carries value 99 to
+/// make "reachable bounds tighter than all-leaf bounds" observable.
+ml::RandomForest contradictory_forest() {
+  const std::string tree =
+      "tree 1 5\n"
+      "0 0.5 1 4 0\n"
+      "0 0.7 2 3 0\n"
+      "-1 0 0 0 1\n"
+      "-1 0 0 0 99\n"
+      "-1 0 0 0 3\n" +
+      importance_line(1);
+  return forest_from_text(1, {tree});
+}
+
+/// Two features; a split on f1 exists only below the unreachable edge, so
+/// f1 is split "anywhere" but never on a reachable path.
+ml::RandomForest dead_feature_forest() {
+  const std::string tree =
+      "tree 2 7\n"
+      "0 0.5 1 6 0\n"
+      "0 0.7 2 3 0\n"
+      "-1 0 0 0 1\n"
+      "1 0.5 4 5 0\n"
+      "-1 0 0 0 2\n"
+      "-1 0 0 0 3\n"
+      "-1 0 0 0 4\n" +
+      importance_line(2);
+  return forest_from_text(2, {tree});
+}
+
+/// A well-formed little forest: two trees over two features, every node
+/// reachable under an unbounded domain.
+ml::RandomForest healthy_forest() {
+  const std::string t1 =
+      "tree 2 5\n"
+      "0 0.5 1 4 0\n"
+      "1 0.25 2 3 0\n"
+      "-1 0 0 0 1\n"
+      "-1 0 0 0 2\n"
+      "-1 0 0 0 3\n" +
+      importance_line(2);
+  const std::string t2 =
+      "tree 2 3\n"
+      "1 0.75 1 2 0\n"
+      "-1 0 0 0 4\n"
+      "-1 0 0 0 5\n" +
+      importance_line(2);
+  return forest_from_text(2, {t1, t2});
+}
+
+FeatureDomain domain2(double lo0, double hi0, double lo1, double hi1) {
+  FeatureDomain d;
+  d.names = {"f0", "f1"};
+  d.lo = {lo0, lo1};
+  d.hi = {hi0, hi1};
+  return d;
+}
+
+// --- structural pass ------------------------------------------------------
+
+TEST(ForestAnalyzer, HealthyForestAnalyzesClean) {
+  const ml::FlatForest flat(healthy_forest());
+  DiagnosticEngine diags;
+  const auto a = analyze_forest(
+      flat, FeatureDomain::unbounded({"f0", "f1"}), "t", diags);
+  EXPECT_TRUE(a.structure_ok);
+  EXPECT_TRUE(diags.ok());
+  EXPECT_EQ(diags.warning_count(), 0u);
+  EXPECT_EQ(a.n_unreachable_nodes, 0u);
+  EXPECT_EQ(a.n_dead_features, 0u);
+  EXPECT_EQ(a.n_trees, 2u);
+  // Ensemble bounds: ((1+4)/2, (3+5)/2) over per-tree [min, max].
+  EXPECT_DOUBLE_EQ(a.bounds.lo, 2.5);
+  EXPECT_DOUBLE_EQ(a.bounds.hi, 4.0);
+}
+
+TEST(ForestAnalyzer, CorruptFeatureIdFiresForestStructure) {
+  ml::FlatForest flat(healthy_forest());
+  flat.mutable_arena().feature[0] = 17;  // schema has 2 features
+  DiagnosticEngine diags;
+  const auto a = analyze_forest(
+      flat, FeatureDomain::unbounded({"f0", "f1"}), "t", diags);
+  EXPECT_FALSE(a.structure_ok);
+  EXPECT_TRUE(has_rule(diags, "forest-structure"));
+  EXPECT_FALSE(diags.ok());
+}
+
+TEST(ForestAnalyzer, BackwardChildLinkFiresForestStructure) {
+  ml::FlatForest flat(healthy_forest());
+  flat.mutable_arena().left[1] = 0;  // points back at the root: cycle risk
+  DiagnosticEngine diags;
+  const auto a = analyze_forest(
+      flat, FeatureDomain::unbounded({"f0", "f1"}), "t", diags);
+  EXPECT_FALSE(a.structure_ok);
+  EXPECT_TRUE(has_rule(diags, "forest-structure"));
+}
+
+TEST(ForestAnalyzer, NonFiniteLeafFiresForestStructure) {
+  ml::FlatForest flat(healthy_forest());
+  flat.mutable_arena().value[2] = kInf;
+  DiagnosticEngine diags;
+  const auto a = analyze_forest(
+      flat, FeatureDomain::unbounded({"f0", "f1"}), "t", diags);
+  EXPECT_FALSE(a.structure_ok);
+  EXPECT_TRUE(has_rule(diags, "forest-structure"));
+}
+
+// --- abstract interpretation ----------------------------------------------
+
+TEST(ForestAnalyzer, ContradictorySplitFiresForestUnreachable) {
+  const ml::FlatForest flat(contradictory_forest());
+  DiagnosticEngine diags;
+  const auto a =
+      analyze_forest(flat, FeatureDomain::unbounded({"f0"}), "t", diags);
+  EXPECT_TRUE(a.structure_ok);
+  EXPECT_TRUE(has_rule(diags, "forest-unreachable"));
+  EXPECT_EQ(a.n_unreachable_nodes, 1u);
+  EXPECT_TRUE(diags.ok());  // warning severity
+  // The 99-valued leaf hangs off the dead edge: reachable bounds exclude
+  // it, the whole-arena certificate does not.
+  EXPECT_DOUBLE_EQ(a.bounds.lo, 1.0);
+  EXPECT_DOUBLE_EQ(a.bounds.hi, 3.0);
+  EXPECT_DOUBLE_EQ(flat.value_bounds().hi, 99.0);
+}
+
+TEST(ForestAnalyzer, SplitOutsideDomainFiresForestDomain) {
+  // Declared domain caps f0 at 1; a split at 5 can never discriminate.
+  const std::string tree =
+      "tree 1 3\n"
+      "0 5 1 2 0\n"
+      "-1 0 0 0 1\n"
+      "-1 0 0 0 2\n" +
+      importance_line(1);
+  const ml::FlatForest flat(forest_from_text(1, {tree}));
+  FeatureDomain d;
+  d.names = {"f0"};
+  d.lo = {0.0};
+  d.hi = {1.0};
+  DiagnosticEngine diags;
+  const auto a = analyze_forest(flat, d, "t", diags);
+  EXPECT_TRUE(has_rule(diags, "forest-domain"));
+  EXPECT_EQ(a.n_domain_violations, 1u);
+  EXPECT_TRUE(diags.ok());  // warning severity
+}
+
+TEST(ForestAnalyzer, DeadFeatureFiresInfoSummary) {
+  // f1 never appears in any split of this one-feature-style tree.
+  const std::string tree =
+      "tree 2 3\n"
+      "0 0.5 1 2 0\n"
+      "-1 0 0 0 1\n"
+      "-1 0 0 0 2\n" +
+      importance_line(2);
+  const ml::FlatForest flat(forest_from_text(2, {tree}));
+  DiagnosticEngine diags;
+  const auto a = analyze_forest(
+      flat, FeatureDomain::unbounded({"f0", "f1"}), "t", diags);
+  EXPECT_TRUE(has_rule(diags, "forest-dead-feature"));
+  EXPECT_EQ(a.n_dead_features, 1u);
+  EXPECT_EQ(diags.info_count(), 1u);
+  EXPECT_EQ(diags.warning_count(), 0u);
+}
+
+TEST(ForestAnalyzer, SplitOnlyOnUnreachablePathWarns) {
+  const ml::FlatForest flat(dead_feature_forest());
+  DiagnosticEngine diags;
+  const auto a = analyze_forest(
+      flat, FeatureDomain::unbounded({"f0", "f1"}), "t", diags);
+  EXPECT_TRUE(a.structure_ok);
+  EXPECT_EQ(a.n_unreachable_nodes, 3u);  // the f1 split and its two leaves
+  EXPECT_EQ(a.n_dead_features, 1u);
+  // The per-feature warning (split exists, all of it dead code) on top of
+  // the info summary.
+  bool warned = false;
+  for (const auto& d : diags.diagnostics())
+    if (d.rule == "forest-dead-feature" && d.severity == Severity::kWarning)
+      warned = true;
+  EXPECT_TRUE(warned);
+}
+
+TEST(ForestAnalyzer, DomainSizeMismatchFiresContractSchema) {
+  const ml::FlatForest flat(healthy_forest());
+  DiagnosticEngine diags;
+  analyze_forest(flat, FeatureDomain::unbounded({"only-one"}), "t", diags);
+  EXPECT_TRUE(has_rule(diags, "contract-schema"));
+  EXPECT_FALSE(diags.ok());
+}
+
+TEST(ForestAnalyzer, TightDomainPrunesLeaves) {
+  // Domain pinned below every threshold: only the all-left path survives.
+  const ml::FlatForest flat(healthy_forest());
+  DiagnosticEngine diags;
+  const auto a = analyze_forest(flat, domain2(0.0, 0.1, 0.0, 0.1), "t",
+                                diags);
+  EXPECT_TRUE(has_rule(diags, "forest-unreachable"));
+  // Tree 1 routes to leaf 1, tree 2 to leaf 4: bounds collapse to a point.
+  EXPECT_DOUBLE_EQ(a.bounds.lo, 2.5);
+  EXPECT_DOUBLE_EQ(a.bounds.hi, 2.5);
+}
+
+// --- model-level checks ---------------------------------------------------
+
+TEST(ForestAnalyzerModel, HealthyModelChecksClean) {
+  core::NapelModel m = core::NapelModel::from_forests(healthy_forest(),
+                                                      healthy_forest());
+  DiagnosticEngine diags;
+  check_trained_model(m, FeatureDomain::unbounded({"f0", "f1"}), "m", diags);
+  EXPECT_TRUE(diags.ok());
+  EXPECT_EQ(diags.warning_count(), 0u);
+  EXPECT_EQ(diags.rule_count("forest-bounds"), 2u);  // info certificates
+}
+
+TEST(ForestAnalyzerModel, CorruptedServedArenaFiresForestBounds) {
+  core::NapelModel m = core::NapelModel::from_forests(healthy_forest(),
+                                                      healthy_forest());
+  // Damage a served leaf after sealing: stored certificate and recomputed
+  // arena bounds must now disagree.
+  const auto arena = m.ipc_flat_for_test().mutable_arena();
+  for (std::size_t i = 0; i < arena.feature.size(); ++i)
+    if (arena.feature[i] < 0) arena.value[i] += 1e6;
+  DiagnosticEngine diags;
+  check_trained_model(m, FeatureDomain::unbounded({"f0", "f1"}), "m", diags);
+  EXPECT_FALSE(diags.ok());
+  bool bounds_error = false;
+  for (const auto& d : diags.diagnostics())
+    if (d.rule == "forest-bounds" && d.severity == Severity::kError)
+      bounds_error = true;
+  EXPECT_TRUE(bounds_error);
+}
+
+// --- built-in feature domain ----------------------------------------------
+
+TEST(NapelFeatureDomain, MatchesSchemaAndBoundsKnownFeatures) {
+  const FeatureDomain d = napel_feature_domain();
+  ASSERT_EQ(d.size(), core::model_feature_names().size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    ASSERT_LE(d.lo[i], d.hi[i]) << d.names[i];
+    if (d.names[i] == "mem_fraction" || d.names[i].rfind("mix_", 0) == 0) {
+      EXPECT_EQ(d.lo[i], 0.0) << d.names[i];
+      EXPECT_EQ(d.hi[i], 1.0) << d.names[i];
+    }
+    if (d.names[i] == "arch_n_pes") {
+      const auto& r = sim::arch_feature_ranges()[0];
+      EXPECT_EQ(d.lo[i], r.first);
+      EXPECT_EQ(d.hi[i], r.second);
+    }
+  }
+}
+
+TEST(NapelFeatureDomain, DoeSpaceTightensThreadCount) {
+  const auto& w = workloads::workload("atax");
+  const auto space = w.doe_space(workloads::Scale::kTiny);
+  const FeatureDomain d = napel_feature_domain(&space);
+  const auto& p = space.param("threads");
+  for (std::size_t i = 0; i < d.size(); ++i)
+    if (d.names[i] == "n_threads") {
+      EXPECT_EQ(d.lo[i], static_cast<double>(p.minimum()));
+      EXPECT_EQ(d.hi[i], static_cast<double>(p.maximum()));
+      return;
+    }
+  FAIL() << "schema has no n_threads feature";
+}
+
+// --- file-level entry point -----------------------------------------------
+
+class ForestModelFile : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  static const std::string& model_text() {
+    static const std::string text = [] {
+      core::CollectOptions o;
+      o.scale = workloads::Scale::kTiny;
+      o.archs_per_config = 2;
+      o.arch_pool_size = 4;
+      std::vector<core::TrainingRow> rows;
+      core::collect_training_data(workloads::workload("atax"), o, rows);
+      core::NapelModel m;
+      core::NapelModel::Options mo;
+      mo.tune = false;
+      mo.untuned_params.n_trees = 5;
+      m.train(rows, mo);
+      std::stringstream ss;
+      core::save_model(m, ss);
+      return ss.str();
+    }();
+    return text;
+  }
+
+  void write_file(const std::string& bytes) {
+    std::ofstream f(path_, std::ios::trunc);
+    f << bytes;
+  }
+
+  const std::string path_ = "/tmp/napel_forest_analyzer_model.txt";
+  DiagnosticEngine diags;
+};
+
+TEST_F(ForestModelFile, GenuineTrainedModelLintsClean) {
+  write_file(model_text());
+  const auto& w = workloads::workload("atax");
+  const auto space = w.doe_space(workloads::Scale::kTiny);
+  check_forest_model_file(path_, &space, diags);
+  EXPECT_TRUE(diags.ok());
+  EXPECT_EQ(diags.warning_count(), 0u);  // genuine forests: info only
+  EXPECT_TRUE(has_rule(diags, "forest-bounds"));  // the info certificates
+}
+
+TEST_F(ForestModelFile, EmptyFileFiresArtifactEmpty) {
+  write_file("");
+  check_forest_model_file(path_, nullptr, diags);
+  EXPECT_TRUE(has_rule(diags, "artifact-empty"));
+  EXPECT_FALSE(diags.ok());
+}
+
+TEST_F(ForestModelFile, TruncatedFileFiresModelTruncated) {
+  write_file(model_text().substr(0, model_text().size() / 2));
+  check_forest_model_file(path_, nullptr, diags);
+  EXPECT_TRUE(has_rule(diags, "model-truncated"));
+  EXPECT_FALSE(diags.ok());
+}
+
+TEST_F(ForestModelFile, MissingFileFiresModelFormat) {
+  check_forest_model_file("/nonexistent/napel.model", nullptr, diags);
+  EXPECT_TRUE(has_rule(diags, "model-format"));
+}
+
+// --- feature-matrix contract ----------------------------------------------
+
+class FeatureMatrixContract : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void write_file(const std::string& bytes) {
+    std::ofstream f(path_, std::ios::trunc);
+    f << bytes;
+  }
+
+  const std::string path_ = "/tmp/napel_feature_matrix.csv";
+  DiagnosticEngine diags;
+};
+
+TEST_F(FeatureMatrixContract, MatchingTrailingColumnsAreClean) {
+  write_file("app,f0,f1\natax,0.5,0.25\nmvt,0.125,0.75\n");
+  check_feature_matrix_contract(path_, domain2(0, 1, 0, 1), diags);
+  EXPECT_TRUE(diags.ok());
+  EXPECT_EQ(diags.diagnostics().size(), 0u);
+}
+
+TEST_F(FeatureMatrixContract, ReorderedColumnsFireContractSchema) {
+  write_file("app,f1,f0\natax,0.5,0.25\n");
+  check_feature_matrix_contract(path_, domain2(0, 1, 0, 1), diags);
+  EXPECT_TRUE(diags.rule_count("contract-schema") > 0);
+  EXPECT_FALSE(diags.ok());
+}
+
+TEST_F(FeatureMatrixContract, MissingColumnsFireContractSchema) {
+  write_file("f0\n0.5\n");
+  check_feature_matrix_contract(path_, domain2(0, 1, 0, 1), diags);
+  EXPECT_TRUE(diags.rule_count("contract-schema") > 0);
+}
+
+TEST_F(FeatureMatrixContract, OutOfDomainValueWarns) {
+  write_file("app,f0,f1\natax,7,0.25\n");
+  check_feature_matrix_contract(path_, domain2(0, 1, 0, 1), diags);
+  EXPECT_TRUE(diags.rule_count("contract-schema") > 0);
+  EXPECT_TRUE(diags.ok());  // range violations warn, not error
+  EXPECT_GT(diags.warning_count(), 0u);
+}
+
+TEST_F(FeatureMatrixContract, EmptyFileFiresArtifactEmpty) {
+  write_file("");
+  check_feature_matrix_contract(path_, domain2(0, 1, 0, 1), diags);
+  EXPECT_TRUE(diags.rule_count("artifact-empty") > 0);
+}
+
+}  // namespace
+}  // namespace napel::verify

@@ -1,0 +1,33 @@
+# Trains a tiny model, then requires the static forest analyzer to certify
+# it clean: `lint --forest` exits 3 on any error-severity diagnostic
+# (broken arena, bounds drift, schema mismatch), so a genuine freshly
+# trained model must come back 0 — in both text and JSON modes, and with
+# the DoE-space-tightened feature domain.
+execute_process(
+  COMMAND ${CLI} train -o ${WORKDIR}/forest_lint_model.txt
+          --apps atax --scale tiny --archs 4
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "train failed (rc=${rc})")
+endif()
+foreach(step
+    "lint;--forest;${WORKDIR}/forest_lint_model.txt"
+    "lint;--forest;${WORKDIR}/forest_lint_model.txt;--space;atax"
+    "lint;--forest;${WORKDIR}/forest_lint_model.txt;--json")
+  execute_process(COMMAND ${CLI} ${step} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "forest lint not clean: ${step} (rc=${rc})")
+  endif()
+endforeach()
+# A truncated copy must be rejected with a dedicated diagnostic (exit 3).
+file(READ ${WORKDIR}/forest_lint_model.txt model_text)
+string(LENGTH "${model_text}" full_len)
+math(EXPR half_len "${full_len} / 2")
+string(SUBSTRING "${model_text}" 0 ${half_len} half_text)
+file(WRITE ${WORKDIR}/forest_lint_model_truncated.txt "${half_text}")
+execute_process(
+  COMMAND ${CLI} lint --forest ${WORKDIR}/forest_lint_model_truncated.txt
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 3)
+  message(FATAL_ERROR "truncated model not rejected (rc=${rc})")
+endif()

@@ -16,8 +16,14 @@
 //             [--seed N] [-o csv-file]
 //   napel suitability -m <model-file> --app <workload> [--scale S]
 //   napel lint [--apps a,b] [--scale S] [--json] [--model FILE] [--csv FILE]
-//              [--trace FILE] [--journal FILE] [--disable rule,rule]
-//              [--max-per-rule N]
+//              [--trace FILE] [--journal FILE] [--forest FILE [--space W]]
+//              [--disable rule,rule] [--max-per-rule N]
+//
+// `lint` with only artifact flags (--model/--csv/--trace/--journal/--forest)
+// and no --apps skips the kernel-stream sweep and validates just the named
+// artifacts; `lint --forest` additionally runs the static forest analyzer
+// (src/verify/forest_analyzer.hpp) over the saved model, with the feature
+// domain tightened by --space's DoE thread levels when given.
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime failures,
 // 3 when `lint` found error-severity diagnostics. The hidden
@@ -44,6 +50,7 @@
 #include "trace/trace_file.hpp"
 #include "verify/artifact_checks.hpp"
 #include "verify/diagnostics.hpp"
+#include "verify/forest_analyzer.hpp"
 #include "verify/verifying_sink.hpp"
 
 namespace {
@@ -506,13 +513,21 @@ int cmd_lint(const Args& a) {
   const std::uint64_t seed = parse_u64(a, "seed", 2019);
   const bool json = a.options.contains("json");
 
+  // Artifact-only invocations (e.g. CI's journal or forest gates) skip the
+  // kernel-stream sweep; a bare `napel lint` still verifies the registry.
+  const bool artifact_only =
+      !a.options.contains("apps") &&
+      (a.options.contains("model") || a.options.contains("csv") ||
+       a.options.contains("trace") || a.options.contains("journal") ||
+       a.options.contains("forest"));
+
   std::vector<std::string> apps;
   if (const auto it = a.options.find("apps"); it != a.options.end()) {
     apps = split_csv(it->second);
     for (const auto& app : apps)
       if (!workloads::has_workload(app))
         throw std::invalid_argument("unknown workload: " + app);
-  } else {
+  } else if (!artifact_only) {
     for (const auto* w : workloads::all_workloads())
       apps.emplace_back(w->name());
     for (const auto* w : workloads::extended_workloads())
@@ -548,19 +563,20 @@ int cmd_lint(const Args& a) {
     verify::check_csv_file(it->second, diags);
   if (const auto it = a.options.find("journal"); it != a.options.end())
     verify::check_journal_file(it->second, diags);
-  if (const auto it = a.options.find("trace"); it != a.options.end()) {
-    verify::VerifyingSink verifier(diags);
-    try {
-      trace::replay_trace(it->second, {&verifier});
-    } catch (const std::exception& e) {
-      diags.report(verify::Diagnostic{
-          .rule = "trace-file",
-          .severity = verify::Severity::kError,
-          .context = it->second,
-          .index = -1,
-          .message = std::string("trace does not replay: ") + e.what()});
+  if (const auto it = a.options.find("trace"); it != a.options.end())
+    events += verify::check_trace_file(it->second, diags);
+  if (const auto it = a.options.find("forest"); it != a.options.end()) {
+    // --space tightens the feature domain with that workload's DoE thread
+    // levels; without it the analyzer uses the build's default domain.
+    workloads::DoeSpace space;
+    const workloads::DoeSpace* space_ptr = nullptr;
+    if (const auto sit = a.options.find("space"); sit != a.options.end()) {
+      if (!workloads::has_workload(sit->second))
+        throw std::invalid_argument("unknown workload: " + sit->second);
+      space = workloads::workload(sit->second).doe_space(scale);
+      space_ptr = &space;
     }
-    events += verifier.events_seen();
+    verify::check_forest_model_file(it->second, space_ptr, diags);
   }
 
   if (json) {
@@ -595,8 +611,10 @@ int usage() {
                "  simulate --trace FILE [--pes N] [...]   replay on a design\n"
                "  lint [--apps a,b] [--scale S] [--json] [--model FILE]\n"
                "       [--csv FILE] [--trace FILE] [--journal FILE]\n"
+               "       [--forest FILE [--space W]]   static forest analysis\n"
                "       [--disable rule,rule]\n"
-               "       [--max-per-rule N]   verify kernels + artifacts\n");
+               "       [--max-per-rule N]   verify kernels + artifacts;\n"
+               "       artifact flags alone skip the kernel sweep\n");
   return 1;
 }
 

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Source determinism lint for the NAPEL tree.
+
+The whole pipeline rests on bit-exact reproducibility: training rows,
+trace replays, tuned models and DSE rankings must be identical across
+runs, machines and build times. That dies the moment any source file
+reaches for ambient entropy, so this lint bans the hazards outright:
+
+  std-rand        std::rand / rand / srand — hidden global RNG state
+  wall-clock-seed time(...) — wall-clock reads used as seeds or inputs
+                  (std::chrono is fine for *measuring*; time() is the
+                  classic seed idiom and has no other use in this tree)
+  random-device   std::random_device — per-run hardware entropy
+  build-stamp     __DATE__ / __TIME__ / __TIMESTAMP__ — binaries that
+                  differ by build time break artifact comparison
+
+A line can opt out with an inline justification marker:
+
+    std::random_device rd;  // napel-lint: allow(random-device) <why>
+
+Scans src/ and tools/ (C++ sources and headers). Exit status: 0 clean,
+1 findings, 2 usage error. Wired into CI next to clang-tidy; also
+callable on an explicit file list: source_lint.py [paths...].
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCAN_DIRS = ("src", "tools")
+CPP_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".h"}
+
+# rule id -> (compiled pattern, human explanation)
+# Patterns use a lookbehind so `mytime(` or `x.rand(` never match; matches
+# inside comments and string literals are stripped before scanning.
+RULES = {
+    "std-rand": (
+        re.compile(r"(?<![\w.:])(?:std::)?s?rand\s*\("),
+        "C rand()/srand() uses hidden global state; use common/rng.hpp "
+        "with an explicit seed",
+    ),
+    "wall-clock-seed": (
+        re.compile(r"(?<![\w.:])(?:std::)?time\s*\("),
+        "wall-clock time() makes runs irreproducible; seeds must be "
+        "explicit constants or CLI inputs",
+    ),
+    "random-device": (
+        re.compile(r"std::random_device"),
+        "hardware entropy differs per run; construct RNGs from explicit "
+        "seeds only",
+    ),
+    "build-stamp": (
+        re.compile(r"__(?:DATE|TIME|TIMESTAMP)__"),
+        "build-time stamps make binaries differ by build; derive any "
+        "versioning from source, not the clock",
+    ),
+}
+
+ALLOW = re.compile(r"napel-lint:\s*allow\(([a-z-]+)\)")
+
+STRING_OR_CHAR = re.compile(r'"(?:[^"\\]|\\.)*"|\'(?:[^\'\\]|\\.)*\'')
+LINE_COMMENT = re.compile(r"//.*$")
+
+
+def strip_noise(line: str, in_block_comment: bool) -> tuple[str, bool]:
+    """Blanks string/char literals and comments so patterns only see code.
+
+    Tracks /* */ state across lines; returns (code, still_in_block).
+    """
+    out = []
+    i = 0
+    if not in_block_comment:
+        line = STRING_OR_CHAR.sub('""', line)
+    while i < len(line):
+        if in_block_comment:
+            end = line.find("*/", i)
+            if end < 0:
+                return "".join(out), True
+            i = end + 2
+            in_block_comment = False
+        else:
+            start = line.find("/*", i)
+            if start < 0:
+                out.append(line[i:])
+                break
+            out.append(line[i:start])
+            i = start + 2
+            in_block_comment = True
+    code = LINE_COMMENT.sub("", "".join(out))
+    return code, in_block_comment
+
+
+def lint_file(path: Path) -> list[str]:
+    findings = []
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as e:
+        return [f"{path}: unreadable: {e}"]
+    in_block = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        allowed = set(ALLOW.findall(raw))
+        code, in_block = strip_noise(raw, in_block)
+        for rule, (pattern, why) in RULES.items():
+            if rule in allowed or not pattern.search(code):
+                continue
+            rel = (
+                path.relative_to(REPO_ROOT)
+                if path.is_relative_to(REPO_ROOT)
+                else path
+            )
+            findings.append(
+                f"{rel}:{lineno}: [{rule}] {why}\n    {raw.strip()}"
+            )
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        files = [Path(a).resolve() for a in argv]
+        missing = [f for f in files if not f.is_file()]
+        if missing:
+            print(f"error: no such file: {missing[0]}", file=sys.stderr)
+            return 2
+    else:
+        files = sorted(
+            p
+            for d in SCAN_DIRS
+            for p in (REPO_ROOT / d).rglob("*")
+            if p.suffix in CPP_SUFFIXES and p.is_file()
+        )
+    findings = []
+    for f in files:
+        findings.extend(lint_file(f))
+    for finding in findings:
+        print(finding)
+    print(
+        f"source-lint: {len(files)} file(s), {len(findings)} finding(s)",
+        file=sys.stderr,
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
