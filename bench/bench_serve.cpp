@@ -1,0 +1,215 @@
+// Serving-runtime latency/throughput: full vs degraded inference.
+//
+// Drives the real serving path (Server::handle_line — parse, admission-
+// aware degradation policy, chunked deadline-checked forest walk, certified
+// intervals, response rendering) synchronously, so the numbers are
+// per-request service times without queueing noise, plus one end-to-end
+// run() pass through the stream transport. Scenarios:
+//   full            — no deadline, no load: full-ensemble inference;
+//   degraded_load   — queue depth at the degradation threshold: prefix
+//                     inference (8 of the trees) with certified intervals;
+//   degraded_zero   — deadline_ms:0: no trees walked, certified ensemble
+//                     range answered straight from the precomputed bounds;
+//   pipelined_run   — the threaded run() loop end-to-end over a scripted
+//                     request stream (reader + worker + drain).
+// Reports p50/p99 latency and throughput per scenario and emits
+// BENCH_serve.json. --smoke shrinks the request counts for CI.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "ml/flat_forest.hpp"
+#include "ml/random_forest.hpp"
+#include "serve/server.hpp"
+
+using namespace napel;
+
+namespace {
+
+ml::Dataset make_dataset(std::size_t n_rows, std::size_t n_features,
+                         double offset, Rng& rng) {
+  ml::Dataset data(n_features);
+  std::vector<double> x(n_features);
+  for (std::size_t i = 0; i < n_rows; ++i) {
+    for (auto& v : x) v = rng.uniform(-2.0, 2.0);
+    double y = offset + 0.3 * x[0] * x[1] + 0.1 * x[2];
+    for (std::size_t f = 3; f < n_features; ++f)
+      y += 0.02 * x[f] * (f % 2 ? 1.0 : -1.0);
+    data.add_row(x, y + rng.normal(0.0, 0.02));
+  }
+  return data;
+}
+
+ml::RandomForest fit_forest(const ml::Dataset& data, unsigned n_trees,
+                            std::uint64_t seed) {
+  ml::RandomForestParams p;
+  p.n_trees = n_trees;
+  p.seed = seed;
+  ml::RandomForest rf(p);
+  rf.fit(data);
+  return rf;
+}
+
+struct Scenario {
+  std::string name;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double rps = 0.0;
+  std::string mode;  // "full" / "degraded" of the observed responses
+};
+
+double percentile(std::vector<double>& v, double pct) {
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      pct / 100.0 * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  const std::size_t n_features = 16;
+  const unsigned n_trees = smoke ? 30 : 100;
+  const std::size_t n_requests = smoke ? 500 : 5000;
+
+  std::printf("=== serving runtime: full vs degraded inference (%s) ===\n",
+              smoke ? "smoke" : "full");
+
+  Rng rng(2019);
+  const ml::Dataset ipc_data = make_dataset(800, n_features, 1.0, rng);
+  const ml::Dataset power_data = make_dataset(800, n_features, 6.0, rng);
+  core::NapelModel model = core::NapelModel::from_forests(
+      fit_forest(ipc_data, n_trees, 7), fit_forest(power_data, n_trees, 8));
+
+  serve::ServerOptions opts;
+  opts.degrade_queue_depth = 8;
+  opts.degrade_trees = 8;
+  serve::Server server(opts,
+                       serve::ServedModel::make(std::move(model), 1, "bench"));
+
+  // Pre-render the request lines so parsing cost is measured, generation
+  // cost is not.
+  std::vector<std::string> full_lines, zero_lines;
+  {
+    Rng req_rng(404);
+    std::vector<double> x(n_features);
+    for (std::size_t i = 0; i < n_requests; ++i) {
+      for (auto& v : x) v = req_rng.uniform(-2.0, 2.0);
+      serve::JsonValue req = serve::JsonValue::object();
+      req.set("op", serve::JsonValue::string("predict"));
+      req.set("id", serve::JsonValue::string("r" + std::to_string(i)));
+      serve::JsonValue feats = serve::JsonValue::array();
+      for (double v : x) feats.push_back(serve::JsonValue::number(v));
+      req.set("features", std::move(feats));
+      full_lines.push_back(req.dump());
+      req.set("deadline_ms", serve::JsonValue::number(0));
+      zero_lines.push_back(req.dump());
+    }
+  }
+
+  const auto drive = [&](const std::string& name,
+                         const std::vector<std::string>& lines,
+                         std::size_t queue_depth) {
+    Scenario s;
+    s.name = name;
+    std::vector<double> lat_us;
+    lat_us.reserve(lines.size());
+    bench::Timer total;
+    for (const std::string& line : lines) {
+      bench::Timer t;
+      const std::string resp = server.handle_line(line, queue_depth);
+      lat_us.push_back(t.seconds() * 1e6);
+      if (s.mode.empty()) {
+        const serve::JsonValue v = serve::JsonValue::parse(resp);
+        if (const auto* mode = v.find("mode")) s.mode = mode->as_string();
+      }
+    }
+    const double total_s = total.seconds();
+    s.p50_us = percentile(lat_us, 50.0);
+    s.p99_us = percentile(lat_us, 99.0);
+    s.rps = total_s > 0.0 ? static_cast<double>(lines.size()) / total_s : 0.0;
+    std::printf("%-14s %8.1f us p50  %8.1f us p99  %10.0f req/s  (%s)\n",
+                s.name.c_str(), s.p50_us, s.p99_us, s.rps, s.mode.c_str());
+    return s;
+  };
+
+  std::vector<Scenario> scenarios;
+  scenarios.push_back(drive("full", full_lines, /*queue_depth=*/0));
+  scenarios.push_back(
+      drive("degraded_load", full_lines, /*queue_depth=*/8));
+  scenarios.push_back(drive("degraded_zero", zero_lines, /*queue_depth=*/0));
+
+  // End-to-end threaded run(): reader + worker + graceful drain.
+  {
+    std::stringstream in;
+    for (const std::string& line : full_lines) in << line << '\n';
+    in << "{\"op\":\"shutdown\"}\n";
+    std::stringstream out;
+    serve::IoStreamTransport transport(in, out);
+    serve::ServerOptions run_opts;
+    run_opts.queue_capacity = n_requests;  // no shedding: measure service
+    serve::Server run_server(
+        run_opts, serve::ServedModel::make(
+                      core::NapelModel::from_forests(
+                          fit_forest(ipc_data, n_trees, 7),
+                          fit_forest(power_data, n_trees, 8)),
+                      1, "bench"));
+    bench::Timer t;
+    const int rc = run_server.run(transport);
+    const double total_s = t.seconds();
+    Scenario s;
+    s.name = "pipelined_run";
+    s.mode = rc == 0 ? "full" : "error";
+    s.rps =
+        total_s > 0.0 ? static_cast<double>(n_requests) / total_s : 0.0;
+    std::printf("%-14s %38.0f req/s  (end-to-end, rc=%d)\n", s.name.c_str(),
+                s.rps, rc);
+    scenarios.push_back(s);
+  }
+
+  const serve::ServeStats stats = server.stats_snapshot();
+  std::printf("served: %llu full, %llu degraded\n",
+              static_cast<unsigned long long>(stats.served_full),
+              static_cast<unsigned long long>(stats.served_degraded));
+
+  FILE* f = std::fopen("BENCH_serve.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_serve.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"serve\",\n  \"smoke\": %s,\n",
+               smoke ? "true" : "false");
+  std::fprintf(f, "  \"trees\": %u, \"requests\": %zu,\n", n_trees,
+               n_requests);
+  std::fprintf(f, "  \"scenarios\": [\n");
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const Scenario& s = scenarios[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"p50_us\": %.2f, \"p99_us\": %.2f, "
+                 "\"rps\": %.0f, \"mode\": \"%s\"}%s\n",
+                 s.name.c_str(), s.p50_us, s.p99_us, s.rps, s.mode.c_str(),
+                 i + 1 < scenarios.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"served_full\": %llu, \"served_degraded\": %llu\n}\n",
+               static_cast<unsigned long long>(stats.served_full),
+               static_cast<unsigned long long>(stats.served_degraded));
+  std::fclose(f);
+  std::printf("wrote BENCH_serve.json\n");
+
+  // Sanity gates: the degraded paths must actually degrade, and the
+  // zero-budget path must not be slower than full inference.
+  if (scenarios[1].mode != "degraded" || scenarios[2].mode != "degraded") {
+    std::fprintf(stderr, "FAIL: degradation scenarios served full mode\n");
+    return 1;
+  }
+  return 0;
+}

@@ -28,6 +28,14 @@ enum class ErrorKind : std::uint8_t {
   kTaskFailed,           ///< a task threw (kernel / profiler / simulator)
   kQuorumFailed,         ///< too many DoE points lost, or a critical one
   kInjectedFault,        ///< fault-injection harness (tests only)
+  kInterrupted,          ///< graceful shutdown drained the run early
+
+  // Serving-runtime taxonomy (src/serve): online failures of the
+  // prediction server, rendered as structured JSON error responses.
+  kOverload,              ///< admission queue full — request shed
+  kDeadlineExceeded,      ///< deadline expired and degradation disallowed
+  kBadRequest,            ///< malformed request line or schema mismatch
+  kModelReloadRejected,   ///< hot-reload candidate failed validation
 };
 
 constexpr std::string_view error_kind_name(ErrorKind kind) {
@@ -40,6 +48,11 @@ constexpr std::string_view error_kind_name(ErrorKind kind) {
     case ErrorKind::kTaskFailed: return "task-failed";
     case ErrorKind::kQuorumFailed: return "quorum-failed";
     case ErrorKind::kInjectedFault: return "injected-fault";
+    case ErrorKind::kInterrupted: return "interrupted";
+    case ErrorKind::kOverload: return "overload";
+    case ErrorKind::kDeadlineExceeded: return "deadline-exceeded";
+    case ErrorKind::kBadRequest: return "bad-request";
+    case ErrorKind::kModelReloadRejected: return "model-reload-rejected";
   }
   return "unknown";
 }
@@ -54,11 +67,19 @@ constexpr bool error_kind_retryable(ErrorKind kind) {
     case ErrorKind::kTaskFailed:
     case ErrorKind::kInjectedFault:
       return true;
+    // A shed request is retryable by the *client* after its retry_after
+    // hint — and re-running the same request can succeed once load drops.
+    case ErrorKind::kOverload:
+      return true;
     case ErrorKind::kCorruptArtifact:
     case ErrorKind::kIncompatibleJournal:
     case ErrorKind::kWatchdogTimeout:
     case ErrorKind::kSimBudgetExhausted:
     case ErrorKind::kQuorumFailed:
+    case ErrorKind::kInterrupted:
+    case ErrorKind::kDeadlineExceeded:
+    case ErrorKind::kBadRequest:
+    case ErrorKind::kModelReloadRejected:
       return false;
   }
   return false;

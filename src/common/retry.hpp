@@ -1,0 +1,77 @@
+// Reusable bounded-retry policy with deterministic backoff.
+//
+// Extracted from the pipeline runtime so every retry loop in the tree —
+// the DoE collection tasks and the serving runtime's model-reload path —
+// shares one policy: a fixed attempt budget, capped exponential backoff,
+// and seed-derived jitter that is a pure function of (seed, key, attempt).
+// No ambient entropy, no wall-clock reads: two runs with the same seed
+// sleep the same milliseconds and make the same number of attempts.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <type_traits>
+
+#include "common/result.hpp"
+#include "common/rng.hpp"
+
+namespace napel {
+
+struct RetryPolicy {
+  /// Total executions including the first (1 = no retries).
+  std::size_t max_attempts = 3;
+  /// Base backoff before the first retry, doubled per further attempt.
+  /// 0 disables sleeping entirely (tests, latency-critical callers).
+  std::uint32_t base_backoff_ms = 0;
+  /// Ceiling on the doubled base, so long retry chains cannot sleep
+  /// unboundedly. The jitter is added on top of the capped base.
+  std::uint32_t max_backoff_ms = 30'000;
+  /// Root of the jitter stream; combined with the caller's key so distinct
+  /// tasks of one run draw independent delays.
+  std::uint64_t seed = 0;
+};
+
+/// Backoff before retry `attempt` (1-based: attempt 1 precedes the second
+/// execution) of the task identified by `key`. Deterministic: capped
+/// exponential base plus SplitMix64 jitter in [0, base], seeded from
+/// (seed, key, attempt) exactly like the pipeline runtime always has.
+inline std::chrono::milliseconds retry_backoff(const RetryPolicy& policy,
+                                               std::uint64_t key,
+                                               std::size_t attempt) {
+  NAPEL_CHECK(attempt >= 1);
+  if (policy.base_backoff_ms == 0) return std::chrono::milliseconds{0};
+  SplitMix64 sm(policy.seed ^ (key * 0x9e3779b97f4a7c15ULL) ^ attempt);
+  std::uint64_t base = std::uint64_t{policy.base_backoff_ms}
+                       << (attempt - 1);
+  base = std::min<std::uint64_t>(base, policy.max_backoff_ms);
+  return std::chrono::milliseconds(base + sm.next() % (base + 1));
+}
+
+/// Runs `fn` (returning Result<T>) under the bounded-retry policy: only
+/// retryable errors (see error_kind_retryable) are re-attempted, each retry
+/// sleeps its deterministic backoff first, and the returned error carries
+/// the attempt count. `n_retries`, when given, accumulates attempts beyond
+/// the first (the pipeline's accounting counter).
+template <typename Fn>
+std::invoke_result_t<Fn> with_retries(const RetryPolicy& policy,
+                                      std::uint64_t key, Fn&& fn,
+                                      std::size_t* n_retries = nullptr) {
+  NAPEL_CHECK(policy.max_attempts >= 1);
+  PipelineError last;
+  for (std::size_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      if (n_retries != nullptr) ++*n_retries;
+      const auto delay = retry_backoff(policy, key, attempt);
+      if (delay.count() > 0) std::this_thread::sleep_for(delay);
+    }
+    std::invoke_result_t<Fn> r = fn();
+    if (r.ok()) return r;
+    last = r.error();
+    last.attempts = static_cast<int>(attempt + 1);
+    if (!last.retryable()) break;
+  }
+  return last;
+}
+
+}  // namespace napel

@@ -1,0 +1,33 @@
+#include "common/shutdown.hpp"
+
+#include <csignal>
+
+namespace napel {
+
+std::atomic<bool>& shutdown_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+namespace {
+
+void on_shutdown_signal(int /*signum*/) {
+  shutdown_flag().store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void install_shutdown_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = on_shutdown_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: interrupt blocking reads so loops drain
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
+
+void reset_shutdown_flag() {
+  shutdown_flag().store(false, std::memory_order_relaxed);
+}
+
+}  // namespace napel

@@ -1,0 +1,38 @@
+// Cooperative graceful-shutdown flag.
+//
+// Long-running commands (`napel serve`, `napel collect`) must not die
+// mid-write when the operator sends SIGTERM/SIGINT: they drain in-flight
+// work, flush their journal, and exit with a distinct status code. The
+// mechanism is one process-wide atomic flag: install_shutdown_handlers()
+// routes both signals to it (without SA_RESTART, so a blocking stdin read
+// returns and the serve loop observes the flag), and drain points poll
+// shutdown_requested() between units of work. Nothing here is
+// signal-unsafe: the handler only stores into the atomic.
+#pragma once
+
+#include <atomic>
+
+namespace napel {
+
+/// The process-wide shutdown flag. Exposed directly so cancellation-aware
+/// APIs (CollectOptions::cancel) can take a pointer to it — or to any other
+/// atomic a test owns.
+std::atomic<bool>& shutdown_flag();
+
+inline bool shutdown_requested() {
+  return shutdown_flag().load(std::memory_order_relaxed);
+}
+
+/// Arms SIGTERM and SIGINT to set the flag. Idempotent. Installed without
+/// SA_RESTART so blocking reads are interrupted and drain loops wake up.
+void install_shutdown_handlers();
+
+/// Clears the flag (tests re-arming between cases).
+void reset_shutdown_flag();
+
+/// Process exit code for a signal-initiated graceful drain, distinct from
+/// success (0), usage errors (1), runtime failures (2) and lint findings
+/// (3) so supervisors can tell "asked to stop, stopped cleanly" apart.
+inline constexpr int kShutdownExitCode = 4;
+
+}  // namespace napel

@@ -228,6 +228,47 @@ void FlatForest::predict_batch(std::span<const double> X, std::size_t n_rows,
   }
 }
 
+double FlatForest::accumulate_votes(std::span<const double> x,
+                                    std::size_t t_begin, std::size_t t_end,
+                                    double sum) const {
+  NAPEL_CHECK_MSG(is_compiled(), "predict before compile");
+  NAPEL_CHECK(x.size() == n_features_);
+  NAPEL_CHECK(t_begin <= t_end && t_end <= tree_count());
+  for (std::size_t t = t_begin; t < t_end; ++t) sum += traverse(t, x.data());
+  return sum;
+}
+
+FlatForest::ValueBounds FlatForest::PrefixBounds::interval(
+    double prefix_sum, std::size_t k_evaluated) const {
+  NAPEL_CHECK(k_evaluated <= tree_count());
+  const std::size_t nt = tree_count();
+  NAPEL_CHECK(nt > 0);
+  // Continue the vote summation from the exact partial sum, substituting
+  // each unevaluated tree's certified range — same values, same order, so
+  // fl-monotonicity brackets the genuine full sum on both sides.
+  double lo = prefix_sum;
+  double hi = prefix_sum;
+  for (std::size_t t = k_evaluated; t < nt; ++t) {
+    lo += tree_lo[t];
+    hi += tree_hi[t];
+  }
+  return {lo / static_cast<double>(nt), hi / static_cast<double>(nt)};
+}
+
+FlatForest::PrefixBounds FlatForest::prefix_bounds() const {
+  NAPEL_CHECK_MSG(is_compiled(), "prefix bounds before compile");
+  PrefixBounds pb;
+  const std::size_t nt = tree_count();
+  pb.tree_lo.reserve(nt);
+  pb.tree_hi.reserve(nt);
+  for (std::size_t t = 0; t < nt; ++t) {
+    const ValueBounds b = tree_value_bounds(t);
+    pb.tree_lo.push_back(b.lo);
+    pb.tree_hi.push_back(b.hi);
+  }
+  return pb;
+}
+
 void FlatForest::predict_all_trees(std::span<const double> x,
                                    std::span<double> per_tree) const {
   NAPEL_CHECK_MSG(is_compiled(), "predict before compile");

@@ -74,6 +74,15 @@ class FlatForest {
   void predict_all_trees(std::span<const double> x,
                          std::span<double> per_tree) const;
 
+  /// Adds the votes of trees [t_begin, t_end) onto `sum`, accumulating in
+  /// tree order — the resumable building block of deadline-bounded degraded
+  /// inference. Chaining chunks from 0 to tree_count() and dividing by
+  /// tree_count() reproduces predict() bit-for-bit, because the additions
+  /// happen on the same values in the same order; the arena's per-tree DFS
+  /// offsets make any prefix a valid sub-ensemble to stop at.
+  double accumulate_votes(std::span<const double> x, std::size_t t_begin,
+                          std::size_t t_end, double sum) const;
+
   /// Mean + percentile band from one traversal into the caller-owned
   /// scratch buffer (size tree_count()); sorts `scratch` in place, so no
   /// allocation. Bit-identical to RandomForest::predict_interval.
@@ -148,6 +157,28 @@ class FlatForest {
   };
   ValueBounds tree_value_bounds(std::size_t t) const;
   ValueBounds value_bounds() const;
+
+  /// Precomputed per-tree output ranges for prefix (degraded) inference.
+  /// Given the exact partial sum of the first k votes, the full-ensemble
+  /// prediction is (s_k + v_k + ... + v_{T-1}) / T with v_t in
+  /// [tree_lo[t], tree_hi[t]]; interval() re-runs that exact summation
+  /// order with each unevaluated vote replaced by its bound. Round-to-
+  /// nearest addition and division are monotone, so the returned interval
+  /// provably contains the full-ensemble prediction bit-exactly — and with
+  /// k == 0 it IS value_bounds(), the certified ensemble range.
+  struct PrefixBounds {
+    std::vector<double> tree_lo;  // per-tree min leaf value, tree order
+    std::vector<double> tree_hi;  // per-tree max leaf value
+
+    std::size_t tree_count() const { return tree_lo.size(); }
+
+    /// Certified interval around the full-ensemble mean after the first
+    /// `k_evaluated` votes summed (in tree order) to `prefix_sum`.
+    ValueBounds interval(double prefix_sum, std::size_t k_evaluated) const;
+  };
+  /// Snapshot of the per-tree bounds (O(node count); computed once per
+  /// model load by the serving layer, not per request).
+  PrefixBounds prefix_bounds() const;
 
  private:
   /// Leaf value tree `t` routes row `x` to. Root of tree t is

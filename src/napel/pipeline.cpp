@@ -10,6 +10,7 @@
 #include "common/check.hpp"
 #include "common/fault_injection.hpp"
 #include "common/parallel.hpp"
+#include "common/retry.hpp"
 #include "common/rng.hpp"
 #include "napel/journal.hpp"
 #include "trace/trace_buffer.hpp"
@@ -306,37 +307,23 @@ Result<TaskOutput> attempt_task(const workloads::Workload& w,
   }
 }
 
-/// attempt_task under the bounded-retry policy. Only retryable failures
-/// (thrown exceptions, I/O) are re-attempted; deterministic outcomes
-/// (watchdog timeout, exhausted budget) fail immediately.
+/// attempt_task under the shared bounded-retry policy (common/retry.hpp —
+/// the same backoff the serving runtime's reload path uses). Only retryable
+/// failures (thrown exceptions, I/O) are re-attempted; deterministic
+/// outcomes (watchdog timeout, exhausted budget) fail immediately.
 Result<TaskOutput> run_task(const workloads::Workload& w,
                             const CollectOptions& opts,
                             const workloads::WorkloadParams& params,
                             std::size_t ci,
                             const std::vector<sim::ArchConfig>& pool,
                             bool parallel_replay, std::size_t& n_retries) {
-  const std::size_t max_attempts = 1 + opts.max_retries;
-  PipelineError last;
-  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
-    if (attempt > 0) {
-      ++n_retries;
-      if (opts.retry_backoff_ms > 0) {
-        // Exponential backoff with deterministic seed-derived jitter.
-        SplitMix64 sm(opts.seed ^ (ci * 0x9e3779b97f4a7c15ULL) ^ attempt);
-        const std::uint64_t base =
-            std::uint64_t{opts.retry_backoff_ms} << (attempt - 1);
-        std::this_thread::sleep_for(
-            std::chrono::milliseconds(base + sm.next() % (base + 1)));
-      }
-    }
-    Result<TaskOutput> r =
-        attempt_task(w, opts, params, ci, pool, parallel_replay);
-    if (r.ok()) return r;
-    last = r.error();
-    last.attempts = static_cast<int>(attempt + 1);
-    if (!last.retryable()) break;
-  }
-  return last;
+  const RetryPolicy policy{.max_attempts = 1 + opts.max_retries,
+                           .base_backoff_ms = opts.retry_backoff_ms,
+                           .seed = opts.seed};
+  return with_retries(
+      policy, /*key=*/ci,
+      [&] { return attempt_task(w, opts, params, ci, pool, parallel_replay); },
+      &n_retries);
 }
 
 enum class TaskState : std::uint8_t { kPending, kDone, kFailed };
@@ -548,8 +535,21 @@ Result<CollectStats> try_collect_training_data(const workloads::Workload& w,
       effective_threads(opts.n_threads) > 1 &&
       pending.size() < effective_threads(opts.n_threads);
 
+  const auto cancelled = [&opts] {
+    return opts.cancel != nullptr &&
+           opts.cancel->load(std::memory_order_relaxed);
+  };
+
   parallel_for(pending.size(), opts.n_threads, [&](std::size_t pi) {
     const std::size_t ci = pending[pi];
+    if (cancelled()) {
+      // Graceful drain: skip tasks not yet started, but resolve their
+      // journal slot (empty payload, like a failed task) so completed
+      // later tasks still flush — a resumed run re-attempts exactly the
+      // skipped configs.
+      if (opts.journal) flush(ci, std::string());
+      return;
+    }
     Result<TaskOutput> r = run_task(w, opts, configs[ci], ci, pool,
                                     parallel_replay, task_retries[ci]);
     std::string payload;
@@ -589,6 +589,21 @@ Result<CollectStats> try_collect_training_data(const workloads::Workload& w,
   }
 
   if (journal_error) return *journal_error;
+
+  if (cancelled()) {
+    std::size_t skipped = 0;
+    for (std::size_t ci = 0; ci < n; ++ci)
+      if (state[ci] == TaskState::kPending) ++skipped;
+    if (skipped > 0) {
+      return PipelineError{
+          .kind = ErrorKind::kInterrupted,
+          .context = std::string(w.name()),
+          .message = "collection interrupted: " + std::to_string(skipped) +
+                     " of " + std::to_string(n) +
+                     " DoE tasks skipped (completed tasks are journaled; "
+                     "a resumed run re-attempts the rest)"};
+    }
+  }
 
   // Quorum policy: a bounded number of non-critical points may be dropped;
   // losing a critical point or exceeding max_failures fails the run.

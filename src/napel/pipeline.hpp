@@ -13,6 +13,7 @@
 // results.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -105,6 +106,11 @@ struct CollectOptions {
   RunJournal* journal = nullptr;
   /// Deterministic fault injection (tests / CI drills only).
   FaultPlan* faults = nullptr;
+  /// Cooperative cancellation (graceful SIGTERM/SIGINT): when non-null and
+  /// set, tasks not yet started are skipped, in-flight tasks finish and
+  /// flush to the journal, and the run returns ErrorKind::kInterrupted.
+  /// A resumed run re-attempts exactly the skipped tasks.
+  const std::atomic<bool>* cancel = nullptr;
   /// Optional shared trace cache: captured kernel traces are published
   /// under (app, params, data_seed) and reused by retries and by later
   /// collect calls in the same process. Hits skip the kernel execution;

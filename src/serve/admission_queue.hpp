@@ -1,0 +1,95 @@
+// Bounded admission queue with backpressure.
+//
+// The first line of defense of the serving runtime: requests that arrive
+// faster than the workers drain them are *shed at the door* with a
+// deterministic retry_after hint, instead of growing an unbounded backlog
+// whose tail would blow every deadline anyway. try_push never blocks and
+// never allocates beyond the queued items; pop blocks until an item, close
+// or shutdown. The shed decision is a pure function of the queue depth at
+// arrival, so a scripted request stream sheds the same requests every run.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace napel::serve {
+
+template <typename T>
+class AdmissionQueue {
+ public:
+  /// `cost_hint_ms` is the server's per-request service-time estimate used
+  /// to turn a depth into a retry_after hint: a shed client should wait
+  /// roughly one full queue drain before retrying.
+  explicit AdmissionQueue(std::size_t capacity,
+                          std::uint32_t cost_hint_ms = 1)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        cost_hint_ms_(cost_hint_ms == 0 ? 1 : cost_hint_ms) {}
+
+  struct Shed {
+    std::uint32_t retry_after_ms;
+    std::size_t depth;  ///< depth observed at the shed decision
+  };
+
+  /// Admits `item` or sheds it: nullopt = admitted, otherwise the shed
+  /// record with the deterministic backpressure hint.
+  std::optional<Shed> try_push(T item) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (!closed_ && items_.size() < capacity_) {
+        items_.push_back(std::move(item));
+        ready_.notify_one();
+        return std::nullopt;
+      }
+      ++shed_;
+    }
+    return Shed{static_cast<std::uint32_t>(capacity_ * cost_hint_ms_),
+                capacity_};
+  }
+
+  /// Blocks for the next item. Returns false when the queue is closed and
+  /// drained. `depth_at_pop` reports how many items remained *behind* this
+  /// one — the load signal the degradation policy keys on.
+  bool pop(T& out, std::size_t& depth_at_pop) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    depth_at_pop = items_.size();
+    return true;
+  }
+
+  /// Stops admission; queued items still drain through pop().
+  void close() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    ready_.notify_all();
+  }
+
+  std::size_t depth() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  std::uint64_t shed_count() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return shed_;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  const std::uint32_t cost_hint_ms_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  std::uint64_t shed_ = 0;
+};
+
+}  // namespace napel::serve

@@ -1,0 +1,360 @@
+#include "serve/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+namespace napel::serve {
+
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.num_ = d;
+  return v;
+}
+
+JsonValue JsonValue::string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+bool JsonValue::as_bool() const {
+  NAPEL_CHECK_MSG(is_bool(), "JSON value is not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  NAPEL_CHECK_MSG(is_number(), "JSON value is not a number");
+  return num_;
+}
+
+const std::string& JsonValue::as_string() const {
+  NAPEL_CHECK_MSG(is_string(), "JSON value is not a string");
+  return str_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  NAPEL_CHECK_MSG(is_array(), "JSON value is not an array");
+  return arr_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  NAPEL_CHECK_MSG(is_object(), "JSON value is not an object");
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+JsonValue& JsonValue::set(std::string key, JsonValue v) {
+  NAPEL_CHECK_MSG(is_object(), "JSON value is not an object");
+  for (auto& [k, existing] : obj_) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  obj_.emplace_back(std::move(key), std::move(v));
+  return *this;
+}
+
+void JsonValue::push_back(JsonValue v) {
+  NAPEL_CHECK_MSG(is_array(), "JSON value is not an array");
+  arr_.push_back(std::move(v));
+}
+
+namespace {
+
+void dump_escaped(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_number(double v, std::string& out) {
+  // Non-finite doubles have no JSON spelling; the serving layer clamps
+  // them out before rendering, so reaching here is a caller bug.
+  NAPEL_CHECK_MSG(std::isfinite(v), "non-finite number in JSON output");
+  char buf[40];
+  if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  out += buf;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue run() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing bytes after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonParseError(what + " at byte " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue::string(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue::boolean(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue::boolean(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return JsonValue{};
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v = JsonValue::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.set(std::move(key), parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return v;
+      }
+      fail("expected ',' or '}'");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v = JsonValue::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return v;
+      }
+      fail("expected ',' or ']'");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("invalid \\u escape digit");
+          }
+          // BMP-only UTF-8 encoding; surrogate pairs are not needed by the
+          // serving wire format (ids and paths are ASCII in practice).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+          }
+          break;
+        }
+        default: fail("invalid escape character");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("invalid number");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      pos_ = start;
+      fail("invalid number");
+    }
+    if (!std::isfinite(v)) {
+      pos_ = start;
+      fail("number out of range");
+    }
+    return JsonValue::number(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+void JsonValue::dump_to(std::string& out) const {
+  switch (kind_) {
+    case Kind::kNull: out += "null"; return;
+    case Kind::kBool: out += bool_ ? "true" : "false"; return;
+    case Kind::kNumber: dump_number(num_, out); return;
+    case Kind::kString: dump_escaped(str_, out); return;
+    case Kind::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i > 0) out += ',';
+        arr_[i].dump_to(out);
+      }
+      out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i > 0) out += ',';
+        dump_escaped(obj_[i].first, out);
+        out += ':';
+        obj_[i].second.dump_to(out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+}  // namespace napel::serve

@@ -1,0 +1,78 @@
+// Minimal deterministic JSON for the serving runtime's wire format.
+//
+// The server speaks line-delimited JSON (one request / one response per
+// line). This is a small, dependency-free value type with a recursive-
+// descent parser and a renderer whose output is deterministic: objects
+// keep insertion order, numbers print as %.17g (the shortest form that
+// round-trips a double, integral values render without a decimal point),
+// strings escape exactly the mandatory set. Two servers fed the same
+// request stream emit byte-identical responses.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace napel::serve {
+
+/// Thrown by JsonValue::parse on malformed input; the message carries the
+/// byte offset of the first offending character.
+class JsonParseError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+  static JsonValue boolean(bool b);
+  static JsonValue number(double v);
+  static JsonValue string(std::string s);
+  static JsonValue array();
+  static JsonValue object();
+
+  /// Parses one complete JSON document; trailing non-space bytes are an
+  /// error (a line holds exactly one value).
+  static JsonValue parse(std::string_view text);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;
+
+  /// Object member by key, or nullptr. Lookup is linear — request objects
+  /// have a handful of keys.
+  const JsonValue* find(std::string_view key) const;
+
+  /// Object append (replaces an existing key in place, order preserved).
+  JsonValue& set(std::string key, JsonValue v);
+  /// Array append.
+  void push_back(JsonValue v);
+
+  /// Renders the value on one line, deterministically.
+  std::string dump() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+
+  void dump_to(std::string& out) const;
+};
+
+}  // namespace napel::serve

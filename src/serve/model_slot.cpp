@@ -1,0 +1,71 @@
+#include "serve/model_slot.hpp"
+
+#include <utility>
+
+#include "common/atomic_file.hpp"
+#include "common/check.hpp"
+#include "napel/model_io.hpp"
+#include "verify/forest_analyzer.hpp"
+
+namespace napel::serve {
+
+std::shared_ptr<const ServedModel> ServedModel::make(
+    core::NapelModel model, std::uint64_t generation,
+    std::string source_path) {
+  NAPEL_CHECK_MSG(model.is_trained(), "cannot serve an untrained model");
+  auto served = std::make_shared<ServedModel>();
+  served->ipc_prefix = model.ipc_flat().prefix_bounds();
+  served->power_prefix = model.energy_flat().prefix_bounds();
+  served->model = std::move(model);
+  served->generation = generation;
+  served->source_path = std::move(source_path);
+  return served;
+}
+
+ModelSlot::ModelSlot(std::shared_ptr<const ServedModel> initial)
+    : current_(std::move(initial)) {
+  NAPEL_CHECK_MSG(current_ != nullptr, "ModelSlot needs an initial model");
+}
+
+std::shared_ptr<const ServedModel> ModelSlot::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+Result<std::uint64_t> ModelSlot::reload(const std::string& path,
+                                        const RetryPolicy& retry,
+                                        const std::string& state_path,
+                                        FaultPlan* faults) {
+  // Validation runs entirely outside the slot lock: the old model keeps
+  // serving while the candidate is loaded and abstract-interpreted. Only
+  // transient outcomes (I/O) are retried; a structurally rejected model
+  // stays rejected no matter how often it is re-read.
+  Result<std::unique_ptr<core::NapelModel>> candidate = with_retries(
+      retry, /*key=*/0x5e77e10adULL,  // "serve-load": the reload retry key
+      [&] { return verify::validate_reload_candidate(path, nullptr); });
+  if (!candidate.ok()) return candidate.error();
+
+  const std::uint64_t next_gen = snapshot()->generation + 1;
+  std::shared_ptr<const ServedModel> served =
+      ServedModel::make(std::move(*candidate.value()), next_gen, path);
+
+  // Stage the active-model record before the swap: if the write fails the
+  // reload is refused as a whole, so the record can never name a model
+  // that was not published (and a crash between write and swap re-loads
+  // the validated candidate, which is the intended end state anyway).
+  if (!state_path.empty()) {
+    const std::string record =
+        "napel-serve-active generation=" + std::to_string(next_gen) +
+        " model=" + path + "\n";
+    Status s = atomic_write_file(state_path, record, faults);
+    if (!s.ok()) return s.error();
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    current_ = std::move(served);
+  }
+  return next_gen;
+}
+
+}  // namespace napel::serve

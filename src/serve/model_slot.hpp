@@ -1,0 +1,74 @@
+// RCU-style holder for the served model, plus validated hot reload.
+//
+// The serving hot path must never block on a reload and must never observe
+// a half-swapped model: workers take an immutable shared_ptr snapshot at
+// request start and finish the whole request on it, while reload validates
+// a candidate entirely off the serving path (file load + the PR 6 static
+// forest analyzer via verify::validate_reload_candidate) and only then
+// publishes it with one pointer swap. A rejected candidate leaves the old
+// model serving without a gap; the structured rejection names the first
+// failed check. Each accepted reload bumps a generation counter that is
+// echoed in every response, so clients can tell which model answered.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.hpp"
+#include "common/retry.hpp"
+#include "ml/flat_forest.hpp"
+#include "napel/napel_model.hpp"
+
+namespace napel {
+class FaultPlan;
+}
+
+namespace napel::serve {
+
+/// One immutable, fully-validated model snapshot: the trained model plus
+/// everything the degraded path needs precomputed (per-tree bounds for
+/// certified prefix intervals). Built once per load/reload, never mutated
+/// — requests in flight keep the generation they started with alive
+/// through their shared_ptr.
+struct ServedModel {
+  core::NapelModel model;
+  ml::FlatForest::PrefixBounds ipc_prefix;
+  ml::FlatForest::PrefixBounds power_prefix;
+  std::uint64_t generation = 1;
+  std::string source_path;
+
+  static std::shared_ptr<const ServedModel> make(core::NapelModel model,
+                                                 std::uint64_t generation,
+                                                 std::string source_path);
+};
+
+class ModelSlot {
+ public:
+  explicit ModelSlot(std::shared_ptr<const ServedModel> initial);
+
+  /// The current model; lock-held pointer copy, wait-free for readers in
+  /// practice (the lock is only contended for the nanoseconds of a swap).
+  std::shared_ptr<const ServedModel> snapshot() const;
+
+  std::uint64_t generation() const { return snapshot()->generation; }
+
+  /// Validated hot reload: reads + statically validates the candidate at
+  /// `path` off the serving path (transient I/O failures retried under
+  /// `retry`), then atomically publishes it. On success returns the new
+  /// generation and, when `state_path` is non-empty, stages a one-line
+  /// active-model record there via the crash-safe atomic writer. On
+  /// failure returns the structured kModelReloadRejected (or kIoError)
+  /// diagnostic and keeps the old model serving.
+  Result<std::uint64_t> reload(const std::string& path,
+                               const RetryPolicy& retry,
+                               const std::string& state_path = "",
+                               FaultPlan* faults = nullptr);
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const ServedModel> current_;
+};
+
+}  // namespace napel::serve

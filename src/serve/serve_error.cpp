@@ -1,0 +1,35 @@
+#include "serve/serve_error.hpp"
+
+namespace napel::serve {
+
+std::string ServeError::to_string() const {
+  std::string s = "[";
+  s += error_kind_name(kind);
+  s += "] ";
+  s += message;
+  if (retry_after_ms > 0) {
+    s += " (retry after ";
+    s += std::to_string(retry_after_ms);
+    s += "ms)";
+  }
+  return s;
+}
+
+JsonValue ServeError::to_json() const {
+  JsonValue v = JsonValue::object();
+  v.set("kind", JsonValue::string(std::string(error_kind_name(kind))));
+  v.set("message", JsonValue::string(message));
+  if (retry_after_ms > 0)
+    v.set("retry_after_ms", JsonValue::number(retry_after_ms));
+  return v;
+}
+
+JsonValue render_error(const std::string& id, const ServeError& err) {
+  JsonValue v = JsonValue::object();
+  if (!id.empty()) v.set("id", JsonValue::string(id));
+  v.set("ok", JsonValue::boolean(false));
+  v.set("error", err.to_json());
+  return v;
+}
+
+}  // namespace napel::serve

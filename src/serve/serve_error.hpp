@@ -1,0 +1,48 @@
+// Typed error taxonomy for the prediction-serving runtime.
+//
+// ServeError extends the pipeline's PipelineError model (common/result.hpp
+// — the serving kinds kOverload / kDeadlineExceeded / kBadRequest /
+// kModelReloadRejected live in the same ErrorKind enum) with the wire-side
+// details a client needs: a retry_after hint for shed requests and
+// deterministic text/JSON rendering. Every error response the server emits
+// goes through render_error(), so the wire format has exactly one shape.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/result.hpp"
+#include "serve/json.hpp"
+
+namespace napel::serve {
+
+struct ServeError {
+  ErrorKind kind = ErrorKind::kBadRequest;
+  std::string message;
+  /// Backoff hint for kOverload, milliseconds; 0 everywhere else.
+  std::uint32_t retry_after_ms = 0;
+
+  /// Bridge into the pipeline's structured error model (context = the
+  /// request id), so serving failures can flow through Result<T> plumbing.
+  PipelineError to_pipeline_error(std::string context) const {
+    return PipelineError{.kind = kind,
+                         .context = std::move(context),
+                         .message = message,
+                         .attempts = 0};
+  }
+
+  /// "[kind] message (retry after Nms)" — deterministic.
+  std::string to_string() const;
+
+  /// {"kind":"...","message":"...","retry_after_ms":N} — the retry hint is
+  /// present only when non-zero, so non-overload errors stay compact.
+  JsonValue to_json() const;
+};
+
+/// The complete error response line for a request: {"id":...,"ok":false,
+/// "error":{...}}. `id` is omitted when the request had none (e.g. an
+/// unparseable line).
+JsonValue render_error(const std::string& id, const ServeError& err);
+
+}  // namespace napel::serve

@@ -1,0 +1,489 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/fault_injection.hpp"
+#include "common/shutdown.hpp"
+#include "serve/admission_queue.hpp"
+
+namespace napel::serve {
+
+namespace {
+
+/// Trees walked between deadline checks. Small enough that one chunk of a
+/// NAPEL-sized forest is microseconds — the overshoot past an expired
+/// deadline is bounded by one chunk, not one forest.
+constexpr std::size_t kDeadlineChunkTrees = 8;
+
+std::string request_id(const JsonValue& request) {
+  if (!request.is_object()) return {};
+  const JsonValue* id = request.find("id");
+  if (id != nullptr && id->is_string()) return id->as_string();
+  return {};
+}
+
+JsonValue interval_json(const ml::FlatForest::ValueBounds& b) {
+  JsonValue v = JsonValue::object();
+  v.set("lo", JsonValue::number(b.lo));
+  v.set("hi", JsonValue::number(b.hi));
+  return v;
+}
+
+}  // namespace
+
+bool IoStreamTransport::read_line(std::string& line) {
+  return static_cast<bool>(std::getline(in_, line));
+}
+
+void IoStreamTransport::write_line(std::string_view line) {
+  out_ << line << '\n';
+  out_.flush();
+}
+
+Server::Server(ServerOptions opts, std::shared_ptr<const ServedModel> model)
+    : opts_(std::move(opts)), slot_(std::move(model)) {}
+
+ServeStats Server::stats_snapshot() const {
+  const std::lock_guard<std::mutex> lock(state_mu_);
+  return stats_;
+}
+
+JsonValue Server::bad_request(const std::string& id, std::string message) {
+  {
+    const std::lock_guard<std::mutex> lock(state_mu_);
+    ++stats_.bad_requests;
+  }
+  return render_error(
+      id, ServeError{ErrorKind::kBadRequest, std::move(message), 0});
+}
+
+bool Server::breaker_admit() {
+  const std::lock_guard<std::mutex> lock(state_mu_);
+  if (breaker_ != Breaker::kOpen) return true;
+  // Every open-state response burns one unit of cooldown; when the budget
+  // is spent the breaker half-opens so the *next* request probes the arena.
+  if (--breaker_budget_ <= 0) breaker_ = Breaker::kHalfOpen;
+  return false;
+}
+
+void Server::breaker_success() {
+  const std::lock_guard<std::mutex> lock(state_mu_);
+  consecutive_faults_ = 0;
+  if (breaker_ == Breaker::kHalfOpen) breaker_ = Breaker::kClosed;
+}
+
+void Server::breaker_fault() {
+  const std::lock_guard<std::mutex> lock(state_mu_);
+  ++stats_.inference_faults;
+  ++consecutive_faults_;
+  const bool failed_probe = breaker_ == Breaker::kHalfOpen;
+  if (failed_probe ||
+      (breaker_ == Breaker::kClosed &&
+       consecutive_faults_ >= std::max(1, opts_.breaker_threshold))) {
+    breaker_ = Breaker::kOpen;
+    breaker_budget_ = std::max(1, opts_.breaker_cooldown);
+    ++stats_.breaker_opens;
+  }
+}
+
+Server::ForestEval Server::eval_forest(
+    const ml::FlatForest& forest, const ml::FlatForest::PrefixBounds& prefix,
+    std::span<const double> x, const Deadline& deadline,
+    std::size_t max_trees) {
+  const std::size_t total = forest.tree_count();
+  const std::size_t cap = std::min(max_trees, total);
+  double sum = 0.0;
+  std::size_t k = 0;
+  while (k < cap) {
+    if (deadline.expired()) break;
+    const std::size_t end = std::min(k + kDeadlineChunkTrees, cap);
+    sum = forest.accumulate_votes(x, k, end, sum);
+    k = end;
+  }
+  ForestEval eval;
+  eval.trees_used = k;
+  if (k == total) {
+    // Same summation order and final division as FlatForest::predict, so
+    // the full-mode value is bit-identical to offline inference.
+    eval.value = sum / static_cast<double>(total);
+    eval.interval = {eval.value, eval.value};
+    eval.full = true;
+  } else {
+    eval.interval = prefix.interval(sum, k);
+    eval.value = (eval.interval.lo + eval.interval.hi) / 2.0;
+    eval.full = false;
+  }
+  return eval;
+}
+
+JsonValue Server::do_predict(const JsonValue& request, const std::string& id,
+                             Clock::time_point admitted,
+                             std::size_t queue_depth) {
+  // The whole request runs on one snapshot: a concurrent reload cannot
+  // change the model (or the certified bounds) under our feet.
+  const std::shared_ptr<const ServedModel> served = slot_.snapshot();
+  const core::NapelModel& model = served->model;
+
+  const JsonValue* feats = request.find("features");
+  if (feats == nullptr || !feats->is_array())
+    return bad_request(id, "predict needs a \"features\" array");
+  const std::size_t n_features = model.ipc_flat().n_features();
+  if (feats->items().size() != n_features)
+    return bad_request(id, "expected " + std::to_string(n_features) +
+                               " features, got " +
+                               std::to_string(feats->items().size()));
+  std::vector<double> x;
+  x.reserve(n_features);
+  for (const JsonValue& item : feats->items()) {
+    if (!item.is_number())
+      return bad_request(id, "features must all be numbers");
+    x.push_back(item.as_number());
+  }
+
+  bool allow_degraded = true;
+  if (const JsonValue* ad = request.find("allow_degraded")) {
+    if (!ad->is_bool())
+      return bad_request(id, "\"allow_degraded\" must be a boolean");
+    allow_degraded = ad->as_bool();
+  }
+
+  // A request-level "deadline_ms" arms the budget from admission time (0 =
+  // already expired: the client wants whatever certified answer is free);
+  // absent, the server default applies (0 = no deadline).
+  Deadline deadline;
+  if (const JsonValue* dm = request.find("deadline_ms")) {
+    if (!dm->is_number() || dm->as_number() < 0.0)
+      return bad_request(id, "\"deadline_ms\" must be a non-negative number");
+    deadline.armed = true;
+    deadline.at = admitted + std::chrono::milliseconds(
+                                 static_cast<std::int64_t>(dm->as_number()));
+  } else if (opts_.default_deadline_ms > 0) {
+    deadline.armed = true;
+    deadline.at =
+        admitted + std::chrono::milliseconds(opts_.default_deadline_ms);
+  }
+
+  const bool breaker_open = !breaker_admit();
+  const std::size_t ipc_total = model.ipc_flat().tree_count();
+  const std::size_t power_total = model.energy_flat().tree_count();
+  std::size_t ipc_cap = ipc_total;
+  std::size_t power_cap = power_total;
+  if (breaker_open) {
+    ipc_cap = power_cap = 0;
+  } else if (opts_.degrade_queue_depth > 0 &&
+             queue_depth >= opts_.degrade_queue_depth) {
+    ipc_cap = std::min(opts_.degrade_trees, ipc_total);
+    power_cap = std::min(opts_.degrade_trees, power_total);
+  }
+
+  ForestEval ipc;
+  ForestEval power;
+  bool corrupt = false;
+  try {
+    if (opts_.faults != nullptr && !breaker_open) {
+      if (const FaultSpec* spec = opts_.faults->fire(
+              "serve/infer", predict_seq_.fetch_add(1))) {
+        switch (spec->kind) {
+          case FaultKind::kHang: {
+            // Simulated stuck inference: spin until the deadline budget is
+            // gone (bounded for undeadlined requests so a drill cannot
+            // wedge the worker).
+            const auto stop =
+                Clock::now() + std::chrono::milliseconds(50);
+            while (!deadline.expired() && Clock::now() < stop) {
+            }
+            break;
+          }
+          case FaultKind::kCorruptWrite:
+            corrupt = true;
+            break;
+          default:
+            // kThrow; kCrash too — this site writes nothing, so there is
+            // no torn state to simulate beyond the thrown fault.
+            throw InjectedFault("injected inference fault at serve/infer");
+        }
+      }
+    }
+
+    ipc = eval_forest(model.ipc_flat(), served->ipc_prefix, x, deadline,
+                      ipc_cap);
+    power = eval_forest(model.energy_flat(), served->power_prefix, x,
+                        deadline, power_cap);
+
+    if (corrupt && ipc.full) {
+      // Simulated arena corruption: an impossible model output, which the
+      // certified-bounds assertion below must catch.
+      ipc.value = model.ipc_bounds().hi + 1.0e6;
+    }
+    if (ipc.full && !model.ipc_bounds().contains(ipc.value))
+      throw core::PredictionOutOfBoundsError(
+          "IPC prediction escaped certified ensemble bounds");
+    if (power.full && !model.power_bounds().contains(power.value))
+      throw core::PredictionOutOfBoundsError(
+          "power prediction escaped certified ensemble bounds");
+  } catch (const std::exception& e) {
+    breaker_fault();
+    return render_error(
+        id, ServeError{ErrorKind::kTaskFailed, std::string(e.what()), 0});
+  }
+
+  const bool deadline_hit =
+      ipc.trees_used < ipc_cap || power.trees_used < power_cap;
+  const bool full = ipc.full && power.full;
+  if (deadline_hit && !allow_degraded) {
+    // Not an inference fault: the arena is healthy, the client just asked
+    // for full-or-nothing. Leaves the breaker state untouched.
+    const std::lock_guard<std::mutex> lock(state_mu_);
+    ++stats_.deadline_rejected;
+    return render_error(
+        id, ServeError{ErrorKind::kDeadlineExceeded,
+                       "deadline budget exhausted after " +
+                           std::to_string(ipc.trees_used + power.trees_used) +
+                           " of " +
+                           std::to_string(ipc_total + power_total) + " trees",
+                       0});
+  }
+
+  breaker_success();
+  {
+    const std::lock_guard<std::mutex> lock(state_mu_);
+    full ? ++stats_.served_full : ++stats_.served_degraded;
+  }
+
+  JsonValue resp = JsonValue::object();
+  if (!id.empty()) resp.set("id", JsonValue::string(id));
+  resp.set("ok", JsonValue::boolean(true));
+  resp.set("mode", JsonValue::string(full ? "full" : "degraded"));
+  if (!full) {
+    const char* reason = breaker_open   ? "circuit-open"
+                         : deadline_hit ? "deadline"
+                                        : "load";
+    resp.set("degrade_reason", JsonValue::string(reason));
+  }
+  resp.set("ipc", JsonValue::number(ipc.value));
+  resp.set("ipc_interval", interval_json(ipc.interval));
+  resp.set("power_watts", JsonValue::number(power.value));
+  resp.set("power_interval", interval_json(power.interval));
+  resp.set("ipc_trees",
+           JsonValue::number(static_cast<double>(ipc.trees_used)));
+  resp.set("power_trees",
+           JsonValue::number(static_cast<double>(power.trees_used)));
+  resp.set("model_generation",
+           JsonValue::number(static_cast<double>(served->generation)));
+  return resp;
+}
+
+JsonValue Server::do_reload(const JsonValue& request, const std::string& id) {
+  const JsonValue* path = request.find("model");
+  if (path == nullptr || !path->is_string())
+    return bad_request(id, "reload needs a \"model\" path");
+  Result<std::uint64_t> r = slot_.reload(path->as_string(),
+                                         opts_.reload_retry, opts_.state_path,
+                                         opts_.faults);
+  {
+    const std::lock_guard<std::mutex> lock(state_mu_);
+    r.ok() ? ++stats_.reloads_ok : ++stats_.reloads_rejected;
+  }
+  if (!r.ok()) {
+    const PipelineError& err = r.error();
+    std::string message = err.context.empty()
+                              ? err.message
+                              : err.context + ": " + err.message;
+    return render_error(id,
+                        ServeError{err.kind, std::move(message), 0});
+  }
+  JsonValue resp = JsonValue::object();
+  if (!id.empty()) resp.set("id", JsonValue::string(id));
+  resp.set("ok", JsonValue::boolean(true));
+  resp.set("op", JsonValue::string("reload"));
+  resp.set("model_generation",
+           JsonValue::number(static_cast<double>(r.value())));
+  resp.set("model", JsonValue::string(path->as_string()));
+  return resp;
+}
+
+JsonValue Server::do_stats(std::size_t queue_depth) {
+  ServeStats s;
+  const char* breaker = "closed";
+  {
+    const std::lock_guard<std::mutex> lock(state_mu_);
+    s = stats_;
+    breaker = breaker_ == Breaker::kOpen       ? "open"
+              : breaker_ == Breaker::kHalfOpen ? "half-open"
+                                               : "closed";
+  }
+  const std::shared_ptr<const ServedModel> served = slot_.snapshot();
+  JsonValue resp = JsonValue::object();
+  resp.set("ok", JsonValue::boolean(true));
+  resp.set("op", JsonValue::string("stats"));
+  resp.set("model_generation",
+           JsonValue::number(static_cast<double>(served->generation)));
+  resp.set("model", JsonValue::string(served->source_path));
+  resp.set("queue_depth",
+           JsonValue::number(static_cast<double>(queue_depth)));
+  resp.set("breaker_state", JsonValue::string(breaker));
+  const auto num = [](std::uint64_t v) {
+    return JsonValue::number(static_cast<double>(v));
+  };
+  resp.set("admitted", num(s.admitted));
+  resp.set("served_full", num(s.served_full));
+  resp.set("served_degraded", num(s.served_degraded));
+  resp.set("shed", num(s.shed));
+  resp.set("bad_requests", num(s.bad_requests));
+  resp.set("deadline_rejected", num(s.deadline_rejected));
+  resp.set("inference_faults", num(s.inference_faults));
+  resp.set("reloads_ok", num(s.reloads_ok));
+  resp.set("reloads_rejected", num(s.reloads_rejected));
+  resp.set("breaker_opens", num(s.breaker_opens));
+  return resp;
+}
+
+JsonValue Server::dispatch(const JsonValue& request, const std::string& id,
+                           Clock::time_point admitted,
+                           std::size_t queue_depth) {
+  if (!request.is_object())
+    return bad_request(id, "request must be a JSON object");
+  const JsonValue* op = request.find("op");
+  if (op == nullptr || !op->is_string())
+    return bad_request(id, "request needs a string \"op\"");
+  const std::string& name = op->as_string();
+  if (name == "predict") return do_predict(request, id, admitted, queue_depth);
+  if (name == "reload") return do_reload(request, id);
+  if (name == "stats") return do_stats(queue_depth);
+  if (name == "shutdown") {
+    JsonValue resp = JsonValue::object();
+    if (!id.empty()) resp.set("id", JsonValue::string(id));
+    resp.set("ok", JsonValue::boolean(true));
+    resp.set("op", JsonValue::string("shutdown"));
+    return resp;
+  }
+  return bad_request(id, "unknown op \"" + name + "\"");
+}
+
+std::string Server::handle_line(const std::string& line,
+                                std::size_t queue_depth) {
+  JsonValue request;
+  try {
+    request = JsonValue::parse(line);
+  } catch (const JsonParseError& e) {
+    {
+      const std::lock_guard<std::mutex> lock(state_mu_);
+      ++stats_.bad_requests;
+    }
+    return render_error(
+               "", ServeError{ErrorKind::kBadRequest, std::string(e.what()), 0})
+        .dump();
+  }
+  const std::string id = request_id(request);
+  return dispatch(request, id, Clock::now(), queue_depth).dump();
+}
+
+int Server::run(Transport& transport) {
+  AdmissionQueue<Pending> queue(opts_.queue_capacity, opts_.cost_hint_ms);
+  std::mutex write_mu;
+  const auto emit = [&](const std::string& s) {
+    const std::lock_guard<std::mutex> lock(write_mu);
+    transport.write_line(s);
+  };
+
+  const unsigned n_workers = std::max(1u, opts_.n_workers);
+  std::vector<std::thread> workers;
+  workers.reserve(n_workers);
+  for (unsigned w = 0; w < n_workers; ++w) {
+    workers.emplace_back([&] {
+      Pending p;
+      std::size_t depth = 0;
+      while (queue.pop(p, depth)) {
+        std::string resp;
+        try {
+          resp = do_predict(p.request, p.id, p.admitted, depth).dump();
+        } catch (const std::exception& e) {
+          // do_predict handles inference faults itself; this guards the
+          // worker against anything else so the drain loop never dies.
+          resp = render_error(p.id, ServeError{ErrorKind::kTaskFailed,
+                                               std::string(e.what()), 0})
+                     .dump();
+        }
+        emit(resp);
+      }
+    });
+  }
+
+  bool signalled = false;
+  std::string shutdown_ack;  // emitted last, after the queue drains
+  std::string line;
+  while (true) {
+    if (shutdown_requested()) {
+      signalled = true;
+      break;
+    }
+    if (!transport.read_line(line)) {
+      // EOF, or a read interrupted by SIGTERM/SIGINT (the handlers are
+      // installed without SA_RESTART precisely so this read returns).
+      signalled = shutdown_requested();
+      break;
+    }
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    JsonValue request;
+    try {
+      request = JsonValue::parse(line);
+    } catch (const JsonParseError& e) {
+      {
+        const std::lock_guard<std::mutex> lock(state_mu_);
+        ++stats_.bad_requests;
+      }
+      emit(render_error("", ServeError{ErrorKind::kBadRequest,
+                                       std::string(e.what()), 0})
+               .dump());
+      continue;
+    }
+    const std::string id = request_id(request);
+    const JsonValue* op = request.is_object() ? request.find("op") : nullptr;
+    const std::string op_name =
+        (op != nullptr && op->is_string()) ? op->as_string() : "";
+
+    if (op_name == "predict") {
+      // Admission control happens here, at arrival: the shed decision is a
+      // pure function of the backlog, before any inference work is spent.
+      Pending p{std::move(request), id, Clock::now()};
+      if (const auto shed = queue.try_push(std::move(p))) {
+        {
+          const std::lock_guard<std::mutex> lock(state_mu_);
+          ++stats_.shed;
+        }
+        emit(render_error(
+                 id, ServeError{ErrorKind::kOverload,
+                                "admission queue full at depth " +
+                                    std::to_string(shed->depth),
+                                shed->retry_after_ms})
+                 .dump());
+      } else {
+        const std::lock_guard<std::mutex> lock(state_mu_);
+        ++stats_.admitted;
+      }
+    } else if (op_name == "shutdown") {
+      shutdown_ack =
+          dispatch(request, id, Clock::now(), queue.depth()).dump();
+      break;
+    } else {
+      // Control-plane ops (reload/stats) run on the reader thread: reload
+      // validation is off the serving path by construction — workers keep
+      // draining predictions against the old model meanwhile.
+      emit(dispatch(request, id, Clock::now(), queue.depth()).dump());
+    }
+  }
+
+  // Graceful drain: stop admitting, answer everything already accepted.
+  queue.close();
+  for (std::thread& w : workers) w.join();
+  if (!shutdown_ack.empty()) emit(shutdown_ack);
+  return signalled ? kShutdownExitCode : 0;
+}
+
+}  // namespace napel::serve

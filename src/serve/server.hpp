@@ -1,0 +1,206 @@
+// Resilient prediction-serving runtime (`napel serve`).
+//
+// A long-running server that answers line-delimited JSON prediction
+// requests over any line transport (stdin/stdout in the CLI; tests drive
+// string streams) and stays correct and responsive under overload and
+// faults:
+//
+//   * a bounded admission queue sheds excess load at the door with a
+//     deterministic retry_after hint (ErrorKind::kOverload) instead of
+//     growing an unbounded backlog;
+//   * per-request deadline budgets are enforced *mid-inference*: the flat
+//     forest is evaluated in tree chunks, and when the budget expires the
+//     evaluated prefix is returned as a `degraded` prediction with a
+//     certified interval (FlatForest::PrefixBounds) that provably contains
+//     the full-ensemble prediction — a degraded answer is never a guess;
+//   * validated hot model reload (ModelSlot): candidates are statically
+//     analyzed off the serving path and swapped in atomically; in-flight
+//     requests always finish on the model they started with;
+//   * a circuit breaker trips after N consecutive inference faults and
+//     serves certified-bounds midpoints while open, probing one request
+//     after a cooldown before closing again.
+//
+// Wire format (one JSON object per line):
+//   {"op":"predict","id":"r1","features":[...],"deadline_ms":5,
+//    "allow_degraded":true}
+//   {"op":"reload","model":"path/to/model.txt"}
+//   {"op":"stats"}   {"op":"shutdown"}
+// Responses echo the id and carry ok:true with the prediction (mode
+// "full"/"degraded", certified intervals, model_generation) or ok:false
+// with a ServeError. With one worker the response stream is a
+// deterministic function of the request stream.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "serve/json.hpp"
+#include "serve/model_slot.hpp"
+#include "serve/serve_error.hpp"
+
+namespace napel {
+class FaultPlan;
+}
+
+namespace napel::serve {
+
+/// Socket-agnostic line transport: the server only ever reads whole lines
+/// and writes whole lines, so any stream-like carrier (stdio, a pipe, a
+/// future TCP acceptor) plugs in here.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  /// Next request line; false on end-of-stream or interrupted read.
+  virtual bool read_line(std::string& line) = 0;
+  /// Emits one response line (the server serializes calls).
+  virtual void write_line(std::string_view line) = 0;
+};
+
+/// Transport over iostreams — stdin/stdout in the CLI, stringstreams in
+/// tests. Flushes after every line so a piped client never deadlocks
+/// waiting for a buffered response.
+class IoStreamTransport : public Transport {
+ public:
+  IoStreamTransport(std::istream& in, std::ostream& out) : in_(in), out_(out) {}
+  bool read_line(std::string& line) override;
+  void write_line(std::string_view line) override;
+
+ private:
+  std::istream& in_;
+  std::ostream& out_;
+};
+
+struct ServerOptions {
+  /// Bounded admission queue: requests beyond this backlog are shed.
+  std::size_t queue_capacity = 64;
+  /// Inference worker threads draining the queue. 1 (the default) makes
+  /// the response stream deterministic and in request order.
+  unsigned n_workers = 1;
+  /// Per-request service-time estimate feeding the shed retry_after hint.
+  std::uint32_t cost_hint_ms = 1;
+  /// Deadline budget for requests that do not carry their own
+  /// "deadline_ms"; 0 = no deadline. Measured from admission.
+  std::uint32_t default_deadline_ms = 0;
+  /// Queue depth at dequeue that switches to prefix (degraded) inference;
+  /// 0 disables load-based degradation.
+  std::size_t degrade_queue_depth = 0;
+  /// Trees evaluated per forest when load-degraded.
+  std::size_t degrade_trees = 16;
+  /// Consecutive inference faults that trip the circuit breaker.
+  int breaker_threshold = 5;
+  /// Open-state responses served (as certified-bounds midpoints) before
+  /// the breaker half-opens and probes a real inference.
+  int breaker_cooldown = 16;
+  /// Retry policy for the reload path's transient I/O failures.
+  RetryPolicy reload_retry;
+  /// When non-empty, every accepted reload stages an active-model record
+  /// here via the crash-safe atomic writer.
+  std::string state_path;
+  /// Deterministic fault injection (tests / chaos drills). Site
+  /// "serve/infer" fires per predict request: kThrow = inference fault,
+  /// kHang = spin until the deadline budget expires, kCorruptWrite =
+  /// distort the prediction so the certified-bounds assertion trips.
+  FaultPlan* faults = nullptr;
+};
+
+/// Monotonic counters; snapshot via Server::stats_snapshot().
+struct ServeStats {
+  std::uint64_t admitted = 0;          ///< predict requests accepted
+  std::uint64_t served_full = 0;       ///< full-ensemble responses
+  std::uint64_t served_degraded = 0;   ///< prefix / midpoint responses
+  std::uint64_t shed = 0;              ///< overload rejections
+  std::uint64_t bad_requests = 0;
+  std::uint64_t deadline_rejected = 0; ///< expired + allow_degraded=false
+  std::uint64_t inference_faults = 0;
+  std::uint64_t reloads_ok = 0;
+  std::uint64_t reloads_rejected = 0;
+  std::uint64_t breaker_opens = 0;
+};
+
+class Server {
+ public:
+  Server(ServerOptions opts, std::shared_ptr<const ServedModel> model);
+
+  /// Serves until end-of-stream, a {"op":"shutdown"} request, or a
+  /// shutdown signal (common/shutdown.hpp). Always drains: every admitted
+  /// request gets a response before run() returns. Returns 0 for EOF or a
+  /// shutdown op, kShutdownExitCode for a signal-initiated drain.
+  int run(Transport& transport);
+
+  /// Synchronous single-request entry point: parse, dispatch, render.
+  /// `queue_depth` is the load signal for the degradation policy (run()
+  /// passes the depth observed at dequeue; direct callers pass their own).
+  /// Exactly the function run()'s workers execute, so unit tests and the
+  /// bench exercise the real serving path without threads.
+  std::string handle_line(const std::string& line, std::size_t queue_depth = 0);
+
+  ServeStats stats_snapshot() const;
+  std::shared_ptr<const ServedModel> model_snapshot() const {
+    return slot_.snapshot();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Deadline {
+    bool armed = false;
+    Clock::time_point at{};
+    bool expired() const { return armed && Clock::now() >= at; }
+  };
+
+  struct Pending {
+    JsonValue request;
+    std::string id;
+    Clock::time_point admitted{};
+  };
+
+  enum class Breaker : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+  JsonValue dispatch(const JsonValue& request, const std::string& id,
+                     Clock::time_point admitted, std::size_t queue_depth);
+  JsonValue do_predict(const JsonValue& request, const std::string& id,
+                       Clock::time_point admitted, std::size_t queue_depth);
+  JsonValue do_reload(const JsonValue& request, const std::string& id);
+  JsonValue do_stats(std::size_t queue_depth);
+  JsonValue bad_request(const std::string& id, std::string message);
+
+  /// True when this request may run real inference; false = breaker open,
+  /// serve the certified-bounds midpoint without touching the arena.
+  bool breaker_admit();
+  void breaker_success();
+  void breaker_fault();
+
+  /// Evaluates one forest under the deadline, up to `max_trees`; fills the
+  /// certified interval when stopping early.
+  struct ForestEval {
+    double value = 0.0;
+    ml::FlatForest::ValueBounds interval{};
+    std::size_t trees_used = 0;
+    bool full = false;
+  };
+  static ForestEval eval_forest(const ml::FlatForest& forest,
+                                const ml::FlatForest::PrefixBounds& prefix,
+                                std::span<const double> x,
+                                const Deadline& deadline,
+                                std::size_t max_trees);
+
+  ServerOptions opts_;
+  ModelSlot slot_;
+
+  mutable std::mutex state_mu_;  // stats + breaker
+  ServeStats stats_;
+  Breaker breaker_ = Breaker::kClosed;
+  int consecutive_faults_ = 0;
+  int breaker_budget_ = 0;  ///< open-state responses until half-open
+
+  std::atomic<std::uint64_t> predict_seq_{0};  // fault-site occurrence index
+};
+
+}  // namespace napel::serve

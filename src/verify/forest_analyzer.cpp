@@ -422,46 +422,79 @@ void check_trained_model(const core::NapelModel& model,
   }
 }
 
-void check_forest_model_file(const std::string& path,
-                             const workloads::DoeSpace* space,
-                             DiagnosticEngine& diags) {
+namespace {
+
+/// Shared loader for the lint and reload paths: loads `path`, attributing
+/// every load failure mode to its dedicated rule id. Returns nullptr when
+/// the model could not be loaded (a diagnostic was reported).
+std::unique_ptr<core::NapelModel> load_checked_model(const std::string& path,
+                                                     DiagnosticEngine& diags) {
   std::ifstream f(path);
   if (!f.good()) {
     diags.report(make_diag(Severity::kError, "model-format", path,
                            "cannot open model file"));
-    return;
+    return nullptr;
   }
   if (f.peek() == std::char_traits<char>::eof()) {
     diags.report(make_diag(Severity::kError, "artifact-empty", path,
                            "model file is empty"));
-    return;
+    return nullptr;
   }
-  core::NapelModel model;
   try {
-    model = core::load_model(f);
+    return std::make_unique<core::NapelModel>(core::load_model(f));
   } catch (const core::ModelSchemaError& e) {
     diags.report(make_diag(Severity::kError, "contract-schema", path,
                            std::string("schema contract violated: ") +
                                e.what()));
-    return;
   } catch (const core::ModelBoundsError& e) {
     diags.report(make_diag(Severity::kError, "forest-bounds", path,
                            std::string("bounds certificate violated: ") +
                                e.what()));
-    return;
   } catch (const ml::TreeTopologyError& e) {
     diags.report(make_diag(Severity::kError, "model-topology", path,
                            std::string("corrupt tree structure: ") +
                                e.what()));
-    return;
   } catch (const std::exception& e) {
     diags.report(make_diag(
         Severity::kError, f.eof() ? "model-truncated" : "model-format", path,
         std::string(f.eof() ? "model file is truncated: " :
                               "model does not load: ") + e.what()));
-    return;
   }
-  check_trained_model(model, napel_feature_domain(space), path, diags);
+  return nullptr;
+}
+
+}  // namespace
+
+void check_forest_model_file(const std::string& path,
+                             const workloads::DoeSpace* space,
+                             DiagnosticEngine& diags) {
+  const std::unique_ptr<core::NapelModel> model =
+      load_checked_model(path, diags);
+  if (model == nullptr) return;
+  check_trained_model(*model, napel_feature_domain(space), path, diags);
+}
+
+Result<std::unique_ptr<core::NapelModel>> validate_reload_candidate(
+    const std::string& path, const workloads::DoeSpace* space) {
+  DiagnosticEngine diags;
+  std::unique_ptr<core::NapelModel> model = load_checked_model(path, diags);
+  if (model != nullptr)
+    check_trained_model(*model, napel_feature_domain(space), path, diags);
+  if (!diags.ok()) {
+    // The structured rejection carries the first error-severity finding
+    // under its stable rule id, so a reload client can tell a schema
+    // mismatch from a bounds drift without parsing prose.
+    std::string msg = "validation failed";
+    for (const Diagnostic& d : diags.diagnostics()) {
+      if (d.severity != Severity::kError) continue;
+      msg = "[" + d.rule + "] " + d.message;
+      break;
+    }
+    return PipelineError{.kind = ErrorKind::kModelReloadRejected,
+                         .context = path,
+                         .message = std::move(msg)};
+  }
+  return model;
 }
 
 void check_feature_matrix_contract(const std::string& csv_path,

@@ -36,10 +36,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/result.hpp"
 #include "ml/flat_forest.hpp"
 #include "verify/diagnostics.hpp"
 #include "workloads/params.hpp"
@@ -119,6 +121,16 @@ void check_trained_model(const core::NapelModel& model,
 void check_forest_model_file(const std::string& path,
                              const workloads::DoeSpace* space,
                              DiagnosticEngine& diags);
+
+/// Reload-validation hook for the serving runtime (src/serve): loads the
+/// candidate model at `path` and runs the full static pass — load-failure
+/// diagnostics plus check_trained_model under napel_feature_domain(space)
+/// — entirely off the serving path. Returns the validated model, or a
+/// kModelReloadRejected error whose message names the first error-severity
+/// diagnostic ("[rule] message"). A candidate with warnings still loads;
+/// only error-severity findings reject it.
+Result<std::unique_ptr<core::NapelModel>> validate_reload_candidate(
+    const std::string& path, const workloads::DoeSpace* space);
 
 /// Cross-artifact contract between a training/feature CSV and the declared
 /// schema: the table's trailing columns must be exactly the schema feature

@@ -1,0 +1,114 @@
+#include "common/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace napel {
+namespace {
+
+TEST(RetryBackoff, ZeroBaseNeverSleeps) {
+  RetryPolicy p;  // base_backoff_ms = 0
+  for (std::size_t attempt = 1; attempt <= 5; ++attempt)
+    EXPECT_EQ(retry_backoff(p, 7, attempt).count(), 0);
+}
+
+TEST(RetryBackoff, MatchesPipelineJitterFormula) {
+  // The extracted policy must be bit-compatible with the pipeline
+  // runtime's original backoff: capped doubled base plus SplitMix64 jitter
+  // seeded from (seed, key, attempt).
+  RetryPolicy p{.max_attempts = 5, .base_backoff_ms = 10, .seed = 2019};
+  for (std::uint64_t key : {0ULL, 3ULL, 17ULL}) {
+    for (std::size_t attempt = 1; attempt <= 3; ++attempt) {
+      SplitMix64 sm(p.seed ^ (key * 0x9e3779b97f4a7c15ULL) ^ attempt);
+      const std::uint64_t base = std::uint64_t{10} << (attempt - 1);
+      const auto expect = base + sm.next() % (base + 1);
+      EXPECT_EQ(retry_backoff(p, key, attempt).count(),
+                static_cast<std::int64_t>(expect))
+          << "key " << key << " attempt " << attempt;
+    }
+  }
+}
+
+TEST(RetryBackoff, DeterministicAcrossCalls) {
+  RetryPolicy p{.base_backoff_ms = 5, .seed = 42};
+  EXPECT_EQ(retry_backoff(p, 9, 2), retry_backoff(p, 9, 2));
+  // Distinct keys draw independent jitter streams.
+  EXPECT_NE(retry_backoff(p, 1, 3), retry_backoff(p, 2, 3));
+}
+
+TEST(RetryBackoff, ExponentialBaseIsCapped) {
+  RetryPolicy p{.base_backoff_ms = 100, .max_backoff_ms = 250, .seed = 1};
+  // attempt 3 would double to 400ms uncapped; the jitter is in [0, base],
+  // so the delay is bounded by 2 * max_backoff_ms.
+  const auto d = retry_backoff(p, 0, 3);
+  EXPECT_GE(d.count(), 250);
+  EXPECT_LE(d.count(), 500);
+}
+
+Result<int> counted(int* calls, int fail_until, ErrorKind kind) {
+  ++*calls;
+  if (*calls <= fail_until)
+    return PipelineError{.kind = kind, .context = "t", .message = "boom"};
+  return 7;
+}
+
+TEST(WithRetries, SucceedsFirstTryWithoutRetrying) {
+  int calls = 0;
+  std::size_t retries = 0;
+  auto r = with_retries(
+      RetryPolicy{}, 0, [&] { return counted(&calls, 0, ErrorKind::kIoError); },
+      &retries);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(retries, 0u);
+}
+
+TEST(WithRetries, RetriesRetryableErrorToSuccess) {
+  int calls = 0;
+  std::size_t retries = 0;
+  auto r = with_retries(
+      RetryPolicy{.max_attempts = 3}, 0,
+      [&] { return counted(&calls, 2, ErrorKind::kIoError); }, &retries);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 2u);
+}
+
+TEST(WithRetries, ExhaustedBudgetReportsAttemptCount) {
+  int calls = 0;
+  auto r = with_retries(RetryPolicy{.max_attempts = 3}, 0, [&] {
+    return counted(&calls, 99, ErrorKind::kInjectedFault);
+  });
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(r.error().attempts, 3);
+  EXPECT_EQ(r.error().kind, ErrorKind::kInjectedFault);
+}
+
+TEST(WithRetries, NonRetryableErrorFailsImmediately) {
+  int calls = 0;
+  auto r = with_retries(RetryPolicy{.max_attempts = 5}, 0, [&] {
+    return counted(&calls, 99, ErrorKind::kModelReloadRejected);
+  });
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(calls, 1);  // a structurally rejected model stays rejected
+  EXPECT_EQ(r.error().attempts, 1);
+}
+
+TEST(ErrorKinds, ServingKindsRoundTripNamesAndRetryability) {
+  EXPECT_STREQ(error_kind_name(ErrorKind::kOverload).data(), "overload");
+  EXPECT_TRUE(error_kind_retryable(ErrorKind::kOverload));
+  for (ErrorKind k :
+       {ErrorKind::kDeadlineExceeded, ErrorKind::kBadRequest,
+        ErrorKind::kModelReloadRejected, ErrorKind::kInterrupted}) {
+    EXPECT_FALSE(error_kind_retryable(k)) << error_kind_name(k);
+    EXPECT_FALSE(error_kind_name(k).empty());
+  }
+}
+
+}  // namespace
+}  // namespace napel

@@ -260,6 +260,64 @@ TEST(FlatForestBounds, TreeBoundsComposeToEnsembleBounds) {
 // Every registered kernel, end to end: collect a tiny training set, fit a
 // forest on the real NAPEL feature rows, and require the compiled engine to
 // reproduce the pointer forest bit-for-bit on those rows.
+TEST(FlatForestPrefix, ChunkedVoteAccumulationMatchesPredictBitwise) {
+  const RandomForest rf = fitted_forest(11, 23);
+  const FlatForest flat(rf);
+  const Dataset probe = make_data(123, 30);
+  const std::size_t T = flat.tree_count();
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    // Arbitrary chunking of [0, T): the partial sums chain to the exact
+    // full-ensemble sum because the additions happen in tree order.
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{5}, T}) {
+      double sum = 0.0;
+      for (std::size_t t = 0; t < T; t += chunk)
+        sum = flat.accumulate_votes(probe.row(i), t, std::min(t + chunk, T),
+                                    sum);
+      EXPECT_TRUE(bits_eq(sum / static_cast<double>(T),
+                          flat.predict(probe.row(i))))
+          << "row " << i << " chunk " << chunk;
+    }
+  }
+}
+
+TEST(FlatForestPrefix, IntervalContainsFullPredictionForEveryPrefix) {
+  const RandomForest rf = fitted_forest(12, 17);
+  const FlatForest flat(rf);
+  const FlatForest::PrefixBounds pb = flat.prefix_bounds();
+  ASSERT_EQ(pb.tree_count(), flat.tree_count());
+  const Dataset probe = make_data(321, 25);
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    const double full = flat.predict(probe.row(i));
+    double sum = 0.0;
+    for (std::size_t k = 0; k <= flat.tree_count(); ++k) {
+      const FlatForest::ValueBounds iv = pb.interval(sum, k);
+      // Certified containment: stopping after any k trees brackets the
+      // full-ensemble prediction, bit-exactly.
+      EXPECT_LE(iv.lo, full) << "row " << i << " k " << k;
+      EXPECT_GE(iv.hi, full) << "row " << i << " k " << k;
+      if (k < flat.tree_count())
+        sum = flat.accumulate_votes(probe.row(i), k, k + 1, sum);
+    }
+    // k = T: every vote is exact, so the interval collapses to the
+    // prediction itself.
+    const FlatForest::ValueBounds done = pb.interval(sum, flat.tree_count());
+    EXPECT_TRUE(bits_eq(done.lo, full)) << "row " << i;
+    EXPECT_TRUE(bits_eq(done.hi, full)) << "row " << i;
+  }
+}
+
+TEST(FlatForestPrefix, EmptyPrefixIsTheCertifiedEnsembleRange) {
+  const RandomForest rf = fitted_forest(13, 21);
+  const FlatForest flat(rf);
+  const FlatForest::PrefixBounds pb = flat.prefix_bounds();
+  const FlatForest::ValueBounds zero = pb.interval(0.0, 0);
+  const FlatForest::ValueBounds cert = flat.value_bounds();
+  // k = 0 substitutes every vote with its bound in the same summation
+  // order value_bounds() uses, so the two are bit-identical.
+  EXPECT_TRUE(bits_eq(zero.lo, cert.lo));
+  EXPECT_TRUE(bits_eq(zero.hi, cert.hi));
+}
+
 TEST(FlatForest, EveryKernelTrainedForestMatchesBitwise) {
   std::vector<const workloads::Workload*> all;
   for (const auto* w : workloads::all_workloads()) all.push_back(w);

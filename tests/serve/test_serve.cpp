@@ -1,0 +1,509 @@
+// Tests for the resilient prediction-serving runtime (src/serve/):
+// deterministic JSON wire format, admission-queue shedding, deadline-
+// bounded degraded inference with certified interval containment,
+// validated hot reload (corrupted candidates rejected, old model keeps
+// serving), the circuit breaker, graceful drain, and one test per
+// serving ErrorKind.
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.hpp"
+#include "common/shutdown.hpp"
+#include "napel/model_io.hpp"
+#include "serve/admission_queue.hpp"
+#include "workloads/registry.hpp"
+
+namespace napel::serve {
+namespace {
+
+// --- shared tiny model, trained once and reloaded from disk per test ----
+
+// ctest runs each discovered test as its own process, in parallel: every
+// scratch path must be per-process or concurrent atomic_write_file staging
+// races on the shared temp name.
+std::string scratch_path(const std::string& stem) {
+  return "/tmp/napel_serve_test_" + stem + "." +
+         std::to_string(static_cast<long>(::getpid())) + ".txt";
+}
+
+const std::string& model_path() {
+  static const std::string path = [] {
+    core::CollectOptions o;
+    o.scale = workloads::Scale::kTiny;
+    o.archs_per_config = 2;
+    o.arch_pool_size = 4;
+    std::vector<core::TrainingRow> rows;
+    for (const char* app : {"atax", "gesummv"})
+      core::collect_training_data(workloads::workload(app), o, rows);
+    core::NapelModel m;
+    core::NapelModel::Options mo;
+    mo.tune = false;
+    mo.untuned_params.n_trees = 15;
+    m.train(rows, mo);
+    const std::string p = scratch_path("model");
+    core::save_model_file(m, p);
+    return p;
+  }();
+  return path;
+}
+
+std::shared_ptr<const ServedModel> load_served() {
+  return ServedModel::make(core::load_model_file(model_path()),
+                           /*generation=*/1, model_path());
+}
+
+std::vector<double> probe_features(const ServedModel& served) {
+  return std::vector<double>(served.model.ipc_flat().n_features(), 0.5);
+}
+
+std::string predict_line(const std::string& id,
+                         const std::vector<double>& x,
+                         const std::string& extra = "") {
+  JsonValue req = JsonValue::object();
+  req.set("op", JsonValue::string("predict"));
+  req.set("id", JsonValue::string(id));
+  JsonValue feats = JsonValue::array();
+  for (double v : x) feats.push_back(JsonValue::number(v));
+  req.set("features", std::move(feats));
+  std::string line = req.dump();
+  if (!extra.empty()) line.insert(line.size() - 1, "," + extra);
+  return line;
+}
+
+::testing::AssertionResult bits_eq(double a, double b) {
+  if (std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b))
+    return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << a << " != " << b << " (bit patterns differ)";
+}
+
+// --- JSON wire format ----------------------------------------------------
+
+TEST(ServeJson, ParseDumpRoundTripIsDeterministic) {
+  const std::string text =
+      R"({"op":"predict","id":"r-1","features":[1,2.5,-3e-2],)"
+      R"("allow_degraded":false,"note":null,"nested":{"a":[true,false]}})";
+  const JsonValue v = JsonValue::parse(text);
+  EXPECT_EQ(v.find("op")->as_string(), "predict");
+  EXPECT_EQ(v.find("features")->items().size(), 3u);
+  EXPECT_FALSE(v.find("allow_degraded")->as_bool());
+  EXPECT_TRUE(v.find("note")->is_null());
+  // Objects keep insertion order, so dump(parse(dump(x))) is a fixpoint.
+  EXPECT_EQ(JsonValue::parse(v.dump()).dump(), v.dump());
+}
+
+TEST(ServeJson, NumbersRoundTripDoublesExactly) {
+  const double vals[] = {0.80910822293067142, -1e-300, 3.0, 1e17};
+  for (double d : vals) {
+    const std::string s = JsonValue::number(d).dump();
+    EXPECT_TRUE(bits_eq(JsonValue::parse(s).as_number(), d)) << s;
+  }
+}
+
+TEST(ServeJson, EscapesAndRejectsMalformedInput) {
+  JsonValue v = JsonValue::string("a\"b\\c\n\x01");
+  EXPECT_EQ(v.dump(), "\"a\\\"b\\\\c\\n\\u0001\"");
+  EXPECT_EQ(JsonValue::parse(v.dump()).as_string(), "a\"b\\c\n\x01");
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "nul", "1.2.3", "\"x", "{} trailing",
+        "nan", "inf"})
+    EXPECT_THROW(JsonValue::parse(bad), JsonParseError) << bad;
+}
+
+// --- admission queue: deterministic shedding -----------------------------
+
+TEST(AdmissionQueue, ShedsBeyondCapacityDeterministically) {
+  AdmissionQueue<int> q(/*capacity=*/4, /*cost_hint_ms=*/3);
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(q.try_push(i).has_value());
+  // Every arrival past the capacity sheds, with the same retry hint: the
+  // decision is a pure function of the depth, not of timing.
+  for (int i = 4; i < 7; ++i) {
+    const auto shed = q.try_push(i);
+    ASSERT_TRUE(shed.has_value()) << i;
+    EXPECT_EQ(shed->retry_after_ms, 4u * 3u);
+    EXPECT_EQ(shed->depth, 4u);
+  }
+  EXPECT_EQ(q.shed_count(), 3u);
+  EXPECT_EQ(q.depth(), 4u);
+
+  int out = 0;
+  std::size_t depth = 0;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.pop(out, depth));
+    EXPECT_EQ(out, i);                 // FIFO
+    EXPECT_EQ(depth, 3u - static_cast<std::size_t>(i));
+  }
+  q.close();
+  EXPECT_FALSE(q.pop(out, depth));
+  // Closed: new arrivals shed even though the queue is empty.
+  EXPECT_TRUE(q.try_push(99).has_value());
+}
+
+// --- degraded inference: certified containment ---------------------------
+
+TEST(Serve, FullPredictionMatchesOfflineInferenceBitwise) {
+  auto served = load_served();
+  const std::vector<double> x = probe_features(*served);
+  Server server(ServerOptions{}, served);
+
+  const JsonValue resp =
+      JsonValue::parse(server.handle_line(predict_line("r1", x)));
+  ASSERT_TRUE(resp.find("ok")->as_bool());
+  EXPECT_EQ(resp.find("mode")->as_string(), "full");
+  EXPECT_TRUE(bits_eq(resp.find("ipc")->as_number(),
+                      served->model.ipc_flat().predict(x)));
+  EXPECT_TRUE(bits_eq(resp.find("power_watts")->as_number(),
+                      served->model.energy_flat().predict(x)));
+  EXPECT_EQ(resp.find("model_generation")->as_number(), 1.0);
+  EXPECT_EQ(resp.find("ipc_trees")->as_number(),
+            static_cast<double>(served->model.ipc_flat().tree_count()));
+}
+
+TEST(Serve, ExpiredDeadlineServesCertifiedDegradedInterval) {
+  auto served = load_served();
+  const std::vector<double> x = probe_features(*served);
+  const double full_ipc = served->model.ipc_flat().predict(x);
+  const double full_power = served->model.energy_flat().predict(x);
+  Server server(ServerOptions{}, served);
+
+  // deadline_ms:0 = the budget is already spent at admission: the server
+  // must answer degraded without walking a single tree, and the certified
+  // interval must still contain the full-ensemble prediction.
+  const JsonValue resp = JsonValue::parse(
+      server.handle_line(predict_line("r1", x, "\"deadline_ms\":0")));
+  ASSERT_TRUE(resp.find("ok")->as_bool());
+  EXPECT_EQ(resp.find("mode")->as_string(), "degraded");
+  EXPECT_EQ(resp.find("degrade_reason")->as_string(), "deadline");
+  EXPECT_EQ(resp.find("ipc_trees")->as_number(), 0.0);
+
+  const JsonValue* iv = resp.find("ipc_interval");
+  EXPECT_LE(iv->find("lo")->as_number(), full_ipc);
+  EXPECT_GE(iv->find("hi")->as_number(), full_ipc);
+  const JsonValue* pv = resp.find("power_interval");
+  EXPECT_LE(pv->find("lo")->as_number(), full_power);
+  EXPECT_GE(pv->find("hi")->as_number(), full_power);
+  // k = 0: the interval IS the certified ensemble range.
+  EXPECT_TRUE(bits_eq(iv->find("lo")->as_number(),
+                      served->model.ipc_flat().value_bounds().lo));
+  EXPECT_TRUE(bits_eq(iv->find("hi")->as_number(),
+                      served->model.ipc_flat().value_bounds().hi));
+
+  const ServeStats s = server.stats_snapshot();
+  EXPECT_EQ(s.served_degraded, 1u);
+  EXPECT_EQ(s.served_full, 0u);
+}
+
+TEST(Serve, LoadDegradationUsesTreePrefixAndContainsFullPrediction) {
+  auto served = load_served();
+  const std::vector<double> x = probe_features(*served);
+  const double full_ipc = served->model.ipc_flat().predict(x);
+  ServerOptions opts;
+  opts.degrade_queue_depth = 4;
+  opts.degrade_trees = 5;
+  Server server(opts, served);
+
+  // Depth below the threshold: full inference.
+  const JsonValue calm = JsonValue::parse(
+      server.handle_line(predict_line("calm", x), /*queue_depth=*/3));
+  EXPECT_EQ(calm.find("mode")->as_string(), "full");
+
+  // Depth at the threshold: only the 5-tree prefix is evaluated, and the
+  // certified interval still brackets the full-ensemble prediction.
+  const JsonValue busy = JsonValue::parse(
+      server.handle_line(predict_line("busy", x), /*queue_depth=*/4));
+  EXPECT_EQ(busy.find("mode")->as_string(), "degraded");
+  EXPECT_EQ(busy.find("degrade_reason")->as_string(), "load");
+  EXPECT_EQ(busy.find("ipc_trees")->as_number(), 5.0);
+  EXPECT_LE(busy.find("ipc_interval")->find("lo")->as_number(), full_ipc);
+  EXPECT_GE(busy.find("ipc_interval")->find("hi")->as_number(), full_ipc);
+  // Degraded value = midpoint of the certified interval: inside it.
+  const double v = busy.find("ipc")->as_number();
+  EXPECT_LE(busy.find("ipc_interval")->find("lo")->as_number(), v);
+  EXPECT_GE(busy.find("ipc_interval")->find("hi")->as_number(), v);
+}
+
+// --- ServeError taxonomy: one test per serving kind ----------------------
+
+TEST(ServeError, BadRequestOnMalformedInputAndWrongShape) {
+  Server server(ServerOptions{}, load_served());
+  for (const char* line :
+       {"not json", "[1,2,3]", "{\"op\":\"frobnicate\"}", "{\"id\":\"x\"}",
+        "{\"op\":\"predict\",\"features\":7}",
+        "{\"op\":\"predict\",\"features\":[1],\"deadline_ms\":-1}"}) {
+    const JsonValue resp = JsonValue::parse(server.handle_line(line));
+    EXPECT_FALSE(resp.find("ok")->as_bool()) << line;
+    EXPECT_EQ(resp.find("error")->find("kind")->as_string(), "bad-request")
+        << line;
+  }
+  EXPECT_EQ(server.stats_snapshot().bad_requests, 6u);
+}
+
+TEST(ServeError, DeadlineExceededWhenDegradedDisallowed) {
+  auto served = load_served();
+  Server server(ServerOptions{}, served);
+  const JsonValue resp = JsonValue::parse(server.handle_line(predict_line(
+      "r1", probe_features(*served),
+      "\"deadline_ms\":0,\"allow_degraded\":false")));
+  EXPECT_FALSE(resp.find("ok")->as_bool());
+  EXPECT_EQ(resp.find("error")->find("kind")->as_string(),
+            "deadline-exceeded");
+  EXPECT_EQ(server.stats_snapshot().deadline_rejected, 1u);
+  // Full-or-nothing rejection is not an inference fault.
+  EXPECT_EQ(server.stats_snapshot().inference_faults, 0u);
+}
+
+TEST(ServeError, OverloadCarriesRetryAfterHint) {
+  const ServeError err{ErrorKind::kOverload, "admission queue full", 96};
+  EXPECT_EQ(err.to_string(), "[overload] admission queue full (retry after 96ms)");
+  const JsonValue rendered = render_error("r9", err);
+  EXPECT_EQ(rendered.find("id")->as_string(), "r9");
+  EXPECT_FALSE(rendered.find("ok")->as_bool());
+  EXPECT_EQ(rendered.find("error")->find("retry_after_ms")->as_number(), 96.0);
+  EXPECT_EQ(rendered.find("error")->find("kind")->as_string(), "overload");
+}
+
+TEST(ServeError, ModelReloadRejectedForCorruptedCandidate) {
+  auto served = load_served();
+  const std::vector<double> x = probe_features(*served);
+  Server server(ServerOptions{}, served);
+  const std::string before =
+      server.handle_line(predict_line("before", x));
+
+  // Corrupt the bounds certificate of a copy: the static analyzer must
+  // reject it and the old model must keep serving, bit-identically.
+  const std::string bad_path = scratch_path("model_bad");
+  {
+    std::ifstream in(model_path());
+    std::ofstream out(bad_path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind("bounds ", 0) == 0) line = "bounds 0 0 0 0";
+      out << line << '\n';
+    }
+  }
+  const JsonValue resp = JsonValue::parse(
+      server.handle_line("{\"op\":\"reload\",\"id\":\"up\",\"model\":\"" +
+                         bad_path + "\"}"));
+  EXPECT_FALSE(resp.find("ok")->as_bool());
+  EXPECT_EQ(resp.find("error")->find("kind")->as_string(),
+            "model-reload-rejected");
+  EXPECT_NE(resp.find("error")->find("message")->as_string().find(
+                "forest-bounds"),
+            std::string::npos);
+
+  EXPECT_EQ(server.model_snapshot()->generation, 1u);
+  const std::string after = server.handle_line(predict_line("before", x));
+  EXPECT_EQ(before, after);  // old model still serving, byte-identical
+  EXPECT_EQ(server.stats_snapshot().reloads_rejected, 1u);
+  std::remove(bad_path.c_str());
+}
+
+// --- hot reload ----------------------------------------------------------
+
+TEST(Serve, ValidatedReloadBumpsGenerationAndStagesStateRecord) {
+  ServerOptions opts;
+  opts.state_path = scratch_path("state");
+  std::remove(opts.state_path.c_str());
+  Server server(opts, load_served());
+
+  const JsonValue resp = JsonValue::parse(server.handle_line(
+      "{\"op\":\"reload\",\"model\":\"" + model_path() + "\"}"));
+  ASSERT_TRUE(resp.find("ok")->as_bool());
+  EXPECT_EQ(resp.find("model_generation")->as_number(), 2.0);
+  EXPECT_EQ(server.model_snapshot()->generation, 2u);
+
+  std::ifstream state(opts.state_path);
+  std::string record;
+  ASSERT_TRUE(std::getline(state, record));
+  EXPECT_EQ(record,
+            "napel-serve-active generation=2 model=" + model_path());
+
+  // Responses carry the new generation from the very next request on.
+  auto served = server.model_snapshot();
+  const JsonValue after = JsonValue::parse(
+      server.handle_line(predict_line("g", probe_features(*served))));
+  EXPECT_EQ(after.find("model_generation")->as_number(), 2.0);
+  std::remove(opts.state_path.c_str());
+}
+
+TEST(Serve, InFlightSnapshotSurvivesReload) {
+  Server server(ServerOptions{}, load_served());
+  // A request holding the old snapshot keeps it alive across a swap — the
+  // RCU contract behind "in-flight requests finish on their model".
+  auto old_snapshot = server.model_snapshot();
+  server.handle_line("{\"op\":\"reload\",\"model\":\"" + model_path() +
+                     "\"}");
+  EXPECT_EQ(server.model_snapshot()->generation, 2u);
+  EXPECT_EQ(old_snapshot->generation, 1u);
+  EXPECT_TRUE(old_snapshot->model.is_trained());
+}
+
+// --- circuit breaker -----------------------------------------------------
+
+TEST(Serve, CircuitBreakerOpensServesBoundsMidpointsThenRecovers) {
+  auto served = load_served();
+  const std::vector<double> x = probe_features(*served);
+  FaultPlan faults;
+  for (std::uint64_t at = 0; at < 3; ++at)
+    faults.add({.site = "serve/infer", .at = at, .kind = FaultKind::kThrow});
+  ServerOptions opts;
+  opts.breaker_threshold = 3;
+  opts.breaker_cooldown = 2;
+  opts.faults = &faults;
+  Server server(opts, served);
+
+  // Three consecutive injected faults trip the breaker.
+  for (int i = 0; i < 3; ++i) {
+    const JsonValue r =
+        JsonValue::parse(server.handle_line(predict_line("f", x)));
+    EXPECT_FALSE(r.find("ok")->as_bool());
+    EXPECT_EQ(r.find("error")->find("kind")->as_string(), "task-failed");
+  }
+  EXPECT_EQ(server.stats_snapshot().breaker_opens, 1u);
+  EXPECT_EQ(server.stats_snapshot().inference_faults, 3u);
+
+  // Open: certified-bounds midpoints, no arena traversal (0 trees).
+  const auto bounds = served->model.ipc_flat().value_bounds();
+  for (int i = 0; i < 2; ++i) {
+    const JsonValue r =
+        JsonValue::parse(server.handle_line(predict_line("open", x)));
+    ASSERT_TRUE(r.find("ok")->as_bool());
+    EXPECT_EQ(r.find("mode")->as_string(), "degraded");
+    EXPECT_EQ(r.find("degrade_reason")->as_string(), "circuit-open");
+    EXPECT_EQ(r.find("ipc_trees")->as_number(), 0.0);
+    EXPECT_TRUE(bits_eq(r.find("ipc")->as_number(),
+                        (bounds.lo + bounds.hi) / 2.0));
+  }
+
+  // Cooldown spent: the next request probes (half-open), succeeds, and the
+  // breaker closes — full inference resumes.
+  const JsonValue probe =
+      JsonValue::parse(server.handle_line(predict_line("probe", x)));
+  ASSERT_TRUE(probe.find("ok")->as_bool());
+  EXPECT_EQ(probe.find("mode")->as_string(), "full");
+  const JsonValue closed =
+      JsonValue::parse(server.handle_line(predict_line("closed", x)));
+  EXPECT_EQ(closed.find("mode")->as_string(), "full");
+}
+
+TEST(Serve, CorruptedInferenceIsCaughtByCertifiedBounds) {
+  auto served = load_served();
+  FaultPlan faults;
+  faults.add({.site = "serve/infer",
+              .at = 0,
+              .kind = FaultKind::kCorruptWrite});
+  ServerOptions opts;
+  opts.faults = &faults;
+  Server server(opts, served);
+
+  const JsonValue r = JsonValue::parse(
+      server.handle_line(predict_line("c", probe_features(*served))));
+  EXPECT_FALSE(r.find("ok")->as_bool());
+  EXPECT_EQ(r.find("error")->find("kind")->as_string(), "task-failed");
+  EXPECT_NE(r.find("error")->find("message")->as_string().find(
+                "certified ensemble bounds"),
+            std::string::npos);
+  EXPECT_EQ(server.stats_snapshot().inference_faults, 1u);
+}
+
+// --- server run loop: transport, drain, shutdown -------------------------
+
+TEST(Serve, RunAnswersEveryRequestThenAcksShutdownLast) {
+  auto served = load_served();
+  const std::vector<double> x = probe_features(*served);
+  std::stringstream in;
+  for (int i = 0; i < 5; ++i) in << predict_line("r" + std::to_string(i), x)
+                                 << '\n';
+  in << "{\"op\":\"stats\"}\n";
+  in << "{\"op\":\"shutdown\",\"id\":\"bye\"}\n";
+  in << predict_line("after-shutdown", x) << '\n';  // must never be read
+
+  std::stringstream out;
+  IoStreamTransport transport(in, out);
+  Server server(ServerOptions{}, served);
+  reset_shutdown_flag();
+  EXPECT_EQ(server.run(transport), 0);
+
+  std::vector<JsonValue> lines;
+  std::string line;
+  while (std::getline(out, line)) lines.push_back(JsonValue::parse(line));
+  ASSERT_EQ(lines.size(), 7u);  // 5 predictions + stats + shutdown ack
+  // Graceful drain: the shutdown ack is the last line out.
+  EXPECT_EQ(lines.back().find("op")->as_string(), "shutdown");
+  EXPECT_EQ(lines.back().find("id")->as_string(), "bye");
+  std::size_t ok_predictions = 0;
+  for (const JsonValue& l : lines)
+    if (l.find("mode") != nullptr && l.find("ok")->as_bool())
+      ++ok_predictions;
+  EXPECT_EQ(ok_predictions, 5u);
+}
+
+TEST(Serve, RunDrainsAndExitsWithShutdownCodeOnSignal) {
+  auto served = load_served();
+  std::stringstream in;
+  in << predict_line("r0", probe_features(*served)) << '\n';
+  std::stringstream out;
+  IoStreamTransport transport(in, out);
+  Server server(ServerOptions{}, served);
+
+  // Simulate SIGTERM mid-stream: the flag is the exact state the handler
+  // leaves behind; run() must drain admitted work and exit with code 4.
+  reset_shutdown_flag();
+  shutdown_flag().store(true);
+  EXPECT_EQ(server.run(transport), kShutdownExitCode);
+  reset_shutdown_flag();
+}
+
+TEST(Serve, RunShedsBurstBeyondQueueCapacity) {
+  auto served = load_served();
+  const std::vector<double> x = probe_features(*served);
+  ServerOptions opts;
+  opts.queue_capacity = 1;
+  opts.cost_hint_ms = 2;
+  // Stall the single worker on the first request (injected hang, bounded),
+  // so the burst behind it observes a full queue.
+  FaultPlan faults;
+  faults.add({.site = "serve/infer", .at = 0, .kind = FaultKind::kHang});
+  opts.faults = &faults;
+
+  std::stringstream in;
+  for (int i = 0; i < 6; ++i)
+    in << predict_line("r" + std::to_string(i), x) << '\n';
+  std::stringstream out;
+  IoStreamTransport transport(in, out);
+  Server server(opts, served);
+  reset_shutdown_flag();
+  EXPECT_EQ(server.run(transport), 0);
+
+  std::size_t ok = 0, overload = 0;
+  std::string line;
+  while (std::getline(out, line)) {
+    const JsonValue v = JsonValue::parse(line);
+    if (v.find("ok")->as_bool()) {
+      ++ok;
+    } else {
+      EXPECT_EQ(v.find("error")->find("kind")->as_string(), "overload");
+      EXPECT_GT(v.find("error")->find("retry_after_ms")->as_number(), 0.0);
+      ++overload;
+    }
+  }
+  // Every request gets exactly one response; with the worker stalled the
+  // burst must overflow the 1-slot queue at least once.
+  EXPECT_EQ(ok + overload, 6u);
+  EXPECT_GE(overload, 1u);
+  EXPECT_EQ(server.stats_snapshot().shed, overload);
+  EXPECT_EQ(server.stats_snapshot().admitted, ok);
+}
+
+}  // namespace
+}  // namespace napel::serve

@@ -18,6 +18,9 @@
 //   napel lint [--apps a,b] [--scale S] [--json] [--model FILE] [--csv FILE]
 //              [--trace FILE] [--journal FILE] [--forest FILE [--space W]]
 //              [--disable rule,rule] [--max-per-rule N]
+//   napel serve -m <model-file> [--queue N] [--workers N] [--deadline-ms N]
+//               [--degrade-depth N] [--degrade-trees N] [--breaker N]
+//               [--breaker-cooldown N] [--state FILE]
 //
 // `lint` with only artifact flags (--model/--csv/--trace/--journal/--forest)
 // and no --apps skips the kernel-stream sweep and validates just the named
@@ -25,10 +28,18 @@
 // (src/verify/forest_analyzer.hpp) over the saved model, with the feature
 // domain tightened by --space's DoE thread levels when given.
 //
+// `serve` answers line-delimited JSON prediction requests on stdin/stdout
+// (src/serve/server.hpp) until EOF, a shutdown request, or SIGTERM/SIGINT —
+// the signals drain the admission queue gracefully and exit with status 4.
+// `collect`/`train` honour the same signals: in-flight DoE tasks finish and
+// flush to the journal, then the run exits 4 and is resumable.
+//
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime failures,
-// 3 when `lint` found error-severity diagnostics. The hidden
-// --inject-crash-at N flag (CI crash drills) arms a fault that tears the
-// N-th journal append and kills the process with exit status 42.
+// 3 when `lint` found error-severity diagnostics, 4 after a graceful
+// signal-initiated shutdown. The hidden --inject-crash-at N flag (CI crash
+// drills) arms a fault that tears the N-th journal append and kills the
+// process with exit status 42; --inject-{throw,hang,corrupt}-at N arm the
+// N-th serve-time inference fault for chaos drills.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -42,10 +53,12 @@
 
 #include "common/csv.hpp"
 #include "common/fault_injection.hpp"
+#include "common/shutdown.hpp"
 #include "common/table.hpp"
 #include "napel/journal.hpp"
 #include "napel/model_io.hpp"
 #include "napel/napel.hpp"
+#include "serve/server.hpp"
 #include "trace/trace_cache.hpp"
 #include "trace/trace_file.hpp"
 #include "verify/artifact_checks.hpp"
@@ -259,6 +272,10 @@ int cmd_collect(const Args& a) {
     throw std::invalid_argument("missing -o <csv-file>");
   const std::vector<std::string> apps = parse_apps(a);
   core::CollectOptions copt = parse_collect_options(a);
+  // Graceful SIGTERM/SIGINT: finish in-flight DoE tasks, flush the journal,
+  // exit 4 (the kInterrupted error is mapped in main()).
+  install_shutdown_handlers();
+  copt.cancel = &shutdown_flag();
   FaultPlan faults;
   arm_fault_plan(a, faults);
   const std::vector<core::TrainingRow> rows =
@@ -297,6 +314,8 @@ int cmd_train(const Args& a) {
 
   const std::vector<std::string> apps = parse_apps(a);
   core::CollectOptions copt = parse_collect_options(a);
+  install_shutdown_handlers();
+  copt.cancel = &shutdown_flag();
   FaultPlan faults;
   arm_fault_plan(a, faults);
   const std::vector<core::TrainingRow> rows =
@@ -589,6 +608,51 @@ int cmd_lint(const Args& a) {
   return diags.ok() ? 0 : 3;
 }
 
+// Long-running prediction server: line-delimited JSON on stdin/stdout,
+// bounded admission queue, deadline-bounded degraded inference with
+// certified intervals, validated hot reload, circuit breaker. Exits 0 on
+// EOF / {"op":"shutdown"}, 4 after a graceful SIGTERM/SIGINT drain.
+int cmd_serve(const Args& a) {
+  const auto model_it = a.options.find("model");
+  if (model_it == a.options.end())
+    throw std::invalid_argument("missing -m <model-file>");
+  core::NapelModel model = core::load_model_file(model_it->second);
+
+  serve::ServerOptions sopt;
+  sopt.queue_capacity = parse_u64(a, "queue", 64);
+  sopt.n_workers = static_cast<unsigned>(parse_u64(a, "workers", 1));
+  sopt.default_deadline_ms =
+      static_cast<std::uint32_t>(parse_u64(a, "deadline-ms", 0));
+  sopt.degrade_queue_depth = parse_u64(a, "degrade-depth", 0);
+  sopt.degrade_trees = parse_u64(a, "degrade-trees", 16);
+  sopt.breaker_threshold = static_cast<int>(parse_u64(a, "breaker", 5));
+  sopt.breaker_cooldown =
+      static_cast<int>(parse_u64(a, "breaker-cooldown", 16));
+  if (const auto it = a.options.find("state"); it != a.options.end())
+    sopt.state_path = it->second;
+
+  // Chaos-drill fault arming: the N-th predict requests misbehave (comma
+  // list, so e.g. --inject-throw-at 3,4,5,6,7 can trip the breaker).
+  FaultPlan faults;
+  const auto arm = [&](const char* flag, FaultKind kind) {
+    if (const auto it = a.options.find(flag); it != a.options.end())
+      for (const std::string& at : split_csv(it->second))
+        faults.add(
+            {.site = "serve/infer", .at = std::stoull(at), .kind = kind});
+  };
+  arm("inject-throw-at", FaultKind::kThrow);
+  arm("inject-hang-at", FaultKind::kHang);
+  arm("inject-corrupt-at", FaultKind::kCorruptWrite);
+  if (!faults.empty()) sopt.faults = &faults;
+
+  install_shutdown_handlers();
+  serve::Server server(
+      sopt, serve::ServedModel::make(std::move(model), /*generation=*/1,
+                                     model_it->second));
+  serve::IoStreamTransport transport(std::cin, std::cout);
+  return server.run(transport);
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: napel <command> [options]\n"
@@ -614,7 +678,12 @@ int usage() {
                "       [--forest FILE [--space W]]   static forest analysis\n"
                "       [--disable rule,rule]\n"
                "       [--max-per-rule N]   verify kernels + artifacts;\n"
-               "       artifact flags alone skip the kernel sweep\n");
+               "       artifact flags alone skip the kernel sweep\n"
+               "  serve -m FILE [--queue N] [--workers N] [--deadline-ms N]\n"
+               "        [--degrade-depth N] [--degrade-trees N] [--breaker N]\n"
+               "        [--breaker-cooldown N] [--state FILE]\n"
+               "        line-delimited JSON prediction server on stdin/stdout;\n"
+               "        SIGTERM/SIGINT drain gracefully (exit 4)\n");
   return 1;
 }
 
@@ -633,10 +702,21 @@ int main(int argc, char** argv) {
     if (args.command == "record") return cmd_record(args);
     if (args.command == "simulate") return cmd_simulate(args);
     if (args.command == "lint") return cmd_lint(args);
+    if (args.command == "serve") return cmd_serve(args);
     return usage();
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
+  } catch (const PipelineException& e) {
+    if (e.error().kind == ErrorKind::kInterrupted) {
+      // Graceful signal-initiated shutdown: the journal holds the completed
+      // prefix, a --resume run picks up the rest.
+      std::fprintf(stderr, "interrupted: %s\n",
+                   e.error().to_string().c_str());
+      return kShutdownExitCode;
+    }
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return 2;
   } catch (const InjectedCrash& e) {
     // CI crash drill: die the way SIGKILL would — no unwinding, no flushes
     // beyond what the torn write already fsynced.

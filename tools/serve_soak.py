@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""Chaos soak for `napel serve`: scripted client + kill-and-restart drill.
+
+Drives a live server process through a deterministic request mix (healthy
+predicts, zero-deadline predicts, malformed lines, wrong-shape requests,
+stats probes, hot reloads against both a valid and a corrupted candidate)
+while serve-time faults armed via --inject-throw-at / --inject-corrupt-at
+fire mid-soak. The contract checked is the serving runtime's availability
+invariant, not exact bytes (shedding depends on worker timing):
+
+  * every input line yields exactly one line-delimited JSON response;
+  * every response parses and carries "ok";
+  * degraded responses carry certified intervals that contain the value;
+  * a corrupted reload candidate is rejected while serving continues on
+    the old generation; a valid candidate bumps the generation;
+  * SIGTERM mid-stream drains in-flight requests, acks shutdown last, and
+    exits with the dedicated status 4; a restart serves again.
+
+Usage: serve_soak.py --cli <napel-binary> --workdir <dir> [--duration 10]
+Exit 0 on a clean soak, 1 on any violated invariant.
+"""
+
+import argparse
+import json
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+
+def fail(msg):
+    print(f"SOAK FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def train_model(cli, path):
+    rc = subprocess.run(
+        [cli, "train", "-o", path, "--apps", "atax", "--scale", "tiny",
+         "--archs", "2"],
+        stdout=subprocess.DEVNULL).returncode
+    if rc != 0:
+        fail(f"train exited {rc}")
+
+
+def model_n_features(path):
+    with open(path) as f:
+        header = f.readline().split()
+    if len(header) < 2 or header[0] != "napel-model-v2":
+        fail(f"unexpected model header: {header}")
+    return int(header[1])
+
+
+def corrupt_model(src, dst):
+    """Rewrite the certified-bounds line: the forest analyzer must reject."""
+    with open(src) as f:
+        lines = f.readlines()
+    lines[1] = "bounds 0 0 0 0\n"
+    with open(dst, "w") as f:
+        f.writelines(lines)
+
+
+def start_server(cli, model, extra):
+    return subprocess.Popen(
+        [cli, "serve", "-m", model] + extra,
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True,
+        bufsize=1)
+
+
+def predict_line(i, n_features, deadline_ms=None):
+    req = {"op": "predict", "id": f"s{i}",
+           "features": [((i * 7 + j) % 13) / 13.0 for j in range(n_features)]}
+    if deadline_ms is not None:
+        req["deadline_ms"] = deadline_ms
+    return json.dumps(req)
+
+
+def check_response(line, ctx):
+    try:
+        resp = json.loads(line)
+    except json.JSONDecodeError as e:
+        fail(f"{ctx}: unparseable response {line!r}: {e}")
+    if "ok" not in resp:
+        fail(f"{ctx}: response without ok: {line!r}")
+    if resp.get("ok") and resp.get("mode") == "degraded":
+        for metric, interval in (("ipc", "ipc_interval"),
+                                 ("power_watts", "power_interval")):
+            iv = resp[interval]
+            if not (iv["lo"] <= resp[metric] <= iv["hi"]):
+                fail(f"{ctx}: degraded {metric} {resp[metric]} escapes "
+                     f"certified interval [{iv['lo']}, {iv['hi']}]")
+    return resp
+
+
+def soak_round(proc, lines, ctx):
+    """Write a batch, read exactly one response per line, validate each."""
+    responses = []
+    got = []
+
+    def reader():
+        for _ in lines:
+            got.append(proc.stdout.readline())
+
+    t = threading.Thread(target=reader)
+    t.start()
+    for line in lines:
+        proc.stdin.write(line + "\n")
+    proc.stdin.flush()
+    t.join(timeout=30)
+    if t.is_alive():
+        fail(f"{ctx}: server answered {len(got)} of {len(lines)} requests")
+    for i, line in enumerate(got):
+        if not line:
+            fail(f"{ctx}: server closed stdout early ({i}/{len(lines)})")
+        responses.append(check_response(line.strip(), f"{ctx}[{i}]"))
+    return responses
+
+
+def chaos_phase(args, model, bad_model, n_features):
+    proc = start_server(args.cli, model, [
+        "--queue", "8", "--degrade-depth", "4", "--degrade-trees", "4",
+        "--breaker", "3", "--breaker-cooldown", "2",
+        "--inject-throw-at", "5,6,7", "--inject-corrupt-at", "40",
+        "--state", f"{args.workdir}/soak_state.txt",
+    ])
+    deadline = time.monotonic() + args.duration
+    seq = 0
+    rounds = 0
+    counts = {"full": 0, "degraded": 0, "error": 0}
+    try:
+        while time.monotonic() < deadline or rounds < 3:
+            batch = []
+            for _ in range(40):
+                if seq % 11 == 3:
+                    batch.append(predict_line(seq, n_features, deadline_ms=0))
+                elif seq % 17 == 5:
+                    batch.append('{"op":"predict"}')  # wrong shape
+                elif seq % 23 == 7:
+                    batch.append("{not json")
+                else:
+                    batch.append(predict_line(seq, n_features))
+                seq += 1
+            for resp in soak_round(proc, batch, f"round{rounds}"):
+                if resp.get("ok"):
+                    counts[resp.get("mode", "full")] += 1
+                else:
+                    counts["error"] += 1
+
+            # Interleave control-plane traffic: stats, then a reload that
+            # must be rejected, then one that must succeed.
+            (stats,) = soak_round(proc, ['{"op":"stats"}'], "stats")
+            if not stats.get("ok"):
+                fail(f"stats failed: {stats}")
+            (rej,) = soak_round(
+                proc, [json.dumps({"op": "reload", "model": bad_model})],
+                "reload-reject")
+            if rej.get("ok") or rej.get("error", {}).get("kind") != \
+                    "model-reload-rejected":
+                fail(f"corrupted reload not rejected: {rej}")
+            (okr,) = soak_round(
+                proc, [json.dumps({"op": "reload", "model": model})],
+                "reload-ok")
+            if not okr.get("ok"):
+                fail(f"valid reload rejected: {okr}")
+            rounds += 1
+    finally:
+        proc.stdin.close()
+        rc = proc.wait(timeout=30)
+    if rc != 0:
+        fail(f"chaos server exited {rc}, want 0 on EOF")
+    if counts["error"] == 0 or counts["degraded"] == 0:
+        fail(f"soak mix never exercised faults/degradation: {counts}")
+    print(f"chaos phase: {rounds} rounds, {seq} requests, mix {counts}")
+
+
+def kill_drill(args, model, n_features):
+    proc = start_server(args.cli, model, ["--queue", "8"])
+    soak_round(proc, [predict_line(i, n_features) for i in range(5)],
+               "pre-kill")
+    proc.send_signal(signal.SIGTERM)
+    tail = proc.stdout.read()  # drained responses + shutdown ack
+    rc = proc.wait(timeout=30)
+    if rc != 4:
+        fail(f"SIGTERM drain exited {rc}, want 4")
+    last = tail.strip().splitlines()[-1] if tail.strip() else ""
+    if last:
+        ack = check_response(last, "shutdown-ack")
+        if ack.get("op") != "shutdown":
+            fail(f"last drained line is not the shutdown ack: {last!r}")
+    # Restart drill: a fresh process over the same model serves again.
+    proc = start_server(args.cli, model, [])
+    resp = soak_round(proc, [predict_line(99, n_features)], "post-restart")[0]
+    if not resp.get("ok"):
+        fail(f"restarted server refused a healthy predict: {resp}")
+    proc.stdin.close()
+    rc = proc.wait(timeout=30)
+    if rc != 0:
+        fail(f"restarted server exited {rc}")
+    print("kill-and-restart drill: drain acked, exit 4, restart serves")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--cli", required=True)
+    ap.add_argument("--workdir", required=True)
+    ap.add_argument("--duration", type=float, default=10.0)
+    args = ap.parse_args()
+
+    model = f"{args.workdir}/soak_model.txt"
+    bad_model = f"{args.workdir}/soak_model_corrupt.txt"
+    train_model(args.cli, model)
+    n_features = model_n_features(model)
+    corrupt_model(model, bad_model)
+
+    chaos_phase(args, model, bad_model, n_features)
+    kill_drill(args, model, n_features)
+    print("SOAK PASS")
+
+
+if __name__ == "__main__":
+    main()
