@@ -63,10 +63,10 @@ int main(int argc, char** argv) {
   const std::size_t n_train = smoke ? 400 : 2000;
   const std::size_t n_eval = smoke ? 2000 : 20000;
   const unsigned n_trees = smoke ? 30 : 100;
-  const int reps = smoke ? 1 : 3;
+  const int reps = smoke ? 3 : 5;
 
   std::printf("=== forest inference: pointer forest vs flat arena (%s) ===\n",
-              smoke ? "smoke" : "full, best of 3");
+              smoke ? "smoke, best of 3" : "full, best of 5");
 
   Rng rng(2019);
   const ml::Dataset train = make_dataset(n_train, n_features, rng);
@@ -84,7 +84,8 @@ int main(int argc, char** argv) {
   // --- bit-identity first: a fast-but-wrong path must fail loudly. --------
   std::vector<double> scratch(flat.tree_count());
   std::vector<double> batched(eval.size());
-  flat.predict_batch(eval.features(), eval.size(), batched);
+  flat.predict_batch(eval.features(), eval.size(), batched, 1,
+                     SimdLevel::kScalar);
   for (std::size_t i = 0; i < eval.size(); ++i) {
     const double ref = forest.predict(eval.row(i));
     if (!bits_equal(ref, flat.predict(eval.row(i))) ||
@@ -100,49 +101,103 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  std::printf("bit-identity: %zu rows x {predict, batch, interval} OK\n\n",
+  std::printf("bit-identity: %zu rows x {predict, batch, interval} OK\n",
               eval.size());
 
-  auto best = [&](auto&& body) {
-    volatile double guard = 0.0;  // keep the work observable
-    double best_s = 0.0;
-    for (int rep = 0; rep < reps; ++rep) {
-      bench::Timer timer;
-      guard = guard + body();
-      const double s = timer.seconds();
-      if (rep == 0 || s < best_s) best_s = s;
+  // --- dispatch matrix: every executable SIMD level x {1, 4} threads must
+  // reproduce the scalar batched bytes exactly. memcmp over the whole
+  // output vector, so a single flipped mantissa bit anywhere fails.
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar, SimdLevel::kPortable};
+  if (ml::FlatForest::simd_kernel_available(SimdLevel::kAvx2))
+    levels.push_back(SimdLevel::kAvx2);
+  {
+    std::vector<double> out2(eval.size());
+    for (const SimdLevel level : levels) {
+      for (const unsigned threads : {1u, 4u}) {
+        std::fill(out2.begin(), out2.end(), 0.0);
+        flat.predict_batch(eval.features(), eval.size(), out2, threads,
+                           level);
+        if (std::memcmp(out2.data(), batched.data(),
+                        eval.size() * sizeof(double)) != 0) {
+          std::fprintf(stderr,
+                       "FAIL: %s kernel x %u threads diverges from scalar\n",
+                       simd_level_name(level), threads);
+          return 1;
+        }
+      }
     }
+    std::printf("dispatch bit-identity: %zu levels x {1,4} threads OK\n\n",
+                levels.size());
+  }
+
+  // Paths are timed in interleaved rep rounds (path A, B, C, ... then A
+  // again) with the best rep kept per path: on a shared machine a load
+  // spike then penalizes every path's same round, not whichever path
+  // happened to run during it — the ratios below stay honest.
+  volatile double guard = 0.0;  // keep the work observable
+  auto timed = [&](auto&& body) {
+    bench::Timer timer;
+    guard = guard + body();
+    return timer.seconds();
+  };
+  const bool have_avx2 =
+      ml::FlatForest::simd_kernel_available(SimdLevel::kAvx2);
+  double scalar_rf_s = 0.0, flat_scalar_s = 0.0, flat_batched_s = 0.0;
+  double portable_s = 0.0, avx2_s = 0.0;
+  double interval_rf_s = 0.0, interval_flat_s = 0.0;
+  const auto keep_best = [](double& slot, double s) {
+    if (slot == 0.0 || s < slot) slot = s;
+  };
+  for (int rep = 0; rep < reps; ++rep) {
+    keep_best(scalar_rf_s, timed([&] {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < eval.size(); ++i)
+        acc += forest.predict(eval.row(i));
+      return acc;
+    }));
+    keep_best(flat_scalar_s, timed([&] {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < eval.size(); ++i)
+        acc += flat.predict(eval.row(i));
+      return acc;
+    }));
+    // The scalar lockstep kernel stays the committed reference: its
+    // numbers are comparable across history, and the SIMD ratios below
+    // are measured against it in the same process on the same matrix.
+    keep_best(flat_batched_s, timed([&] {
+      flat.predict_batch(eval.features(), eval.size(), batched, 1,
+                         SimdLevel::kScalar);
+      return batched[0];
+    }));
+    keep_best(portable_s, timed([&] {
+      flat.predict_batch(eval.features(), eval.size(), batched, 1,
+                         SimdLevel::kPortable);
+      return batched[0];
+    }));
+    if (have_avx2)
+      keep_best(avx2_s, timed([&] {
+        flat.predict_batch(eval.features(), eval.size(), batched, 1,
+                           SimdLevel::kAvx2);
+        return batched[0];
+      }));
+    keep_best(interval_rf_s, timed([&] {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < eval.size(); ++i)
+        acc += forest.predict_interval(eval.row(i)).mean;
+      return acc;
+    }));
+    keep_best(interval_flat_s, timed([&] {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < eval.size(); ++i)
+        acc += flat.predict_interval(eval.row(i), scratch).mean;
+      return acc;
+    }));
+  }
+  auto best = [&](auto&& body) {
+    double best_s = 0.0;
+    for (int rep = 0; rep < reps; ++rep) keep_best(best_s, timed(body));
     return best_s;
   };
-
-  const double scalar_rf_s = best([&] {
-    double acc = 0.0;
-    for (std::size_t i = 0; i < eval.size(); ++i)
-      acc += forest.predict(eval.row(i));
-    return acc;
-  });
-  const double flat_scalar_s = best([&] {
-    double acc = 0.0;
-    for (std::size_t i = 0; i < eval.size(); ++i)
-      acc += flat.predict(eval.row(i));
-    return acc;
-  });
-  const double flat_batched_s = best([&] {
-    flat.predict_batch(eval.features(), eval.size(), batched);
-    return batched[0];
-  });
-  const double interval_rf_s = best([&] {
-    double acc = 0.0;
-    for (std::size_t i = 0; i < eval.size(); ++i)
-      acc += forest.predict_interval(eval.row(i)).mean;
-    return acc;
-  });
-  const double interval_flat_s = best([&] {
-    double acc = 0.0;
-    for (std::size_t i = 0; i < eval.size(); ++i)
-      acc += flat.predict_interval(eval.row(i), scratch).mean;
-    return acc;
-  });
 
   const double rows = static_cast<double>(eval.size());
   const auto rps = [rows](double s) { return s > 0.0 ? rows / s : 0.0; };
@@ -150,6 +205,9 @@ int main(int argc, char** argv) {
       flat_batched_s > 0.0 ? scalar_rf_s / flat_batched_s : 0.0;
   const double interval_speedup =
       interval_flat_s > 0.0 ? interval_rf_s / interval_flat_s : 0.0;
+  const double portable_vs_batched =
+      portable_s > 0.0 ? flat_batched_s / portable_s : 0.0;
+  const double avx2_vs_batched = avx2_s > 0.0 ? flat_batched_s / avx2_s : 0.0;
 
   // Static-analyzer cost over the same arena: certify() (the serve-time
   // structural pass) and the full abstract interpretation. Reported for
@@ -172,6 +230,14 @@ int main(int argc, char** argv) {
               flat_scalar_s > 0.0 ? scalar_rf_s / flat_scalar_s : 0.0);
   std::printf("flat batched     %10.0f rows/s  (%.2fx)\n", rps(flat_batched_s),
               batched_speedup);
+  std::printf("simd portable    %10.0f rows/s  (%.2fx vs batched)\n",
+              rps(portable_s), portable_vs_batched);
+  if (have_avx2)
+    std::printf("simd avx2        %10.0f rows/s  (%.2fx vs batched)\n",
+                rps(avx2_s), avx2_vs_batched);
+  else
+    std::printf("simd avx2        unavailable (kernel not built or CPU "
+                "lacks avx2)\n");
   std::printf("interval forest  %10.0f rows/s\n", rps(interval_rf_s));
   std::printf("interval flat    %10.0f rows/s  (%.2fx)\n",
               rps(interval_flat_s), interval_speedup);
@@ -197,6 +263,14 @@ int main(int argc, char** argv) {
                "  \"interval_rf_rps\": %.0f, \"interval_flat_rps\": %.0f,\n",
                rps(interval_rf_s), rps(interval_flat_s));
   std::fprintf(f,
+               "  \"simd_portable_rps\": %.0f, \"simd_avx2_rps\": %.0f,\n",
+               rps(portable_s), rps(avx2_s));
+  std::fprintf(f,
+               "  \"portable_vs_batched\": %.3f, \"avx2_vs_batched\": %.3f, "
+               "\"avx2_available\": %s,\n",
+               portable_vs_batched, avx2_vs_batched,
+               have_avx2 ? "true" : "false");
+  std::fprintf(f,
                "  \"batched_vs_scalar\": %.3f, "
                "\"interval_flat_vs_rf\": %.3f,\n",
                batched_speedup, interval_speedup);
@@ -212,6 +286,39 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FAIL: flat batched inference only %.2fx the scalar forest "
                  "(expected >= 3x)\n",
+                 batched_speedup);
+    return 1;
+  }
+  // SIMD non-regression floors (full mode; smoke sizes are too small for
+  // stable ratios). These are floors, not targets: the lockstep scalar
+  // reference already saturates memory-level parallelism (64 independent
+  // chains), so on hosts whose vpgatherdd/vgatherdpd are microcode-
+  // mitigated (Downfall-era Xeons — including this CI class) the gather
+  // kernels measure near parity rather than the 2x a desktop part with
+  // full-rate gathers shows. A kernel falling under 0.7x means the lane
+  // code itself broke, which is what the gate is for; see DESIGN.md
+  // "SIMD inference & runtime dispatch" for the measured numbers.
+  if (!smoke && portable_vs_batched < 0.7) {
+    std::fprintf(stderr,
+                 "FAIL: portable lane kernel only %.2fx the scalar batched "
+                 "kernel (floor 0.7x)\n",
+                 portable_vs_batched);
+    return 1;
+  }
+  if (!smoke && have_avx2 && avx2_vs_batched < 0.7) {
+    std::fprintf(stderr,
+                 "FAIL: avx2 kernel only %.2fx the scalar batched kernel "
+                 "(floor 0.7x)\n",
+                 avx2_vs_batched);
+    return 1;
+  }
+  // Smoke regression floor for CI: the committed smoke baseline records
+  // batched_vs_scalar = 4.7; dipping under 3.5 means the batched engine
+  // genuinely regressed, not that the small configuration wobbled.
+  if (smoke && batched_speedup < 3.5) {
+    std::fprintf(stderr,
+                 "FAIL: smoke batched_vs_scalar %.2fx fell below the "
+                 "committed-baseline floor 3.5x\n",
                  batched_speedup);
     return 1;
   }

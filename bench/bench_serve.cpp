@@ -77,7 +77,10 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
 
   const std::size_t n_features = 16;
-  const unsigned n_trees = smoke ? 30 : 100;
+  // Both modes serve the paper-sized 100-tree ensembles: shrinking the
+  // forest for smoke would shift the per-request cost toward JSON handling
+  // and make the micro-batch ratio measure the wrong thing.
+  const unsigned n_trees = 100;
   const std::size_t n_requests = smoke ? 500 : 5000;
 
   std::printf("=== serving runtime: full vs degraded inference (%s) ===\n",
@@ -136,16 +139,64 @@ int main(int argc, char** argv) {
     s.p50_us = percentile(lat_us, 50.0);
     s.p99_us = percentile(lat_us, 99.0);
     s.rps = total_s > 0.0 ? static_cast<double>(lines.size()) / total_s : 0.0;
-    std::printf("%-14s %8.1f us p50  %8.1f us p99  %10.0f req/s  (%s)\n",
-                s.name.c_str(), s.p50_us, s.p99_us, s.rps, s.mode.c_str());
     return s;
   };
 
+  // Micro-batched dispatch: the same requests, the same responses, but
+  // coalesced into batch_max-sized slices that handle_lines serves via one
+  // sharded predict_batch traversal per forest instead of per-request tree
+  // chunking. Latency here is per-slice (what the last request of a
+  // coalesced slice experiences).
+  const auto drive_batched = [&](const std::vector<std::string>& lines,
+                                 std::size_t batch_max) {
+    Scenario s;
+    s.name = "micro_batch";
+    std::vector<double> lat_us;
+    lat_us.reserve(lines.size() / batch_max + 1);
+    std::size_t served = 0;
+    bench::Timer total;
+    for (std::size_t lo = 0; lo < lines.size(); lo += batch_max) {
+      const std::size_t hi = std::min(lo + batch_max, lines.size());
+      const std::vector<std::string> slice(lines.begin() + lo,
+                                           lines.begin() + hi);
+      bench::Timer t;
+      const std::vector<std::string> resps = server.handle_lines(slice);
+      lat_us.push_back(t.seconds() * 1e6);
+      served += resps.size();
+      if (s.mode.empty()) {
+        const serve::JsonValue v = serve::JsonValue::parse(resps.front());
+        if (const auto* mode = v.find("mode")) s.mode = mode->as_string();
+      }
+    }
+    const double total_s = total.seconds();
+    s.p50_us = percentile(lat_us, 50.0);
+    s.p99_us = percentile(lat_us, 99.0);
+    s.rps = total_s > 0.0 ? static_cast<double>(served) / total_s : 0.0;
+    return s;
+  };
+
+  // The per-request / micro-batch comparison is a ratio of two separate
+  // timed phases, so the rounds interleave and each side keeps its best —
+  // a background load spike then hits both sides or neither, instead of
+  // deflating whichever phase it landed on.
+  constexpr int kReps = 3;
+  const std::size_t batch_max = 64;
+  Scenario best_full, best_batch;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const Scenario f_run = drive("full", full_lines, /*queue_depth=*/0);
+    if (f_run.rps > best_full.rps) best_full = f_run;
+    const Scenario b_run = drive_batched(full_lines, batch_max);
+    if (b_run.rps > best_batch.rps) best_batch = b_run;
+  }
   std::vector<Scenario> scenarios;
-  scenarios.push_back(drive("full", full_lines, /*queue_depth=*/0));
+  scenarios.push_back(best_full);
   scenarios.push_back(
       drive("degraded_load", full_lines, /*queue_depth=*/8));
   scenarios.push_back(drive("degraded_zero", zero_lines, /*queue_depth=*/0));
+  scenarios.push_back(best_batch);
+  for (const Scenario& s : scenarios)
+    std::printf("%-14s %8.1f us p50  %8.1f us p99  %10.0f req/s  (%s)\n",
+                s.name.c_str(), s.p50_us, s.p99_us, s.rps, s.mode.c_str());
 
   // End-to-end threaded run(): reader + worker + graceful drain.
   {
@@ -176,9 +227,15 @@ int main(int argc, char** argv) {
   }
 
   const serve::ServeStats stats = server.stats_snapshot();
-  std::printf("served: %llu full, %llu degraded\n",
+  const double batch_vs_single =
+      scenarios[0].rps > 0.0 ? scenarios[3].rps / scenarios[0].rps : 0.0;
+  std::printf("served: %llu full, %llu degraded; %llu micro-batches "
+              "(%llu rows), batch vs per-request %.2fx\n",
               static_cast<unsigned long long>(stats.served_full),
-              static_cast<unsigned long long>(stats.served_degraded));
+              static_cast<unsigned long long>(stats.served_degraded),
+              static_cast<unsigned long long>(stats.micro_batches),
+              static_cast<unsigned long long>(stats.batched_predicts),
+              batch_vs_single);
 
   FILE* f = std::fopen("BENCH_serve.json", "w");
   if (f == nullptr) {
@@ -199,6 +256,9 @@ int main(int argc, char** argv) {
                  i + 1 < scenarios.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"batch_vs_single\": %.3f, \"micro_batches\": %llu,\n",
+               batch_vs_single,
+               static_cast<unsigned long long>(stats.micro_batches));
   std::fprintf(f, "  \"served_full\": %llu, \"served_degraded\": %llu\n}\n",
                static_cast<unsigned long long>(stats.served_full),
                static_cast<unsigned long long>(stats.served_degraded));
@@ -209,6 +269,21 @@ int main(int argc, char** argv) {
   // zero-budget path must not be slower than full inference.
   if (scenarios[1].mode != "degraded" || scenarios[2].mode != "degraded") {
     std::fprintf(stderr, "FAIL: degradation scenarios served full mode\n");
+    return 1;
+  }
+  // The micro-batch path must serve full-ensemble answers and beat
+  // per-request dispatch decisively — it replaces N chunked per-request
+  // walks with one batched lockstep traversal per forest.
+  if (scenarios[3].mode != "full") {
+    std::fprintf(stderr, "FAIL: micro_batch scenario served %s mode\n",
+                 scenarios[3].mode.c_str());
+    return 1;
+  }
+  if (batch_vs_single < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: micro-batched serving only %.2fx per-request "
+                 "dispatch (expected >= 2x)\n",
+                 batch_vs_single);
     return 1;
   }
   return 0;

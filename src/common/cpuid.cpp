@@ -1,0 +1,89 @@
+#include "common/cpuid.hpp"
+
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+namespace napel {
+
+namespace {
+
+bool detect_avx2() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  // __builtin_cpu_supports covers both the CPUID feature bit and the
+  // OS XSAVE state check, so a positive answer means AVX2 code can run.
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+std::optional<SimdLevel>& override_slot() {
+  static std::optional<SimdLevel> slot;
+  return slot;
+}
+
+std::mutex& override_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
+
+const char* simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kPortable: return "portable";
+    case SimdLevel::kAvx2: return "avx2";
+  }
+  return "invalid";
+}
+
+SimdLevel parse_simd_level(std::string_view name) {
+  if (name == "scalar") return SimdLevel::kScalar;
+  if (name == "portable") return SimdLevel::kPortable;
+  if (name == "avx2") return SimdLevel::kAvx2;
+  throw std::invalid_argument("unknown SIMD level \"" + std::string(name) +
+                              "\" (expected scalar, portable, or avx2)");
+}
+
+bool cpu_supports(SimdLevel level) {
+  if (level != SimdLevel::kAvx2) return true;
+  static const bool has_avx2 = detect_avx2();
+  return has_avx2;
+}
+
+SimdLevel max_cpu_simd_level() {
+  return cpu_supports(SimdLevel::kAvx2) ? SimdLevel::kAvx2
+                                        : SimdLevel::kPortable;
+}
+
+SimdLevel clamp_to_cpu(SimdLevel requested) {
+  return cpu_supports(requested) ? requested : max_cpu_simd_level();
+}
+
+SimdLevel resolved_simd_level() {
+  {
+    const std::lock_guard<std::mutex> lock(override_mu());
+    if (override_slot()) return clamp_to_cpu(*override_slot());
+  }
+  // The environment is parsed once: the resolution must be stable for the
+  // whole process, and a bad value must surface on the first prediction,
+  // not rotate silently between kernels.
+  static const SimdLevel from_env = [] {
+    const char* env = std::getenv("NAPEL_SIMD");
+    if (env != nullptr && *env != '\0')
+      return clamp_to_cpu(parse_simd_level(env));
+    return max_cpu_simd_level();
+  }();
+  return from_env;
+}
+
+void set_simd_level_override(std::optional<SimdLevel> level) {
+  const std::lock_guard<std::mutex> lock(override_mu());
+  override_slot() = level;
+}
+
+}  // namespace napel

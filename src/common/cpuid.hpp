@@ -1,0 +1,65 @@
+// Runtime SIMD capability detection and dispatch-level resolution.
+//
+// The batched forest-inference kernels (src/ml/forest_kernels.hpp) exist at
+// three dispatch levels that all produce bit-identical doubles:
+//
+//   scalar    — the reference lockstep kernel, one row-slot at a time;
+//   portable  — fixed 8-lane kernel written in plain C++ (no intrinsics),
+//               compilable on any target;
+//   avx2      — explicit 8-lane AVX2 intrinsics (gathered node columns,
+//               masked child selection), built into its own translation
+//               unit with -mavx2 and selected only when the CPU has it.
+//
+// This header is the single place that decides which level runs:
+//
+//   resolved_simd_level() = programmatic override (set_simd_level_override,
+//                           the CLI --simd path)
+//                         > NAPEL_SIMD environment variable
+//                         > highest level the CPU supports.
+//
+// A request for a level the hardware cannot execute is clamped down (never
+// up), so NAPEL_SIMD=avx2 is always safe to export — on a non-AVX2 machine
+// it degrades to portable. An unrecognized level name throws: a typo in a
+// determinism-critical knob must fail loudly, not silently pick a default.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace napel {
+
+enum class SimdLevel : std::uint8_t {
+  kScalar = 0,
+  kPortable = 1,
+  kAvx2 = 2,
+};
+
+/// Stable lower-case name ("scalar" / "portable" / "avx2").
+const char* simd_level_name(SimdLevel level);
+
+/// Parses a level name (the NAPEL_SIMD / --simd vocabulary). Throws
+/// std::invalid_argument on anything else, naming the valid spellings.
+SimdLevel parse_simd_level(std::string_view name);
+
+/// True when the executing CPU can run `level` (kScalar and kPortable are
+/// always executable; kAvx2 requires CPU + OS support, detected once).
+bool cpu_supports(SimdLevel level);
+
+/// Highest level cpu_supports() accepts on this machine.
+SimdLevel max_cpu_simd_level();
+
+/// `requested` if the CPU supports it, otherwise the highest level it does
+/// — requests clamp down, never up.
+SimdLevel clamp_to_cpu(SimdLevel requested);
+
+/// Process-wide resolution: override > NAPEL_SIMD > CPU maximum, clamped
+/// to the CPU. The environment variable is read once and cached; an
+/// invalid NAPEL_SIMD value throws on first resolution.
+SimdLevel resolved_simd_level();
+
+/// Installs (or clears, with nullopt) the programmatic override — the CLI
+/// --simd flag. Takes precedence over NAPEL_SIMD.
+void set_simd_level_override(std::optional<SimdLevel> level);
+
+}  // namespace napel

@@ -6,9 +6,43 @@
 #include <string>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "common/stats.hpp"
+#include "ml/forest_kernels.hpp"
 
 namespace napel::ml {
+
+namespace {
+
+/// Rows per parallel shard. Matches the kernels' internal row block, so
+/// sharding never splits a block: each task hands the kernel whole 64-row
+/// blocks and the kernel's own blocking is a no-op partition of them —
+/// output bytes cannot depend on the shard boundaries.
+constexpr std::size_t kShardRows = 64;
+
+/// Kernel for a dispatch level, assuming `level` already passed
+/// clamp_to_cpu. The AVX2 kernel's i32 gather indices address dwords of
+/// the 32-byte packed records (index up to 8 * node + 4), so arenas past
+/// 2^28 nodes (not constructible today — compile caps the arena at u32
+/// total nodes and real forests are orders of magnitude smaller — but
+/// guarded for safety) degrade to the portable kernel.
+detail::BatchKernel kernel_for(SimdLevel level,
+                               [[maybe_unused]] std::size_t node_count) {
+  switch (level) {
+    case SimdLevel::kAvx2:
+#if defined(NAPEL_ML_HAVE_AVX2)
+      if (node_count < (std::size_t{1} << 28)) return &detail::batch_avx2;
+#endif
+      [[fallthrough]];
+    case SimdLevel::kPortable:
+      return &detail::batch_portable;
+    case SimdLevel::kScalar:
+      return &detail::batch_scalar;
+  }
+  return &detail::batch_scalar;
+}
+
+}  // namespace
 
 FlatForest::FlatForest(const RandomForest& forest) {
   NAPEL_CHECK_MSG(forest.is_fitted(), "cannot compile an unfitted forest");
@@ -23,6 +57,7 @@ FlatForest::FlatForest(const RandomForest& forest) {
   left_.reserve(total);
   right_.reserve(total);
   value_.reserve(total);
+  nodes_.reserve(total);
   tree_offset_.reserve(forest.tree_count() + 1);
   tree_steps_.reserve(forest.tree_count());
 
@@ -46,6 +81,8 @@ FlatForest::FlatForest(const RandomForest& forest) {
       left_.push_back(leaf ? self : base + nd.left);
       right_.push_back(leaf ? self : base + nd.right);
       value_.push_back(nd.value);
+      nodes_.push_back({threshold_.back(), left_.back(), right_.back(),
+                        nd.feature, 0, 0.0});
     }
     // Deepest leaf of this tree = the fixed step count that parks every
     // row of a lockstep block on its leaf. Children follow their parent in
@@ -180,52 +217,61 @@ double FlatForest::predict(std::span<const double> x) const {
   return s / static_cast<double>(nt);
 }
 
+void FlatForest::run_batch(const double* X, std::size_t n_rows, double* out,
+                           double* votes, unsigned n_threads,
+                           std::optional<SimdLevel> level) const {
+  const SimdLevel resolved =
+      level ? clamp_to_cpu(*level) : resolved_simd_level();
+  const detail::BatchKernel kernel = kernel_for(resolved, node_count());
+  const detail::ForestView v{feature_.data(), threshold_.data(),
+                             left_.data(),    right_.data(),
+                             value_.data(),   nodes_.data(),
+                             tree_offset_.data(), tree_steps_.data(),
+                             tree_count(), n_features_};
+  const std::size_t n_shards = (n_rows + kShardRows - 1) / kShardRows;
+  if (n_shards <= 1 || effective_threads(n_threads) <= 1) {
+    kernel(v, X, n_rows, out, votes);
+    return;
+  }
+  // Shard over whole row blocks: every row writes only its own out / votes
+  // slot and its result never depends on which rows share a kernel call,
+  // so any partition — and any claim order — yields identical bytes.
+  const std::size_t nt = v.n_trees;
+  const std::size_t nf = n_features_;
+  parallel_for(n_shards, n_threads, [&](std::size_t s) {
+    const std::size_t r0 = s * kShardRows;
+    const std::size_t rows = std::min(kShardRows, n_rows - r0);
+    kernel(v, X + r0 * nf, rows, out != nullptr ? out + r0 : nullptr,
+           votes != nullptr ? votes + r0 * nt : nullptr);
+  });
+}
+
+bool FlatForest::simd_kernel_available(SimdLevel level) {
+  if (level == SimdLevel::kAvx2)
+    return detail::have_avx2_kernel() && cpu_supports(SimdLevel::kAvx2);
+  return true;
+}
+
 void FlatForest::predict_batch(std::span<const double> X, std::size_t n_rows,
-                               std::span<double> out) const {
+                               std::span<double> out, unsigned n_threads,
+                               std::optional<SimdLevel> level) const {
   NAPEL_CHECK_MSG(is_compiled(), "predict before compile");
   NAPEL_CHECK(X.size() == n_rows * n_features_);
   NAPEL_CHECK(out.size() >= n_rows);
-  constexpr std::size_t kRowBlock = 64;
-  const std::size_t nt = tree_count();
-  const auto nt_d = static_cast<double>(nt);
-  double acc[kRowBlock];
-  const double* xs[kRowBlock];
-  std::uint32_t cur[kRowBlock];
-  for (std::size_t row0 = 0; row0 < n_rows; row0 += kRowBlock) {
-    const std::size_t b = std::min(kRowBlock, n_rows - row0);
-    std::fill_n(acc, b, 0.0);
-    for (std::size_t r = 0; r < b; ++r)
-      xs[r] = X.data() + (row0 + r) * n_features_;
-    // Tree-major over the block, all rows stepping one level per iteration
-    // in lockstep. One row alone is a serial chain of dependent node loads
-    // (each next index depends on the previous load); b rows side by side
-    // give the core b independent chains to overlap. Rows that reach a
-    // leaf early spin harmlessly on its self-link (+inf threshold) until
-    // the tree's deepest leaf is reached — branch-free, and the leaf each
-    // row ends on is exactly the one early-exit traversal finds. Per-row
-    // votes still accumulate in tree order, so out[r] is bit-identical to
-    // the one-row-at-a-time sum.
-    for (std::size_t t = 0; t < nt; ++t) {
-      const std::uint32_t root = tree_offset_[t];
-      for (std::size_t r = 0; r < b; ++r) cur[r] = root;
-      for (unsigned step = 0; step < tree_steps_[t]; ++step) {
-        for (std::size_t r = 0; r < b; ++r) {
-          const std::uint32_t c = cur[r];
-          const std::int32_t f = feature_[c];
-          const auto fi =
-              static_cast<std::uint32_t>(f < 0 ? 0 : f);  // leaf reads x[0]
-          // Load both children before selecting: with the operands already
-          // in registers the compare lowers to a conditional move, not a
-          // 50/50-mispredicted branch per node.
-          const std::uint32_t l = left_[c];
-          const std::uint32_t rt = right_[c];
-          cur[r] = xs[r][fi] <= threshold_[c] ? l : rt;
-        }
-      }
-      for (std::size_t r = 0; r < b; ++r) acc[r] += value_[cur[r]];
-    }
-    for (std::size_t r = 0; r < b; ++r) out[row0 + r] = acc[r] / nt_d;
-  }
+  if (n_rows == 0) return;
+  run_batch(X.data(), n_rows, out.data(), nullptr, n_threads, level);
+}
+
+void FlatForest::predict_votes_batch(std::span<const double> X,
+                                     std::size_t n_rows,
+                                     std::span<double> votes,
+                                     unsigned n_threads,
+                                     std::optional<SimdLevel> level) const {
+  NAPEL_CHECK_MSG(is_compiled(), "predict before compile");
+  NAPEL_CHECK(X.size() == n_rows * n_features_);
+  NAPEL_CHECK(votes.size() >= n_rows * tree_count());
+  if (n_rows == 0) return;
+  run_batch(X.data(), n_rows, nullptr, votes.data(), n_threads, level);
 }
 
 double FlatForest::accumulate_votes(std::span<const double> x,

@@ -23,13 +23,23 @@
 // before the same linear interpolation — so swapping a RandomForest for
 // its compiled FlatForest can never change a prediction, at any batch
 // size or thread count.
+//
+// Batched prediction additionally dispatches over SIMD levels
+// (common/cpuid.hpp: scalar / portable / avx2 — see forest_kernels.hpp)
+// and shards rows across the work-stealing pool; both knobs preserve the
+// bit-identity contract, because every kernel walks the same arena with
+// the same comparisons and each row's votes accumulate independently in
+// tree order regardless of lane width or which shard the row lands in.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <vector>
 
+#include "common/cpuid.hpp"
+#include "ml/forest_kernels.hpp"
 #include "ml/random_forest.hpp"
 
 namespace napel::ml {
@@ -65,8 +75,33 @@ class FlatForest {
   /// n_features()), written to out[0..n_rows). Walks row-blocks tree-major:
   /// each tree's columns stay cache-resident while the whole block reuses
   /// them, instead of every row streaming the full arena past the cache.
+  ///
+  /// `n_threads` shards the rows over the work-stealing pool at 64-row
+  /// block granularity (0 = pool default, 1 = inline); every row writes
+  /// only its own out slot, so output bytes are identical at any thread
+  /// count. `level` pins the SIMD dispatch level for this call (clamped to
+  /// what the CPU supports); nullopt uses resolved_simd_level() — the
+  /// --simd override, then NAPEL_SIMD, then the CPU maximum. All levels
+  /// produce bit-identical doubles.
   void predict_batch(std::span<const double> X, std::size_t n_rows,
-                     std::span<double> out) const;
+                     std::span<double> out, unsigned n_threads = 1,
+                     std::optional<SimdLevel> level = std::nullopt) const;
+
+  /// Per-tree votes for every row of X, row-major into
+  /// votes[r * tree_count() + t] — predict_all_trees at batch scale, on
+  /// the same sharded SIMD engine as predict_batch. votes.size() must be
+  /// at least n_rows * tree_count(). Each row's vote vector matches
+  /// predict_all_trees(row) bit-for-bit.
+  void predict_votes_batch(std::span<const double> X, std::size_t n_rows,
+                           std::span<double> votes, unsigned n_threads = 1,
+                           std::optional<SimdLevel> level =
+                               std::nullopt) const;
+
+  /// True when `level` can actually execute in this process: kAvx2 needs
+  /// both the compiled-in AVX2 kernel TU and runtime CPU support; scalar
+  /// and portable always run. The "avx2-if-available" predicate tests use
+  /// to decide which levels to sweep.
+  static bool simd_kernel_available(SimdLevel level);
 
   /// One traversal's per-tree votes for a single row, in tree order
   /// (per_tree.size() == tree_count()). The mean and any percentile of
@@ -118,6 +153,10 @@ class FlatForest {
   /// columns so a test can damage one cell and prove certify() (or the
   /// forest analyzer) rejects the arena before predict_batch runs. Not for
   /// production use — a mutated arena voids the determinism contract.
+  /// (Structural columns are mirrored into the packed node records at
+  /// compile time, so mutations to feature / threshold / child cells are
+  /// only guaranteed visible to certify() and the offline analyzers;
+  /// leaf `value` mutations are visible to every prediction path.)
   struct MutableArena {
     std::span<std::int32_t> feature;
     std::span<double> threshold;
@@ -182,19 +221,29 @@ class FlatForest {
 
  private:
   /// Leaf value tree `t` routes row `x` to. Root of tree t is
-  /// tree_offset_[t]; child links are arena-absolute.
+  /// tree_offset_[t]; child links are arena-absolute. Walks the packed
+  /// single-line node records (detail::PackedNode) — one cache line per
+  /// node instead of four column loads — with leaf values read from the
+  /// SoA `value_` column (the cell verification tests mutate through
+  /// mutable_arena() and expect every prediction path to observe).
   double traverse(std::size_t t, const double* x) const {
     std::uint32_t cur = tree_offset_[t];
     for (;;) {
-      const std::int32_t f = feature_[cur];
-      if (f < 0) return value_[cur];
+      const detail::PackedNode& nd = nodes_[cur];
+      if (nd.feature < 0) return value_[cur];
       // Both children loaded up front so the direction pick is a
       // conditional move, not a per-node mispredicted branch.
-      const std::uint32_t l = left_[cur];
-      const std::uint32_t r = right_[cur];
-      cur = x[static_cast<std::uint32_t>(f)] <= threshold_[cur] ? l : r;
+      const std::uint32_t l = nd.left;
+      const std::uint32_t r = nd.right;
+      cur = x[static_cast<std::uint32_t>(nd.feature)] <= nd.threshold ? l : r;
     }
   }
+
+  /// Shared engine behind predict_batch / predict_votes_batch: resolves
+  /// the kernel for `level` and shards [0, n_rows) over 64-row blocks.
+  void run_batch(const double* X, std::size_t n_rows, double* out,
+                 double* votes, unsigned n_threads,
+                 std::optional<SimdLevel> level) const;
 
   // Leaves carry the lockstep encoding: threshold +inf and left_ == right_
   // == own index, so the batched kernel can step every row of a block one
@@ -205,6 +254,7 @@ class FlatForest {
   std::vector<std::uint32_t> left_;      // arena-absolute child indices
   std::vector<std::uint32_t> right_;
   std::vector<double> value_;
+  std::vector<detail::PackedNode> nodes_;  // packed single-line mirror
   std::vector<std::uint32_t> tree_offset_;  // size tree_count() + 1
   std::vector<unsigned> tree_steps_;        // deepest leaf depth per tree
   std::size_t n_features_ = 0;

@@ -1,0 +1,171 @@
+// Scalar and portable batched traversal kernels (see forest_kernels.hpp
+// for the shared contract; the AVX2 sibling lives in
+// flat_forest_simd_avx2.cpp).
+#include "ml/forest_kernels.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace napel::ml::detail {
+
+namespace {
+
+constexpr std::size_t kRowBlock = 64;
+
+}  // namespace
+
+void batch_scalar(const ForestView& f, const double* X, std::size_t n_rows,
+                  double* out, double* votes) {
+  const std::size_t nt = f.n_trees;
+  const auto nt_d = static_cast<double>(nt);
+  double acc[kRowBlock];
+  const double* xs[kRowBlock];
+  std::uint32_t cur[kRowBlock];
+  for (std::size_t row0 = 0; row0 < n_rows; row0 += kRowBlock) {
+    const std::size_t b = std::min(kRowBlock, n_rows - row0);
+    std::fill_n(acc, b, 0.0);
+    for (std::size_t r = 0; r < b; ++r)
+      xs[r] = X + (row0 + r) * f.n_features;
+    // Tree-major over the block, all rows stepping one level per iteration
+    // in lockstep. One row alone is a serial chain of dependent node loads
+    // (each next index depends on the previous load); b rows side by side
+    // give the core b independent chains to overlap. Rows that reach a
+    // leaf early spin harmlessly on its self-link (+inf threshold) until
+    // the tree's deepest leaf is reached — branch-free, and the leaf each
+    // row ends on is exactly the one early-exit traversal finds. Per-row
+    // votes still accumulate in tree order, so out[r] is bit-identical to
+    // the one-row-at-a-time sum.
+    for (std::size_t t = 0; t < nt; ++t) {
+      const std::uint32_t root = f.tree_offset[t];
+      for (std::size_t r = 0; r < b; ++r) cur[r] = root;
+      for (unsigned step = 0; step < f.tree_steps[t]; ++step) {
+        for (std::size_t r = 0; r < b; ++r) {
+          const std::uint32_t c = cur[r];
+          const std::int32_t fv = f.feature[c];
+          const auto fi =
+              static_cast<std::uint32_t>(fv < 0 ? 0 : fv);  // leaf reads x[0]
+          // Load both children before selecting: with the operands already
+          // in registers the compare lowers to a conditional move, not a
+          // 50/50-mispredicted branch per node.
+          const std::uint32_t l = f.left[c];
+          const std::uint32_t rt = f.right[c];
+          cur[r] = xs[r][fi] <= f.threshold[c] ? l : rt;
+        }
+      }
+      for (std::size_t r = 0; r < b; ++r) {
+        const double v = f.value[cur[r]];
+        acc[r] += v;
+        if (votes != nullptr) votes[(row0 + r) * nt + t] = v;
+      }
+    }
+    if (out != nullptr)
+      for (std::size_t r = 0; r < b; ++r) out[row0 + r] = acc[r] / nt_d;
+  }
+}
+
+void batch_portable(const ForestView& f, const double* X, std::size_t n_rows,
+                    double* out, double* votes) {
+  // Chain-refill traversal. The lockstep kernel above always walks a tree
+  // to its deepest leaf (avg leaf depth on trained NAPEL forests is ~13
+  // levels against a ~23-level lockstep spin), so up to ~40% of its node
+  // visits are parked lanes re-reading a leaf self-link. Here every lane
+  // is an independent (row, tree) chain: the moment a chain reaches its
+  // leaf the lane settles it and pulls the next work item, keeping all
+  // kLanes chains live — the same memory-level parallelism, none of the
+  // spin. Work items drain tree-major so concurrent chains share the hot
+  // upper levels of at most a couple of trees.
+  //
+  // Determinism: a leaf value is stored to a (row, tree)-addressed vote
+  // slot when the chain finishes — address, not completion order, decides
+  // where it lands — and the per-row mean is reduced *in tree order* from
+  // those slots afterwards, so every double matches batch_scalar bitwise.
+  constexpr std::size_t kLanes = 64;
+  const std::size_t nt = f.n_trees;
+  const auto nt_d = static_cast<double>(nt);
+  const std::size_t nf = f.n_features;
+  std::vector<double> scratch;  // vote slots when the caller wants none
+  std::uint32_t cur[kLanes];    // current arena node per chain
+  std::uint32_t slot[kLanes];   // row * n_trees + tree (vote address)
+  const double* xp[kLanes];     // row feature pointer per chain
+  for (std::size_t row0 = 0; row0 < n_rows; row0 += kRowBlock) {
+    const std::size_t b = std::min(kRowBlock, n_rows - row0);
+    const double* Xb = X + row0 * nf;
+    double* vb;
+    if (votes != nullptr) {
+      vb = votes + row0 * nt;
+    } else {
+      scratch.resize(b * nt);
+      vb = scratch.data();
+    }
+    const std::size_t total = nt * b;  // work items, tree-major
+    std::size_t next = 0;
+    const auto refill = [&](std::size_t k) -> bool {
+      while (next < total) {
+        const std::size_t w = next++;
+        const std::size_t t = w / b;
+        const std::size_t r = w - t * b;
+        const std::uint32_t root = f.tree_offset[t];
+        if (f.packed[root].feature < 0) {  // single-leaf tree: settle now
+          vb[r * nt + t] = f.value[root];
+          continue;
+        }
+        cur[k] = root;
+        slot[k] = static_cast<std::uint32_t>(r * nt + t);
+        xp[k] = Xb + r * nf;
+        return true;
+      }
+      return false;
+    };
+    std::size_t live = 0;
+    while (live < kLanes && refill(live)) ++live;
+    while (live > 0) {
+      // Advance every chain two levels branchlessly before looking for
+      // parked ones. A chain already on its leaf just re-selects the
+      // self-link (fi clamps the -1 marker to 0, the threshold there is
+      // +inf), so overshooting costs at most one harmless visit while the
+      // park check — the only unpredictable branch — runs half as often
+      // and the step loop stays a fixed-bound cmov body the compiler can
+      // unroll, exactly like the lockstep kernel's.
+      for (unsigned rep = 0; rep < 2; ++rep) {
+        for (std::size_t k = 0; k < live; ++k) {
+          const PackedNode& nd = f.packed[cur[k]];
+          const std::int32_t fv = nd.feature;
+          const auto fi = static_cast<std::uint32_t>(fv < 0 ? 0 : fv);
+          const std::uint32_t l = nd.left;
+          const std::uint32_t r = nd.right;
+          cur[k] = xp[k][fi] <= nd.threshold ? l : r;
+        }
+      }
+      for (std::size_t k = 0; k < live; ++k) {
+        const std::uint32_t c = cur[k];
+        if (f.packed[c].feature >= 0) continue;
+        vb[slot[k]] = f.value[c];
+        if (!refill(k)) {
+          --live;  // retire the lane; revisit the chain moved into it
+          cur[k] = cur[live];
+          slot[k] = slot[live];
+          xp[k] = xp[live];
+          --k;
+        }
+      }
+    }
+    if (out != nullptr) {
+      for (std::size_t r = 0; r < b; ++r) {
+        double acc = 0.0;
+        const double* vr = vb + r * nt;
+        for (std::size_t t = 0; t < nt; ++t) acc += vr[t];
+        out[row0 + r] = acc / nt_d;
+      }
+    }
+  }
+}
+
+bool have_avx2_kernel() {
+#if defined(NAPEL_ML_HAVE_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace napel::ml::detail

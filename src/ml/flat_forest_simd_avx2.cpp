@@ -1,0 +1,213 @@
+// AVX2 batched forest-traversal kernel.
+//
+// The one translation unit in the tree allowed to use vector intrinsics
+// (tools/source_lint.py rule `raw-intrinsics` keeps it that way). Compiled
+// with -mavx2 when the toolchain supports it; the dispatch layer
+// (FlatForest::predict_batch via common/cpuid.hpp) only calls batch_avx2
+// after a runtime __builtin_cpu_supports("avx2") check, so the binary
+// stays runnable on pre-AVX2 machines.
+//
+// Shape: 8 rows per lane group — a __m256i of arena node indices — with
+// two groups in flight per step loop so the gathers of one group overlap
+// the latency of the other's. Each step gathers the feature column
+// (vpgatherdd), the threshold column and the row features (vgatherdpd by
+// 128-bit index halves), compares with ordered `<=` semantics (NaN
+// features route right, exactly like the scalar compare), gathers both
+// child columns and blends on the packed compare mask. A group whose
+// lanes all sit on leaves (sign bits of the gathered feature column)
+// stops stepping early — the lockstep spin encoding makes the parked
+// lanes' gathers harmless until then. Leaf values are gathered once per
+// tree and added to per-row accumulators in tree order, so every double
+// is bit-identical to the scalar kernel's (see forest_kernels.hpp).
+#include "ml/forest_kernels.hpp"
+
+#if defined(NAPEL_ML_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace napel::ml::detail {
+
+namespace {
+
+constexpr std::size_t kRowBlock = 64;
+
+/// One-row early-exit walk for sub-lane tails (same leaf as the lockstep
+/// spin; see flat_forest_kernels.cpp).
+inline std::uint32_t walk_one(const ForestView& f, const double* x,
+                              std::uint32_t root) {
+  std::uint32_t cur = root;
+  for (;;) {
+    const PackedNode& nd = f.packed[cur];
+    if (nd.feature < 0) return cur;
+    const std::uint32_t l = nd.left;
+    const std::uint32_t r = nd.right;
+    cur = x[static_cast<std::uint32_t>(nd.feature)] <= nd.threshold ? l : r;
+  }
+}
+
+struct LaneGroup {
+  __m256i cur;      // 8 arena node indices
+  __m256i rowbase;  // 8 block-local row offsets into X (r * n_features)
+  bool done;        // every lane parked on its leaf
+};
+
+// All-lanes gathers expressed through the masked forms with a zeroed
+// source: identical vpgatherdd/vgatherdpd codegen, but without the
+// _mm256_undefined_* source operand that trips -Wmaybe-uninitialized
+// under -Werror builds.
+inline __m256i gather_i32(const void* base, __m256i idx) {
+  return _mm256_mask_i32gather_epi32(_mm256_setzero_si256(),
+                                     static_cast<const int*>(base), idx,
+                                     _mm256_set1_epi32(-1), 4);
+}
+
+inline __m256d gather_f64(const double* base, __m128i idx) {
+  return _mm256_mask_i32gather_pd(
+      _mm256_setzero_pd(), base, idx,
+      _mm256_castsi256_pd(_mm256_set1_epi64x(-1)), 8);
+}
+
+/// One lockstep step for one 8-lane group. Returns true when every lane's
+/// gathered feature is the leaf marker (-1), i.e. the group is parked.
+/// Node data is gathered from the 32-byte packed records, so a lane's
+/// feature / threshold / children loads all hit the same cache line:
+/// in dwords of the record base, node `c` holds threshold at 8c (a qword
+/// at qword index 4c), left at 8c+2, right at 8c+3, feature at 8c+4.
+inline bool step_group(const ForestView& f, const double* Xb, LaneGroup& g) {
+  const __m256i cur8 = _mm256_slli_epi32(g.cur, 3);
+  const __m256i feat =
+      gather_i32(f.packed, _mm256_add_epi32(cur8, _mm256_set1_epi32(4)));
+  // Leaf marker -1 sets the sign bit; eight set sign bits = all parked.
+  if (_mm256_movemask_ps(_mm256_castsi256_ps(feat)) == 0xff) return true;
+  const __m256i fi = _mm256_max_epi32(feat, _mm256_setzero_si256());
+  const __m256i xi = _mm256_add_epi32(g.rowbase, fi);
+  const __m256i cur4 = _mm256_slli_epi32(g.cur, 2);
+  const __m128i cur4_lo = _mm256_castsi256_si128(cur4);
+  const __m128i cur4_hi = _mm256_extracti128_si256(cur4, 1);
+  const double* packed_d = reinterpret_cast<const double*>(f.packed);
+  const __m256d thr_lo = gather_f64(packed_d, cur4_lo);
+  const __m256d thr_hi = gather_f64(packed_d, cur4_hi);
+  const __m256d x_lo = gather_f64(Xb, _mm256_castsi256_si128(xi));
+  const __m256d x_hi = gather_f64(Xb, _mm256_extracti128_si256(xi, 1));
+  // Ordered quiet `<=`: NaN features compare false and route right, the
+  // same direction the scalar `x <= thr ? l : r` picks.
+  const __m256d le_lo = _mm256_cmp_pd(x_lo, thr_lo, _CMP_LE_OQ);
+  const __m256d le_hi = _mm256_cmp_pd(x_hi, thr_hi, _CMP_LE_OQ);
+  // Pack the two 4x64-bit masks into one 8x32-bit mask in lane order:
+  // shuffle keeps the low 32 bits of each 64-bit mask, giving
+  // [m0,m1,m4,m5 | m2,m3,m6,m7]; the permute restores [m0..m7].
+  const __m256 packed =
+      _mm256_shuffle_ps(_mm256_castpd_ps(le_lo), _mm256_castpd_ps(le_hi),
+                        _MM_SHUFFLE(2, 0, 2, 0));
+  const __m256i perm = _mm256_setr_epi32(0, 1, 4, 5, 2, 3, 6, 7);
+  const __m256i mask =
+      _mm256_permutevar8x32_epi32(_mm256_castps_si256(packed), perm);
+  const __m256i l =
+      gather_i32(f.packed, _mm256_add_epi32(cur8, _mm256_set1_epi32(2)));
+  const __m256i r =
+      gather_i32(f.packed, _mm256_add_epi32(cur8, _mm256_set1_epi32(3)));
+  g.cur = _mm256_blendv_epi8(r, l, mask);  // mask lane set -> go left
+  return false;
+}
+
+/// Gathers the 8 leaf values of a parked group, adds them onto the row
+/// accumulators (per-lane independent adds: bit-identical to scalar), and
+/// optionally records the per-tree votes.
+inline void settle_group(const ForestView& f, const LaneGroup& g,
+                         double* acc, double* votes_row0,
+                         std::size_t votes_stride) {
+  const __m128i cur_lo = _mm256_castsi256_si128(g.cur);
+  const __m128i cur_hi = _mm256_extracti128_si256(g.cur, 1);
+  const __m256d val_lo = gather_f64(f.value, cur_lo);
+  const __m256d val_hi = gather_f64(f.value, cur_hi);
+  _mm256_storeu_pd(acc, _mm256_add_pd(_mm256_loadu_pd(acc), val_lo));
+  _mm256_storeu_pd(acc + 4,
+                   _mm256_add_pd(_mm256_loadu_pd(acc + 4), val_hi));
+  if (votes_row0 != nullptr) {
+    alignas(32) double vals[8];
+    _mm256_store_pd(vals, val_lo);
+    _mm256_store_pd(vals + 4, val_hi);
+    for (int k = 0; k < 8; ++k) votes_row0[static_cast<std::size_t>(k) *
+                                           votes_stride] = vals[k];
+  }
+}
+
+inline __m256i make_rowbase(std::size_t r, std::size_t nf) {
+  const auto base = static_cast<std::int32_t>(r * nf);
+  const auto n = static_cast<std::int32_t>(nf);
+  return _mm256_setr_epi32(base, base + n, base + 2 * n, base + 3 * n,
+                           base + 4 * n, base + 5 * n, base + 6 * n,
+                           base + 7 * n);
+}
+
+}  // namespace
+
+void batch_avx2(const ForestView& f, const double* X, std::size_t n_rows,
+                double* out, double* votes) {
+  constexpr std::size_t kGroups = kRowBlock / 8;
+  const std::size_t nt = f.n_trees;
+  const std::size_t nf = f.n_features;
+  const __m256d nt_d = _mm256_set1_pd(static_cast<double>(nt));
+  alignas(32) double acc[kRowBlock];
+  LaneGroup gs[kGroups];
+  for (std::size_t row0 = 0; row0 < n_rows; row0 += kRowBlock) {
+    const std::size_t b = std::min(kRowBlock, n_rows - row0);
+    const double* Xb = X + row0 * nf;  // block-local: gather indices stay i32
+    std::fill_n(acc, b, 0.0);
+    const std::size_t ng = b / 8;  // full lane groups; the rest walks alone
+    const std::size_t lanes = ng * 8;
+    for (std::size_t g = 0; g < ng; ++g)
+      gs[g].rowbase = make_rowbase(g * 8, nf);
+    for (std::size_t t = 0; t < nt; ++t) {
+      const std::uint32_t root = f.tree_offset[t];
+      const unsigned steps = f.tree_steps[t];
+      const __m256i rootv = _mm256_set1_epi32(static_cast<std::int32_t>(root));
+      double* votes_t =
+          votes != nullptr ? votes + row0 * nt + t : nullptr;
+      // Every live group advances one level per iteration of the step
+      // loop: with all eight groups in flight, up to 64 lanes' gathers are
+      // outstanding at once — the same memory-level parallelism that makes
+      // the scalar lockstep kernel fast once the arena outgrows L2 — while
+      // a group whose eight rows all parked drops out early instead of
+      // spinning to the tree's deepest leaf.
+      for (std::size_t g = 0; g < ng; ++g) {
+        gs[g].cur = rootv;
+        gs[g].done = false;
+      }
+      std::size_t live = ng;
+      for (unsigned s = 0; s < steps && live > 0; ++s) {
+        for (std::size_t g = 0; g < ng; ++g) {
+          if (gs[g].done) continue;
+          if (step_group(f, Xb, gs[g])) {
+            gs[g].done = true;
+            --live;
+          }
+        }
+      }
+      for (std::size_t g = 0; g < ng; ++g)
+        settle_group(f, gs[g], acc + g * 8,
+                     votes_t != nullptr ? votes_t + g * 8 * nt : nullptr,
+                     nt);
+      for (std::size_t r = lanes; r < b; ++r) {
+        const std::uint32_t leaf = walk_one(f, Xb + r * nf, root);
+        const double v = f.value[leaf];
+        acc[r] += v;
+        if (votes_t != nullptr) votes_t[r * nt] = v;
+      }
+    }
+    if (out != nullptr) {
+      std::size_t r = 0;
+      for (; r + 4 <= b; r += 4)
+        _mm256_storeu_pd(out + row0 + r,
+                         _mm256_div_pd(_mm256_loadu_pd(acc + r), nt_d));
+      for (; r < b; ++r)
+        out[row0 + r] = acc[r] / static_cast<double>(nt);
+    }
+  }
+}
+
+}  // namespace napel::ml::detail
+
+#endif  // NAPEL_ML_HAVE_AVX2

@@ -1,0 +1,103 @@
+// Internal batched forest-traversal kernels (dispatch targets).
+//
+// FlatForest::predict_batch / predict_votes_batch resolve a SimdLevel
+// (common/cpuid.hpp) and call exactly one of these kernels per row range.
+// Every kernel implements the same contract over the same arena columns:
+//
+//   * rows are walked in 64-row blocks, tree-major inside the block;
+//   * per row, tree votes accumulate in tree order and the mean is the
+//     same `sum / n_trees` division — so all kernels, at any lane width,
+//     produce bit-identical doubles (traversal is pure comparisons on the
+//     same values; accumulation lanes are per-row independent);
+//   * a row that reaches a leaf early parks on the leaf's self-link
+//     (threshold +inf), which routes every comparison — including NaN
+//     features, which compare false under ordered semantics — back to the
+//     same leaf;
+//   * row counts not divisible by the lane width fall through to narrower
+//     lanes and finally a one-row early-exit walk, all of which visit the
+//     identical leaf.
+//
+// This header is deliberately intrinsics-free; the AVX2 kernel body lives
+// in flat_forest_simd_avx2.cpp, the single translation unit allowed to
+// include <immintrin.h> (enforced by tools/source_lint.py rule
+// `raw-intrinsics`), compiled with -mavx2 and only ever *called* after a
+// runtime CPU check.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace napel::ml::detail {
+
+/// One traversal node packed into a single 32-byte record: threshold,
+/// both child links, and the split feature land in the same cache line
+/// (the struct is 32-byte aligned, so a record never straddles lines).
+/// The column arena touches up to four lines per node visit — one per
+/// column array — and per-(tree, row-block) the tree's working set spills
+/// L1; the packed mirror quarters the line traffic, which is what the
+/// lane kernels and the single-row walk are actually bound by. Leaf
+/// encoding matches the columns: +inf threshold, self-linked children,
+/// feature -1. Leaf values intentionally stay in the `value` column (the
+/// cell verification tests mutate and expect every path to observe).
+struct alignas(32) PackedNode {
+  double threshold = 0.0;     // +inf at leaves
+  std::uint32_t left = 0;     // arena-absolute; self at leaves
+  std::uint32_t right = 0;
+  std::int32_t feature = -1;  // -1 = leaf
+  std::int32_t pad0 = 0;
+  double pad1 = 0.0;          // pad to one aligned 32-byte record
+};
+static_assert(sizeof(PackedNode) == 32);
+
+/// Borrowed view of a compiled FlatForest arena (see flat_forest.hpp for
+/// the column semantics). POD so the AVX2 TU needs no other ml headers.
+/// batch_scalar walks the columns (the committed reference); the portable
+/// and AVX2 kernels and the settle paths use `packed` + `value`.
+struct ForestView {
+  const std::int32_t* feature = nullptr;
+  const double* threshold = nullptr;
+  const std::uint32_t* left = nullptr;
+  const std::uint32_t* right = nullptr;
+  const double* value = nullptr;
+  const PackedNode* packed = nullptr;
+  const std::uint32_t* tree_offset = nullptr;  // n_trees + 1 entries
+  const unsigned* tree_steps = nullptr;        // lockstep depth per tree
+  std::size_t n_trees = 0;
+  std::size_t n_features = 0;
+};
+
+/// Kernel contract: walk rows [0, n_rows) of X (row-major, n_features
+/// stride). When `out` is non-null, write each row's ensemble mean to
+/// out[r]; when `votes` is non-null, write the per-tree leaf values
+/// row-major to votes[r * n_trees + t]. At least one of out/votes is
+/// non-null. Callers shard by passing offset X/out/votes pointers — a
+/// row's result never depends on which other rows share the call.
+using BatchKernel = void (*)(const ForestView& forest, const double* X,
+                             std::size_t n_rows, double* out, double* votes);
+
+/// Reference lockstep kernel (the pre-SIMD engine, unchanged): 64
+/// independent scalar row-slots stepped one level per iteration with cmov
+/// direction picks. The baseline every other level is measured against.
+void batch_scalar(const ForestView& forest, const double* X,
+                  std::size_t n_rows, double* out, double* votes);
+
+/// Plain-C++ explicit-lane kernel: 8-wide and 4-wide lane groups stamped
+/// from one template, with an all-lanes-on-leaves early exit per group.
+/// Compiles on any target; no intrinsics.
+void batch_portable(const ForestView& forest, const double* X,
+                    std::size_t n_rows, double* out, double* votes);
+
+#if defined(NAPEL_ML_HAVE_AVX2)
+/// AVX2 kernel: 8 rows per lane group (two groups in flight for ILP),
+/// gathered feature/threshold/children columns, masked child selection,
+/// early exit when every lane sits on a leaf.
+void batch_avx2(const ForestView& forest, const double* X,
+                std::size_t n_rows, double* out, double* votes);
+#endif
+
+/// True when this binary was built with the AVX2 kernel TU (compiler
+/// support + x86 target at configure time). Runtime CPU support is a
+/// separate check (napel::cpu_supports).
+bool have_avx2_kernel();
+
+}  // namespace napel::ml::detail

@@ -49,10 +49,13 @@ inline EvalResult evaluate(const Regressor& model, const Dataset& test) {
 /// Evaluates a compiled forest on a held-out dataset via one batched
 /// traversal of the dataset's feature matrix — bit-identical scores to
 /// evaluating the pointer-based forest, minus the pointer chasing.
-inline EvalResult evaluate(const FlatForest& model, const Dataset& test) {
+/// n_threads shards the traversal over the shared pool (0 = whole pool,
+/// 1 = inline); the scores are identical at any thread count.
+inline EvalResult evaluate(const FlatForest& model, const Dataset& test,
+                           unsigned n_threads = 1) {
   if (test.empty()) return {};
   std::vector<double> pred(test.size());
-  model.predict_batch(test.features(), test.size(), pred);
+  model.predict_batch(test.features(), test.size(), pred, n_threads);
   return detail::score_predictions(pred, test);
 }
 

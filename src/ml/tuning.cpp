@@ -155,7 +155,9 @@ RfTuningResult tune_random_forest(const Dataset& data,
       model.fit(train);
       // Score the held-out fold through the compiled flat arena: one
       // batched traversal instead of per-row pointer chasing, same bits.
-      mre_sum += evaluate(FlatForest(model), test).mre;
+      // Sharded over the shared pool — grid points already fan out, but
+      // the tail of the grid leaves workers idle for the shards to use.
+      mre_sum += evaluate(FlatForest(model), test, n_threads).mre;
       ++folds_used;
     }
     if (folds_used)

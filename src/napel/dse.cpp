@@ -59,24 +59,29 @@ std::vector<DsePoint> explore(const NapelModel& model,
     std::copy(f.begin(), f.end(), X.begin() + static_cast<std::ptrdiff_t>(i * p));
   }
 
-  // Candidates fan out in blocks; each block owns a per-tree vote scratch
-  // buffer and writes only its own pre-allocated DsePoint slots, so the
-  // output is bit-identical at any thread count.
+  // One sharded batch traversal of the IPC forest produces every
+  // candidate's per-tree votes (predict_votes_batch fans row blocks out
+  // over the pool and picks the SIMD kernel via runtime dispatch); the
+  // ensemble mean and the percentile band then come from each row's vote
+  // slice without touching the arena again. Votes land at (row, tree)
+  // addresses and the interval sorts each row's slice independently, so
+  // the output is bit-identical at any thread count and SIMD level.
   std::vector<DsePoint> out(n);
   const ml::FlatForest& ipc = model.ipc_flat();
+  const std::size_t nt = ipc.tree_count();
+  std::vector<double> votes(n * nt);
+  ipc.predict_votes_batch(X, n, votes, n_threads);
   constexpr std::size_t kBlock = 16;
   const std::size_t n_blocks = (n + kBlock - 1) / kBlock;
   parallel_for(n_blocks, n_threads, [&](std::size_t blk) {
-    std::vector<double> votes(ipc.tree_count());
     const std::size_t lo = blk * kBlock;
     const std::size_t hi = std::min(lo + kBlock, n);
     for (std::size_t i = lo; i < hi; ++i) {
       const std::span<const double> f{X.data() + i * p, p};
       DsePoint& pt = out[i];
       pt.arch = candidates[i];
-      // Single IPC-forest traversal: the ensemble mean and the percentile
-      // band both come from the same per-tree votes.
-      pt.ipc_interval = ipc.predict_interval(f, votes);
+      pt.ipc_interval = ml::FlatForest::interval_from_trees(
+          std::span<double>{votes.data() + i * nt, nt});
       pt.pred = model.predict_from_features(f, pt.ipc_interval.mean, instr);
     }
   });

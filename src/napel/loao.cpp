@@ -97,10 +97,10 @@ double energy_mre(const ml::Regressor& ipc_model,
 double energy_mre(const ml::FlatForest& ipc_model,
                   const ml::FlatForest& power_model,
                   const std::vector<TrainingRow>& test,
-                  std::span<const double> X) {
+                  std::span<const double> X, unsigned n_threads = 1) {
   std::vector<double> ipc_pred(test.size()), power_pred(test.size());
-  ipc_model.predict_batch(X, test.size(), ipc_pred);
-  power_model.predict_batch(X, test.size(), power_pred);
+  ipc_model.predict_batch(X, test.size(), ipc_pred, n_threads);
+  power_model.predict_batch(X, test.size(), power_pred, n_threads);
   return energy_mre_from_predictions(ipc_pred, power_pred, test);
 }
 
@@ -231,9 +231,15 @@ std::vector<LoaoAppResult> leave_one_app_out(
       // Held-out scoring runs on the compiled flat forests: the fold's
       // feature matrix is traversed in batches instead of row-by-row
       // pointer chasing, with bit-identical MREs.
-      res.perf_mre = ml::evaluate(model.ipc_flat(), test_ipc).mre;
-      res.energy_mre = energy_mre(model.ipc_flat(), model.energy_flat(),
-                                  test, test_ipc.features());
+      // Fold scoring shares the pool with the fold fan-out itself: when
+      // few folds are pending (the common LOAO tail), the batched
+      // traversal's shards keep the idle workers busy; nested waits
+      // help-execute, so this cannot deadlock.
+      res.perf_mre =
+          ml::evaluate(model.ipc_flat(), test_ipc, opts.n_threads).mre;
+      res.energy_mre =
+          energy_mre(model.ipc_flat(), model.energy_flat(), test,
+                     test_ipc.features(), opts.n_threads);
     } else {
       const ml::Dataset train_ipc = assemble_dataset(train, Target::kIpc);
       const ml::Dataset train_power =

@@ -9,12 +9,14 @@
 // arrival, so a scripted request stream sheds the same requests every run.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace napel::serve {
 
@@ -59,6 +61,46 @@ class AdmissionQueue {
     if (items_.empty()) return false;
     out = std::move(items_.front());
     items_.pop_front();
+    depth_at_pop = items_.size();
+    return true;
+  }
+
+  /// Blocks for at least one item, then drains up to `max_items` of the
+  /// backlog into `out` (admission order preserved) — the micro-batching
+  /// primitive. The batch size adapts to load by construction: an idle
+  /// server pops singletons with zero added latency, a loaded one hands
+  /// the worker the whole backlog slice in one wakeup. When `linger` is
+  /// positive and the backlog alone did not fill the batch, waits up to
+  /// that long for more arrivals (bounded latency budget; the first
+  /// request never waits longer than `linger` past its pop). Returns
+  /// false when the queue is closed and drained. `depth_at_pop` reports
+  /// the backlog left *behind* the batch — the same load signal pop()
+  /// reports, observed once for the whole batch.
+  bool pop_batch(std::vector<T>& out, std::size_t max_items,
+                 std::chrono::milliseconds linger,
+                 std::size_t& depth_at_pop) {
+    out.clear();
+    if (max_items == 0) max_items = 1;
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    const auto take = [&] {
+      while (out.size() < max_items && !items_.empty()) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+    };
+    take();
+    if (linger.count() > 0 && out.size() < max_items && !closed_) {
+      const auto until = std::chrono::steady_clock::now() + linger;
+      while (out.size() < max_items && !closed_) {
+        if (!ready_.wait_until(lock, until, [this] {
+              return closed_ || !items_.empty();
+            }))
+          break;  // linger budget spent with nothing new queued
+        take();
+      }
+    }
     depth_at_pop = items_.size();
     return true;
   }

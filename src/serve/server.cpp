@@ -278,6 +278,134 @@ JsonValue Server::do_predict(const JsonValue& request, const std::string& id,
   return resp;
 }
 
+std::vector<JsonValue> Server::do_predict_batch(std::vector<Pending>& batch,
+                                                std::size_t queue_depth) {
+  std::vector<JsonValue> out(batch.size());
+  if (batch.empty()) return out;
+  if (batch.size() >= 2) {
+    const std::lock_guard<std::mutex> lock(state_mu_);
+    ++stats_.micro_batches;
+  }
+
+  // Every fast row runs on this one snapshot (slow rows re-snapshot
+  // inside do_predict, just as they would when served individually): a
+  // concurrent reload cannot change a model under a traversal.
+  const std::shared_ptr<const ServedModel> served = slot_.snapshot();
+  const core::NapelModel& model = served->model;
+  const std::size_t n_features = model.ipc_flat().n_features();
+
+  const bool degrade_load = opts_.degrade_queue_depth > 0 &&
+                            queue_depth >= opts_.degrade_queue_depth;
+  bool breaker_closed;
+  {
+    const std::lock_guard<std::mutex> lock(state_mu_);
+    breaker_closed = breaker_ == Breaker::kClosed;
+  }
+  // Rows the batched kernel may serve: the server is in plain full-
+  // ensemble operation (breaker closed, no load degradation, no fault
+  // plan armed) and the request carries no deadline and validates
+  // cleanly. Everything else — including rows that will be *rejected* —
+  // flows through do_predict so policies and error rendering live in
+  // exactly one place.
+  const bool batchable_state =
+      breaker_closed && !degrade_load && opts_.faults == nullptr &&
+      opts_.default_deadline_ms == 0;
+  std::vector<std::size_t> fast;
+  std::vector<double> X;
+  if (batchable_state && batch.size() >= 2) {
+    fast.reserve(batch.size());
+    X.reserve(batch.size() * n_features);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const JsonValue& request = batch[i].request;
+      if (request.find("deadline_ms") != nullptr) continue;
+      if (const JsonValue* ad = request.find("allow_degraded"))
+        if (!ad->is_bool()) continue;  // do_predict renders the error
+      const JsonValue* feats = request.find("features");
+      if (feats == nullptr || !feats->is_array() ||
+          feats->items().size() != n_features)
+        continue;
+      bool numeric = true;
+      for (const JsonValue& item : feats->items())
+        if (!item.is_number()) {
+          numeric = false;
+          break;
+        }
+      if (!numeric) continue;
+      for (const JsonValue& item : feats->items())
+        X.push_back(item.as_number());
+      fast.push_back(i);
+    }
+  }
+
+  if (fast.size() >= 2) {
+    // One sharded batched traversal per forest answers every fast row —
+    // the same bits as per-request inference: predict_batch's row means
+    // match FlatForest::predict, which matches the chunked
+    // accumulate_votes sum do_predict performs.
+    const std::size_t n = fast.size();
+    std::vector<double> ipc_pred(n), power_pred(n);
+    model.ipc_flat().predict_batch(X, n, ipc_pred);
+    model.energy_flat().predict_batch(X, n, power_pred);
+    const std::size_t ipc_total = model.ipc_flat().tree_count();
+    const std::size_t power_total = model.energy_flat().tree_count();
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t i = fast[k];
+      const std::string& id = batch[i].id;
+      if (!model.ipc_bounds().contains(ipc_pred[k])) {
+        breaker_fault();
+        out[i] = render_error(
+            id, ServeError{ErrorKind::kTaskFailed,
+                           "IPC prediction escaped certified ensemble bounds",
+                           0});
+        continue;
+      }
+      if (!model.power_bounds().contains(power_pred[k])) {
+        breaker_fault();
+        out[i] = render_error(
+            id,
+            ServeError{ErrorKind::kTaskFailed,
+                       "power prediction escaped certified ensemble bounds",
+                       0});
+        continue;
+      }
+      breaker_success();
+      {
+        const std::lock_guard<std::mutex> lock(state_mu_);
+        ++stats_.served_full;
+        ++stats_.batched_predicts;
+      }
+      // Field-for-field the full-mode response do_predict renders.
+      JsonValue resp = JsonValue::object();
+      if (!id.empty()) resp.set("id", JsonValue::string(id));
+      resp.set("ok", JsonValue::boolean(true));
+      resp.set("mode", JsonValue::string("full"));
+      resp.set("ipc", JsonValue::number(ipc_pred[k]));
+      resp.set("ipc_interval",
+               interval_json({ipc_pred[k], ipc_pred[k]}));
+      resp.set("power_watts", JsonValue::number(power_pred[k]));
+      resp.set("power_interval",
+               interval_json({power_pred[k], power_pred[k]}));
+      resp.set("ipc_trees",
+               JsonValue::number(static_cast<double>(ipc_total)));
+      resp.set("power_trees",
+               JsonValue::number(static_cast<double>(power_total)));
+      resp.set("model_generation",
+               JsonValue::number(static_cast<double>(served->generation)));
+      out[i] = std::move(resp);
+    }
+  } else {
+    fast.clear();  // a lone fast row gains nothing from the batch kernel
+  }
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (!out[i].is_null()) continue;
+    out[i] =
+        do_predict(batch[i].request, batch[i].id, batch[i].admitted,
+                   queue_depth);
+  }
+  return out;
+}
+
 JsonValue Server::do_reload(const JsonValue& request, const std::string& id) {
   const JsonValue* path = request.find("model");
   if (path == nullptr || !path->is_string())
@@ -340,6 +468,8 @@ JsonValue Server::do_stats(std::size_t queue_depth) {
   resp.set("reloads_ok", num(s.reloads_ok));
   resp.set("reloads_rejected", num(s.reloads_rejected));
   resp.set("breaker_opens", num(s.breaker_opens));
+  resp.set("micro_batches", num(s.micro_batches));
+  resp.set("batched_predicts", num(s.batched_predicts));
   return resp;
 }
 
@@ -383,6 +513,41 @@ std::string Server::handle_line(const std::string& line,
   return dispatch(request, id, Clock::now(), queue_depth).dump();
 }
 
+std::vector<std::string> Server::handle_lines(
+    const std::vector<std::string>& lines, std::size_t queue_depth) {
+  const Clock::time_point now = Clock::now();
+  std::vector<std::string> out(lines.size());
+  std::vector<Pending> batch;
+  std::vector<std::size_t> slots;  // out[] position of each batched row
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    JsonValue request;
+    try {
+      request = JsonValue::parse(lines[i]);
+    } catch (const JsonParseError& e) {
+      {
+        const std::lock_guard<std::mutex> lock(state_mu_);
+        ++stats_.bad_requests;
+      }
+      out[i] = render_error("", ServeError{ErrorKind::kBadRequest,
+                                           std::string(e.what()), 0})
+                   .dump();
+      continue;
+    }
+    const std::string id = request_id(request);
+    const JsonValue* op = request.is_object() ? request.find("op") : nullptr;
+    if (op != nullptr && op->is_string() && op->as_string() == "predict") {
+      batch.push_back(Pending{std::move(request), id, now});
+      slots.push_back(i);
+    } else {
+      out[i] = dispatch(request, id, now, queue_depth).dump();
+    }
+  }
+  std::vector<JsonValue> responses = do_predict_batch(batch, queue_depth);
+  for (std::size_t k = 0; k < slots.size(); ++k)
+    out[slots[k]] = responses[k].dump();
+  return out;
+}
+
 int Server::run(Transport& transport) {
   AdmissionQueue<Pending> queue(opts_.queue_capacity, opts_.cost_hint_ms);
   std::mutex write_mu;
@@ -394,22 +559,36 @@ int Server::run(Transport& transport) {
   const unsigned n_workers = std::max(1u, opts_.n_workers);
   std::vector<std::thread> workers;
   workers.reserve(n_workers);
+  const std::size_t batch_max = std::max<std::size_t>(1, opts_.batch_max);
+  const std::chrono::milliseconds linger{opts_.batch_linger_ms};
   for (unsigned w = 0; w < n_workers; ++w) {
     workers.emplace_back([&] {
-      Pending p;
+      std::vector<Pending> slice;
       std::size_t depth = 0;
-      while (queue.pop(p, depth)) {
-        std::string resp;
+      // Each wakeup drains an admission-order slice of the backlog: a
+      // singleton under light load (identical to the per-request loop),
+      // up to batch_max coalesced requests under pressure, which
+      // do_predict_batch serves through one sharded traversal per
+      // forest. Responses go out in slice order under one writer hold,
+      // so with one worker the stream stays a deterministic function of
+      // the request stream.
+      while (queue.pop_batch(slice, batch_max, linger, depth)) {
+        std::vector<std::string> resps(slice.size());
         try {
-          resp = do_predict(p.request, p.id, p.admitted, depth).dump();
+          std::vector<JsonValue> rendered = do_predict_batch(slice, depth);
+          for (std::size_t i = 0; i < rendered.size(); ++i)
+            resps[i] = rendered[i].dump();
         } catch (const std::exception& e) {
-          // do_predict handles inference faults itself; this guards the
-          // worker against anything else so the drain loop never dies.
-          resp = render_error(p.id, ServeError{ErrorKind::kTaskFailed,
+          // do_predict_batch handles inference faults itself; this guards
+          // the worker against anything else so the drain loop never dies.
+          for (std::size_t i = 0; i < slice.size(); ++i)
+            resps[i] = render_error(slice[i].id,
+                                    ServeError{ErrorKind::kTaskFailed,
                                                std::string(e.what()), 0})
-                     .dump();
+                           .dump();
         }
-        emit(resp);
+        const std::lock_guard<std::mutex> lock(write_mu);
+        for (const std::string& r : resps) transport.write_line(r);
       }
     });
   }

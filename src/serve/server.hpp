@@ -40,6 +40,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "serve/json.hpp"
 #include "serve/model_slot.hpp"
@@ -93,6 +94,17 @@ struct ServerOptions {
   std::size_t degrade_queue_depth = 0;
   /// Trees evaluated per forest when load-degraded.
   std::size_t degrade_trees = 16;
+  /// Max predict requests a worker coalesces into one micro-batch at
+  /// dequeue. Coalesced full-ensemble rows share one sharded batched
+  /// traversal per forest (FlatForest::predict_batch) instead of
+  /// per-request tree chunking; responses are identical either way.
+  /// 1 = per-request dispatch.
+  std::size_t batch_max = 16;
+  /// How long a worker lingers for more arrivals when the backlog alone
+  /// did not fill a micro-batch, in milliseconds. 0 (the default) batches
+  /// only what is already queued, adding no latency; small values trade
+  /// first-request latency for larger batches under a trickle load.
+  std::uint32_t batch_linger_ms = 0;
   /// Consecutive inference faults that trip the circuit breaker.
   int breaker_threshold = 5;
   /// Open-state responses served (as certified-bounds midpoints) before
@@ -122,6 +134,8 @@ struct ServeStats {
   std::uint64_t reloads_ok = 0;
   std::uint64_t reloads_rejected = 0;
   std::uint64_t breaker_opens = 0;
+  std::uint64_t micro_batches = 0;    ///< coalesced batches (>= 2 requests)
+  std::uint64_t batched_predicts = 0; ///< rows served via the batched kernel
 };
 
 class Server {
@@ -140,6 +154,16 @@ class Server {
   /// Exactly the function run()'s workers execute, so unit tests and the
   /// bench exercise the real serving path without threads.
   std::string handle_line(const std::string& line, std::size_t queue_depth = 0);
+
+  /// Batch entry point: handles `lines` as one admission slice — predict
+  /// requests coalesce into a single micro-batch (see do_predict_batch),
+  /// other ops dispatch in place — and returns one response per line, in
+  /// order. Every response is byte-identical to handle_line on the same
+  /// line; this is the function run()'s workers execute on a pop_batch
+  /// slice, exposed so tests and the bench drive the real batch path
+  /// without threads.
+  std::vector<std::string> handle_lines(const std::vector<std::string>& lines,
+                                        std::size_t queue_depth = 0);
 
   ServeStats stats_snapshot() const;
   std::shared_ptr<const ServedModel> model_snapshot() const {
@@ -167,6 +191,16 @@ class Server {
                      Clock::time_point admitted, std::size_t queue_depth);
   JsonValue do_predict(const JsonValue& request, const std::string& id,
                        Clock::time_point admitted, std::size_t queue_depth);
+
+  /// Serves a coalesced micro-batch, one response per request, in
+  /// admission order. Rows eligible for full-ensemble inference (no
+  /// deadline armed, no load/breaker degradation, no fault plan, valid
+  /// features) share one sharded predict_batch traversal per forest;
+  /// every other row — degraded, deadlined, invalid — takes the exact
+  /// per-request do_predict path, so batching never changes a response,
+  /// only the work layout.
+  std::vector<JsonValue> do_predict_batch(std::vector<Pending>& batch,
+                                          std::size_t queue_depth);
   JsonValue do_reload(const JsonValue& request, const std::string& id);
   JsonValue do_stats(std::size_t queue_depth);
   JsonValue bad_request(const std::string& id, std::string message);

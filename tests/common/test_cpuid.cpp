@@ -1,0 +1,87 @@
+// SIMD dispatch-level resolution (common/cpuid.hpp).
+//
+// These tests run inside the CI NAPEL_SIMD matrix, so they never assume
+// the environment variable is unset: expectations that involve the env
+// layer are computed from getenv("NAPEL_SIMD") itself.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "common/cpuid.hpp"
+
+namespace napel {
+namespace {
+
+/// Clears any override installed by a test body, even on assertion exit.
+struct OverrideGuard {
+  ~OverrideGuard() { set_simd_level_override(std::nullopt); }
+};
+
+TEST(Cpuid, NamesAndParseRoundTrip) {
+  for (const SimdLevel level :
+       {SimdLevel::kScalar, SimdLevel::kPortable, SimdLevel::kAvx2}) {
+    EXPECT_EQ(parse_simd_level(simd_level_name(level)), level);
+  }
+  EXPECT_STREQ(simd_level_name(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(simd_level_name(SimdLevel::kPortable), "portable");
+  EXPECT_STREQ(simd_level_name(SimdLevel::kAvx2), "avx2");
+}
+
+TEST(Cpuid, ParseRejectsUnknownNamesLoudly) {
+  for (const char* bad : {"", "AVX2", "sse", "avx512", "scalar ", "auto"}) {
+    EXPECT_THROW((void)parse_simd_level(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(Cpuid, ScalarAndPortableAlwaysExecutable) {
+  EXPECT_TRUE(cpu_supports(SimdLevel::kScalar));
+  EXPECT_TRUE(cpu_supports(SimdLevel::kPortable));
+  EXPECT_GE(max_cpu_simd_level(), SimdLevel::kPortable);
+  EXPECT_EQ(cpu_supports(SimdLevel::kAvx2),
+            max_cpu_simd_level() == SimdLevel::kAvx2);
+}
+
+TEST(Cpuid, ClampNeverRaisesAndKeepsSupportedLevels) {
+  const SimdLevel max = max_cpu_simd_level();
+  for (const SimdLevel req :
+       {SimdLevel::kScalar, SimdLevel::kPortable, SimdLevel::kAvx2}) {
+    const SimdLevel got = clamp_to_cpu(req);
+    EXPECT_LE(got, req);          // never clamps up
+    EXPECT_LE(got, max);          // never exceeds the hardware
+    EXPECT_TRUE(cpu_supports(got));
+    if (cpu_supports(req)) {
+      EXPECT_EQ(got, req);  // a supported request is untouched
+    }
+  }
+}
+
+TEST(Cpuid, OverrideBeatsEnvironmentAndClearsCleanly) {
+  const OverrideGuard guard;
+  for (const SimdLevel req :
+       {SimdLevel::kScalar, SimdLevel::kPortable, SimdLevel::kAvx2}) {
+    set_simd_level_override(req);
+    EXPECT_EQ(resolved_simd_level(), clamp_to_cpu(req))
+        << simd_level_name(req);
+  }
+
+  // With the override cleared, resolution falls back to NAPEL_SIMD when
+  // the CI matrix exported it, else to the CPU maximum.
+  set_simd_level_override(std::nullopt);
+  SimdLevel expected = max_cpu_simd_level();
+  if (const char* env = std::getenv("NAPEL_SIMD"); env != nullptr) {
+    expected = clamp_to_cpu(parse_simd_level(env));
+  }
+  EXPECT_EQ(resolved_simd_level(), expected);
+}
+
+TEST(Cpuid, ResolvedLevelIsAlwaysExecutable) {
+  const OverrideGuard guard;
+  set_simd_level_override(SimdLevel::kAvx2);  // may exceed the hardware
+  EXPECT_TRUE(cpu_supports(resolved_simd_level()));
+}
+
+}  // namespace
+}  // namespace napel

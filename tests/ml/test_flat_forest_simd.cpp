@@ -1,0 +1,245 @@
+// SIMD dispatch and sharding determinism for the flat-forest engine.
+//
+// The contract under test (ml/forest_kernels.hpp): every traversal kernel
+// — scalar lockstep, portable chain-refill, AVX2 gather (when compiled in
+// and the CPU has it) — produces bit-identical doubles at every thread
+// count, for every forest shape, including non-finite features and row
+// counts that do not fill a lane group. The matrix test trains a forest
+// per registered workload kernel so the sweep covers real NAPEL tree
+// shapes, not just one synthetic distribution.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/cpuid.hpp"
+#include "common/rng.hpp"
+#include "ml/flat_forest.hpp"
+#include "ml/random_forest.hpp"
+#include "napel/napel_model.hpp"
+#include "napel/pipeline.hpp"
+#include "workloads/registry.hpp"
+
+namespace napel::ml {
+namespace {
+
+::testing::AssertionResult bits_eq(double a, double b) {
+  if (std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b))
+    return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << a << " != " << b << " (bit patterns differ)";
+}
+
+::testing::AssertionResult vectors_memcmp_eq(const std::vector<double>& a,
+                                             const std::vector<double>& b) {
+  if (a.size() != b.size())
+    return ::testing::AssertionFailure() << "size mismatch";
+  if (a.empty() ||
+      std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0)
+    return ::testing::AssertionSuccess();
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (std::bit_cast<std::uint64_t>(a[i]) !=
+        std::bit_cast<std::uint64_t>(b[i]))
+      return ::testing::AssertionFailure()
+             << "first divergence at [" << i << "]: " << a[i]
+             << " != " << b[i];
+  return ::testing::AssertionFailure() << "memcmp differs";
+}
+
+/// The levels this process can actually execute: scalar and portable
+/// always, avx2 when the kernel TU is compiled in and the CPU has it.
+std::vector<SimdLevel> available_levels() {
+  std::vector<SimdLevel> ls{SimdLevel::kScalar, SimdLevel::kPortable};
+  if (FlatForest::simd_kernel_available(SimdLevel::kAvx2))
+    ls.push_back(SimdLevel::kAvx2);
+  return ls;
+}
+
+double response(std::span<const double> x) {
+  return 2.0 * x[0] * x[1] + std::sin(3.0 * x[2]) + 0.5 * x[3] * x[3];
+}
+
+Dataset make_data(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  Dataset d(4);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> x = {rng.uniform(-1, 1), rng.uniform(-1, 1),
+                             rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    d.add_row(x, response(x) + 5.0);
+  }
+  return d;
+}
+
+FlatForest fitted_flat(std::uint64_t seed, unsigned n_trees = 20) {
+  RandomForestParams p;
+  p.n_trees = n_trees;
+  p.seed = seed;
+  RandomForest rf(p);
+  rf.fit(make_data(seed, 300));
+  return FlatForest(rf);
+}
+
+std::vector<double> random_rows(std::uint64_t seed, std::size_t n_rows,
+                                std::size_t n_features) {
+  Rng rng(seed);
+  std::vector<double> X(n_rows * n_features);
+  for (double& v : X) v = rng.uniform(-1.5, 1.5);
+  return X;
+}
+
+/// Reference = per-row traverse (FlatForest::predict), the simplest
+/// possible walk; every kernel × thread-count combination must reproduce
+/// it bit-for-bit.
+void expect_all_levels_match_per_row(const FlatForest& flat,
+                                     const std::vector<double>& X,
+                                     std::size_t n_rows) {
+  const std::size_t nf = flat.n_features();
+  std::vector<double> ref(n_rows);
+  for (std::size_t r = 0; r < n_rows; ++r)
+    ref[r] = flat.predict(std::span<const double>{X.data() + r * nf, nf});
+  for (const SimdLevel level : available_levels()) {
+    for (const unsigned threads : {1u, 4u}) {
+      std::vector<double> out(n_rows);
+      flat.predict_batch(X, n_rows, out, threads, level);
+      EXPECT_TRUE(vectors_memcmp_eq(out, ref))
+          << "level=" << simd_level_name(level) << " threads=" << threads
+          << " rows=" << n_rows;
+    }
+  }
+}
+
+TEST(FlatForestSimd, DispatchMatrixOverRegisteredKernelForests) {
+  // One trained forest per registered workload kernel (paper suite +
+  // extended): tree shapes differ per kernel's profile distribution, and
+  // every (level, threads) pair must agree bitwise on each of them.
+  std::vector<const workloads::Workload*> kernels;
+  for (const auto* w : workloads::all_workloads()) kernels.push_back(w);
+  for (const auto* w : workloads::extended_workloads()) kernels.push_back(w);
+  ASSERT_FALSE(kernels.empty());
+
+  core::CollectOptions o;
+  o.scale = workloads::Scale::kTiny;
+  o.archs_per_config = 1;
+  o.arch_pool_size = 2;
+  for (const auto* w : kernels) {
+    std::vector<core::TrainingRow> rows;
+    core::collect_training_data(*w, o, rows);
+    ASSERT_FALSE(rows.empty()) << w->name();
+    const Dataset data = core::assemble_dataset(rows, core::Target::kIpc);
+    RandomForestParams p;
+    p.n_trees = 10;
+    p.seed = 42;
+    RandomForest rf(p);
+    rf.fit(data);
+    const FlatForest flat(rf);
+    // Probe rows beyond the training matrix so leaves on both sides of
+    // every split get exercised; odd count leaves a sub-lane tail.
+    std::vector<double> X{data.features().begin(), data.features().end()};
+    const std::vector<double> extra =
+        random_rows(7, 37, flat.n_features());
+    X.insert(X.end(), extra.begin(), extra.end());
+    const std::size_t n_rows = X.size() / flat.n_features();
+    expect_all_levels_match_per_row(flat, X, n_rows);
+  }
+}
+
+TEST(FlatForestSimd, NonFiniteFeaturesAgreeBitwiseAcrossLevels) {
+  const FlatForest flat = fitted_flat(11);
+  const std::size_t nf = flat.n_features();
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // 70 rows (8 full lane groups + a 6-row tail): every feature position
+  // carries NaN, +inf and -inf somewhere, plus all-NaN and all-inf rows.
+  std::vector<double> X = random_rows(23, 70, nf);
+  for (std::size_t f = 0; f < nf; ++f) {
+    X[(3 * f + 0) * nf + f] = kNan;
+    X[(3 * f + 1) * nf + f] = kInf;
+    X[(3 * f + 2) * nf + f] = -kInf;
+  }
+  for (std::size_t f = 0; f < nf; ++f) {
+    X[64 * nf + f] = kNan;   // all-NaN row in the tail
+    X[65 * nf + f] = kInf;   // all-+inf row in the tail
+    X[66 * nf + f] = -kInf;  // all--inf row in the tail
+  }
+  expect_all_levels_match_per_row(flat, X, 70);
+
+  // NaN routes right at every split (x <= thr is false), identically in
+  // the scalar compare and the vector _CMP_LE_OQ compare: the all-NaN
+  // prediction equals walking every tree's rightmost spine.
+  std::vector<double> nan_row(nf, kNan);
+  const double nan_pred = flat.predict(nan_row);
+  EXPECT_TRUE(std::isfinite(nan_pred));
+}
+
+TEST(FlatForestSimd, NonLaneDivisibleRowCountsAgreeAtEveryLevel) {
+  const FlatForest flat = fitted_flat(5);
+  const std::size_t nf = flat.n_features();
+  // Around every boundary the kernels care about: lane width 8, row block
+  // 64, and the shard granularity (64 rows).
+  for (const std::size_t n_rows :
+       {std::size_t{1}, std::size_t{2}, std::size_t{7}, std::size_t{8},
+        std::size_t{9}, std::size_t{15}, std::size_t{17}, std::size_t{63},
+        std::size_t{64}, std::size_t{65}, std::size_t{127},
+        std::size_t{129}, std::size_t{200}}) {
+    const std::vector<double> X = random_rows(1000 + n_rows, n_rows, nf);
+    expect_all_levels_match_per_row(flat, X, n_rows);
+  }
+}
+
+TEST(FlatForestSimd, VotesBatchMatchesPerRowTraversalAtEveryLevel) {
+  const FlatForest flat = fitted_flat(17);
+  const std::size_t nf = flat.n_features();
+  const std::size_t nt = flat.tree_count();
+  const std::size_t n_rows = 67;  // sub-lane tail included
+  const std::vector<double> X = random_rows(99, n_rows, nf);
+
+  std::vector<double> ref(n_rows * nt);
+  for (std::size_t r = 0; r < n_rows; ++r)
+    flat.predict_all_trees(
+        std::span<const double>{X.data() + r * nf, nf},
+        std::span<double>{ref.data() + r * nt, nt});
+
+  for (const SimdLevel level : available_levels()) {
+    for (const unsigned threads : {1u, 4u}) {
+      std::vector<double> votes(n_rows * nt);
+      flat.predict_votes_batch(X, n_rows, votes, threads, level);
+      EXPECT_TRUE(vectors_memcmp_eq(votes, ref))
+          << "level=" << simd_level_name(level) << " threads=" << threads;
+    }
+  }
+}
+
+TEST(FlatForestSimd, ProgrammaticOverridePinsDefaultDispatch) {
+  const FlatForest flat = fitted_flat(29);
+  const std::size_t nf = flat.n_features();
+  const std::size_t n_rows = 40;
+  const std::vector<double> X = random_rows(3, n_rows, nf);
+
+  std::vector<double> pinned(n_rows), expl(n_rows);
+  for (const SimdLevel level : available_levels()) {
+    set_simd_level_override(level);
+    flat.predict_batch(X, n_rows, pinned);  // default level -> override
+    flat.predict_batch(X, n_rows, expl, 1, level);
+    set_simd_level_override(std::nullopt);
+    EXPECT_TRUE(vectors_memcmp_eq(pinned, expl))
+        << "override=" << simd_level_name(level);
+  }
+
+  // Overriding with a level the process cannot execute clamps down
+  // instead of faulting: kAvx2 without the kernel TU / CPU support runs
+  // the portable kernel, and the bits still match.
+  set_simd_level_override(SimdLevel::kAvx2);
+  flat.predict_batch(X, n_rows, pinned);
+  set_simd_level_override(std::nullopt);
+  for (std::size_t r = 0; r < n_rows; ++r)
+    EXPECT_TRUE(bits_eq(
+        pinned[r],
+        flat.predict(std::span<const double>{X.data() + r * nf, nf})));
+}
+
+}  // namespace
+}  // namespace napel::ml

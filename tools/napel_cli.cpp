@@ -19,8 +19,14 @@
 //              [--trace FILE] [--journal FILE] [--forest FILE [--space W]]
 //              [--disable rule,rule] [--max-per-rule N]
 //   napel serve -m <model-file> [--queue N] [--workers N] [--deadline-ms N]
-//               [--degrade-depth N] [--degrade-trees N] [--breaker N]
-//               [--breaker-cooldown N] [--state FILE]
+//               [--degrade-depth N] [--degrade-trees N] [--batch N]
+//               [--batch-linger-ms N] [--breaker N] [--breaker-cooldown N]
+//               [--state FILE]
+//
+// Every command accepts --simd scalar|portable|avx2 to pin the flat-forest
+// traversal kernel, overriding both the NAPEL_SIMD environment variable
+// and CPU autodetection (an unavailable level falls back to the best the
+// CPU supports; results are bit-identical at every level).
 //
 // `lint` with only artifact flags (--model/--csv/--trace/--journal/--forest)
 // and no --apps skips the kernel-stream sweep and validates just the named
@@ -51,6 +57,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cpuid.hpp"
 #include "common/csv.hpp"
 #include "common/fault_injection.hpp"
 #include "common/shutdown.hpp"
@@ -625,6 +632,9 @@ int cmd_serve(const Args& a) {
       static_cast<std::uint32_t>(parse_u64(a, "deadline-ms", 0));
   sopt.degrade_queue_depth = parse_u64(a, "degrade-depth", 0);
   sopt.degrade_trees = parse_u64(a, "degrade-trees", 16);
+  sopt.batch_max = parse_u64(a, "batch", 16);
+  sopt.batch_linger_ms =
+      static_cast<std::uint32_t>(parse_u64(a, "batch-linger-ms", 0));
   sopt.breaker_threshold = static_cast<int>(parse_u64(a, "breaker", 5));
   sopt.breaker_cooldown =
       static_cast<int>(parse_u64(a, "breaker-cooldown", 16));
@@ -680,10 +690,13 @@ int usage() {
                "       [--max-per-rule N]   verify kernels + artifacts;\n"
                "       artifact flags alone skip the kernel sweep\n"
                "  serve -m FILE [--queue N] [--workers N] [--deadline-ms N]\n"
-               "        [--degrade-depth N] [--degrade-trees N] [--breaker N]\n"
+               "        [--degrade-depth N] [--degrade-trees N] [--batch N]\n"
+               "        [--batch-linger-ms N] [--breaker N]\n"
                "        [--breaker-cooldown N] [--state FILE]\n"
                "        line-delimited JSON prediction server on stdin/stdout;\n"
-               "        SIGTERM/SIGINT drain gracefully (exit 4)\n");
+               "        SIGTERM/SIGINT drain gracefully (exit 4)\n"
+               "  any command: --simd scalar|portable|avx2 pins the\n"
+               "        flat-forest traversal kernel (results identical)\n");
   return 1;
 }
 
@@ -692,6 +705,11 @@ int usage() {
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
   try {
+    // Kernel pin applies process-wide, before any command touches a
+    // forest: serve, dse, predict and loao all route through the same
+    // dispatch (common/cpuid.hpp), and the override outranks NAPEL_SIMD.
+    if (const auto it = args.options.find("simd"); it != args.options.end())
+      set_simd_level_override(parse_simd_level(it->second));
     if (args.command == "list") return cmd_list();
     if (args.command == "doe") return cmd_doe(args);
     if (args.command == "collect") return cmd_collect(args);

@@ -13,6 +13,12 @@ reaches for ambient entropy, so this lint bans the hazards outright:
   random-device   std::random_device — per-run hardware entropy
   build-stamp     __DATE__ / __TIME__ / __TIMESTAMP__ — binaries that
                   differ by build time break artifact comparison
+  raw-intrinsics  _mm*/__m256/immintrin.h outside the dedicated SIMD
+                  translation unit — vector code must live in the one TU
+                  built with -mavx2 behind runtime dispatch (scattering
+                  intrinsics lets the compiler emit AVX2 in code paths
+                  that run on CPUs without it, and dodges the kernels'
+                  bit-identity contract)
 
 A line can opt out with an inline justification marker:
 
@@ -57,6 +63,18 @@ RULES = {
         "build-time stamps make binaries differ by build; derive any "
         "versioning from source, not the clock",
     ),
+    "raw-intrinsics": (
+        re.compile(r"(?<!\w)(?:_mm\d*_\w+|__m(?:128|256|512)[a-z]*|"
+                   r"(?:imm|x86|avx)intrin\.h)"),
+        "x86 intrinsics belong in the dedicated SIMD TU "
+        "(src/ml/flat_forest_simd_avx2.cpp) built with -mavx2 behind "
+        "runtime dispatch; see forest_kernels.hpp for the kernel contract",
+    ),
+}
+
+# rule id -> repo-relative paths where the hazard is the point of the file.
+RULE_EXEMPT_PATHS = {
+    "raw-intrinsics": {"src/ml/flat_forest_simd_avx2.cpp"},
 }
 
 ALLOW = re.compile(r"napel-lint:\s*allow\(([a-z-]+)\)")
@@ -99,18 +117,27 @@ def lint_file(path: Path) -> list[str]:
         text = path.read_text(encoding="utf-8", errors="replace")
     except OSError as e:
         return [f"{path}: unreadable: {e}"]
+    rel = (
+        path.relative_to(REPO_ROOT)
+        if path.is_relative_to(REPO_ROOT)
+        else path
+    )
+    exempt_rules = {
+        rule
+        for rule, paths in RULE_EXEMPT_PATHS.items()
+        if str(rel) in paths
+    }
     in_block = False
     for lineno, raw in enumerate(text.splitlines(), start=1):
         allowed = set(ALLOW.findall(raw))
         code, in_block = strip_noise(raw, in_block)
         for rule, (pattern, why) in RULES.items():
-            if rule in allowed or not pattern.search(code):
+            if (
+                rule in allowed
+                or rule in exempt_rules
+                or not pattern.search(code)
+            ):
                 continue
-            rel = (
-                path.relative_to(REPO_ROOT)
-                if path.is_relative_to(REPO_ROOT)
-                else path
-            )
             findings.append(
                 f"{rel}:{lineno}: [{rule}] {why}\n    {raw.strip()}"
             )
