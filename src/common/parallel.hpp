@@ -159,4 +159,56 @@ void parallel_for(std::size_t n, unsigned n_threads, Body&& body,
   group.wait();
 }
 
+/// Executor count parallel_for_slotted(n, n_threads, ...) uses: the number
+/// of distinct `slot` values its body can observe, i.e. the size of a
+/// per-slot scratch array. Mirrors parallel_for's fan-out decision exactly.
+inline std::size_t parallel_slot_count(std::size_t n, unsigned n_threads) {
+  if (n == 0) return 0;
+  const unsigned workers = effective_threads(n_threads);
+  if (workers <= 1 || n == 1) return 1;
+  return std::min<std::size_t>(workers, n);
+}
+
+/// parallel_for variant whose body receives (slot, i): `slot` identifies
+/// the claiming executor, in [0, parallel_slot_count(n, n_threads)), and
+/// is stable for that executor across every iteration it claims — so the
+/// body can reuse slot-indexed scratch buffers (bootstrap samples, fit
+/// workspaces) without per-iteration allocation. Iterations are still
+/// claimed dynamically, so determinism requires the same discipline as
+/// parallel_for (write only to i-indexed output state); slot-indexed state
+/// is scratch, never output. The serial path always passes slot 0.
+template <typename Body>
+void parallel_for_slotted(std::size_t n, unsigned n_threads, Body&& body,
+                          ThreadPool* pool_ptr = nullptr) {
+  if (n == 0) return;
+  const unsigned workers =
+      pool_ptr && n_threads == 0 ? pool_ptr->size() : effective_threads(n_threads);
+  if (workers <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(std::size_t{0}, i);
+    return;
+  }
+  ThreadPool& pool = pool_ptr ? *pool_ptr : ThreadPool::global();
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> cancelled{false};
+  const std::size_t n_tasks = std::min<std::size_t>(workers, n);
+  TaskGroup group(pool);
+  for (std::size_t t = 0; t < n_tasks; ++t) {
+    group.run([&next, &cancelled, n, &body, t] {
+      for (;;) {
+        if (cancelled.load(std::memory_order_relaxed)) return;
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        try {
+          body(t, i);
+        } catch (...) {
+          cancelled.store(true, std::memory_order_relaxed);
+          throw;
+        }
+      }
+    });
+  }
+  group.wait();
+}
+
 }  // namespace napel

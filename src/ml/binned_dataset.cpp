@@ -1,0 +1,92 @@
+#include "ml/binned_dataset.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+
+namespace napel::ml {
+
+namespace {
+
+/// Per-feature binning result, staged so features can bin concurrently and
+/// be flattened into the shared tables sequentially afterwards.
+struct FeatureBins {
+  std::vector<double> edges;  // upper edge per bin (ascending)
+};
+
+}  // namespace
+
+BinnedDataset::BinnedDataset(const Dataset& data, unsigned n_threads) {
+  NAPEL_CHECK_MSG(!data.empty(), "cannot bin an empty dataset");
+  n_ = data.size();
+  p_ = data.n_features();
+  codes_.resize(p_ * n_);
+  y_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) y_[i] = data.target(i);
+
+  std::vector<FeatureBins> per_feature(p_);
+  parallel_for(p_, n_threads, [&](std::size_t f) {
+    // Gather the column once (the source dataset is row-major), then rank
+    // rows by value; equal values always share a code, so the sort needs
+    // no tie-break to be deterministic.
+    std::vector<double> col(n_);
+    for (std::size_t i = 0; i < n_; ++i) col[i] = data.row(i)[f];
+    std::vector<std::uint32_t> ord(n_);
+    std::iota(ord.begin(), ord.end(), std::uint32_t{0});
+    std::sort(ord.begin(), ord.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return col[a] < col[b];
+    });
+
+    // Count distinct values. With <= kMaxBins of them, one bin per value:
+    // the binning is lossless and every exact-mode threshold survives.
+    std::size_t distinct = 1;
+    for (std::size_t k = 1; k < n_; ++k)
+      if (col[ord[k]] != col[ord[k - 1]]) ++distinct;
+
+    BinCode* codes = codes_.data() + f * n_;
+    FeatureBins& out = per_feature[f];
+    if (distinct <= kMaxBins) {
+      std::size_t b = 0;
+      for (std::size_t k = 0; k < n_; ++k) {
+        if (k > 0 && col[ord[k]] != col[ord[k - 1]]) ++b;
+        codes[ord[k]] = static_cast<BinCode>(b);
+        if (out.edges.size() == b) out.edges.push_back(col[ord[k]]);
+      }
+      return;
+    }
+
+    // Quantile merge: close bin b once its cumulative row count reaches
+    // the ideal boundary ceil(n·(b+1)/kMaxBins), always at a distinct-value
+    // boundary so a bin never splits a value run. The final bin absorbs
+    // the tail, so at most kMaxBins bins exist and each is nonempty.
+    std::size_t b = 0;
+    std::size_t k = 0;
+    while (k < n_) {
+      std::size_t run_end = k + 1;
+      while (run_end < n_ && col[ord[run_end]] == col[ord[k]]) ++run_end;
+      for (std::size_t r = k; r < run_end; ++r)
+        codes[ord[r]] = static_cast<BinCode>(b);
+      if (out.edges.size() == b) out.edges.push_back(col[ord[k]]);
+      out.edges[b] = col[ord[k]];  // extend the bin's edge to the last run
+      const std::size_t boundary = (n_ * (b + 1) + kMaxBins - 1) / kMaxBins;
+      if (run_end >= boundary && b + 1 < kMaxBins) ++b;
+      k = run_end;
+    }
+  });
+
+  offsets_.resize(p_ + 1);
+  offsets_[0] = 0;
+  for (std::size_t f = 0; f < p_; ++f) {
+    NAPEL_CHECK(!per_feature[f].edges.empty() &&
+                per_feature[f].edges.size() <= kMaxBins);
+    offsets_[f + 1] = offsets_[f] + per_feature[f].edges.size();
+  }
+  edges_.reserve(offsets_[p_]);
+  for (std::size_t f = 0; f < p_; ++f)
+    edges_.insert(edges_.end(), per_feature[f].edges.begin(),
+                  per_feature[f].edges.end());
+}
+
+}  // namespace napel::ml

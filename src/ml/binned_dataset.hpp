@@ -1,0 +1,77 @@
+// Quantile-binned feature matrix for histogram tree training (the
+// LightGBM-style preprocessing step): every feature is discretized once
+// per training run into at most 256 ordinal codes, so per-node split
+// finding degrades from scanning sorted rows to accumulating tiny
+// fixed-size histograms (see ml/hist_split.hpp).
+//
+// Layout is SoA column-major — one contiguous u8 code column per feature —
+// because the histogram build streams whole columns per node. Bin edges
+// are *actual data values* (the largest value mapped into the bin), so a
+// split "code <= b" is exactly the predicate "x <= upper_edge(b)" on raw
+// features; when a feature has <= 256 distinct values the binning is
+// lossless and hist-mode splits land on the same thresholds exact mode
+// picks (the equivalence the test suite pins down).
+//
+// This header and hist_split.hpp are the only places allowed to do raw
+// bin-code arithmetic (enforced by tools/source_lint.py, rule
+// raw-bin-codes); everything else consumes the higher-level tree-building
+// API.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace napel::ml {
+
+class BinnedDataset {
+ public:
+  /// Ordinal per-feature bin code; kMaxBins keeps it one byte.
+  using BinCode = std::uint8_t;
+  static constexpr std::size_t kMaxBins = 256;
+
+  /// Bins every feature of `data`. Features are binned independently and
+  /// concurrently (n_threads: 0 = process-wide pool, 1 = serial); the
+  /// resulting codes and edges are identical at any thread count.
+  explicit BinnedDataset(const Dataset& data, unsigned n_threads = 1);
+
+  std::size_t n_rows() const { return n_; }
+  std::size_t n_features() const { return p_; }
+
+  /// Bins actually used by feature f (1 for a constant column).
+  std::size_t n_bins(std::size_t f) const {
+    return offsets_[f + 1] - offsets_[f];
+  }
+
+  /// Column-major code column of feature f (n_rows entries).
+  std::span<const BinCode> codes(std::size_t f) const {
+    return {codes_.data() + f * n_, n_};
+  }
+
+  /// Largest dataset value mapped into bin b of feature f — the threshold
+  /// a cut after bin b splits on ("x <= edge" keeps exactly bins [0, b]).
+  double bin_upper_edge(std::size_t f, std::size_t b) const {
+    return edges_[offsets_[f] + b];
+  }
+
+  /// Offset of feature f's bin range inside a flat all-feature histogram
+  /// of total_bins() entries (hist_split's arena layout).
+  std::size_t bin_offset(std::size_t f) const { return offsets_[f]; }
+  std::size_t total_bins() const { return offsets_[p_]; }
+
+  /// Training targets, copied once so tree builders never touch the
+  /// row-major source dataset again.
+  std::span<const double> targets() const { return y_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t p_ = 0;
+  std::vector<BinCode> codes_;        // p columns of n codes
+  std::vector<std::size_t> offsets_;  // p+1 prefix sums of per-feature bins
+  std::vector<double> edges_;         // flat per-bin upper edges
+  std::vector<double> y_;
+};
+
+}  // namespace napel::ml

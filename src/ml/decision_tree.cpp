@@ -9,8 +9,21 @@
 #include <string>
 
 #include "common/check.hpp"
+#include "ml/binned_dataset.hpp"
+#include "ml/hist_split.hpp"
 
 namespace napel::ml {
+
+std::string_view split_mode_name(SplitMode mode) {
+  return mode == SplitMode::kHist ? "hist" : "exact";
+}
+
+SplitMode parse_split_mode(std::string_view token) {
+  if (token == "exact") return SplitMode::kExact;
+  if (token == "hist") return SplitMode::kHist;
+  throw std::invalid_argument("unknown split mode: '" + std::string(token) +
+                              "' (expected exact|hist)");
+}
 
 DecisionTree::DecisionTree(TreeParams params) : params_(params) {
   NAPEL_CHECK(params_.max_depth >= 1);
@@ -19,42 +32,52 @@ DecisionTree::DecisionTree(TreeParams params) : params_(params) {
   NAPEL_CHECK(params_.mtry_fraction > 0.0 && params_.mtry_fraction <= 1.0);
 }
 
-/// Sort-free training scratch, allocated once per fit() and reused by every
-/// node. `order` holds one index column per feature, sorted at the root by
-/// (feature value, target) and maintained in that order down the tree by
-/// stable partitioning — a subsequence of a sorted sequence is sorted, so
-/// best_split never sorts (or allocates) again. The (value, target) sort
-/// key reproduces the historical per-node `std::sort` of (value, target)
-/// pairs exactly: target sums therefore accumulate in the same order and
-/// every split score is bit-identical to the sorting implementation.
-struct DecisionTree::FitWorkspace {
-  std::size_t n = 0;                     // dataset rows
-  std::size_t p = 0;                     // features
-  std::vector<std::uint32_t> order;      // p columns of n row ids
-  std::vector<std::uint32_t> scratch;    // stable-partition spill (n)
-  std::vector<unsigned char> goes_left;  // per-row split side (n)
-  std::vector<double> col;               // column-major feature copy (p * n)
-  std::vector<double> y;                 // target copy (n)
-};
-
 void DecisionTree::fit(const Dataset& data) {
   NAPEL_CHECK_MSG(!data.empty(), "cannot fit on an empty dataset");
+  std::vector<std::uint32_t> rows(data.size());
+  std::iota(rows.begin(), rows.end(), std::uint32_t{0});
+  if (params_.split_mode == SplitMode::kHist) {
+    const BinnedDataset binned(data, params_.n_threads);
+    HistTreeBuilder builder;
+    fit_hist(binned, rows, builder);
+    return;
+  }
+  TreeFitScratch scratch;
+  fit_rows(data, rows, scratch);
+}
+
+/// Exact mode is sort-free: the scratch is filled once per fit and reused
+/// by every node. `order` holds one index column per feature, sorted at
+/// the root by (feature value, target) and maintained in that order down
+/// the tree by stable partitioning — a subsequence of a sorted sequence is
+/// sorted, so best_split never sorts (or allocates) again. The
+/// (value, target) sort key reproduces the historical per-node `std::sort`
+/// of (value, target) pairs exactly: target sums therefore accumulate in
+/// the same order and every split score is bit-identical to the sorting
+/// implementation. Gathering through `rows` instead of fitting a
+/// materialized Dataset::subset copy is equally bit-identical — the copy
+/// produced exactly these columns.
+void DecisionTree::fit_rows(const Dataset& data,
+                            std::span<const std::uint32_t> rows,
+                            TreeFitScratch& ws) {
+  NAPEL_CHECK_MSG(params_.split_mode == SplitMode::kExact,
+                  "fit_rows is the exact-mode engine");
+  NAPEL_CHECK_MSG(!rows.empty(), "cannot fit on an empty row set");
   nodes_.clear();
   n_features_ = data.n_features();
   importance_.assign(n_features_, 0.0);
-  const std::size_t n = data.size();
+  const std::size_t n = rows.size();
   const std::size_t p = n_features_;
   std::vector<std::size_t> idx(n);
   std::iota(idx.begin(), idx.end(), std::size_t{0});
 
-  FitWorkspace ws;
   ws.n = n;
   ws.p = p;
   ws.col.resize(p * n);
   ws.y.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    ws.y[i] = data.target(i);
-    const std::span<const double> row = data.row(i);
+    ws.y[i] = data.target(rows[i]);
+    const std::span<const double> row = data.row(rows[i]);
     for (std::size_t f = 0; f < p; ++f) ws.col[f * n + i] = row[f];
   }
   ws.order.resize(p * n);
@@ -71,11 +94,41 @@ void DecisionTree::fit(const Dataset& data) {
   ws.goes_left.assign(n, 0);
 
   Rng rng(params_.seed);
-  build(data, idx, ws, 0, n, 0, rng);
+  build(idx, ws, 0, n, 0, rng);
+}
+
+void DecisionTree::fit_hist(const BinnedDataset& binned,
+                            std::span<const std::uint32_t> rows,
+                            HistTreeBuilder& builder) {
+  NAPEL_CHECK_MSG(params_.split_mode == SplitMode::kHist,
+                  "fit_hist is the hist-mode engine");
+  std::vector<HistNode> flat;
+  builder.build(binned, rows, params_, params_.n_threads, flat, importance_);
+  n_features_ = binned.n_features();
+
+  // Relabel the builder's BFS array into DFS preorder — the order exact
+  // mode emits, the order save()/load() enforce (children follow their
+  // parent), and the order FlatForest compilation assumes.
+  nodes_.clear();
+  nodes_.reserve(flat.size());
+  const auto copy_preorder = [&](const auto& self,
+                                 std::int32_t old_id) -> std::uint32_t {
+    const auto id = static_cast<std::uint32_t>(nodes_.size());
+    const HistNode& src = flat[static_cast<std::size_t>(old_id)];
+    nodes_.push_back(Node{.feature = src.feature,
+                          .threshold = src.threshold,
+                          .value = src.value});
+    if (src.feature >= 0) {
+      nodes_[id].left = self(self, src.left);
+      nodes_[id].right = self(self, src.right);
+    }
+    return id;
+  };
+  copy_preorder(copy_preorder, 0);
 }
 
 std::optional<DecisionTree::SplitChoice> DecisionTree::best_split(
-    const FitWorkspace& ws, std::span<const std::size_t> idx,
+    const TreeFitScratch& ws, std::span<const std::size_t> idx,
     std::size_t begin, std::size_t end, Rng& rng) const {
   const std::size_t n = end - begin;
   const std::size_t p = ws.p;
@@ -151,9 +204,8 @@ std::optional<DecisionTree::SplitChoice> DecisionTree::best_split(
   return best;
 }
 
-std::uint32_t DecisionTree::build(const Dataset& data,
-                                  std::vector<std::size_t>& idx,
-                                  FitWorkspace& ws, std::size_t begin,
+std::uint32_t DecisionTree::build(std::vector<std::size_t>& idx,
+                                  TreeFitScratch& ws, std::size_t begin,
                                   std::size_t end, unsigned depth, Rng& rng) {
   const std::size_t n = end - begin;
   NAPEL_CHECK(n >= 1);
@@ -161,7 +213,7 @@ std::uint32_t DecisionTree::build(const Dataset& data,
   nodes_.push_back(Node{});
 
   double mean = 0.0;
-  for (std::size_t k = begin; k < end; ++k) mean += data.target(idx[k]);
+  for (std::size_t k = begin; k < end; ++k) mean += ws.y[idx[k]];
   mean /= static_cast<double>(n);
   nodes_[node_id].value = mean;
 
@@ -172,12 +224,11 @@ std::uint32_t DecisionTree::build(const Dataset& data,
       best_split(ws, {idx.data() + begin, n}, begin, end, rng);
   if (!choice) return node_id;
 
+  const double* split_col = ws.col.data() + choice->feature * ws.n;
   const auto mid_it = std::partition(
       idx.begin() + static_cast<std::ptrdiff_t>(begin),
       idx.begin() + static_cast<std::ptrdiff_t>(end),
-      [&](std::size_t i) {
-        return data.row(i)[choice->feature] <= choice->threshold;
-      });
+      [&](std::size_t i) { return split_col[i] <= choice->threshold; });
   const auto mid = static_cast<std::size_t>(mid_it - idx.begin());
   // The split came from actual value boundaries, so both sides are nonempty.
   NAPEL_CHECK(mid > begin && mid < end);
@@ -205,8 +256,8 @@ std::uint32_t DecisionTree::build(const Dataset& data,
   }
 
   importance_[choice->feature] += choice->sse_reduction;
-  const std::uint32_t left = build(data, idx, ws, begin, mid, depth + 1, rng);
-  const std::uint32_t right = build(data, idx, ws, mid, end, depth + 1, rng);
+  const std::uint32_t left = build(idx, ws, begin, mid, depth + 1, rng);
+  const std::uint32_t right = build(idx, ws, mid, end, depth + 1, rng);
   nodes_[node_id].feature = static_cast<std::int32_t>(choice->feature);
   nodes_[node_id].threshold = choice->threshold;
   nodes_[node_id].left = left;

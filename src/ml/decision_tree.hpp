@@ -6,12 +6,17 @@
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
+#include <span>
 #include <stdexcept>
+#include <string_view>
 #include <vector>
 
 #include "ml/regressor.hpp"
 
 namespace napel::ml {
+
+class BinnedDataset;    // ml/binned_dataset.hpp
+class HistTreeBuilder;  // ml/hist_split.hpp
 
 /// Thrown by DecisionTree::load (and hence RandomForest / model loading)
 /// when a file's node links do not form a proper forward-only tree: a child
@@ -23,6 +28,22 @@ class TreeTopologyError : public std::invalid_argument {
   using std::invalid_argument::invalid_argument;
 };
 
+/// Split-finding engine selector. Exact mode scans presorted rows and is
+/// the historical default; hist mode quantile-bins features into <= 256
+/// codes (ml/binned_dataset.hpp) and scans per-node histograms instead
+/// (ml/hist_split.hpp) — much faster, with in-tree parallelism. Both are
+/// deterministic and bit-identical at any thread count; they coincide
+/// node-for-node at mtry_fraction == 1.0 when features have <= 256
+/// distinct values (hist consumes the per-node feature draw in BFS rather
+/// than DFS order, so subsampled trees legitimately differ).
+enum class SplitMode : std::uint8_t { kExact, kHist };
+
+/// Canonical token for serialization and the CLI ("exact" / "hist").
+std::string_view split_mode_name(SplitMode mode);
+/// Inverse of split_mode_name; throws std::invalid_argument on any other
+/// token (also the v2 forest-format validation path).
+SplitMode parse_split_mode(std::string_view token);
+
 struct TreeParams {
   unsigned max_depth = 24;
   std::size_t min_samples_split = 4;
@@ -31,6 +52,27 @@ struct TreeParams {
   /// < 1.0 = random-subspace node splits for forest decorrelation.
   double mtry_fraction = 1.0;
   std::uint64_t seed = 1;
+  SplitMode split_mode = SplitMode::kExact;
+  /// Worker threads for hist-mode in-tree level expansion: 0 =
+  /// process-wide pool, 1 = serial. Scheduling only — never serialized,
+  /// and the fitted tree is identical at any value. Exact mode is always
+  /// single-threaded per tree (the forest parallelizes across trees).
+  unsigned n_threads = 1;
+};
+
+/// Reusable exact-mode training scratch (one per fitting worker):
+/// presorted per-feature index columns maintained by stable partitioning,
+/// a column-major feature copy, and partition buffers. Opaque — only
+/// DecisionTree::fit_rows reads or writes it; holding one across fits
+/// recycles the allocations.
+struct TreeFitScratch {
+  std::size_t n = 0;                     // fitted rows
+  std::size_t p = 0;                     // features
+  std::vector<std::uint32_t> order;      // p columns of n row ids
+  std::vector<std::uint32_t> scratch;    // stable-partition spill (n)
+  std::vector<unsigned char> goes_left;  // per-row split side (n)
+  std::vector<double> col;               // column-major feature copy (p * n)
+  std::vector<double> y;                 // target copy (n)
 };
 
 class DecisionTree final : public Regressor {
@@ -38,6 +80,20 @@ class DecisionTree final : public Regressor {
   explicit DecisionTree(TreeParams params = {});
 
   void fit(const Dataset& data) override;
+
+  /// Exact-mode fit over a row view of `data`: `rows` are dataset row
+  /// indices (repeats allowed — the bootstrap case), gathered into the
+  /// scratch instead of materializing a copied dataset. Bit-identical to
+  /// fit() on Dataset::subset(rows). Requires split_mode == kExact.
+  void fit_rows(const Dataset& data, std::span<const std::uint32_t> rows,
+                TreeFitScratch& scratch);
+
+  /// Histogram-mode fit over a shared binned matrix (rows as above); the
+  /// builder is reusable worker scratch. Requires split_mode == kHist.
+  void fit_hist(const BinnedDataset& binned,
+                std::span<const std::uint32_t> rows,
+                HistTreeBuilder& builder);
+
   double predict(std::span<const double> x) const override;
   bool is_fitted() const override { return !nodes_.empty(); }
 
@@ -73,20 +129,15 @@ class DecisionTree final : public Regressor {
     double value = 0.0;  // mean of training targets in this subspace
   };
 
-  /// Per-fit scratch: presorted per-feature index columns maintained by
-  /// stable partitioning, a column-major feature copy, and reusable
-  /// partition buffers (see decision_tree.cpp).
-  struct FitWorkspace;
-
-  std::uint32_t build(const Dataset& data, std::vector<std::size_t>& idx,
-                      FitWorkspace& ws, std::size_t begin, std::size_t end,
-                      unsigned depth, Rng& rng);
+  std::uint32_t build(std::vector<std::size_t>& idx, TreeFitScratch& ws,
+                      std::size_t begin, std::size_t end, unsigned depth,
+                      Rng& rng);
   struct SplitChoice {
     std::size_t feature;
     double threshold;
     double sse_reduction;
   };
-  std::optional<SplitChoice> best_split(const FitWorkspace& ws,
+  std::optional<SplitChoice> best_split(const TreeFitScratch& ws,
                                         std::span<const std::size_t> idx,
                                         std::size_t begin, std::size_t end,
                                         Rng& rng) const;

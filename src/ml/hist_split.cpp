@@ -1,0 +1,436 @@
+#include "ml/hist_split.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+
+namespace napel::ml {
+
+namespace {
+
+/// Features per histogram-build task: small enough that a wide level fans
+/// across every worker, large enough that a task amortizes its dispatch.
+constexpr std::size_t kFeatureBlock = 16;
+
+/// Minimum rows × features of per-level work before the level fans out to
+/// the pool at all; below this the dispatch overhead dominates. Purely a
+/// scheduling knob — results are bit-identical either way.
+constexpr std::size_t kMinParallelWork = std::size_t{1} << 14;
+
+/// Row count at and above which a node takes the dense arena path — and
+/// only when mtry == p. A dense build must cover every feature (a derived
+/// child's mtry draw is unknown when its parent materializes), so at
+/// mtry < p it would accumulate p columns to save a sibling's mtry-column
+/// rebuild — a guaranteed loss — while below kMaxBins rows the full-width
+/// arena passes (O(n_bins) zero + scan, O(total_bins) subtraction) cost
+/// more than re-accumulating the rows. Build-path choice is a pure
+/// function of row counts and mtry, so trees stay deterministic.
+constexpr std::size_t kDenseMinRows = BinnedDataset::kMaxBins;
+
+/// 256-bit occupancy mask over one feature's bins.
+constexpr std::size_t kMaskWords = BinnedDataset::kMaxBins / 64;
+static_assert(BinnedDataset::kMaxBins % 64 == 0);
+
+}  // namespace
+
+HistTreeBuilder::Totals HistTreeBuilder::totals_of(std::span<const double> y,
+                                                   std::size_t begin,
+                                                   std::size_t end) const {
+  // Row order matches exact mode's per-node scans, so node values (and the
+  // numerical-guard SSE) carry identical bits.
+  Totals t;
+  t.count = end - begin;
+  for (std::size_t k = begin; k < end; ++k) {
+    const double v = y[idx_[k]];
+    t.sum += v;
+    t.sum2 += v * v;
+  }
+  return t;
+}
+
+void HistTreeBuilder::build(const BinnedDataset& binned,
+                            std::span<const std::uint32_t> rows,
+                            const TreeParams& params, unsigned n_threads,
+                            std::vector<HistNode>& nodes,
+                            std::vector<double>& importance) {
+  NAPEL_CHECK_MSG(!rows.empty(), "cannot fit on an empty row set");
+  const std::size_t n = rows.size();
+  const std::size_t p = binned.n_features();
+  const std::size_t total_bins = binned.total_bins();
+  const std::span<const double> y = binned.targets();
+
+  nodes.clear();
+  importance.assign(p, 0.0);
+  idx_.assign(rows.begin(), rows.end());
+
+  Rng rng(params.seed);
+  std::size_t mtry = static_cast<std::size_t>(
+      std::ceil(params.mtry_fraction * static_cast<double>(p)));
+  mtry = std::clamp<std::size_t>(mtry, 1, p);
+
+  const Totals root = totals_of(y, 0, n);
+  nodes.push_back(
+      HistNode{.value = root.sum / static_cast<double>(root.count)});
+  items_.clear();
+  if (n >= params.min_samples_split) {
+    Item it;
+    it.node = 0;
+    it.begin = 0;
+    it.end = static_cast<std::uint32_t>(n);
+    it.depth = 0;
+    it.totals = root;
+    items_.push_back(it);
+  }
+
+  const std::size_t n_fblocks = (p + kFeatureBlock - 1) / kFeatureBlock;
+  std::vector<Candidate> chosen;
+  std::vector<std::uint32_t> direct;
+  std::vector<std::uint32_t> derived;
+  std::vector<std::uint32_t> iota(p);
+  for (std::size_t f = 0; f < p; ++f) iota[f] = static_cast<std::uint32_t>(f);
+  std::vector<std::uint32_t> pool(p);
+  unsigned parity = 0;
+
+  while (!items_.empty()) {
+    Arena& cur = arenas_[parity & 1];
+    const Arena& prev = arenas_[(parity ^ 1) & 1];
+
+    // Targets in idx_ order for this level's partition of the rows: the
+    // accumulate loops below read them sequentially instead of chasing
+    // y[idx_[k]] per row per feature. Same values, same bits.
+    gathered_y_.resize(n);
+    for (std::size_t k = 0; k < n; ++k) gathered_y_[k] = y[idx_[k]];
+
+    // Classify items and hand arena slots to the dense ones: nodes that
+    // derive here, plus nodes large enough to seed a derivation below.
+    // Everything else takes the arena-free sparse path in phase D.
+    std::size_t level_rows = 0;
+    std::uint32_t n_dense = 0;
+    direct.clear();
+    derived.clear();
+    for (std::uint32_t i = 0; i < items_.size(); ++i) {
+      Item& it = items_[i];
+      const std::size_t k = it.end - it.begin;
+      level_rows += k;
+      const bool dense =
+          it.parent_slot >= 0 || (mtry == p && k >= kDenseMinRows);
+      it.arena_slot = dense ? static_cast<std::int32_t>(n_dense++) : -1;
+      if (!dense) continue;
+      (it.parent_slot >= 0 ? derived : direct).push_back(i);
+    }
+    cur.resize(static_cast<std::size_t>(n_dense) * total_bins);
+
+    // Level fan-out gate: total accumulate/scan work this level.
+    const unsigned fan =
+        (n_threads == 1 || level_rows * p < kMinParallelWork) ? 1 : n_threads;
+
+    // Phase A — direct dense histogram builds, fanned
+    // (node × feature-block).
+    parallel_for(direct.size() * n_fblocks, fan, [&](std::size_t task) {
+      const Item& it = items_[direct[task / n_fblocks]];
+      const std::size_t f0 = (task % n_fblocks) * kFeatureBlock;
+      const std::size_t f1 = std::min(p, f0 + kFeatureBlock);
+      const std::size_t base =
+          static_cast<std::size_t>(it.arena_slot) * total_bins;
+      for (std::size_t f = f0; f < f1; ++f) {
+        const std::span<const BinnedDataset::BinCode> codes = binned.codes(f);
+        const std::size_t off = base + binned.bin_offset(f);
+        const std::size_t nb = binned.n_bins(f);
+        std::fill_n(cur.count.begin() + static_cast<std::ptrdiff_t>(off), nb,
+                    0U);
+        std::fill_n(cur.sum.begin() + static_cast<std::ptrdiff_t>(off), nb,
+                    0.0);
+        for (std::size_t k = it.begin; k < it.end; ++k) {
+          const std::size_t b = off + codes[idx_[k]];
+          cur.count[b] += 1;
+          cur.sum[b] += gathered_y_[k];
+        }
+      }
+    });
+
+    // Phase B — derived siblings: parent − sibling, bin by bin. u32 counts
+    // subtract exactly; FP subtraction is deterministic, and *which* child
+    // derives is decided by row counts (smaller builds directly, ties go
+    // left), so the bins never depend on scheduling.
+    parallel_for(derived.size() * n_fblocks, fan, [&](std::size_t task) {
+      const Item& it = items_[derived[task / n_fblocks]];
+      const std::size_t f0 = (task % n_fblocks) * kFeatureBlock;
+      const std::size_t f1 = std::min(p, f0 + kFeatureBlock);
+      const std::size_t b0 = binned.bin_offset(f0);
+      const std::size_t b1 = f1 == p ? total_bins : binned.bin_offset(f1);
+      const std::size_t dst =
+          static_cast<std::size_t>(it.arena_slot) * total_bins;
+      const std::size_t par =
+          static_cast<std::size_t>(it.parent_slot) * total_bins;
+      const std::size_t sib =
+          static_cast<std::size_t>(
+              items_[static_cast<std::size_t>(it.sibling_item)].arena_slot) *
+          total_bins;
+      for (std::size_t j = b0; j < b1; ++j) {
+        cur.count[dst + j] = prev.count[par + j] - cur.count[sib + j];
+        cur.sum[dst + j] = prev.sum[par + j] - cur.sum[sib + j];
+      }
+    });
+
+    // Phase C — per-node feature draws, sequential in level (BFS) order so
+    // the tree RNG stream is independent of threading. Same partial
+    // Fisher–Yates exact mode uses; at mtry == p nothing is drawn. Every
+    // item draws the same count, so phase D can index feats_ uniformly.
+    feats_.resize(items_.size() * mtry);
+    for (std::uint32_t i = 0; i < items_.size(); ++i) {
+      Item& it = items_[i];
+      const std::size_t base = static_cast<std::size_t>(i) * mtry;
+      it.feats_begin = static_cast<std::uint32_t>(base);
+      it.feats_count = static_cast<std::uint32_t>(mtry);
+      std::uint32_t* dst = feats_.data() + base;
+      if (mtry < p) {
+        // Partial Fisher–Yates over a scratch pool reset from the identity
+        // permutation: the RNG stream and the drawn set match the
+        // fill-then-truncate formulation bit for bit.
+        std::copy(iota.begin(), iota.end(), pool.begin());
+        for (std::size_t k = 0; k < mtry; ++k) {
+          const std::size_t j = k + rng.uniform_index(p - k);
+          std::swap(pool[k], pool[j]);
+        }
+        std::copy_n(pool.begin(), mtry, dst);
+      } else {
+        std::copy(iota.begin(), iota.end(), dst);
+      }
+    }
+
+    // Phase D — per-(node, feature) scans into private candidate slots,
+    // fanned as (node × feature-block) tasks so task setup amortizes over
+    // kFeatureBlock features while wide levels still spread across the
+    // pool. The scan mirrors exact mode's boundary walk: cuts exist only
+    // after nonempty bins with a nonempty right side, min_samples_leaf
+    // filters both sides, and the variance-reduction score is maximized
+    // with a strict > (first best wins). Dense nodes walk their arena
+    // histogram; sparse nodes fuse accumulate + scan + re-zero through a
+    // per-executor kMaxBins scratch guided by an occupancy bitmask,
+    // touching only the bins their rows occupy. Both paths fold per-bin
+    // row-order sums in ascending bin order, so a node's candidates carry
+    // the same bits whichever path built it (modulo derived histograms'
+    // subtraction bits).
+    // Every task stores its slots unconditionally, so cand_ only needs
+    // capacity, not a zero fill.
+    if (cand_.size() < feats_.size()) cand_.resize(feats_.size());
+    const std::size_t n_sblocks = (mtry + kFeatureBlock - 1) / kFeatureBlock;
+    const std::size_t n_scan_tasks = items_.size() * n_sblocks;
+    const std::size_t n_slots = parallel_slot_count(n_scan_tasks, fan);
+    if (sparse_.size() < n_slots) sparse_.resize(n_slots);
+    for (SparseScratch& s : sparse_)
+      if (s.cell.empty()) s.cell.assign(BinnedDataset::kMaxBins, SparseCell{});
+    parallel_for_slotted(
+        n_scan_tasks, fan, [&](std::size_t slot, std::size_t task) {
+          const Item& it = items_[task / n_sblocks];
+          const std::size_t k0 = (task % n_sblocks) * kFeatureBlock;
+          const std::size_t k1 =
+              std::min<std::size_t>(it.feats_count, k0 + kFeatureBlock);
+          const std::size_t n_node = it.totals.count;
+          const double total_sum = it.totals.sum;
+          const double parent_score =
+              total_sum * total_sum / static_cast<double>(n_node);
+          const std::size_t msl = params.min_samples_leaf;
+          SparseScratch& s = sparse_[slot];
+          for (std::size_t fk = k0; fk < k1; ++fk) {
+            const std::size_t gi = it.feats_begin + fk;
+            const std::size_t f = feats_[gi];
+            Candidate c;
+            std::size_t left_cnt = 0;
+            double left_sum = 0.0;
+            const auto consider = [&](std::size_t b, std::uint32_t cb,
+                                      double sb) {
+              left_cnt += cb;
+              left_sum += sb;
+              if (left_cnt < msl || n_node - left_cnt < msl) return;
+              const double right_sum = total_sum - left_sum;
+              const double nl = static_cast<double>(left_cnt);
+              const double nr = static_cast<double>(n_node - left_cnt);
+              const double children_score =
+                  left_sum * left_sum / nl + right_sum * right_sum / nr;
+              const double reduction = children_score - parent_score;
+              if (!c.valid || reduction > c.reduction) {
+                c.valid = true;
+                c.reduction = reduction;
+                c.threshold = binned.bin_upper_edge(f, b);
+                c.feature = static_cast<std::uint32_t>(f);
+                c.bin = static_cast<std::uint32_t>(b);
+              }
+            };
+
+            if (it.arena_slot >= 0) {
+              const std::size_t off =
+                  static_cast<std::size_t>(it.arena_slot) * total_bins +
+                  binned.bin_offset(f);
+              const std::size_t nb = binned.n_bins(f);
+              std::size_t first = nb;
+              std::size_t last = nb;
+              for (std::size_t b = 0; b < nb; ++b)
+                if (cur.count[off + b] != 0) {
+                  first = b;
+                  break;
+                }
+              for (std::size_t b = nb; b-- > 0;)
+                if (cur.count[off + b] != 0) {
+                  last = b;
+                  break;
+                }
+              if (first < last) {
+                for (std::size_t b = first; b < last; ++b) {
+                  const std::uint32_t cb = cur.count[off + b];
+                  if (cb == 0) continue;
+                  consider(b, cb, cur.sum[off + b]);
+                }
+              }
+            } else {
+              const std::span<const BinnedDataset::BinCode> codes =
+                  binned.codes(f);
+              std::uint64_t mask[kMaskWords] = {};
+              for (std::size_t k = it.begin; k < it.end; ++k) {
+                const std::size_t b = codes[idx_[k]];
+                SparseCell& cell = s.cell[b];
+                cell.count += 1;
+                cell.sum += gathered_y_[k];
+                mask[b >> 6] |= std::uint64_t{1} << (b & 63);
+              }
+              // Highest occupied bin: a cut there would empty the right
+              // side, so it closes the walk without emitting a candidate.
+              std::size_t last = 0;
+              for (std::size_t w = kMaskWords; w-- > 0;)
+                if (mask[w] != 0) {
+                  last = w * 64 + 63 -
+                         static_cast<std::size_t>(std::countl_zero(mask[w]));
+                  break;
+                }
+              for (std::size_t w = 0; w < kMaskWords; ++w) {
+                std::uint64_t m = mask[w];
+                while (m != 0) {
+                  const std::size_t b =
+                      w * 64 + static_cast<std::size_t>(std::countr_zero(m));
+                  m &= m - 1;
+                  SparseCell& cell = s.cell[b];
+                  const std::uint32_t cb = cell.count;
+                  const double sb = cell.sum;
+                  cell = SparseCell{};  // restore the all-zero invariant
+                  if (b != last) consider(b, cb, sb);
+                }
+              }
+            }
+            cand_[gi] = c;
+          }
+        });
+
+    // Phase E — cross-feature argmax, sequential per node in the drawn
+    // feature order (strict >, so the earliest-drawn best feature wins —
+    // the same tie-break exact mode's single-pass loop applies), then the
+    // numerical guard exact mode uses.
+    chosen.assign(items_.size(), Candidate{});
+    for (std::uint32_t i = 0; i < items_.size(); ++i) {
+      const Item& it = items_[i];
+      Candidate best;
+      for (std::uint32_t k = 0; k < it.feats_count; ++k) {
+        const Candidate& c = cand_[it.feats_begin + k];
+        if (!c.valid) continue;
+        if (!best.valid || c.reduction > best.reduction) best = c;
+      }
+      const double cnt = static_cast<double>(it.totals.count);
+      const double parent_sse =
+          it.totals.sum2 - it.totals.sum * it.totals.sum / cnt;
+      if (best.valid && best.reduction <= 1e-12 * (parent_sse + 1.0))
+        best.valid = false;
+      chosen[i] = best;
+    }
+
+    // Phase F — partition each split node's idx_ range in place. Ranges
+    // are disjoint and the predicate "code <= bin" equals exact mode's
+    // "value <= threshold" row for row, so the permutation matches too.
+    parallel_for(items_.size(), fan, [&](std::size_t i) {
+      if (!chosen[i].valid) return;
+      Item& it = items_[i];
+      const std::span<const BinnedDataset::BinCode> codes =
+          binned.codes(chosen[i].feature);
+      const auto bin = static_cast<BinnedDataset::BinCode>(chosen[i].bin);
+      const auto mid_it =
+          std::partition(idx_.begin() + it.begin, idx_.begin() + it.end,
+                         [&](std::uint32_t r) { return codes[r] <= bin; });
+      it.mid = static_cast<std::uint32_t>(mid_it - idx_.begin());
+    });
+
+    // Phase G — commit splits sequentially in level order: importance
+    // sums, child nodes (BFS ids), and next-level work items.
+    next_items_.clear();
+    for (std::uint32_t i = 0; i < items_.size(); ++i) {
+      if (!chosen[i].valid) continue;  // node stays a leaf
+      const Item& it = items_[i];
+      const Candidate& c = chosen[i];
+      NAPEL_CHECK(it.mid > it.begin && it.mid < it.end);
+      importance[c.feature] += c.reduction;
+
+      const Totals lt = totals_of(y, it.begin, it.mid);
+      const Totals rt = totals_of(y, it.mid, it.end);
+      const auto left_id = static_cast<std::int32_t>(nodes.size());
+      nodes.push_back(
+          HistNode{.value = lt.sum / static_cast<double>(lt.count)});
+      const auto right_id = static_cast<std::int32_t>(nodes.size());
+      nodes.push_back(
+          HistNode{.value = rt.sum / static_cast<double>(rt.count)});
+      nodes[it.node].feature = static_cast<std::int32_t>(c.feature);
+      nodes[it.node].threshold = c.threshold;
+      nodes[it.node].left = left_id;
+      nodes[it.node].right = right_id;
+
+      const unsigned cd = it.depth + 1;
+      const bool l_eval =
+          cd < params.max_depth && lt.count >= params.min_samples_split;
+      const bool r_eval =
+          cd < params.max_depth && rt.count >= params.min_samples_split;
+      if (!l_eval && !r_eval) continue;
+
+      Item left;
+      left.node = static_cast<std::uint32_t>(left_id);
+      left.begin = it.begin;
+      left.end = it.mid;
+      left.depth = cd;
+      left.totals = lt;
+      Item right;
+      right.node = static_cast<std::uint32_t>(right_id);
+      right.begin = it.mid;
+      right.end = it.end;
+      right.depth = cd;
+      right.totals = rt;
+      if (l_eval && r_eval) {
+        const auto li = static_cast<std::int32_t>(next_items_.size());
+        const auto ri = li + 1;
+        // Subtraction needs a parent histogram in the arena and a dense
+        // sibling to materialize the full-width minuend's counterpart, so
+        // only splits whose smaller child is itself dense derive. The
+        // smaller child (ties to the left) accumulates directly; its
+        // sibling derives via subtraction in phase B next level.
+        if (it.arena_slot >= 0 &&
+            std::min(lt.count, rt.count) >= kDenseMinRows) {
+          if (lt.count <= rt.count) {
+            right.parent_slot = it.arena_slot;
+            right.sibling_item = li;
+          } else {
+            left.parent_slot = it.arena_slot;
+            left.sibling_item = ri;
+          }
+        }
+        next_items_.push_back(left);
+        next_items_.push_back(right);
+      } else if (l_eval) {
+        next_items_.push_back(left);
+      } else {
+        next_items_.push_back(right);
+      }
+    }
+
+    items_.swap(next_items_);
+    parity ^= 1;
+  }
+}
+
+}  // namespace napel::ml

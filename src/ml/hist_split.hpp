@@ -1,0 +1,154 @@
+// Histogram split engine: trains one CART regression tree over a
+// BinnedDataset by breadth-first level expansion.
+//
+// Per node, every feature's (count, Σy) histogram is accumulated over the
+// node's rows — O(rows · features) with u8 code loads — and the best
+// variance-reduction cut falls out of a scan over the nonempty bins. Two
+// build paths share that scan, chosen per node by row count alone:
+//
+//   * dense (rows >= kMaxBins): the node owns a total_bins()-wide slot in
+//     a per-level arena. Of a dense split's two dense children only the
+//     smaller one is accumulated from rows; the larger is derived
+//     bin-by-bin as parent − sibling (the classic subtraction trick,
+//     halving histogram work where nodes are large enough for the
+//     full-width pass to pay for itself).
+//   * sparse (rows < kMaxBins): the node never touches the arena. Each
+//     (node, feature) scan accumulates into a 256-entry per-executor
+//     scratch plus a 256-bit occupancy mask, walks only the set bits, and
+//     re-zeroes exactly what it touched — per-node cost stays O(rows ·
+//     features) instead of O(total_bins), which is what makes histogram
+//     mode fast on the small DoE matrices NAPEL trains on.
+//
+// Within a level, (node × feature-block) builds, sibling subtractions,
+// per-(node, feature) scans and node partitions all fan out over the
+// shared pool; every task writes only its own slot and all floating-point
+// reductions (cross-feature argmax, importance, child stats) run
+// sequentially in a fixed order, so the built tree is bit-identical at any
+// thread count — the determinism contract the rest of the repo enforces
+// (common/parallel.hpp). The dense/sparse choice depends only on row
+// counts, never on scheduling. Sparse and dense-direct scans accumulate
+// identical bits (per-bin sums in row order, folded in ascending bin
+// order); a derived histogram's sums carry subtraction bits instead, which
+// is deterministic but may steer floating-point score ties differently
+// than a direct build would.
+//
+// Divergence from exact mode, by design: the per-node mtry feature draw
+// consumes the tree RNG in breadth-first node order (exact mode recurses
+// depth-first), so hist and exact trees only coincide at
+// mtry_fraction == 1.0 where no draw happens. Split scores also accumulate
+// in bin order rather than row order, so score *bits* may differ from
+// exact mode even when the chosen splits are identical.
+//
+// This file and binned_dataset.* are the only places allowed to touch raw
+// bin codes (tools/source_lint.py, rule raw-bin-codes); DecisionTree
+// consumes the engine through build() below.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/binned_dataset.hpp"
+#include "ml/decision_tree.hpp"
+
+namespace napel::ml {
+
+/// Flat tree node in builder (breadth-first) order; DecisionTree relabels
+/// the array into its canonical depth-first preorder before serving it.
+struct HistNode {
+  std::int32_t feature = -1;  // -1 = leaf
+  double threshold = 0.0;
+  std::int32_t left = -1;
+  std::int32_t right = -1;
+  double value = 0.0;  // mean of training targets in this subspace
+};
+
+/// Reusable histogram tree builder. One instance per worker: holds the
+/// row-index array, ping-pong histogram arenas, sparse scan scratch and
+/// candidate slots, all recycled across trees so a forest fit never
+/// reallocates per tree.
+class HistTreeBuilder {
+ public:
+  explicit HistTreeBuilder() = default;
+
+  /// Fits one tree on `rows` (bootstrap row indices into `binned`, repeats
+  /// allowed) and emits BFS-ordered nodes plus per-feature SSE-reduction
+  /// importance. `n_threads` fans the per-level work (0 = process-wide
+  /// pool, 1 = serial); the output never depends on it.
+  void build(const BinnedDataset& binned, std::span<const std::uint32_t> rows,
+             const TreeParams& params, unsigned n_threads,
+             std::vector<HistNode>& nodes, std::vector<double>& importance);
+
+ private:
+  struct Totals {
+    std::size_t count = 0;
+    double sum = 0.0;
+    double sum2 = 0.0;
+  };
+
+  /// One node awaiting processing at the current level.
+  struct Item {
+    std::uint32_t node = 0;          // index into the output node array
+    std::uint32_t begin = 0;         // idx_ range [begin, end)
+    std::uint32_t end = 0;
+    std::int32_t parent_slot = -1;   // parent's slot in the *previous*
+                                     // level's arena (>= 0 => derive here)
+    std::int32_t sibling_item = -1;  // sibling's item index in *this* level
+    std::int32_t arena_slot = -1;    // this node's slot, -1 = sparse path
+    unsigned depth = 0;
+    Totals totals;
+    // Filled during level processing:
+    std::uint32_t feats_begin = 0;  // range into feats_ drawn for this node
+    std::uint32_t feats_count = 0;
+    std::uint32_t mid = 0;          // partition point after a chosen split
+  };
+
+  /// Flat (count, Σy) histograms: one total_bins()-wide slot per *dense*
+  /// level item, SoA so the subtraction pass streams linearly. Sparse
+  /// items never get a slot, so the arena stays a few slots deep even on
+  /// wide levels.
+  struct Arena {
+    std::vector<std::uint32_t> count;
+    std::vector<double> sum;
+    void resize(std::size_t entries) {
+      count.resize(entries);
+      sum.resize(entries);
+    }
+  };
+
+  /// Per-executor scratch for sparse scans: kMaxBins-wide histogram kept
+  /// all-zero between tasks (each task re-zeroes the bins its occupancy
+  /// mask says it touched). (Σy, count) interleave into one 16-byte cell
+  /// so each row update touches a single cache line.
+  struct SparseCell {
+    double sum = 0.0;
+    std::uint32_t count = 0;
+  };
+  struct SparseScratch {
+    std::vector<SparseCell> cell;
+  };
+
+  /// Per-(node, feature) scan result staged for the sequential reduction.
+  struct Candidate {
+    double reduction = 0.0;
+    double threshold = 0.0;
+    std::uint32_t feature = 0;
+    std::uint32_t bin = 0;
+    bool valid = false;
+  };
+
+  Totals totals_of(std::span<const double> y, std::size_t begin,
+                   std::size_t end) const;
+
+  std::vector<std::uint32_t> idx_;
+  std::vector<double> gathered_y_;  // y[idx_[k]], re-gathered per level
+  Arena arenas_[2];
+  std::vector<Item> items_;
+  std::vector<Item> next_items_;
+  std::vector<std::uint32_t> feats_;
+  std::vector<Candidate> cand_;
+  std::vector<SparseScratch> sparse_;
+};
+
+}  // namespace napel::ml

@@ -1,17 +1,36 @@
 #include "ml/random_forest.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <istream>
 #include <limits>
+#include <memory>
 #include <ostream>
 #include <string>
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
 #include "common/stats.hpp"
+#include "ml/binned_dataset.hpp"
+#include "ml/hist_split.hpp"
 
 namespace napel::ml {
+
+namespace {
+
+/// Per-executor fitting scratch, recycled across every tree the executor
+/// claims: the bootstrap sample, its in-bag flags, and the engine
+/// workspace (only one of the two is ever touched per forest). Replaces
+/// the per-tree Dataset copy the old implementation materialized.
+struct TreeScratch {
+  std::vector<std::uint32_t> sample;
+  std::vector<char> in_bag;
+  TreeFitScratch exact;
+  HistTreeBuilder hist;
+};
+
+}  // namespace
 
 RandomForest::RandomForest(RandomForestParams params) : params_(params) {
   NAPEL_CHECK(params_.n_trees >= 1);
@@ -33,36 +52,65 @@ void RandomForest::fit(const Dataset& data) {
   for (unsigned t = 0; t < params_.n_trees; ++t)
     tree_rngs.push_back(rng.split());
 
+  // Hist mode bins the dataset exactly once per fit; every tree then
+  // trains over the shared code matrix through its bootstrap row indices.
+  const bool hist = params_.split_mode == SplitMode::kHist;
+  last_fit_bin_seconds_ = 0.0;
+  std::unique_ptr<const BinnedDataset> binned;
+  if (hist) {
+    const auto bin_t0 = std::chrono::steady_clock::now();
+    binned = std::make_unique<const BinnedDataset>(data, params_.n_threads);
+    last_fit_bin_seconds_ = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - bin_t0)
+                                .count();
+  }
+  // In-tree level parallelism only pays when trees cannot saturate the
+  // workers on their own; either way the fitted trees are bit-identical.
+  const unsigned workers = effective_threads(params_.n_threads);
+  const unsigned tree_threads =
+      params_.n_trees >= workers ? 1 : params_.n_threads;
+
   // Trees fit concurrently into pre-allocated slots; out-of-bag
   // predictions are staged per tree (row index ascending) and reduced
-  // sequentially below.
+  // sequentially below. Bootstrap rows are *sampled as indices* into
+  // per-executor scratch — no per-tree dataset copy — which is
+  // bit-identical to fitting the old Dataset::subset copy.
   trees_.assign(params_.n_trees, DecisionTree{});
   std::vector<std::vector<std::pair<std::size_t, double>>> oob_preds(
       params_.n_trees);
+  std::vector<TreeScratch> scratch(
+      parallel_slot_count(params_.n_trees, params_.n_threads));
 
-  parallel_for(params_.n_trees, params_.n_threads, [&](std::size_t t) {
-    Rng tree_rng = tree_rngs[t];
-    std::vector<std::size_t> sample(n);
-    std::vector<char> in_bag(n, 0);
-    for (std::size_t i = 0; i < n; ++i) {
-      sample[i] = tree_rng.uniform_index(n);
-      in_bag[sample[i]] = 1;
-    }
-    const Dataset boot = data.subset(sample);
+  parallel_for_slotted(
+      params_.n_trees, params_.n_threads, [&](std::size_t slot, std::size_t t) {
+        TreeScratch& ws = scratch[slot];
+        Rng tree_rng = tree_rngs[t];
+        ws.sample.resize(n);
+        ws.in_bag.assign(n, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+          ws.sample[i] = static_cast<std::uint32_t>(tree_rng.uniform_index(n));
+          ws.in_bag[ws.sample[i]] = 1;
+        }
 
-    TreeParams tp;
-    tp.max_depth = params_.max_depth;
-    tp.min_samples_split = params_.min_samples_split;
-    tp.min_samples_leaf = params_.min_samples_leaf;
-    tp.mtry_fraction = params_.mtry_fraction;
-    tp.seed = tree_rng();
-    DecisionTree tree(tp);
-    tree.fit(boot);
+        TreeParams tp;
+        tp.max_depth = params_.max_depth;
+        tp.min_samples_split = params_.min_samples_split;
+        tp.min_samples_leaf = params_.min_samples_leaf;
+        tp.mtry_fraction = params_.mtry_fraction;
+        tp.seed = tree_rng();
+        tp.split_mode = params_.split_mode;
+        tp.n_threads = tree_threads;
+        DecisionTree tree(tp);
+        if (hist)
+          tree.fit_hist(*binned, ws.sample, ws.hist);
+        else
+          tree.fit_rows(data, ws.sample, ws.exact);
 
-    for (std::size_t i = 0; i < n; ++i)
-      if (!in_bag[i]) oob_preds[t].emplace_back(i, tree.predict(data.row(i)));
-    trees_[t] = std::move(tree);
-  });
+        for (std::size_t i = 0; i < n; ++i)
+          if (!ws.in_bag[i])
+            oob_preds[t].emplace_back(i, tree.predict(data.row(i)));
+        trees_[t] = std::move(tree);
+      });
 
   // Sequential reduction in tree order: feature-importance sums and the
   // out-of-bag accumulators add in exactly the order the sequential loop
@@ -126,11 +174,17 @@ void RandomForest::save(std::ostream& os) const {
   NAPEL_CHECK_MSG(is_fitted(), "cannot save an unfitted forest");
   const auto old_precision =
       os.precision(std::numeric_limits<double>::max_digits10);
-  os << "napel-forest-v1 " << trees_.size() << ' ' << n_features_ << ' '
-     << oob_mre_ << '\n';
+  // Exact-mode forests keep the historical v1 header byte-for-byte; hist
+  // forests bump to v2, whose only change is the split-mode token at the
+  // end of the params line. load() accepts both.
+  const bool hist = params_.split_mode == SplitMode::kHist;
+  os << (hist ? "napel-forest-v2 " : "napel-forest-v1 ") << trees_.size()
+     << ' ' << n_features_ << ' ' << oob_mre_ << '\n';
   os << params_.n_trees << ' ' << params_.max_depth << ' '
      << params_.min_samples_split << ' ' << params_.min_samples_leaf << ' '
-     << params_.mtry_fraction << ' ' << params_.seed << '\n';
+     << params_.mtry_fraction << ' ' << params_.seed;
+  if (hist) os << ' ' << split_mode_name(params_.split_mode);
+  os << '\n';
   for (std::size_t f = 0; f < importance_raw_.size(); ++f)
     os << importance_raw_[f] << (f + 1 < importance_raw_.size() ? ' ' : '\n');
   for (const DecisionTree& tree : trees_) tree.save(os);
@@ -142,12 +196,20 @@ RandomForest RandomForest::load(std::istream& is) {
   std::size_t n_trees = 0;
   RandomForest forest;
   is >> tag >> n_trees >> forest.n_features_ >> forest.oob_mre_;
-  NAPEL_CHECK_MSG(is.good() && tag == "napel-forest-v1" && n_trees >= 1,
-                  "malformed forest header");
+  NAPEL_CHECK_MSG(
+      is.good() && (tag == "napel-forest-v1" || tag == "napel-forest-v2") &&
+          n_trees >= 1,
+      "malformed forest header");
   is >> forest.params_.n_trees >> forest.params_.max_depth >>
       forest.params_.min_samples_split >> forest.params_.min_samples_leaf >>
       forest.params_.mtry_fraction >> forest.params_.seed;
   NAPEL_CHECK_MSG(is.good(), "malformed forest parameters");
+  if (tag == "napel-forest-v2") {
+    std::string mode;
+    is >> mode;
+    NAPEL_CHECK_MSG(is.good(), "malformed forest parameters");
+    forest.params_.split_mode = parse_split_mode(mode);
+  }
   forest.importance_raw_.resize(forest.n_features_);
   for (double& v : forest.importance_raw_) {
     is >> v;

@@ -26,6 +26,13 @@ struct RandomForestParams {
   /// Never serialized; the fitted forest, its out-of-bag error, and its
   /// save() bytes are identical at any thread count.
   unsigned n_threads = 0;
+  /// Split-finding engine (ml/decision_tree.hpp). kExact is the historical
+  /// default and serializes as napel-forest-v1; kHist trains over a shared
+  /// quantile-binned matrix — one BinnedDataset per fit, per-tree bootstrap
+  /// row indices instead of dataset copies, in-tree level parallelism —
+  /// and serializes as napel-forest-v2 (the params line gains the mode
+  /// token). Both modes are bit-identical at any thread count.
+  SplitMode split_mode = SplitMode::kExact;
 };
 
 class RandomForest final : public Regressor {
@@ -58,6 +65,10 @@ class RandomForest final : public Regressor {
   /// estimate available without a held-out set.
   double oob_mre() const { return oob_mre_; }
 
+  /// Wall-clock spent quantile-binning the dataset during the last fit()
+  /// (0 for exact mode) — the bench's bin/fit phase breakdown.
+  double last_fit_bin_seconds() const { return last_fit_bin_seconds_; }
+
   /// Impurity feature importance, normalized to sum to 1 (all-zero when no
   /// split was ever made).
   std::vector<double> feature_importance() const;
@@ -74,6 +85,7 @@ class RandomForest final : public Regressor {
   std::vector<DecisionTree> trees_;
   std::vector<double> importance_raw_;
   double oob_mre_ = 0.0;
+  double last_fit_bin_seconds_ = 0.0;
   std::size_t n_features_ = 0;
 };
 

@@ -19,7 +19,8 @@ namespace {
 /// Journal meta: fingerprints everything that determines the scores, so a
 /// checkpoint from a different search (or dataset) cannot be resumed.
 std::string tuning_meta(const Dataset& data, const RfTuningGrid& grid,
-                        std::size_t k_folds, std::uint64_t seed) {
+                        std::size_t k_folds, std::uint64_t seed,
+                        SplitMode split_mode) {
   std::ostringstream os;
   os << "tune k=" << k_folds << " seed=" << seed << " rows=" << data.size()
      << " nt:";
@@ -30,6 +31,10 @@ std::string tuning_meta(const Dataset& data, const RfTuningGrid& grid,
   for (double v : grid.mtry_fraction) os << double_bits_to_hex(v) << ',';
   os << " leaf:";
   for (std::size_t v : grid.min_samples_leaf) os << v << ',';
+  // Appended only for hist searches so every pre-existing exact-mode
+  // journal keeps resuming unchanged.
+  if (split_mode != SplitMode::kExact)
+    os << " mode:" << split_mode_name(split_mode);
   return os.str();
 }
 
@@ -41,7 +46,8 @@ RfTuningResult tune_random_forest(const Dataset& data,
                                   const RfTuningGrid& grid,
                                   std::size_t k_folds, std::uint64_t seed,
                                   unsigned n_threads,
-                                  const TuningCheckpoint* checkpoint) {
+                                  const TuningCheckpoint* checkpoint,
+                                  SplitMode split_mode) {
   NAPEL_CHECK(grid.combinations() >= 1);
   NAPEL_CHECK_MSG(data.size() >= k_folds,
                   "need at least k_folds training rows");
@@ -66,6 +72,7 @@ RfTuningResult tune_random_forest(const Dataset& data,
           p.min_samples_split = 2 * leaf >= 2 ? 2 * leaf : 2;
           p.seed = seed;
           p.n_threads = n_threads;
+          p.split_mode = split_mode;
           combos.push_back(p);
         }
       }
@@ -83,7 +90,8 @@ RfTuningResult tune_random_forest(const Dataset& data,
   std::vector<char> done(n, 0);
   std::unique_ptr<JournalWriter> writer;
   if (checkpoint) {
-    const std::string meta = tuning_meta(data, grid, k_folds, seed);
+    const std::string meta =
+        tuning_meta(data, grid, k_folds, seed, split_mode);
     if (checkpoint->resume) {
       std::vector<JournalRecord> resumed;
       writer = std::make_unique<JournalWriter>(

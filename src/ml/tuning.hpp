@@ -48,12 +48,16 @@ struct TuningCheckpoint {
 /// 0 = process-wide pool, 1 = serial); scores, the winning combination,
 /// and its tie-breaking (first best in grid order) never depend on the
 /// execution interleaving. Journal failures (when `checkpoint` is given)
-/// throw PipelineException.
+/// throw PipelineException. `split_mode` selects the training engine every
+/// evaluated combination uses (and is carried into best_params); hist-mode
+/// searches fingerprint their journal meta with the mode, so an exact-mode
+/// checkpoint can never resume a hist search or vice versa.
 RfTuningResult tune_random_forest(const Dataset& data,
                                   const RfTuningGrid& grid,
                                   std::size_t k_folds = 4,
                                   std::uint64_t seed = 1234,
                                   unsigned n_threads = 0,
-                                  const TuningCheckpoint* checkpoint = nullptr);
+                                  const TuningCheckpoint* checkpoint = nullptr,
+                                  SplitMode split_mode = SplitMode::kExact);
 
 }  // namespace napel::ml

@@ -110,6 +110,10 @@ std::string loao_meta(const std::vector<TrainingRow>& rows, ModelKind kind,
   os << "loao kind=" << static_cast<int>(kind) << " tune=" << opts.tune_rf
      << " k=" << opts.k_folds << " seed=" << opts.seed
      << " rows=" << rows.size() << " apps=" << n_apps;
+  // Appended only for hist runs so pre-existing exact-mode journals keep
+  // resuming unchanged.
+  if (opts.split_mode != ml::SplitMode::kExact)
+    os << " mode=" << ml::split_mode_name(opts.split_mode);
   return os.str();
 }
 
@@ -227,6 +231,7 @@ std::vector<LoaoAppResult> leave_one_app_out(
       mo.k_folds = opts.k_folds;
       mo.seed = opts.seed;
       mo.n_threads = opts.n_threads;
+      mo.split_mode = opts.split_mode;
       model.train(train, mo);
       // Held-out scoring runs on the compiled flat forests: the fold's
       // feature matrix is traversed in batches instead of row-by-row

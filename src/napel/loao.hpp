@@ -36,6 +36,10 @@ struct LoaoOptions {
   /// 0 = process-wide pool, 1 = serial. Every fold trains from the same
   /// seed, so per-app MREs are identical at any thread count.
   unsigned n_threads = 0;
+  /// Split-finding engine for the RF folds (ignored by the baselines).
+  /// Hist-mode runs fingerprint their journal meta with the mode, so an
+  /// exact-mode journal cannot resume a hist run or vice versa.
+  ml::SplitMode split_mode = ml::SplitMode::kExact;
   /// When non-empty, each completed fold is checkpointed to this journal
   /// (keyed by the held-out application); with `resume`, folds already
   /// present are restored bit-identically instead of retrained.

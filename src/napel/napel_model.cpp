@@ -48,6 +48,7 @@ void NapelModel::train(const std::vector<TrainingRow>& rows,
     ml::RandomForestParams params = opts.untuned_params;
     params.seed = opts.seed;
     params.n_threads = opts.n_threads;
+    params.split_mode = opts.split_mode;
     if (opts.tune && data.size() >= opts.k_folds) {
       ml::TuningCheckpoint ckpt;
       const bool use_ckpt = !opts.tune_checkpoint.empty();
@@ -57,7 +58,8 @@ void NapelModel::train(const std::vector<TrainingRow>& rows,
       }
       tuning = ml::tune_random_forest(data, opts.grid, opts.k_folds,
                                       opts.seed, opts.n_threads,
-                                      use_ckpt ? &ckpt : nullptr);
+                                      use_ckpt ? &ckpt : nullptr,
+                                      opts.split_mode);
       params = tuning.best_params;
     }
     auto rf = std::make_unique<ml::RandomForest>(params);

@@ -49,6 +49,11 @@ class NapelModel {
     /// Worker threads for tuning and forest fitting: 0 = process-wide
     /// pool, 1 = serial. The trained model is identical either way.
     unsigned n_threads = 0;
+    /// Split-finding engine for every forest this model trains (tuned
+    /// combinations included). kExact reproduces the historical forests
+    /// byte-for-byte; kHist trains on the quantile-binned matrix and
+    /// persists as napel-forest-v2.
+    ml::SplitMode split_mode = ml::SplitMode::kExact;
     /// When non-empty, the grid searches checkpoint their per-combination
     /// scores to "<tune_checkpoint>.ipc" / "<tune_checkpoint>.power"; with
     /// tune_resume, already-scored combinations are skipped.

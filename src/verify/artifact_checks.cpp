@@ -149,6 +149,27 @@ void check_model_stream(std::istream& is, std::string_view name,
     return;
   }
 
+  // Split-engine provenance: exact-mode forests persist as napel-forest-v1,
+  // hist-mode ones as v2 with a mode token, and NapelModel trains both
+  // forests through one Options — so a file whose forests disagree was
+  // spliced together from two different training runs.
+  const auto mode_name = [](ml::SplitMode m) {
+    return m == ml::SplitMode::kHist ? "hist" : "exact";
+  };
+  const ml::SplitMode ipc_mode = model.ipc_forest().params().split_mode;
+  const ml::SplitMode energy_mode = model.energy_forest().params().split_mode;
+  if (ipc_mode != energy_mode)
+    diags.report(make_diag(
+        Severity::kWarning, "model-split-mode", name,
+        std::string("forests trained by different split engines (ipc ") +
+            mode_name(ipc_mode) + ", energy " + mode_name(energy_mode) +
+            "): file was spliced from two training runs"));
+  else
+    diags.report(make_diag(
+        Severity::kInfo, "model-split-mode", name,
+        std::string("forests trained with the ") + mode_name(ipc_mode) +
+            " split engine"));
+
   for (const auto* forest : {&model.ipc_forest(), &model.energy_forest()}) {
     const std::string which =
         forest == &model.ipc_forest() ? "ipc" : "energy";

@@ -14,6 +14,10 @@
 //   model-topology node links cycle, escape or share subtrees        (error)
 //   model-content  loaded model has non-finite or negative statistics
 //                  (OOB error, feature importance)                   (error)
+//   model-split-mode reports which split engine (exact / hist) trained
+//                  the model's forests (info); warns when the two
+//                  forests disagree — NapelModel trains both through
+//                  one Options, so a mixed file was spliced      (info/warn)
 //   contract-schema feature-schema contract between model, DoE space
 //                  and feature matrix broken: count/order/fingerprint
 //                  mismatch (error), value outside declared range (warn)

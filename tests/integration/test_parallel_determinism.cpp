@@ -4,11 +4,13 @@
 // produce bit-identical results at 1, 2, and 8 threads.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/parallel.hpp"
+#include "common/rng.hpp"
 #include "napel/napel.hpp"
 
 namespace napel {
@@ -76,6 +78,103 @@ TEST(ParallelDeterminism, ForestSaveBytesIdenticalAcrossThreadCounts) {
   EXPECT_EQ(bytes1, bytes8);
   EXPECT_EQ(oob1, oob2);
   EXPECT_EQ(oob1, oob8);
+}
+
+TEST(ParallelDeterminism, HistForestSaveBytesIdenticalAcrossThreadCounts) {
+  const auto rows = collect_rows(1);
+  const ml::Dataset data = core::assemble_dataset(rows, core::Target::kIpc);
+
+  auto fit_and_save = [&](unsigned n_threads) {
+    ml::RandomForestParams p;
+    p.n_trees = 24;
+    p.max_depth = 12;
+    p.seed = 7;
+    p.n_threads = n_threads;
+    p.split_mode = ml::SplitMode::kHist;
+    ml::RandomForest rf(p);
+    rf.fit(data);
+    std::ostringstream os;
+    rf.save(os);
+    return std::pair<std::string, double>(os.str(), rf.oob_mre());
+  };
+
+  const auto [bytes1, oob1] = fit_and_save(1);
+  const auto [bytes4, oob4] = fit_and_save(4);
+  const auto [bytes8, oob8] = fit_and_save(8);
+  EXPECT_EQ(bytes1, bytes4);
+  EXPECT_EQ(bytes1, bytes8);
+  EXPECT_EQ(oob1, oob4);
+  EXPECT_EQ(oob1, oob8);
+}
+
+TEST(ParallelDeterminism, HistInTreeParallelismIsBitIdentical) {
+  // A single deep hist tree over a matrix large enough (n * p >= the
+  // builder's per-level work threshold) that the BFS level expansion
+  // genuinely fans node x feature-block histogram builds across the pool —
+  // the in-tree path the forest only takes when trees cannot saturate the
+  // workers on their own.
+  Rng rng(99);
+  ml::Dataset data(8);
+  for (std::size_t i = 0; i < 3000; ++i) {
+    std::vector<double> x(8);
+    for (double& v : x) v = rng.uniform(-1, 1);
+    data.add_row(x, x[0] * x[1] + std::sin(3.0 * x[2]) + 0.1 * x[3]);
+  }
+
+  auto fit_and_save = [&](unsigned n_threads) {
+    ml::TreeParams tp;
+    tp.max_depth = 16;
+    tp.min_samples_leaf = 1;
+    tp.min_samples_split = 2;
+    tp.mtry_fraction = 1.0 / 3.0;
+    tp.seed = 5;
+    tp.split_mode = ml::SplitMode::kHist;
+    tp.n_threads = n_threads;
+    ml::DecisionTree tree(tp);
+    tree.fit(data);
+    std::ostringstream os;
+    tree.save(os);
+    return os.str();
+  };
+
+  const std::string serial = fit_and_save(1);
+  EXPECT_EQ(serial, fit_and_save(4));
+  EXPECT_EQ(serial, fit_and_save(8));
+}
+
+TEST(ParallelDeterminism, HistDenseSubtractionIsBitIdenticalAcrossThreads) {
+  // Full-mtry variant of the test above: with mtry_fraction == 1.0 every
+  // node at or above the binner's bin cap takes the dense arena path, so
+  // the parallel fan now also covers direct dense histogram builds and the
+  // parent-minus-sibling subtraction pass. Those must be bit-identical
+  // across thread counts too.
+  Rng rng(99);
+  ml::Dataset data(8);
+  for (std::size_t i = 0; i < 3000; ++i) {
+    std::vector<double> x(8);
+    for (double& v : x) v = rng.uniform(-1, 1);
+    data.add_row(x, x[0] * x[1] + std::sin(3.0 * x[2]) + 0.1 * x[3]);
+  }
+
+  auto fit_and_save = [&](unsigned n_threads) {
+    ml::TreeParams tp;
+    tp.max_depth = 16;
+    tp.min_samples_leaf = 1;
+    tp.min_samples_split = 2;
+    tp.mtry_fraction = 1.0;
+    tp.seed = 5;
+    tp.split_mode = ml::SplitMode::kHist;
+    tp.n_threads = n_threads;
+    ml::DecisionTree tree(tp);
+    tree.fit(data);
+    std::ostringstream os;
+    tree.save(os);
+    return os.str();
+  };
+
+  const std::string serial = fit_and_save(1);
+  EXPECT_EQ(serial, fit_and_save(4));
+  EXPECT_EQ(serial, fit_and_save(8));
 }
 
 TEST(ParallelDeterminism, TuningPicksSameWinnerAcrossThreadCounts) {

@@ -1,0 +1,365 @@
+// Histogram training engine (ml/binned_dataset.hpp, ml/hist_split.hpp):
+// binner invariants, the exact/hist split equivalence in the lossless
+// (<= 256 distinct values) regime, edge cases, and v2 serialization.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/binned_dataset.hpp"
+#include "ml/random_forest.hpp"
+
+namespace napel::ml {
+namespace {
+
+double response(std::span<const double> x) {
+  return 2.0 * x[0] * x[1] + std::sin(3.0 * x[2]) + 0.5 * x[0] * x[0];
+}
+
+/// Continuous 4-feature dataset; with n <= 256 every feature trivially has
+/// <= 256 distinct values, which is the hist == exact regime.
+Dataset make_data(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  Dataset d(4);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> x = {rng.uniform(-1, 1), rng.uniform(-1, 1),
+                             rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    d.add_row(x, response(x) + 5.0);
+  }
+  return d;
+}
+
+/// Tree serialization minus the trailing importance line: the node-by-node
+/// structure (feature, threshold, children, value). Importance accumulates
+/// split scores whose *bits* legitimately differ between the engines (the
+/// summations associate differently), so it is excluded from equivalence.
+std::string tree_structure(const DecisionTree& tree) {
+  std::ostringstream os;
+  tree.save(os);
+  std::string s = os.str();
+  const auto last_nl = s.find_last_of('\n', s.size() - 2);
+  return s.substr(0, last_nl + 1);
+}
+
+struct ParsedNode {
+  int feature = -1;
+  std::string threshold, value;  // textual: bitwise comparison at
+                                 // max_digits10 without re-parsing doubles
+  std::size_t left = 0, right = 0;
+};
+
+std::vector<ParsedNode> parse_tree(const DecisionTree& tree) {
+  std::istringstream is(tree_structure(tree));
+  std::string tag;
+  std::size_t p = 0, n = 0;
+  is >> tag >> p >> n;
+  std::vector<ParsedNode> nodes(n);
+  for (ParsedNode& nd : nodes)
+    is >> nd.feature >> nd.threshold >> nd.left >> nd.right >> nd.value;
+  return nodes;
+}
+
+/// Equality up to *tied-split mirroring*. When two features induce the
+/// exact same row bipartition at a node, their true SSE reductions are
+/// equal, and the engines' differently-associated score summations may
+/// break the tie differently — exact mode itself breaks such ties by
+/// accumulation bits. The split the other engine picks then separates the
+/// identical child sets, possibly with left/right swapped. So: nodes must
+/// agree bitwise on their value; an untied split must agree bitwise on
+/// (feature, threshold) with children matching in place; a differing split
+/// is accepted only if the child subtrees match in place or mirrored.
+bool equivalent(const std::vector<ParsedNode>& a, std::size_t ia,
+                const std::vector<ParsedNode>& b, std::size_t ib) {
+  const ParsedNode& x = a[ia];
+  const ParsedNode& y = b[ib];
+  if (x.value != y.value) return false;
+  if ((x.feature < 0) != (y.feature < 0)) return false;
+  if (x.feature < 0) return true;
+  if (x.feature == y.feature && x.threshold == y.threshold)
+    return equivalent(a, x.left, b, y.left) &&
+           equivalent(a, x.right, b, y.right);
+  return (equivalent(a, x.left, b, y.left) &&
+          equivalent(a, x.right, b, y.right)) ||
+         (equivalent(a, x.left, b, y.right) &&
+          equivalent(a, x.right, b, y.left));
+}
+
+bool trees_equivalent(const DecisionTree& a, const DecisionTree& b) {
+  const auto pa = parse_tree(a);
+  const auto pb = parse_tree(b);
+  return pa.size() == pb.size() && equivalent(pa, 0, pb, 0);
+}
+
+TEST(BinnedDataset, LosslessWhenFewDistinctValues) {
+  const Dataset data = make_data(1, 120);
+  const BinnedDataset binned(data);
+  ASSERT_EQ(binned.n_rows(), data.size());
+  ASSERT_EQ(binned.n_features(), data.n_features());
+  for (std::size_t f = 0; f < binned.n_features(); ++f) {
+    std::set<double> distinct;
+    for (std::size_t i = 0; i < data.size(); ++i)
+      distinct.insert(data.row(i)[f]);
+    ASSERT_EQ(binned.n_bins(f), distinct.size());
+    // One bin per distinct value, edges strictly increasing, and every
+    // row's code maps back to its own value exactly.
+    for (std::size_t b = 1; b < binned.n_bins(f); ++b)
+      EXPECT_LT(binned.bin_upper_edge(f, b - 1), binned.bin_upper_edge(f, b));
+    const auto codes = binned.codes(f);
+    for (std::size_t i = 0; i < data.size(); ++i)
+      EXPECT_EQ(binned.bin_upper_edge(f, codes[i]), data.row(i)[f]);
+  }
+}
+
+TEST(BinnedDataset, ConstantColumnGetsOneBin) {
+  Dataset d(2);
+  for (int i = 0; i < 10; ++i)
+    d.add_row(std::vector<double>{3.5, static_cast<double>(i)},
+              static_cast<double>(i));
+  const BinnedDataset binned(d);
+  ASSERT_EQ(binned.n_bins(0), 1u);
+  EXPECT_EQ(binned.bin_upper_edge(0, 0), 3.5);
+  for (const auto c : binned.codes(0)) EXPECT_EQ(c, 0);
+  EXPECT_EQ(binned.n_bins(1), 10u);
+}
+
+TEST(BinnedDataset, QuantileBinsWhenManyDistinctValues) {
+  Rng rng(7);
+  Dataset d(1);
+  for (std::size_t i = 0; i < 2000; ++i)
+    d.add_row(std::vector<double>{rng.uniform(0, 1)}, 0.0);
+  const BinnedDataset binned(d);
+  const std::size_t nb = binned.n_bins(0);
+  ASSERT_LE(nb, BinnedDataset::kMaxBins);
+  ASSERT_GT(nb, 1u);
+  const auto codes = binned.codes(0);
+  std::vector<std::size_t> count(nb, 0);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const std::size_t c = codes[i];
+    ASSERT_LT(c, nb);
+    ++count[c];
+    // The binning predicate: x <= upper_edge(code), and x is strictly
+    // above the previous bin's edge.
+    EXPECT_LE(d.row(i)[0], binned.bin_upper_edge(0, c));
+    if (c > 0) EXPECT_GT(d.row(i)[0], binned.bin_upper_edge(0, c - 1));
+  }
+  for (std::size_t b = 0; b < nb; ++b) EXPECT_GE(count[b], 1u);
+  // Edges are actual data values (a split threshold must be one).
+  std::set<double> values;
+  for (std::size_t i = 0; i < d.size(); ++i) values.insert(d.row(i)[0]);
+  for (std::size_t b = 0; b < nb; ++b)
+    EXPECT_TRUE(values.contains(binned.bin_upper_edge(0, b)));
+}
+
+TEST(BinnedDataset, ThreadCountDoesNotChangeCodesOrEdges) {
+  const Dataset data = make_data(9, 300);
+  const BinnedDataset serial(data, 1);
+  const BinnedDataset threaded(data, 4);
+  ASSERT_EQ(serial.total_bins(), threaded.total_bins());
+  for (std::size_t f = 0; f < serial.n_features(); ++f) {
+    ASSERT_EQ(serial.n_bins(f), threaded.n_bins(f));
+    for (std::size_t b = 0; b < serial.n_bins(f); ++b)
+      EXPECT_EQ(serial.bin_upper_edge(f, b), threaded.bin_upper_edge(f, b));
+    const auto a = serial.codes(f), b = threaded.codes(f);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  }
+}
+
+TEST(BinnedDataset, PreservesTargets) {
+  const Dataset data = make_data(11, 50);
+  const BinnedDataset binned(data);
+  ASSERT_EQ(binned.targets().size(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i)
+    EXPECT_EQ(binned.targets()[i], data.target(i));
+}
+
+TEST(HistTraining, TreeMatchesExactAtFullMtry) {
+  const Dataset data = make_data(2, 150);
+  TreeParams tp;
+  tp.mtry_fraction = 1.0;
+  tp.max_depth = 10;
+  tp.min_samples_leaf = 1;
+  tp.min_samples_split = 2;
+  DecisionTree exact(tp);
+  exact.fit(data);
+  tp.split_mode = SplitMode::kHist;
+  DecisionTree hist(tp);
+  hist.fit(data);
+  // Node-for-node: same features, thresholds, topology and leaf values.
+  EXPECT_EQ(tree_structure(exact), tree_structure(hist));
+}
+
+TEST(HistTraining, ForestMatchesExactAtFullMtry) {
+  // Bootstrap duplicates make tied splits (two features inducing the same
+  // bipartition) common at small nodes, so the forest comparison uses the
+  // mirror-tolerant node-by-node equivalence instead of byte equality.
+  const Dataset data = make_data(3, 150);
+  RandomForestParams params;
+  params.n_trees = 8;
+  params.mtry_fraction = 1.0;
+  params.max_depth = 8;
+  params.min_samples_leaf = 5;
+  params.min_samples_split = 10;
+  params.seed = 21;
+  RandomForest exact(params);
+  exact.fit(data);
+  params.split_mode = SplitMode::kHist;
+  RandomForest hist(params);
+  hist.fit(data);
+  ASSERT_EQ(exact.tree_count(), hist.tree_count());
+  for (std::size_t t = 0; t < exact.tree_count(); ++t)
+    EXPECT_TRUE(trees_equivalent(exact.tree(t), hist.tree(t)))
+        << "tree " << t;
+}
+
+TEST(HistTraining, DenseDerivedPathMatchesExactAtFullMtry) {
+  // Nodes at or above kMaxBins rows take the dense arena path at full
+  // mtry, and a balanced split of a large node derives the bigger child
+  // via parent − sibling subtraction. Discrete feature values keep the
+  // binning lossless, so the chosen splits must still match exact mode —
+  // up to tied-split mirroring, since derived histograms' sums carry
+  // subtraction bits that may break score ties differently.
+  Rng rng(31);
+  Dataset data(4);
+  for (std::size_t i = 0; i < 700; ++i) {
+    std::vector<double> x(4);
+    for (double& v : x) v = std::round(rng.uniform(-1, 1) * 20.0) / 20.0;
+    // Symmetric step in x0 pulls the root cut toward the median, so both
+    // root children stay above the dense threshold and one derives.
+    data.add_row(x, (x[0] > 0.0 ? 1.0 : -1.0) + 0.25 * x[1] + 0.1 * x[2]);
+  }
+  ASSERT_GE(data.size(), 2 * BinnedDataset::kMaxBins);
+  TreeParams tp;
+  tp.mtry_fraction = 1.0;
+  tp.max_depth = 8;
+  tp.min_samples_leaf = 2;
+  tp.min_samples_split = 4;
+  DecisionTree exact(tp);
+  exact.fit(data);
+  tp.split_mode = SplitMode::kHist;
+  DecisionTree hist(tp);
+  hist.fit(data);
+  EXPECT_TRUE(trees_equivalent(exact, hist));
+}
+
+TEST(HistTraining, MinSamplesLeafBoundaryMatchesExact) {
+  // Leaf sizes right at the constraint: every candidate cut is filtered
+  // identically by both engines.
+  const Dataset data = make_data(4, 40);
+  for (const std::size_t leaf : {1u, 2u, 5u, 10u, 20u}) {
+    TreeParams tp;
+    tp.mtry_fraction = 1.0;
+    tp.min_samples_leaf = leaf;
+    tp.min_samples_split = 2 * leaf;
+    DecisionTree exact(tp);
+    exact.fit(data);
+    tp.split_mode = SplitMode::kHist;
+    DecisionTree hist(tp);
+    hist.fit(data);
+    EXPECT_EQ(tree_structure(exact), tree_structure(hist)) << "leaf " << leaf;
+  }
+}
+
+TEST(HistTraining, SingleRowAndConstantDatasetsYieldLeaves) {
+  Dataset one(2);
+  one.add_row(std::vector<double>{1.0, 2.0}, 7.5);
+  TreeParams tp;
+  tp.split_mode = SplitMode::kHist;
+  DecisionTree t1(tp);
+  t1.fit(one);
+  EXPECT_EQ(t1.node_count(), 1u);
+  EXPECT_DOUBLE_EQ(t1.predict(one.row(0)), 7.5);
+
+  Dataset constant(2);
+  for (int i = 0; i < 12; ++i)
+    constant.add_row(std::vector<double>{4.0, -1.0}, static_cast<double>(i));
+  DecisionTree t2(tp);
+  t2.fit(constant);
+  // All features constant: no valid split exists; the root mean is served.
+  EXPECT_EQ(t2.node_count(), 1u);
+  EXPECT_DOUBLE_EQ(t2.predict(constant.row(0)), 5.5);
+}
+
+TEST(HistTraining, SubsampledForestStillLearnsSurface) {
+  // mtry < 1 draws features in BFS order (documented divergence from
+  // exact), so only model quality is asserted here.
+  const Dataset train = make_data(5, 400);
+  const Dataset test = make_data(6, 100);
+  RandomForestParams params;
+  params.n_trees = 60;
+  params.split_mode = SplitMode::kHist;
+  RandomForest rf(params);
+  rf.fit(train);
+  double mre = 0.0;
+  for (std::size_t i = 0; i < test.size(); ++i)
+    mre += std::abs(rf.predict(test.row(i)) - test.target(i)) /
+           std::abs(test.target(i));
+  EXPECT_LT(mre / static_cast<double>(test.size()), 0.1);
+}
+
+TEST(HistTraining, ForestSavesAsV2AndRoundTrips) {
+  const Dataset data = make_data(8, 120);
+  RandomForestParams params;
+  params.n_trees = 5;
+  params.split_mode = SplitMode::kHist;
+  RandomForest rf(params);
+  rf.fit(data);
+
+  std::ostringstream os;
+  rf.save(os);
+  const std::string bytes = os.str();
+  EXPECT_EQ(bytes.rfind("napel-forest-v2 ", 0), 0u);
+
+  std::istringstream is(bytes);
+  const RandomForest loaded = RandomForest::load(is);
+  EXPECT_EQ(loaded.params().split_mode, SplitMode::kHist);
+  for (std::size_t i = 0; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(loaded.predict(data.row(i)), rf.predict(data.row(i)));
+  std::ostringstream os2;
+  loaded.save(os2);
+  EXPECT_EQ(os2.str(), bytes);
+}
+
+TEST(HistTraining, ExactForestsKeepV1Header) {
+  const Dataset data = make_data(8, 60);
+  RandomForestParams params;
+  params.n_trees = 2;
+  RandomForest rf(params);
+  rf.fit(data);
+  std::ostringstream os;
+  rf.save(os);
+  EXPECT_EQ(os.str().rfind("napel-forest-v1 ", 0), 0u);
+}
+
+TEST(HistTraining, LoadRejectsUnknownSplitModeToken) {
+  const Dataset data = make_data(8, 60);
+  RandomForestParams params;
+  params.n_trees = 2;
+  params.split_mode = SplitMode::kHist;
+  RandomForest rf(params);
+  rf.fit(data);
+  std::ostringstream os;
+  rf.save(os);
+  std::string bytes = os.str();
+  const auto pos = bytes.find(" hist\n");
+  ASSERT_NE(pos, std::string::npos);
+  bytes.replace(pos, 6, " fast\n");
+  std::istringstream is(bytes);
+  EXPECT_THROW(RandomForest::load(is), std::invalid_argument);
+}
+
+TEST(HistTraining, SplitModeTokensRoundTrip) {
+  EXPECT_EQ(split_mode_name(SplitMode::kExact), "exact");
+  EXPECT_EQ(split_mode_name(SplitMode::kHist), "hist");
+  EXPECT_EQ(parse_split_mode("exact"), SplitMode::kExact);
+  EXPECT_EQ(parse_split_mode("hist"), SplitMode::kHist);
+  EXPECT_THROW(parse_split_mode("bogus"), std::invalid_argument);
+  EXPECT_THROW(parse_split_mode(""), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace napel::ml

@@ -56,7 +56,36 @@ TEST_F(ModelChecks, GenuineModelVerifiesClean) {
   std::istringstream is(model_text());
   check_model_stream(is, "model", diags);
   EXPECT_TRUE(diags.ok());
-  EXPECT_EQ(diags.diagnostics().size(), 0u);
+  // The only diagnostic on a clean model is the info-severity
+  // split-engine provenance line.
+  ASSERT_EQ(diags.diagnostics().size(), 1u);
+  EXPECT_EQ(diags.diagnostics()[0].rule, "model-split-mode");
+  EXPECT_EQ(diags.diagnostics()[0].severity, Severity::kInfo);
+  EXPECT_NE(diags.diagnostics()[0].message.find("exact"), std::string::npos);
+}
+
+TEST_F(ModelChecks, HistTrainedModelReportsHistProvenance) {
+  core::CollectOptions o;
+  o.scale = workloads::Scale::kTiny;
+  o.archs_per_config = 2;
+  o.arch_pool_size = 4;
+  std::vector<core::TrainingRow> rows;
+  core::collect_training_data(workloads::workload("atax"), o, rows);
+  core::NapelModel m;
+  core::NapelModel::Options mo;
+  mo.tune = false;
+  mo.untuned_params.n_trees = 5;
+  mo.split_mode = ml::SplitMode::kHist;
+  m.train(rows, mo);
+  std::stringstream ss;
+  core::save_model(m, ss);
+
+  check_model_stream(ss, "model", diags);
+  EXPECT_TRUE(diags.ok());
+  ASSERT_EQ(diags.diagnostics().size(), 1u);
+  EXPECT_EQ(diags.diagnostics()[0].rule, "model-split-mode");
+  EXPECT_EQ(diags.diagnostics()[0].severity, Severity::kInfo);
+  EXPECT_NE(diags.diagnostics()[0].message.find("hist"), std::string::npos);
 }
 
 TEST_F(ModelChecks, BadTagFires) {

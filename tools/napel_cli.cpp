@@ -10,6 +10,7 @@
 //   napel train -o <model-file> [--apps a,b,c] [--scale S] [--tune]
 //               [--archs N] [--seed N] [--journal FILE] [--resume]
 //               [--tune-checkpoint FILE] [--max-failures N]
+//               [--split-mode exact|hist]
 //   napel predict -m <model-file> --app <workload> [--scale S]
 //                 [--pes N] [--freq GHZ] [--cache-lines N] [--seed N]
 //   napel dse -m <model-file> --app <workload> [--scale S] [--threads N]
@@ -321,6 +322,11 @@ int cmd_train(const Args& a) {
 
   const std::vector<std::string> apps = parse_apps(a);
   core::CollectOptions copt = parse_collect_options(a);
+  // Validated before collection so a typo fails in milliseconds, not after
+  // the full DoE sweep.
+  ml::SplitMode split_mode = ml::SplitMode::kExact;
+  if (const auto it = a.options.find("split-mode"); it != a.options.end())
+    split_mode = ml::parse_split_mode(it->second);
   install_shutdown_handlers();
   copt.cancel = &shutdown_flag();
   FaultPlan faults;
@@ -333,6 +339,7 @@ int cmd_train(const Args& a) {
   mopt.tune = a.options.contains("tune");
   mopt.n_threads = copt.n_threads;
   mopt.untuned_params.n_trees = 100;
+  mopt.split_mode = split_mode;
   if (const auto it = a.options.find("tune-checkpoint");
       it != a.options.end()) {
     mopt.tune_checkpoint = it->second;
@@ -677,6 +684,8 @@ int usage() {
                "        [--threads N]  (0 = all cores; NAPEL_THREADS env also honoured)\n"
                "        [--journal FILE] [--resume] [--tune-checkpoint FILE]\n"
                "        [--max-failures N]   collection flags as for collect\n"
+               "        [--split-mode exact|hist]   training engine (hist:\n"
+               "        quantile-binned histogram splits, same seed contract)\n"
                "  predict -m FILE --app W [--pes N] [--freq GHZ] [--cache-lines N]\n"
                "  dse -m FILE --app W [--scale S] [--threads N] [--seed N] [-o CSV]\n"
                "      rank every grid design; Pareto front + EDP optimum\n"

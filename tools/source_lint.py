@@ -19,6 +19,13 @@ reaches for ambient entropy, so this lint bans the hazards outright:
                   intrinsics lets the compiler emit AVX2 in code paths
                   that run on CPUs without it, and dodges the kernels'
                   bit-identity contract)
+  raw-bin-codes   BinnedDataset code/edge accessors outside the binning
+                  and histogram-split TUs — bin codes are a lossy private
+                  encoding of the training matrix; a consumer doing its
+                  own bin arithmetic silently couples itself to the
+                  binner's quantile layout and breaks the exact/hist
+                  equivalence contract (everything else consumes the
+                  engine through DecisionTree/RandomForest split_mode)
 
 A line can opt out with an inline justification marker:
 
@@ -70,11 +77,24 @@ RULES = {
         "(src/ml/flat_forest_simd_avx2.cpp) built with -mavx2 behind "
         "runtime dispatch; see forest_kernels.hpp for the kernel contract",
     ),
+    "raw-bin-codes": (
+        re.compile(r"\.codes\s*\(|(?<!\w)(?:bin_upper_edge|bin_offset|"
+                   r"total_bins|BinCode|kMaxBins)\b"),
+        "raw bin-code arithmetic is confined to ml/binned_dataset.* and "
+        "ml/hist_split.*; consume the histogram engine through the "
+        "split_mode knob on DecisionTree/RandomForest instead",
+    ),
 }
 
 # rule id -> repo-relative paths where the hazard is the point of the file.
 RULE_EXEMPT_PATHS = {
     "raw-intrinsics": {"src/ml/flat_forest_simd_avx2.cpp"},
+    "raw-bin-codes": {
+        "src/ml/binned_dataset.hpp",
+        "src/ml/binned_dataset.cpp",
+        "src/ml/hist_split.hpp",
+        "src/ml/hist_split.cpp",
+    },
 }
 
 ALLOW = re.compile(r"napel-lint:\s*allow\(([a-z-]+)\)")
